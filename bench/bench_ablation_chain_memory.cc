@@ -1,0 +1,55 @@
+// Ablation: run-time memory vs QoS across policies.
+//
+// Chain ([5], classified in the paper's Table 3) minimizes run-time memory
+// (queued tuples); the slowdown-oriented policies of this paper optimize
+// QoS. The comparison runs at *operator level*, where Chain's progress-chart
+// model is exact (survivors of one operator re-queue at the next; dropping
+// tuples early on steep chart segments is what shrinks queues). Expect Chain
+// to have the smallest queue footprint and a mediocre slowdown; HNR/BSD the
+// reverse.
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table.h"
+
+namespace aqsios {
+namespace {
+
+int Main(int argc, const char* const* argv) {
+  FlagSet flags("bench_ablation_chain_memory");
+  double utilization = 0.9;
+  flags.AddDouble("util", &utilization, "system load of the experiment");
+  const bench::BenchArgs args =
+      bench::ParseBenchArgs("chain_memory", argc, argv, &flags);
+  bench::PrintHeader(
+      "Ablation: memory (queued tuples) vs slowdown per policy",
+      "Chain minimizes queue footprint; HNR/BSD minimize slowdown");
+
+  query::WorkloadConfig config = bench::TestbedConfig(args);
+  config.utilization = utilization;
+  const query::Workload workload = query::GenerateWorkload(config);
+
+  Table table({"policy", "avg queued tuples", "peak queued tuples",
+               "avg slowdown", "l2 norm"});
+  core::SimulationOptions options;
+  options.level = exec::SchedulingLevel::kOperatorLevel;
+  for (sched::PolicyKind kind :
+       {sched::PolicyKind::kFcfs, sched::PolicyKind::kRoundRobin,
+        sched::PolicyKind::kChain, sched::PolicyKind::kHr,
+        sched::PolicyKind::kHnr, sched::PolicyKind::kBsd}) {
+    const core::RunResult r =
+        core::Simulate(workload, sched::PolicyConfig::Of(kind), options);
+    table.AddRow(r.policy_name,
+                 {r.counters.avg_queued_tuples,
+                  static_cast<double>(r.counters.peak_queued_tuples),
+                  r.qos.avg_slowdown, r.qos.l2_slowdown});
+  }
+  std::cout << table.ToAscii() << "\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace aqsios
+
+int main(int argc, char** argv) { return aqsios::Main(argc, argv); }

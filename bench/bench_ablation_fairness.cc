@@ -1,0 +1,52 @@
+// Ablation: fairness across queries (§4's starvation discussion,
+// quantified).
+//
+// The paper argues average-case optimizers (HR, HNR) starve some query
+// classes while LSF/BSD spread the waiting. Jain's fairness index over the
+// per-query mean slowdowns makes that one number: 1 = perfectly even,
+// small = a few queries carry (almost) all the stretch.
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table.h"
+
+namespace aqsios {
+namespace {
+
+int Main(int argc, const char* const* argv) {
+  FlagSet flags("bench_ablation_fairness");
+  double utilization = 0.95;
+  flags.AddDouble("util", &utilization, "system load of the experiment");
+  const bench::BenchArgs args =
+      bench::ParseBenchArgs("fairness", argc, argv, &flags);
+  bench::PrintHeader(
+      "Ablation: Jain fairness index of per-query mean slowdowns",
+      "LSF near-perfectly fair; BSD clearly fairer than HNR/HR/SRPT");
+
+  query::WorkloadConfig config = bench::TestbedConfig(args);
+  config.utilization = utilization;
+  const query::Workload workload = query::GenerateWorkload(config);
+
+  core::SimulationOptions options;
+  options.qos.track_per_query = true;
+
+  Table table({"policy", "Jain fairness", "avg slowdown", "max slowdown"});
+  for (sched::PolicyKind kind :
+       {sched::PolicyKind::kRoundRobin, sched::PolicyKind::kSrpt,
+        sched::PolicyKind::kHr, sched::PolicyKind::kHnr,
+        sched::PolicyKind::kBsd, sched::PolicyKind::kLsf}) {
+    const core::RunResult r =
+        core::Simulate(workload, sched::PolicyConfig::Of(kind), options);
+    table.AddRow(r.policy_name,
+                 {r.qos.JainFairnessIndex(), r.qos.avg_slowdown,
+                  r.qos.max_slowdown});
+  }
+  std::cout << table.ToAscii() << "\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace aqsios
+
+int main(int argc, char** argv) { return aqsios::Main(argc, argv); }

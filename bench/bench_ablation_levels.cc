@@ -1,0 +1,59 @@
+// Ablation: query-level (non-preemptive) vs operator-level (preemptive)
+// scheduling (§6's two scheduling-point granularities).
+//
+// Operator-level scheduling reacts faster to new high-priority arrivals at
+// the cost of many more scheduling points; with static priorities the QoS
+// difference is modest while the scheduling-point count grows by the plan
+// depth, which is exactly why the paper implements BSD at query level.
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table.h"
+
+namespace aqsios {
+namespace {
+
+int Main(int argc, const char* const* argv) {
+  FlagSet flags("bench_ablation_levels");
+  double utilization = 0.9;
+  flags.AddDouble("util", &utilization, "system load of the experiment");
+  const bench::BenchArgs args =
+      bench::ParseBenchArgs("levels", argc, argv, &flags);
+  bench::PrintHeader(
+      "Ablation: query-level vs operator-level scheduling points",
+      "similar QoS; operator level multiplies scheduling points by plan "
+      "depth");
+
+  query::WorkloadConfig config = bench::TestbedConfig(args);
+  config.utilization = utilization;
+  const query::Workload workload = query::GenerateWorkload(config);
+
+  Table table({"policy", "level", "avg slowdown", "avg response (ms)",
+               "scheduling points"});
+  for (sched::PolicyKind kind :
+       {sched::PolicyKind::kRoundRobin, sched::PolicyKind::kTwoLevelRr,
+        sched::PolicyKind::kHr, sched::PolicyKind::kHnr,
+        sched::PolicyKind::kLsf, sched::PolicyKind::kBsd}) {
+    for (exec::SchedulingLevel level :
+         {exec::SchedulingLevel::kQueryLevel,
+          exec::SchedulingLevel::kOperatorLevel}) {
+      core::SimulationOptions options;
+      options.level = level;
+      const core::RunResult r =
+          core::Simulate(workload, sched::PolicyConfig::Of(kind), options);
+      table.AddRow(
+          {r.policy_name, exec::SchedulingLevelName(level),
+           FormatDouble(r.qos.avg_slowdown),
+           FormatDouble(SimTimeToMillis(r.qos.avg_response)),
+           FormatDouble(static_cast<double>(r.counters.scheduling_points))});
+    }
+  }
+  std::cout << table.ToAscii() << "\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace aqsios
+
+int main(int argc, char** argv) { return aqsios::Main(argc, argv); }

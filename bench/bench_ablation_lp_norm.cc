@@ -1,0 +1,52 @@
+// Ablation: the generalized lp-norm slowdown policy family.
+//
+// One parameter p sweeps the average-case/worst-case trade-off: p=1 is HNR
+// (pure average optimization), p=2 is BSD (the paper's l2 balance), large p
+// approaches LSF's worst-case focus. Expect average slowdown to increase
+// and maximum slowdown to decrease monotonically (modulo noise) in p.
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table.h"
+
+namespace aqsios {
+namespace {
+
+int Main(int argc, const char* const* argv) {
+  FlagSet flags("bench_ablation_lp_norm");
+  double utilization = 0.95;
+  flags.AddDouble("util", &utilization, "system load of the experiment");
+  const bench::BenchArgs args =
+      bench::ParseBenchArgs("lp_norm", argc, argv, &flags);
+  bench::PrintHeader(
+      "Ablation: lp-norm policy family (p=1 ~ HNR, p=2 ~ BSD, p->inf ~ LSF)",
+      "increasing p trades average slowdown for maximum slowdown");
+
+  query::WorkloadConfig config = bench::TestbedConfig(args);
+  config.utilization = utilization;
+  const query::Workload workload = query::GenerateWorkload(config);
+
+  Table table({"policy", "avg slowdown", "max slowdown", "l2 norm"});
+  auto add = [&](const core::RunResult& r) {
+    table.AddRow(r.policy_name, {r.qos.avg_slowdown, r.qos.max_slowdown,
+                                 r.qos.l2_slowdown});
+  };
+  add(core::Simulate(workload,
+                     sched::PolicyConfig::Of(sched::PolicyKind::kHnr)));
+  for (double p : {1.0, 1.5, 2.0, 3.0, 4.0, 8.0}) {
+    sched::PolicyConfig policy =
+        sched::PolicyConfig::Of(sched::PolicyKind::kLpNorm);
+    policy.lp_norm_p = p;
+    add(core::Simulate(workload, policy));
+  }
+  add(core::Simulate(workload,
+                     sched::PolicyConfig::Of(sched::PolicyKind::kLsf)));
+  std::cout << table.ToAscii() << "\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace aqsios
+
+int main(int argc, char** argv) { return aqsios::Main(argc, argv); }

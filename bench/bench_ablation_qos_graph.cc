@@ -1,0 +1,58 @@
+// Ablation: Aurora's QoS-graph scheduler vs the paper's system-metric
+// policies (§10).
+//
+// The QoS-graph scheduler needs the user to predict a utility-of-latency
+// curve per query; here every query gets the default stretch-derived graph
+// (full utility until 5·T, zero at 50·T). The paper's point: slowdown-based
+// policies need no such specification and still dominate the balanced
+// metrics. The graph shape is also swept to show the sensitivity the user
+// would have to tune away.
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table.h"
+
+namespace aqsios {
+namespace {
+
+int Main(int argc, const char* const* argv) {
+  FlagSet flags("bench_ablation_qos_graph");
+  double utilization = 0.95;
+  flags.AddDouble("util", &utilization, "system load of the experiment");
+  const bench::BenchArgs args =
+      bench::ParseBenchArgs("qos_graph", argc, argv, &flags);
+  bench::PrintHeader(
+      "Ablation: Aurora QoS-graph scheduling vs slowdown policies",
+      "BSD achieves better l2 and max slowdown without any per-query "
+      "utility curves to predict");
+
+  query::WorkloadConfig config = bench::TestbedConfig(args);
+  config.utilization = utilization;
+  const query::Workload workload = query::GenerateWorkload(config);
+
+  Table table({"policy", "avg slowdown", "max slowdown", "l2 norm"});
+  auto add = [&](const std::string& label, const core::RunResult& r) {
+    table.AddRow(label, {r.qos.avg_slowdown, r.qos.max_slowdown,
+                         r.qos.l2_slowdown});
+  };
+  add("HNR", core::Simulate(workload,
+                            sched::PolicyConfig::Of(sched::PolicyKind::kHnr)));
+  add("BSD", core::Simulate(workload,
+                            sched::PolicyConfig::Of(sched::PolicyKind::kBsd)));
+  for (double zero_at : {20.0, 50.0, 200.0}) {
+    sched::PolicyConfig policy =
+        sched::PolicyConfig::Of(sched::PolicyKind::kQosGraph);
+    policy.qos_graph.flat_until_stretch = zero_at / 10.0;
+    policy.qos_graph.zero_at_stretch = zero_at;
+    add("QoS-Graph(zero@" + FormatDouble(zero_at, 3) + "T)",
+        core::Simulate(workload, policy));
+  }
+  std::cout << table.ToAscii() << "\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace aqsios
+
+int main(int argc, char** argv) { return aqsios::Main(argc, argv); }

@@ -1,0 +1,50 @@
+// Figure 10: l2 norm of slowdowns vs system load.
+//
+// Paper: BSD reduces the l2 norm by up to 57% vs LSF and 24% vs HNR.
+
+#include <iostream>
+
+#include "bench_util.h"
+
+namespace aqsios {
+namespace {
+
+int Main(int argc, const char* const* argv) {
+  FlagSet flags("bench_fig10_l2_norm");
+  const bench::BenchArgs args =
+      bench::ParseBenchArgs("fig10", argc, argv, &flags);
+  bench::PrintHeader("Figure 10: l2 norm of slowdowns vs utilization",
+                     "BSD best: up to ~57% below LSF and ~24% below HNR");
+
+  core::SweepConfig sweep;
+  sweep.workload = bench::TestbedConfig(args);
+  sweep.utilizations = args.UtilizationList();
+  sweep.policies = {sched::PolicyConfig::Of(sched::PolicyKind::kRoundRobin),
+                    sched::PolicyConfig::Of(sched::PolicyKind::kSrpt),
+                    sched::PolicyConfig::Of(sched::PolicyKind::kHr),
+                    sched::PolicyConfig::Of(sched::PolicyKind::kHnr),
+                    sched::PolicyConfig::Of(sched::PolicyKind::kLsf),
+                    sched::PolicyConfig::Of(sched::PolicyKind::kBsd)};
+  const auto cells = core::RunSweep(sweep);
+  bench::MaybePrintJson(args, cells);
+  std::cout << core::SweepTable(cells, core::Metric::kL2Slowdown).ToAscii()
+            << "\n";
+
+  const double top = sweep.utilizations.back();
+  auto at = [&](const char* policy) {
+    for (const auto& cell : cells) {
+      if (cell.utilization == top && cell.policy == policy) {
+        return cell.result.qos.l2_slowdown;
+      }
+    }
+    return 0.0;
+  };
+  bench::PrintReduction("BSD vs LSF", at("BSD"), at("LSF"));
+  bench::PrintReduction("BSD vs HNR", at("BSD"), at("HNR"));
+  return 0;
+}
+
+}  // namespace
+}  // namespace aqsios
+
+int main(int argc, char** argv) { return aqsios::Main(argc, argv); }

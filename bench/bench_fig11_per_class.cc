@@ -1,0 +1,75 @@
+// Figure 11: slowdown per class for low-cost queries.
+//
+// Paper: within the cheapest cost class, HR is strongly biased against
+// low-selectivity queries (their tuples see much higher slowdown); HNR is
+// biased less; BSD the least.
+
+#include <iostream>
+#include <map>
+
+#include "bench_util.h"
+#include "common/table.h"
+
+namespace aqsios {
+namespace {
+
+int Main(int argc, const char* const* argv) {
+  FlagSet flags("bench_fig11_per_class");
+  double utilization = 0.95;
+  flags.AddDouble("util", &utilization, "system load of the experiment");
+  bench::BenchArgs args = bench::ParseBenchArgs("fig11", argc, argv, &flags);
+  args.queries = std::max(args.queries, 120);  // populate selectivity deciles
+  bench::PrintHeader(
+      "Figure 11: avg slowdown per selectivity class (lowest cost class)",
+      "HR heavily penalizes low-selectivity queries; HNR less; BSD least");
+
+  query::WorkloadConfig config = bench::TestbedConfig(args);
+  config.utilization = utilization;
+  const query::Workload workload = query::GenerateWorkload(config);
+
+  const std::vector<sched::PolicyKind> policies = {
+      sched::PolicyKind::kHr, sched::PolicyKind::kHnr, sched::PolicyKind::kBsd};
+  std::map<std::string, std::map<int, double>> per_policy;
+  std::vector<std::string> names;
+  for (sched::PolicyKind kind : policies) {
+    const core::RunResult r =
+        core::Simulate(workload, sched::PolicyConfig::Of(kind));
+    names.push_back(r.policy_name);
+    for (const auto& [key, stats] : r.qos.per_class_slowdown) {
+      if (key.cost_class != 0 || stats.count() == 0) continue;
+      per_policy[r.policy_name][key.selectivity_decile] = stats.Mean();
+    }
+  }
+
+  std::vector<std::string> header = {"selectivity"};
+  header.insert(header.end(), names.begin(), names.end());
+  Table table(header);
+  for (int decile = 1; decile <= 10; ++decile) {
+    bool populated = false;
+    std::vector<double> row;
+    for (const std::string& name : names) {
+      const auto& by_decile = per_policy[name];
+      auto it = by_decile.find(decile);
+      row.push_back(it == by_decile.end() ? 0.0 : it->second);
+      populated = populated || it != by_decile.end();
+    }
+    if (!populated) continue;
+    table.AddRow(FormatDouble(decile / 10.0, 2), row);
+  }
+  std::cout << table.ToAscii() << "\n";
+
+  // Bias self-check: slowdown(lowest populated decile)/slowdown(highest).
+  for (const std::string& name : names) {
+    const auto& by_decile = per_policy[name];
+    if (by_decile.size() < 2) continue;
+    const double low = by_decile.begin()->second;
+    const double high = by_decile.rbegin()->second;
+    std::cout << name << " low/high selectivity bias: " << low / high << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace aqsios
+
+int main(int argc, char** argv) { return aqsios::Main(argc, argv); }

@@ -1,0 +1,98 @@
+// Figure 13: l2 norm of slowdowns vs number of clusters at 0.95 utilization.
+//
+// Paper: BSD-Logarithmic approaches BSD-Hypothetical (within ~5%) around 12
+// clusters and degrades on both sides (too-coarse clusters lose accuracy;
+// too many clusters raise the search cost). BSD-Uniform starts terrible and
+// only becomes acceptable with very many clusters. HNR is the flat
+// reference. Scheduling overhead is charged at one cheapest-operator cost
+// per priority computation/comparison.
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table.h"
+
+namespace aqsios {
+namespace {
+
+int Main(int argc, const char* const* argv) {
+  FlagSet flags("bench_fig13_clustering");
+  double utilization = 0.95;
+  std::string cluster_counts = "2,4,6,8,12,16,24,48,96";
+  flags.AddDouble("util", &utilization, "system load of the experiment");
+  flags.AddString("clusters", &cluster_counts,
+                  "comma-separated cluster counts (m)");
+  const bench::BenchArgs args = bench::ParseBenchArgs(
+      "fig13", argc, argv, &flags, /*default_queries=*/240,
+      /*default_arrivals=*/8000);
+  bench::PrintHeader(
+      "Figure 13: l2 of slowdowns vs number of clusters m (overhead charged)",
+      "BSD-Logarithmic ~5% above hypothetical near m=12, U-shaped; "
+      "BSD-Uniform needs far more clusters");
+
+  query::WorkloadConfig config = bench::TestbedConfig(args);
+  config.utilization = utilization;
+  const query::Workload workload = query::GenerateWorkload(config);
+
+  core::SimulationOptions charged;
+  charged.charge_scheduling_overhead = true;
+  core::SimulationOptions free;
+
+  // Flat references.
+  const double hnr =
+      core::Simulate(workload, sched::PolicyConfig::Of(sched::PolicyKind::kHnr),
+                     free)
+          .qos.l2_slowdown;
+  const double hypothetical =
+      core::Simulate(workload, sched::PolicyConfig::Of(sched::PolicyKind::kBsd),
+                     free)
+          .qos.l2_slowdown;
+
+  std::vector<int> ms;
+  {
+    std::string token;
+    for (char c : cluster_counts + ",") {
+      if (c == ',') {
+        if (!token.empty()) ms.push_back(std::atoi(token.c_str()));
+        token.clear();
+      } else {
+        token += c;
+      }
+    }
+  }
+
+  Table table({"m", "BSD-Hypothetical", "BSD-Logarithmic", "BSD-Uniform",
+               "HNR"});
+  double best_log = 0.0;
+  int best_m = 0;
+  for (int m : ms) {
+    sched::PolicyConfig log_config =
+        sched::PolicyConfig::Of(sched::PolicyKind::kBsdClustered);
+    log_config.clustered.clustering = sched::ClusteringKind::kLogarithmic;
+    log_config.clustered.num_clusters = m;
+    log_config.clustered.use_fagin = true;
+    log_config.clustered.clustered_processing = true;
+    sched::PolicyConfig uniform_config = log_config;
+    uniform_config.clustered.clustering = sched::ClusteringKind::kUniform;
+
+    const double log_l2 =
+        core::Simulate(workload, log_config, charged).qos.l2_slowdown;
+    const double uni_l2 =
+        core::Simulate(workload, uniform_config, charged).qos.l2_slowdown;
+    table.AddRow(std::to_string(m), {hypothetical, log_l2, uni_l2, hnr});
+    if (best_m == 0 || log_l2 < best_log) {
+      best_log = log_l2;
+      best_m = m;
+    }
+  }
+  std::cout << table.ToAscii() << "\n";
+  std::cout << "best BSD-Logarithmic at m=" << best_m << ": "
+            << (best_log / hypothetical - 1.0) * 100.0
+            << "% above BSD-Hypothetical\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace aqsios
+
+int main(int argc, char** argv) { return aqsios::Main(argc, argv); }

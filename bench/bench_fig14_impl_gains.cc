@@ -1,0 +1,78 @@
+// Figure 14: incremental gains of the efficient BSD implementation.
+//
+// Paper: with overhead charged, a naive BSD implementation inflates the l2
+// norm enormously (+6470% vs BSD-Hypothetical); adding logarithmic
+// clustering (m=12), then Fagin pruning, then clustered processing brings it
+// within ~5% of the hypothetical (overhead-free) BSD.
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table.h"
+
+namespace aqsios {
+namespace {
+
+int Main(int argc, const char* const* argv) {
+  FlagSet flags("bench_fig14_impl_gains");
+  double utilization = 0.95;
+  int clusters = 12;
+  flags.AddDouble("util", &utilization, "system load of the experiment");
+  flags.AddInt("clusters", &clusters, "number of logarithmic clusters");
+  const bench::BenchArgs args = bench::ParseBenchArgs(
+      "fig14", argc, argv, &flags, /*default_queries=*/240,
+      /*default_arrivals=*/8000);
+  bench::PrintHeader(
+      "Figure 14: incremental implementation gains for BSD (l2 norm)",
+      "naive BSD enormous; +clustering, +FA, +clustered processing -> "
+      "within ~5% of hypothetical");
+
+  query::WorkloadConfig config = bench::TestbedConfig(args);
+  config.utilization = utilization;
+  const query::Workload workload = query::GenerateWorkload(config);
+
+  core::SimulationOptions charged;
+  charged.charge_scheduling_overhead = true;
+  core::SimulationOptions free;
+
+  const double hypothetical =
+      core::Simulate(workload, sched::PolicyConfig::Of(sched::PolicyKind::kBsd),
+                     free)
+          .qos.l2_slowdown;
+
+  auto clustered = [&](bool fagin, bool cp) {
+    sched::PolicyConfig p =
+        sched::PolicyConfig::Of(sched::PolicyKind::kBsdClustered);
+    p.clustered.clustering = sched::ClusteringKind::kLogarithmic;
+    p.clustered.num_clusters = clusters;
+    p.clustered.use_fagin = fagin;
+    p.clustered.clustered_processing = cp;
+    return core::Simulate(workload, p, charged);
+  };
+
+  Table table({"implementation", "l2 slowdown", "vs hypothetical (%)",
+               "overhead ops"});
+  auto add = [&](const std::string& name, const core::RunResult& r) {
+    table.AddRow(name,
+                 {r.qos.l2_slowdown,
+                  (r.qos.l2_slowdown / hypothetical - 1.0) * 100.0,
+                  static_cast<double>(r.counters.overhead_operations)});
+  };
+
+  const core::RunResult naive = core::Simulate(
+      workload, sched::PolicyConfig::Of(sched::PolicyKind::kBsd), charged);
+  add("BSD-Naive (charged)", naive);
+  add("+ log clustering", clustered(false, false));
+  add("+ Fagin pruning", clustered(true, false));
+  add("+ clustered processing", clustered(true, true));
+  core::RunResult hypo_row;
+  hypo_row.qos.l2_slowdown = hypothetical;
+  table.AddRow("BSD-Hypothetical", {hypothetical, 0.0, 0.0});
+  std::cout << table.ToAscii() << "\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace aqsios
+
+int main(int argc, char** argv) { return aqsios::Main(argc, argv); }

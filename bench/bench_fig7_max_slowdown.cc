@@ -1,0 +1,49 @@
+// Figure 7: maximum slowdown vs system load.
+//
+// Paper: LSF reduces the maximum slowdown by ~80% compared to HNR (at the
+// cost of a much worse average, Figure 9).
+
+#include <iostream>
+
+#include "bench_util.h"
+
+namespace aqsios {
+namespace {
+
+int Main(int argc, const char* const* argv) {
+  FlagSet flags("bench_fig7_max_slowdown");
+  const bench::BenchArgs args =
+      bench::ParseBenchArgs("fig7", argc, argv, &flags);
+  bench::PrintHeader("Figure 7: maximum slowdown vs utilization",
+                     "LSF far below HNR (~80% lower at high load)");
+
+  core::SweepConfig sweep;
+  sweep.workload = bench::TestbedConfig(args);
+  sweep.utilizations = args.UtilizationList();
+  sweep.policies = {sched::PolicyConfig::Of(sched::PolicyKind::kRoundRobin),
+                    sched::PolicyConfig::Of(sched::PolicyKind::kSrpt),
+                    sched::PolicyConfig::Of(sched::PolicyKind::kHr),
+                    sched::PolicyConfig::Of(sched::PolicyKind::kHnr),
+                    sched::PolicyConfig::Of(sched::PolicyKind::kLsf)};
+  const auto cells = core::RunSweep(sweep);
+  bench::MaybePrintJson(args, cells);
+  std::cout << core::SweepTable(cells, core::Metric::kMaxSlowdown).ToAscii()
+            << "\n";
+
+  const double top = sweep.utilizations.back();
+  auto at = [&](const char* policy) {
+    for (const auto& cell : cells) {
+      if (cell.utilization == top && cell.policy == policy) {
+        return cell.result.qos.max_slowdown;
+      }
+    }
+    return 0.0;
+  };
+  bench::PrintReduction("LSF vs HNR", at("LSF"), at("HNR"));
+  return 0;
+}
+
+}  // namespace
+}  // namespace aqsios
+
+int main(int argc, char** argv) { return aqsios::Main(argc, argv); }

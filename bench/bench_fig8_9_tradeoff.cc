@@ -1,0 +1,55 @@
+// Figures 8 and 9: BSD's trade-off between worst-case and average-case.
+//
+// Paper: at 0.95 utilization BSD cuts the maximum slowdown by ~44% vs HNR
+// (Figure 8) while cutting the average slowdown by ~80% vs LSF (Figure 9).
+
+#include <iostream>
+
+#include "bench_util.h"
+
+namespace aqsios {
+namespace {
+
+int Main(int argc, const char* const* argv) {
+  FlagSet flags("bench_fig8_9_tradeoff");
+  const bench::BenchArgs args =
+      bench::ParseBenchArgs("fig8_9", argc, argv, &flags);
+  bench::PrintHeader(
+      "Figures 8-9: max and avg slowdown for HNR / LSF / BSD",
+      "BSD max ~44% below HNR; BSD avg ~80% below LSF (at 0.95)");
+
+  core::SweepConfig sweep;
+  sweep.workload = bench::TestbedConfig(args);
+  sweep.utilizations = args.UtilizationList();
+  sweep.policies = {sched::PolicyConfig::Of(sched::PolicyKind::kHnr),
+                    sched::PolicyConfig::Of(sched::PolicyKind::kLsf),
+                    sched::PolicyConfig::Of(sched::PolicyKind::kBsd)};
+  const auto cells = core::RunSweep(sweep);
+  std::cout << "Figure 8 (maximum slowdown):\n"
+            << core::SweepTable(cells, core::Metric::kMaxSlowdown).ToAscii()
+            << "\nFigure 9 (average slowdown):\n"
+            << core::SweepTable(cells, core::Metric::kAvgSlowdown).ToAscii()
+            << "\n";
+
+  const double top = sweep.utilizations.back();
+  auto metric = [&](const char* policy, core::Metric m) {
+    for (const auto& cell : cells) {
+      if (cell.utilization == top && cell.policy == policy) {
+        return core::GetMetric(cell.result, m);
+      }
+    }
+    return 0.0;
+  };
+  bench::PrintReduction("BSD max vs HNR max",
+                        metric("BSD", core::Metric::kMaxSlowdown),
+                        metric("HNR", core::Metric::kMaxSlowdown));
+  bench::PrintReduction("BSD avg vs LSF avg",
+                        metric("BSD", core::Metric::kAvgSlowdown),
+                        metric("LSF", core::Metric::kAvgSlowdown));
+  return 0;
+}
+
+}  // namespace
+}  // namespace aqsios
+
+int main(int argc, char** argv) { return aqsios::Main(argc, argv); }

@@ -1,0 +1,173 @@
+// Micro-benchmarks (google-benchmark) for the scheduler hot paths: the
+// per-scheduling-point cost of each policy, clustering construction, Fagin
+// pruning vs linear scan, and symmetric-hash-join probes.
+
+#include <benchmark/benchmark.h>
+
+#include "exec/window_join.h"
+#include "query/workload.h"
+#include "sched/basic_policies.h"
+#include "sched/clustered_bsd.h"
+#include "sched/lp_norm_policy.h"
+#include "sched/policy.h"
+#include "sched/qos_graph.h"
+
+namespace aqsios {
+namespace {
+
+sched::UnitTable MakeUnits(int n) {
+  sched::UnitTable units;
+  for (int i = 0; i < n; ++i) {
+    sched::Unit unit;
+    unit.id = i;
+    unit.query = i;
+    unit.input_stream = 0;
+    const double phi = 1.0 + (i * 37 % 1000);
+    unit.stats.phi = phi;
+    unit.stats.output_rate = phi * 2.0;
+    unit.stats.normalized_rate = phi * 1.5;
+    unit.stats.ideal_time = 0.001 + 0.0001 * (i % 32);
+    units.push_back(std::move(unit));
+  }
+  return units;
+}
+
+void FillQueues(sched::UnitTable& units, sched::Scheduler& scheduler) {
+  for (size_t u = 0; u < units.size(); ++u) {
+    units[u].queue.push_back(
+        sched::QueueEntry{static_cast<int64_t>(u), 0.001 * u});
+    scheduler.OnEnqueue(static_cast<int>(u));
+  }
+}
+
+void RunPickLoop(benchmark::State& state, sched::Scheduler& scheduler,
+                 sched::UnitTable& units) {
+  FillQueues(units, scheduler);
+  SimTime now = 1.0;
+  std::vector<int> out;
+  sched::SchedulingCost cost;
+  for (auto _ : state) {
+    out.clear();
+    cost.Clear();
+    if (!scheduler.PickNext(now, &cost, &out)) {
+      state.PauseTiming();
+      FillQueues(units, scheduler);
+      state.ResumeTiming();
+      continue;
+    }
+    for (int u : out) {
+      units[static_cast<size_t>(u)].queue.pop_front();
+      scheduler.OnDequeue(u);
+    }
+    // Re-enqueue to keep the system busy.
+    for (int u : out) {
+      units[static_cast<size_t>(u)].queue.push_back(
+          sched::QueueEntry{0, now});
+      scheduler.OnEnqueue(u);
+    }
+    now += 1e-6;
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+
+void BM_PickNextHnr(benchmark::State& state) {
+  sched::UnitTable units = MakeUnits(static_cast<int>(state.range(0)));
+  sched::StaticPriorityScheduler scheduler(sched::StaticPolicy::kHnr);
+  scheduler.Attach(&units);
+  RunPickLoop(state, scheduler, units);
+}
+BENCHMARK(BM_PickNextHnr)->Arg(50)->Arg(500);
+
+void BM_PickNextLsf(benchmark::State& state) {
+  sched::UnitTable units = MakeUnits(static_cast<int>(state.range(0)));
+  sched::LsfScheduler scheduler;
+  scheduler.Attach(&units);
+  RunPickLoop(state, scheduler, units);
+}
+BENCHMARK(BM_PickNextLsf)->Arg(50)->Arg(500);
+
+void BM_PickNextBsdExact(benchmark::State& state) {
+  sched::UnitTable units = MakeUnits(static_cast<int>(state.range(0)));
+  sched::BsdScheduler scheduler(/*count_all_units=*/true);
+  scheduler.Attach(&units);
+  RunPickLoop(state, scheduler, units);
+}
+BENCHMARK(BM_PickNextBsdExact)->Arg(50)->Arg(500);
+
+void BM_PickNextBsdClustered(benchmark::State& state) {
+  sched::UnitTable units = MakeUnits(static_cast<int>(state.range(0)));
+  sched::ClusteredBsdOptions options;
+  options.num_clusters = 12;
+  options.use_fagin = state.range(1) != 0;
+  sched::ClusteredBsdScheduler scheduler(options);
+  scheduler.Attach(&units);
+  RunPickLoop(state, scheduler, units);
+}
+BENCHMARK(BM_PickNextBsdClustered)
+    ->Args({500, 0})
+    ->Args({500, 1});
+
+void BM_PickNextLpNorm(benchmark::State& state) {
+  sched::UnitTable units = MakeUnits(static_cast<int>(state.range(0)));
+  sched::LpNormScheduler scheduler(3.0);
+  scheduler.Attach(&units);
+  RunPickLoop(state, scheduler, units);
+}
+BENCHMARK(BM_PickNextLpNorm)->Arg(50)->Arg(500);
+
+void BM_PickNextQosGraph(benchmark::State& state) {
+  sched::UnitTable units = MakeUnits(static_cast<int>(state.range(0)));
+  sched::QosGraphScheduler scheduler(sched::QosGraphOptions{});
+  scheduler.Attach(&units);
+  RunPickLoop(state, scheduler, units);
+}
+BENCHMARK(BM_PickNextQosGraph)->Arg(50)->Arg(500);
+
+void BM_BuildClustering(benchmark::State& state) {
+  const sched::UnitTable units = MakeUnits(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto clustering = sched::BuildClustering(
+        units, sched::ClusteringKind::kLogarithmic, 12);
+    benchmark::DoNotOptimize(clustering.cluster_of_unit.data());
+  }
+}
+BENCHMARK(BM_BuildClustering)->Arg(500)->Arg(5000);
+
+void BM_WindowJoinInsertProbe(benchmark::State& state) {
+  exec::SymmetricHashJoinState join(/*window=*/1.0);
+  const int keys = static_cast<int>(state.range(0));
+  int64_t i = 0;
+  std::vector<exec::SymmetricHashJoinState::Entry> candidates;
+  for (auto _ : state) {
+    exec::SymmetricHashJoinState::Entry entry;
+    entry.id = i;
+    entry.timestamp = 1e-4 * static_cast<double>(i);
+    entry.arrival_time = entry.timestamp;
+    const int32_t key = static_cast<int32_t>(i % keys);
+    join.Insert(query::Side::kRight, key, entry);
+    candidates.clear();
+    // A left probe scans the right table's window bucket.
+    join.Probe(query::Side::kLeft, key, entry.timestamp, &candidates);
+    benchmark::DoNotOptimize(candidates.data());
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WindowJoinInsertProbe)->Arg(1)->Arg(64);
+
+void BM_WorkloadGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    query::WorkloadConfig config;
+    config.num_queries = static_cast<int>(state.range(0));
+    config.num_arrivals = 2000;
+    config.seed = 42;
+    auto workload = query::GenerateWorkload(config);
+    benchmark::DoNotOptimize(workload.scale_factor_k_ms);
+  }
+}
+BENCHMARK(BM_WorkloadGeneration)->Arg(50)->Arg(500);
+
+}  // namespace
+}  // namespace aqsios
+
+BENCHMARK_MAIN();

@@ -1,0 +1,119 @@
+// Shared plumbing for the figure/table bench binaries.
+//
+// Each bench reproduces one table or figure of the paper: it runs the §8
+// testbed workload (scaled down by default so every binary terminates in
+// seconds on one core; scale up with --queries/--arrivals) and prints the
+// same rows/series the paper reports, plus the paper's qualitative claim so
+// the output is self-checking.
+
+#ifndef AQSIOS_BENCH_BENCH_UTIL_H_
+#define AQSIOS_BENCH_BENCH_UTIL_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "core/experiment.h"
+#include "core/report.h"
+
+namespace aqsios::bench {
+
+/// Standard workload knobs shared by all figure benches.
+struct BenchArgs {
+  int queries = 60;
+  int64_t arrivals = 15000;
+  uint64_t seed = 42;
+  std::string utilizations = "0.5,0.7,0.8,0.9,0.95";
+  /// Also emit the sweep as JSON (machine-readable, for plotting).
+  bool json = false;
+  /// Replay arrivals from this aqsios-trace file (e.g. a converted
+  /// LBL-PKT-4) instead of the synthetic On/Off process.
+  std::string trace;
+
+  std::vector<double> UtilizationList() const {
+    std::vector<double> result;
+    std::string token;
+    for (char c : utilizations + ",") {
+      if (c == ',') {
+        if (!token.empty()) result.push_back(std::strtod(token.c_str(), nullptr));
+        token.clear();
+      } else {
+        token += c;
+      }
+    }
+    return result;
+  }
+};
+
+/// Registers the standard flags and parses argv; exits on --help or error.
+/// Callers may override the scale defaults (e.g. the clustering benches use
+/// more queries so per-cluster amortization resembles the paper's 500-query
+/// testbed).
+inline BenchArgs ParseBenchArgs(const std::string& name, int argc,
+                                const char* const* argv, FlagSet* flags,
+                                int default_queries = 60,
+                                int64_t default_arrivals = 15000) {
+  static BenchArgs args;  // targets must outlive Parse
+  args = BenchArgs();
+  args.queries = default_queries;
+  args.arrivals = default_arrivals;
+  flags->AddInt("queries", &args.queries, "number of registered CQs");
+  flags->AddInt("arrivals", &args.arrivals, "total stream arrivals");
+  int64_t seed = 42;
+  flags->AddInt("seed", &seed, "workload seed");
+  flags->AddString("utils", &args.utilizations,
+                   "comma-separated utilization sweep");
+  flags->AddBool("json", &args.json, "also print the sweep as JSON");
+  flags->AddString("trace", &args.trace,
+                   "replay arrivals from this trace file (e.g. converted "
+                   "LBL-PKT-4) instead of synthetic On/Off traffic");
+  const Status status = flags->Parse(argc, argv);
+  if (!status.ok()) {
+    if (flags->help_requested()) std::exit(0);
+    std::cerr << name << ": " << status << "\n" << flags->Usage();
+    std::exit(2);
+  }
+  args.seed = static_cast<uint64_t>(seed);
+  return args;
+}
+
+/// The paper's default single-stream testbed configuration.
+inline query::WorkloadConfig TestbedConfig(const BenchArgs& args) {
+  query::WorkloadConfig config;
+  config.num_queries = args.queries;
+  config.num_arrivals = args.arrivals;
+  config.seed = args.seed;
+  if (!args.trace.empty()) {
+    config.arrival_pattern = query::ArrivalPattern::kTraceFile;
+    config.trace_path = args.trace;
+  }
+  return config;
+}
+
+inline void PrintHeader(const std::string& title, const std::string& claim) {
+  std::cout << "=== " << title << " ===\n";
+  std::cout << "paper claim: " << claim << "\n\n";
+}
+
+/// Emits the sweep as a JSON line when --json was passed.
+inline void MaybePrintJson(const BenchArgs& args,
+                           const std::vector<core::SweepCell>& cells) {
+  if (!args.json) return;
+  std::cout << "JSON: " << core::SweepToJson(cells) << "\n";
+}
+
+/// Prints "<label>: <a> vs <b> (<percent>% lower)" comparisons used by the
+/// self-check lines under each table.
+inline void PrintReduction(const std::string& label, double ours,
+                           double baseline) {
+  const double percent =
+      baseline > 0.0 ? (1.0 - ours / baseline) * 100.0 : 0.0;
+  std::cout << label << ": " << ours << " vs " << baseline << "  ("
+            << percent << "% lower)\n";
+}
+
+}  // namespace aqsios::bench
+
+#endif  // AQSIOS_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,111 @@
+// Adaptive dashboard: stale statistics, run-time monitoring, and burst
+// transients in one scenario.
+//
+// An operations dashboard registers queries whose selectivities were
+// estimated at deploy time but drifted since (alert rates change, feeds get
+// noisier). The demo shows:
+//   1. how badly a static HNR scheduler does with the stale estimates,
+//   2. how the run-time statistics monitor (§10's dynamic-environment
+//      support) recovers the loss without redeploying,
+//   3. the per-burst slowdown timeline that aggregate numbers hide.
+
+#include <algorithm>
+#include <iostream>
+
+#include "common/table.h"
+#include "core/dsms.h"
+#include "query/builder.h"
+#include "query/workload.h"
+#include "stream/arrival_process.h"
+
+int main() {
+  using namespace aqsios;
+
+  core::Dsms dsms;
+  // Ten queries whose deploy-time selectivity estimates are badly stale:
+  // the cheap "rare" alerts actually fire often, the heavy "frequent"
+  // analytics actually rarely pass their filter. A static scheduler
+  // prioritizes exactly backwards.
+  for (int i = 0; i < 5; ++i) {
+    dsms.AddQuery(query::QueryBuilder(0)
+                      .Select(0.5, /*assumed=*/0.05)
+                      .WithActualSelectivity(0.6)
+                      .Project(0.5)
+                      .CostClass(0)
+                      .ClassSelectivity(0.05)
+                      .Build());
+  }
+  for (int i = 0; i < 5; ++i) {
+    dsms.AddQuery(query::QueryBuilder(0)
+                      .Select(4.0, /*assumed=*/0.9)
+                      .WithActualSelectivity(0.1)
+                      .StoredJoin(4.0, 1.0)
+                      .Project(4.0)
+                      .CostClass(3)
+                      .ClassSelectivity(0.9)
+                      .Build());
+  }
+
+  stream::OnOffConfig bursts;
+  bursts.on_rate = 120.0;
+  bursts.mean_on_duration = 0.4;
+  bursts.mean_off_duration = 0.6;
+  stream::OnOffArrivalProcess process(bursts, 7);
+  dsms.SetArrivals(stream::MergeArrivalTables(
+      {stream::GenerateArrivals(process, 0, 25000, 8)}));
+
+  // --- static vs adaptive HNR ----------------------------------------------
+  core::SimulationOptions stale_options;
+  stale_options.qos.timeline_bucket = 5.0;
+  core::SimulationOptions adaptive_options = stale_options;
+  adaptive_options.adaptation.enabled = true;
+  adaptive_options.adaptation.period = 0.5;
+
+  const core::RunResult stale = dsms.Run(
+      sched::PolicyConfig::Of(sched::PolicyKind::kHnr), stale_options);
+  const core::RunResult adaptive = dsms.Run(
+      sched::PolicyConfig::Of(sched::PolicyKind::kHnr), adaptive_options);
+
+  Table table({"scheduler", "avg slowdown", "max slowdown", "l2 norm",
+               "adaptation ticks"});
+  table.AddRow("HNR (stale statistics)",
+               {stale.qos.avg_slowdown, stale.qos.max_slowdown,
+                stale.qos.l2_slowdown,
+                static_cast<double>(stale.counters.adaptation_ticks)});
+  table.AddRow("HNR (adaptive monitor)",
+               {adaptive.qos.avg_slowdown, adaptive.qos.max_slowdown,
+                adaptive.qos.l2_slowdown,
+                static_cast<double>(adaptive.counters.adaptation_ticks)});
+  std::cout << "=== adaptive dashboard: deploy-time estimates vs reality "
+               "===\n\n"
+            << table.ToAscii() << "\n";
+
+  // --- burst timeline -------------------------------------------------------
+  std::cout << "slowdown per 5s bucket (s = stale, a = adaptive), log-ish "
+               "bars:\n";
+  const auto& s_series = stale.qos.slowdown_timeline_mean;
+  const auto& a_series = adaptive.qos.slowdown_timeline_mean;
+  double peak = 1.0;
+  for (double v : s_series) peak = std::max(peak, v);
+  const size_t buckets = std::min(s_series.size(), a_series.size());
+  for (size_t i = 0; i < buckets; ++i) {
+    const auto bar = [&](double v) {
+      const int width =
+          v <= 0.0 ? 0
+                   : static_cast<int>(30.0 * std::log1p(v) / std::log1p(peak));
+      return std::string(static_cast<size_t>(width), '#');
+    };
+    std::cout << "t=" << FormatDouble(5.0 * static_cast<double>(i), 4)
+              << "s  s|" << bar(s_series[i]) << "\n        a|"
+              << bar(a_series[i]) << "\n";
+    if (i >= 11) {
+      std::cout << "        ... (" << buckets - i - 1
+                << " more buckets)\n";
+      break;
+    }
+  }
+  std::cout << "\nThe monitor re-learns S and C̄ within a few ticks; the "
+               "adaptive run tracks the oracle ordering of the previous "
+               "examples without redeploying any statistics.\n";
+  return 0;
+}

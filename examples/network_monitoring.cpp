@@ -1,0 +1,103 @@
+// Network monitoring with multi-stream window joins.
+//
+// Two packet-metadata streams (e.g. two taps) feed correlation queries:
+// each query joins the streams over a sliding time window ("flows seen on
+// both links within V seconds") after per-stream filtering. Demonstrates:
+//
+//   * generating an LBL-style bursty trace, persisting it to disk, and
+//     replaying it through the trace reader (the exact workflow to run the
+//     real LBL-PKT-4 trace if you have it);
+//   * time-based sliding-window symmetric hash joins;
+//   * composite-tuple slowdown (dependency delay excluded, §5) and the
+//     policy comparison of Figure 12.
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/table.h"
+#include "core/dsms.h"
+#include "query/builder.h"
+#include "stream/arrival_process.h"
+#include "stream/trace.h"
+
+int main() {
+  using namespace aqsios;
+
+  // --- 1. Build (or load) a packet trace. ----------------------------------
+  // GenerateOnOffTrace stands in for the LBL-PKT-4 trace; to use the real
+  // thing, convert it once with ReadTimestampColumn and point ReadTrace at
+  // the result.
+  stream::OnOffConfig traffic;
+  traffic.on_rate = 120.0;
+  traffic.mean_on_duration = 1.0;
+  traffic.mean_off_duration = 1.0;
+  const std::string trace_path = "network_monitoring.trace";
+  {
+    const auto timestamps = stream::GenerateOnOffTrace(traffic, 8000, 7);
+    const Status status = stream::WriteTrace(trace_path, timestamps);
+    if (!status.ok()) {
+      std::cerr << "cannot write trace: " << status << "\n";
+      return 1;
+    }
+  }
+  const auto loaded = stream::ReadTrace(trace_path);
+  if (!loaded.ok()) {
+    std::cerr << "cannot read trace: " << loaded.status() << "\n";
+    return 1;
+  }
+  const stream::TraceStats stats = stream::ComputeTraceStats(loaded.value());
+  std::cout << "trace: " << stats.count << " packets over " << stats.duration
+            << "s, mean gap " << stats.mean_inter_arrival * 1e3
+            << " ms, inter-arrival CV " << stats.inter_arrival_cv
+            << " (Poisson would be 1)\n\n";
+
+  // --- 2. Two tap streams: replay the trace on tap A, Poisson on tap B. ----
+  stream::TraceArrivalProcess tap_a(loaded.value());
+  stream::PoissonArrivalProcess tap_b(1.0 / stats.mean_inter_arrival, 11);
+  auto arrivals_a = stream::GenerateArrivals(tap_a, /*stream=*/0, 8000,
+                                             /*seed=*/21, /*join_keys=*/32);
+  auto arrivals_b = stream::GenerateArrivals(tap_b, /*stream=*/1, 8000,
+                                             /*seed=*/22, /*join_keys=*/32);
+  const SimTime tau_a = stats.mean_inter_arrival;
+  const SimTime tau_b = stats.mean_inter_arrival;
+
+  // --- 3. Correlation queries: filter each tap, join on flow key within a
+  //        sliding window, project the match. ------------------------------
+  core::Dsms dsms;
+  for (int i = 0; i < 8; ++i) {
+    const double selectivity = 0.3 + 0.1 * static_cast<double>(i % 5);
+    const double window = 0.5 + 0.25 * static_cast<double>(i % 4);
+    dsms.AddQuery(query::QueryBuilder(/*stream=*/0)
+                      .Select(0.2, selectivity)
+                      .WindowJoinWith(/*stream=*/1, /*cost_ms=*/0.2,
+                                      /*match_probability=*/0.3, window,
+                                      /*mean_inter_arrival=*/tau_b)
+                      .Select(0.2, selectivity)
+                      .Common()
+                      .Project(0.2)
+                      .LeftMeanInterArrival(tau_a)
+                      .CostClass(i % 3)
+                      .ClassSelectivity(selectivity)
+                      .Build());
+  }
+  dsms.SetArrivals(stream::MergeArrivalTables(
+      {std::move(arrivals_a), std::move(arrivals_b)}));
+
+  // --- 4. Compare policies on the l2 norm of slowdowns (Figure 12). --------
+  Table table({"policy", "composites", "avg slowdown", "max slowdown",
+               "l2 norm"});
+  for (sched::PolicyKind kind :
+       {sched::PolicyKind::kRoundRobin, sched::PolicyKind::kFcfs,
+        sched::PolicyKind::kHnr, sched::PolicyKind::kBsd}) {
+    const core::RunResult r = dsms.Run(sched::PolicyConfig::Of(kind));
+    table.AddRow(r.policy_name,
+                 {static_cast<double>(r.counters.composites_generated),
+                  r.qos.avg_slowdown, r.qos.max_slowdown, r.qos.l2_slowdown});
+  }
+  std::cout << table.ToAscii();
+  std::cout << "\nThe selectivity-aware policies (HNR, BSD) beat RR/FCFS on "
+               "average slowdown and l2 norm; BSD additionally caps the "
+               "maximum slowdown HNR lets grow.\n";
+  std::remove(trace_path.c_str());
+  return 0;
+}

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Convert bench --json output into plot-ready CSV.
+
+The sweep benches emit a machine-readable line when run with --json:
+
+    JSON: [{"utilization":0.5,"policy":"RR","qos":{...}}, ...]
+
+This script extracts that array (from a file or stdin; raw JSON arrays work
+too), pivots one QoS metric into a utilization x policy grid, and writes
+CSV — one row per utilization, one column per policy — ready for any
+plotting tool.
+
+Usage:
+    build/bench/bench_fig5_avg_slowdown --json | \
+        scripts/json_to_csv.py --metric avg_slowdown > fig5.csv
+    scripts/json_to_csv.py --metric l2_slowdown --in sweep.json
+Standard library only.
+"""
+
+import argparse
+import json
+import sys
+
+
+def extract_cells(text):
+    """Returns the first sweep-cell array found in `text`."""
+    for line in text.splitlines():
+        line = line.strip()
+        if line.startswith("JSON: "):
+            return json.loads(line[len("JSON: "):])
+    # Fall back to treating the whole input as JSON.
+    data = json.loads(text)
+    if not isinstance(data, list):
+        raise ValueError("expected a JSON array of sweep cells")
+    return data
+
+
+def pivot(cells, metric):
+    """Pivots cells into (policies, {utilization: {policy: value}})."""
+    policies = []
+    grid = {}
+    for cell in cells:
+        policy = cell["policy"]
+        if policy not in policies:
+            policies.append(policy)
+        value = cell["qos"].get(metric)
+        if value is None:
+            raise KeyError(
+                f"metric '{metric}' not in qos; available: "
+                f"{sorted(cell['qos'])}")
+        grid.setdefault(cell["utilization"], {})[policy] = value
+    return policies, grid
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--metric", default="avg_slowdown",
+                        help="qos field to pivot (default: avg_slowdown)")
+    parser.add_argument("--in", dest="input", default="-",
+                        help="input file ('-' = stdin)")
+    args = parser.parse_args()
+
+    text = (sys.stdin.read() if args.input == "-"
+            else open(args.input, encoding="utf-8").read())
+    cells = extract_cells(text)
+    policies, grid = pivot(cells, args.metric)
+
+    print(",".join(["utilization"] + policies))
+    for utilization in sorted(grid):
+        row = [str(utilization)]
+        for policy in policies:
+            value = grid[utilization].get(policy, "")
+            row.append(repr(value) if value != "" else "")
+        print(",".join(row))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,91 @@
+// Lightweight assertion macros for programmer errors.
+//
+// Following the project convention (no exceptions), violated invariants abort
+// the process with a source location and a streamed message:
+//
+//   AQSIOS_CHECK(n >= 0) << "negative count: " << n;
+//   AQSIOS_CHECK_GT(cost, 0.0);
+//
+// AQSIOS_DCHECK* variants compile to no-ops in NDEBUG builds.
+
+#ifndef AQSIOS_COMMON_CHECK_H_
+#define AQSIOS_COMMON_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace aqsios {
+namespace internal_check {
+
+// Accumulates the streamed failure message and aborts on destruction.
+class CheckFailureStream {
+ public:
+  CheckFailureStream(const char* condition, const char* file, int line) {
+    stream_ << "AQSIOS_CHECK failed: " << condition << " at " << file << ":"
+            << line << " ";
+  }
+
+  CheckFailureStream(const CheckFailureStream&) = delete;
+  CheckFailureStream& operator=(const CheckFailureStream&) = delete;
+
+  ~CheckFailureStream() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  template <typename T>
+  CheckFailureStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+// Lets the macro's false branch swallow the streamed expression while the
+// whole conditional stays of type void. operator& binds looser than <<, so
+// `AQSIOS_CHECK(x) << a << b` streams into the failure message.
+struct Voidifier {
+  void operator&(CheckFailureStream&) {}
+  void operator&(CheckFailureStream&&) {}
+};
+
+}  // namespace internal_check
+}  // namespace aqsios
+
+#define AQSIOS_CHECK(condition)                               \
+  (condition) ? static_cast<void>(0)                          \
+              : ::aqsios::internal_check::Voidifier() &       \
+                    ::aqsios::internal_check::CheckFailureStream( \
+                        #condition, __FILE__, __LINE__)
+
+#define AQSIOS_CHECK_OP(op, a, b) AQSIOS_CHECK((a)op(b))
+#define AQSIOS_CHECK_EQ(a, b) AQSIOS_CHECK_OP(==, a, b)
+#define AQSIOS_CHECK_NE(a, b) AQSIOS_CHECK_OP(!=, a, b)
+#define AQSIOS_CHECK_LT(a, b) AQSIOS_CHECK_OP(<, a, b)
+#define AQSIOS_CHECK_LE(a, b) AQSIOS_CHECK_OP(<=, a, b)
+#define AQSIOS_CHECK_GT(a, b) AQSIOS_CHECK_OP(>, a, b)
+#define AQSIOS_CHECK_GE(a, b) AQSIOS_CHECK_OP(>=, a, b)
+
+#ifdef NDEBUG
+// Short-circuited so the condition is compiled (names stay checked) but
+// never evaluated, and trailing streamed messages are swallowed.
+#define AQSIOS_DCHECK(condition) AQSIOS_CHECK(true || (condition))
+#define AQSIOS_DCHECK_EQ(a, b) AQSIOS_DCHECK((a) == (b))
+#define AQSIOS_DCHECK_GT(a, b) AQSIOS_DCHECK((a) > (b))
+#define AQSIOS_DCHECK_GE(a, b) AQSIOS_DCHECK((a) >= (b))
+#define AQSIOS_DCHECK_LT(a, b) AQSIOS_DCHECK((a) < (b))
+#define AQSIOS_DCHECK_LE(a, b) AQSIOS_DCHECK((a) <= (b))
+#else
+#define AQSIOS_DCHECK(condition) AQSIOS_CHECK(condition)
+#define AQSIOS_DCHECK_EQ(a, b) AQSIOS_CHECK_EQ(a, b)
+#define AQSIOS_DCHECK_GT(a, b) AQSIOS_CHECK_GT(a, b)
+#define AQSIOS_DCHECK_GE(a, b) AQSIOS_CHECK_GE(a, b)
+#define AQSIOS_DCHECK_LT(a, b) AQSIOS_CHECK_LT(a, b)
+#define AQSIOS_DCHECK_LE(a, b) AQSIOS_CHECK_LE(a, b)
+#endif
+
+#endif  // AQSIOS_COMMON_CHECK_H_

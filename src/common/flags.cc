@@ -1,0 +1,190 @@
+#include "common/flags.h"
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace aqsios {
+namespace {
+
+bool ParseBoolText(const std::string& text, bool* out) {
+  if (text == "true" || text == "1" || text == "yes" || text == "on") {
+    *out = true;
+    return true;
+  }
+  if (text == "false" || text == "0" || text == "no" || text == "off") {
+    *out = false;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+FlagSet::FlagSet(std::string program_name)
+    : program_name_(std::move(program_name)) {}
+
+void FlagSet::AddInt(const std::string& name, int64_t* target,
+                     const std::string& help) {
+  AQSIOS_CHECK(Find(name) == nullptr) << "duplicate flag --" << name;
+  flags_.push_back(Flag{name, Kind::kInt64, target, help});
+}
+
+void FlagSet::AddInt(const std::string& name, int* target,
+                     const std::string& help) {
+  AQSIOS_CHECK(Find(name) == nullptr) << "duplicate flag --" << name;
+  flags_.push_back(Flag{name, Kind::kInt, target, help});
+}
+
+void FlagSet::AddDouble(const std::string& name, double* target,
+                        const std::string& help) {
+  AQSIOS_CHECK(Find(name) == nullptr) << "duplicate flag --" << name;
+  flags_.push_back(Flag{name, Kind::kDouble, target, help});
+}
+
+void FlagSet::AddBool(const std::string& name, bool* target,
+                      const std::string& help) {
+  AQSIOS_CHECK(Find(name) == nullptr) << "duplicate flag --" << name;
+  flags_.push_back(Flag{name, Kind::kBool, target, help});
+}
+
+void FlagSet::AddString(const std::string& name, std::string* target,
+                        const std::string& help) {
+  AQSIOS_CHECK(Find(name) == nullptr) << "duplicate flag --" << name;
+  flags_.push_back(Flag{name, Kind::kString, target, help});
+}
+
+const FlagSet::Flag* FlagSet::Find(const std::string& name) const {
+  for (const Flag& flag : flags_) {
+    if (flag.name == name) return &flag;
+  }
+  return nullptr;
+}
+
+Status FlagSet::SetValue(const Flag& flag, const std::string& text) {
+  std::istringstream in(text);
+  switch (flag.kind) {
+    case Kind::kInt64: {
+      int64_t value = 0;
+      if (!(in >> value)) {
+        return Status::InvalidArgument("bad integer for --" + flag.name +
+                                       ": " + text);
+      }
+      *static_cast<int64_t*>(flag.target) = value;
+      return Status::Ok();
+    }
+    case Kind::kInt: {
+      int value = 0;
+      if (!(in >> value)) {
+        return Status::InvalidArgument("bad integer for --" + flag.name +
+                                       ": " + text);
+      }
+      *static_cast<int*>(flag.target) = value;
+      return Status::Ok();
+    }
+    case Kind::kDouble: {
+      double value = 0;
+      if (!(in >> value)) {
+        return Status::InvalidArgument("bad number for --" + flag.name + ": " +
+                                       text);
+      }
+      *static_cast<double*>(flag.target) = value;
+      return Status::Ok();
+    }
+    case Kind::kBool: {
+      bool value = false;
+      if (!ParseBoolText(text, &value)) {
+        return Status::InvalidArgument("bad boolean for --" + flag.name +
+                                       ": " + text);
+      }
+      *static_cast<bool*>(flag.target) = value;
+      return Status::Ok();
+    }
+    case Kind::kString: {
+      *static_cast<std::string*>(flag.target) = text;
+      return Status::Ok();
+    }
+  }
+  return Status::Internal("unreachable flag kind");
+}
+
+Status FlagSet::Parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    arg = arg.substr(2);
+    if (arg == "help") {
+      help_requested_ = true;
+      std::cout << Usage();
+      return Status::FailedPrecondition("--help requested");
+    }
+    std::string name = arg;
+    std::string value;
+    bool has_value = false;
+    const size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+      has_value = true;
+    }
+    const Flag* flag = Find(name);
+    // Support --noflag for booleans.
+    if (flag == nullptr && name.rfind("no", 0) == 0) {
+      const Flag* negated = Find(name.substr(2));
+      if (negated != nullptr && negated->kind == Kind::kBool && !has_value) {
+        *static_cast<bool*>(negated->target) = false;
+        continue;
+      }
+    }
+    if (flag == nullptr) {
+      return Status::InvalidArgument("unknown flag --" + name);
+    }
+    if (!has_value) {
+      if (flag->kind == Kind::kBool) {
+        *static_cast<bool*>(flag->target) = true;
+        continue;
+      }
+      if (i + 1 >= argc) {
+        return Status::InvalidArgument("missing value for --" + name);
+      }
+      value = argv[++i];
+    }
+    AQSIOS_RETURN_IF_ERROR(SetValue(*flag, value));
+  }
+  return Status::Ok();
+}
+
+std::string FlagSet::Usage() const {
+  std::ostringstream os;
+  os << "usage: " << program_name_ << " [flags]\n";
+  for (const Flag& flag : flags_) {
+    os << "  --" << flag.name;
+    switch (flag.kind) {
+      case Kind::kInt64:
+        os << "=" << *static_cast<const int64_t*>(flag.target);
+        break;
+      case Kind::kInt:
+        os << "=" << *static_cast<const int*>(flag.target);
+        break;
+      case Kind::kDouble:
+        os << "=" << *static_cast<const double*>(flag.target);
+        break;
+      case Kind::kBool:
+        os << "=" << (*static_cast<const bool*>(flag.target) ? "true"
+                                                             : "false");
+        break;
+      case Kind::kString:
+        os << "=\"" << *static_cast<const std::string*>(flag.target) << "\"";
+        break;
+    }
+    os << "\n      " << flag.help << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace aqsios

@@ -1,0 +1,75 @@
+// Minimal command-line flag parsing for bench and example binaries.
+//
+// Usage:
+//   FlagSet flags("bench_fig5");
+//   int queries = 50;
+//   flags.AddInt("queries", &queries, "number of registered CQs");
+//   AQSIOS_CHECK(flags.Parse(argc, argv).ok());
+//
+// Accepted syntax: --name=value, --name value, and --flag / --noflag for
+// booleans. --help prints the registered flags and exits.
+
+#ifndef AQSIOS_COMMON_FLAGS_H_
+#define AQSIOS_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace aqsios {
+
+/// A set of named command-line flags bound to caller-owned variables.
+class FlagSet {
+ public:
+  explicit FlagSet(std::string program_name);
+
+  FlagSet(const FlagSet&) = delete;
+  FlagSet& operator=(const FlagSet&) = delete;
+
+  void AddInt(const std::string& name, int64_t* target,
+              const std::string& help);
+  void AddInt(const std::string& name, int* target, const std::string& help);
+  void AddDouble(const std::string& name, double* target,
+                 const std::string& help);
+  void AddBool(const std::string& name, bool* target, const std::string& help);
+  void AddString(const std::string& name, std::string* target,
+                 const std::string& help);
+
+  /// Parses argv. Unknown flags produce an InvalidArgument status. Positional
+  /// arguments are collected into positional(). If --help is present, prints
+  /// usage to stdout and returns a kFailedPrecondition status the caller may
+  /// treat as "exit 0".
+  Status Parse(int argc, const char* const* argv);
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Renders the registered flags with their current (default) values.
+  std::string Usage() const;
+
+  /// True when Parse() saw --help.
+  bool help_requested() const { return help_requested_; }
+
+ private:
+  enum class Kind { kInt64, kInt, kDouble, kBool, kString };
+
+  struct Flag {
+    std::string name;
+    Kind kind;
+    void* target;
+    std::string help;
+  };
+
+  const Flag* Find(const std::string& name) const;
+  Status SetValue(const Flag& flag, const std::string& text);
+
+  std::string program_name_;
+  std::vector<Flag> flags_;
+  std::vector<std::string> positional_;
+  bool help_requested_ = false;
+};
+
+}  // namespace aqsios
+
+#endif  // AQSIOS_COMMON_FLAGS_H_

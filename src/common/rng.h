@@ -1,0 +1,96 @@
+// Deterministic random number generation.
+//
+// All stochastic components of the simulator draw from an explicitly seeded
+// Rng so every experiment is reproducible bit-for-bit. Hash-based "frozen
+// randomness" (FrozenUniform) is used where an outcome must be a pure
+// function of identifiers — e.g. whether tuple i passes operator j of query k
+// must not depend on the order in which scheduling policies process tuples.
+
+#ifndef AQSIOS_COMMON_RNG_H_
+#define AQSIOS_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+
+#include "common/check.h"
+
+namespace aqsios {
+
+/// Seedable pseudo-random generator with the distributions the simulator
+/// needs. Not thread-safe; each component owns its own instance.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform real in [lo, hi).
+  double Uniform(double lo, double hi) {
+    AQSIOS_DCHECK_LE(lo, hi);
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    AQSIOS_DCHECK_LE(lo, hi);
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+
+  /// Exponential variate with the given rate (mean 1/rate).
+  double Exponential(double rate) {
+    AQSIOS_DCHECK_GT(rate, 0.0);
+    return std::exponential_distribution<double>(rate)(engine_);
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool Bernoulli(double p) {
+    AQSIOS_DCHECK_GE(p, 0.0);
+    AQSIOS_DCHECK_LE(p, 1.0);
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Raw 64-bit draw.
+  uint64_t NextUint64() { return engine_(); }
+
+  /// Derives an independent child seed; used to split one experiment seed
+  /// into per-component seeds.
+  uint64_t Fork() { return engine_(); }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+/// SplitMix64 finalizer; good avalanche for hash-based frozen randomness.
+constexpr uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Combines identifiers into one hash key.
+constexpr uint64_t MixKeys(uint64_t a, uint64_t b) {
+  return Mix64(a ^ Mix64(b + 0x517cc1b727220a95ULL));
+}
+
+constexpr uint64_t MixKeys(uint64_t a, uint64_t b, uint64_t c) {
+  return MixKeys(MixKeys(a, b), c);
+}
+
+constexpr uint64_t MixKeys(uint64_t a, uint64_t b, uint64_t c, uint64_t d) {
+  return MixKeys(MixKeys(a, b, c), d);
+}
+
+/// Deterministic uniform in [0, 1) as a pure function of the key. Two calls
+/// with the same key always return the same value, regardless of call order.
+inline double FrozenUniform(uint64_t key) {
+  // 53 mantissa bits of the mixed key.
+  return static_cast<double>(Mix64(key) >> 11) * 0x1.0p-53;
+}
+
+/// Deterministic Bernoulli(p) as a pure function of the key.
+inline bool FrozenBernoulli(uint64_t key, double p) {
+  return FrozenUniform(key) < p;
+}
+
+}  // namespace aqsios
+
+#endif  // AQSIOS_COMMON_RNG_H_

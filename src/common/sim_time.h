@@ -1,0 +1,26 @@
+// Virtual-time conventions used throughout the simulator.
+//
+// Simulated time is a double measured in seconds. The paper specifies
+// operator costs in milliseconds; conversions live here so the unit boundary
+// is explicit at every call site.
+
+#ifndef AQSIOS_COMMON_SIM_TIME_H_
+#define AQSIOS_COMMON_SIM_TIME_H_
+
+namespace aqsios {
+
+/// Simulated time (or duration) in seconds.
+using SimTime = double;
+
+/// Converts milliseconds (paper's cost unit) into SimTime seconds.
+constexpr SimTime MillisToSimTime(double millis) { return millis * 1e-3; }
+
+/// Converts SimTime seconds into milliseconds for reporting.
+constexpr double SimTimeToMillis(SimTime t) { return t * 1e3; }
+
+/// Converts microseconds into SimTime seconds.
+constexpr SimTime MicrosToSimTime(double micros) { return micros * 1e-6; }
+
+}  // namespace aqsios
+
+#endif  // AQSIOS_COMMON_SIM_TIME_H_

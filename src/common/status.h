@@ -1,0 +1,136 @@
+// Minimal Status / StatusOr implementation for recoverable errors.
+//
+// Programmer errors are handled with AQSIOS_CHECK (common/check.h); Status is
+// reserved for conditions a caller can reasonably recover from, such as
+// missing trace files or malformed configuration.
+
+#ifndef AQSIOS_COMMON_STATUS_H_
+#define AQSIOS_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "common/check.h"
+
+namespace aqsios {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kInternal,
+  kIoError,
+};
+
+/// Returns a human-readable name for `code` ("OK", "INVALID_ARGUMENT", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// Result of an operation that can fail without it being a programming error.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string message) {
+    return Status(StatusCode::kInvalidArgument, std::move(message));
+  }
+  static Status NotFound(std::string message) {
+    return Status(StatusCode::kNotFound, std::move(message));
+  }
+  static Status OutOfRange(std::string message) {
+    return Status(StatusCode::kOutOfRange, std::move(message));
+  }
+  static Status FailedPrecondition(std::string message) {
+    return Status(StatusCode::kFailedPrecondition, std::move(message));
+  }
+  static Status Internal(std::string message) {
+    return Status(StatusCode::kInternal, std::move(message));
+  }
+  static Status IoError(std::string message) {
+    return Status(StatusCode::kIoError, std::move(message));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Formats as "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& status) {
+  return os << status.ToString();
+}
+
+/// Holds either a value of type T or an error Status.
+template <typename T>
+class StatusOr {
+ public:
+  // Implicit construction from both arms keeps call sites readable
+  // (`return Status::NotFound(...)` / `return value`), mirroring absl.
+  StatusOr(Status status)  // NOLINT(google-explicit-constructor)
+      : payload_(std::move(status)) {
+    AQSIOS_CHECK(!std::get<Status>(payload_).ok())
+        << "StatusOr constructed from OK status without a value";
+  }
+  StatusOr(T value)  // NOLINT(google-explicit-constructor)
+      : payload_(std::move(value)) {}
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  Status status() const {
+    if (ok()) return Status::Ok();
+    return std::get<Status>(payload_);
+  }
+
+  const T& value() const& {
+    AQSIOS_CHECK(ok()) << "value() on error StatusOr: " << status();
+    return std::get<T>(payload_);
+  }
+  T& value() & {
+    AQSIOS_CHECK(ok()) << "value() on error StatusOr: " << status();
+    return std::get<T>(payload_);
+  }
+  T&& value() && {
+    AQSIOS_CHECK(ok()) << "value() on error StatusOr: " << status();
+    return std::get<T>(std::move(payload_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<Status, T> payload_;
+};
+
+}  // namespace aqsios
+
+/// Propagates a non-OK status to the caller.
+#define AQSIOS_RETURN_IF_ERROR(expr)            \
+  do {                                          \
+    ::aqsios::Status status_macro_tmp = (expr); \
+    if (!status_macro_tmp.ok()) {               \
+      return status_macro_tmp;                  \
+    }                                           \
+  } while (false)
+
+#endif  // AQSIOS_COMMON_STATUS_H_

@@ -1,0 +1,94 @@
+// Public facade of the aqsios-sched library.
+//
+// Two entry points:
+//  * Simulate(workload, policy)   — run a generated §8 testbed workload under
+//                                   a scheduling policy and return its QoS;
+//  * Dsms                         — incremental API for applications:
+//                                   register continuous queries, feed
+//                                   arrivals, pick a policy, run.
+
+#ifndef AQSIOS_CORE_DSMS_H_
+#define AQSIOS_CORE_DSMS_H_
+
+#include <string>
+#include <vector>
+
+#include "exec/engine.h"
+#include "metrics/qos.h"
+#include "query/workload.h"
+#include "sched/policy.h"
+
+namespace aqsios::core {
+
+struct SimulationOptions {
+  exec::SchedulingLevel level = exec::SchedulingLevel::kQueryLevel;
+  sched::SharingStrategy sharing_strategy = sched::SharingStrategy::kPdt;
+  /// Charge scheduling overhead to the virtual clock, one cheapest-operator
+  /// cost per priority computation/comparison (§9.2, Figures 13–14).
+  bool charge_scheduling_overhead = false;
+  /// Run-time statistics monitoring and priority adaptation (§10's dynamic
+  /// environment support). Query-level scheduling only.
+  exec::AdaptationConfig adaptation;
+  metrics::QosCollector::Options qos;
+};
+
+struct RunResult {
+  std::string policy_name;
+  metrics::QosSnapshot qos;
+  exec::RunCounters counters;
+};
+
+/// The sharing objective matching a policy (BSD policies maximize Φ-based
+/// aggregates; everything else uses the HNR objective).
+sched::SharingObjective ObjectiveForPolicy(sched::PolicyKind kind);
+
+/// Runs `workload` under `policy` and returns QoS metrics plus counters.
+RunResult Simulate(const query::Workload& workload,
+                   const sched::PolicyConfig& policy,
+                   const SimulationOptions& options = {});
+
+/// Lower-level variant for callers that assembled plan and arrivals
+/// themselves.
+RunResult SimulatePlan(const query::GlobalPlan& plan,
+                       const stream::ArrivalTable& arrivals,
+                       const sched::PolicyConfig& policy,
+                       const SimulationOptions& options = {});
+
+/// Incremental DSMS facade.
+///
+///   Dsms dsms;
+///   auto google = dsms.AddQuery(spec_google);
+///   dsms.SetArrivals(std::move(table));
+///   RunResult r = dsms.Run(sched::PolicyConfig::Of(sched::PolicyKind::kHnr));
+class Dsms {
+ public:
+  explicit Dsms(
+      query::SelectivityMode mode = query::SelectivityMode::kIndependent);
+
+  /// Registers a continuous query; QuerySpec::id is assigned by the DSMS.
+  /// Returns the assigned id.
+  query::QueryId AddQuery(query::QuerySpec spec);
+
+  /// Declares that the given (already registered, single-stream) queries
+  /// share their identical leaf operator.
+  void AddSharingGroup(std::vector<query::QueryId> members);
+
+  /// Sets the input arrivals (all streams merged, time-ordered).
+  void SetArrivals(stream::ArrivalTable arrivals);
+
+  int num_queries() const { return static_cast<int>(specs_.size()); }
+
+  /// Compiles the registered queries and runs the simulation.
+  RunResult Run(const sched::PolicyConfig& policy,
+                const SimulationOptions& options = {}) const;
+
+ private:
+  query::SelectivityMode mode_;
+  std::vector<query::QuerySpec> specs_;
+  std::vector<query::SharingGroup> groups_;
+  stream::ArrivalTable arrivals_;
+};
+
+}  // namespace aqsios::core
+
+#endif  // AQSIOS_CORE_DSMS_H_

@@ -1,0 +1,110 @@
+#include "core/experiment.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace aqsios::core {
+
+const char* MetricName(Metric metric) {
+  switch (metric) {
+    case Metric::kAvgSlowdown:
+      return "avg_slowdown";
+    case Metric::kAvgResponseMs:
+      return "avg_response_ms";
+    case Metric::kMaxSlowdown:
+      return "max_slowdown";
+    case Metric::kL2Slowdown:
+      return "l2_slowdown";
+    case Metric::kRmsSlowdown:
+      return "rms_slowdown";
+    case Metric::kJainFairness:
+      return "jain_fairness";
+    case Metric::kPeakQueuedTuples:
+      return "peak_queued_tuples";
+    case Metric::kAvgQueuedTuples:
+      return "avg_queued_tuples";
+  }
+  return "unknown";
+}
+
+double GetMetric(const RunResult& result, Metric metric) {
+  switch (metric) {
+    case Metric::kAvgSlowdown:
+      return result.qos.avg_slowdown;
+    case Metric::kAvgResponseMs:
+      return SimTimeToMillis(result.qos.avg_response);
+    case Metric::kMaxSlowdown:
+      return result.qos.max_slowdown;
+    case Metric::kL2Slowdown:
+      return result.qos.l2_slowdown;
+    case Metric::kRmsSlowdown:
+      return result.qos.rms_slowdown;
+    case Metric::kJainFairness:
+      return result.qos.JainFairnessIndex();
+    case Metric::kPeakQueuedTuples:
+      return static_cast<double>(result.counters.peak_queued_tuples);
+    case Metric::kAvgQueuedTuples:
+      return result.counters.avg_queued_tuples;
+  }
+  AQSIOS_CHECK(false) << "unknown metric";
+  return 0.0;
+}
+
+std::vector<SweepCell> RunSweep(const SweepConfig& config) {
+  AQSIOS_CHECK(!config.utilizations.empty());
+  AQSIOS_CHECK(!config.policies.empty());
+  std::vector<SweepCell> cells;
+  cells.reserve(config.utilizations.size() * config.policies.size());
+  for (double utilization : config.utilizations) {
+    query::WorkloadConfig workload_config = config.workload;
+    workload_config.utilization = utilization;
+    const query::Workload workload = query::GenerateWorkload(workload_config);
+    for (const sched::PolicyConfig& policy : config.policies) {
+      SweepCell cell;
+      cell.utilization = utilization;
+      cell.result = Simulate(workload, policy, config.options);
+      cell.policy = cell.result.policy_name;
+      cells.push_back(std::move(cell));
+    }
+  }
+  return cells;
+}
+
+Table SweepTable(const std::vector<SweepCell>& cells, Metric metric,
+                 int precision) {
+  // Preserve first-seen order of policies and utilizations.
+  std::vector<std::string> policies;
+  std::vector<double> utilizations;
+  for (const SweepCell& cell : cells) {
+    if (std::find(policies.begin(), policies.end(), cell.policy) ==
+        policies.end()) {
+      policies.push_back(cell.policy);
+    }
+    if (std::find(utilizations.begin(), utilizations.end(),
+                  cell.utilization) == utilizations.end()) {
+      utilizations.push_back(cell.utilization);
+    }
+  }
+
+  std::vector<std::string> header = {std::string("util\\") +
+                                     MetricName(metric)};
+  header.insert(header.end(), policies.begin(), policies.end());
+  Table table(header);
+
+  for (double utilization : utilizations) {
+    std::vector<double> row_values;
+    for (const std::string& policy : policies) {
+      for (const SweepCell& cell : cells) {
+        if (cell.utilization == utilization && cell.policy == policy) {
+          row_values.push_back(GetMetric(cell.result, metric));
+          break;
+        }
+      }
+    }
+    table.AddRow(FormatDouble(utilization, 3), row_values, precision);
+  }
+  return table;
+}
+
+}  // namespace aqsios::core

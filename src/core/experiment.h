@@ -1,0 +1,61 @@
+// Experiment sweep harness: run (policy × utilization) grids and render the
+// series the paper's figures report.
+
+#ifndef AQSIOS_CORE_EXPERIMENT_H_
+#define AQSIOS_CORE_EXPERIMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "core/dsms.h"
+#include "query/workload.h"
+
+namespace aqsios::core {
+
+/// The QoS metric a figure plots.
+enum class Metric {
+  kAvgSlowdown,
+  kAvgResponseMs,
+  kMaxSlowdown,
+  kL2Slowdown,
+  kRmsSlowdown,
+  /// Jain fairness over per-query mean slowdowns (needs
+  /// qos.track_per_query).
+  kJainFairness,
+  /// Run-time memory: peak / time-averaged queued tuples.
+  kPeakQueuedTuples,
+  kAvgQueuedTuples,
+};
+
+const char* MetricName(Metric metric);
+double GetMetric(const RunResult& result, Metric metric);
+
+struct SweepConfig {
+  /// Base workload; `utilization` is overridden per sweep point. The same
+  /// seed is reused at every point so all policies and loads see identical
+  /// query populations and arrival patterns.
+  query::WorkloadConfig workload;
+  std::vector<double> utilizations;
+  std::vector<sched::PolicyConfig> policies;
+  SimulationOptions options;
+};
+
+struct SweepCell {
+  double utilization = 0.0;
+  std::string policy;
+  RunResult result;
+};
+
+/// Runs every (utilization, policy) combination. Workload generation is
+/// shared across policies of the same utilization.
+std::vector<SweepCell> RunSweep(const SweepConfig& config);
+
+/// Renders one metric as a table: one row per utilization, one column per
+/// policy (figure-series layout).
+Table SweepTable(const std::vector<SweepCell>& cells, Metric metric,
+                 int precision = 4);
+
+}  // namespace aqsios::core
+
+#endif  // AQSIOS_CORE_EXPERIMENT_H_

@@ -1,0 +1,227 @@
+#include "core/report.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace aqsios::core {
+
+std::string JsonWriter::Escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::BeforeValue() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // key already emitted the separator
+  }
+  if (has_sibling_.back()) out_ += ',';
+  has_sibling_.back() = true;
+}
+
+void JsonWriter::BeginObject() {
+  BeforeValue();
+  out_ += '{';
+  has_sibling_.push_back(false);
+}
+
+void JsonWriter::EndObject() {
+  AQSIOS_CHECK_GT(has_sibling_.size(), 1u) << "unbalanced EndObject";
+  has_sibling_.pop_back();
+  out_ += '}';
+}
+
+void JsonWriter::BeginArray() {
+  BeforeValue();
+  out_ += '[';
+  has_sibling_.push_back(false);
+}
+
+void JsonWriter::EndArray() {
+  AQSIOS_CHECK_GT(has_sibling_.size(), 1u) << "unbalanced EndArray";
+  has_sibling_.pop_back();
+  out_ += ']';
+}
+
+void JsonWriter::Key(const std::string& name) {
+  if (has_sibling_.back()) out_ += ',';
+  has_sibling_.back() = true;
+  out_ += '"';
+  out_ += Escape(name);
+  out_ += "\":";
+  pending_key_ = true;
+}
+
+void JsonWriter::String(const std::string& value) {
+  BeforeValue();
+  out_ += '"';
+  out_ += Escape(value);
+  out_ += '"';
+}
+
+void JsonWriter::Number(double value) {
+  BeforeValue();
+  if (!std::isfinite(value)) {
+    out_ += "null";
+    return;
+  }
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.12g", value);
+  out_ += buffer;
+}
+
+void JsonWriter::Number(int64_t value) {
+  BeforeValue();
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%" PRId64, value);
+  out_ += buffer;
+}
+
+void JsonWriter::Bool(bool value) {
+  BeforeValue();
+  out_ += value ? "true" : "false";
+}
+
+namespace {
+
+void WriteQos(JsonWriter& json, const metrics::QosSnapshot& qos) {
+  json.BeginObject();
+  json.Key("tuples_emitted");
+  json.Number(qos.tuples_emitted);
+  json.Key("avg_response_ms");
+  json.Number(SimTimeToMillis(qos.avg_response));
+  json.Key("max_response_ms");
+  json.Number(SimTimeToMillis(qos.max_response));
+  json.Key("avg_slowdown");
+  json.Number(qos.avg_slowdown);
+  json.Key("max_slowdown");
+  json.Number(qos.max_slowdown);
+  json.Key("l2_slowdown");
+  json.Number(qos.l2_slowdown);
+  json.Key("rms_slowdown");
+  json.Number(qos.rms_slowdown);
+  json.Key("p50_slowdown");
+  json.Number(qos.p50_slowdown);
+  json.Key("p99_slowdown");
+  json.Number(qos.p99_slowdown);
+  if (!qos.per_query_slowdown.empty()) {
+    json.Key("jain_fairness");
+    json.Number(qos.JainFairnessIndex());
+  }
+  if (!qos.per_class_slowdown.empty()) {
+    json.Key("per_class_avg_slowdown");
+    json.BeginArray();
+    for (const auto& [key, stats] : qos.per_class_slowdown) {
+      json.BeginObject();
+      json.Key("cost_class");
+      json.Number(static_cast<int64_t>(key.cost_class));
+      json.Key("selectivity_decile");
+      json.Number(static_cast<int64_t>(key.selectivity_decile));
+      json.Key("count");
+      json.Number(stats.count());
+      json.Key("mean");
+      json.Number(stats.Mean());
+      json.EndObject();
+    }
+    json.EndArray();
+  }
+  json.EndObject();
+}
+
+void WriteCounters(JsonWriter& json, const exec::RunCounters& counters) {
+  json.BeginObject();
+  json.Key("scheduling_points");
+  json.Number(counters.scheduling_points);
+  json.Key("unit_executions");
+  json.Number(counters.unit_executions);
+  json.Key("operator_invocations");
+  json.Number(counters.operator_invocations);
+  json.Key("tuples_emitted");
+  json.Number(counters.tuples_emitted);
+  json.Key("tuples_filtered");
+  json.Number(counters.tuples_filtered);
+  json.Key("composites_generated");
+  json.Number(counters.composites_generated);
+  json.Key("overhead_operations");
+  json.Number(counters.overhead_operations);
+  json.Key("adaptation_ticks");
+  json.Number(counters.adaptation_ticks);
+  json.Key("busy_seconds");
+  json.Number(counters.busy_time);
+  json.Key("overhead_seconds");
+  json.Number(counters.overhead_time);
+  json.Key("end_seconds");
+  json.Number(counters.end_time);
+  json.Key("measured_utilization");
+  json.Number(counters.MeasuredUtilization());
+  json.Key("peak_queued_tuples");
+  json.Number(counters.peak_queued_tuples);
+  json.Key("avg_queued_tuples");
+  json.Number(counters.avg_queued_tuples);
+  json.EndObject();
+}
+
+}  // namespace
+
+std::string RunResultToJson(const RunResult& result) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("policy");
+  json.String(result.policy_name);
+  json.Key("qos");
+  WriteQos(json, result.qos);
+  json.Key("counters");
+  WriteCounters(json, result.counters);
+  json.EndObject();
+  return json.str();
+}
+
+std::string SweepToJson(const std::vector<SweepCell>& cells) {
+  JsonWriter json;
+  json.BeginArray();
+  for (const SweepCell& cell : cells) {
+    json.BeginObject();
+    json.Key("utilization");
+    json.Number(cell.utilization);
+    json.Key("policy");
+    json.String(cell.policy);
+    json.Key("qos");
+    WriteQos(json, cell.result.qos);
+    json.EndObject();
+  }
+  json.EndArray();
+  return json.str();
+}
+
+}  // namespace aqsios::core

@@ -1,0 +1,478 @@
+#include "exec/engine.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace aqsios::exec {
+namespace {
+
+// Salts for frozen (order-independent) randomness; keep filter, shared-op,
+// and join-pair draws in disjoint key spaces.
+constexpr uint64_t kFilterSalt = 0xf117e500;
+constexpr uint64_t kSharedOpSalt = 0x54a6ed00;
+constexpr uint64_t kJoinPairSalt = 0x301d9a00;
+
+// Operator ordinal offsets distinguishing the segments of a multi-stream
+// plan: side segment of join input j starts at j·kSideOrdinalStride; the
+// common segment at kCommonOrdinalBase.
+constexpr int kSideOrdinalStride = 1000;
+constexpr int kCommonOrdinalBase = 1000000;
+
+}  // namespace
+
+std::string RunCounters::ToString() const {
+  std::ostringstream os;
+  os << "points=" << scheduling_points << " executions=" << unit_executions
+     << " ops=" << operator_invocations << " emitted=" << tuples_emitted
+     << " filtered=" << tuples_filtered
+     << " composites=" << composites_generated
+     << " busy=" << busy_time << "s overhead=" << overhead_time
+     << "s end=" << end_time << "s util=" << MeasuredUtilization()
+     << " peak_queue=" << peak_queued_tuples
+     << " avg_queue=" << avg_queued_tuples;
+  return os.str();
+}
+
+Engine::Engine(const query::GlobalPlan* plan,
+               const stream::ArrivalTable* arrivals,
+               const EngineConfig& config, sched::Scheduler* scheduler,
+               metrics::QosCollector* collector)
+    : plan_(plan),
+      arrivals_(arrivals),
+      config_(config),
+      scheduler_(scheduler),
+      collector_(collector) {
+  AQSIOS_CHECK(plan != nullptr);
+  AQSIOS_CHECK(arrivals != nullptr);
+  AQSIOS_CHECK(scheduler != nullptr);
+
+  UnitBuilderOptions builder_options;
+  builder_options.level = config.level;
+  builder_options.sharing_strategy = config.sharing_strategy;
+  builder_options.sharing_objective = config.sharing_objective;
+  built_ = BuildUnits(*plan, builder_options);
+
+  leaf_units_of_stream_.resize(static_cast<size_t>(plan->num_streams()));
+  for (const sched::Unit& unit : built_.units) {
+    if (unit.input_stream >= 0) {
+      AQSIOS_CHECK_LT(unit.input_stream, plan->num_streams());
+      leaf_units_of_stream_[static_cast<size_t>(unit.input_stream)].push_back(
+          unit.id);
+    }
+  }
+
+  join_state_.resize(static_cast<size_t>(plan->num_queries()));
+  for (const query::CompiledQuery& q : plan->queries()) {
+    if (!q.is_multi_stream()) continue;
+    auto& states = join_state_[static_cast<size_t>(q.id())];
+    for (int stage = 0; stage < q.num_join_stages(); ++stage) {
+      const query::OperatorSpec& join = q.StageJoin(stage);
+      if (join.is_row_window()) {
+        states.push_back(std::make_unique<SymmetricHashJoinState>(
+            SymmetricHashJoinState::RowWindow(join.window_rows)));
+        continue;
+      }
+      // Stage 0 sees monotone timestamps on both sides; later stages are
+      // fed composites whose timestamps are not monotone, so they run
+      // without the ordered-mode eviction optimizations.
+      states.push_back(std::make_unique<SymmetricHashJoinState>(
+          join.window_seconds, /*ordered=*/stage == 0));
+    }
+  }
+
+  scheduler_->Attach(&built_.units);
+
+  if (config.adaptation.enabled) {
+    AQSIOS_CHECK(config.level == SchedulingLevel::kQueryLevel)
+        << "statistics adaptation requires query-level scheduling (root "
+           "emissions per execution estimate the segment selectivity)";
+    stats_monitor_ = std::make_unique<StatsMonitor>(
+        config.adaptation, &built_.units, scheduler_);
+  }
+}
+
+void Engine::Charge(SimTime cost) {
+  now_ += cost;
+  counters_.busy_time += cost;
+  ++counters_.operator_invocations;
+  if (stats_monitor_ != nullptr) stats_monitor_->AddBusyTime(cost);
+}
+
+bool Engine::Passes(const query::OperatorSpec& op,
+                    const stream::Arrival& arrival, query::QueryId q,
+                    int op_ordinal) const {
+  // Execution uses the operator's *actual* selectivity; the priorities were
+  // computed from the assumed one (they differ under statistics drift).
+  const double selectivity = op.EffectiveActualSelectivity();
+  if (selectivity >= 1.0) return true;
+  if (plan_->query(q).selectivity_mode() ==
+      query::SelectivityMode::kCorrelatedAttribute) {
+    // The paper's testbed realizes selectivity s as a predicate
+    // "attribute <= s·100" over the synthetic uniform (0,100] attribute.
+    return arrival.attribute <= selectivity * 100.0;
+  }
+  const uint64_t key =
+      MixKeys(kFilterSalt, static_cast<uint64_t>(arrival.id),
+              static_cast<uint64_t>(q), static_cast<uint64_t>(op_ordinal));
+  return FrozenBernoulli(key, selectivity);
+}
+
+bool Engine::SharedOpPasses(const query::OperatorSpec& op,
+                            const stream::Arrival& arrival, int group) const {
+  const double selectivity = op.EffectiveActualSelectivity();
+  if (selectivity >= 1.0) return true;
+  const query::SelectivityMode mode =
+      plan_->query(plan_->sharing_groups()[static_cast<size_t>(group)]
+                       .members.front())
+          .selectivity_mode();
+  if (mode == query::SelectivityMode::kCorrelatedAttribute) {
+    return arrival.attribute <= selectivity * 100.0;
+  }
+  const uint64_t key = MixKeys(kSharedOpSalt,
+                               static_cast<uint64_t>(arrival.id),
+                               static_cast<uint64_t>(group));
+  return FrozenBernoulli(key, selectivity);
+}
+
+bool Engine::RunChainOps(const query::CompiledQuery& q,
+                         const stream::Arrival& arrival, int from) {
+  const std::vector<query::OperatorSpec>& ops = q.spec().left_ops;
+  for (int x = from; x < static_cast<int>(ops.size()); ++x) {
+    const query::OperatorSpec& op = ops[static_cast<size_t>(x)];
+    Charge(op.cost());
+    if (!Passes(op, arrival, q.id(), x)) {
+      ++counters_.tuples_filtered;
+      return false;
+    }
+  }
+  return true;
+}
+
+void Engine::EmitSingle(const query::CompiledQuery& q, SimTime arrival_time) {
+  const SimTime response = now_ - arrival_time;
+  const double slowdown = response / q.ideal_time();
+  ++counters_.tuples_emitted;
+  if (stats_monitor_ != nullptr) stats_monitor_->AddEmission();
+  if (collector_ != nullptr) {
+    collector_->RecordOutput(q.id(), q.spec().cost_class,
+                             q.spec().class_selectivity, arrival_time,
+                             response, slowdown);
+  }
+}
+
+void Engine::ExecuteQueryChain(const sched::Unit& unit,
+                               const sched::QueueEntry& entry) {
+  const query::CompiledQuery& q = plan_->query(unit.query);
+  const stream::Arrival& arrival =
+      arrivals_->arrivals[static_cast<size_t>(entry.arrival)];
+  if (RunChainOps(q, arrival, /*from=*/0)) {
+    EmitSingle(q, entry.arrival_time);
+  }
+}
+
+void Engine::ExecuteRemainder(const sched::Unit& unit,
+                              const sched::QueueEntry& entry) {
+  const query::CompiledQuery& q = plan_->query(unit.query);
+  const stream::Arrival& arrival =
+      arrivals_->arrivals[static_cast<size_t>(entry.arrival)];
+  if (RunChainOps(q, arrival, unit.op_index)) {
+    EmitSingle(q, entry.arrival_time);
+  }
+}
+
+void Engine::ExecuteSharedGroup(const sched::Unit& unit,
+                                const sched::QueueEntry& entry) {
+  const GroupRuntime& runtime =
+      built_.groups[static_cast<size_t>(unit.group)];
+  const query::CompiledQuery& first = plan_->query(unit.query);
+  const query::OperatorSpec& shared = first.spec().left_ops.front();
+  const stream::Arrival& arrival =
+      arrivals_->arrivals[static_cast<size_t>(entry.arrival)];
+
+  // The shared operator runs once for the whole group.
+  Charge(shared.cost());
+  if (!SharedOpPasses(shared, arrival, unit.group)) {
+    ++counters_.tuples_filtered;
+    return;
+  }
+  // Members bundled with the shared operator execute now, in priority order.
+  for (query::QueryId member : runtime.executed) {
+    const query::CompiledQuery& q = plan_->query(member);
+    if (RunChainOps(q, arrival, /*from=*/1)) {
+      EmitSingle(q, entry.arrival_time);
+    }
+  }
+  // PDT-excluded remainders become separately scheduled work.
+  for (int remainder_unit : runtime.remainder_units) {
+    Enqueue(remainder_unit, entry.arrival, entry.arrival_time);
+  }
+}
+
+void Engine::ExecuteOperator(const sched::Unit& unit,
+                             const sched::QueueEntry& entry) {
+  const query::CompiledQuery& q = plan_->query(unit.query);
+  const stream::Arrival& arrival =
+      arrivals_->arrivals[static_cast<size_t>(entry.arrival)];
+  const query::OperatorSpec& op =
+      q.spec().left_ops[static_cast<size_t>(unit.op_index)];
+  Charge(op.cost());
+  if (!Passes(op, arrival, q.id(), unit.op_index)) {
+    ++counters_.tuples_filtered;
+    return;
+  }
+  if (unit.op_index + 1 == q.chain_length()) {
+    EmitSingle(q, entry.arrival_time);
+    return;
+  }
+  const int next_unit =
+      built_.op_units[static_cast<size_t>(q.id())]
+                     [static_cast<size_t>(unit.op_index + 1)];
+  Enqueue(next_unit, entry.arrival, entry.arrival_time);
+}
+
+bool Engine::PassesComposite(const query::OperatorSpec& op, uint64_t identity,
+                             query::QueryId q, int op_ordinal) const {
+  const double selectivity = op.EffectiveActualSelectivity();
+  if (selectivity >= 1.0) return true;
+  // Frozen per composite identity: deterministic and independent of the
+  // order in which policies generate the composite.
+  const uint64_t key = MixKeys(kFilterSalt, identity,
+                               static_cast<uint64_t>(q),
+                               static_cast<uint64_t>(op_ordinal));
+  return FrozenBernoulli(key, selectivity);
+}
+
+void Engine::EmitComposite(const query::CompiledQuery& q,
+                           const SymmetricHashJoinState::Entry& composite) {
+  // Slowdown excludes the dependency delay (§5.1.2):
+  //   H = 1 + (D_actual − D_ideal) / T,
+  // with D_ideal the departure of the composite in an idle system, reached
+  // via the latest-arriving (trigger) constituent's path.
+  const SimTime ideal_departure =
+      composite.arrival_time +
+      q.IdealCompositePathCost(composite.trigger_input);
+  const SimTime response = now_ - composite.arrival_time;
+  const double slowdown = 1.0 + (now_ - ideal_departure) / q.ideal_time();
+  ++counters_.tuples_emitted;
+  if (stats_monitor_ != nullptr) stats_monitor_->AddEmission();
+  if (collector_ != nullptr) {
+    collector_->RecordOutput(q.id(), q.spec().cost_class,
+                             q.spec().class_selectivity,
+                             composite.arrival_time, response, slowdown);
+  }
+}
+
+void Engine::PropagateComposite(
+    const query::CompiledQuery& q, int stage,
+    const SymmetricHashJoinState::Entry& composite, int32_t join_key) {
+  if (stage == q.num_join_stages()) {
+    // Past the last join: the common segment runs once per composite.
+    const std::vector<query::OperatorSpec>& common = q.spec().common_ops;
+    for (int x = 0; x < static_cast<int>(common.size()); ++x) {
+      const query::OperatorSpec& op = common[static_cast<size_t>(x)];
+      Charge(op.cost());
+      if (!PassesComposite(op, composite.identity, q.id(),
+                           kCommonOrdinalBase + x)) {
+        ++counters_.tuples_filtered;
+        return;
+      }
+    }
+    EmitComposite(q, composite);
+    return;
+  }
+  // Enter stage `stage` on its accumulated (left) side.
+  Charge(q.StageJoin(stage).cost());
+  JoinState(q.id(), stage).Insert(query::Side::kLeft, join_key, composite);
+  ProbeAndPropagate(q, stage, query::Side::kLeft, composite, join_key);
+}
+
+void Engine::ProbeAndPropagate(const query::CompiledQuery& q, int stage,
+                               query::Side side,
+                               const SymmetricHashJoinState::Entry& entry,
+                               int32_t join_key) {
+  const query::OperatorSpec& join = q.StageJoin(stage);
+  // The probe scratch buffer is reused across recursion levels; take a
+  // local copy of this level's candidates.
+  std::vector<SymmetricHashJoinState::Entry> candidates;
+  JoinState(q.id(), stage).Probe(side, join_key, entry.timestamp,
+                                 &candidates);
+  for (const SymmetricHashJoinState::Entry& partner : candidates) {
+    // Per-pair match draw, symmetric in the pair identities so the outcome
+    // does not depend on processing order (and hence not on the policy).
+    const uint64_t pair_hash =
+        Mix64(entry.identity) ^ Mix64(partner.identity);
+    const uint64_t key = MixKeys(kJoinPairSalt,
+                                 static_cast<uint64_t>(q.id()),
+                                 static_cast<uint64_t>(stage), pair_hash);
+    if (!FrozenBernoulli(key, join.EffectiveActualSelectivity())) continue;
+    ++counters_.composites_generated;
+
+    SymmetricHashJoinState::Entry composite;
+    composite.id = entry.id;
+    composite.identity = MixKeys(kJoinPairSalt + 1, pair_hash);
+    // Definition 5 (recursively): composite timestamps/arrivals are the max
+    // over constituents; the trigger is the latest-arriving constituent.
+    composite.timestamp = std::max(entry.timestamp, partner.timestamp);
+    composite.arrival_time =
+        std::max(entry.arrival_time, partner.arrival_time);
+    if (entry.arrival_time > partner.arrival_time) {
+      composite.trigger_input = entry.trigger_input;
+    } else if (partner.arrival_time > entry.arrival_time) {
+      composite.trigger_input = partner.trigger_input;
+    } else {
+      composite.trigger_input =
+          std::min(entry.trigger_input, partner.trigger_input);
+    }
+    PropagateComposite(q, stage + 1, composite, join_key);
+  }
+}
+
+void Engine::ExecuteJoinInput(const sched::Unit& unit,
+                              const sched::QueueEntry& entry, int input) {
+  const query::CompiledQuery& q = plan_->query(unit.query);
+  const stream::Arrival& arrival =
+      arrivals_->arrivals[static_cast<size_t>(entry.arrival)];
+  const std::vector<query::OperatorSpec>& side_ops = [&]()
+      -> const std::vector<query::OperatorSpec>& {
+    if (input == 0) return q.spec().left_ops;
+    if (input == 1) return q.spec().right_ops;
+    return q.spec().extra_stages[static_cast<size_t>(input - 2)].side_ops;
+  }();
+  const int ordinal_base = input * kSideOrdinalStride;
+
+  // Pre-join segment.
+  for (int x = 0; x < static_cast<int>(side_ops.size()); ++x) {
+    const query::OperatorSpec& op = side_ops[static_cast<size_t>(x)];
+    Charge(op.cost());
+    if (!Passes(op, arrival, q.id(), ordinal_base + x)) {
+      ++counters_.tuples_filtered;
+      return;
+    }
+  }
+
+  // Join entry: hash, insert, probe (one C_J charge per input tuple; a
+  // composite's other C_J charges accrued when its constituents and
+  // intermediates were processed — matching the generalized Definition 6).
+  const int stage = input <= 1 ? 0 : input - 1;
+  const query::Side side =
+      input == 0 ? query::Side::kLeft : query::Side::kRight;
+  Charge(q.StageJoin(stage).cost());
+  SymmetricHashJoinState::Entry self;
+  self.id = arrival.id;
+  self.timestamp = arrival.time;
+  self.arrival_time = entry.arrival_time;
+  self.identity = static_cast<uint64_t>(arrival.id);
+  self.trigger_input = input;
+  JoinState(q.id(), stage).Insert(side, arrival.join_key, self);
+  ProbeAndPropagate(q, stage, side, self, arrival.join_key);
+}
+
+void Engine::AccrueQueueOccupancy() {
+  queued_tuple_seconds_ +=
+      static_cast<double>(queued_tuples_) * (now_ - last_occupancy_time_);
+  last_occupancy_time_ = now_;
+}
+
+void Engine::Enqueue(int unit_id, stream::ArrivalId arrival,
+                     SimTime arrival_time) {
+  sched::Unit& unit = built_.units[static_cast<size_t>(unit_id)];
+  unit.queue.push_back(sched::QueueEntry{arrival, arrival_time});
+  AccrueQueueOccupancy();
+  ++queued_tuples_;
+  counters_.peak_queued_tuples =
+      std::max(counters_.peak_queued_tuples, queued_tuples_);
+  scheduler_->OnEnqueue(unit_id);
+}
+
+void Engine::DeliverArrivalsUpTo(SimTime time) {
+  while (next_arrival_ < arrivals_->size()) {
+    const stream::Arrival& arrival =
+        arrivals_->arrivals[static_cast<size_t>(next_arrival_)];
+    if (arrival.time > time) break;
+    for (int unit :
+         leaf_units_of_stream_[static_cast<size_t>(arrival.stream)]) {
+      Enqueue(unit, arrival.id, arrival.time);
+    }
+    ++next_arrival_;
+  }
+}
+
+void Engine::ExecuteUnit(int unit_id) {
+  sched::Unit& unit = built_.units[static_cast<size_t>(unit_id)];
+  AQSIOS_CHECK(unit.has_pending())
+      << "scheduler picked empty unit " << unit_id;
+  const sched::QueueEntry entry = unit.queue.front();
+  unit.queue.pop_front();
+  AccrueQueueOccupancy();
+  --queued_tuples_;
+  scheduler_->OnDequeue(unit_id);
+  ++counters_.unit_executions;
+  if (stats_monitor_ != nullptr) stats_monitor_->OnExecutionStart(unit_id);
+
+  switch (unit.kind) {
+    case sched::UnitKind::kQueryChain:
+      ExecuteQueryChain(unit, entry);
+      break;
+    case sched::UnitKind::kOperator:
+      ExecuteOperator(unit, entry);
+      break;
+    case sched::UnitKind::kSharedGroup:
+      ExecuteSharedGroup(unit, entry);
+      break;
+    case sched::UnitKind::kRemainder:
+      ExecuteRemainder(unit, entry);
+      break;
+    case sched::UnitKind::kJoinSideLeft:
+      ExecuteJoinInput(unit, entry, 0);
+      break;
+    case sched::UnitKind::kJoinSideRight:
+      ExecuteJoinInput(unit, entry, 1);
+      break;
+    case sched::UnitKind::kJoinInput:
+      ExecuteJoinInput(unit, entry, unit.op_index);
+      break;
+  }
+}
+
+RunCounters Engine::Run() {
+  AQSIOS_CHECK(!ran_) << "Engine::Run may be called once";
+  ran_ = true;
+
+  DeliverArrivalsUpTo(now_);
+  sched::SchedulingCost cost;
+  while (true) {
+    picked_.clear();
+    cost.Clear();
+    if (!scheduler_->PickNext(now_, &cost, &picked_)) {
+      if (next_arrival_ >= arrivals_->size()) break;  // drained
+      now_ = std::max(
+          now_,
+          arrivals_->arrivals[static_cast<size_t>(next_arrival_)].time);
+      DeliverArrivalsUpTo(now_);
+      continue;
+    }
+    ++counters_.scheduling_points;
+    counters_.overhead_operations += cost.total();
+    if (config_.overhead_op_cost > 0.0 && cost.total() > 0) {
+      const SimTime overhead =
+          static_cast<double>(cost.total()) * config_.overhead_op_cost;
+      now_ += overhead;
+      counters_.overhead_time += overhead;
+    }
+    for (int unit : picked_) ExecuteUnit(unit);
+    if (stats_monitor_ != nullptr && stats_monitor_->MaybeAdapt(now_)) {
+      ++counters_.adaptation_ticks;
+    }
+    DeliverArrivalsUpTo(now_);
+  }
+  AccrueQueueOccupancy();
+  counters_.end_time = now_;
+  counters_.avg_queued_tuples =
+      now_ > 0.0 ? queued_tuple_seconds_ / now_ : 0.0;
+  return counters_;
+}
+
+}  // namespace aqsios::exec

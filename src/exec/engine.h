@@ -1,0 +1,185 @@
+// The discrete-event DSMS execution engine.
+//
+// The engine simulates a single-CPU stream processor on a virtual clock:
+// arrivals from the arrival table are fanned out to the leaf queues of the
+// schedulable units; at each scheduling point the attached Scheduler chooses
+// a unit (or a cluster of units, §6.2.3) and the engine runs the pipelined
+// operator segment on the head tuple, advancing the clock by the operator
+// costs actually incurred. Tuples surviving to a query root are reported to
+// the QosCollector with their response time and slowdown.
+//
+// Scheduling overhead can be charged to the virtual clock (Figures 13–14):
+// each priority computation/comparison reported by the scheduler costs
+// `overhead_op_cost` seconds (the paper uses the cheapest operator cost).
+
+#ifndef AQSIOS_EXEC_ENGINE_H_
+#define AQSIOS_EXEC_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/sim_time.h"
+#include "exec/stats_monitor.h"
+#include "exec/unit_builder.h"
+#include "exec/window_join.h"
+#include "metrics/qos.h"
+#include "query/plan.h"
+#include "sched/scheduler.h"
+#include "stream/tuple.h"
+
+namespace aqsios::exec {
+
+struct EngineConfig {
+  SchedulingLevel level = SchedulingLevel::kQueryLevel;
+  sched::SharingStrategy sharing_strategy = sched::SharingStrategy::kPdt;
+  sched::SharingObjective sharing_objective = sched::SharingObjective::kHnr;
+  /// Simulated cost (seconds) of one scheduling computation/comparison;
+  /// 0 disables overhead charging.
+  SimTime overhead_op_cost = 0.0;
+
+  /// Run-time statistics monitoring (query-level scheduling only).
+  AdaptationConfig adaptation;
+};
+
+/// Execution counters of one run.
+struct RunCounters {
+  int64_t scheduling_points = 0;
+  int64_t unit_executions = 0;
+  int64_t operator_invocations = 0;
+  int64_t tuples_emitted = 0;
+  int64_t tuples_filtered = 0;
+  int64_t composites_generated = 0;
+  int64_t overhead_operations = 0;
+  int64_t adaptation_ticks = 0;
+
+  SimTime busy_time = 0.0;      // operator processing time
+  SimTime overhead_time = 0.0;  // charged scheduling overhead
+  SimTime end_time = 0.0;       // virtual time when all work drained
+
+  /// Run-time memory (queued tuples): peak and time-weighted average. The
+  /// quantity Chain ([5], Table 3) minimizes.
+  int64_t peak_queued_tuples = 0;
+  double avg_queued_tuples = 0.0;
+
+  /// busy_time / end_time: fraction of the run the CPU spent on operators.
+  double MeasuredUtilization() const {
+    return end_time > 0.0 ? busy_time / end_time : 0.0;
+  }
+
+  std::string ToString() const;
+};
+
+class Engine {
+ public:
+  /// All pointers must outlive the engine. `collector` may be null when only
+  /// counters are of interest.
+  Engine(const query::GlobalPlan* plan, const stream::ArrivalTable* arrivals,
+         const EngineConfig& config, sched::Scheduler* scheduler,
+         metrics::QosCollector* collector);
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Runs the simulation until all arrivals are processed and every queue is
+  /// drained. Call at most once.
+  RunCounters Run();
+
+  const sched::UnitTable& units() const { return built_.units; }
+
+ private:
+  void DeliverArrivalsUpTo(SimTime time);
+  void Enqueue(int unit, stream::ArrivalId arrival, SimTime arrival_time);
+  void ExecuteUnit(int unit_id);
+
+  /// Charges processing time to the clock.
+  void Charge(SimTime cost);
+
+  /// Whether `op` (the op_ordinal-th operator of query q) passes `arrival`.
+  /// Deterministic in (arrival, query, ordinal) so all policies see the same
+  /// filter outcomes.
+  bool Passes(const query::OperatorSpec& op, const stream::Arrival& arrival,
+              query::QueryId q, int op_ordinal) const;
+
+  /// Whether the shared leaf operator of `group` passes `arrival` (one
+  /// outcome for the whole group).
+  bool SharedOpPasses(const query::OperatorSpec& op,
+                      const stream::Arrival& arrival, int group) const;
+
+  /// Runs chain operators [from, end) of single-stream query q on `arrival`,
+  /// charging costs; returns true if the tuple survives.
+  bool RunChainOps(const query::CompiledQuery& q,
+                   const stream::Arrival& arrival, int from);
+
+  void EmitSingle(const query::CompiledQuery& q, SimTime arrival_time);
+
+  void ExecuteQueryChain(const sched::Unit& unit,
+                         const sched::QueueEntry& entry);
+  void ExecuteSharedGroup(const sched::Unit& unit,
+                          const sched::QueueEntry& entry);
+  void ExecuteRemainder(const sched::Unit& unit,
+                        const sched::QueueEntry& entry);
+  void ExecuteOperator(const sched::Unit& unit,
+                       const sched::QueueEntry& entry);
+  /// Runs join input `input` (0 = left stream, 1 = right stream of the base
+  /// join, >= 2 = extra-stage streams) on the head tuple.
+  void ExecuteJoinInput(const sched::Unit& unit,
+                        const sched::QueueEntry& entry, int input);
+
+  /// Whether composite `identity` passes the op (frozen, order-independent).
+  bool PassesComposite(const query::OperatorSpec& op, uint64_t identity,
+                       query::QueryId q, int op_ordinal) const;
+
+  /// Joins `entry` (freshly inserted on `side` of `stage`) against the
+  /// opposite table and pushes every match up the pipeline.
+  void ProbeAndPropagate(const query::CompiledQuery& q, int stage,
+                         query::Side side,
+                         const SymmetricHashJoinState::Entry& entry,
+                         int32_t join_key);
+
+  /// Moves a composite produced by stage `stage - 1` into stage `stage`, or
+  /// through the common segment to emission when past the last stage.
+  void PropagateComposite(const query::CompiledQuery& q, int stage,
+                          const SymmetricHashJoinState::Entry& composite,
+                          int32_t join_key);
+
+  void EmitComposite(const query::CompiledQuery& q,
+                     const SymmetricHashJoinState::Entry& composite);
+
+  SymmetricHashJoinState& JoinState(query::QueryId q, int stage) {
+    return *join_state_[static_cast<size_t>(q)][static_cast<size_t>(stage)];
+  }
+
+  const query::GlobalPlan* plan_;
+  const stream::ArrivalTable* arrivals_;
+  EngineConfig config_;
+  sched::Scheduler* scheduler_;
+  metrics::QosCollector* collector_;
+
+  BuiltUnits built_;
+  /// Present when config_.adaptation.enabled.
+  std::unique_ptr<StatsMonitor> stats_monitor_;
+  /// Leaf unit ids per stream id.
+  std::vector<std::vector<int>> leaf_units_of_stream_;
+  /// Window-join state per query and stage (empty for single-stream
+  /// queries). Stage 0 runs in ordered mode; composite-fed stages do not.
+  std::vector<std::vector<std::unique_ptr<SymmetricHashJoinState>>>
+      join_state_;
+
+  /// Accrues the queued-tuples time integral up to the current clock.
+  void AccrueQueueOccupancy();
+
+  SimTime now_ = 0.0;
+  int64_t next_arrival_ = 0;
+  int64_t queued_tuples_ = 0;
+  SimTime last_occupancy_time_ = 0.0;
+  double queued_tuple_seconds_ = 0.0;
+  RunCounters counters_;
+  bool ran_ = false;
+  /// Scratch buffer reused across scheduling points.
+  std::vector<int> picked_;
+};
+
+}  // namespace aqsios::exec
+
+#endif  // AQSIOS_EXEC_ENGINE_H_

@@ -1,0 +1,78 @@
+#include "exec/stats_monitor.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace aqsios::exec {
+
+StatsMonitor::StatsMonitor(const AdaptationConfig& config,
+                           sched::UnitTable* units,
+                           sched::Scheduler* scheduler)
+    : config_(config), units_(units), scheduler_(scheduler) {
+  AQSIOS_CHECK(units != nullptr);
+  AQSIOS_CHECK(scheduler != nullptr);
+  AQSIOS_CHECK_GT(config.period, 0.0);
+  AQSIOS_CHECK_GT(config.ewma_alpha, 0.0);
+  AQSIOS_CHECK_LE(config.ewma_alpha, 1.0);
+  windows_.resize(units->size());
+  estimated_selectivity_.reserve(units->size());
+  estimated_cost_.reserve(units->size());
+  for (const sched::Unit& unit : *units) {
+    // Seed the estimates with the assumed statistics.
+    estimated_selectivity_.push_back(unit.stats.selectivity);
+    estimated_cost_.push_back(unit.stats.expected_cost);
+  }
+  next_tick_ = config.period;
+}
+
+void StatsMonitor::OnExecutionStart(int unit) {
+  current_unit_ = unit;
+  ++windows_[static_cast<size_t>(unit)].executions;
+}
+
+void StatsMonitor::AddBusyTime(SimTime cost) {
+  if (current_unit_ < 0) return;
+  windows_[static_cast<size_t>(current_unit_)].busy += cost;
+}
+
+void StatsMonitor::AddEmission() {
+  if (current_unit_ < 0) return;
+  ++windows_[static_cast<size_t>(current_unit_)].emissions;
+}
+
+bool StatsMonitor::MaybeAdapt(SimTime now) {
+  if (now < next_tick_) return false;
+  // Catch up in one tick even if several periods elapsed while idle.
+  while (next_tick_ <= now) next_tick_ += config_.period;
+  ++ticks_;
+
+  const double alpha = config_.ewma_alpha;
+  for (size_t u = 0; u < units_->size(); ++u) {
+    Window& window = windows_[u];
+    if (window.executions >= config_.min_executions) {
+      const double observed_selectivity =
+          static_cast<double>(window.emissions) /
+          static_cast<double>(window.executions);
+      const SimTime observed_cost =
+          window.busy / static_cast<double>(window.executions);
+      estimated_selectivity_[u] = alpha * observed_selectivity +
+                                  (1.0 - alpha) * estimated_selectivity_[u];
+      estimated_cost_[u] =
+          alpha * observed_cost + (1.0 - alpha) * estimated_cost_[u];
+
+      sched::UnitStats& stats = (*units_)[u].stats;
+      // Selectivity may legitimately be 0 in a window; floor it so rate
+      // priorities stay finite (a unit observed to emit nothing keeps a
+      // tiny positive rate rather than a degenerate one).
+      stats.selectivity = std::max(estimated_selectivity_[u], 1e-6);
+      stats.expected_cost = std::max(estimated_cost_[u], 1e-9);
+      sched::RederiveUnitStats(&stats);
+    }
+    window = Window{};
+  }
+  scheduler_->OnStatsUpdated();
+  return true;
+}
+
+}  // namespace aqsios::exec

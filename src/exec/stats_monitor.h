@@ -1,0 +1,91 @@
+// Run-time statistics monitoring and priority adaptation.
+//
+// The paper's policies assume known operator costs and selectivities; §10
+// notes the policies "can work in a dynamic environment with support for
+// monitoring the queries' costs and selectivities, and updating the
+// priorities whenever it is necessary". This monitor is that support: it
+// observes, per schedulable unit, the executions, emissions, and busy time,
+// periodically folds the observed selectivity S = emissions/executions and
+// cost C̄ = busy/executions into EWMA estimates, rewrites the unit's stats,
+// and notifies the scheduler (Scheduler::OnStatsUpdated) so precomputed
+// orders are rebuilt.
+//
+// Defined for query-level scheduling, where one unit execution corresponds
+// to one leaf-to-root segment run and root emissions per execution estimate
+// exactly the segment's global selectivity.
+
+#ifndef AQSIOS_EXEC_STATS_MONITOR_H_
+#define AQSIOS_EXEC_STATS_MONITOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/sim_time.h"
+#include "sched/scheduler.h"
+#include "sched/unit.h"
+
+namespace aqsios::exec {
+
+struct AdaptationConfig {
+  bool enabled = false;
+  /// Virtual time between priority refreshes (seconds).
+  SimTime period = 0.5;
+  /// Weight of the newest observation window in the EWMA estimates.
+  double ewma_alpha = 0.5;
+  /// Units with fewer executions in the window keep their prior estimate.
+  int64_t min_executions = 16;
+};
+
+class StatsMonitor {
+ public:
+  /// `units` and `scheduler` must outlive the monitor.
+  StatsMonitor(const AdaptationConfig& config, sched::UnitTable* units,
+               sched::Scheduler* scheduler);
+
+  StatsMonitor(const StatsMonitor&) = delete;
+  StatsMonitor& operator=(const StatsMonitor&) = delete;
+
+  /// Marks `unit` as the execution in progress and counts it.
+  void OnExecutionStart(int unit);
+
+  /// Attributes processing time to the execution in progress.
+  void AddBusyTime(SimTime cost);
+
+  /// Attributes one root emission to the execution in progress.
+  void AddEmission();
+
+  /// Refreshes estimates and notifies the scheduler if a period elapsed.
+  /// Returns true when an adaptation tick fired.
+  bool MaybeAdapt(SimTime now);
+
+  int64_t ticks() const { return ticks_; }
+
+  /// Current selectivity estimate of a unit (exposed for tests).
+  double EstimatedSelectivity(int unit) const {
+    return estimated_selectivity_[static_cast<size_t>(unit)];
+  }
+  SimTime EstimatedCost(int unit) const {
+    return estimated_cost_[static_cast<size_t>(unit)];
+  }
+
+ private:
+  struct Window {
+    int64_t executions = 0;
+    int64_t emissions = 0;
+    SimTime busy = 0.0;
+  };
+
+  AdaptationConfig config_;
+  sched::UnitTable* units_;
+  sched::Scheduler* scheduler_;
+  std::vector<Window> windows_;
+  std::vector<double> estimated_selectivity_;
+  std::vector<SimTime> estimated_cost_;
+  int current_unit_ = -1;
+  SimTime next_tick_ = 0.0;
+  int64_t ticks_ = 0;
+};
+
+}  // namespace aqsios::exec
+
+#endif  // AQSIOS_EXEC_STATS_MONITOR_H_

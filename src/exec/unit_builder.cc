@@ -1,0 +1,158 @@
+#include "exec/unit_builder.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "sched/chain_policy.h"
+
+namespace aqsios::exec {
+
+const char* SchedulingLevelName(SchedulingLevel level) {
+  switch (level) {
+    case SchedulingLevel::kQueryLevel:
+      return "query_level";
+    case SchedulingLevel::kOperatorLevel:
+      return "operator_level";
+  }
+  return "unknown";
+}
+
+namespace {
+
+int AddUnit(BuiltUnits* built, sched::Unit unit) {
+  unit.id = static_cast<int>(built->units.size());
+  built->units.push_back(std::move(unit));
+  return built->units.back().id;
+}
+
+/// Exact Chain progress-chart slope of query q's chain from position x.
+double ChainSlopeAt(const query::CompiledQuery& q, int x) {
+  std::vector<double> effective;
+  effective.reserve(static_cast<size_t>(q.chain_length()));
+  for (int i = 0; i < q.chain_length(); ++i) {
+    effective.push_back(q.EffectiveChainSelectivity(i));
+  }
+  return sched::ChainEnvelopeSlope(q.spec().left_ops, effective, x);
+}
+
+void BuildOperatorLevelUnits(const query::GlobalPlan& plan,
+                             BuiltUnits* built) {
+  built->op_units.resize(static_cast<size_t>(plan.num_queries()));
+  for (const query::CompiledQuery& q : plan.queries()) {
+    AQSIOS_CHECK(!q.is_multi_stream())
+        << "operator-level scheduling requires single-stream plans";
+    AQSIOS_CHECK_EQ(plan.SharingGroupOf(q.id()), -1)
+        << "operator-level scheduling requires plans without sharing";
+    auto& per_op = built->op_units[static_cast<size_t>(q.id())];
+    for (int x = 0; x < q.chain_length(); ++x) {
+      sched::Unit unit;
+      unit.kind = sched::UnitKind::kOperator;
+      unit.query = q.id();
+      unit.op_index = x;
+      unit.input_stream = x == 0 ? q.spec().left_stream : -1;
+      unit.stats = sched::StatsFromSegment(q.ChainSegmentStats(x));
+      unit.stats.chain_slope = ChainSlopeAt(q, x);
+      per_op.push_back(AddUnit(built, std::move(unit)));
+    }
+  }
+}
+
+void BuildGroupUnits(const query::GlobalPlan& plan,
+                     const UnitBuilderOptions& options, BuiltUnits* built) {
+  built->groups.resize(plan.sharing_groups().size());
+  for (size_t g = 0; g < plan.sharing_groups().size(); ++g) {
+    const query::SharingGroup& group = plan.sharing_groups()[g];
+    // Describe every member's full segment (shared operator included).
+    std::vector<sched::MemberSegment> members;
+    members.reserve(group.members.size());
+    for (query::QueryId member : group.members) {
+      const query::CompiledQuery& q = plan.query(member);
+      const query::SegmentStats leaf = q.LeafStats();
+      sched::MemberSegment segment;
+      segment.query = member;
+      segment.selectivity = leaf.selectivity;
+      segment.expected_cost = leaf.expected_cost;
+      segment.ideal_time = leaf.ideal_time;
+      members.push_back(segment);
+    }
+    const query::CompiledQuery& first = plan.query(group.members.front());
+    const SimTime shared_cost = first.spec().left_ops.front().cost();
+    const sched::GroupPriority priority = sched::ComputeGroupPriority(
+        members, shared_cost, options.sharing_strategy,
+        options.sharing_objective);
+
+    sched::Unit unit;
+    unit.kind = sched::UnitKind::kSharedGroup;
+    unit.query = group.members.front();
+    unit.group = static_cast<int>(g);
+    unit.input_stream = first.spec().left_stream;
+    unit.stats = priority.stats;
+    AddUnit(built, std::move(unit));
+
+    GroupRuntime& runtime = built->groups[g];
+    runtime.executed = priority.executed_members;
+    for (query::QueryId rest : priority.remainder_members) {
+      const query::CompiledQuery& q = plan.query(rest);
+      AQSIOS_CHECK_GT(q.chain_length(), 1)
+          << "PDT remainder requires operators after the shared one";
+      sched::Unit remainder;
+      remainder.kind = sched::UnitKind::kRemainder;
+      remainder.query = rest;
+      remainder.op_index = 1;
+      remainder.group = static_cast<int>(g);
+      remainder.input_stream = -1;
+      remainder.stats = sched::StatsFromSegment(q.ChainSegmentStats(1));
+      remainder.stats.chain_slope = ChainSlopeAt(q, 1);
+      runtime.remainder_queries.push_back(rest);
+      runtime.remainder_units.push_back(AddUnit(built, std::move(remainder)));
+    }
+  }
+}
+
+void BuildQueryLevelUnits(const query::GlobalPlan& plan,
+                          const UnitBuilderOptions& options,
+                          BuiltUnits* built) {
+  BuildGroupUnits(plan, options, built);
+  for (const query::CompiledQuery& q : plan.queries()) {
+    if (plan.SharingGroupOf(q.id()) >= 0) continue;
+    if (q.is_multi_stream()) {
+      // One schedulable unit per join stream input (the virtual segments
+      // E_LL, E_RR and their recursive generalizations).
+      for (int input = 0; input < q.num_join_inputs(); ++input) {
+        sched::Unit unit;
+        unit.kind = input == 0   ? sched::UnitKind::kJoinSideLeft
+                    : input == 1 ? sched::UnitKind::kJoinSideRight
+                                 : sched::UnitKind::kJoinInput;
+        unit.query = q.id();
+        unit.op_index = input;
+        unit.input_stream = q.JoinInputStream(input);
+        unit.stats = sched::StatsFromSegment(q.JoinInputStats(input));
+        AddUnit(built, std::move(unit));
+      }
+      continue;
+    }
+    sched::Unit unit;
+    unit.kind = sched::UnitKind::kQueryChain;
+    unit.query = q.id();
+    unit.input_stream = q.spec().left_stream;
+    unit.stats = sched::StatsFromSegment(q.LeafStats());
+    unit.stats.chain_slope = ChainSlopeAt(q, 0);
+    AddUnit(built, std::move(unit));
+  }
+}
+
+}  // namespace
+
+BuiltUnits BuildUnits(const query::GlobalPlan& plan,
+                      const UnitBuilderOptions& options) {
+  BuiltUnits built;
+  if (options.level == SchedulingLevel::kOperatorLevel) {
+    BuildOperatorLevelUnits(plan, &built);
+  } else {
+    BuildQueryLevelUnits(plan, options, &built);
+  }
+  AQSIOS_CHECK(!built.units.empty()) << "plan produced no schedulable units";
+  return built;
+}
+
+}  // namespace aqsios::exec

@@ -1,0 +1,57 @@
+// Translates a GlobalPlan into the engine's schedulable unit table.
+//
+// Query-level scheduling (non-preemptive, §6): one unit per standalone
+// single-stream query, one per sharing group (plus remainder units for
+// PDT-excluded segments), and two units (E_LL, E_RR) per two-stream query.
+//
+// Operator-level scheduling (preemptive, §6): one unit per operator of each
+// single-stream chain; the unit's priority derives from the operator segment
+// starting at that operator. (Operator-level mode is defined for plain
+// single-stream plans; sharing and window joins use query-level units.)
+
+#ifndef AQSIOS_EXEC_UNIT_BUILDER_H_
+#define AQSIOS_EXEC_UNIT_BUILDER_H_
+
+#include <vector>
+
+#include "query/plan.h"
+#include "sched/sharing.h"
+#include "sched/unit.h"
+
+namespace aqsios::exec {
+
+enum class SchedulingLevel { kQueryLevel, kOperatorLevel };
+
+const char* SchedulingLevelName(SchedulingLevel level);
+
+/// Runtime info for one sharing group.
+struct GroupRuntime {
+  /// Member queries whose segments run (in priority order) when the shared
+  /// leaf operator is scheduled.
+  std::vector<query::QueryId> executed;
+  /// Remainder unit id for each PDT-excluded member, parallel to
+  /// `remainder_queries`.
+  std::vector<query::QueryId> remainder_queries;
+  std::vector<int> remainder_units;
+};
+
+struct BuiltUnits {
+  sched::UnitTable units;
+  /// Indexed by sharing-group id; empty when the plan has no groups.
+  std::vector<GroupRuntime> groups;
+  /// Operator-level only: op_units[query][chain position] = unit id.
+  std::vector<std::vector<int>> op_units;
+};
+
+struct UnitBuilderOptions {
+  SchedulingLevel level = SchedulingLevel::kQueryLevel;
+  sched::SharingStrategy sharing_strategy = sched::SharingStrategy::kPdt;
+  sched::SharingObjective sharing_objective = sched::SharingObjective::kHnr;
+};
+
+BuiltUnits BuildUnits(const query::GlobalPlan& plan,
+                      const UnitBuilderOptions& options);
+
+}  // namespace aqsios::exec
+
+#endif  // AQSIOS_EXEC_UNIT_BUILDER_H_

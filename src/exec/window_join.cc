@@ -1,0 +1,100 @@
+#include "exec/window_join.h"
+
+#include "common/check.h"
+
+namespace aqsios::exec {
+
+SymmetricHashJoinState::SymmetricHashJoinState(SimTime window_seconds,
+                                               bool ordered)
+    : kind_(WindowKind::kTime), window_(window_seconds), ordered_(ordered) {
+  AQSIOS_CHECK_GT(window_seconds, 0.0);
+}
+
+SymmetricHashJoinState SymmetricHashJoinState::RowWindow(
+    int64_t window_rows) {
+  AQSIOS_CHECK_GT(window_rows, 0);
+  SymmetricHashJoinState state;
+  state.kind_ = WindowKind::kRow;
+  state.window_rows_ = window_rows;
+  return state;
+}
+
+void SymmetricHashJoinState::EvictExpired(Table& t, std::deque<Entry>& bucket,
+                                          SimTime horizon) {
+  while (!bucket.empty() && bucket.front().timestamp < horizon) {
+    bucket.pop_front();
+    --t.size;
+  }
+}
+
+void SymmetricHashJoinState::Insert(query::Side side, int32_t key,
+                                    const Entry& entry) {
+  Table& t = table(side);
+  std::deque<Entry>& bucket = t.buckets[key];
+  if (kind_ == WindowKind::kRow) {
+    bucket.push_back(entry);
+    ++t.size;
+    t.insertion_order.push_back(key);
+    // Evict beyond the last window_rows_ inserts, oldest first (bucket
+    // fronts are per-key oldest because inserts append).
+    while (t.size > window_rows_) {
+      const int32_t oldest_key = t.insertion_order.front();
+      t.insertion_order.pop_front();
+      std::deque<Entry>& oldest_bucket = t.buckets[oldest_key];
+      AQSIOS_DCHECK(!oldest_bucket.empty());
+      oldest_bucket.pop_front();
+      --t.size;
+    }
+    return;
+  }
+  AQSIOS_DCHECK(!ordered_ || bucket.empty() ||
+                bucket.back().timestamp <= entry.timestamp)
+      << "per-side insert timestamps must be non-decreasing in ordered mode";
+  // No eviction here: probes into this table come from the *other* stream,
+  // whose tuples may still be queued with timestamps older than this
+  // insert's. Eviction by the inserter's timestamp could drop entries a
+  // delayed probe is still entitled to match; probe-time eviction (whose
+  // timestamps are non-decreasing per table) is the safe point.
+  bucket.push_back(entry);
+  ++t.size;
+}
+
+void SymmetricHashJoinState::Probe(query::Side side, int32_t key,
+                                   SimTime timestamp,
+                                   std::vector<Entry>* candidates) {
+  const query::Side other =
+      side == query::Side::kLeft ? query::Side::kRight : query::Side::kLeft;
+  Table& t = table(other);
+  auto it = t.buckets.find(key);
+  if (it == t.buckets.end()) return;
+  std::deque<Entry>& bucket = it->second;
+  if (kind_ == WindowKind::kRow) {
+    // Every resident of the last-N window is a candidate.
+    for (const Entry& entry : bucket) candidates->push_back(entry);
+    return;
+  }
+  if (!ordered_) {
+    // Unordered mode (composite-fed stages): no eviction is safe; scan the
+    // whole bucket for window matches.
+    for (const Entry& entry : bucket) {
+      if (entry.timestamp >= timestamp - window_ &&
+          entry.timestamp <= timestamp + window_) {
+        candidates->push_back(entry);
+      }
+    }
+    return;
+  }
+  EvictExpired(t, bucket, timestamp - window_);
+  for (const Entry& entry : bucket) {
+    // Entries still newer than probe + V are kept for future probes but are
+    // not candidates of this one.
+    if (entry.timestamp > timestamp + window_) break;
+    candidates->push_back(entry);
+  }
+}
+
+int64_t SymmetricHashJoinState::size(query::Side side) const {
+  return table(side).size;
+}
+
+}  // namespace aqsios::exec

@@ -1,0 +1,101 @@
+// Symmetric hash join state for time-based sliding-window joins (§5).
+//
+// One instance per window-join operator. Tuples that survive their pre-join
+// segment are hashed into their side's table and probe the opposite table
+// for key matches within the window interval V (|ts_probe − ts_entry| ≤ V).
+// Expired entries (older than probe − V) are evicted lazily during probes;
+// this is safe because each side's tuples are processed in arrival order, so
+// the probe timestamps hitting one table are non-decreasing. Inserts do not
+// evict: the inserting side's timestamps say nothing about what the (possibly
+// delayed) opposite side still needs to match.
+
+#ifndef AQSIOS_EXEC_WINDOW_JOIN_H_
+#define AQSIOS_EXEC_WINDOW_JOIN_H_
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "common/sim_time.h"
+#include "query/query.h"
+#include "stream/tuple.h"
+
+namespace aqsios::exec {
+
+class SymmetricHashJoinState {
+ public:
+  struct Entry {
+    stream::ArrivalId id = 0;
+    /// Source timestamp used by the window predicate; for composite
+    /// entries, the max over constituents.
+    SimTime timestamp = 0.0;
+    /// System arrival time A_i (max over constituents for composites).
+    SimTime arrival_time = 0.0;
+    /// Order-independent identity for frozen match draws: the arrival id
+    /// for base tuples, a mix of constituent identities for composites.
+    uint64_t identity = 0;
+    /// Join input index of the latest-arriving constituent (slowdown
+    /// trigger attribution in multi-join pipelines).
+    int trigger_input = 0;
+  };
+
+  /// Time-based window. `ordered` declares that per-side insert timestamps
+  /// AND per-table probe timestamps are non-decreasing, enabling window
+  /// eviction. Stages fed by composites (whose timestamps are not monotone)
+  /// must pass false; probes then scan the whole bucket and nothing is
+  /// evicted.
+  explicit SymmetricHashJoinState(SimTime window_seconds, bool ordered = true);
+
+  /// Tuple-count window: each side retains exactly its last `window_rows`
+  /// inserted entries (CQL ROWS semantics); probes match all residents of
+  /// the opposite side's bucket. (A named factory rather than a constructor
+  /// so integer literals never collide with the SimTime overload.)
+  static SymmetricHashJoinState RowWindow(int64_t window_rows);
+
+  /// Inserts a surviving tuple into `side`'s hash table.
+  void Insert(query::Side side, int32_t key, const Entry& entry);
+
+  /// Collects the opposite table's entries matching `key` whose timestamps
+  /// are within the window of `timestamp`. Entries expired relative to
+  /// `timestamp` are evicted.
+  void Probe(query::Side side, int32_t key, SimTime timestamp,
+             std::vector<Entry>* candidates);
+
+  /// Number of resident entries on `side`.
+  int64_t size(query::Side side) const;
+
+ private:
+  enum class WindowKind { kTime, kRow };
+
+  SymmetricHashJoinState() = default;  // used by the RowWindow factory
+
+  struct Table {
+    std::unordered_map<int32_t, std::deque<Entry>> buckets;
+    /// Row windows: join keys in insertion order, for oldest-first eviction.
+    std::deque<int32_t> insertion_order;
+    int64_t size = 0;
+  };
+
+  Table& table(query::Side side) {
+    return side == query::Side::kLeft ? left_ : right_;
+  }
+  const Table& table(query::Side side) const {
+    return side == query::Side::kLeft ? left_ : right_;
+  }
+
+  /// Drops entries in `bucket` with timestamp < horizon (front of the deque;
+  /// entries are inserted in non-decreasing timestamp order per side).
+  void EvictExpired(Table& t, std::deque<Entry>& bucket, SimTime horizon);
+
+  WindowKind kind_ = WindowKind::kTime;
+  SimTime window_ = 0.0;
+  int64_t window_rows_ = 0;
+  bool ordered_ = true;
+  Table left_;
+  Table right_;
+};
+
+}  // namespace aqsios::exec
+
+#endif  // AQSIOS_EXEC_WINDOW_JOIN_H_

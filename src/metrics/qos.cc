@@ -1,0 +1,94 @@
+#include "metrics/qos.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace aqsios::metrics {
+
+ClassKey MakeClassKey(int cost_class, double selectivity) {
+  ClassKey key;
+  key.cost_class = cost_class;
+  key.selectivity_decile =
+      static_cast<int>(std::lround(selectivity * 10.0));
+  return key;
+}
+
+std::string QosSnapshot::ToString() const {
+  std::ostringstream os;
+  os << "emitted=" << tuples_emitted
+     << " avg_response=" << SimTimeToMillis(avg_response) << "ms"
+     << " avg_slowdown=" << avg_slowdown << " max_slowdown=" << max_slowdown
+     << " l2_slowdown=" << l2_slowdown << " rms_slowdown=" << rms_slowdown;
+  return os.str();
+}
+
+QosCollector::QosCollector(const Options& options)
+    : options_(options),
+      slowdown_reservoir_(options.reservoir_capacity,
+                          options.reservoir_seed) {
+  if (options.timeline_bucket > 0.0) {
+    timeline_.emplace(options.timeline_bucket);
+  }
+}
+
+double QosSnapshot::JainFairnessIndex() const {
+  if (per_query_slowdown.empty()) return 0.0;
+  double sum = 0.0;
+  double sum_squares = 0.0;
+  int64_t n = 0;
+  for (const auto& [query, stats] : per_query_slowdown) {
+    if (stats.count() == 0) continue;
+    const double mean = stats.Mean();
+    sum += mean;
+    sum_squares += mean * mean;
+    ++n;
+  }
+  if (n == 0 || sum_squares == 0.0) return 0.0;
+  return sum * sum / (static_cast<double>(n) * sum_squares);
+}
+
+void QosCollector::RecordOutput(int32_t query_id, int cost_class,
+                                double selectivity, SimTime arrival_time,
+                                SimTime response, double slowdown) {
+  AQSIOS_DCHECK_GE(response, 0.0);
+  AQSIOS_DCHECK_GE(slowdown, 1.0 - 1e-9)
+      << "slowdown below 1 implies response below ideal processing time";
+  if (arrival_time < options_.warmup_until) return;
+  response_.Add(response);
+  slowdown_.Add(slowdown);
+  slowdown_reservoir_.Add(slowdown);
+  if (options_.track_per_class) {
+    per_class_slowdown_[MakeClassKey(cost_class, selectivity)].Add(slowdown);
+  }
+  if (options_.track_per_query) {
+    per_query_slowdown_[query_id].Add(slowdown);
+  }
+  if (timeline_.has_value()) {
+    timeline_->Record(arrival_time, slowdown);
+  }
+}
+
+QosSnapshot QosCollector::Snapshot() const {
+  QosSnapshot snap;
+  snap.tuples_emitted = response_.count();
+  snap.avg_response = response_.Mean();
+  snap.max_response = response_.Max();
+  snap.avg_slowdown = slowdown_.Mean();
+  snap.max_slowdown = slowdown_.Max();
+  snap.l2_slowdown = slowdown_.L2Norm();
+  snap.rms_slowdown = slowdown_.Rms();
+  snap.p50_slowdown = slowdown_reservoir_.Quantile(0.5);
+  snap.p99_slowdown = slowdown_reservoir_.Quantile(0.99);
+  snap.per_class_slowdown = per_class_slowdown_;
+  snap.per_query_slowdown = per_query_slowdown_;
+  if (timeline_.has_value()) {
+    snap.timeline_bucket = timeline_->bucket_width();
+    snap.slowdown_timeline_mean = timeline_->MeanSeries();
+    snap.slowdown_timeline_max = timeline_->MaxSeries();
+  }
+  return snap;
+}
+
+}  // namespace aqsios::metrics

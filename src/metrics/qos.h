@@ -1,0 +1,120 @@
+// Per-tuple Quality-of-Service metric collection (paper §3–§4).
+//
+// For every tuple emitted at a query root, the engine records its response
+// time R = D − A (Definition 1) and slowdown H (Definition 2 for
+// single-stream tuples; §5.1.2 for composite tuples). The collector
+// aggregates the average, maximum, and l2 norm (Definition 4), plus
+// per-query-class statistics for the paper's Figure 11 analysis.
+
+#ifndef AQSIOS_METRICS_QOS_H_
+#define AQSIOS_METRICS_QOS_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/sim_time.h"
+#include "common/stats.h"
+#include "metrics/timeline.h"
+
+namespace aqsios::metrics {
+
+/// Identifies a query class: operator cost class (cost = K·2^i) and the
+/// selectivity decile of the query's filter operators.
+struct ClassKey {
+  int cost_class = 0;
+  /// Selectivity rounded to a decile: round(selectivity * 10).
+  int selectivity_decile = 10;
+
+  friend bool operator<(const ClassKey& a, const ClassKey& b) {
+    if (a.cost_class != b.cost_class) return a.cost_class < b.cost_class;
+    return a.selectivity_decile < b.selectivity_decile;
+  }
+  friend bool operator==(const ClassKey& a, const ClassKey& b) {
+    return a.cost_class == b.cost_class &&
+           a.selectivity_decile == b.selectivity_decile;
+  }
+};
+
+ClassKey MakeClassKey(int cost_class, double selectivity);
+
+/// Aggregated QoS results of one simulation run.
+struct QosSnapshot {
+  int64_t tuples_emitted = 0;
+
+  double avg_response = 0.0;  // seconds
+  double max_response = 0.0;
+  double avg_slowdown = 0.0;
+  double max_slowdown = 0.0;
+  /// l2 norm of slowdowns, sqrt(Σ H²) (Definition 4).
+  double l2_slowdown = 0.0;
+  /// Root-mean-square slowdown, l2 / sqrt(N); comparable across runs with
+  /// different output counts.
+  double rms_slowdown = 0.0;
+
+  double p50_slowdown = 0.0;
+  double p99_slowdown = 0.0;
+
+  /// Per-class average slowdown, keyed by (cost class, selectivity decile).
+  std::map<ClassKey, aqsios::RunningStats> per_class_slowdown;
+
+  /// Per-query slowdown statistics (present when track_per_query is set).
+  std::map<int32_t, aqsios::RunningStats> per_query_slowdown;
+
+  /// Slowdown-over-virtual-time series (present when timeline_bucket > 0):
+  /// per-bucket mean and max of the slowdowns of tuples *arriving* in the
+  /// bucket, so series are comparable across policies.
+  SimTime timeline_bucket = 0.0;
+  std::vector<double> slowdown_timeline_mean;
+  std::vector<double> slowdown_timeline_max;
+
+  /// Jain's fairness index over the per-query mean slowdowns:
+  /// (Σ x_i)² / (n · Σ x_i²) ∈ (0, 1]; 1 means every query experiences the
+  /// same average slowdown. Captures the fairness dimension of §4 (LSF/BSD
+  /// fair, HR/HNR biased). 0 when per-query tracking is off or empty.
+  double JainFairnessIndex() const;
+
+  std::string ToString() const;
+};
+
+/// Streaming collector; one per simulation run.
+class QosCollector {
+ public:
+  struct Options {
+    bool track_per_class = true;
+    bool track_per_query = false;
+    /// When > 0, collect the slowdown timeline with this bucket width
+    /// (virtual seconds).
+    SimTime timeline_bucket = 0.0;
+    size_t reservoir_capacity = 4096;
+    uint64_t reservoir_seed = 0x51ca9e5d;
+    /// Outputs with arrival time before this are ignored (warm-up cut).
+    SimTime warmup_until = 0.0;
+  };
+
+  QosCollector() : QosCollector(Options()) {}
+  explicit QosCollector(const Options& options);
+
+  /// Records one emitted tuple.
+  void RecordOutput(int32_t query_id, int cost_class, double selectivity,
+                    SimTime arrival_time, SimTime response, double slowdown);
+
+  QosSnapshot Snapshot() const;
+
+  int64_t tuples_emitted() const { return response_.count(); }
+
+ private:
+  Options options_;
+  aqsios::RunningStats response_;
+  aqsios::RunningStats slowdown_;
+  aqsios::ReservoirSample slowdown_reservoir_;
+  std::map<ClassKey, aqsios::RunningStats> per_class_slowdown_;
+  std::map<int32_t, aqsios::RunningStats> per_query_slowdown_;
+  std::optional<TimelineCollector> timeline_;
+};
+
+}  // namespace aqsios::metrics
+
+#endif  // AQSIOS_METRICS_QOS_H_

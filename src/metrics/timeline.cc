@@ -1,0 +1,42 @@
+#include "metrics/timeline.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace aqsios::metrics {
+
+TimelineCollector::TimelineCollector(SimTime bucket_width)
+    : bucket_width_(bucket_width) {
+  AQSIOS_CHECK_GT(bucket_width, 0.0);
+}
+
+void TimelineCollector::Record(SimTime arrival_time, double value) {
+  AQSIOS_CHECK_GE(arrival_time, 0.0);
+  const size_t index =
+      static_cast<size_t>(std::floor(arrival_time / bucket_width_));
+  if (index >= buckets_.size()) buckets_.resize(index + 1);
+  buckets_[index].Add(value);
+}
+
+const aqsios::RunningStats& TimelineCollector::Bucket(int i) const {
+  AQSIOS_CHECK_GE(i, 0);
+  AQSIOS_CHECK_LT(i, num_buckets());
+  return buckets_[static_cast<size_t>(i)];
+}
+
+std::vector<double> TimelineCollector::MeanSeries() const {
+  std::vector<double> series;
+  series.reserve(buckets_.size());
+  for (const auto& bucket : buckets_) series.push_back(bucket.Mean());
+  return series;
+}
+
+std::vector<double> TimelineCollector::MaxSeries() const {
+  std::vector<double> series;
+  series.reserve(buckets_.size());
+  for (const auto& bucket : buckets_) series.push_back(bucket.Max());
+  return series;
+}
+
+}  // namespace aqsios::metrics

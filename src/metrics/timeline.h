@@ -1,0 +1,52 @@
+// Time-bucketed QoS series.
+//
+// Aggregate metrics hide the transient behaviour that bursty On/Off arrivals
+// create: slowdown accumulates during a burst and drains afterwards, and
+// policies differ most near the peaks. The TimelineCollector buckets
+// per-tuple observations by *arrival* time (so buckets are comparable across
+// policies — every policy sees the same arrivals) and keeps full
+// RunningStats per bucket.
+
+#ifndef AQSIOS_METRICS_TIMELINE_H_
+#define AQSIOS_METRICS_TIMELINE_H_
+
+#include <vector>
+
+#include "common/sim_time.h"
+#include "common/stats.h"
+
+namespace aqsios::metrics {
+
+class TimelineCollector {
+ public:
+  /// Buckets cover [k·width, (k+1)·width) in virtual seconds.
+  explicit TimelineCollector(SimTime bucket_width);
+
+  /// Records one observation for the bucket of `arrival_time`.
+  void Record(SimTime arrival_time, double value);
+
+  SimTime bucket_width() const { return bucket_width_; }
+
+  /// Number of buckets (index of the last populated bucket + 1).
+  int num_buckets() const { return static_cast<int>(buckets_.size()); }
+
+  /// Start time of bucket i.
+  SimTime BucketStart(int i) const { return bucket_width_ * i; }
+
+  /// Stats of bucket i (empty RunningStats when nothing arrived in it).
+  const aqsios::RunningStats& Bucket(int i) const;
+
+  /// Mean value per bucket, 0 for empty buckets (dense series for plots).
+  std::vector<double> MeanSeries() const;
+
+  /// Max value per bucket.
+  std::vector<double> MaxSeries() const;
+
+ private:
+  SimTime bucket_width_;
+  std::vector<aqsios::RunningStats> buckets_;
+};
+
+}  // namespace aqsios::metrics
+
+#endif  // AQSIOS_METRICS_TIMELINE_H_

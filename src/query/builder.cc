@@ -1,0 +1,127 @@
+#include "query/builder.h"
+
+#include "common/check.h"
+
+namespace aqsios::query {
+
+QueryBuilder::QueryBuilder(stream::StreamId stream) {
+  spec_.left_stream = stream;
+}
+
+std::vector<OperatorSpec>* QueryBuilder::CurrentSegment() {
+  switch (segment_) {
+    case Segment::kLeft:
+      return &spec_.left_ops;
+    case Segment::kRight:
+      return &spec_.right_ops;
+    case Segment::kStage:
+      return &spec_.extra_stages.back().side_ops;
+    case Segment::kCommon:
+      return &spec_.common_ops;
+  }
+  AQSIOS_CHECK(false) << "unreachable segment";
+  return nullptr;
+}
+
+QueryBuilder& QueryBuilder::Select(double cost_ms, double selectivity) {
+  CurrentSegment()->push_back(MakeSelect(cost_ms, selectivity));
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::StoredJoin(double cost_ms, double selectivity) {
+  CurrentSegment()->push_back(MakeStoredJoin(cost_ms, selectivity));
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::Project(double cost_ms) {
+  CurrentSegment()->push_back(MakeProject(cost_ms));
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::WithActualSelectivity(double actual) {
+  std::vector<OperatorSpec>* segment = CurrentSegment();
+  AQSIOS_CHECK(!segment->empty())
+      << "WithActualSelectivity needs a preceding operator";
+  segment->back().actual_selectivity = actual;
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::WindowJoinWith(stream::StreamId stream,
+                                           double cost_ms,
+                                           double match_probability,
+                                           double window_seconds,
+                                           SimTime mean_inter_arrival) {
+  AQSIOS_CHECK(segment_ == Segment::kLeft && !spec_.join_op.has_value())
+      << "WindowJoinWith must be the first join; use ThenWindowJoinWith for "
+         "further stages";
+  spec_.right_stream = stream;
+  spec_.join_op = MakeWindowJoin(cost_ms, match_probability, window_seconds);
+  spec_.right_mean_inter_arrival = mean_inter_arrival;
+  segment_ = Segment::kRight;
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::RowWindowJoinWith(stream::StreamId stream,
+                                              double cost_ms,
+                                              double match_probability,
+                                              int64_t window_rows,
+                                              SimTime mean_inter_arrival) {
+  AQSIOS_CHECK(segment_ == Segment::kLeft && !spec_.join_op.has_value())
+      << "RowWindowJoinWith must be the first join";
+  spec_.right_stream = stream;
+  spec_.join_op =
+      MakeRowWindowJoin(cost_ms, match_probability, window_rows);
+  spec_.right_mean_inter_arrival = mean_inter_arrival;
+  segment_ = Segment::kRight;
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::ThenWindowJoinWith(stream::StreamId stream,
+                                               double cost_ms,
+                                               double match_probability,
+                                               double window_seconds,
+                                               SimTime mean_inter_arrival) {
+  AQSIOS_CHECK(spec_.join_op.has_value())
+      << "ThenWindowJoinWith needs a preceding WindowJoinWith";
+  AQSIOS_CHECK(segment_ == Segment::kRight || segment_ == Segment::kStage)
+      << "ThenWindowJoinWith must come before Common()";
+  JoinStage stage;
+  stage.stream = stream;
+  stage.join = MakeWindowJoin(cost_ms, match_probability, window_seconds);
+  stage.mean_inter_arrival = mean_inter_arrival;
+  spec_.extra_stages.push_back(std::move(stage));
+  segment_ = Segment::kStage;
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::Common() {
+  AQSIOS_CHECK(spec_.join_op.has_value())
+      << "Common() only applies to join queries; single-stream operators "
+         "already form one chain";
+  segment_ = Segment::kCommon;
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::LeftMeanInterArrival(SimTime tau) {
+  spec_.left_mean_inter_arrival = tau;
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::CostClass(int cost_class) {
+  spec_.cost_class = cost_class;
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::ClassSelectivity(double selectivity) {
+  spec_.class_selectivity = selectivity;
+  return *this;
+}
+
+QuerySpec QueryBuilder::Build(SelectivityMode mode) const {
+  // Compile once to run the full validation suite; discard the result.
+  const CompiledQuery validation(spec_, mode);
+  (void)validation;
+  return spec_;
+}
+
+}  // namespace aqsios::query

@@ -1,0 +1,105 @@
+// Fluent builder for QuerySpecs.
+//
+// Assembling a QuerySpec by hand means filling parallel vectors in the
+// right order; the builder makes application code read like the plan:
+//
+//   QuerySpec spec = QueryBuilder(/*stream=*/0)
+//                        .Select(/*cost_ms=*/0.5, /*selectivity=*/0.2)
+//                        .StoredJoin(1.0, 0.5)
+//                        .Project(0.2)
+//                        .Build();
+//
+//   QuerySpec join = QueryBuilder(0)
+//                        .Select(0.5, 0.8)
+//                        .WindowJoinWith(/*stream=*/1, /*cost_ms=*/1.0,
+//                                        /*match_probability=*/0.3,
+//                                        /*window_seconds=*/2.0)
+//                        .Select(0.5, 0.9)   // right-side filter
+//                        .ThenWindowJoinWith(2, 1.0, 0.3, 2.0)
+//                        .Select(0.5, 0.9)   // third-stream filter
+//                        .Common()
+//                        .Project(0.2)
+//                        .Build();
+//
+// Operators added before the first join go to the left segment; after a
+// join, to that join's stream-side segment; after Common(), to the common
+// segment. Build() validates by compiling once.
+
+#ifndef AQSIOS_QUERY_BUILDER_H_
+#define AQSIOS_QUERY_BUILDER_H_
+
+#include "query/query.h"
+
+namespace aqsios::query {
+
+class QueryBuilder {
+ public:
+  /// Starts a query reading `stream`.
+  explicit QueryBuilder(stream::StreamId stream);
+
+  /// Appends a selection to the current segment.
+  QueryBuilder& Select(double cost_ms, double selectivity);
+
+  /// Appends a stored-relation join (filter semantics) to the current
+  /// segment.
+  QueryBuilder& StoredJoin(double cost_ms, double selectivity);
+
+  /// Appends a projection to the current segment.
+  QueryBuilder& Project(double cost_ms);
+
+  /// Declares the operator's execution-time selectivity to differ from the
+  /// assumed one just added (statistics-drift model). Applies to the most
+  /// recently added filter operator.
+  QueryBuilder& WithActualSelectivity(double actual);
+
+  /// Joins the plan so far with `stream` through a time-based sliding
+  /// window; subsequent filter operators target the new stream's pre-join
+  /// segment. `mean_inter_arrival` is the stream's τ used by the §5.2
+  /// priority statistics.
+  QueryBuilder& WindowJoinWith(stream::StreamId stream, double cost_ms,
+                               double match_probability,
+                               double window_seconds,
+                               SimTime mean_inter_arrival = 1.0);
+
+  /// Like WindowJoinWith but with a tuple-count (ROWS) window.
+  QueryBuilder& RowWindowJoinWith(stream::StreamId stream, double cost_ms,
+                                  double match_probability,
+                                  int64_t window_rows,
+                                  SimTime mean_inter_arrival = 1.0);
+
+  /// Adds a further left-deep join stage (three or more streams).
+  QueryBuilder& ThenWindowJoinWith(stream::StreamId stream, double cost_ms,
+                                   double match_probability,
+                                   double window_seconds,
+                                   SimTime mean_inter_arrival = 1.0);
+
+  /// Switches to the post-join common segment.
+  QueryBuilder& Common();
+
+  /// Sets the left stream's mean inter-arrival time τ (multi-stream
+  /// statistics).
+  QueryBuilder& LeftMeanInterArrival(SimTime tau);
+
+  /// Sets the workload-class metadata used by per-class metrics.
+  QueryBuilder& CostClass(int cost_class);
+  QueryBuilder& ClassSelectivity(double selectivity);
+
+  /// Finalizes the spec. Validates by compiling once under `mode`
+  /// (programmer errors abort with a message). The builder can be reused
+  /// afterwards; Build() does not mutate it.
+  QuerySpec Build(
+      SelectivityMode mode = SelectivityMode::kIndependent) const;
+
+ private:
+  enum class Segment { kLeft, kRight, kStage, kCommon };
+
+  /// The operator vector new operators append to.
+  std::vector<OperatorSpec>* CurrentSegment();
+
+  QuerySpec spec_;
+  Segment segment_ = Segment::kLeft;
+};
+
+}  // namespace aqsios::query
+
+#endif  // AQSIOS_QUERY_BUILDER_H_

@@ -1,0 +1,79 @@
+#include "query/operator.h"
+
+#include <sstream>
+
+namespace aqsios::query {
+
+const char* OperatorKindName(OperatorKind kind) {
+  switch (kind) {
+    case OperatorKind::kSelect:
+      return "select";
+    case OperatorKind::kStoredJoin:
+      return "stored_join";
+    case OperatorKind::kWindowJoin:
+      return "window_join";
+    case OperatorKind::kProject:
+      return "project";
+  }
+  return "unknown";
+}
+
+std::string OperatorSpec::ToString() const {
+  std::ostringstream os;
+  os << OperatorKindName(kind) << "(c=" << cost_ms << "ms, s=" << selectivity;
+  if (kind == OperatorKind::kWindowJoin) {
+    if (is_row_window()) {
+      os << ", V=" << window_rows << " rows";
+    } else {
+      os << ", V=" << window_seconds << "s";
+    }
+  }
+  os << ")";
+  return os.str();
+}
+
+OperatorSpec MakeSelect(double cost_ms, double selectivity) {
+  OperatorSpec spec;
+  spec.kind = OperatorKind::kSelect;
+  spec.cost_ms = cost_ms;
+  spec.selectivity = selectivity;
+  return spec;
+}
+
+OperatorSpec MakeStoredJoin(double cost_ms, double selectivity) {
+  OperatorSpec spec;
+  spec.kind = OperatorKind::kStoredJoin;
+  spec.cost_ms = cost_ms;
+  spec.selectivity = selectivity;
+  return spec;
+}
+
+OperatorSpec MakeProject(double cost_ms) {
+  OperatorSpec spec;
+  spec.kind = OperatorKind::kProject;
+  spec.cost_ms = cost_ms;
+  spec.selectivity = 1.0;
+  return spec;
+}
+
+OperatorSpec MakeWindowJoin(double cost_ms, double match_probability,
+                            double window_seconds) {
+  OperatorSpec spec;
+  spec.kind = OperatorKind::kWindowJoin;
+  spec.cost_ms = cost_ms;
+  spec.selectivity = match_probability;
+  spec.window_seconds = window_seconds;
+  return spec;
+}
+
+OperatorSpec MakeRowWindowJoin(double cost_ms, double match_probability,
+                               int64_t window_rows) {
+  OperatorSpec spec;
+  spec.kind = OperatorKind::kWindowJoin;
+  spec.cost_ms = cost_ms;
+  spec.selectivity = match_probability;
+  spec.window_rows = window_rows;
+  return spec;
+}
+
+}  // namespace aqsios::query

@@ -1,0 +1,117 @@
+#include "query/plan.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace aqsios::query {
+
+GlobalPlan::GlobalPlan(std::vector<CompiledQuery> queries,
+                       std::vector<SharingGroup> sharing_groups,
+                       int num_streams)
+    : queries_(std::move(queries)),
+      sharing_groups_(std::move(sharing_groups)),
+      num_streams_(num_streams) {
+  AQSIOS_CHECK_GT(num_streams_, 0);
+  // Queries must be densely numbered so QueryId doubles as an index.
+  for (size_t i = 0; i < queries_.size(); ++i) {
+    AQSIOS_CHECK_EQ(queries_[i].id(), static_cast<QueryId>(i))
+        << "queries must have dense ids in order";
+  }
+  group_of_query_.assign(queries_.size(), -1);
+  for (size_t g = 0; g < sharing_groups_.size(); ++g) {
+    const SharingGroup& group = sharing_groups_[g];
+    AQSIOS_CHECK_GE(group.members.size(), 2u)
+        << "sharing group " << group.id << " needs at least two members";
+    const CompiledQuery& first = query(group.members.front());
+    AQSIOS_CHECK(!first.is_multi_stream())
+        << "sharing groups support single-stream queries";
+    const OperatorSpec& shared = first.spec().left_ops.front();
+    for (QueryId member : group.members) {
+      const CompiledQuery& q = query(member);
+      AQSIOS_CHECK(!q.is_multi_stream());
+      AQSIOS_CHECK_EQ(q.spec().left_stream, first.spec().left_stream)
+          << "sharing group members must read the same stream";
+      const OperatorSpec& leaf = q.spec().left_ops.front();
+      AQSIOS_CHECK(leaf.kind == shared.kind &&
+                   leaf.cost_ms == shared.cost_ms &&
+                   leaf.selectivity == shared.selectivity)
+          << "sharing group members must have identical leaf operators";
+      AQSIOS_CHECK_EQ(group_of_query_[static_cast<size_t>(member)], -1)
+          << "query " << member << " is in two sharing groups";
+      group_of_query_[static_cast<size_t>(member)] = static_cast<int>(g);
+    }
+  }
+}
+
+const CompiledQuery& GlobalPlan::query(QueryId id) const {
+  AQSIOS_CHECK_GE(id, 0);
+  AQSIOS_CHECK_LT(id, num_queries());
+  return queries_[static_cast<size_t>(id)];
+}
+
+int GlobalPlan::SharingGroupOf(QueryId id) const {
+  AQSIOS_CHECK_GE(id, 0);
+  AQSIOS_CHECK_LT(id, num_queries());
+  return group_of_query_[static_cast<size_t>(id)];
+}
+
+SimTime GlobalPlan::MinOperatorCost() const {
+  SimTime min_cost = std::numeric_limits<SimTime>::infinity();
+  for (const CompiledQuery& q : queries_) {
+    min_cost = std::min(min_cost, q.MinOperatorCost());
+  }
+  return min_cost;
+}
+
+SimTime GlobalPlan::ExpectedWorkPerArrival(stream::StreamId stream) const {
+  SimTime work = 0.0;
+  for (const CompiledQuery& q : queries_) {
+    work += q.ExpectedWorkPerArrival(stream);
+  }
+  // Shared leaf operators run once per group, not once per member
+  // (§7: S̄C_x = Σ C̄_x^i − (N−1)·c_x).
+  for (const SharingGroup& group : sharing_groups_) {
+    const CompiledQuery& first = query(group.members.front());
+    if (first.spec().left_stream != stream) continue;
+    const SimTime shared_cost = first.spec().left_ops.front().cost();
+    work -= static_cast<double>(group.members.size() - 1) * shared_cost;
+  }
+  return work;
+}
+
+SimTime GlobalPlan::ActualExpectedWorkPerArrival(
+    stream::StreamId stream) const {
+  SimTime work = 0.0;
+  for (const CompiledQuery& q : queries_) {
+    work += q.ActualExpectedWorkPerArrival(stream);
+  }
+  for (const SharingGroup& group : sharing_groups_) {
+    const CompiledQuery& first = query(group.members.front());
+    if (first.spec().left_stream != stream) continue;
+    const SimTime shared_cost = first.spec().left_ops.front().cost();
+    work -= static_cast<double>(group.members.size() - 1) * shared_cost;
+  }
+  return work;
+}
+
+double GlobalPlan::ExpectedOutputsPerArrival(stream::StreamId stream) const {
+  double outputs = 0.0;
+  for (const CompiledQuery& q : queries_) {
+    if (!q.is_multi_stream()) {
+      if (q.spec().left_stream == stream) outputs += q.LeafStats().selectivity;
+      continue;
+    }
+    if (q.spec().left_stream == stream) {
+      outputs += q.SideLeafStats(Side::kLeft).selectivity;
+    }
+    if (q.spec().right_stream == stream) {
+      outputs += q.SideLeafStats(Side::kRight).selectivity;
+    }
+  }
+  return outputs;
+}
+
+}  // namespace aqsios::query

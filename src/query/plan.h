@@ -1,0 +1,75 @@
+// The global multi-query plan hosted by the DSMS.
+//
+// Multiple queries with common sub-expressions can be merged so the shared
+// prefix operator executes once per tuple (paper §7). A SharingGroup records
+// which queries share their leaf operator; everything else about a member
+// query is described by its own QuerySpec (whose chain *includes* the shared
+// operator as its first element — the engine deduplicates execution).
+
+#ifndef AQSIOS_QUERY_PLAN_H_
+#define AQSIOS_QUERY_PLAN_H_
+
+#include <vector>
+
+#include "query/query.h"
+#include "stream/tuple.h"
+
+namespace aqsios::query {
+
+/// A set of single-stream queries whose identical leaf operator is executed
+/// once per input tuple.
+struct SharingGroup {
+  int id = 0;
+  std::vector<QueryId> members;
+};
+
+/// Immutable collection of compiled queries plus sharing structure.
+class GlobalPlan {
+ public:
+  GlobalPlan() = default;
+  GlobalPlan(std::vector<CompiledQuery> queries,
+             std::vector<SharingGroup> sharing_groups, int num_streams);
+
+  GlobalPlan(GlobalPlan&&) = default;
+  GlobalPlan& operator=(GlobalPlan&&) = default;
+  GlobalPlan(const GlobalPlan&) = default;
+  GlobalPlan& operator=(const GlobalPlan&) = default;
+
+  const std::vector<CompiledQuery>& queries() const { return queries_; }
+  const CompiledQuery& query(QueryId id) const;
+  int num_queries() const { return static_cast<int>(queries_.size()); }
+
+  const std::vector<SharingGroup>& sharing_groups() const {
+    return sharing_groups_;
+  }
+  /// Sharing group index of a query, or -1 if it is standalone.
+  int SharingGroupOf(QueryId id) const;
+
+  int num_streams() const { return num_streams_; }
+
+  /// Smallest operator cost across the whole plan (seconds); the paper's
+  /// unit cost for scheduling-overhead operations (§9.2).
+  SimTime MinOperatorCost() const;
+
+  /// Expected total work (seconds) triggered by one arrival on `stream`,
+  /// accounting for shared leaf operators being executed once per group.
+  SimTime ExpectedWorkPerArrival(stream::StreamId stream) const;
+
+  /// Same, under the operators' actual execution-time selectivities (what
+  /// the system really incurs when assumed statistics are stale).
+  SimTime ActualExpectedWorkPerArrival(stream::StreamId stream) const;
+
+  /// Expected number of tuples emitted (across all queries) per arrival on
+  /// `stream`.
+  double ExpectedOutputsPerArrival(stream::StreamId stream) const;
+
+ private:
+  std::vector<CompiledQuery> queries_;
+  std::vector<SharingGroup> sharing_groups_;
+  std::vector<int> group_of_query_;
+  int num_streams_ = 1;
+};
+
+}  // namespace aqsios::query
+
+#endif  // AQSIOS_QUERY_PLAN_H_

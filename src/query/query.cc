@@ -1,0 +1,478 @@
+#include "query/query.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+
+namespace aqsios::query {
+
+const char* SelectivityModeName(SelectivityMode mode) {
+  switch (mode) {
+    case SelectivityMode::kCorrelatedAttribute:
+      return "correlated_attribute";
+    case SelectivityMode::kIndependent:
+      return "independent";
+  }
+  return "unknown";
+}
+
+double ChainSelectivity(const std::vector<double>& effective, size_t begin,
+                        size_t end) {
+  AQSIOS_DCHECK_LE(begin, end);
+  AQSIOS_DCHECK_LE(end, effective.size());
+  double s = 1.0;
+  for (size_t i = begin; i < end; ++i) s *= effective[i];
+  return s;
+}
+
+SimTime ChainExpectedCost(const std::vector<OperatorSpec>& ops,
+                          const std::vector<double>& effective, size_t begin,
+                          size_t end) {
+  AQSIOS_DCHECK_EQ(ops.size(), effective.size());
+  AQSIOS_DCHECK_LE(begin, end);
+  AQSIOS_DCHECK_LE(end, ops.size());
+  SimTime cost = 0.0;
+  double reach_probability = 1.0;
+  for (size_t i = begin; i < end; ++i) {
+    cost += reach_probability * ops[i].cost();
+    reach_probability *= effective[i];
+  }
+  return cost;
+}
+
+SimTime ChainTotalCost(const std::vector<OperatorSpec>& ops, size_t begin,
+                       size_t end) {
+  AQSIOS_DCHECK_LE(begin, end);
+  AQSIOS_DCHECK_LE(end, ops.size());
+  SimTime total = 0.0;
+  for (size_t i = begin; i < end; ++i) total += ops[i].cost();
+  return total;
+}
+
+std::vector<double> EffectiveSelectivitiesFromValues(
+    const std::vector<double>& raw, SelectivityMode mode) {
+  std::vector<double> effective;
+  effective.reserve(raw.size());
+  if (mode == SelectivityMode::kIndependent) {
+    return raw;
+  }
+  // Correlated-attribute mode: all predicates test the same uniform
+  // attribute, so the conditional pass probability of operator i given the
+  // tuple survived operators [0, i) is min(s_0..s_i) / min(s_0..s_{i-1}).
+  double running_min = 1.0;
+  for (double s : raw) {
+    const double new_min = std::min(running_min, s);
+    effective.push_back(running_min > 0.0 ? new_min / running_min : 0.0);
+    running_min = new_min;
+  }
+  return effective;
+}
+
+std::vector<double> EffectiveSelectivities(const std::vector<OperatorSpec>& ops,
+                                           SelectivityMode mode) {
+  std::vector<double> raw;
+  raw.reserve(ops.size());
+  for (const OperatorSpec& op : ops) raw.push_back(op.selectivity);
+  return EffectiveSelectivitiesFromValues(raw, mode);
+}
+
+std::vector<double> ActualEffectiveSelectivities(
+    const std::vector<OperatorSpec>& ops, SelectivityMode mode) {
+  std::vector<double> raw;
+  raw.reserve(ops.size());
+  for (const OperatorSpec& op : ops) {
+    raw.push_back(op.EffectiveActualSelectivity());
+  }
+  return EffectiveSelectivitiesFromValues(raw, mode);
+}
+
+CompiledQuery::CompiledQuery(QuerySpec spec, SelectivityMode mode)
+    : spec_(std::move(spec)), mode_(mode) {
+  Validate();
+  ComputeDerived();
+}
+
+void CompiledQuery::Validate() const {
+  auto validate_filter_chain = [](const std::vector<OperatorSpec>& ops) {
+    for (const OperatorSpec& op : ops) {
+      AQSIOS_CHECK(op.kind != OperatorKind::kWindowJoin)
+          << "window joins may only appear as QuerySpec::join_op";
+      AQSIOS_CHECK_GT(op.cost_ms, 0.0) << op.ToString();
+      AQSIOS_CHECK_GT(op.selectivity, 0.0) << op.ToString();
+      AQSIOS_CHECK_LE(op.selectivity, 1.0) << op.ToString();
+      if (op.actual_selectivity >= 0.0) {
+        AQSIOS_CHECK_GT(op.actual_selectivity, 0.0) << op.ToString();
+        AQSIOS_CHECK_LE(op.actual_selectivity, 1.0) << op.ToString();
+      }
+    }
+  };
+  auto validate_join = [](const OperatorSpec& join) {
+    AQSIOS_CHECK(join.kind == OperatorKind::kWindowJoin);
+    AQSIOS_CHECK_GT(join.cost_ms, 0.0);
+    AQSIOS_CHECK_GT(join.selectivity, 0.0);
+    AQSIOS_CHECK_LE(join.selectivity, 1.0);
+    AQSIOS_CHECK((join.window_seconds > 0.0) != (join.window_rows > 0))
+        << "window join needs exactly one of a time or a row window: "
+        << join.ToString();
+  };
+  if (spec_.is_multi_stream()) {
+    AQSIOS_CHECK(spec_.join_op.has_value())
+        << "multi-stream query " << spec_.id << " needs a join operator";
+    validate_join(*spec_.join_op);
+    AQSIOS_CHECK_NE(spec_.left_stream, spec_.right_stream)
+        << "two-stream query must read two distinct streams";
+    AQSIOS_CHECK_GT(spec_.left_mean_inter_arrival, 0.0);
+    AQSIOS_CHECK_GT(spec_.right_mean_inter_arrival, 0.0);
+    validate_filter_chain(spec_.left_ops);
+    validate_filter_chain(spec_.right_ops);
+    validate_filter_chain(spec_.common_ops);
+    std::vector<stream::StreamId> streams = {spec_.left_stream,
+                                             spec_.right_stream};
+    for (const JoinStage& stage : spec_.extra_stages) {
+      validate_join(stage.join);
+      validate_filter_chain(stage.side_ops);
+      AQSIOS_CHECK_GT(stage.mean_inter_arrival, 0.0);
+      for (stream::StreamId s : streams) {
+        AQSIOS_CHECK_NE(s, stage.stream)
+            << "join inputs must read distinct streams";
+      }
+      streams.push_back(stage.stream);
+    }
+  } else {
+    AQSIOS_CHECK(spec_.extra_stages.empty())
+        << "extra join stages require a multi-stream query";
+    AQSIOS_CHECK(!spec_.join_op.has_value())
+        << "single-stream query " << spec_.id << " cannot have a join";
+    AQSIOS_CHECK(spec_.right_ops.empty());
+    AQSIOS_CHECK(spec_.common_ops.empty());
+    AQSIOS_CHECK(!spec_.left_ops.empty())
+        << "query " << spec_.id << " has no operators";
+    validate_filter_chain(spec_.left_ops);
+  }
+}
+
+void CompiledQuery::ComputeDerived() {
+  left_effective_selectivity_ = EffectiveSelectivities(spec_.left_ops, mode_);
+  if (spec_.is_multi_stream()) {
+    right_effective_selectivity_ =
+        EffectiveSelectivities(spec_.right_ops, mode_);
+    common_effective_selectivity_ =
+        EffectiveSelectivities(spec_.common_ops, mode_);
+    for (const JoinStage& stage : spec_.extra_stages) {
+      stage_effective_selectivity_.push_back(
+          EffectiveSelectivities(stage.side_ops, mode_));
+    }
+    // Definition 6 generalized to a left-deep pipeline: every side segment
+    // is processed once and every join charges C_J to each of its two
+    // inputs: T = Σ_j C_side(j) + Σ_s 2·C_J(s) + C_C.
+    ideal_time_ =
+        ChainTotalCost(spec_.common_ops, 0, spec_.common_ops.size());
+    for (int input = 0; input < num_join_inputs(); ++input) {
+      ideal_time_ += TotalSideCost(input);
+    }
+    for (int stage = 0; stage < num_join_stages(); ++stage) {
+      ideal_time_ += 2.0 * StageJoin(stage).cost();
+    }
+  } else {
+    chain_effective_selectivity_ = left_effective_selectivity_;
+    actual_chain_effective_selectivity_ =
+        ActualEffectiveSelectivities(spec_.left_ops, mode_);
+    ideal_time_ = ChainTotalCost(spec_.left_ops, 0, spec_.left_ops.size());
+  }
+}
+
+double CompiledQuery::EffectiveChainSelectivity(int x) const {
+  AQSIOS_CHECK(!is_multi_stream());
+  AQSIOS_CHECK_GE(x, 0);
+  AQSIOS_CHECK_LT(x, chain_length());
+  return chain_effective_selectivity_[static_cast<size_t>(x)];
+}
+
+SegmentStats CompiledQuery::ChainSegmentStats(int x) const {
+  AQSIOS_CHECK(!is_multi_stream())
+      << "use SideLeafStats for multi-stream queries";
+  AQSIOS_CHECK_GE(x, 0);
+  AQSIOS_CHECK_LT(x, chain_length());
+  SegmentStats stats;
+  const size_t begin = static_cast<size_t>(x);
+  const size_t end = spec_.left_ops.size();
+  stats.selectivity = ChainSelectivity(chain_effective_selectivity_, begin,
+                                       end);
+  stats.expected_cost = ChainExpectedCost(
+      spec_.left_ops, chain_effective_selectivity_, begin, end);
+  stats.ideal_time = ideal_time_;
+  return stats;
+}
+
+SegmentStats CompiledQuery::ActualChainSegmentStats(int x) const {
+  AQSIOS_CHECK(!is_multi_stream())
+      << "actual stats are implemented for single-stream chains";
+  AQSIOS_CHECK_GE(x, 0);
+  AQSIOS_CHECK_LT(x, chain_length());
+  SegmentStats stats;
+  const size_t begin = static_cast<size_t>(x);
+  const size_t end = spec_.left_ops.size();
+  stats.selectivity =
+      ChainSelectivity(actual_chain_effective_selectivity_, begin, end);
+  stats.expected_cost = ChainExpectedCost(
+      spec_.left_ops, actual_chain_effective_selectivity_, begin, end);
+  stats.ideal_time = ideal_time_;
+  return stats;
+}
+
+SegmentStats CompiledQuery::LeafStats() const {
+  if (is_multi_stream()) return SideLeafStats(Side::kLeft);
+  return ChainSegmentStats(0);
+}
+
+int CompiledQuery::num_join_inputs() const {
+  if (!is_multi_stream()) return 0;
+  return 2 + static_cast<int>(spec_.extra_stages.size());
+}
+
+int CompiledQuery::num_join_stages() const {
+  if (!is_multi_stream()) return 0;
+  return 1 + static_cast<int>(spec_.extra_stages.size());
+}
+
+const OperatorSpec& CompiledQuery::StageJoin(int stage) const {
+  AQSIOS_CHECK(is_multi_stream());
+  AQSIOS_CHECK_GE(stage, 0);
+  AQSIOS_CHECK_LT(stage, num_join_stages());
+  if (stage == 0) return *spec_.join_op;
+  return spec_.extra_stages[static_cast<size_t>(stage - 1)].join;
+}
+
+const std::vector<OperatorSpec>& CompiledQuery::SideOps(int input) const {
+  AQSIOS_CHECK_GE(input, 0);
+  AQSIOS_CHECK_LT(input, num_join_inputs());
+  if (input == 0) return spec_.left_ops;
+  if (input == 1) return spec_.right_ops;
+  return spec_.extra_stages[static_cast<size_t>(input - 2)].side_ops;
+}
+
+const std::vector<double>& CompiledQuery::SideEffective(int input) const {
+  AQSIOS_CHECK_GE(input, 0);
+  AQSIOS_CHECK_LT(input, num_join_inputs());
+  if (input == 0) return left_effective_selectivity_;
+  if (input == 1) return right_effective_selectivity_;
+  return stage_effective_selectivity_[static_cast<size_t>(input - 2)];
+}
+
+SimTime CompiledQuery::SideTau(int input) const {
+  AQSIOS_CHECK_GE(input, 0);
+  AQSIOS_CHECK_LT(input, num_join_inputs());
+  if (input == 0) return spec_.left_mean_inter_arrival;
+  if (input == 1) return spec_.right_mean_inter_arrival;
+  return spec_.extra_stages[static_cast<size_t>(input - 2)]
+      .mean_inter_arrival;
+}
+
+stream::StreamId CompiledQuery::JoinInputStream(int input) const {
+  AQSIOS_CHECK_GE(input, 0);
+  AQSIOS_CHECK_LT(input, num_join_inputs());
+  if (input == 0) return spec_.left_stream;
+  if (input == 1) return spec_.right_stream;
+  return spec_.extra_stages[static_cast<size_t>(input - 2)].stream;
+}
+
+double CompiledQuery::SideSelectivity(int input) const {
+  const std::vector<double>& effective = SideEffective(input);
+  return ChainSelectivity(effective, 0, effective.size());
+}
+
+SimTime CompiledQuery::SideExpectedCost(int input) const {
+  const std::vector<OperatorSpec>& ops = SideOps(input);
+  return ChainExpectedCost(ops, SideEffective(input), 0, ops.size());
+}
+
+double CompiledQuery::SideSurvivorRate(int input) const {
+  return SideSelectivity(input) / SideTau(input);
+}
+
+double CompiledQuery::StageOutputRate(int stage) const {
+  AQSIOS_CHECK_GE(stage, 0);
+  AQSIOS_CHECK_LT(stage, num_join_stages());
+  // λ_s: composites per second produced by stage s. Each pair is generated
+  // exactly once (by whichever member is processed second), so for time
+  // windows the pair rate is λ_{s-1} · ρ_{s+1} · 2V_s, and for row windows
+  // N_s residents face every arrival of either side: N_s · (λ_{s-1} +
+  // ρ_{s+1}); both thinned by the match probability.
+  double rate = SideSurvivorRate(0);
+  for (int s = 0; s <= stage; ++s) {
+    const OperatorSpec& join = StageJoin(s);
+    const double stream_rate = SideSurvivorRate(s + 1);
+    if (join.is_row_window()) {
+      rate = join.selectivity * static_cast<double>(join.window_rows) *
+             (rate + stream_rate);
+    } else {
+      rate *= stream_rate * 2.0 * join.window_seconds * join.selectivity;
+    }
+  }
+  return rate;
+}
+
+/// Resident tuples on one side of a join stage: rate × V for time windows
+/// (§5.2's occupancy estimate), the fixed row count for row windows.
+double CompiledQuery::StageSideOccupancy(int stage, bool stream_side) const {
+  const OperatorSpec& join = StageJoin(stage);
+  if (join.is_row_window()) {
+    return static_cast<double>(join.window_rows);
+  }
+  const double rate =
+      stream_side
+          ? SideSurvivorRate(stage + 1)
+          : (stage == 0 ? SideSurvivorRate(0) : StageOutputRate(stage - 1));
+  return rate * join.window_seconds;
+}
+
+double CompiledQuery::StageCompositeAmplification(int stage) const {
+  // Composites crossing stage s from the accumulated side meet the
+  // stream-side residents, thinned by the match probability.
+  return StageSideOccupancy(stage, /*stream_side=*/true) *
+         StageJoin(stage).selectivity;
+}
+
+SimTime CompiledQuery::DownstreamCompositeCost(int stage) const {
+  // Expected processing a stage-s output composite still incurs: the next
+  // stage's join charge plus, per generated composite, the cost after that;
+  // after the last stage, the (discounted) common segment.
+  const SimTime common_cost =
+      ChainExpectedCost(spec_.common_ops, common_effective_selectivity_, 0,
+                        spec_.common_ops.size());
+  SimTime cost = common_cost;
+  for (int s = num_join_stages() - 1; s > stage; --s) {
+    cost = StageJoin(s).cost() + StageCompositeAmplification(s) * cost;
+  }
+  return cost;
+}
+
+double CompiledQuery::ExpectedWindowPartners(Side side) const {
+  AQSIOS_CHECK(is_multi_stream());
+  // Partners of a `side` tuple of the base join live in the *opposite*
+  // hash table: S_other · V / τ_other (§5.2), or the row count for row
+  // windows.
+  return StageSideOccupancy(0, /*stream_side=*/side == Side::kLeft);
+}
+
+SegmentStats CompiledQuery::JoinInputStats(int input) const {
+  AQSIOS_CHECK(is_multi_stream());
+  AQSIOS_CHECK_GE(input, 0);
+  AQSIOS_CHECK_LT(input, num_join_inputs());
+  const int stage = input <= 1 ? 0 : input - 1;
+  const OperatorSpec& join = StageJoin(stage);
+
+  // Resident partners this input's survivors probe: the opposite table's
+  // occupancy (stream-side residents for input 0; accumulated-composite
+  // residents for stream inputs j >= 1).
+  const double opposite_occupancy =
+      StageSideOccupancy(stage, /*stream_side=*/input == 0);
+  const double generated = opposite_occupancy * join.selectivity;
+
+  // Amplification by all later stages, then the common segment.
+  double downstream_selectivity = ChainSelectivity(
+      common_effective_selectivity_, 0, common_effective_selectivity_.size());
+  for (int s = stage + 1; s < num_join_stages(); ++s) {
+    downstream_selectivity *= StageCompositeAmplification(s);
+  }
+
+  const double side_selectivity = SideSelectivity(input);
+  SegmentStats stats;
+  // S_x: recursive generalization of §5.2's
+  //   S_x = S_side · S_J · (S_other · V/τ) · S_C.
+  stats.selectivity = side_selectivity * generated * downstream_selectivity;
+  // C̄_x = C_side + S_side·C_J + S_side·(generated)·C_downstream.
+  stats.expected_cost =
+      SideExpectedCost(input) +
+      side_selectivity *
+          (join.cost() + generated * DownstreamCompositeCost(stage));
+  stats.ideal_time = ideal_time_;
+  return stats;
+}
+
+SegmentStats CompiledQuery::SideLeafStats(Side side) const {
+  AQSIOS_CHECK(is_multi_stream());
+  return JoinInputStats(side == Side::kLeft ? 0 : 1);
+}
+
+SimTime CompiledQuery::TotalSideCost(int input) const {
+  const std::vector<OperatorSpec>& ops = SideOps(input);
+  return ChainTotalCost(ops, 0, ops.size());
+}
+
+SimTime CompiledQuery::TotalSideCost(Side side) const {
+  AQSIOS_CHECK(is_multi_stream());
+  return TotalSideCost(side == Side::kLeft ? 0 : 1);
+}
+
+SimTime CompiledQuery::TotalCommonCost() const {
+  AQSIOS_CHECK(is_multi_stream());
+  return ChainTotalCost(spec_.common_ops, 0, spec_.common_ops.size());
+}
+
+SimTime CompiledQuery::JoinCost() const {
+  AQSIOS_CHECK(is_multi_stream());
+  return spec_.join_op->cost();
+}
+
+SimTime CompiledQuery::IdealCompositePathCost(int trigger_input) const {
+  AQSIOS_CHECK(is_multi_stream());
+  AQSIOS_CHECK_GE(trigger_input, 0);
+  AQSIOS_CHECK_LT(trigger_input, num_join_inputs());
+  // The trigger constituent runs its side segment, the join it enters, and
+  // every later stage's join, then the common segment.
+  const int first_stage = trigger_input <= 1 ? 0 : trigger_input - 1;
+  SimTime cost = TotalSideCost(trigger_input) + TotalCommonCost();
+  for (int s = first_stage; s < num_join_stages(); ++s) {
+    cost += StageJoin(s).cost();
+  }
+  return cost;
+}
+
+SimTime CompiledQuery::IdealCompositePathCost(Side trigger_side) const {
+  return IdealCompositePathCost(trigger_side == Side::kLeft ? 0 : 1);
+}
+
+SimTime CompiledQuery::ExpectedWorkPerArrival(stream::StreamId s) const {
+  if (!is_multi_stream()) {
+    return s == spec_.left_stream ? LeafStats().expected_cost : 0.0;
+  }
+  SimTime work = 0.0;
+  for (int input = 0; input < num_join_inputs(); ++input) {
+    if (JoinInputStream(input) == s) {
+      work += JoinInputStats(input).expected_cost;
+    }
+  }
+  return work;
+}
+
+SimTime CompiledQuery::ActualExpectedWorkPerArrival(
+    stream::StreamId s) const {
+  if (!is_multi_stream()) {
+    return s == spec_.left_stream ? ActualChainSegmentStats(0).expected_cost
+                                  : 0.0;
+  }
+  // Multi-stream drift is not modeled; assumed stats are exact there.
+  return ExpectedWorkPerArrival(s);
+}
+
+SimTime CompiledQuery::MinOperatorCost() const {
+  SimTime min_cost = std::numeric_limits<SimTime>::infinity();
+  auto scan = [&min_cost](const std::vector<OperatorSpec>& ops) {
+    for (const OperatorSpec& op : ops) min_cost = std::min(min_cost, op.cost());
+  };
+  scan(spec_.left_ops);
+  scan(spec_.right_ops);
+  scan(spec_.common_ops);
+  if (spec_.join_op.has_value()) {
+    min_cost = std::min(min_cost, spec_.join_op->cost());
+  }
+  for (const JoinStage& stage : spec_.extra_stages) {
+    scan(stage.side_ops);
+    min_cost = std::min(min_cost, stage.join.cost());
+  }
+  return min_cost;
+}
+
+}  // namespace aqsios::query

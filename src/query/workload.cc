@@ -1,0 +1,283 @@
+#include "query/workload.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "stream/trace.h"
+
+namespace aqsios::query {
+namespace {
+
+std::unique_ptr<stream::ArrivalProcess> MakeProcess(
+    const WorkloadConfig& config, uint64_t seed) {
+  switch (config.arrival_pattern) {
+    case ArrivalPattern::kOnOff:
+      return std::make_unique<stream::OnOffArrivalProcess>(config.onoff, seed);
+    case ArrivalPattern::kPoisson:
+      return std::make_unique<stream::PoissonArrivalProcess>(
+          config.poisson_rate, seed);
+    case ArrivalPattern::kDeterministic:
+      return std::make_unique<stream::DeterministicArrivalProcess>(
+          config.deterministic_interval, config.deterministic_interval);
+    case ArrivalPattern::kTraceFile: {
+      AQSIOS_CHECK(!config.trace_path.empty())
+          << "kTraceFile needs WorkloadConfig::trace_path";
+      auto timestamps = stream::ReadTrace(config.trace_path);
+      AQSIOS_CHECK(timestamps.ok())
+          << "cannot load trace: " << timestamps.status();
+      return std::make_unique<stream::TraceArrivalProcess>(
+          std::move(timestamps).value());
+    }
+  }
+  AQSIOS_CHECK(false) << "unknown arrival pattern";
+  return nullptr;
+}
+
+/// Draws a selectivity, optionally snapped to a 10-point grid so query
+/// classes are well defined.
+double DrawSelectivity(const WorkloadConfig& config, Rng& rng) {
+  if (!config.quantize_selectivity) {
+    return rng.Uniform(config.selectivity_min, config.selectivity_max);
+  }
+  constexpr int kGridPoints = 10;
+  const int level = static_cast<int>(rng.UniformInt(0, kGridPoints - 1));
+  const double step =
+      (config.selectivity_max - config.selectivity_min) / (kGridPoints - 1);
+  return config.selectivity_min + step * level;
+}
+
+struct DrawnQuery {
+  int cost_class = 0;
+  double selectivity = 1.0;
+  double window_seconds = 0.0;
+  /// Windows of the extra join stages (multi-stream with > 2 streams).
+  std::vector<double> extra_windows;
+  /// Multiplier from assumed to actual selectivity (1 = exact statistics).
+  double drift_factor = 1.0;
+
+  double ActualSelectivity() const {
+    return std::clamp(selectivity * drift_factor, 0.01, 1.0);
+  }
+};
+
+/// Applies a drawn drift factor to a filter operator.
+OperatorSpec WithDrift(OperatorSpec op, const DrawnQuery& d) {
+  if (d.drift_factor != 1.0) op.actual_selectivity = d.ActualSelectivity();
+  return op;
+}
+
+/// Builds the full spec list for a given scale factor K (ms).
+std::vector<QuerySpec> BuildSpecs(const WorkloadConfig& config,
+                                  const std::vector<DrawnQuery>& drawn,
+                                  const std::vector<DrawnQuery>& shared_leaf,
+                                  const std::vector<int>& group_of_query,
+                                  const std::vector<SimTime>& taus,
+                                  double k_ms) {
+  const SimTime tau_left = taus[0];
+  const SimTime tau_right = taus.size() > 1 ? taus[1] : 1.0;
+  std::vector<QuerySpec> specs;
+  specs.reserve(drawn.size());
+  for (size_t q = 0; q < drawn.size(); ++q) {
+    const DrawnQuery& d = drawn[q];
+    const double cost_ms = k_ms * std::pow(2.0, d.cost_class);
+    QuerySpec spec;
+    spec.id = static_cast<QueryId>(q);
+    spec.cost_class = d.cost_class;
+    spec.class_selectivity = d.selectivity;
+    if (config.multi_stream) {
+      spec.left_stream = 0;
+      spec.right_stream = 1;
+      spec.left_ops = {MakeSelect(cost_ms, d.selectivity)};
+      spec.right_ops = {MakeSelect(cost_ms, d.selectivity)};
+      spec.join_op =
+          MakeWindowJoin(cost_ms, d.selectivity, d.window_seconds);
+      spec.common_ops = {MakeProject(cost_ms)};
+      spec.left_mean_inter_arrival = tau_left;
+      spec.right_mean_inter_arrival = tau_right;
+      for (size_t extra = 0; extra < d.extra_windows.size(); ++extra) {
+        JoinStage stage;
+        stage.stream = static_cast<stream::StreamId>(2 + extra);
+        stage.side_ops = {MakeSelect(cost_ms, d.selectivity)};
+        stage.join = MakeWindowJoin(cost_ms, d.selectivity,
+                                    d.extra_windows[extra]);
+        stage.mean_inter_arrival = taus[2 + extra];
+        spec.extra_stages.push_back(std::move(stage));
+      }
+    } else {
+      spec.left_stream = 0;
+      const int group = group_of_query[q];
+      if (group >= 0) {
+        const DrawnQuery& leaf = shared_leaf[static_cast<size_t>(group)];
+        const double leaf_cost_ms = k_ms * std::pow(2.0, leaf.cost_class);
+        spec.left_ops = {
+            WithDrift(MakeSelect(leaf_cost_ms, leaf.selectivity), leaf),
+            WithDrift(MakeStoredJoin(cost_ms, d.selectivity), d),
+            MakeProject(cost_ms)};
+      } else {
+        spec.left_ops = {WithDrift(MakeSelect(cost_ms, d.selectivity), d),
+                         WithDrift(MakeStoredJoin(cost_ms, d.selectivity), d),
+                         MakeProject(cost_ms)};
+      }
+    }
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+int NumStreams(const WorkloadConfig& config) {
+  return config.multi_stream ? config.join_streams : 1;
+}
+
+GlobalPlan CompilePlan(const WorkloadConfig& config,
+                       std::vector<QuerySpec> specs,
+                       const std::vector<SharingGroup>& groups) {
+  std::vector<CompiledQuery> queries;
+  queries.reserve(specs.size());
+  for (QuerySpec& spec : specs) {
+    queries.emplace_back(std::move(spec), config.selectivity_mode);
+  }
+  return GlobalPlan(std::move(queries), groups, NumStreams(config));
+}
+
+}  // namespace
+
+const char* ArrivalPatternName(ArrivalPattern pattern) {
+  switch (pattern) {
+    case ArrivalPattern::kOnOff:
+      return "onoff";
+    case ArrivalPattern::kPoisson:
+      return "poisson";
+    case ArrivalPattern::kDeterministic:
+      return "deterministic";
+    case ArrivalPattern::kTraceFile:
+      return "trace_file";
+  }
+  return "unknown";
+}
+
+Workload GenerateWorkload(const WorkloadConfig& config) {
+  AQSIOS_CHECK_GT(config.num_queries, 0);
+  AQSIOS_CHECK_GT(config.num_cost_classes, 0);
+  AQSIOS_CHECK_GT(config.utilization, 0.0);
+  AQSIOS_CHECK_GT(config.num_arrivals, 1);
+  AQSIOS_CHECK_GT(config.selectivity_min, 0.0);
+  AQSIOS_CHECK_LE(config.selectivity_max, 1.0);
+  AQSIOS_CHECK_LE(config.selectivity_min, config.selectivity_max);
+  if (config.sharing_group_size >= 2) {
+    AQSIOS_CHECK(!config.multi_stream)
+        << "operator sharing is modeled for single-stream workloads";
+  }
+
+  Rng rng(config.seed);
+  const uint64_t arrivals_seed = rng.Fork();
+  const uint64_t content_seed = rng.Fork();
+
+  // --- Arrivals -----------------------------------------------------------
+  if (config.multi_stream) AQSIOS_CHECK_GE(config.join_streams, 2);
+  const int num_streams = NumStreams(config);
+  std::vector<std::vector<stream::Arrival>> per_stream;
+  Rng arrivals_rng(arrivals_seed);
+  for (int s = 0; s < num_streams; ++s) {
+    auto process = MakeProcess(config, arrivals_rng.Fork());
+    per_stream.push_back(stream::GenerateArrivals(
+        *process, s, config.num_arrivals / num_streams, arrivals_rng.Fork(),
+        config.num_join_keys));
+  }
+  stream::ArrivalTable arrivals =
+      stream::MergeArrivalTables(std::move(per_stream));
+  AQSIOS_CHECK_GT(arrivals.size(), 1);
+
+  std::vector<SimTime> taus(static_cast<size_t>(num_streams), 1.0);
+  for (int s = 0; s < num_streams; ++s) {
+    taus[static_cast<size_t>(s)] = arrivals.MeanInterArrival(s);
+    AQSIOS_CHECK_GT(taus[static_cast<size_t>(s)], 0.0);
+  }
+
+  // --- Query population ---------------------------------------------------
+  Rng content_rng(content_seed);
+  std::vector<DrawnQuery> drawn(static_cast<size_t>(config.num_queries));
+  for (DrawnQuery& d : drawn) {
+    d.cost_class =
+        static_cast<int>(content_rng.UniformInt(0, config.num_cost_classes - 1));
+    d.selectivity = DrawSelectivity(config, content_rng);
+    if (config.multi_stream) {
+      d.window_seconds = content_rng.Uniform(config.window_min_seconds,
+                                             config.window_max_seconds);
+      for (int extra = 0; extra < config.join_streams - 2; ++extra) {
+        d.extra_windows.push_back(content_rng.Uniform(
+            config.window_min_seconds, config.window_max_seconds));
+      }
+    }
+    if (config.selectivity_misestimation > 0.0) {
+      AQSIOS_CHECK(!config.multi_stream)
+          << "selectivity drift is modeled for single-stream workloads";
+      d.drift_factor =
+          content_rng.Uniform(1.0 - config.selectivity_misestimation,
+                              1.0 + config.selectivity_misestimation);
+    }
+  }
+
+  std::vector<int> group_of_query(drawn.size(), -1);
+  std::vector<SharingGroup> groups;
+  std::vector<DrawnQuery> shared_leaf;
+  if (config.sharing_group_size >= 2) {
+    const int group_size = config.sharing_group_size;
+    for (int start = 0; start + group_size <= config.num_queries;
+         start += group_size) {
+      SharingGroup group;
+      group.id = static_cast<int>(groups.size());
+      for (int q = start; q < start + group_size; ++q) {
+        group.members.push_back(static_cast<QueryId>(q));
+        group_of_query[static_cast<size_t>(q)] = group.id;
+      }
+      DrawnQuery leaf;
+      leaf.cost_class =
+          static_cast<int>(content_rng.UniformInt(0, config.num_cost_classes - 1));
+      leaf.selectivity = DrawSelectivity(config, content_rng);
+      if (config.selectivity_misestimation > 0.0) {
+        leaf.drift_factor =
+            content_rng.Uniform(1.0 - config.selectivity_misestimation,
+                                1.0 + config.selectivity_misestimation);
+      }
+      shared_leaf.push_back(leaf);
+      groups.push_back(std::move(group));
+    }
+  }
+
+  // --- Calibration of K (§8) ----------------------------------------------
+  // All operator costs are linear in K, so expected work per arrival with
+  // K = k equals k times the work with K = 1 (the window-occupancy term
+  // V/τ does not depend on K).
+  GlobalPlan unit_plan = CompilePlan(
+      config,
+      BuildSpecs(config, drawn, shared_leaf, group_of_query, taus,
+                 /*k_ms=*/1.0),
+      groups);
+  // The true load is what the system actually executes, so calibration uses
+  // the actual selectivities (identical to the assumed ones without drift).
+  double unit_work_rate = 0.0;  // fraction of CPU consumed with K = 1
+  for (int s = 0; s < num_streams; ++s) {
+    unit_work_rate += unit_plan.ActualExpectedWorkPerArrival(s) /
+                      taus[static_cast<size_t>(s)];
+  }
+  AQSIOS_CHECK_GT(unit_work_rate, 0.0);
+  const double k_ms = config.utilization / unit_work_rate;
+
+  Workload workload;
+  workload.plan = CompilePlan(
+      config,
+      BuildSpecs(config, drawn, shared_leaf, group_of_query, taus, k_ms),
+      groups);
+  workload.arrivals = std::move(arrivals);
+  workload.scale_factor_k_ms = k_ms;
+  workload.expected_utilization = k_ms * unit_work_rate;
+  workload.selectivity_mode = config.selectivity_mode;
+  return workload;
+}
+
+}  // namespace aqsios::query

@@ -1,0 +1,213 @@
+#include "sched/basic_policies.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace aqsios::sched {
+
+// --- FCFS -------------------------------------------------------------------
+
+void FcfsScheduler::Attach(const UnitTable* units) {
+  units_ = units;
+  fifo_.clear();
+}
+
+void FcfsScheduler::OnEnqueue(int unit) { fifo_.push_back(unit); }
+
+void FcfsScheduler::OnDequeue(int /*unit*/) {}
+
+bool FcfsScheduler::PickNext(SimTime /*now*/, SchedulingCost* /*cost*/,
+                             std::vector<int>* out) {
+  if (fifo_.empty()) return false;
+  out->push_back(fifo_.front());
+  fifo_.pop_front();
+  return true;
+}
+
+// --- Round Robin -------------------------------------------------------------
+
+void RoundRobinScheduler::Attach(const UnitTable* units) {
+  units_ = units;
+  cursor_ = 0;
+}
+
+bool RoundRobinScheduler::PickNext(SimTime /*now*/, SchedulingCost* /*cost*/,
+                                   std::vector<int>* out) {
+  const int n = static_cast<int>(units_->size());
+  if (n == 0) return false;
+  for (int step = 0; step < n; ++step) {
+    const int candidate = (cursor_ + step) % n;
+    if ((*units_)[static_cast<size_t>(candidate)].has_pending()) {
+      cursor_ = (candidate + 1) % n;
+      out->push_back(candidate);
+      return true;
+    }
+  }
+  return false;
+}
+
+// --- Static priority family (SRPT / HR / HNR) --------------------------------
+
+double StaticPriorityScheduler::PriorityOf(StaticPolicy policy,
+                                           const Unit& unit) {
+  switch (policy) {
+    case StaticPolicy::kSrpt:
+      return 1.0 / unit.stats.ideal_time;
+    case StaticPolicy::kHr:
+      return unit.stats.output_rate;
+    case StaticPolicy::kHnr:
+      return unit.stats.normalized_rate;
+    case StaticPolicy::kChain:
+      return unit.stats.chain_slope;
+  }
+  AQSIOS_CHECK(false) << "unknown static policy";
+  return 0.0;
+}
+
+const char* StaticPriorityScheduler::name() const {
+  switch (policy_) {
+    case StaticPolicy::kSrpt:
+      return "SRPT";
+    case StaticPolicy::kHr:
+      return "HR";
+    case StaticPolicy::kHnr:
+      return "HNR";
+    case StaticPolicy::kChain:
+      return "Chain";
+  }
+  return "static";
+}
+
+void StaticPriorityScheduler::RebuildRanks() {
+  const int n = static_cast<int>(units_->size());
+  std::vector<int> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return PriorityOf(policy_, (*units_)[static_cast<size_t>(a)]) >
+           PriorityOf(policy_, (*units_)[static_cast<size_t>(b)]);
+  });
+  rank_.assign(static_cast<size_t>(n), 0);
+  for (int r = 0; r < n; ++r) rank_[static_cast<size_t>(order[r])] = r;
+}
+
+void StaticPriorityScheduler::Attach(const UnitTable* units) {
+  units_ = units;
+  ready_.clear();
+  RebuildRanks();
+}
+
+void StaticPriorityScheduler::OnStatsUpdated() {
+  RebuildRanks();
+  // Ranks changed; rebuild the ready set keyed by the new ranks.
+  ready_.clear();
+  for (const Unit& unit : *units_) {
+    if (unit.has_pending()) {
+      ready_.insert({rank_[static_cast<size_t>(unit.id)], unit.id});
+    }
+  }
+}
+
+void StaticPriorityScheduler::OnEnqueue(int unit) {
+  const Unit& u = (*units_)[static_cast<size_t>(unit)];
+  if (u.queue.size() == 1) {
+    ready_.insert({rank_[static_cast<size_t>(unit)], unit});
+  }
+}
+
+void StaticPriorityScheduler::OnDequeue(int unit) {
+  const Unit& u = (*units_)[static_cast<size_t>(unit)];
+  if (u.queue.empty()) {
+    ready_.erase({rank_[static_cast<size_t>(unit)], unit});
+  }
+}
+
+bool StaticPriorityScheduler::PickNext(SimTime /*now*/,
+                                       SchedulingCost* /*cost*/,
+                                       std::vector<int>* out) {
+  if (ready_.empty()) return false;
+  out->push_back(ready_.begin()->second);
+  return true;
+}
+
+// --- LSF ----------------------------------------------------------------------
+
+void LsfScheduler::Attach(const UnitTable* units) {
+  units_ = units;
+  ready_.clear();
+}
+
+void LsfScheduler::OnEnqueue(int unit) {
+  if ((*units_)[static_cast<size_t>(unit)].queue.size() == 1) {
+    ready_.insert(unit);
+  }
+}
+
+void LsfScheduler::OnDequeue(int unit) {
+  if ((*units_)[static_cast<size_t>(unit)].queue.empty()) {
+    ready_.erase(unit);
+  }
+}
+
+bool LsfScheduler::PickNext(SimTime now, SchedulingCost* /*cost*/,
+                            std::vector<int>* out) {
+  if (ready_.empty()) return false;
+  int best = -1;
+  double best_priority = -1.0;
+  for (int unit : ready_) {
+    const Unit& u = (*units_)[static_cast<size_t>(unit)];
+    const double priority = u.HeadWait(now) / u.stats.ideal_time;
+    if (priority > best_priority) {
+      best_priority = priority;
+      best = unit;
+    }
+  }
+  out->push_back(best);
+  return true;
+}
+
+// --- Exact BSD ------------------------------------------------------------------
+
+void BsdScheduler::Attach(const UnitTable* units) {
+  units_ = units;
+  ready_.clear();
+}
+
+void BsdScheduler::OnEnqueue(int unit) {
+  if ((*units_)[static_cast<size_t>(unit)].queue.size() == 1) {
+    ready_.insert(unit);
+  }
+}
+
+void BsdScheduler::OnDequeue(int unit) {
+  if ((*units_)[static_cast<size_t>(unit)].queue.empty()) {
+    ready_.erase(unit);
+  }
+}
+
+bool BsdScheduler::PickNext(SimTime now, SchedulingCost* cost,
+                            std::vector<int>* out) {
+  if (ready_.empty()) return false;
+  int best = -1;
+  double best_priority = -1.0;
+  for (int unit : ready_) {
+    const Unit& u = (*units_)[static_cast<size_t>(unit)];
+    const double priority = u.stats.phi * u.HeadWait(now);
+    if (priority > best_priority) {
+      best_priority = priority;
+      best = unit;
+    }
+  }
+  // §6.2: a naive implementation recomputes the priority of every installed
+  // query's leaf at each scheduling point.
+  const int64_t touched = count_all_units_
+                              ? static_cast<int64_t>(units_->size())
+                              : static_cast<int64_t>(ready_.size());
+  cost->computations += touched;
+  cost->comparisons += touched;
+  out->push_back(best);
+  return true;
+}
+
+}  // namespace aqsios::sched

@@ -1,0 +1,132 @@
+// The non-clustered scheduling policies: FCFS, RR (Aurora-style), the static
+// priority family (SRPT / HR / HNR), LSF, and the exact (scan-based) BSD.
+//
+// Priorities (paper Eq. 3–6):
+//   SRPT:  1 / T           — shortest ideal processing time first
+//   HR:    S / C̄           — highest global output rate first
+//   HNR:   S / (C̄·T)       — highest normalized rate first
+//   LSF:   W / T           — longest current stretch first
+//   BSD:   (S / (C̄·T²))·W  — balance slowdown
+
+#ifndef AQSIOS_SCHED_BASIC_POLICIES_H_
+#define AQSIOS_SCHED_BASIC_POLICIES_H_
+
+#include <deque>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "sched/scheduler.h"
+
+namespace aqsios::sched {
+
+/// First-come-first-served over system arrival order. Entries are served in
+/// global enqueue order, which coincides with arrival order for leaf queues.
+class FcfsScheduler : public Scheduler {
+ public:
+  void Attach(const UnitTable* units) override;
+  void OnEnqueue(int unit) override;
+  void OnDequeue(int unit) override;
+  bool PickNext(SimTime now, SchedulingCost* cost,
+                std::vector<int>* out) override;
+  const char* name() const override { return "FCFS"; }
+
+ private:
+  const UnitTable* units_ = nullptr;
+  std::deque<int> fifo_;
+};
+
+/// Aurora's two-level scheme reduced to the unit level: Round-Robin across
+/// units with pending tuples. (Within a unit, execution is the pipelined
+/// rate-based segment run, which at query-level granularity is the whole
+/// query — matching the RR/RB combination the paper compares against.)
+class RoundRobinScheduler : public Scheduler {
+ public:
+  void Attach(const UnitTable* units) override;
+  void OnEnqueue(int /*unit*/) override {}
+  void OnDequeue(int /*unit*/) override {}
+  bool PickNext(SimTime now, SchedulingCost* cost,
+                std::vector<int>* out) override;
+  const char* name() const override { return "RR"; }
+
+ private:
+  const UnitTable* units_ = nullptr;
+  int cursor_ = 0;
+};
+
+/// Which static priority a StaticPriorityScheduler orders by. kChain is the
+/// memory-minimizing baseline (progress-chart envelope slope, see
+/// sched/chain_policy.h).
+enum class StaticPolicy { kSrpt, kHr, kHnr, kChain };
+
+/// Serves the ready unit with the highest static priority. O(log n) per
+/// event via a rank-ordered ready set.
+class StaticPriorityScheduler : public Scheduler {
+ public:
+  explicit StaticPriorityScheduler(StaticPolicy policy) : policy_(policy) {}
+
+  void Attach(const UnitTable* units) override;
+  void OnEnqueue(int unit) override;
+  void OnDequeue(int unit) override;
+  bool PickNext(SimTime now, SchedulingCost* cost,
+                std::vector<int>* out) override;
+  /// Re-ranks all units by their refreshed stats, preserving queue state.
+  void OnStatsUpdated() override;
+  const char* name() const override;
+
+  /// The priority value this policy assigns to `unit` (exposed for tests).
+  static double PriorityOf(StaticPolicy policy, const Unit& unit);
+
+ private:
+  void RebuildRanks();
+
+  StaticPolicy policy_;
+  const UnitTable* units_ = nullptr;
+  /// rank[unit] = position in descending priority order (ties by id).
+  std::vector<int> rank_;
+  /// Ready units keyed by rank; begin() is the highest-priority ready unit.
+  std::set<std::pair<int, int>> ready_;
+};
+
+/// Longest Stretch First (Eq. 5): max W/T among ready units. The ordering is
+/// time-varying, so each pick scans the ready set.
+class LsfScheduler : public Scheduler {
+ public:
+  void Attach(const UnitTable* units) override;
+  void OnEnqueue(int unit) override;
+  void OnDequeue(int unit) override;
+  bool PickNext(SimTime now, SchedulingCost* cost,
+                std::vector<int>* out) override;
+  const char* name() const override { return "LSF"; }
+
+ private:
+  const UnitTable* units_ = nullptr;
+  std::set<int> ready_;
+};
+
+/// Exact Balance Slowdown (Eq. 6): max Φ·W. `count_all_units` selects the
+/// naive-implementation accounting the paper describes in §6.2 (the
+/// scheduler touches all q units at every scheduling point); otherwise only
+/// ready units are counted. The *hypothetical* BSD of §9.2 is this scheduler
+/// with engine-side overhead charging disabled.
+class BsdScheduler : public Scheduler {
+ public:
+  explicit BsdScheduler(bool count_all_units = true)
+      : count_all_units_(count_all_units) {}
+
+  void Attach(const UnitTable* units) override;
+  void OnEnqueue(int unit) override;
+  void OnDequeue(int unit) override;
+  bool PickNext(SimTime now, SchedulingCost* cost,
+                std::vector<int>* out) override;
+  const char* name() const override { return "BSD"; }
+
+ private:
+  bool count_all_units_;
+  const UnitTable* units_ = nullptr;
+  std::set<int> ready_;
+};
+
+}  // namespace aqsios::sched
+
+#endif  // AQSIOS_SCHED_BASIC_POLICIES_H_

@@ -1,0 +1,35 @@
+#include "sched/chain_policy.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+
+namespace aqsios::sched {
+
+double ChainEnvelopeSlope(const std::vector<query::OperatorSpec>& ops,
+                          const std::vector<double>& effective, int x) {
+  AQSIOS_CHECK_EQ(ops.size(), effective.size());
+  AQSIOS_CHECK_GE(x, 0);
+  AQSIOS_CHECK_LT(static_cast<size_t>(x), ops.size());
+  double selectivity = 1.0;
+  double cost = 0.0;
+  double best = std::numeric_limits<double>::lowest();
+  for (size_t k = static_cast<size_t>(x); k < ops.size(); ++k) {
+    selectivity *= effective[k];
+    cost += ops[k].cost();
+    best = std::max(best, (1.0 - selectivity) / cost);
+  }
+  // Terminal departure: survivors of the whole segment are emitted at the
+  // root and leave the system, dropping the chart to 0.
+  best = std::max(best, 1.0 / cost);
+  return best;
+}
+
+double AggregateSlope(double selectivity, double expected_cost) {
+  AQSIOS_CHECK_GT(expected_cost, 0.0);
+  (void)selectivity;  // every queued tuple departs, filtered or emitted
+  return 1.0 / expected_cost;
+}
+
+}  // namespace aqsios::sched

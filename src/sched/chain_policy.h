@@ -1,0 +1,45 @@
+// Chain scheduling (Babcock et al., SIGMOD'03) — the memory-minimizing
+// baseline the paper classifies in Table 3.
+//
+// Chain looks at an operator path's *progress chart*: starting from (0, 1),
+// each operator moves the point by (+cost, ×selectivity). The priority of an
+// operator is the steepest slope of the chart's lower envelope from that
+// operator's input point — i.e. how fast executing forward from here can
+// shed queued tuples per unit of processing time. Operators on steep
+// segments run first, which provably minimizes the worst-case run-time
+// memory for FIFO-within-priority schedules.
+//
+// Chain optimizes memory, not QoS; the ablation bench contrasts its memory
+// footprint and its slowdown against the QoS policies.
+
+#ifndef AQSIOS_SCHED_CHAIN_POLICY_H_
+#define AQSIOS_SCHED_CHAIN_POLICY_H_
+
+#include <vector>
+
+#include "query/operator.h"
+
+namespace aqsios::sched {
+
+/// Steepest lower-envelope slope of the progress chart of ops[x..n), with
+/// `effective` the per-operator (conditional) selectivities aligned to ops.
+/// The chart runs from (0, 1) through (Σc_i, Πs_i) after each operator and
+/// ends at 0: tuples emitted at the root depart the system and free their
+/// queue slot just like filtered ones. Hence
+///
+///   slope = max( max_{k >= x} (1 − Π_{i=x..k} s_i) / (Σ_{i=x..k} c_i),
+///                1 / Σ_{i=x..n-1} c_i ).
+///
+/// Unit: shed queued tuples per second of processing.
+double ChainEnvelopeSlope(const std::vector<query::OperatorSpec>& ops,
+                          const std::vector<double>& effective, int x);
+
+/// Slope for a segment summarized by its aggregate expected cost: executing
+/// the whole segment removes the queued tuple (filtered or emitted) after C̄
+/// expected seconds, so the queue-drop rate is 1 / C̄. Used for units
+/// without an explicit operator chain (join sides, shared groups).
+double AggregateSlope(double selectivity, double expected_cost);
+
+}  // namespace aqsios::sched
+
+#endif  // AQSIOS_SCHED_CHAIN_POLICY_H_

@@ -1,0 +1,181 @@
+#include "sched/clustered_bsd.h"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace aqsios::sched {
+
+ClusteredBsdScheduler::ClusteredBsdScheduler(
+    const ClusteredBsdOptions& options)
+    : options_(options) {
+  std::ostringstream os;
+  os << "BSD-"
+     << (options.clustering == ClusteringKind::kLogarithmic ? "Logarithmic"
+                                                            : "Uniform");
+  if (options.use_fagin) os << "+FA";
+  if (options.clustered_processing) os << "+CP";
+  name_ = os.str();
+}
+
+void ClusteredBsdScheduler::Attach(const UnitTable* units) {
+  units_ = units;
+  clustering_ =
+      BuildClustering(*units, options_.clustering, options_.num_clusters);
+  cluster_queues_.assign(
+      static_cast<size_t>(clustering_.num_clusters), {});
+  by_head_time_.clear();
+  seen_epoch_.assign(static_cast<size_t>(clustering_.num_clusters), 0);
+  fagin_epoch_ = 0;
+
+  by_pseudo_priority_.resize(
+      static_cast<size_t>(clustering_.num_clusters));
+  std::iota(by_pseudo_priority_.begin(), by_pseudo_priority_.end(), 0);
+  std::stable_sort(by_pseudo_priority_.begin(), by_pseudo_priority_.end(),
+                   [this](int a, int b) {
+                     return clustering_.pseudo_priority[static_cast<size_t>(
+                                a)] >
+                            clustering_.pseudo_priority[static_cast<size_t>(
+                                b)];
+                   });
+}
+
+void ClusteredBsdScheduler::OnEnqueue(int unit) {
+  const Unit& u = (*units_)[static_cast<size_t>(unit)];
+  AQSIOS_DCHECK(!u.queue.empty());
+  const QueueEntry& pushed = u.queue.back();
+  const int cluster = clustering_.cluster_of_unit[static_cast<size_t>(unit)];
+  auto& queue = cluster_queues_[static_cast<size_t>(cluster)];
+  if (queue.empty()) {
+    by_head_time_.insert({pushed.arrival_time, cluster});
+  }
+  queue.push_back(Entry{unit, pushed.arrival, pushed.arrival_time});
+}
+
+void ClusteredBsdScheduler::OnDequeue(int /*unit*/) {
+  // Bookkeeping for scheduled entries already happened in PickNext.
+}
+
+int ClusteredBsdScheduler::SelectByScan(SimTime now,
+                                        SchedulingCost* cost) const {
+  int best = -1;
+  double best_priority = -1.0;
+  for (const auto& [head_time, cluster] : by_head_time_) {
+    const double priority =
+        clustering_.pseudo_priority[static_cast<size_t>(cluster)] *
+        (now - head_time);
+    ++cost->computations;
+    ++cost->comparisons;
+    if (priority > best_priority) {
+      best_priority = priority;
+      best = cluster;
+    }
+  }
+  return best;
+}
+
+int ClusteredBsdScheduler::SelectByFagin(SimTime now,
+                                         SchedulingCost* cost) const {
+  // List A: clusters in descending pseudo-priority order (skipping empty
+  // ones). List B: non-empty clusters in descending head-wait order.
+  // Alternate sorted accesses; each accessed cluster's full priority is
+  // evaluated (the "random access" of the other attribute is a O(1) lookup).
+  // Stop once the best seen priority is at least the threshold
+  // pseudo(next unseen in A) × wait(next unseen in B).
+  int best = -1;
+  double best_priority = -1.0;
+
+  ++fagin_epoch_;
+  auto eval = [&](int cluster) {
+    // A cluster reached through both lists is only evaluated once.
+    int& seen = seen_epoch_[static_cast<size_t>(cluster)];
+    if (seen == fagin_epoch_) return;
+    seen = fagin_epoch_;
+    const double priority =
+        clustering_.pseudo_priority[static_cast<size_t>(cluster)] *
+        (now - HeadTime(cluster));
+    ++cost->computations;
+    ++cost->comparisons;
+    if (priority > best_priority) {
+      best_priority = priority;
+      best = cluster;
+    }
+  };
+
+  size_t ia = 0;  // position in by_pseudo_priority_
+  auto ib = by_head_time_.begin();
+
+  auto advance_a = [&]() -> int {
+    while (ia < by_pseudo_priority_.size()) {
+      const int cluster = by_pseudo_priority_[ia];
+      if (!cluster_queues_[static_cast<size_t>(cluster)].empty()) {
+        return cluster;
+      }
+      ++ia;
+    }
+    return -1;
+  };
+
+  while (true) {
+    const int ca = advance_a();
+    if (ca >= 0) {
+      eval(ca);
+      ++ia;
+    }
+    if (ib != by_head_time_.end()) {
+      eval(ib->second);
+      ++ib;
+    }
+    // Threshold from the next unseen positions.
+    const int next_a = advance_a();
+    const bool a_done = next_a < 0;
+    const bool b_done = ib == by_head_time_.end();
+    if (a_done && b_done) break;
+    double threshold = 0.0;
+    if (!a_done && !b_done) {
+      threshold =
+          clustering_.pseudo_priority[static_cast<size_t>(next_a)] *
+          (now - ib->first);
+    } else if (!a_done) {
+      // B exhausted: every remaining cluster was already seen via B.
+      break;
+    } else {
+      // A exhausted: every remaining cluster was already seen via A.
+      break;
+    }
+    ++cost->comparisons;
+    if (best_priority >= threshold) break;
+  }
+  return best;
+}
+
+bool ClusteredBsdScheduler::PickNext(SimTime now, SchedulingCost* cost,
+                                     std::vector<int>* out) {
+  if (by_head_time_.empty()) return false;
+  const int cluster = options_.use_fagin ? SelectByFagin(now, cost)
+                                         : SelectByScan(now, cost);
+  AQSIOS_DCHECK_GE(cluster, 0);
+
+  auto& queue = cluster_queues_[static_cast<size_t>(cluster)];
+  AQSIOS_DCHECK(!queue.empty());
+  by_head_time_.erase({queue.front().arrival_time, cluster});
+
+  const stream::ArrivalId head_arrival = queue.front().arrival;
+  out->push_back(queue.front().unit);
+  queue.pop_front();
+  if (options_.clustered_processing) {
+    // Execute every member of the cluster pending on the same head tuple.
+    while (!queue.empty() && queue.front().arrival == head_arrival) {
+      out->push_back(queue.front().unit);
+      queue.pop_front();
+    }
+  }
+  if (!queue.empty()) {
+    by_head_time_.insert({queue.front().arrival_time, cluster});
+  }
+  return true;
+}
+
+}  // namespace aqsios::sched

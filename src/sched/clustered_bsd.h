@@ -1,0 +1,88 @@
+// Efficient BSD implementations (§6.2): clustering, Fagin-style search
+// pruning, and clustered processing.
+//
+// The scheduler keeps one FIFO per cluster. A cluster's priority at a
+// scheduling point is (pseudo priority) × (wait of its oldest pending
+// tuple). Selection is either a linear scan over the non-empty clusters or —
+// with `use_fagin` — the top-1 variant of Fagin's Algorithm over two sorted
+// lists (clusters by static pseudo priority, clusters by head wait time),
+// which typically stops after touching a handful of clusters (§6.2.2, the
+// RxW-style pruning).
+//
+// With `clustered_processing`, one scheduling decision executes the head
+// tuple through *every* member query of the winning cluster (§6.2.3),
+// amortizing the decision cost.
+
+#ifndef AQSIOS_SCHED_CLUSTERED_BSD_H_
+#define AQSIOS_SCHED_CLUSTERED_BSD_H_
+
+#include <deque>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sched/clustering.h"
+#include "sched/scheduler.h"
+
+namespace aqsios::sched {
+
+struct ClusteredBsdOptions {
+  ClusteringKind clustering = ClusteringKind::kLogarithmic;
+  /// Number of clusters m (the paper's sweet spot is ~12, Figure 13).
+  int num_clusters = 12;
+  /// Enable Fagin top-1 search pruning (§6.2.2).
+  bool use_fagin = false;
+  /// Enable clustered processing (§6.2.3).
+  bool clustered_processing = false;
+};
+
+class ClusteredBsdScheduler : public Scheduler {
+ public:
+  explicit ClusteredBsdScheduler(const ClusteredBsdOptions& options);
+
+  void Attach(const UnitTable* units) override;
+  void OnEnqueue(int unit) override;
+  void OnDequeue(int unit) override;
+  bool PickNext(SimTime now, SchedulingCost* cost,
+                std::vector<int>* out) override;
+  const char* name() const override { return name_.c_str(); }
+
+  const Clustering& clustering() const { return clustering_; }
+  const ClusteredBsdOptions& options() const { return options_; }
+
+ private:
+  struct Entry {
+    int unit = 0;
+    stream::ArrivalId arrival = 0;
+    SimTime arrival_time = 0.0;
+  };
+
+  /// Linear scan over non-empty clusters; returns the winning cluster.
+  int SelectByScan(SimTime now, SchedulingCost* cost) const;
+  /// Fagin top-1 over the two sorted lists; returns the winning cluster.
+  int SelectByFagin(SimTime now, SchedulingCost* cost) const;
+
+  SimTime HeadTime(int cluster) const {
+    return cluster_queues_[static_cast<size_t>(cluster)].front().arrival_time;
+  }
+
+  ClusteredBsdOptions options_;
+  std::string name_;
+  const UnitTable* units_ = nullptr;
+  Clustering clustering_;
+  std::vector<std::deque<Entry>> cluster_queues_;
+  /// Cluster ids in descending pseudo-priority order (Fagin's list A).
+  std::vector<int> by_pseudo_priority_;
+  /// Non-empty clusters keyed by oldest-pending-arrival time, i.e. by
+  /// descending head wait (Fagin's list B). Doubles as the non-empty set.
+  std::set<std::pair<SimTime, int>> by_head_time_;
+  /// Per-cluster marker of the last Fagin pass that evaluated it (avoids
+  /// duplicate evaluations when a cluster surfaces in both sorted lists).
+  mutable std::vector<int> seen_epoch_;
+  mutable int fagin_epoch_ = 0;
+};
+
+}  // namespace aqsios::sched
+
+#endif  // AQSIOS_SCHED_CLUSTERED_BSD_H_

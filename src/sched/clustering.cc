@@ -1,0 +1,95 @@
+#include "sched/clustering.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace aqsios::sched {
+
+const char* ClusteringKindName(ClusteringKind kind) {
+  switch (kind) {
+    case ClusteringKind::kUniform:
+      return "uniform";
+    case ClusteringKind::kLogarithmic:
+      return "logarithmic";
+  }
+  return "unknown";
+}
+
+std::string Clustering::ToString() const {
+  std::ostringstream os;
+  os << ClusteringKindName(kind) << " m=" << num_clusters
+     << " delta=" << delta;
+  if (kind == ClusteringKind::kLogarithmic) os << " epsilon=" << epsilon;
+  return os.str();
+}
+
+Clustering BuildClustering(const UnitTable& units, ClusteringKind kind,
+                           int num_clusters) {
+  AQSIOS_CHECK_GT(num_clusters, 0);
+  AQSIOS_CHECK(!units.empty());
+
+  double phi_min = std::numeric_limits<double>::infinity();
+  double phi_max = 0.0;
+  for (const Unit& unit : units) {
+    AQSIOS_CHECK_GT(unit.stats.phi, 0.0)
+        << "unit " << unit.id << " has non-positive phi";
+    phi_min = std::min(phi_min, unit.stats.phi);
+    phi_max = std::max(phi_max, unit.stats.phi);
+  }
+
+  Clustering clustering;
+  clustering.kind = kind;
+  clustering.num_clusters = num_clusters;
+  clustering.delta = phi_max / phi_min;
+  clustering.cluster_of_unit.resize(units.size());
+  clustering.pseudo_priority.assign(static_cast<size_t>(num_clusters), 0.0);
+
+  if (phi_max == phi_min || num_clusters == 1) {
+    // Degenerate domain: everything lands in cluster 0.
+    clustering.num_clusters = 1;
+    clustering.pseudo_priority.assign(1, phi_min);
+    clustering.epsilon = 1.0;
+    std::fill(clustering.cluster_of_unit.begin(),
+              clustering.cluster_of_unit.end(), 0);
+    return clustering;
+  }
+
+  if (kind == ClusteringKind::kLogarithmic) {
+    // Cluster i covers Φ in [Φ_min·ε^i, Φ_min·ε^(i+1)), ε = Δ^(1/m).
+    clustering.epsilon =
+        std::pow(clustering.delta, 1.0 / static_cast<double>(num_clusters));
+    const double log_eps = std::log(clustering.epsilon);
+    for (int i = 0; i < num_clusters; ++i) {
+      clustering.pseudo_priority[static_cast<size_t>(i)] =
+          phi_min * std::exp(log_eps * i);
+    }
+    for (size_t u = 0; u < units.size(); ++u) {
+      const double phi = units[u].stats.phi;
+      int index = static_cast<int>(
+          std::floor(std::log(phi / phi_min) / log_eps));
+      index = std::clamp(index, 0, num_clusters - 1);
+      clustering.cluster_of_unit[u] = index;
+    }
+  } else {
+    // Cluster i covers Φ in [Φ_min + i·w, Φ_min + (i+1)·w).
+    const double width =
+        (phi_max - phi_min) / static_cast<double>(num_clusters);
+    for (int i = 0; i < num_clusters; ++i) {
+      clustering.pseudo_priority[static_cast<size_t>(i)] =
+          phi_min + width * i;
+    }
+    for (size_t u = 0; u < units.size(); ++u) {
+      const double phi = units[u].stats.phi;
+      int index = static_cast<int>(std::floor((phi - phi_min) / width));
+      index = std::clamp(index, 0, num_clusters - 1);
+      clustering.cluster_of_unit[u] = index;
+    }
+  }
+  return clustering;
+}
+
+}  // namespace aqsios::sched

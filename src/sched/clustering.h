@@ -1,0 +1,54 @@
+// Priority-domain clustering for the efficient BSD implementation (§6.2.1).
+//
+// The BSD priority factors into a static part Φ_x = S/(C̄·T²) and a dynamic
+// wait time W. Clustering partitions the Φ domain into m ranges; all units
+// in a cluster inherit the cluster's pseudo priority, so the scheduler only
+// compares m cluster priorities instead of q unit priorities.
+//
+// Two partitioning schemes are implemented:
+//   * uniform     — equal-width ranges (Aurora's approach, the paper's
+//                   strawman): the ratio between the largest and smallest
+//                   priority inside one cluster is unbounded;
+//   * logarithmic — equal-ratio ranges [ε^i, ε^(i+1)) with ε = Δ^(1/m)
+//                   (the paper's proposal): the intra-cluster priority ratio
+//                   is exactly ε everywhere.
+
+#ifndef AQSIOS_SCHED_CLUSTERING_H_
+#define AQSIOS_SCHED_CLUSTERING_H_
+
+#include <string>
+#include <vector>
+
+#include "sched/unit.h"
+
+namespace aqsios::sched {
+
+enum class ClusteringKind { kUniform, kLogarithmic };
+
+const char* ClusteringKindName(ClusteringKind kind);
+
+/// A computed partition of the units' Φ domain.
+struct Clustering {
+  ClusteringKind kind = ClusteringKind::kLogarithmic;
+  int num_clusters = 0;
+  /// Cluster index of each unit (aligned with the unit table).
+  std::vector<int> cluster_of_unit;
+  /// Pseudo priority of each cluster: the lower edge of its Φ range (the
+  /// paper assigns cluster i the pseudo priority ε^i).
+  std::vector<double> pseudo_priority;
+  /// Δ = Φ_max / Φ_min over the unit population.
+  double delta = 1.0;
+  /// For logarithmic clustering, the per-cluster ratio ε = Δ^(1/m).
+  double epsilon = 1.0;
+
+  std::string ToString() const;
+};
+
+/// Partitions the units into `num_clusters` clusters by their Φ values.
+/// Requires at least one unit with Φ > 0.
+Clustering BuildClustering(const UnitTable& units, ClusteringKind kind,
+                           int num_clusters);
+
+}  // namespace aqsios::sched
+
+#endif  // AQSIOS_SCHED_CLUSTERING_H_

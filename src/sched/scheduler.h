@@ -1,0 +1,57 @@
+// Scheduler interface.
+//
+// The execution engine owns the unit table (including input queues) and
+// notifies the scheduler as entries are enqueued and dequeued. At each
+// scheduling point it asks the scheduler which unit(s) to execute next.
+
+#ifndef AQSIOS_SCHED_SCHEDULER_H_
+#define AQSIOS_SCHED_SCHEDULER_H_
+
+#include <vector>
+
+#include "common/sim_time.h"
+#include "sched/unit.h"
+
+namespace aqsios::sched {
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Binds the scheduler to the engine's unit table. Called once before the
+  /// run; the table's units (ids, stats) are final, only queues mutate.
+  virtual void Attach(const UnitTable* units) = 0;
+
+  /// Called after the engine pushed one entry onto units[unit].queue.
+  virtual void OnEnqueue(int unit) = 0;
+
+  /// Called after the engine popped the head entry of units[unit].queue.
+  virtual void OnDequeue(int unit) = 0;
+
+  /// Called after the adaptive statistics monitor refreshed UnitStats in
+  /// place. Policies that precompute orderings from the stats must rebuild
+  /// them here (queues are untouched); policies that read stats at decision
+  /// time need not override.
+  virtual void OnStatsUpdated() {}
+
+  /// Chooses the next unit(s) to execute. Returns false when no unit has
+  /// pending tuples. On success appends one or more unit ids to `out`; the
+  /// engine pops exactly one head entry from each returned unit, in order,
+  /// and executes the corresponding segments before the next scheduling
+  /// point (more than one unit is returned only by clustered processing,
+  /// §6.2.3, where all returned units consume the same head tuple).
+  ///
+  /// Implementations accumulate the number of priority computations and
+  /// comparisons this decision needed into `cost` (used by the
+  /// scheduling-overhead experiments, Figures 13–14); policies whose
+  /// decisions are O(1)/amortized-trivial report zero.
+  virtual bool PickNext(SimTime now, SchedulingCost* cost,
+                        std::vector<int>* out) = 0;
+
+  /// Human-readable policy name for reports.
+  virtual const char* name() const = 0;
+};
+
+}  // namespace aqsios::sched
+
+#endif  // AQSIOS_SCHED_SCHEDULER_H_

@@ -1,0 +1,94 @@
+// Priorities for shared operators (§7).
+//
+// When an operator O_x is shared by N operator segments, executing it once
+// serves all of them; its priority should reflect the aggregate benefit. The
+// aggregate normalized rate of a segment set M is (Eq. 7):
+//
+//     V = Σ_{i∈M} (S_i / T_i)  /  S̄C,   S̄C = Σ_{i∈M} C̄_i − (|M|−1)·c_x
+//
+// (and analogously with T_i² in the denominator for BSD's Φ). Three
+// strategies are compared in the paper (§9.3, Table 2):
+//
+//   Max — priority of the single best segment;
+//   Sum — aggregate over all N segments;
+//   PDT — the Priority-Defining Tree: the aggregate over the best prefix of
+//         segments in descending individual-priority order, grown greedily
+//         while the aggregate keeps increasing. Segments outside the PDT are
+//         scheduled separately as remainder units.
+
+#ifndef AQSIOS_SCHED_SHARING_H_
+#define AQSIOS_SCHED_SHARING_H_
+
+#include <vector>
+
+#include "query/query.h"
+#include "sched/unit.h"
+
+namespace aqsios::sched {
+
+enum class SharingStrategy { kMax, kSum, kPdt };
+
+const char* SharingStrategyName(SharingStrategy strategy);
+
+/// Which priority function the strategy optimizes; the PDT (and Max argmax)
+/// depend on it because segments order differently under 1/T and 1/T².
+enum class SharingObjective { kHnr, kBsd };
+
+/// One member segment E_x^i of a sharing group, described by its full
+/// characterizing parameters (shared operator included).
+struct MemberSegment {
+  query::QueryId query = 0;
+  /// S_x^i — global selectivity of the full segment.
+  double selectivity = 1.0;
+  /// C̄_x^i — global average cost of the full segment (seconds).
+  SimTime expected_cost = 0.0;
+  /// T_i — ideal total processing time of query i (seconds).
+  SimTime ideal_time = 0.0;
+
+  double HnrPriority() const {
+    return selectivity / (expected_cost * ideal_time);
+  }
+  double BsdPhi() const {
+    return selectivity / (expected_cost * ideal_time * ideal_time);
+  }
+};
+
+/// Aggregate stats of a segment subset under the shared-cost model.
+struct GroupAggregate {
+  /// S̄C — total cost with the shared operator counted once (seconds).
+  SimTime shared_cost = 0.0;
+  double sum_selectivity = 0.0;       // Σ S_i
+  double sum_sel_over_t = 0.0;        // Σ S_i / T_i
+  double sum_sel_over_t2 = 0.0;       // Σ S_i / T_i²
+  SimTime min_ideal_time = 0.0;       // min T_i
+
+  double OutputRate() const { return sum_selectivity / shared_cost; }
+  double NormalizedRate() const { return sum_sel_over_t / shared_cost; }
+  double Phi() const { return sum_sel_over_t2 / shared_cost; }
+};
+
+/// Aggregates `members[indices]` with shared operator cost c_x.
+GroupAggregate AggregateMembers(const std::vector<MemberSegment>& members,
+                                const std::vector<int>& indices,
+                                SimTime shared_op_cost);
+
+/// Result of applying a sharing strategy to a group.
+struct GroupPriority {
+  /// Stats to install on the group's schedulable unit.
+  UnitStats stats;
+  /// Queries whose segments run as one pipelined bundle when the shared
+  /// operator is scheduled.
+  std::vector<query::QueryId> executed_members;
+  /// Queries scheduled separately as remainder units L_x^i (PDT only).
+  std::vector<query::QueryId> remainder_members;
+};
+
+/// Computes the group priority and execution split under `strategy`.
+GroupPriority ComputeGroupPriority(const std::vector<MemberSegment>& members,
+                                   SimTime shared_op_cost,
+                                   SharingStrategy strategy,
+                                   SharingObjective objective);
+
+}  // namespace aqsios::sched
+
+#endif  // AQSIOS_SCHED_SHARING_H_

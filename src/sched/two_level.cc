@@ -1,0 +1,67 @@
+#include "sched/two_level.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace aqsios::sched {
+
+void TwoLevelRrScheduler::Attach(const UnitTable* units) {
+  units_ = units;
+  units_of_query_.clear();
+  cursor_ = 0;
+  int max_query = -1;
+  for (const Unit& unit : *units) {
+    max_query = std::max(max_query, static_cast<int>(unit.query));
+  }
+  units_of_query_.resize(static_cast<size_t>(max_query + 1));
+  pending_of_query_.assign(static_cast<size_t>(max_query + 1), 0);
+  for (const Unit& unit : *units) {
+    units_of_query_[static_cast<size_t>(unit.query)].push_back(unit.id);
+  }
+  OnStatsUpdated();
+}
+
+void TwoLevelRrScheduler::OnStatsUpdated() {
+  // Inner level: rate-based (RB) order — highest segment output rate first.
+  for (auto& unit_ids : units_of_query_) {
+    std::stable_sort(unit_ids.begin(), unit_ids.end(), [this](int a, int b) {
+      return (*units_)[static_cast<size_t>(a)].stats.output_rate >
+             (*units_)[static_cast<size_t>(b)].stats.output_rate;
+    });
+  }
+}
+
+void TwoLevelRrScheduler::OnEnqueue(int unit) {
+  ++pending_of_query_[static_cast<size_t>(
+      (*units_)[static_cast<size_t>(unit)].query)];
+}
+
+void TwoLevelRrScheduler::OnDequeue(int unit) {
+  int64_t& pending = pending_of_query_[static_cast<size_t>(
+      (*units_)[static_cast<size_t>(unit)].query)];
+  --pending;
+  AQSIOS_DCHECK_GE(pending, 0);
+}
+
+bool TwoLevelRrScheduler::PickNext(SimTime /*now*/, SchedulingCost* /*cost*/,
+                                   std::vector<int>* out) {
+  const int num_queries = static_cast<int>(units_of_query_.size());
+  if (num_queries == 0) return false;
+  for (int step = 0; step < num_queries; ++step) {
+    const int query = (cursor_ + step) % num_queries;
+    if (pending_of_query_[static_cast<size_t>(query)] == 0) continue;
+    // Inner rate-based pass over this query's ready operators.
+    for (int unit : units_of_query_[static_cast<size_t>(query)]) {
+      if ((*units_)[static_cast<size_t>(unit)].has_pending()) {
+        cursor_ = (query + 1) % num_queries;
+        out->push_back(unit);
+        return true;
+      }
+    }
+    AQSIOS_DCHECK(false) << "pending count out of sync for query " << query;
+  }
+  return false;
+}
+
+}  // namespace aqsios::sched

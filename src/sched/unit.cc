@@ -1,0 +1,51 @@
+#include "sched/unit.h"
+
+#include "sched/chain_policy.h"
+
+namespace aqsios::sched {
+
+const char* UnitKindName(UnitKind kind) {
+  switch (kind) {
+    case UnitKind::kQueryChain:
+      return "query_chain";
+    case UnitKind::kOperator:
+      return "operator";
+    case UnitKind::kSharedGroup:
+      return "shared_group";
+    case UnitKind::kRemainder:
+      return "remainder";
+    case UnitKind::kJoinSideLeft:
+      return "join_side_left";
+    case UnitKind::kJoinSideRight:
+      return "join_side_right";
+    case UnitKind::kJoinInput:
+      return "join_input";
+  }
+  return "unknown";
+}
+
+void RederiveUnitStats(UnitStats* stats) {
+  stats->output_rate = stats->selectivity / stats->expected_cost;
+  stats->normalized_rate = stats->output_rate / stats->ideal_time;
+  stats->phi = stats->normalized_rate / stats->ideal_time;
+  stats->chain_slope =
+      AggregateSlope(stats->selectivity, stats->expected_cost);
+}
+
+UnitStats StatsFromSegment(const query::SegmentStats& segment) {
+  UnitStats stats;
+  stats.selectivity = segment.selectivity;
+  stats.expected_cost = segment.expected_cost;
+  stats.output_rate = segment.OutputRate();
+  stats.normalized_rate = segment.NormalizedRate();
+  stats.phi = segment.Phi();
+  stats.ideal_time = segment.ideal_time;
+  // Default Chain slope from the segment aggregate; unit builders with
+  // access to the full operator chain override this with the exact
+  // progress-chart envelope slope.
+  stats.chain_slope =
+      AggregateSlope(segment.selectivity, segment.expected_cost);
+  return stats;
+}
+
+}  // namespace aqsios::sched

@@ -1,0 +1,127 @@
+// Schedulable units.
+//
+// Following the paper, the scheduler does not pick operators directly but
+// *operator segments* (§3): executing a unit means the pipelined execution of
+// a segment of operators on the tuple at the head of the unit's input queue.
+// Depending on the scheduling level and plan structure, a unit is:
+//
+//   kQueryChain  — a whole single-stream query (query-level scheduling);
+//   kOperator    — one operator of a chain (operator-level scheduling); its
+//                  priority derives from the segment E_x starting there;
+//   kSharedGroup — the shared leaf operator of a sharing group plus the
+//                  member segments executed with it (§7);
+//   kRemainder   — the rest L_x^i of a member segment excluded from a PDT;
+//   kJoinSideLeft/kJoinSideRight — the virtual segments E_LL / E_RR of a
+//                  two-stream window-join query (§5.2).
+//
+// Every unit carries the static priority ingredients of all policies so the
+// scheduler implementations stay trivial and uniform.
+
+#ifndef AQSIOS_SCHED_UNIT_H_
+#define AQSIOS_SCHED_UNIT_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/sim_time.h"
+#include "query/query.h"
+#include "stream/tuple.h"
+
+namespace aqsios::sched {
+
+enum class UnitKind {
+  kQueryChain,
+  kOperator,
+  kSharedGroup,
+  kRemainder,
+  kJoinSideLeft,
+  kJoinSideRight,
+  /// A third-or-later stream input of a left-deep multi-join query;
+  /// Unit::op_index holds the join input index (>= 2).
+  kJoinInput,
+};
+
+const char* UnitKindName(UnitKind kind);
+
+/// One pending tuple in a unit's input queue. `arrival_time` is the tuple's
+/// system arrival time A_i (not the time it entered this particular queue):
+/// wait times W in the LSF/BSD priorities measure time in the system.
+struct QueueEntry {
+  stream::ArrivalId arrival = 0;
+  SimTime arrival_time = 0.0;
+};
+
+/// Static priority ingredients of a unit (derived from SegmentStats, or from
+/// a sharing strategy for kSharedGroup units). "Static" means per-scheduling
+/// -point constant; the adaptive statistics monitor may refresh these from
+/// run-time observations (followed by Scheduler::OnStatsUpdated).
+struct UnitStats {
+  /// Global selectivity S of the unit's segment (expected emissions per
+  /// execution).
+  double selectivity = 1.0;
+  /// Global average cost C̄ of the unit's segment (expected busy seconds per
+  /// execution).
+  SimTime expected_cost = 0.0;
+  /// Output rate S/C̄ — the HR priority (Eq. 4).
+  double output_rate = 0.0;
+  /// Normalized rate S/(C̄·T) — the HNR priority (Eq. 3).
+  double normalized_rate = 0.0;
+  /// Φ = S/(C̄·T²) — static component of the BSD priority (§6.2.1).
+  double phi = 0.0;
+  /// Ideal total processing time T of the tuples this unit produces; the
+  /// denominator of LSF's W/T and SRPT's shortest-first ordering.
+  SimTime ideal_time = 0.0;
+  /// Steepest progress-chart slope from this unit's first operator — the
+  /// Chain policy's priority (see sched/chain_policy.h).
+  double chain_slope = 0.0;
+};
+
+/// Builds UnitStats from an operator segment's characterizing parameters.
+UnitStats StatsFromSegment(const query::SegmentStats& segment);
+
+/// Recomputes the derived priority fields of `stats` after `selectivity`
+/// and/or `expected_cost` changed (ideal_time is preserved). Used by the
+/// adaptive statistics monitor.
+void RederiveUnitStats(UnitStats* stats);
+
+struct Unit {
+  int id = 0;
+  UnitKind kind = UnitKind::kQueryChain;
+  /// Owning query (kQueryChain/kOperator/kRemainder/kJoinSide*); the first
+  /// member for kSharedGroup.
+  query::QueryId query = 0;
+  /// kOperator: chain position of this operator. kRemainder: first chain
+  /// position of the remainder segment. Unused otherwise.
+  int op_index = 0;
+  /// Sharing group index for kSharedGroup units; -1 otherwise.
+  int group = -1;
+  /// Stream feeding this unit, or -1 for internal units (kRemainder and
+  /// non-leaf kOperator units) fed by upstream units.
+  stream::StreamId input_stream = -1;
+
+  UnitStats stats;
+  std::deque<QueueEntry> queue;
+
+  bool has_pending() const { return !queue.empty(); }
+  const QueueEntry& head() const { return queue.front(); }
+  /// Wait time of the head-of-queue tuple (W_x in the paper).
+  SimTime HeadWait(SimTime now) const { return now - queue.front().arrival_time; }
+};
+
+using UnitTable = std::vector<Unit>;
+
+/// Cost of one scheduling decision, in abstract operations. The engine
+/// charges (computations + comparisons) × (cheapest operator cost) of
+/// simulated time when overhead charging is enabled (§9.2).
+struct SchedulingCost {
+  int64_t computations = 0;
+  int64_t comparisons = 0;
+
+  int64_t total() const { return computations + comparisons; }
+  void Clear() { computations = comparisons = 0; }
+};
+
+}  // namespace aqsios::sched
+
+#endif  // AQSIOS_SCHED_UNIT_H_

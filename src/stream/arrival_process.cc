@@ -1,0 +1,116 @@
+#include "stream/arrival_process.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "common/check.h"
+
+namespace aqsios::stream {
+
+PoissonArrivalProcess::PoissonArrivalProcess(double rate, uint64_t seed)
+    : rate_(rate), rng_(seed) {
+  AQSIOS_CHECK_GT(rate, 0.0);
+}
+
+SimTime PoissonArrivalProcess::NextArrivalTime() {
+  now_ += rng_.Exponential(rate_);
+  return now_;
+}
+
+DeterministicArrivalProcess::DeterministicArrivalProcess(SimTime interval,
+                                                         SimTime start)
+    : interval_(interval), next_(start) {
+  AQSIOS_CHECK_GT(interval, 0.0);
+}
+
+SimTime DeterministicArrivalProcess::NextArrivalTime() {
+  const SimTime t = next_;
+  next_ += interval_;
+  return t;
+}
+
+OnOffArrivalProcess::OnOffArrivalProcess(const OnOffConfig& config,
+                                         uint64_t seed)
+    : config_(config), rng_(seed) {
+  AQSIOS_CHECK_GT(config.on_rate, 0.0);
+  AQSIOS_CHECK_GT(config.mean_on_duration, 0.0);
+  AQSIOS_CHECK_GT(config.mean_off_duration, 0.0);
+}
+
+SimTime OnOffArrivalProcess::NextArrivalTime() {
+  while (true) {
+    if (!in_on_period_) {
+      // Enter the next ON period after an exponential OFF sojourn.
+      now_ += rng_.Exponential(1.0 / config_.mean_off_duration);
+      on_period_end_ = now_ + rng_.Exponential(1.0 / config_.mean_on_duration);
+      in_on_period_ = true;
+    }
+    const SimTime candidate = now_ + rng_.Exponential(config_.on_rate);
+    if (candidate <= on_period_end_) {
+      now_ = candidate;
+      return now_;
+    }
+    // ON period expired before the candidate arrival: move to its end and
+    // fall into the OFF branch.
+    now_ = on_period_end_;
+    in_on_period_ = false;
+  }
+}
+
+TraceArrivalProcess::TraceArrivalProcess(std::vector<SimTime> timestamps)
+    : timestamps_(std::move(timestamps)) {
+  for (size_t i = 1; i < timestamps_.size(); ++i) {
+    AQSIOS_CHECK_GE(timestamps_[i], timestamps_[i - 1])
+        << "trace timestamps must be non-decreasing (index " << i << ")";
+  }
+}
+
+SimTime TraceArrivalProcess::NextArrivalTime() {
+  if (next_index_ >= static_cast<int64_t>(timestamps_.size())) {
+    return std::numeric_limits<SimTime>::infinity();
+  }
+  return timestamps_[static_cast<size_t>(next_index_++)];
+}
+
+std::vector<Arrival> GenerateArrivals(ArrivalProcess& process, StreamId stream,
+                                      int64_t count, uint64_t seed,
+                                      int32_t num_join_keys) {
+  AQSIOS_CHECK_GE(count, 0);
+  AQSIOS_CHECK_GT(num_join_keys, 0);
+  Rng rng(seed);
+  std::vector<Arrival> result;
+  result.reserve(static_cast<size_t>(count));
+  for (int64_t i = 0; i < count; ++i) {
+    Arrival a;
+    a.stream = stream;
+    a.time = process.NextArrivalTime();
+    if (a.time == std::numeric_limits<SimTime>::infinity()) break;
+    // (0, 100]: matches the paper's uniform [1,100] attribute while keeping
+    // "attribute <= selectivity * 100" an exact selectivity realization.
+    a.attribute = 100.0 - rng.Uniform(0.0, 100.0);
+    a.join_key = static_cast<int32_t>(rng.UniformInt(0, num_join_keys - 1));
+    result.push_back(a);
+  }
+  return result;
+}
+
+ArrivalTable MergeArrivalTables(std::vector<std::vector<Arrival>> per_stream) {
+  ArrivalTable table;
+  size_t total = 0;
+  for (const auto& v : per_stream) total += v.size();
+  table.arrivals.reserve(total);
+  for (auto& v : per_stream) {
+    table.arrivals.insert(table.arrivals.end(), v.begin(), v.end());
+  }
+  std::stable_sort(table.arrivals.begin(), table.arrivals.end(),
+                   [](const Arrival& a, const Arrival& b) {
+                     return a.time < b.time;
+                   });
+  for (size_t i = 0; i < table.arrivals.size(); ++i) {
+    table.arrivals[i].id = static_cast<ArrivalId>(i);
+  }
+  return table;
+}
+
+}  // namespace aqsios::stream

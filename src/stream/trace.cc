@@ -1,0 +1,119 @@
+#include "stream/trace.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+namespace aqsios::stream {
+
+namespace {
+constexpr char kTraceHeader[] = "# aqsios-trace v1";
+}  // namespace
+
+std::vector<SimTime> GenerateOnOffTrace(const OnOffConfig& config,
+                                        int64_t count, uint64_t seed) {
+  OnOffArrivalProcess process(config, seed);
+  std::vector<SimTime> timestamps;
+  timestamps.reserve(static_cast<size_t>(count));
+  for (int64_t i = 0; i < count; ++i) {
+    timestamps.push_back(process.NextArrivalTime());
+  }
+  return timestamps;
+}
+
+Status WriteTrace(const std::string& path,
+                  const std::vector<SimTime>& timestamps) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IoError("cannot open trace file for writing: " + path);
+  }
+  out << kTraceHeader << "\n";
+  out << "# count=" << timestamps.size() << "\n";
+  out.precision(12);
+  for (SimTime t : timestamps) {
+    out << t << "\n";
+  }
+  if (!out) {
+    return Status::IoError("write failure on trace file: " + path);
+  }
+  return Status::Ok();
+}
+
+StatusOr<std::vector<SimTime>> ReadTrace(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound("cannot open trace file: " + path);
+  }
+  std::vector<SimTime> timestamps;
+  std::string line;
+  int64_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream row(line);
+    SimTime t = 0.0;
+    if (!(row >> t)) {
+      return Status::InvalidArgument("bad timestamp at " + path + ":" +
+                                     std::to_string(line_number));
+    }
+    if (!timestamps.empty() && t < timestamps.back()) {
+      return Status::InvalidArgument("decreasing timestamp at " + path + ":" +
+                                     std::to_string(line_number));
+    }
+    timestamps.push_back(t);
+  }
+  return timestamps;
+}
+
+StatusOr<std::vector<SimTime>> ReadTimestampColumn(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound("cannot open trace file: " + path);
+  }
+  std::vector<SimTime> timestamps;
+  std::string line;
+  int64_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream row(line);
+    SimTime t = 0.0;
+    if (!(row >> t)) {
+      return Status::InvalidArgument("bad timestamp at " + path + ":" +
+                                     std::to_string(line_number));
+    }
+    timestamps.push_back(t);
+  }
+  if (timestamps.empty()) return timestamps;
+  // Packet traces may interleave several flows; enforce global time order and
+  // rebase to zero.
+  std::sort(timestamps.begin(), timestamps.end());
+  const SimTime base = timestamps.front();
+  for (SimTime& t : timestamps) t -= base;
+  return timestamps;
+}
+
+TraceStats ComputeTraceStats(const std::vector<SimTime>& timestamps) {
+  TraceStats stats;
+  stats.count = static_cast<int64_t>(timestamps.size());
+  if (timestamps.size() < 2) return stats;
+  stats.duration = timestamps.back() - timestamps.front();
+  const int64_t gaps = stats.count - 1;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (size_t i = 1; i < timestamps.size(); ++i) {
+    const double gap = timestamps[i] - timestamps[i - 1];
+    sum += gap;
+    sum_sq += gap * gap;
+    stats.max_inter_arrival = std::max(stats.max_inter_arrival, gap);
+  }
+  stats.mean_inter_arrival = sum / static_cast<double>(gaps);
+  const double mean = stats.mean_inter_arrival;
+  const double variance =
+      std::max(0.0, sum_sq / static_cast<double>(gaps) - mean * mean);
+  stats.inter_arrival_cv = mean > 0.0 ? std::sqrt(variance) / mean : 0.0;
+  return stats;
+}
+
+}  // namespace aqsios::stream

@@ -1,0 +1,29 @@
+#include "stream/tuple.h"
+
+namespace aqsios::stream {
+
+SimTime ArrivalTable::MeanInterArrival() const {
+  if (arrivals.size() < 2) return 0.0;
+  const SimTime span = arrivals.back().time - arrivals.front().time;
+  return span / static_cast<double>(arrivals.size() - 1);
+}
+
+SimTime ArrivalTable::MeanInterArrival(StreamId stream) const {
+  SimTime first = 0.0;
+  SimTime last = 0.0;
+  int64_t count = 0;
+  for (const Arrival& a : arrivals) {
+    if (a.stream != stream) continue;
+    if (count == 0) first = a.time;
+    last = a.time;
+    ++count;
+  }
+  if (count < 2) return 0.0;
+  return (last - first) / static_cast<double>(count - 1);
+}
+
+SimTime ArrivalTable::Horizon() const {
+  return arrivals.empty() ? 0.0 : arrivals.back().time;
+}
+
+}  // namespace aqsios::stream

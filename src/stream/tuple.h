@@ -1,0 +1,60 @@
+// Tuple and stream-arrival records.
+//
+// The simulator separates a stream *arrival* (one physical tuple entering
+// the DSMS, fanned out to every query subscribed to that stream) from the
+// per-query pending work items that reference it.
+
+#ifndef AQSIOS_STREAM_TUPLE_H_
+#define AQSIOS_STREAM_TUPLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/sim_time.h"
+
+namespace aqsios::stream {
+
+/// Index of an arrival within its experiment's arrival table.
+using ArrivalId = int64_t;
+
+/// Identifier of a data stream within a workload.
+using StreamId = int32_t;
+
+/// One physical tuple arriving on a stream.
+///
+/// Following the paper's testbed (§8), each tuple carries a synthetic
+/// attribute uniform in [1, 100] used to realize operator selectivities, and
+/// a join key used by windowed joins.
+struct Arrival {
+  ArrivalId id = 0;
+  StreamId stream = 0;
+  /// Arrival timestamp A_i (seconds).
+  SimTime time = 0.0;
+  /// Synthetic selectivity-control attribute, uniform real in (0, 100].
+  double attribute = 0.0;
+  /// Join key for windowed joins.
+  int32_t join_key = 0;
+};
+
+/// An experiment's full arrival table: all arrivals of all streams merged in
+/// non-decreasing time order. Arrival::id indexes into `arrivals`.
+struct ArrivalTable {
+  std::vector<Arrival> arrivals;
+
+  int64_t size() const { return static_cast<int64_t>(arrivals.size()); }
+  bool empty() const { return arrivals.empty(); }
+
+  /// Mean inter-arrival time across the whole table; 0 if fewer than two
+  /// arrivals.
+  SimTime MeanInterArrival() const;
+
+  /// Mean inter-arrival time of one stream's arrivals; 0 if fewer than two.
+  SimTime MeanInterArrival(StreamId stream) const;
+
+  /// Total simulated horizon (time of last arrival); 0 when empty.
+  SimTime Horizon() const;
+};
+
+}  // namespace aqsios::stream
+
+#endif  // AQSIOS_STREAM_TUPLE_H_

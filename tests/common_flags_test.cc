@@ -1,0 +1,100 @@
+#include "common/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace aqsios {
+namespace {
+
+TEST(FlagSetTest, ParsesEqualsSyntax) {
+  FlagSet flags("test");
+  int queries = 10;
+  double util = 0.5;
+  std::string policy = "hnr";
+  bool verbose = false;
+  flags.AddInt("queries", &queries, "n");
+  flags.AddDouble("util", &util, "u");
+  flags.AddString("policy", &policy, "p");
+  flags.AddBool("verbose", &verbose, "v");
+
+  const char* argv[] = {"test", "--queries=25", "--util=0.9",
+                        "--policy=bsd", "--verbose=true"};
+  ASSERT_TRUE(flags.Parse(5, argv).ok());
+  EXPECT_EQ(queries, 25);
+  EXPECT_DOUBLE_EQ(util, 0.9);
+  EXPECT_EQ(policy, "bsd");
+  EXPECT_TRUE(verbose);
+}
+
+TEST(FlagSetTest, ParsesSpaceSyntax) {
+  FlagSet flags("test");
+  int64_t arrivals = 0;
+  flags.AddInt("arrivals", &arrivals, "n");
+  const char* argv[] = {"test", "--arrivals", "12345"};
+  ASSERT_TRUE(flags.Parse(3, argv).ok());
+  EXPECT_EQ(arrivals, 12345);
+}
+
+TEST(FlagSetTest, BareBoolAndNegatedBool) {
+  FlagSet flags("test");
+  bool a = false;
+  bool b = true;
+  flags.AddBool("alpha", &a, "");
+  flags.AddBool("beta", &b, "");
+  const char* argv[] = {"test", "--alpha", "--nobeta"};
+  ASSERT_TRUE(flags.Parse(3, argv).ok());
+  EXPECT_TRUE(a);
+  EXPECT_FALSE(b);
+}
+
+TEST(FlagSetTest, UnknownFlagFails) {
+  FlagSet flags("test");
+  const char* argv[] = {"test", "--nope=1"};
+  const Status status = flags.Parse(2, argv);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FlagSetTest, BadValueFails) {
+  FlagSet flags("test");
+  int n = 0;
+  flags.AddInt("n", &n, "");
+  const char* argv[] = {"test", "--n=abc"};
+  EXPECT_FALSE(flags.Parse(2, argv).ok());
+}
+
+TEST(FlagSetTest, MissingValueFails) {
+  FlagSet flags("test");
+  int n = 0;
+  flags.AddInt("n", &n, "");
+  const char* argv[] = {"test", "--n"};
+  EXPECT_FALSE(flags.Parse(2, argv).ok());
+}
+
+TEST(FlagSetTest, PositionalArgumentsCollected) {
+  FlagSet flags("test");
+  const char* argv[] = {"test", "one", "two"};
+  ASSERT_TRUE(flags.Parse(3, argv).ok());
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "one");
+  EXPECT_EQ(flags.positional()[1], "two");
+}
+
+TEST(FlagSetTest, HelpRequested) {
+  FlagSet flags("test");
+  const char* argv[] = {"test", "--help"};
+  const Status status = flags.Parse(2, argv);
+  EXPECT_FALSE(status.ok());
+  EXPECT_TRUE(flags.help_requested());
+}
+
+TEST(FlagSetTest, UsageListsFlags) {
+  FlagSet flags("prog");
+  int n = 7;
+  flags.AddInt("queries", &n, "number of queries");
+  const std::string usage = flags.Usage();
+  EXPECT_NE(usage.find("--queries=7"), std::string::npos);
+  EXPECT_NE(usage.find("number of queries"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace aqsios

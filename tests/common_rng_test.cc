@@ -1,0 +1,127 @@
+#include "common/rng.h"
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace aqsios {
+namespace {
+
+TEST(RngTest, UniformWithinBounds) {
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.Uniform(2.0, 5.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng rng(2);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t v = rng.UniformInt(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u) << "all values of the range should appear";
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(3);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.Exponential(4.0);
+  EXPECT_NEAR(sum / n, 0.25, 0.01);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(4);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.Bernoulli(0.7)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.7, 0.01);
+}
+
+TEST(RngTest, SameSeedSameSequence) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, ForkedSeedsDiffer) {
+  Rng parent(5);
+  Rng child_a(parent.Fork());
+  Rng child_b(parent.Fork());
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (child_a.NextUint64() == child_b.NextUint64()) ++equal;
+  }
+  EXPECT_EQ(equal, 0) << "forked streams should be independent";
+}
+
+TEST(MixTest, Avalanche) {
+  // Flipping one input bit should change roughly half the output bits.
+  const uint64_t base = Mix64(0x123456789abcdefULL);
+  int total_flips = 0;
+  for (int bit = 0; bit < 64; ++bit) {
+    const uint64_t flipped = Mix64(0x123456789abcdefULL ^ (1ULL << bit));
+    total_flips += __builtin_popcountll(base ^ flipped);
+  }
+  const double average = total_flips / 64.0;
+  EXPECT_GT(average, 24.0);
+  EXPECT_LT(average, 40.0);
+}
+
+TEST(MixTest, MixKeysOrderSensitive) {
+  EXPECT_NE(MixKeys(1, 2), MixKeys(2, 1));
+  EXPECT_NE(MixKeys(1, 2, 3), MixKeys(3, 2, 1));
+  EXPECT_NE(MixKeys(1, 2, 3, 4), MixKeys(4, 3, 2, 1));
+  EXPECT_EQ(MixKeys(1, 2, 3), MixKeys(1, 2, 3));
+}
+
+TEST(MixTest, NoShortCycleCollisions) {
+  std::set<uint64_t> values;
+  for (uint64_t i = 0; i < 100000; ++i) {
+    values.insert(Mix64(i));
+  }
+  EXPECT_EQ(values.size(), 100000u);
+}
+
+TEST(FrozenTest, UniformInUnitInterval) {
+  for (uint64_t i = 0; i < 1000; ++i) {
+    const double v = FrozenUniform(i);
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(FrozenTest, MeanNearHalf) {
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    sum += FrozenUniform(MixKeys(77, static_cast<uint64_t>(i)));
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(FrozenTest, IndependenceAcrossSalts) {
+  // Outcomes under two different salts should be uncorrelated.
+  int both = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const bool a = FrozenBernoulli(MixKeys(1, static_cast<uint64_t>(i)), 0.5);
+    const bool b = FrozenBernoulli(MixKeys(2, static_cast<uint64_t>(i)), 0.5);
+    if (a && b) ++both;
+  }
+  EXPECT_NEAR(static_cast<double>(both) / n, 0.25, 0.01);
+}
+
+}  // namespace
+}  // namespace aqsios

@@ -1,0 +1,166 @@
+#include "common/stats.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace aqsios {
+namespace {
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0);
+  EXPECT_DOUBLE_EQ(stats.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.Max(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.Min(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.L2Norm(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.Rms(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats stats;
+  stats.Add(3.0);
+  EXPECT_EQ(stats.count(), 1);
+  EXPECT_DOUBLE_EQ(stats.Mean(), 3.0);
+  EXPECT_DOUBLE_EQ(stats.Max(), 3.0);
+  EXPECT_DOUBLE_EQ(stats.Min(), 3.0);
+  EXPECT_DOUBLE_EQ(stats.L2Norm(), 3.0);
+  EXPECT_DOUBLE_EQ(stats.Rms(), 3.0);
+}
+
+TEST(RunningStatsTest, MeanMinMax) {
+  RunningStats stats;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) stats.Add(v);
+  EXPECT_DOUBLE_EQ(stats.Mean(), 2.5);
+  EXPECT_DOUBLE_EQ(stats.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(stats.Max(), 4.0);
+}
+
+TEST(RunningStatsTest, L2NormIsPaperDefinition4) {
+  // sqrt(sum of squares), unnormalized.
+  RunningStats stats;
+  stats.Add(3.0);
+  stats.Add(4.0);
+  EXPECT_DOUBLE_EQ(stats.L2Norm(), 5.0);
+  EXPECT_DOUBLE_EQ(stats.Rms(), 5.0 / std::sqrt(2.0));
+}
+
+TEST(RunningStatsTest, L2PenalizesOutliersMoreThanMean) {
+  // Two distributions with the same mean; the one with the outlier must
+  // have the larger l2 norm.
+  RunningStats even;
+  for (int i = 0; i < 10; ++i) even.Add(10.0);
+  RunningStats skewed;
+  skewed.Add(91.0);
+  for (int i = 0; i < 9; ++i) skewed.Add(1.0);
+  EXPECT_DOUBLE_EQ(even.Mean(), skewed.Mean());
+  EXPECT_GT(skewed.L2Norm(), even.L2Norm());
+}
+
+TEST(RunningStatsTest, MergeMatchesCombinedStream) {
+  RunningStats a;
+  RunningStats b;
+  RunningStats combined;
+  for (int i = 1; i <= 10; ++i) {
+    const double v = i * 1.5;
+    (i % 2 == 0 ? a : b).Add(v);
+    combined.Add(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_DOUBLE_EQ(a.Mean(), combined.Mean());
+  EXPECT_DOUBLE_EQ(a.Min(), combined.Min());
+  EXPECT_DOUBLE_EQ(a.Max(), combined.Max());
+  EXPECT_DOUBLE_EQ(a.L2Norm(), combined.L2Norm());
+}
+
+TEST(RunningStatsTest, MergeEmptyIsNoop) {
+  RunningStats a;
+  a.Add(2.0);
+  RunningStats empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 1);
+  EXPECT_DOUBLE_EQ(a.Mean(), 2.0);
+}
+
+TEST(RunningStatsTest, Variance) {
+  RunningStats stats;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.Add(v);
+  EXPECT_NEAR(stats.Variance(), 4.0, 1e-12);
+}
+
+TEST(LpNormTest, P1IsSum) {
+  LpNorm norm(1.0);
+  norm.Add(1.0);
+  norm.Add(2.0);
+  norm.Add(3.0);
+  EXPECT_DOUBLE_EQ(norm.Value(), 6.0);
+}
+
+TEST(LpNormTest, P2MatchesRunningStats) {
+  LpNorm norm(2.0);
+  RunningStats stats;
+  for (double v : {1.5, 2.5, 10.0, 0.25}) {
+    norm.Add(v);
+    stats.Add(v);
+  }
+  EXPECT_NEAR(norm.Value(), stats.L2Norm(), 1e-12);
+}
+
+TEST(LpNormTest, LargePApproachesMax) {
+  LpNorm norm(64.0);
+  for (double v : {1.0, 2.0, 9.0, 3.0}) norm.Add(v);
+  EXPECT_NEAR(norm.Value(), 9.0, 0.3);
+}
+
+TEST(ReservoirSampleTest, ExactBelowCapacity) {
+  ReservoirSample sample(100, /*seed=*/7);
+  for (int i = 0; i <= 10; ++i) sample.Add(i);
+  EXPECT_DOUBLE_EQ(sample.Quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(sample.Quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(sample.Quantile(1.0), 10.0);
+}
+
+TEST(ReservoirSampleTest, EmptyQuantileIsZero) {
+  ReservoirSample sample(16, 1);
+  EXPECT_DOUBLE_EQ(sample.Quantile(0.5), 0.0);
+}
+
+TEST(ReservoirSampleTest, ApproximateQuantilesOnLargeStream) {
+  ReservoirSample sample(2048, /*seed=*/99);
+  for (int i = 0; i < 100000; ++i) sample.Add(i % 1000);
+  EXPECT_NEAR(sample.Quantile(0.5), 500.0, 60.0);
+  EXPECT_NEAR(sample.Quantile(0.9), 900.0, 60.0);
+}
+
+TEST(ReservoirSampleTest, CapacityBounded) {
+  ReservoirSample sample(32, 3);
+  for (int i = 0; i < 1000; ++i) sample.Add(i);
+  EXPECT_EQ(sample.size(), 32u);
+  EXPECT_EQ(sample.count(), 1000);
+}
+
+TEST(LogHistogramTest, BucketsAndOverflow) {
+  LogHistogram hist(1.0, 10.0, 3);  // [1,10) [10,100) [100,1000) + overflow
+  hist.Add(0.5);    // below min -> bucket 0
+  hist.Add(5.0);    // bucket 0
+  hist.Add(50.0);   // bucket 1
+  hist.Add(500.0);  // bucket 2
+  hist.Add(5000.0); // overflow -> last bucket
+  EXPECT_EQ(hist.total(), 5);
+  EXPECT_EQ(hist.bucket_count(0), 2);
+  EXPECT_EQ(hist.bucket_count(1), 1);
+  EXPECT_EQ(hist.bucket_count(2), 1);
+  EXPECT_EQ(hist.bucket_count(3), 1);
+}
+
+TEST(LogHistogramTest, LowerEdges) {
+  LogHistogram hist(2.0, 4.0, 4);
+  EXPECT_NEAR(hist.BucketLowerEdge(0), 2.0, 1e-9);
+  EXPECT_NEAR(hist.BucketLowerEdge(1), 8.0, 1e-9);
+  EXPECT_NEAR(hist.BucketLowerEdge(2), 32.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace aqsios

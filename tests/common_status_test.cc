@@ -1,0 +1,91 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include "common/table.h"
+
+namespace aqsios {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  const Status status = Status::NotFound("trace.txt");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(status.message(), "trace.txt");
+  EXPECT_EQ(status.ToString(), "NOT_FOUND: trace.txt");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInvalidArgument),
+               "INVALID_ARGUMENT");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kIoError), "IO_ERROR");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "INTERNAL");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOutOfRange), "OUT_OF_RANGE");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kFailedPrecondition),
+               "FAILED_PRECONDITION");
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> result = 42;
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(*result, 42);
+  EXPECT_TRUE(result.status().ok());
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> result = Status::InvalidArgument("bad");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+StatusOr<double> Half(int n) {
+  if (n % 2 != 0) return Status::InvalidArgument("odd");
+  return n / 2.0;
+}
+
+Status UseHalf(int n, double* out) {
+  StatusOr<double> half = Half(n);
+  AQSIOS_RETURN_IF_ERROR(half.status());
+  *out = half.value();
+  return Status::Ok();
+}
+
+TEST(StatusOrTest, ReturnIfErrorPropagates) {
+  double out = 0.0;
+  EXPECT_TRUE(UseHalf(4, &out).ok());
+  EXPECT_DOUBLE_EQ(out, 2.0);
+  const Status bad = UseHalf(3, &out);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TableTest, AsciiAndCsvRendering) {
+  Table table({"policy", "slowdown"});
+  table.AddRow({"HNR", "2.9"});
+  table.AddRow("HR", {3.875}, 4);
+  const std::string ascii = table.ToAscii();
+  EXPECT_NE(ascii.find("policy"), std::string::npos);
+  EXPECT_NE(ascii.find("HNR"), std::string::npos);
+  EXPECT_NE(ascii.find("3.875"), std::string::npos);
+  const std::string csv = table.ToCsv();
+  EXPECT_NE(csv.find("policy,slowdown"), std::string::npos);
+  EXPECT_NE(csv.find("HR,3.875"), std::string::npos);
+  EXPECT_EQ(table.num_rows(), 2u);
+}
+
+TEST(TableTest, FormatDoublePrecision) {
+  EXPECT_EQ(FormatDouble(3.14159, 3), "3.14");
+  EXPECT_EQ(FormatDouble(1234.5, 5), "1234.5");  // significant digits
+}
+
+}  // namespace
+}  // namespace aqsios

@@ -1,0 +1,100 @@
+#include "core/dsms.h"
+
+#include <gtest/gtest.h>
+
+namespace aqsios::core {
+namespace {
+
+query::QuerySpec Chain(std::vector<query::OperatorSpec> ops,
+                       stream::StreamId stream = 0) {
+  query::QuerySpec spec;
+  spec.left_stream = stream;
+  spec.left_ops = std::move(ops);
+  return spec;
+}
+
+stream::ArrivalTable Arrivals(int n, SimTime spacing) {
+  stream::ArrivalTable table;
+  for (int i = 0; i < n; ++i) {
+    stream::Arrival a;
+    a.id = i;
+    a.stream = 0;
+    a.time = spacing * i;
+    a.attribute = 1.0;
+    table.arrivals.push_back(a);
+  }
+  return table;
+}
+
+TEST(DsmsTest, AssignsDenseQueryIds) {
+  Dsms dsms;
+  EXPECT_EQ(dsms.AddQuery(Chain({query::MakeSelect(1.0, 0.5)})), 0);
+  EXPECT_EQ(dsms.AddQuery(Chain({query::MakeSelect(2.0, 0.5)})), 1);
+  EXPECT_EQ(dsms.num_queries(), 2);
+}
+
+TEST(DsmsTest, RunsEveryPolicy) {
+  Dsms dsms(query::SelectivityMode::kCorrelatedAttribute);
+  dsms.AddQuery(Chain({query::MakeSelect(1.0, 0.5), query::MakeProject(1.0)}));
+  dsms.AddQuery(Chain({query::MakeSelect(2.0, 1.0)}));
+  dsms.SetArrivals(Arrivals(50, 0.002));
+  for (sched::PolicyKind kind :
+       {sched::PolicyKind::kFcfs, sched::PolicyKind::kRoundRobin,
+        sched::PolicyKind::kSrpt, sched::PolicyKind::kHr,
+        sched::PolicyKind::kHnr, sched::PolicyKind::kLsf,
+        sched::PolicyKind::kBsd, sched::PolicyKind::kBsdClustered}) {
+    const RunResult r = dsms.Run(sched::PolicyConfig::Of(kind));
+    EXPECT_EQ(r.qos.tuples_emitted, 100) << PolicyKindName(kind);
+    EXPECT_GT(r.counters.busy_time, 0.0) << PolicyKindName(kind);
+  }
+}
+
+TEST(DsmsTest, ObjectiveForPolicy) {
+  EXPECT_EQ(ObjectiveForPolicy(sched::PolicyKind::kBsd),
+            sched::SharingObjective::kBsd);
+  EXPECT_EQ(ObjectiveForPolicy(sched::PolicyKind::kBsdClustered),
+            sched::SharingObjective::kBsd);
+  EXPECT_EQ(ObjectiveForPolicy(sched::PolicyKind::kHnr),
+            sched::SharingObjective::kHnr);
+  EXPECT_EQ(ObjectiveForPolicy(sched::PolicyKind::kFcfs),
+            sched::SharingObjective::kHnr);
+}
+
+TEST(DsmsTest, SharingGroupValidatedAtRun) {
+  Dsms dsms(query::SelectivityMode::kCorrelatedAttribute);
+  const query::OperatorSpec shared = query::MakeSelect(1.0, 0.5);
+  dsms.AddQuery(Chain({shared, query::MakeProject(1.0)}));
+  dsms.AddQuery(Chain({shared, query::MakeProject(2.0)}));
+  dsms.AddSharingGroup({0, 1});
+  dsms.SetArrivals(Arrivals(10, 0.01));
+  const RunResult r = dsms.Run(sched::PolicyConfig::Of(sched::PolicyKind::kHnr));
+  EXPECT_EQ(r.qos.tuples_emitted, 20);
+}
+
+TEST(DsmsDeathTest, RejectsMisuse) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  {
+    Dsms dsms;
+    EXPECT_DEATH(
+        dsms.Run(sched::PolicyConfig::Of(sched::PolicyKind::kHnr)),
+        "no queries");
+  }
+  {
+    Dsms dsms;
+    dsms.AddQuery(Chain({query::MakeSelect(1.0, 0.5)}));
+    EXPECT_DEATH(
+        dsms.Run(sched::PolicyConfig::Of(sched::PolicyKind::kHnr)),
+        "no arrivals");
+  }
+  {
+    Dsms dsms;
+    // Invalid spec dies at registration.
+    EXPECT_DEATH(dsms.AddQuery(Chain({})), "no operators");
+    dsms.AddQuery(Chain({query::MakeSelect(1.0, 0.5)}));
+    EXPECT_DEATH(dsms.AddSharingGroup({0}), "");
+    EXPECT_DEATH(dsms.AddSharingGroup({0, 7}), "");
+  }
+}
+
+}  // namespace
+}  // namespace aqsios::core

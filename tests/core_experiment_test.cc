@@ -1,0 +1,97 @@
+#include "core/experiment.h"
+
+#include <gtest/gtest.h>
+
+namespace aqsios::core {
+namespace {
+
+SweepConfig SmallSweep() {
+  SweepConfig config;
+  config.workload.num_queries = 8;
+  config.workload.num_arrivals = 400;
+  config.workload.seed = 17;
+  config.utilizations = {0.4, 0.8};
+  config.policies = {sched::PolicyConfig::Of(sched::PolicyKind::kHnr),
+                     sched::PolicyConfig::Of(sched::PolicyKind::kHr)};
+  return config;
+}
+
+TEST(ExperimentTest, RunsFullGrid) {
+  const auto cells = RunSweep(SmallSweep());
+  ASSERT_EQ(cells.size(), 4u);
+  EXPECT_DOUBLE_EQ(cells[0].utilization, 0.4);
+  EXPECT_EQ(cells[0].policy, "HNR");
+  EXPECT_EQ(cells[1].policy, "HR");
+  EXPECT_DOUBLE_EQ(cells[2].utilization, 0.8);
+  for (const SweepCell& cell : cells) {
+    EXPECT_GT(cell.result.qos.tuples_emitted, 0);
+  }
+}
+
+TEST(ExperimentTest, SamePopulationAcrossPoliciesOfAPoint) {
+  const auto cells = RunSweep(SmallSweep());
+  // Same utilization -> same workload -> identical emitted counts.
+  EXPECT_EQ(cells[0].result.qos.tuples_emitted,
+            cells[1].result.qos.tuples_emitted);
+  EXPECT_EQ(cells[2].result.qos.tuples_emitted,
+            cells[3].result.qos.tuples_emitted);
+}
+
+TEST(ExperimentTest, TableLayout) {
+  const auto cells = RunSweep(SmallSweep());
+  const Table table = SweepTable(cells, Metric::kAvgSlowdown);
+  const std::string ascii = table.ToAscii();
+  EXPECT_NE(ascii.find("HNR"), std::string::npos);
+  EXPECT_NE(ascii.find("HR"), std::string::npos);
+  EXPECT_NE(ascii.find("0.4"), std::string::npos);
+  EXPECT_NE(ascii.find("0.8"), std::string::npos);
+  EXPECT_EQ(table.num_rows(), 2u);
+}
+
+TEST(ExperimentTest, MetricExtraction) {
+  RunResult result;
+  result.qos.avg_slowdown = 2.0;
+  result.qos.avg_response = 0.004;
+  result.qos.max_slowdown = 9.0;
+  result.qos.l2_slowdown = 5.0;
+  result.qos.rms_slowdown = 0.5;
+  EXPECT_DOUBLE_EQ(GetMetric(result, Metric::kAvgSlowdown), 2.0);
+  EXPECT_DOUBLE_EQ(GetMetric(result, Metric::kAvgResponseMs), 4.0);
+  EXPECT_DOUBLE_EQ(GetMetric(result, Metric::kMaxSlowdown), 9.0);
+  EXPECT_DOUBLE_EQ(GetMetric(result, Metric::kL2Slowdown), 5.0);
+  EXPECT_DOUBLE_EQ(GetMetric(result, Metric::kRmsSlowdown), 0.5);
+}
+
+TEST(ExperimentTest, MetricNames) {
+  EXPECT_STREQ(MetricName(Metric::kAvgSlowdown), "avg_slowdown");
+  EXPECT_STREQ(MetricName(Metric::kAvgResponseMs), "avg_response_ms");
+  EXPECT_STREQ(MetricName(Metric::kL2Slowdown), "l2_slowdown");
+  EXPECT_STREQ(MetricName(Metric::kJainFairness), "jain_fairness");
+  EXPECT_STREQ(MetricName(Metric::kPeakQueuedTuples), "peak_queued_tuples");
+  EXPECT_STREQ(MetricName(Metric::kAvgQueuedTuples), "avg_queued_tuples");
+}
+
+TEST(ExperimentTest, MemoryAndFairnessMetricExtraction) {
+  RunResult result;
+  result.counters.peak_queued_tuples = 123;
+  result.counters.avg_queued_tuples = 45.5;
+  result.qos.per_query_slowdown[0].Add(2.0);
+  result.qos.per_query_slowdown[1].Add(2.0);
+  EXPECT_DOUBLE_EQ(GetMetric(result, Metric::kPeakQueuedTuples), 123.0);
+  EXPECT_DOUBLE_EQ(GetMetric(result, Metric::kAvgQueuedTuples), 45.5);
+  EXPECT_NEAR(GetMetric(result, Metric::kJainFairness), 1.0, 1e-12);
+}
+
+TEST(ExperimentTest, HigherLoadHigherSlowdown) {
+  SweepConfig config = SmallSweep();
+  config.utilizations = {0.3, 0.95};
+  config.policies = {sched::PolicyConfig::Of(sched::PolicyKind::kHnr)};
+  config.workload.num_arrivals = 2000;
+  const auto cells = RunSweep(config);
+  ASSERT_EQ(cells.size(), 2u);
+  EXPECT_LT(cells[0].result.qos.avg_slowdown,
+            cells[1].result.qos.avg_slowdown);
+}
+
+}  // namespace
+}  // namespace aqsios::core

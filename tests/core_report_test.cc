@@ -1,0 +1,122 @@
+#include "core/report.h"
+
+#include <gtest/gtest.h>
+
+namespace aqsios::core {
+namespace {
+
+TEST(JsonWriterTest, FlatObject) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("policy");
+  json.String("BSD");
+  json.Key("avg");
+  json.Number(2.9);
+  json.Key("count");
+  json.Number(static_cast<int64_t>(42));
+  json.Key("ok");
+  json.Bool(true);
+  json.EndObject();
+  EXPECT_EQ(json.str(), "{\"policy\":\"BSD\",\"avg\":2.9,\"count\":42,"
+                        "\"ok\":true}");
+}
+
+TEST(JsonWriterTest, NestedStructures) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("values");
+  json.BeginArray();
+  json.Number(static_cast<int64_t>(1));
+  json.Number(static_cast<int64_t>(2));
+  json.BeginObject();
+  json.Key("x");
+  json.Number(3.5);
+  json.EndObject();
+  json.EndArray();
+  json.Key("empty");
+  json.BeginArray();
+  json.EndArray();
+  json.EndObject();
+  EXPECT_EQ(json.str(), "{\"values\":[1,2,{\"x\":3.5}],\"empty\":[]}");
+}
+
+TEST(JsonWriterTest, EscapesStrings) {
+  EXPECT_EQ(JsonWriter::Escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(JsonWriter::Escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(JsonWriterTest, NonFiniteNumbersBecomeNull) {
+  JsonWriter json;
+  json.BeginArray();
+  json.Number(std::numeric_limits<double>::infinity());
+  json.Number(std::numeric_limits<double>::quiet_NaN());
+  json.EndArray();
+  EXPECT_EQ(json.str(), "[null,null]");
+}
+
+TEST(ReportTest, RunResultRoundTripContainsMetrics) {
+  RunResult result;
+  result.policy_name = "HNR";
+  result.qos.tuples_emitted = 10;
+  result.qos.avg_slowdown = 2.5;
+  result.qos.avg_response = 0.004;
+  result.counters.busy_time = 1.5;
+  result.counters.peak_queued_tuples = 7;
+  const std::string json = RunResultToJson(result);
+  EXPECT_NE(json.find("\"policy\":\"HNR\""), std::string::npos);
+  EXPECT_NE(json.find("\"avg_slowdown\":2.5"), std::string::npos);
+  EXPECT_NE(json.find("\"avg_response_ms\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"busy_seconds\":1.5"), std::string::npos);
+  EXPECT_NE(json.find("\"peak_queued_tuples\":7"), std::string::npos);
+  // Balanced braces.
+  int depth = 0;
+  for (char c : json) {
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(ReportTest, PerClassAndFairnessSections) {
+  RunResult result;
+  result.policy_name = "BSD";
+  result.qos.per_class_slowdown[metrics::MakeClassKey(0, 0.5)].Add(2.0);
+  result.qos.per_query_slowdown[3].Add(4.0);
+  const std::string json = RunResultToJson(result);
+  EXPECT_NE(json.find("\"per_class_avg_slowdown\""), std::string::npos);
+  EXPECT_NE(json.find("\"cost_class\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"selectivity_decile\":5"), std::string::npos);
+  EXPECT_NE(json.find("\"jain_fairness\":1"), std::string::npos);
+}
+
+TEST(ReportTest, SweepToJsonIsArrayOfCells) {
+  std::vector<SweepCell> cells(2);
+  cells[0].utilization = 0.5;
+  cells[0].policy = "HNR";
+  cells[0].result.qos.avg_slowdown = 1.5;
+  cells[1].utilization = 0.9;
+  cells[1].policy = "BSD";
+  cells[1].result.qos.avg_slowdown = 2.5;
+  const std::string json = SweepToJson(cells);
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json.back(), ']');
+  EXPECT_NE(json.find("\"utilization\":0.5"), std::string::npos);
+  EXPECT_NE(json.find("\"policy\":\"BSD\""), std::string::npos);
+}
+
+TEST(ReportTest, EndToEndFromSimulation) {
+  query::WorkloadConfig config;
+  config.num_queries = 5;
+  config.num_arrivals = 200;
+  config.seed = 2;
+  const query::Workload workload = query::GenerateWorkload(config);
+  const RunResult result =
+      Simulate(workload, sched::PolicyConfig::Of(sched::PolicyKind::kBsd));
+  const std::string json = RunResultToJson(result);
+  EXPECT_NE(json.find("\"policy\":\"BSD\""), std::string::npos);
+  EXPECT_NE(json.find("\"measured_utilization\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace aqsios::core

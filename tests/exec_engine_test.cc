@@ -1,0 +1,289 @@
+#include "exec/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "core/dsms.h"
+#include "query/workload.h"
+
+namespace aqsios::exec {
+namespace {
+
+using core::Dsms;
+using core::RunResult;
+using core::Simulate;
+using core::SimulationOptions;
+
+stream::ArrivalTable SingleStreamArrivals(int n, SimTime spacing,
+                                          double attribute = 10.0) {
+  stream::ArrivalTable table;
+  for (int i = 0; i < n; ++i) {
+    stream::Arrival a;
+    a.id = i;
+    a.stream = 0;
+    a.time = spacing * i;
+    a.attribute = attribute;
+    a.join_key = 5;
+    table.arrivals.push_back(a);
+  }
+  return table;
+}
+
+query::QuerySpec Chain(std::vector<query::OperatorSpec> ops) {
+  query::QuerySpec spec;
+  spec.left_stream = 0;
+  spec.left_ops = std::move(ops);
+  return spec;
+}
+
+TEST(EngineTest, IdleSystemResponseEqualsIdealTime) {
+  Dsms dsms(query::SelectivityMode::kCorrelatedAttribute);
+  dsms.AddQuery(Chain({query::MakeSelect(1.0, 1.0), query::MakeProject(2.0)}));
+  // Spacing far larger than the 3 ms processing time: no queueing.
+  dsms.SetArrivals(SingleStreamArrivals(10, 1.0));
+  const RunResult r =
+      dsms.Run(sched::PolicyConfig::Of(sched::PolicyKind::kFcfs));
+  EXPECT_EQ(r.qos.tuples_emitted, 10);
+  EXPECT_NEAR(SimTimeToMillis(r.qos.avg_response), 3.0, 1e-9);
+  EXPECT_NEAR(r.qos.avg_slowdown, 1.0, 1e-9);
+  EXPECT_NEAR(r.qos.max_slowdown, 1.0, 1e-9);
+}
+
+TEST(EngineTest, QueueingBuildsSlowdown) {
+  Dsms dsms(query::SelectivityMode::kCorrelatedAttribute);
+  dsms.AddQuery(Chain({query::MakeSelect(2.0, 1.0)}));
+  // Arrivals every 1 ms into a 2 ms/tuple query: overload; the k-th tuple
+  // waits ~k ms.
+  dsms.SetArrivals(SingleStreamArrivals(20, 0.001));
+  const RunResult r =
+      dsms.Run(sched::PolicyConfig::Of(sched::PolicyKind::kFcfs));
+  EXPECT_EQ(r.qos.tuples_emitted, 20);
+  EXPECT_GT(r.qos.max_slowdown, 5.0);
+  // Tuple k (0-based) departs at 2(k+1) ms, arrived at k ms.
+  EXPECT_NEAR(SimTimeToMillis(r.qos.max_response), 2.0 * 20 - 19.0, 1e-9);
+}
+
+TEST(EngineTest, CorrelatedFilterUsesAttributeThreshold) {
+  Dsms dsms(query::SelectivityMode::kCorrelatedAttribute);
+  dsms.AddQuery(Chain({query::MakeSelect(1.0, 0.5)}));
+  // Attribute 10 passes s=0.5 (10 <= 50); attribute 80 fails.
+  dsms.SetArrivals(SingleStreamArrivals(5, 1.0, /*attribute=*/10.0));
+  EXPECT_EQ(dsms.Run(sched::PolicyConfig::Of(sched::PolicyKind::kFcfs))
+                .qos.tuples_emitted,
+            5);
+  Dsms dsms2(query::SelectivityMode::kCorrelatedAttribute);
+  dsms2.AddQuery(Chain({query::MakeSelect(1.0, 0.5)}));
+  dsms2.SetArrivals(SingleStreamArrivals(5, 1.0, /*attribute=*/80.0));
+  EXPECT_EQ(dsms2.Run(sched::PolicyConfig::Of(sched::PolicyKind::kFcfs))
+                .qos.tuples_emitted,
+            0);
+}
+
+TEST(EngineTest, IndependentFilterOutcomesPolicyInvariant) {
+  // The same workload must emit exactly the same tuples under any policy:
+  // filter outcomes are frozen per (arrival, query, operator).
+  query::WorkloadConfig config;
+  config.num_queries = 10;
+  config.num_arrivals = 500;
+  config.utilization = 0.8;
+  config.seed = 3;
+  config.selectivity_mode = query::SelectivityMode::kIndependent;
+  const query::Workload workload = query::GenerateWorkload(config);
+  const RunResult a =
+      Simulate(workload, sched::PolicyConfig::Of(sched::PolicyKind::kHr));
+  const RunResult b =
+      Simulate(workload, sched::PolicyConfig::Of(sched::PolicyKind::kRoundRobin));
+  const RunResult c =
+      Simulate(workload, sched::PolicyConfig::Of(sched::PolicyKind::kLsf));
+  EXPECT_EQ(a.qos.tuples_emitted, b.qos.tuples_emitted);
+  EXPECT_EQ(a.qos.tuples_emitted, c.qos.tuples_emitted);
+  EXPECT_NEAR(a.counters.busy_time, b.counters.busy_time, 1e-9);
+  EXPECT_NEAR(a.counters.busy_time, c.counters.busy_time, 1e-9);
+}
+
+TEST(EngineTest, OperatorLevelEmitsSameTuplesAsQueryLevel) {
+  query::WorkloadConfig config;
+  config.num_queries = 8;
+  config.num_arrivals = 400;
+  config.utilization = 0.7;
+  config.seed = 11;
+  const query::Workload workload = query::GenerateWorkload(config);
+
+  SimulationOptions query_level;
+  query_level.level = SchedulingLevel::kQueryLevel;
+  SimulationOptions op_level;
+  op_level.level = SchedulingLevel::kOperatorLevel;
+
+  const RunResult a = Simulate(
+      workload, sched::PolicyConfig::Of(sched::PolicyKind::kHnr), query_level);
+  const RunResult b = Simulate(
+      workload, sched::PolicyConfig::Of(sched::PolicyKind::kHnr), op_level);
+  EXPECT_EQ(a.qos.tuples_emitted, b.qos.tuples_emitted);
+  EXPECT_NEAR(a.counters.busy_time, b.counters.busy_time, 1e-9);
+  // Operator-level scheduling has (at least) one scheduling point per
+  // operator invocation.
+  EXPECT_GT(b.counters.unit_executions, a.counters.unit_executions);
+}
+
+TEST(EngineTest, SharedGroupRunsSharedOperatorOnce) {
+  Dsms dsms(query::SelectivityMode::kCorrelatedAttribute);
+  // Two queries sharing an identical 4 ms select; remainders cost 1 ms each.
+  const query::OperatorSpec shared = query::MakeSelect(4.0, 1.0);
+  dsms.AddQuery(Chain({shared, query::MakeProject(1.0)}));
+  dsms.AddQuery(Chain({shared, query::MakeProject(1.0)}));
+  dsms.AddSharingGroup({0, 1});
+  dsms.SetArrivals(SingleStreamArrivals(3, 1.0));
+  const RunResult r =
+      dsms.Run(sched::PolicyConfig::Of(sched::PolicyKind::kHnr));
+  EXPECT_EQ(r.qos.tuples_emitted, 6);
+  // Per arrival: 4 (shared, once) + 1 + 1 = 6 ms; without sharing it would
+  // be 10 ms.
+  EXPECT_NEAR(SimTimeToMillis(r.counters.busy_time), 18.0, 1e-9);
+}
+
+TEST(EngineTest, SharedGroupFilteringAppliesToAllMembers) {
+  Dsms dsms(query::SelectivityMode::kCorrelatedAttribute);
+  const query::OperatorSpec shared = query::MakeSelect(1.0, 0.5);
+  dsms.AddQuery(Chain({shared, query::MakeProject(1.0)}));
+  dsms.AddQuery(Chain({shared, query::MakeProject(2.0)}));
+  dsms.AddSharingGroup({0, 1});
+  dsms.SetArrivals(SingleStreamArrivals(4, 1.0, /*attribute=*/90.0));
+  const RunResult r =
+      dsms.Run(sched::PolicyConfig::Of(sched::PolicyKind::kHnr));
+  EXPECT_EQ(r.qos.tuples_emitted, 0);
+  // Only the shared op ran: 1 ms per arrival.
+  EXPECT_NEAR(SimTimeToMillis(r.counters.busy_time), 4.0, 1e-9);
+}
+
+query::QuerySpec TinyJoinQuery() {
+  query::QuerySpec spec;
+  spec.left_stream = 0;
+  spec.right_stream = 1;
+  spec.left_ops = {query::MakeSelect(1.0, 1.0)};
+  spec.right_ops = {query::MakeSelect(1.0, 1.0)};
+  spec.join_op = query::MakeWindowJoin(1.0, 1.0, /*window=*/10.0);
+  spec.common_ops = {query::MakeProject(1.0)};
+  spec.left_mean_inter_arrival = 0.1;
+  spec.right_mean_inter_arrival = 0.1;
+  return spec;
+}
+
+stream::ArrivalTable TwoStreamPair(SimTime left_time, SimTime right_time) {
+  stream::ArrivalTable table;
+  stream::Arrival l;
+  l.stream = 0;
+  l.time = left_time;
+  l.attribute = 10.0;
+  l.join_key = 5;
+  stream::Arrival r;
+  r.stream = 1;
+  r.time = right_time;
+  r.attribute = 10.0;
+  r.join_key = 5;
+  if (left_time <= right_time) {
+    table.arrivals = {l, r};
+  } else {
+    table.arrivals = {r, l};
+  }
+  for (size_t i = 0; i < table.arrivals.size(); ++i) {
+    table.arrivals[i].id = static_cast<int64_t>(i);
+  }
+  return table;
+}
+
+TEST(EngineTest, JoinCompositeIdleSystemHasSlowdownOne) {
+  Dsms dsms(query::SelectivityMode::kCorrelatedAttribute);
+  dsms.AddQuery(TinyJoinQuery());
+  dsms.SetArrivals(TwoStreamPair(0.0, 0.1));
+  const RunResult r =
+      dsms.Run(sched::PolicyConfig::Of(sched::PolicyKind::kFcfs));
+  ASSERT_EQ(r.qos.tuples_emitted, 1);
+  ASSERT_EQ(r.counters.composites_generated, 1);
+  // Composite arrival = max(0, 0.1); response = C_R + C_J + C_C = 3 ms.
+  EXPECT_NEAR(SimTimeToMillis(r.qos.avg_response), 3.0, 1e-9);
+  // Dependency delay is not penalized: slowdown is exactly 1.
+  EXPECT_NEAR(r.qos.avg_slowdown, 1.0, 1e-9);
+}
+
+TEST(EngineTest, JoinCompositeQueueingDelayPenalized) {
+  Dsms dsms(query::SelectivityMode::kCorrelatedAttribute);
+  dsms.AddQuery(TinyJoinQuery());
+  // A heavy single-stream query on stream 0 delays the join's right tuple
+  // processing (FCFS: enqueued before the right arrival).
+  dsms.AddQuery(Chain({query::MakeSelect(50.0, 1.0)}));
+  dsms.SetArrivals(TwoStreamPair(0.0, 0.01));
+  const RunResult r =
+      dsms.Run(sched::PolicyConfig::Of(sched::PolicyKind::kFcfs));
+  ASSERT_EQ(r.qos.tuples_emitted, 2);  // 1 composite + 1 from the heavy query
+  // Composite: emitted at 55 ms (2 left ops + 50 heavy + right path 3 ms);
+  // ideal departure = 0.01 + 0.003; T = 5 ms.
+  // slowdown = 1 + (0.055 - 0.013)/0.005 = 9.4.
+  EXPECT_NEAR(r.qos.max_slowdown, 9.4, 1e-9);
+}
+
+TEST(EngineTest, JoinSelectivityControlsComposites) {
+  // match probability 0 -> no composites despite window matches.
+  Dsms dsms(query::SelectivityMode::kCorrelatedAttribute);
+  query::QuerySpec spec = TinyJoinQuery();
+  spec.join_op = query::MakeWindowJoin(1.0, 1e-9, 10.0);
+  dsms.AddQuery(spec);
+  dsms.SetArrivals(TwoStreamPair(0.0, 0.1));
+  const RunResult r =
+      dsms.Run(sched::PolicyConfig::Of(sched::PolicyKind::kFcfs));
+  EXPECT_EQ(r.counters.composites_generated, 0);
+  EXPECT_EQ(r.qos.tuples_emitted, 0);
+}
+
+TEST(EngineTest, JoinWindowExcludesDistantTuples) {
+  Dsms dsms(query::SelectivityMode::kCorrelatedAttribute);
+  query::QuerySpec spec = TinyJoinQuery();
+  spec.join_op = query::MakeWindowJoin(1.0, 1.0, /*window=*/0.05);
+  dsms.AddQuery(spec);
+  dsms.SetArrivals(TwoStreamPair(0.0, 0.1));  // 100 ms apart > 50 ms window
+  const RunResult r =
+      dsms.Run(sched::PolicyConfig::Of(sched::PolicyKind::kFcfs));
+  EXPECT_EQ(r.counters.composites_generated, 0);
+}
+
+TEST(EngineTest, OverheadChargingExtendsCompletion) {
+  query::WorkloadConfig config;
+  config.num_queries = 10;
+  config.num_arrivals = 300;
+  config.utilization = 0.6;
+  config.seed = 5;
+  const query::Workload workload = query::GenerateWorkload(config);
+
+  SimulationOptions no_charge;
+  SimulationOptions charged;
+  charged.charge_scheduling_overhead = true;
+
+  const RunResult cheap = Simulate(
+      workload, sched::PolicyConfig::Of(sched::PolicyKind::kBsd), no_charge);
+  const RunResult costly = Simulate(
+      workload, sched::PolicyConfig::Of(sched::PolicyKind::kBsd), charged);
+  EXPECT_GT(cheap.counters.overhead_operations, 0);
+  EXPECT_DOUBLE_EQ(cheap.counters.overhead_time, 0.0);
+  EXPECT_GT(costly.counters.overhead_time, 0.0);
+  EXPECT_GT(costly.qos.avg_slowdown, cheap.qos.avg_slowdown);
+}
+
+TEST(EngineTest, CountersAreConsistent) {
+  query::WorkloadConfig config;
+  config.num_queries = 6;
+  config.num_arrivals = 200;
+  config.utilization = 0.5;
+  config.seed = 9;
+  const query::Workload workload = query::GenerateWorkload(config);
+  const RunResult r =
+      Simulate(workload, sched::PolicyConfig::Of(sched::PolicyKind::kHnr));
+  // Every (arrival × query) pair is executed exactly once at query level.
+  EXPECT_EQ(r.counters.unit_executions, 200 * 6);
+  EXPECT_EQ(r.counters.scheduling_points, r.counters.unit_executions);
+  EXPECT_GT(r.counters.operator_invocations, r.counters.unit_executions);
+  EXPECT_GT(r.counters.busy_time, 0.0);
+  EXPECT_GE(r.counters.end_time, r.counters.busy_time);
+  const std::string text = r.counters.ToString();
+  EXPECT_NE(text.find("emitted="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace aqsios::exec

@@ -1,0 +1,107 @@
+// End-to-end reproduction of Example 1 / Table 1 of the paper.
+//
+// Two single-operator queries: Q1 (cost 5 ms, selectivity 1.0) and Q2
+// (cost 2 ms, selectivity 0.33). Three tuples arrive at time 0; exactly the
+// middle one satisfies Q2's predicate. The paper reports:
+//
+//              avg response (ms)   avg slowdown
+//      HR          12.25               3.875
+//      HNR         13.0                2.9
+
+#include <gtest/gtest.h>
+
+#include "core/dsms.h"
+
+namespace aqsios::core {
+namespace {
+
+stream::ArrivalTable ThreeTuplesAtZero() {
+  stream::ArrivalTable table;
+  // Attributes chosen so that only the middle tuple passes a selectivity
+  // 0.33 predicate (attribute <= 33) while all pass selectivity 1.0.
+  const double attributes[] = {50.0, 20.0, 90.0};
+  for (int i = 0; i < 3; ++i) {
+    stream::Arrival a;
+    a.id = i;
+    a.stream = 0;
+    a.time = 0.0;
+    a.attribute = attributes[i];
+    table.arrivals.push_back(a);
+  }
+  return table;
+}
+
+Dsms Example1Dsms() {
+  Dsms dsms(query::SelectivityMode::kCorrelatedAttribute);
+  query::QuerySpec q1;
+  q1.left_stream = 0;
+  q1.left_ops = {query::MakeSelect(5.0, 1.0)};
+  dsms.AddQuery(q1);
+  query::QuerySpec q2;
+  q2.left_stream = 0;
+  q2.left_ops = {query::MakeSelect(2.0, 0.33)};
+  dsms.AddQuery(q2);
+  dsms.SetArrivals(ThreeTuplesAtZero());
+  return dsms;
+}
+
+TEST(Example1Test, HrMatchesTable1) {
+  const Dsms dsms = Example1Dsms();
+  const RunResult r =
+      dsms.Run(sched::PolicyConfig::Of(sched::PolicyKind::kHr));
+  EXPECT_EQ(r.policy_name, "HR");
+  EXPECT_EQ(r.qos.tuples_emitted, 4);
+  EXPECT_NEAR(SimTimeToMillis(r.qos.avg_response), 12.25, 1e-9);
+  EXPECT_NEAR(r.qos.avg_slowdown, 3.875, 1e-9);
+  // The single Q2 tuple suffers slowdown 19/2 = 9.5 under HR.
+  EXPECT_NEAR(r.qos.max_slowdown, 9.5, 1e-9);
+}
+
+TEST(Example1Test, HnrMatchesTable1) {
+  const Dsms dsms = Example1Dsms();
+  const RunResult r =
+      dsms.Run(sched::PolicyConfig::Of(sched::PolicyKind::kHnr));
+  EXPECT_EQ(r.policy_name, "HNR");
+  EXPECT_EQ(r.qos.tuples_emitted, 4);
+  EXPECT_NEAR(SimTimeToMillis(r.qos.avg_response), 13.0, 1e-9);
+  EXPECT_NEAR(r.qos.avg_slowdown, 2.9, 1e-9);
+  // Q2's tuple now sees slowdown 4/2 = 2; the worst is Q1's last (21/5).
+  EXPECT_NEAR(r.qos.max_slowdown, 4.2, 1e-9);
+}
+
+TEST(Example1Test, HnrTradesResponseForSlowdown) {
+  // The structural claim of §3.4: HNR's slowdown is lower, HR's response
+  // time is lower.
+  const Dsms dsms = Example1Dsms();
+  const RunResult hr =
+      dsms.Run(sched::PolicyConfig::Of(sched::PolicyKind::kHr));
+  const RunResult hnr =
+      dsms.Run(sched::PolicyConfig::Of(sched::PolicyKind::kHnr));
+  EXPECT_LT(hnr.qos.avg_slowdown, hr.qos.avg_slowdown);
+  EXPECT_LT(hr.qos.avg_response, hnr.qos.avg_response);
+}
+
+TEST(Example1Test, FilteredTuplesDoNotCount) {
+  const Dsms dsms = Example1Dsms();
+  const RunResult r =
+      dsms.Run(sched::PolicyConfig::Of(sched::PolicyKind::kHr));
+  // 6 processed (3 per query), 2 filtered by Q2 -> 4 emitted.
+  EXPECT_EQ(r.counters.tuples_filtered, 2);
+  EXPECT_EQ(r.counters.tuples_emitted, 4);
+  EXPECT_EQ(r.counters.unit_executions, 6);
+  // Busy time: 3·5 + 3·2 = 21 ms.
+  EXPECT_NEAR(SimTimeToMillis(r.counters.busy_time), 21.0, 1e-9);
+  EXPECT_NEAR(SimTimeToMillis(r.counters.end_time), 21.0, 1e-9);
+}
+
+TEST(Example1Test, SrptOrdersByIdealProcessingTime) {
+  // SRPT runs Q2 (T=2ms) before Q1 (T=5ms) -> same schedule as HNR here.
+  const Dsms dsms = Example1Dsms();
+  const RunResult r =
+      dsms.Run(sched::PolicyConfig::Of(sched::PolicyKind::kSrpt));
+  EXPECT_NEAR(SimTimeToMillis(r.qos.avg_response), 13.0, 1e-9);
+  EXPECT_NEAR(r.qos.avg_slowdown, 2.9, 1e-9);
+}
+
+}  // namespace
+}  // namespace aqsios::core

@@ -1,0 +1,176 @@
+// Tests for tuple-count (ROWS) windows: SHJ state semantics, statistics,
+// and end-to-end engine behaviour.
+
+#include <gtest/gtest.h>
+
+#include "core/dsms.h"
+#include "exec/window_join.h"
+#include "query/builder.h"
+
+namespace aqsios::exec {
+namespace {
+
+using Entry = SymmetricHashJoinState::Entry;
+using query::Side;
+
+Entry E(stream::ArrivalId id, SimTime ts) {
+  Entry entry;
+  entry.id = id;
+  entry.timestamp = ts;
+  entry.arrival_time = ts;
+  entry.identity = static_cast<uint64_t>(id);
+  return entry;
+}
+
+TEST(RowWindowStateTest, KeepsLastNPerSide) {
+  SymmetricHashJoinState state = SymmetricHashJoinState::RowWindow(2);
+  state.Insert(Side::kRight, 1, E(1, 0.0));
+  state.Insert(Side::kRight, 1, E(2, 1.0));
+  state.Insert(Side::kRight, 1, E(3, 2.0));  // evicts entry 1
+  EXPECT_EQ(state.size(Side::kRight), 2);
+  std::vector<Entry> candidates;
+  state.Probe(Side::kLeft, 1, /*timestamp=*/100.0, &candidates);
+  ASSERT_EQ(candidates.size(), 2u);
+  EXPECT_EQ(candidates[0].id, 2);
+  EXPECT_EQ(candidates[1].id, 3);
+}
+
+TEST(RowWindowStateTest, EvictionIsOldestAcrossKeys) {
+  SymmetricHashJoinState state = SymmetricHashJoinState::RowWindow(2);
+  state.Insert(Side::kRight, 1, E(1, 0.0));
+  state.Insert(Side::kRight, 2, E(2, 1.0));
+  state.Insert(Side::kRight, 2, E(3, 2.0));  // evicts key-1 entry
+  std::vector<Entry> candidates;
+  state.Probe(Side::kLeft, 1, 5.0, &candidates);
+  EXPECT_TRUE(candidates.empty());
+  state.Probe(Side::kLeft, 2, 5.0, &candidates);
+  EXPECT_EQ(candidates.size(), 2u);
+}
+
+TEST(RowWindowStateTest, TimestampIrrelevantToMatching) {
+  SymmetricHashJoinState state = SymmetricHashJoinState::RowWindow(4);
+  state.Insert(Side::kRight, 1, E(1, 1000.0));  // far away in time
+  std::vector<Entry> candidates;
+  state.Probe(Side::kLeft, 1, 0.0, &candidates);
+  ASSERT_EQ(candidates.size(), 1u);
+}
+
+TEST(RowWindowStateTest, SidesIndependent) {
+  SymmetricHashJoinState state = SymmetricHashJoinState::RowWindow(1);
+  state.Insert(Side::kLeft, 1, E(1, 0.0));
+  state.Insert(Side::kRight, 1, E(2, 0.0));
+  EXPECT_EQ(state.size(Side::kLeft), 1);
+  EXPECT_EQ(state.size(Side::kRight), 1);
+  state.Insert(Side::kLeft, 1, E(3, 1.0));  // evicts left only
+  EXPECT_EQ(state.size(Side::kLeft), 1);
+  EXPECT_EQ(state.size(Side::kRight), 1);
+}
+
+TEST(RowWindowStatsTest, OccupancyIsRowCount) {
+  query::QuerySpec spec;
+  spec.left_stream = 0;
+  spec.right_stream = 1;
+  spec.left_ops = {query::MakeSelect(1.0, 0.5)};
+  spec.right_ops = {query::MakeSelect(2.0, 0.4)};
+  spec.join_op = query::MakeRowWindowJoin(3.0, 0.25, /*rows=*/8);
+  spec.common_ops = {query::MakeProject(4.0)};
+  spec.left_mean_inter_arrival = 0.1;
+  spec.right_mean_inter_arrival = 0.2;
+  query::CompiledQuery q(spec, query::SelectivityMode::kIndependent);
+  // Partners are the fixed window population, independent of τ.
+  EXPECT_NEAR(q.ExpectedWindowPartners(Side::kLeft), 8.0, 1e-12);
+  EXPECT_NEAR(q.ExpectedWindowPartners(Side::kRight), 8.0, 1e-12);
+  const query::SegmentStats left = q.JoinInputStats(0);
+  // S = S_L · σ · N · S_C = 0.5 · 0.25 · 8 = 1.
+  EXPECT_NEAR(left.selectivity, 1.0, 1e-12);
+  // C̄ = C_L + S_L·C_J + S_L·(σ·N)·C̄_C = 1 + 1.5 + 0.5·2·4 = 6.5 ms.
+  EXPECT_NEAR(SimTimeToMillis(left.expected_cost), 6.5, 1e-9);
+  // T unchanged by the window kind.
+  EXPECT_NEAR(SimTimeToMillis(q.ideal_time()), 13.0, 1e-9);
+}
+
+TEST(RowWindowStatsDeathTest, RequiresExactlyOneWindowKind) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  query::QuerySpec spec;
+  spec.left_stream = 0;
+  spec.right_stream = 1;
+  spec.left_ops = {query::MakeSelect(1.0, 0.5)};
+  spec.right_ops = {query::MakeSelect(1.0, 0.5)};
+  query::OperatorSpec both = query::MakeWindowJoin(1.0, 0.5, 1.0);
+  both.window_rows = 4;
+  spec.join_op = both;
+  EXPECT_DEATH(
+      query::CompiledQuery(spec, query::SelectivityMode::kIndependent),
+      "exactly one");
+  query::OperatorSpec neither = query::MakeWindowJoin(1.0, 0.5, 1.0);
+  neither.window_seconds = 0.0;
+  spec.join_op = neither;
+  EXPECT_DEATH(
+      query::CompiledQuery(spec, query::SelectivityMode::kIndependent),
+      "exactly one");
+}
+
+stream::ArrivalTable AlternatingArrivals(int pairs, SimTime spacing) {
+  stream::ArrivalTable table;
+  for (int i = 0; i < 2 * pairs; ++i) {
+    stream::Arrival a;
+    a.id = i;
+    a.stream = i % 2;
+    a.time = spacing * i;
+    a.attribute = 1.0;
+    a.join_key = 7;
+    table.arrivals.push_back(a);
+  }
+  return table;
+}
+
+TEST(RowWindowEngineTest, EachArrivalJoinsLastNOpposite) {
+  core::Dsms dsms(query::SelectivityMode::kCorrelatedAttribute);
+  query::QuerySpec spec;
+  spec.left_stream = 0;
+  spec.right_stream = 1;
+  spec.left_ops = {query::MakeSelect(0.1, 1.0)};
+  spec.right_ops = {query::MakeSelect(0.1, 1.0)};
+  spec.join_op = query::MakeRowWindowJoin(0.1, 1.0, /*rows=*/1);
+  spec.left_mean_inter_arrival = 1.0;
+  spec.right_mean_inter_arrival = 1.0;
+  dsms.AddQuery(spec);
+  // Alternating L R L R ... with row window 1: every arrival after the
+  // first joins exactly the single resident on the other side.
+  dsms.SetArrivals(AlternatingArrivals(/*pairs=*/5, /*spacing=*/1.0));
+  const core::RunResult r =
+      dsms.Run(sched::PolicyConfig::Of(sched::PolicyKind::kFcfs));
+  EXPECT_EQ(r.counters.composites_generated, 9);
+  EXPECT_EQ(r.qos.tuples_emitted, 9);
+  EXPECT_GE(r.qos.avg_slowdown, 1.0 - 1e-9);
+}
+
+TEST(RowWindowEngineTest, LargerWindowMoreComposites) {
+  auto run_with_rows = [](int64_t rows) {
+    core::Dsms dsms(query::SelectivityMode::kCorrelatedAttribute);
+    query::QuerySpec spec;
+    spec.left_stream = 0;
+    spec.right_stream = 1;
+    spec.left_ops = {query::MakeSelect(0.1, 1.0)};
+    spec.right_ops = {query::MakeSelect(0.1, 1.0)};
+    spec.join_op = query::MakeRowWindowJoin(0.1, 1.0, rows);
+    spec.left_mean_inter_arrival = 1.0;
+    spec.right_mean_inter_arrival = 1.0;
+    dsms.AddQuery(spec);
+    dsms.SetArrivals(AlternatingArrivals(10, 1.0));
+    return dsms.Run(sched::PolicyConfig::Of(sched::PolicyKind::kFcfs))
+        .counters.composites_generated;
+  };
+  const int64_t narrow = run_with_rows(1);
+  const int64_t wide = run_with_rows(5);
+  EXPECT_GT(wide, narrow);
+  // Alternating arrivals, 20 total: arrival k has ceil(k/2) earlier
+  // opposite-side tuples, capped by the row window.
+  // N=1: arrivals 1..19 join exactly 1 resident each.
+  EXPECT_EQ(narrow, 19);
+  // N=5: 0+1+1+2+2+3+3+4+4 = 20 for k<9, then 5 each for k=9..19.
+  EXPECT_EQ(wide, 20 + 5 * 11);
+}
+
+}  // namespace
+}  // namespace aqsios::exec

@@ -1,0 +1,189 @@
+// Tests for the plan -> schedulable-unit translation.
+
+#include "exec/unit_builder.h"
+
+#include <gtest/gtest.h>
+
+#include "query/operator.h"
+
+namespace aqsios::exec {
+namespace {
+
+query::CompiledQuery Chain(query::QueryId id,
+                           std::vector<query::OperatorSpec> ops) {
+  query::QuerySpec spec;
+  spec.id = id;
+  spec.left_stream = 0;
+  spec.left_ops = std::move(ops);
+  return query::CompiledQuery(spec, query::SelectivityMode::kIndependent);
+}
+
+TEST(UnitBuilderTest, QueryLevelOneUnitPerSingleStreamQuery) {
+  std::vector<query::CompiledQuery> queries;
+  queries.push_back(Chain(0, {query::MakeSelect(1.0, 0.5)}));
+  queries.push_back(
+      Chain(1, {query::MakeSelect(2.0, 0.4), query::MakeProject(1.0)}));
+  query::GlobalPlan plan(std::move(queries), {}, 1);
+  const BuiltUnits built = BuildUnits(plan, {});
+  ASSERT_EQ(built.units.size(), 2u);
+  for (const sched::Unit& unit : built.units) {
+    EXPECT_EQ(unit.kind, sched::UnitKind::kQueryChain);
+    EXPECT_EQ(unit.input_stream, 0);
+    EXPECT_GT(unit.stats.normalized_rate, 0.0);
+    EXPECT_GT(unit.stats.chain_slope, 0.0);
+  }
+  // Unit stats mirror the leaf segment.
+  EXPECT_NEAR(built.units[0].stats.selectivity, 0.5, 1e-12);
+  EXPECT_NEAR(built.units[1].stats.selectivity, 0.4, 1e-12);
+}
+
+TEST(UnitBuilderTest, OperatorLevelOneUnitPerOperator) {
+  std::vector<query::CompiledQuery> queries;
+  queries.push_back(Chain(0, {query::MakeSelect(1.0, 0.5),
+                              query::MakeStoredJoin(2.0, 0.4),
+                              query::MakeProject(1.0)}));
+  query::GlobalPlan plan(std::move(queries), {}, 1);
+  UnitBuilderOptions options;
+  options.level = SchedulingLevel::kOperatorLevel;
+  const BuiltUnits built = BuildUnits(plan, options);
+  ASSERT_EQ(built.units.size(), 3u);
+  ASSERT_EQ(built.op_units.size(), 1u);
+  ASSERT_EQ(built.op_units[0].size(), 3u);
+  for (int x = 0; x < 3; ++x) {
+    const sched::Unit& unit =
+        built.units[static_cast<size_t>(built.op_units[0][x])];
+    EXPECT_EQ(unit.kind, sched::UnitKind::kOperator);
+    EXPECT_EQ(unit.op_index, x);
+    // Only the leaf is stream-fed.
+    EXPECT_EQ(unit.input_stream, x == 0 ? 0 : -1);
+  }
+  // Segment priorities grow toward the root (less remaining work).
+  const auto& leaf = built.units[static_cast<size_t>(built.op_units[0][0])];
+  const auto& root = built.units[static_cast<size_t>(built.op_units[0][2])];
+  EXPECT_GT(root.stats.output_rate, leaf.stats.output_rate);
+}
+
+TEST(UnitBuilderTest, MultiStreamOneUnitPerJoinInput) {
+  query::QuerySpec spec;
+  spec.id = 0;
+  spec.left_stream = 0;
+  spec.right_stream = 1;
+  spec.left_ops = {query::MakeSelect(1.0, 0.5)};
+  spec.right_ops = {query::MakeSelect(1.0, 0.5)};
+  spec.join_op = query::MakeWindowJoin(1.0, 0.5, 1.0);
+  query::JoinStage stage;
+  stage.stream = 2;
+  stage.side_ops = {query::MakeSelect(1.0, 0.5)};
+  stage.join = query::MakeWindowJoin(1.0, 0.5, 1.0);
+  stage.mean_inter_arrival = 0.1;
+  spec.extra_stages = {stage};
+  spec.left_mean_inter_arrival = 0.1;
+  spec.right_mean_inter_arrival = 0.1;
+  std::vector<query::CompiledQuery> queries;
+  queries.emplace_back(spec, query::SelectivityMode::kIndependent);
+  query::GlobalPlan plan(std::move(queries), {}, 3);
+  const BuiltUnits built = BuildUnits(plan, {});
+  ASSERT_EQ(built.units.size(), 3u);
+  EXPECT_EQ(built.units[0].kind, sched::UnitKind::kJoinSideLeft);
+  EXPECT_EQ(built.units[1].kind, sched::UnitKind::kJoinSideRight);
+  EXPECT_EQ(built.units[2].kind, sched::UnitKind::kJoinInput);
+  EXPECT_EQ(built.units[0].input_stream, 0);
+  EXPECT_EQ(built.units[1].input_stream, 1);
+  EXPECT_EQ(built.units[2].input_stream, 2);
+  EXPECT_EQ(built.units[2].op_index, 2);
+}
+
+query::GlobalPlan SharedPlan() {
+  const query::OperatorSpec shared = query::MakeSelect(1.0, 0.5);
+  std::vector<query::CompiledQuery> queries;
+  // Member 0: productive remainder; member 1: dreadful remainder that a PDT
+  // must exclude.
+  queries.push_back(Chain(0, {shared, query::MakeProject(1.0)}));
+  queries.push_back(Chain(1, {shared, query::MakeStoredJoin(500.0, 0.01),
+                              query::MakeProject(1.0)}));
+  query::SharingGroup group;
+  group.id = 0;
+  group.members = {0, 1};
+  return query::GlobalPlan(std::move(queries), {group}, 1);
+}
+
+TEST(UnitBuilderTest, PdtSplitsGroupIntoBundleAndRemainder) {
+  UnitBuilderOptions options;
+  options.sharing_strategy = sched::SharingStrategy::kPdt;
+  const query::GlobalPlan plan = SharedPlan();
+  const BuiltUnits built = BuildUnits(plan, options);
+  ASSERT_EQ(built.groups.size(), 1u);
+  const GroupRuntime& runtime = built.groups[0];
+  ASSERT_EQ(runtime.executed.size(), 1u);
+  EXPECT_EQ(runtime.executed[0], 0);
+  ASSERT_EQ(runtime.remainder_queries.size(), 1u);
+  EXPECT_EQ(runtime.remainder_queries[0], 1);
+  ASSERT_EQ(runtime.remainder_units.size(), 1u);
+  // Units: the shared-group unit plus one remainder unit.
+  ASSERT_EQ(built.units.size(), 2u);
+  const sched::Unit& remainder =
+      built.units[static_cast<size_t>(runtime.remainder_units[0])];
+  EXPECT_EQ(remainder.kind, sched::UnitKind::kRemainder);
+  EXPECT_EQ(remainder.query, 1);
+  EXPECT_EQ(remainder.op_index, 1);
+  EXPECT_EQ(remainder.input_stream, -1);
+}
+
+TEST(UnitBuilderTest, MaxAndSumKeepGroupWhole) {
+  for (sched::SharingStrategy strategy :
+       {sched::SharingStrategy::kMax, sched::SharingStrategy::kSum}) {
+    UnitBuilderOptions options;
+    options.sharing_strategy = strategy;
+    const query::GlobalPlan plan = SharedPlan();
+    const BuiltUnits built = BuildUnits(plan, options);
+    ASSERT_EQ(built.units.size(), 1u) << sched::SharingStrategyName(strategy);
+    EXPECT_EQ(built.groups[0].executed.size(), 2u);
+    EXPECT_TRUE(built.groups[0].remainder_units.empty());
+  }
+}
+
+TEST(UnitBuilderTest, OperatorChainSlopesAreExactEnvelopes) {
+  std::vector<query::CompiledQuery> queries;
+  queries.push_back(Chain(0, {query::MakeSelect(1.0, 0.2),
+                              query::MakeProject(4.0)}));
+  query::GlobalPlan plan(std::move(queries), {}, 1);
+  UnitBuilderOptions options;
+  options.level = SchedulingLevel::kOperatorLevel;
+  const BuiltUnits built = BuildUnits(plan, options);
+  // Leaf: max((1-0.2)/1ms, 1/5ms) = 800; root (project): 1/4ms = 250.
+  EXPECT_NEAR(built.units[0].stats.chain_slope, 0.8 / 0.001, 1e-6);
+  EXPECT_NEAR(built.units[1].stats.chain_slope, 1.0 / 0.004, 1e-6);
+}
+
+TEST(UnitBuilderDeathTest, OperatorLevelRejectsSharingAndJoins) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  UnitBuilderOptions options;
+  options.level = SchedulingLevel::kOperatorLevel;
+  {
+    const query::GlobalPlan plan = SharedPlan();
+    EXPECT_DEATH(BuildUnits(plan, options), "without sharing");
+  }
+  {
+    query::QuerySpec spec;
+    spec.id = 0;
+    spec.left_stream = 0;
+    spec.right_stream = 1;
+    spec.left_ops = {query::MakeSelect(1.0, 0.5)};
+    spec.right_ops = {query::MakeSelect(1.0, 0.5)};
+    spec.join_op = query::MakeWindowJoin(1.0, 0.5, 1.0);
+    std::vector<query::CompiledQuery> queries;
+    queries.emplace_back(spec, query::SelectivityMode::kIndependent);
+    query::GlobalPlan plan(std::move(queries), {}, 2);
+    EXPECT_DEATH(BuildUnits(plan, options), "single-stream");
+  }
+}
+
+TEST(SchedulingLevelTest, Names) {
+  EXPECT_STREQ(SchedulingLevelName(SchedulingLevel::kQueryLevel),
+               "query_level");
+  EXPECT_STREQ(SchedulingLevelName(SchedulingLevel::kOperatorLevel),
+               "operator_level");
+}
+
+}  // namespace
+}  // namespace aqsios::exec

@@ -1,0 +1,118 @@
+#include "exec/window_join.h"
+
+#include <gtest/gtest.h>
+
+namespace aqsios::exec {
+namespace {
+
+using Entry = SymmetricHashJoinState::Entry;
+using query::Side;
+
+Entry E(stream::ArrivalId id, SimTime ts) {
+  Entry entry;
+  entry.id = id;
+  entry.timestamp = ts;
+  entry.arrival_time = ts;
+  return entry;
+}
+
+TEST(WindowJoinTest, ProbeFindsWindowCandidates) {
+  SymmetricHashJoinState state(/*window=*/2.0);
+  state.Insert(Side::kRight, /*key=*/7, E(1, 0.0));
+  state.Insert(Side::kRight, 7, E(2, 1.5));
+  state.Insert(Side::kRight, 7, E(3, 5.0));
+
+  std::vector<Entry> candidates;
+  state.Probe(Side::kLeft, 7, /*timestamp=*/1.0, &candidates);
+  ASSERT_EQ(candidates.size(), 2u);
+  EXPECT_EQ(candidates[0].id, 1);
+  EXPECT_EQ(candidates[1].id, 2);
+}
+
+TEST(WindowJoinTest, ProbeRespectsKey) {
+  SymmetricHashJoinState state(10.0);
+  state.Insert(Side::kRight, 1, E(1, 0.0));
+  state.Insert(Side::kRight, 2, E(2, 0.0));
+  std::vector<Entry> candidates;
+  state.Probe(Side::kLeft, 1, 0.5, &candidates);
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(candidates[0].id, 1);
+}
+
+TEST(WindowJoinTest, ProbesAreSymmetricAcrossSides) {
+  SymmetricHashJoinState state(2.0);
+  state.Insert(Side::kLeft, 7, E(1, 0.0));
+  std::vector<Entry> candidates;
+  state.Probe(Side::kRight, 7, 1.0, &candidates);
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(candidates[0].id, 1);
+  // A left probe must not see left entries.
+  candidates.clear();
+  state.Probe(Side::kLeft, 7, 1.0, &candidates);
+  EXPECT_TRUE(candidates.empty());
+}
+
+TEST(WindowJoinTest, ExpiredEntriesEvictedByProbe) {
+  SymmetricHashJoinState state(1.0);
+  state.Insert(Side::kRight, 3, E(1, 0.0));
+  state.Insert(Side::kRight, 3, E(2, 5.0));
+  EXPECT_EQ(state.size(Side::kRight), 2);
+  std::vector<Entry> candidates;
+  state.Probe(Side::kLeft, 3, 5.5, &candidates);
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(candidates[0].id, 2);
+  EXPECT_EQ(state.size(Side::kRight), 1);  // entry 1 evicted
+}
+
+TEST(WindowJoinTest, InsertNeverEvicts) {
+  // Insert-time eviction would be unsafe: a delayed probe from the other
+  // stream with an older timestamp may still need old entries.
+  SymmetricHashJoinState state(1.0);
+  state.Insert(Side::kLeft, 3, E(1, 0.0));
+  state.Insert(Side::kLeft, 3, E(2, 10.0));
+  EXPECT_EQ(state.size(Side::kLeft), 2);
+  // An old right-side probe still matches the old entry.
+  std::vector<Entry> candidates;
+  state.Probe(Side::kRight, 3, 0.5, &candidates);
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(candidates[0].id, 1);
+}
+
+TEST(WindowJoinTest, FutureEntriesBeyondWindowExcludedButKept) {
+  // A right tuple with a much later source timestamp can already be resident
+  // when an old left tuple probes (heavy queueing); it must not match but
+  // must stay for later probes.
+  SymmetricHashJoinState state(1.0);
+  state.Insert(Side::kRight, 3, E(1, 5.0));
+  std::vector<Entry> candidates;
+  state.Probe(Side::kLeft, 3, 0.5, &candidates);
+  EXPECT_TRUE(candidates.empty());
+  EXPECT_EQ(state.size(Side::kRight), 1);
+  state.Probe(Side::kLeft, 3, 4.5, &candidates);
+  ASSERT_EQ(candidates.size(), 1u);
+}
+
+TEST(WindowJoinTest, BoundaryTimestampsInclusive) {
+  SymmetricHashJoinState state(2.0);
+  state.Insert(Side::kRight, 1, E(1, 0.0));
+  state.Insert(Side::kRight, 1, E(2, 4.0));
+  std::vector<Entry> candidates;
+  state.Probe(Side::kLeft, 1, 2.0, &candidates);
+  // |2-0| <= 2 and |2-4| <= 2: both inclusive.
+  EXPECT_EQ(candidates.size(), 2u);
+}
+
+TEST(WindowJoinTest, SizeTracksBothSides) {
+  SymmetricHashJoinState state(100.0);
+  for (int i = 0; i < 5; ++i) {
+    state.Insert(Side::kLeft, i % 2, E(i, 0.1 * i));
+  }
+  for (int i = 0; i < 3; ++i) {
+    state.Insert(Side::kRight, 0, E(10 + i, 0.1 * i));
+  }
+  EXPECT_EQ(state.size(Side::kLeft), 5);
+  EXPECT_EQ(state.size(Side::kRight), 3);
+}
+
+}  // namespace
+}  // namespace aqsios::exec

@@ -1,0 +1,193 @@
+// Cross-module property tests for the extension features: lp-norm family
+// monotonicity, clustered-vs-exact BSD convergence, Chain's memory
+// advantage, two-level RR, and whole-pipeline determinism.
+
+#include <gtest/gtest.h>
+
+#include "core/dsms.h"
+#include "query/workload.h"
+
+namespace aqsios::core {
+namespace {
+
+query::Workload TestWorkload(uint64_t seed, double utilization = 0.95) {
+  query::WorkloadConfig config;
+  config.num_queries = 30;
+  config.num_arrivals = 4000;
+  config.utilization = utilization;
+  config.seed = seed;
+  return query::GenerateWorkload(config);
+}
+
+RunResult RunLp(const query::Workload& workload, double p) {
+  sched::PolicyConfig policy = sched::PolicyConfig::Of(sched::PolicyKind::kLpNorm);
+  policy.lp_norm_p = p;
+  return Simulate(workload, policy);
+}
+
+TEST(LpFamilyIntegrationTest, P1MatchesHnrExactly) {
+  const query::Workload workload = TestWorkload(42);
+  const RunResult hnr =
+      Simulate(workload, sched::PolicyConfig::Of(sched::PolicyKind::kHnr));
+  const RunResult lp1 = RunLp(workload, 1.0);
+  // p=1 has no wait dependence: identical schedule, identical QoS.
+  EXPECT_DOUBLE_EQ(lp1.qos.avg_slowdown, hnr.qos.avg_slowdown);
+  EXPECT_DOUBLE_EQ(lp1.qos.max_slowdown, hnr.qos.max_slowdown);
+}
+
+TEST(LpFamilyIntegrationTest, P2MatchesBsdExactly) {
+  const query::Workload workload = TestWorkload(42);
+  const RunResult bsd =
+      Simulate(workload, sched::PolicyConfig::Of(sched::PolicyKind::kBsd));
+  const RunResult lp2 = RunLp(workload, 2.0);
+  EXPECT_DOUBLE_EQ(lp2.qos.avg_slowdown, bsd.qos.avg_slowdown);
+  EXPECT_DOUBLE_EQ(lp2.qos.max_slowdown, bsd.qos.max_slowdown);
+}
+
+class LpMonotonicityTest : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(LpMonotonicityTest, PTradesAverageForWorstCase) {
+  const query::Workload workload = TestWorkload(GetParam());
+  const RunResult low = RunLp(workload, 1.0);
+  const RunResult mid = RunLp(workload, 2.0);
+  const RunResult high = RunLp(workload, 6.0);
+  const RunResult lsf =
+      Simulate(workload, sched::PolicyConfig::Of(sched::PolicyKind::kLsf));
+  // Average slowdown increases with p (toward LSF's).
+  EXPECT_LE(low.qos.avg_slowdown, mid.qos.avg_slowdown * 1.02);
+  EXPECT_LE(mid.qos.avg_slowdown, high.qos.avg_slowdown * 1.02);
+  EXPECT_LE(high.qos.avg_slowdown, lsf.qos.avg_slowdown * 1.02);
+  // Maximum slowdown decreases with p (toward LSF's).
+  EXPECT_GE(low.qos.max_slowdown, mid.qos.max_slowdown * 0.98);
+  EXPECT_GE(mid.qos.max_slowdown, high.qos.max_slowdown * 0.98);
+  EXPECT_GE(high.qos.max_slowdown, lsf.qos.max_slowdown * 0.98);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LpMonotonicityTest,
+                         testing::Values(42u, 99u, 31337u));
+
+TEST(ClusteredBsdIntegrationTest, ManyClustersNoOverheadApproachesExact) {
+  const query::Workload workload = TestWorkload(7);
+  const RunResult exact =
+      Simulate(workload, sched::PolicyConfig::Of(sched::PolicyKind::kBsd));
+  sched::PolicyConfig clustered =
+      sched::PolicyConfig::Of(sched::PolicyKind::kBsdClustered);
+  clustered.clustered.num_clusters = 512;  // ~one unit per cluster
+  clustered.clustered.use_fagin = true;
+  const RunResult approx = Simulate(workload, clustered);
+  // Without overhead charging and with fine clusters, the approximation
+  // should land within a few percent of the exact BSD.
+  EXPECT_NEAR(approx.qos.l2_slowdown / exact.qos.l2_slowdown, 1.0, 0.05);
+  EXPECT_EQ(approx.qos.tuples_emitted, exact.qos.tuples_emitted);
+}
+
+TEST(ClusteredBsdIntegrationTest, CoarseClustersDegradeGracefully) {
+  const query::Workload workload = TestWorkload(7);
+  sched::PolicyConfig coarse =
+      sched::PolicyConfig::Of(sched::PolicyKind::kBsdClustered);
+  coarse.clustered.num_clusters = 2;
+  const RunResult r = Simulate(workload, coarse);
+  // Still a sane schedule: everything emitted, slowdowns valid.
+  EXPECT_GT(r.qos.tuples_emitted, 0);
+  EXPECT_GE(r.qos.avg_slowdown, 1.0);
+}
+
+TEST(ChainIntegrationTest, ChainMinimizesQueueFootprintAtOperatorLevel) {
+  query::WorkloadConfig config;
+  config.num_queries = 25;
+  config.num_arrivals = 4000;
+  config.utilization = 0.9;
+  config.seed = 11;
+  const query::Workload workload = query::GenerateWorkload(config);
+  SimulationOptions op_level;
+  op_level.level = exec::SchedulingLevel::kOperatorLevel;
+  const RunResult chain = Simulate(
+      workload, sched::PolicyConfig::Of(sched::PolicyKind::kChain), op_level);
+  const RunResult rr = Simulate(
+      workload, sched::PolicyConfig::Of(sched::PolicyKind::kRoundRobin),
+      op_level);
+  const RunResult fcfs = Simulate(
+      workload, sched::PolicyConfig::Of(sched::PolicyKind::kFcfs), op_level);
+  EXPECT_LT(chain.counters.avg_queued_tuples, rr.counters.avg_queued_tuples);
+  EXPECT_LT(chain.counters.avg_queued_tuples,
+            fcfs.counters.avg_queued_tuples);
+  EXPECT_LT(chain.counters.peak_queued_tuples,
+            rr.counters.peak_queued_tuples);
+}
+
+TEST(TwoLevelIntegrationTest, BehavesLikeRrAtQueryLevel) {
+  const query::Workload workload = TestWorkload(5, 0.8);
+  const RunResult rr = Simulate(
+      workload, sched::PolicyConfig::Of(sched::PolicyKind::kRoundRobin));
+  const RunResult rrrb = Simulate(
+      workload, sched::PolicyConfig::Of(sched::PolicyKind::kTwoLevelRr));
+  // With one unit per query the two-level scheme degenerates to RR.
+  EXPECT_DOUBLE_EQ(rr.qos.avg_slowdown, rrrb.qos.avg_slowdown);
+}
+
+TEST(DeterminismTest, IdenticalSeedIdenticalRun) {
+  const query::Workload a = TestWorkload(123);
+  const query::Workload b = TestWorkload(123);
+  for (sched::PolicyKind kind :
+       {sched::PolicyKind::kBsd, sched::PolicyKind::kLsf,
+        sched::PolicyKind::kBsdClustered}) {
+    const RunResult ra = Simulate(a, sched::PolicyConfig::Of(kind));
+    const RunResult rb = Simulate(b, sched::PolicyConfig::Of(kind));
+    EXPECT_DOUBLE_EQ(ra.qos.avg_slowdown, rb.qos.avg_slowdown)
+        << sched::PolicyKindName(kind);
+    EXPECT_DOUBLE_EQ(ra.qos.l2_slowdown, rb.qos.l2_slowdown)
+        << sched::PolicyKindName(kind);
+    EXPECT_EQ(ra.counters.operator_invocations,
+              rb.counters.operator_invocations)
+        << sched::PolicyKindName(kind);
+  }
+}
+
+TEST(FairnessIntegrationTest, LsfFairerThanHnr) {
+  const query::Workload workload = TestWorkload(77);
+  SimulationOptions options;
+  options.qos.track_per_query = true;
+  const RunResult hnr = Simulate(
+      workload, sched::PolicyConfig::Of(sched::PolicyKind::kHnr), options);
+  const RunResult lsf = Simulate(
+      workload, sched::PolicyConfig::Of(sched::PolicyKind::kLsf), options);
+  EXPECT_GT(lsf.qos.JainFairnessIndex(), hnr.qos.JainFairnessIndex());
+  EXPECT_GT(lsf.qos.JainFairnessIndex(), 0.5);
+}
+
+TEST(ScaleRegressionTest, NearPaperScaleRuns) {
+  // A population close to the paper's 500 registered queries; guards
+  // against accidental quadratic blowups in the engine or schedulers.
+  query::WorkloadConfig config;
+  config.num_queries = 200;
+  config.num_arrivals = 8000;
+  config.utilization = 0.9;
+  config.seed = 404;
+  const query::Workload workload = query::GenerateWorkload(config);
+  for (sched::PolicyKind kind :
+       {sched::PolicyKind::kHnr, sched::PolicyKind::kBsdClustered}) {
+    const RunResult r = Simulate(workload, sched::PolicyConfig::Of(kind));
+    EXPECT_EQ(r.counters.unit_executions, 200 * 8000)
+        << sched::PolicyKindName(kind);
+    EXPECT_GT(r.qos.tuples_emitted, 0) << sched::PolicyKindName(kind);
+    EXPECT_GE(r.qos.avg_slowdown, 1.0) << sched::PolicyKindName(kind);
+  }
+}
+
+TEST(WarmupIntegrationTest, WarmupCutReducesCountedTuples) {
+  const query::Workload workload = TestWorkload(3, 0.7);
+  SimulationOptions all;
+  SimulationOptions cut;
+  cut.qos.warmup_until = workload.arrivals.Horizon() / 2.0;
+  const RunResult full = Simulate(
+      workload, sched::PolicyConfig::Of(sched::PolicyKind::kHnr), all);
+  const RunResult trimmed = Simulate(
+      workload, sched::PolicyConfig::Of(sched::PolicyKind::kHnr), cut);
+  EXPECT_LT(trimmed.qos.tuples_emitted, full.qos.tuples_emitted);
+  EXPECT_GT(trimmed.qos.tuples_emitted, 0);
+  // Engine-level counters are unaffected by the metric cut.
+  EXPECT_EQ(trimmed.counters.tuples_emitted, full.counters.tuples_emitted);
+}
+
+}  // namespace
+}  // namespace aqsios::core

@@ -1,0 +1,221 @@
+// Cross-module property tests: the qualitative claims of the paper's
+// evaluation must hold on small testbed workloads across seeds.
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "core/dsms.h"
+#include "query/workload.h"
+
+namespace aqsios::core {
+namespace {
+
+struct PolicyResults {
+  std::map<sched::PolicyKind, RunResult> runs;
+
+  const RunResult& at(sched::PolicyKind kind) const { return runs.at(kind); }
+};
+
+PolicyResults RunAllPolicies(const query::Workload& workload,
+                             const SimulationOptions& options = {}) {
+  PolicyResults results;
+  for (sched::PolicyKind kind :
+       {sched::PolicyKind::kFcfs, sched::PolicyKind::kRoundRobin,
+        sched::PolicyKind::kSrpt, sched::PolicyKind::kHr,
+        sched::PolicyKind::kHnr, sched::PolicyKind::kLsf,
+        sched::PolicyKind::kBsd}) {
+    results.runs[kind] =
+        Simulate(workload, sched::PolicyConfig::Of(kind), options);
+  }
+  return results;
+}
+
+class PolicyPropertyTest : public testing::TestWithParam<uint64_t> {
+ protected:
+  query::Workload HighLoadWorkload() const {
+    query::WorkloadConfig config;
+    config.num_queries = 30;
+    config.num_arrivals = 4000;
+    config.utilization = 0.95;
+    config.seed = GetParam();
+    return query::GenerateWorkload(config);
+  }
+};
+
+TEST_P(PolicyPropertyTest, AllPoliciesEmitTheSameTuples) {
+  const query::Workload workload = HighLoadWorkload();
+  const PolicyResults results = RunAllPolicies(workload);
+  const int64_t expected =
+      results.at(sched::PolicyKind::kFcfs).qos.tuples_emitted;
+  EXPECT_GT(expected, 0);
+  for (const auto& [kind, run] : results.runs) {
+    EXPECT_EQ(run.qos.tuples_emitted, expected)
+        << sched::PolicyKindName(kind);
+    EXPECT_NEAR(run.counters.busy_time,
+                results.at(sched::PolicyKind::kFcfs).counters.busy_time, 1e-6)
+        << sched::PolicyKindName(kind);
+  }
+}
+
+TEST_P(PolicyPropertyTest, SlowdownsNeverBelowOne) {
+  const query::Workload workload = HighLoadWorkload();
+  const PolicyResults results = RunAllPolicies(workload);
+  for (const auto& [kind, run] : results.runs) {
+    EXPECT_GE(run.qos.avg_slowdown, 1.0) << sched::PolicyKindName(kind);
+    EXPECT_GE(run.qos.max_slowdown, run.qos.avg_slowdown)
+        << sched::PolicyKindName(kind);
+    EXPECT_GE(run.qos.max_response, run.qos.avg_response)
+        << sched::PolicyKindName(kind);
+  }
+}
+
+TEST_P(PolicyPropertyTest, HnrMinimizesAverageSlowdown) {
+  // Figure 5: HNR gives the lowest average slowdown; RR and FCFS are far
+  // worse; SRPT sits in between.
+  const query::Workload workload = HighLoadWorkload();
+  const PolicyResults results = RunAllPolicies(workload);
+  const double hnr = results.at(sched::PolicyKind::kHnr).qos.avg_slowdown;
+  EXPECT_LE(hnr,
+            results.at(sched::PolicyKind::kHr).qos.avg_slowdown * 1.02);
+  EXPECT_LT(hnr, results.at(sched::PolicyKind::kSrpt).qos.avg_slowdown);
+  EXPECT_LT(hnr, results.at(sched::PolicyKind::kRoundRobin).qos.avg_slowdown);
+  EXPECT_LT(hnr, results.at(sched::PolicyKind::kFcfs).qos.avg_slowdown);
+}
+
+TEST_P(PolicyPropertyTest, HrMinimizesAverageResponse) {
+  // Figure 6: HR's response time is the best; HNR pays a small premium.
+  const query::Workload workload = HighLoadWorkload();
+  const PolicyResults results = RunAllPolicies(workload);
+  const double hr = results.at(sched::PolicyKind::kHr).qos.avg_response;
+  EXPECT_LE(hr,
+            results.at(sched::PolicyKind::kHnr).qos.avg_response * 1.02);
+  EXPECT_LT(hr, results.at(sched::PolicyKind::kRoundRobin).qos.avg_response);
+  EXPECT_LT(hr, results.at(sched::PolicyKind::kFcfs).qos.avg_response);
+}
+
+TEST_P(PolicyPropertyTest, LsfMinimizesMaximumSlowdown) {
+  // Figure 7: LSF's max slowdown is far below HNR's.
+  const query::Workload workload = HighLoadWorkload();
+  const PolicyResults results = RunAllPolicies(workload);
+  EXPECT_LT(results.at(sched::PolicyKind::kLsf).qos.max_slowdown,
+            results.at(sched::PolicyKind::kHnr).qos.max_slowdown);
+}
+
+TEST_P(PolicyPropertyTest, BsdBalancesTheTradeoff) {
+  // Figures 8-10: BSD's max slowdown is below HNR's, its average slowdown
+  // below LSF's, and its l2 norm the best of the three.
+  const query::Workload workload = HighLoadWorkload();
+  const PolicyResults results = RunAllPolicies(workload);
+  const RunResult& bsd = results.at(sched::PolicyKind::kBsd);
+  const RunResult& hnr = results.at(sched::PolicyKind::kHnr);
+  const RunResult& lsf = results.at(sched::PolicyKind::kLsf);
+  EXPECT_LT(bsd.qos.max_slowdown, hnr.qos.max_slowdown);
+  EXPECT_LT(bsd.qos.avg_slowdown, lsf.qos.avg_slowdown);
+  EXPECT_LE(bsd.qos.l2_slowdown, hnr.qos.l2_slowdown * 1.02);
+  EXPECT_LE(bsd.qos.l2_slowdown, lsf.qos.l2_slowdown * 1.02);
+}
+
+TEST_P(PolicyPropertyTest, HrBiasedAgainstLowSelectivityClasses) {
+  // Figure 11: within the low-cost class, HR's slowdown for low-selectivity
+  // queries is much worse than for high-selectivity ones; HNR's bias is
+  // smaller.
+  const query::Workload workload = HighLoadWorkload();
+  const PolicyResults results = RunAllPolicies(workload);
+  auto class_bias = [](const RunResult& run) {
+    // Ratio of mean slowdown in the lowest vs highest populated selectivity
+    // deciles of cost class 0.
+    double low = 0.0;
+    double high = 0.0;
+    for (const auto& [key, stats] : run.qos.per_class_slowdown) {
+      if (key.cost_class != 0 || stats.count() == 0) continue;
+      if (low == 0.0) low = stats.Mean();  // lowest decile seen first
+      high = stats.Mean();                 // ends at the highest decile
+    }
+    return high > 0.0 ? low / high : 1.0;
+  };
+  const double hr_bias = class_bias(results.at(sched::PolicyKind::kHr));
+  const double hnr_bias = class_bias(results.at(sched::PolicyKind::kHnr));
+  EXPECT_GT(hr_bias, 1.0);
+  EXPECT_LT(hnr_bias, hr_bias);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PolicyPropertyTest,
+                         testing::Values(42u, 1234u, 777u));
+
+class MultiStreamPropertyTest : public testing::TestWithParam<uint64_t> {
+ protected:
+  query::Workload JoinWorkload() const {
+    query::WorkloadConfig config;
+    config.num_queries = 10;
+    config.num_arrivals = 3000;
+    config.utilization = 0.9;
+    config.multi_stream = true;
+    config.arrival_pattern = query::ArrivalPattern::kPoisson;
+    config.poisson_rate = 50.0;
+    config.window_min_seconds = 0.5;
+    config.window_max_seconds = 2.0;
+    config.num_join_keys = 1;
+    config.seed = GetParam();
+    return query::GenerateWorkload(config);
+  }
+};
+
+TEST_P(MultiStreamPropertyTest, CompositesFlowAndSlowdownsValid) {
+  const query::Workload workload = JoinWorkload();
+  const RunResult r =
+      Simulate(workload, sched::PolicyConfig::Of(sched::PolicyKind::kBsd));
+  EXPECT_GT(r.counters.composites_generated, 0);
+  EXPECT_GT(r.qos.tuples_emitted, 0);
+  EXPECT_GE(r.qos.avg_slowdown, 1.0);
+}
+
+TEST_P(MultiStreamPropertyTest, BsdBeatsRrAndFcfsOnL2) {
+  // Figure 12: BSD's l2 norm is far better than RR's and FCFS's for
+  // window-join workloads.
+  const query::Workload workload = JoinWorkload();
+  const RunResult bsd =
+      Simulate(workload, sched::PolicyConfig::Of(sched::PolicyKind::kBsd));
+  const RunResult rr = Simulate(
+      workload, sched::PolicyConfig::Of(sched::PolicyKind::kRoundRobin));
+  const RunResult fcfs =
+      Simulate(workload, sched::PolicyConfig::Of(sched::PolicyKind::kFcfs));
+  EXPECT_LT(bsd.qos.l2_slowdown, rr.qos.l2_slowdown);
+  EXPECT_LT(bsd.qos.l2_slowdown, fcfs.qos.l2_slowdown);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MultiStreamPropertyTest,
+                         testing::Values(42u, 1234u));
+
+/// The headline figure orderings must hold across the whole load range the
+/// paper sweeps, not just at the high end.
+class UtilizationSweepTest : public testing::TestWithParam<double> {};
+
+TEST_P(UtilizationSweepTest, Figure5And7OrderingsHoldAtEveryLoad) {
+  query::WorkloadConfig config;
+  config.num_queries = 30;
+  config.num_arrivals = 4000;
+  config.utilization = GetParam();
+  config.seed = 42;
+  const query::Workload workload = query::GenerateWorkload(config);
+  const PolicyResults results = RunAllPolicies(workload);
+  const double hnr = results.at(sched::PolicyKind::kHnr).qos.avg_slowdown;
+  // Figure 5 ordering.
+  EXPECT_LT(hnr, results.at(sched::PolicyKind::kSrpt).qos.avg_slowdown);
+  EXPECT_LT(hnr, results.at(sched::PolicyKind::kRoundRobin).qos.avg_slowdown);
+  EXPECT_LE(hnr, results.at(sched::PolicyKind::kHr).qos.avg_slowdown * 1.02);
+  // Figure 7 ordering.
+  EXPECT_LT(results.at(sched::PolicyKind::kLsf).qos.max_slowdown,
+            results.at(sched::PolicyKind::kHnr).qos.max_slowdown);
+  // Figure 6 ordering.
+  EXPECT_LE(results.at(sched::PolicyKind::kHr).qos.avg_response,
+            results.at(sched::PolicyKind::kRoundRobin).qos.avg_response);
+  // Load monotonicity sanity: utilization below 1 drains within the run.
+  EXPECT_GT(results.at(sched::PolicyKind::kHnr).qos.tuples_emitted, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Loads, UtilizationSweepTest,
+                         testing::Values(0.6, 0.8, 0.95));
+
+}  // namespace
+}  // namespace aqsios::core

@@ -1,0 +1,128 @@
+#include "metrics/qos.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace aqsios::metrics {
+namespace {
+
+TEST(ClassKeyTest, DecileRounding) {
+  EXPECT_EQ(MakeClassKey(2, 0.5).selectivity_decile, 5);
+  EXPECT_EQ(MakeClassKey(2, 1.0).selectivity_decile, 10);
+  EXPECT_EQ(MakeClassKey(2, 0.14).selectivity_decile, 1);
+  EXPECT_EQ(MakeClassKey(0, 0.16).selectivity_decile, 2);
+}
+
+TEST(ClassKeyTest, Ordering) {
+  const ClassKey a = MakeClassKey(0, 0.5);
+  const ClassKey b = MakeClassKey(0, 0.6);
+  const ClassKey c = MakeClassKey(1, 0.1);
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_EQ(a, MakeClassKey(0, 0.5));
+}
+
+TEST(QosCollectorTest, AggregatesBasics) {
+  QosCollector collector;
+  collector.RecordOutput(0, 0, 0.5, /*arrival=*/0.0, /*response=*/0.010,
+                         /*slowdown=*/2.0);
+  collector.RecordOutput(1, 1, 0.8, 0.1, 0.020, 4.0);
+  const QosSnapshot snap = collector.Snapshot();
+  EXPECT_EQ(snap.tuples_emitted, 2);
+  EXPECT_NEAR(snap.avg_response, 0.015, 1e-12);
+  EXPECT_NEAR(snap.max_response, 0.020, 1e-12);
+  EXPECT_NEAR(snap.avg_slowdown, 3.0, 1e-12);
+  EXPECT_NEAR(snap.max_slowdown, 4.0, 1e-12);
+  EXPECT_NEAR(snap.l2_slowdown, std::sqrt(4.0 + 16.0), 1e-12);
+  EXPECT_NEAR(snap.rms_slowdown, std::sqrt(10.0), 1e-12);
+}
+
+TEST(QosCollectorTest, PerClassBreakdown) {
+  QosCollector collector;
+  collector.RecordOutput(0, 0, 0.5, 0.0, 0.010, 2.0);
+  collector.RecordOutput(1, 0, 0.5, 0.0, 0.010, 4.0);
+  collector.RecordOutput(2, 3, 1.0, 0.0, 0.010, 10.0);
+  const QosSnapshot snap = collector.Snapshot();
+  ASSERT_EQ(snap.per_class_slowdown.size(), 2u);
+  const auto& low = snap.per_class_slowdown.at(MakeClassKey(0, 0.5));
+  EXPECT_EQ(low.count(), 2);
+  EXPECT_NEAR(low.Mean(), 3.0, 1e-12);
+  const auto& high = snap.per_class_slowdown.at(MakeClassKey(3, 1.0));
+  EXPECT_EQ(high.count(), 1);
+  EXPECT_NEAR(high.Mean(), 10.0, 1e-12);
+}
+
+TEST(QosCollectorTest, PerClassDisabled) {
+  QosCollector::Options options;
+  options.track_per_class = false;
+  QosCollector collector(options);
+  collector.RecordOutput(0, 0, 0.5, 0.0, 0.010, 2.0);
+  EXPECT_TRUE(collector.Snapshot().per_class_slowdown.empty());
+}
+
+TEST(QosCollectorTest, WarmupCutDropsEarlyArrivals) {
+  QosCollector::Options options;
+  options.warmup_until = 1.0;
+  QosCollector collector(options);
+  collector.RecordOutput(0, 0, 0.5, /*arrival=*/0.5, 0.010, 2.0);
+  collector.RecordOutput(0, 0, 0.5, /*arrival=*/1.5, 0.010, 6.0);
+  const QosSnapshot snap = collector.Snapshot();
+  EXPECT_EQ(snap.tuples_emitted, 1);
+  EXPECT_NEAR(snap.avg_slowdown, 6.0, 1e-12);
+}
+
+TEST(QosCollectorTest, QuantilesFromReservoir) {
+  QosCollector collector;
+  for (int i = 1; i <= 1000; ++i) {
+    collector.RecordOutput(0, 0, 0.5, 0.0, 0.001 * i, 1.0 + i * 0.01);
+  }
+  const QosSnapshot snap = collector.Snapshot();
+  EXPECT_NEAR(snap.p50_slowdown, 1.0 + 500 * 0.01, 0.5);
+  EXPECT_GT(snap.p99_slowdown, snap.p50_slowdown);
+}
+
+TEST(QosCollectorTest, SnapshotToStringMentionsKeyMetrics) {
+  QosCollector collector;
+  collector.RecordOutput(0, 0, 0.5, 0.0, 0.010, 2.0);
+  const std::string text = collector.Snapshot().ToString();
+  EXPECT_NE(text.find("avg_slowdown"), std::string::npos);
+  EXPECT_NE(text.find("l2_slowdown"), std::string::npos);
+}
+
+TEST(QosCollectorTest, PerQueryTrackingAndJainIndex) {
+  QosCollector::Options options;
+  options.track_per_query = true;
+  QosCollector collector(options);
+  // Two queries with equal mean slowdowns: perfectly fair.
+  collector.RecordOutput(0, 0, 0.5, 0.0, 0.010, 4.0);
+  collector.RecordOutput(1, 0, 0.5, 0.0, 0.010, 4.0);
+  QosSnapshot snap = collector.Snapshot();
+  ASSERT_EQ(snap.per_query_slowdown.size(), 2u);
+  EXPECT_NEAR(snap.JainFairnessIndex(), 1.0, 1e-12);
+
+  // Add a badly starved third query: fairness drops.
+  collector.RecordOutput(2, 0, 0.5, 0.0, 0.010, 400.0);
+  snap = collector.Snapshot();
+  // Jain = (4+4+400)^2 / (3*(16+16+160000)).
+  EXPECT_NEAR(snap.JainFairnessIndex(),
+              408.0 * 408.0 / (3.0 * 160032.0), 1e-9);
+  EXPECT_LT(snap.JainFairnessIndex(), 0.5);
+}
+
+TEST(QosCollectorTest, JainIndexZeroWithoutPerQueryTracking) {
+  QosCollector collector;  // default: per-query off
+  collector.RecordOutput(0, 0, 0.5, 0.0, 0.010, 2.0);
+  EXPECT_DOUBLE_EQ(collector.Snapshot().JainFairnessIndex(), 0.0);
+}
+
+TEST(QosCollectorTest, EmptySnapshot) {
+  QosCollector collector;
+  const QosSnapshot snap = collector.Snapshot();
+  EXPECT_EQ(snap.tuples_emitted, 0);
+  EXPECT_DOUBLE_EQ(snap.avg_slowdown, 0.0);
+  EXPECT_DOUBLE_EQ(snap.l2_slowdown, 0.0);
+}
+
+}  // namespace
+}  // namespace aqsios::metrics

@@ -1,0 +1,100 @@
+#include "metrics/timeline.h"
+
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "core/dsms.h"
+#include "metrics/qos.h"
+#include "query/workload.h"
+
+namespace aqsios::metrics {
+namespace {
+
+TEST(TimelineCollectorTest, BucketsByArrivalTime) {
+  TimelineCollector timeline(1.0);
+  timeline.Record(0.1, 2.0);
+  timeline.Record(0.9, 4.0);
+  timeline.Record(2.5, 8.0);
+  ASSERT_EQ(timeline.num_buckets(), 3);
+  EXPECT_EQ(timeline.Bucket(0).count(), 2);
+  EXPECT_NEAR(timeline.Bucket(0).Mean(), 3.0, 1e-12);
+  EXPECT_EQ(timeline.Bucket(1).count(), 0);
+  EXPECT_EQ(timeline.Bucket(2).count(), 1);
+  EXPECT_DOUBLE_EQ(timeline.BucketStart(2), 2.0);
+}
+
+TEST(TimelineCollectorTest, SeriesAreDense) {
+  TimelineCollector timeline(0.5);
+  timeline.Record(0.1, 2.0);
+  timeline.Record(1.6, 6.0);
+  const auto mean = timeline.MeanSeries();
+  const auto max = timeline.MaxSeries();
+  ASSERT_EQ(mean.size(), 4u);
+  EXPECT_DOUBLE_EQ(mean[0], 2.0);
+  EXPECT_DOUBLE_EQ(mean[1], 0.0);  // empty bucket
+  EXPECT_DOUBLE_EQ(mean[2], 0.0);
+  EXPECT_DOUBLE_EQ(mean[3], 6.0);
+  EXPECT_DOUBLE_EQ(max[3], 6.0);
+}
+
+TEST(TimelineCollectorTest, BoundaryLandsInUpperBucket) {
+  TimelineCollector timeline(1.0);
+  timeline.Record(1.0, 5.0);
+  ASSERT_EQ(timeline.num_buckets(), 2);
+  EXPECT_EQ(timeline.Bucket(0).count(), 0);
+  EXPECT_EQ(timeline.Bucket(1).count(), 1);
+}
+
+TEST(QosTimelineTest, CollectorIntegration) {
+  QosCollector::Options options;
+  options.timeline_bucket = 1.0;
+  QosCollector collector(options);
+  collector.RecordOutput(0, 0, 0.5, /*arrival=*/0.2, 0.010, 2.0);
+  collector.RecordOutput(0, 0, 0.5, /*arrival=*/3.4, 0.010, 6.0);
+  const QosSnapshot snap = collector.Snapshot();
+  EXPECT_DOUBLE_EQ(snap.timeline_bucket, 1.0);
+  ASSERT_EQ(snap.slowdown_timeline_mean.size(), 4u);
+  EXPECT_DOUBLE_EQ(snap.slowdown_timeline_mean[0], 2.0);
+  EXPECT_DOUBLE_EQ(snap.slowdown_timeline_mean[3], 6.0);
+}
+
+TEST(QosTimelineTest, OffByDefault) {
+  QosCollector collector;
+  collector.RecordOutput(0, 0, 0.5, 0.0, 0.010, 2.0);
+  const QosSnapshot snap = collector.Snapshot();
+  EXPECT_DOUBLE_EQ(snap.timeline_bucket, 0.0);
+  EXPECT_TRUE(snap.slowdown_timeline_mean.empty());
+}
+
+TEST(QosTimelineTest, EndToEndBurstsShowTransients) {
+  // Bursty workload: some buckets must be much worse than the median
+  // bucket — the transient the aggregate metrics average away.
+  query::WorkloadConfig config;
+  config.num_queries = 15;
+  config.num_arrivals = 4000;
+  config.utilization = 0.9;
+  config.seed = 13;
+  const query::Workload workload = query::GenerateWorkload(config);
+  core::SimulationOptions options;
+  options.qos.timeline_bucket = workload.arrivals.Horizon() / 50.0;
+  const core::RunResult r = core::Simulate(
+      workload, sched::PolicyConfig::Of(sched::PolicyKind::kHnr), options);
+  const auto& series = r.qos.slowdown_timeline_mean;
+  ASSERT_GE(series.size(), 10u);
+  double peak = 0.0;
+  double lowest = std::numeric_limits<double>::infinity();
+  int populated = 0;
+  for (double v : series) {
+    if (v <= 0.0) continue;
+    peak = std::max(peak, v);
+    lowest = std::min(lowest, v);
+    ++populated;
+  }
+  ASSERT_GT(populated, 5);
+  EXPECT_GT(peak, 3.0 * lowest)
+      << "bursty arrivals should spread bucket slowdowns widely";
+}
+
+}  // namespace
+}  // namespace aqsios::metrics

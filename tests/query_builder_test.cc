@@ -1,0 +1,115 @@
+#include "query/builder.h"
+
+#include <gtest/gtest.h>
+
+namespace aqsios::query {
+namespace {
+
+TEST(QueryBuilderTest, SingleStreamChain) {
+  const QuerySpec spec = QueryBuilder(0)
+                             .Select(0.5, 0.2)
+                             .StoredJoin(1.0, 0.5)
+                             .Project(0.2)
+                             .Build();
+  EXPECT_EQ(spec.left_stream, 0);
+  EXPECT_FALSE(spec.is_multi_stream());
+  ASSERT_EQ(spec.left_ops.size(), 3u);
+  EXPECT_EQ(spec.left_ops[0].kind, OperatorKind::kSelect);
+  EXPECT_EQ(spec.left_ops[1].kind, OperatorKind::kStoredJoin);
+  EXPECT_EQ(spec.left_ops[2].kind, OperatorKind::kProject);
+  EXPECT_DOUBLE_EQ(spec.left_ops[0].selectivity, 0.2);
+}
+
+TEST(QueryBuilderTest, TwoStreamJoin) {
+  const QuerySpec spec = QueryBuilder(0)
+                             .Select(0.5, 0.8)
+                             .WindowJoinWith(1, 1.0, 0.3, 2.0,
+                                             /*tau=*/0.05)
+                             .Select(0.4, 0.9)
+                             .Common()
+                             .Project(0.2)
+                             .LeftMeanInterArrival(0.02)
+                             .Build();
+  EXPECT_TRUE(spec.is_multi_stream());
+  EXPECT_EQ(spec.right_stream, 1);
+  ASSERT_TRUE(spec.join_op.has_value());
+  EXPECT_DOUBLE_EQ(spec.join_op->window_seconds, 2.0);
+  ASSERT_EQ(spec.left_ops.size(), 1u);
+  ASSERT_EQ(spec.right_ops.size(), 1u);
+  EXPECT_DOUBLE_EQ(spec.right_ops[0].selectivity, 0.9);
+  ASSERT_EQ(spec.common_ops.size(), 1u);
+  EXPECT_DOUBLE_EQ(spec.right_mean_inter_arrival, 0.05);
+  EXPECT_DOUBLE_EQ(spec.left_mean_inter_arrival, 0.02);
+}
+
+TEST(QueryBuilderTest, ThreeStreamPipeline) {
+  const QuerySpec spec = QueryBuilder(0)
+                             .Select(0.5, 0.8)
+                             .WindowJoinWith(1, 1.0, 0.3, 2.0, 0.1)
+                             .Select(0.4, 0.9)
+                             .ThenWindowJoinWith(2, 1.0, 0.5, 4.0, 0.2)
+                             .Select(0.3, 0.7)
+                             .Common()
+                             .Project(0.2)
+                             .LeftMeanInterArrival(0.1)
+                             .Build();
+  ASSERT_EQ(spec.extra_stages.size(), 1u);
+  EXPECT_EQ(spec.extra_stages[0].stream, 2);
+  ASSERT_EQ(spec.extra_stages[0].side_ops.size(), 1u);
+  EXPECT_DOUBLE_EQ(spec.extra_stages[0].side_ops[0].selectivity, 0.7);
+  EXPECT_DOUBLE_EQ(spec.extra_stages[0].mean_inter_arrival, 0.2);
+  // Round-trips through CompiledQuery.
+  CompiledQuery q(spec, SelectivityMode::kIndependent);
+  EXPECT_EQ(q.num_join_inputs(), 3);
+}
+
+TEST(QueryBuilderTest, ActualSelectivityDrift) {
+  const QuerySpec spec = QueryBuilder(0)
+                             .Select(0.5, 0.2)
+                             .WithActualSelectivity(0.6)
+                             .Project(0.2)
+                             .Build();
+  EXPECT_DOUBLE_EQ(spec.left_ops[0].selectivity, 0.2);
+  EXPECT_DOUBLE_EQ(spec.left_ops[0].EffectiveActualSelectivity(), 0.6);
+}
+
+TEST(QueryBuilderTest, ClassMetadata) {
+  const QuerySpec spec = QueryBuilder(0)
+                             .Select(1.0, 0.5)
+                             .CostClass(3)
+                             .ClassSelectivity(0.5)
+                             .Build();
+  EXPECT_EQ(spec.cost_class, 3);
+  EXPECT_DOUBLE_EQ(spec.class_selectivity, 0.5);
+}
+
+TEST(QueryBuilderTest, ReusableAfterBuild) {
+  QueryBuilder builder(0);
+  builder.Select(1.0, 0.5);
+  const QuerySpec a = builder.Build();
+  const QuerySpec b = builder.Build();
+  EXPECT_EQ(a.left_ops.size(), b.left_ops.size());
+}
+
+TEST(QueryBuilderDeathTest, Misuse) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  // Empty chain fails validation at Build.
+  EXPECT_DEATH(QueryBuilder(0).Build(), "no operators");
+  // Common() without a join.
+  EXPECT_DEATH(QueryBuilder(0).Select(1.0, 0.5).Common(), "join");
+  // Second base join.
+  EXPECT_DEATH(QueryBuilder(0)
+                   .Select(1.0, 0.5)
+                   .WindowJoinWith(1, 1.0, 0.5, 1.0)
+                   .WindowJoinWith(2, 1.0, 0.5, 1.0),
+               "first join");
+  // ThenWindowJoinWith before WindowJoinWith.
+  EXPECT_DEATH(QueryBuilder(0).Select(1.0, 0.5).ThenWindowJoinWith(
+                   1, 1.0, 0.5, 1.0),
+               "preceding");
+  // WithActualSelectivity with no operator.
+  EXPECT_DEATH(QueryBuilder(0).WithActualSelectivity(0.5), "preceding");
+}
+
+}  // namespace
+}  // namespace aqsios::query

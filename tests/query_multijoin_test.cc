@@ -1,0 +1,254 @@
+// Tests for left-deep multi-join queries (§5.2's recursive generalization):
+// statistics recursion, engine execution, and the end-to-end workload.
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/dsms.h"
+#include "query/workload.h"
+
+namespace aqsios::query {
+namespace {
+
+/// Three-stream query: select -> join(V1) -> join(V2) -> project.
+QuerySpec ThreeStreamSpec() {
+  QuerySpec spec;
+  spec.id = 0;
+  spec.left_stream = 0;
+  spec.right_stream = 1;
+  spec.left_ops = {MakeSelect(1.0, 0.5)};
+  spec.right_ops = {MakeSelect(2.0, 0.4)};
+  spec.join_op = MakeWindowJoin(3.0, 0.25, /*window=*/2.0);
+  JoinStage stage;
+  stage.stream = 2;
+  stage.side_ops = {MakeSelect(1.0, 0.8)};
+  stage.join = MakeWindowJoin(2.0, 0.5, /*window=*/4.0);
+  stage.mean_inter_arrival = 0.5;
+  spec.extra_stages = {stage};
+  spec.common_ops = {MakeProject(4.0)};
+  spec.left_mean_inter_arrival = 0.1;
+  spec.right_mean_inter_arrival = 0.2;
+  return spec;
+}
+
+TEST(MultiJoinStatsTest, InputAndStageCounts) {
+  CompiledQuery q(ThreeStreamSpec(), SelectivityMode::kIndependent);
+  EXPECT_EQ(q.num_join_inputs(), 3);
+  EXPECT_EQ(q.num_join_stages(), 2);
+  EXPECT_EQ(q.JoinInputStream(0), 0);
+  EXPECT_EQ(q.JoinInputStream(1), 1);
+  EXPECT_EQ(q.JoinInputStream(2), 2);
+  EXPECT_NEAR(q.StageJoin(0).cost_ms, 3.0, 1e-9);
+  EXPECT_DOUBLE_EQ(q.StageJoin(1).window_seconds, 4.0);
+}
+
+TEST(MultiJoinStatsTest, IdealTimeGeneralizedDefinition6) {
+  CompiledQuery q(ThreeStreamSpec(), SelectivityMode::kIndependent);
+  // T = C_L + C_R1 + 2·C_J1 + C_side2 + 2·C_J2 + C_C
+  //   = 1 + 2 + 6 + 1 + 4 + 4 = 18 ms.
+  EXPECT_NEAR(SimTimeToMillis(q.ideal_time()), 18.0, 1e-9);
+}
+
+TEST(MultiJoinStatsTest, TwoStreamStatsUnchangedByGeneralization) {
+  // A plain two-stream query must produce exactly the §5.2 values through
+  // the recursive code path (cross-checked against the worked numbers in
+  // query_stats_test.cc).
+  QuerySpec spec = ThreeStreamSpec();
+  spec.extra_stages.clear();
+  spec.common_ops = {MakeProject(4.0)};
+  CompiledQuery q(spec, SelectivityMode::kIndependent);
+  const SegmentStats left = q.JoinInputStats(0);
+  EXPECT_NEAR(left.selectivity, 0.5, 1e-9);
+  EXPECT_NEAR(SimTimeToMillis(left.expected_cost), 4.5, 1e-9);
+  const SegmentStats right = q.JoinInputStats(1);
+  EXPECT_NEAR(right.selectivity, 1.0, 1e-9);
+  EXPECT_NEAR(SimTimeToMillis(right.expected_cost), 7.2, 1e-9);
+}
+
+TEST(MultiJoinStatsTest, RecursiveSelectivityAndCost) {
+  CompiledQuery q(ThreeStreamSpec(), SelectivityMode::kIndependent);
+  // Stage-1 amplification: ρ_2·V_1·σ_1 = (0.8/0.5)·4·0.5 = 3.2.
+  // Input 0: immediate partners at stage 0 = ρ_1·V_0·σ_0 = 2·2·0.25 = 1;
+  //   S = S_L · 1 · 3.2 · S_C = 0.5·3.2 = 1.6.
+  const SegmentStats left = q.JoinInputStats(0);
+  EXPECT_NEAR(left.selectivity, 1.6, 1e-9);
+  // C̄(0) = C_L + S_L·(c_J0 + 1·D_0) with
+  //   D_0 = c_J1 + 3.2·C̄_C = 2ms + 3.2·4ms = 14.8ms
+  //   C̄(0) = 1 + 0.5·(3 + 14.8) = 9.9 ms.
+  EXPECT_NEAR(SimTimeToMillis(left.expected_cost), 9.9, 1e-9);
+
+  // Input 2 probes the accumulated composites of stage 0:
+  //   λ_0 = 2·V_0·σ_0·ρ_0·ρ_1 = 2·2·0.25·(0.5/0.1)·(0.4/0.2) = 10/s
+  //   partners = λ_0·V_1·σ_1 = 10·4·0.5 = 20;
+  //   S(2) = S_side2·20·S_C = 0.8·20 = 16.
+  const SegmentStats third = q.JoinInputStats(2);
+  EXPECT_NEAR(third.selectivity, 16.0, 1e-9);
+  //   C̄(2) = C_side2 + S_side2·(c_J1 + 20·C̄_C) = 1 + 0.8·(2 + 80) = 66.6ms.
+  EXPECT_NEAR(SimTimeToMillis(third.expected_cost), 66.6, 1e-9);
+}
+
+TEST(MultiJoinStatsTest, IdealCompositePathPerTrigger) {
+  CompiledQuery q(ThreeStreamSpec(), SelectivityMode::kIndependent);
+  // Trigger input 0: C_L + c_J0 + c_J1 + C_C = 1+3+2+4 = 10 ms.
+  EXPECT_NEAR(SimTimeToMillis(q.IdealCompositePathCost(0)), 10.0, 1e-9);
+  // Trigger input 1: 2+3+2+4 = 11 ms.
+  EXPECT_NEAR(SimTimeToMillis(q.IdealCompositePathCost(1)), 11.0, 1e-9);
+  // Trigger input 2 enters at stage 1 only: 1+2+4 = 7 ms.
+  EXPECT_NEAR(SimTimeToMillis(q.IdealCompositePathCost(2)), 7.0, 1e-9);
+}
+
+TEST(MultiJoinStatsTest, ExpectedWorkPerArrivalPerStream) {
+  CompiledQuery q(ThreeStreamSpec(), SelectivityMode::kIndependent);
+  EXPECT_NEAR(SimTimeToMillis(q.ExpectedWorkPerArrival(0)), 9.9, 1e-9);
+  EXPECT_GT(q.ExpectedWorkPerArrival(1), 0.0);
+  EXPECT_NEAR(SimTimeToMillis(q.ExpectedWorkPerArrival(2)), 66.6, 1e-9);
+}
+
+TEST(MultiJoinStatsDeathTest, Validation) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  // Duplicate stream across inputs.
+  QuerySpec dup = ThreeStreamSpec();
+  dup.extra_stages[0].stream = 1;
+  EXPECT_DEATH(CompiledQuery(dup, SelectivityMode::kIndependent),
+               "distinct");
+  // Extra stages on a single-stream query.
+  QuerySpec single = ThreeStreamSpec();
+  single.right_stream = -1;
+  single.right_ops.clear();
+  single.join_op.reset();
+  EXPECT_DEATH(CompiledQuery(single, SelectivityMode::kIndependent), "");
+}
+
+// --- Engine execution -------------------------------------------------------
+
+stream::ArrivalTable ThreeArrivals(SimTime t0, SimTime t1, SimTime t2) {
+  stream::ArrivalTable table;
+  const SimTime times[] = {t0, t1, t2};
+  std::vector<std::pair<SimTime, int>> order;
+  for (int s = 0; s < 3; ++s) order.push_back({times[s], s});
+  std::sort(order.begin(), order.end());
+  for (size_t i = 0; i < order.size(); ++i) {
+    stream::Arrival a;
+    a.id = static_cast<int64_t>(i);
+    a.stream = order[i].second;
+    a.time = order[i].first;
+    a.attribute = 1.0;  // passes every predicate
+    a.join_key = 7;
+    table.arrivals.push_back(a);
+  }
+  return table;
+}
+
+QuerySpec DeterministicThreeStream() {
+  QuerySpec spec;
+  spec.left_stream = 0;
+  spec.right_stream = 1;
+  spec.left_ops = {MakeSelect(1.0, 1.0)};
+  spec.right_ops = {MakeSelect(1.0, 1.0)};
+  spec.join_op = MakeWindowJoin(1.0, 1.0, /*window=*/10.0);
+  JoinStage stage;
+  stage.stream = 2;
+  stage.side_ops = {MakeSelect(1.0, 1.0)};
+  stage.join = MakeWindowJoin(1.0, 1.0, /*window=*/10.0);
+  stage.mean_inter_arrival = 0.1;
+  spec.extra_stages = {stage};
+  spec.common_ops = {MakeProject(1.0)};
+  spec.left_mean_inter_arrival = 0.1;
+  spec.right_mean_inter_arrival = 0.1;
+  return spec;
+}
+
+TEST(MultiJoinEngineTest, ThreeWayCompositeIdleSlowdownIsOne) {
+  core::Dsms dsms(SelectivityMode::kCorrelatedAttribute);
+  dsms.AddQuery(DeterministicThreeStream());
+  dsms.SetArrivals(ThreeArrivals(0.0, 0.05, 0.1));
+  const core::RunResult r =
+      dsms.Run(sched::PolicyConfig::Of(sched::PolicyKind::kFcfs));
+  // One pair composite at stage 0, one triple composite emitted.
+  EXPECT_EQ(r.counters.composites_generated, 2);
+  ASSERT_EQ(r.qos.tuples_emitted, 1);
+  // Idle system: the triple's trigger (stream 2 at 0.1) runs select+join2+
+  // project = 3 ms after its arrival.
+  EXPECT_NEAR(SimTimeToMillis(r.qos.avg_response), 3.0, 1e-9);
+  EXPECT_NEAR(r.qos.avg_slowdown, 1.0, 1e-9);
+}
+
+TEST(MultiJoinEngineTest, LateFirstStreamTriggersDeeperPath) {
+  // Stream 0 arrives LAST: the pair and triple form when its tuple finally
+  // probes through both stages; ideal path = C_L + c_J0 + c_J1 + C_C = 4ms.
+  core::Dsms dsms(SelectivityMode::kCorrelatedAttribute);
+  dsms.AddQuery(DeterministicThreeStream());
+  dsms.SetArrivals(ThreeArrivals(/*t0=*/0.2, /*t1=*/0.0, /*t2=*/0.05));
+  const core::RunResult r =
+      dsms.Run(sched::PolicyConfig::Of(sched::PolicyKind::kFcfs));
+  ASSERT_EQ(r.qos.tuples_emitted, 1);
+  EXPECT_NEAR(SimTimeToMillis(r.qos.avg_response), 4.0, 1e-9);
+  EXPECT_NEAR(r.qos.avg_slowdown, 1.0, 1e-9);
+}
+
+TEST(MultiJoinEngineTest, WindowLimitsDeepJoins) {
+  core::Dsms dsms(SelectivityMode::kCorrelatedAttribute);
+  QuerySpec spec = DeterministicThreeStream();
+  spec.extra_stages[0].join = MakeWindowJoin(1.0, 1.0, /*window=*/0.01);
+  dsms.AddQuery(spec);
+  // Stream 2 arrives 1 s after the others: pair forms, triple does not.
+  dsms.SetArrivals(ThreeArrivals(0.0, 0.05, 1.0));
+  const core::RunResult r =
+      dsms.Run(sched::PolicyConfig::Of(sched::PolicyKind::kFcfs));
+  EXPECT_EQ(r.counters.composites_generated, 1);
+  EXPECT_EQ(r.qos.tuples_emitted, 0);
+}
+
+TEST(MultiJoinEngineTest, PolicyInvariantOutputs) {
+  query::WorkloadConfig config;
+  config.num_queries = 6;
+  config.num_arrivals = 1800;
+  config.utilization = 0.8;
+  config.multi_stream = true;
+  config.join_streams = 3;
+  config.arrival_pattern = ArrivalPattern::kPoisson;
+  config.poisson_rate = 40.0;
+  config.window_min_seconds = 0.2;
+  config.window_max_seconds = 0.8;
+  config.num_join_keys = 1;
+  config.seed = 31;
+  const Workload workload = GenerateWorkload(config);
+  EXPECT_EQ(workload.plan.num_streams(), 3);
+  const core::RunResult a = core::Simulate(
+      workload, sched::PolicyConfig::Of(sched::PolicyKind::kHnr));
+  const core::RunResult b = core::Simulate(
+      workload, sched::PolicyConfig::Of(sched::PolicyKind::kFcfs));
+  EXPECT_GT(a.qos.tuples_emitted, 0);
+  EXPECT_EQ(a.qos.tuples_emitted, b.qos.tuples_emitted);
+  EXPECT_EQ(a.counters.composites_generated,
+            b.counters.composites_generated);
+  EXPECT_GE(a.qos.avg_slowdown, 1.0);
+  EXPECT_GE(b.qos.avg_slowdown, 1.0);
+}
+
+TEST(MultiJoinWorkloadTest, CalibrationAcrossThreeStreams) {
+  query::WorkloadConfig config;
+  config.num_queries = 8;
+  config.num_arrivals = 3000;
+  config.utilization = 0.7;
+  config.multi_stream = true;
+  config.join_streams = 3;
+  config.arrival_pattern = ArrivalPattern::kPoisson;
+  config.poisson_rate = 30.0;
+  config.window_min_seconds = 0.2;
+  config.window_max_seconds = 1.0;
+  config.num_join_keys = 1;
+  config.seed = 77;
+  const Workload w = GenerateWorkload(config);
+  double rate = 0.0;
+  for (int s = 0; s < 3; ++s) {
+    rate += w.plan.ExpectedWorkPerArrival(s) / w.arrivals.MeanInterArrival(s);
+  }
+  EXPECT_NEAR(rate, 0.7, 1e-9);
+}
+
+}  // namespace
+}  // namespace aqsios::query

@@ -1,0 +1,109 @@
+#include "query/plan.h"
+
+#include <gtest/gtest.h>
+
+#include "query/operator.h"
+
+namespace aqsios::query {
+namespace {
+
+CompiledQuery Chain(QueryId id, std::vector<OperatorSpec> ops,
+                    SelectivityMode mode = SelectivityMode::kIndependent,
+                    stream::StreamId stream = 0) {
+  QuerySpec spec;
+  spec.id = id;
+  spec.left_stream = stream;
+  spec.left_ops = std::move(ops);
+  return CompiledQuery(std::move(spec), mode);
+}
+
+TEST(GlobalPlanTest, BasicAccessors) {
+  std::vector<CompiledQuery> queries;
+  queries.push_back(Chain(0, {MakeSelect(1.0, 0.5)}));
+  queries.push_back(Chain(1, {MakeSelect(2.0, 1.0), MakeProject(4.0)}));
+  GlobalPlan plan(std::move(queries), {}, 1);
+  EXPECT_EQ(plan.num_queries(), 2);
+  EXPECT_EQ(plan.num_streams(), 1);
+  EXPECT_EQ(plan.query(1).chain_length(), 2);
+  EXPECT_EQ(plan.SharingGroupOf(0), -1);
+  EXPECT_NEAR(SimTimeToMillis(plan.MinOperatorCost()), 1.0, 1e-9);
+}
+
+TEST(GlobalPlanTest, ExpectedWorkPerArrivalSumsQueries) {
+  std::vector<CompiledQuery> queries;
+  queries.push_back(Chain(0, {MakeSelect(1.0, 0.5), MakeProject(2.0)}));
+  queries.push_back(Chain(1, {MakeSelect(3.0, 1.0)}));
+  GlobalPlan plan(std::move(queries), {}, 1);
+  // (1 + 0.5·2) + 3 = 5 ms.
+  EXPECT_NEAR(SimTimeToMillis(plan.ExpectedWorkPerArrival(0)), 5.0, 1e-9);
+  EXPECT_DOUBLE_EQ(plan.ExpectedWorkPerArrival(1), 0.0);
+}
+
+TEST(GlobalPlanTest, ExpectedOutputsPerArrival) {
+  std::vector<CompiledQuery> queries;
+  queries.push_back(Chain(0, {MakeSelect(1.0, 0.5)}));
+  queries.push_back(Chain(1, {MakeSelect(1.0, 0.25)}));
+  GlobalPlan plan(std::move(queries), {}, 1);
+  EXPECT_NEAR(plan.ExpectedOutputsPerArrival(0), 0.75, 1e-12);
+}
+
+TEST(GlobalPlanTest, SharingGroupDiscountsSharedCost) {
+  // Three queries, two of which share their select operator.
+  std::vector<CompiledQuery> queries;
+  queries.push_back(Chain(0, {MakeSelect(2.0, 0.5), MakeProject(1.0)}));
+  queries.push_back(Chain(1, {MakeSelect(2.0, 0.5), MakeProject(3.0)}));
+  queries.push_back(Chain(2, {MakeSelect(4.0, 1.0)}));
+  SharingGroup group;
+  group.id = 0;
+  group.members = {0, 1};
+  GlobalPlan plan(std::move(queries), {group}, 1);
+  EXPECT_EQ(plan.SharingGroupOf(0), 0);
+  EXPECT_EQ(plan.SharingGroupOf(1), 0);
+  EXPECT_EQ(plan.SharingGroupOf(2), -1);
+  // Without sharing: (2+0.5) + (2+1.5) + 4 = 10; shared select counted once
+  // removes one 2 ms charge.
+  EXPECT_NEAR(SimTimeToMillis(plan.ExpectedWorkPerArrival(0)), 8.0, 1e-9);
+}
+
+TEST(GlobalPlanDeathTest, ValidatesStructure) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  {
+    // Non-dense ids.
+    std::vector<CompiledQuery> queries;
+    queries.push_back(Chain(5, {MakeSelect(1.0, 0.5)}));
+    EXPECT_DEATH(GlobalPlan(std::move(queries), {}, 1), "dense");
+  }
+  {
+    // Sharing group with one member.
+    std::vector<CompiledQuery> queries;
+    queries.push_back(Chain(0, {MakeSelect(1.0, 0.5)}));
+    SharingGroup group;
+    group.members = {0};
+    EXPECT_DEATH(GlobalPlan(std::move(queries), {group}, 1), "two members");
+  }
+  {
+    // Sharing group with mismatched leaf operators.
+    std::vector<CompiledQuery> queries;
+    queries.push_back(Chain(0, {MakeSelect(1.0, 0.5)}));
+    queries.push_back(Chain(1, {MakeSelect(2.0, 0.5)}));
+    SharingGroup group;
+    group.members = {0, 1};
+    EXPECT_DEATH(GlobalPlan(std::move(queries), {group}, 1), "identical");
+  }
+  {
+    // Query listed in two groups.
+    std::vector<CompiledQuery> queries;
+    queries.push_back(Chain(0, {MakeSelect(1.0, 0.5)}));
+    queries.push_back(Chain(1, {MakeSelect(1.0, 0.5)}));
+    SharingGroup g0;
+    g0.members = {0, 1};
+    SharingGroup g1;
+    g1.id = 1;
+    g1.members = {1, 0};
+    EXPECT_DEATH(GlobalPlan(std::move(queries), {g0, g1}, 1),
+                 "two sharing groups");
+  }
+}
+
+}  // namespace
+}  // namespace aqsios::query

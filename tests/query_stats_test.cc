@@ -1,0 +1,230 @@
+#include "query/query.h"
+
+#include <gtest/gtest.h>
+
+#include "query/operator.h"
+
+namespace aqsios::query {
+namespace {
+
+QuerySpec SimpleChain(QueryId id, std::vector<OperatorSpec> ops) {
+  QuerySpec spec;
+  spec.id = id;
+  spec.left_stream = 0;
+  spec.left_ops = std::move(ops);
+  return spec;
+}
+
+TEST(OperatorSpecTest, CostConversionAndNames) {
+  const OperatorSpec op = MakeSelect(5.0, 0.5);
+  EXPECT_DOUBLE_EQ(op.cost(), 0.005);
+  EXPECT_STREQ(OperatorKindName(op.kind), "select");
+  EXPECT_STREQ(OperatorKindName(OperatorKind::kWindowJoin), "window_join");
+  EXPECT_NE(op.ToString().find("select"), std::string::npos);
+}
+
+TEST(CompiledQueryTest, SingleOperatorStats) {
+  // Example 1 of the paper, Q1: one operator, cost 5 ms, selectivity 1.0.
+  CompiledQuery q1(SimpleChain(0, {MakeSelect(5.0, 1.0)}),
+                   SelectivityMode::kIndependent);
+  const SegmentStats stats = q1.LeafStats();
+  EXPECT_DOUBLE_EQ(stats.selectivity, 1.0);
+  EXPECT_DOUBLE_EQ(SimTimeToMillis(stats.expected_cost), 5.0);
+  EXPECT_DOUBLE_EQ(SimTimeToMillis(stats.ideal_time), 5.0);
+  // HR priority 1/5 per ms = 0.2/ms = 200/s.
+  EXPECT_NEAR(stats.OutputRate(), 200.0, 1e-9);
+  // HNR priority 1/(5*5) per ms^2 = 0.04/ms².
+  EXPECT_NEAR(stats.NormalizedRate(), 0.04 * 1e6, 1e-3);
+}
+
+TEST(CompiledQueryTest, Example1PriorityOrderingFlipsBetweenHrAndHnr) {
+  // Q1: c=5ms s=1.0; Q2: c=2ms s=0.33 (paper Example 1). HR prefers Q1,
+  // HNR prefers Q2.
+  CompiledQuery q1(SimpleChain(0, {MakeSelect(5.0, 1.0)}),
+                   SelectivityMode::kIndependent);
+  CompiledQuery q2(SimpleChain(1, {MakeSelect(2.0, 0.33)}),
+                   SelectivityMode::kIndependent);
+  EXPECT_GT(q1.LeafStats().OutputRate(), q2.LeafStats().OutputRate());
+  EXPECT_LT(q1.LeafStats().NormalizedRate(), q2.LeafStats().NormalizedRate());
+}
+
+TEST(CompiledQueryTest, ChainExpectedCostDiscountsBySelectivity) {
+  // C̄ = c1 + s1·c2 + s1·s2·c3 (independent mode).
+  CompiledQuery q(SimpleChain(0, {MakeSelect(1.0, 0.5),
+                                  MakeStoredJoin(2.0, 0.4),
+                                  MakeProject(3.0)}),
+                  SelectivityMode::kIndependent);
+  const SegmentStats leaf = q.LeafStats();
+  EXPECT_NEAR(SimTimeToMillis(leaf.expected_cost),
+              1.0 + 0.5 * 2.0 + 0.5 * 0.4 * 3.0, 1e-9);
+  EXPECT_NEAR(leaf.selectivity, 0.5 * 0.4, 1e-12);
+  EXPECT_NEAR(SimTimeToMillis(leaf.ideal_time), 6.0, 1e-9);
+}
+
+TEST(CompiledQueryTest, MidChainSegmentStats) {
+  CompiledQuery q(SimpleChain(0, {MakeSelect(1.0, 0.5),
+                                  MakeStoredJoin(2.0, 0.4),
+                                  MakeProject(3.0)}),
+                  SelectivityMode::kIndependent);
+  // Segment starting at operator 1: S = 0.4, C̄ = 2 + 0.4·3, T unchanged.
+  const SegmentStats mid = q.ChainSegmentStats(1);
+  EXPECT_NEAR(mid.selectivity, 0.4, 1e-12);
+  EXPECT_NEAR(SimTimeToMillis(mid.expected_cost), 2.0 + 0.4 * 3.0, 1e-9);
+  EXPECT_NEAR(SimTimeToMillis(mid.ideal_time), 6.0, 1e-9);
+  // Root segment: just the project.
+  const SegmentStats root = q.ChainSegmentStats(2);
+  EXPECT_NEAR(root.selectivity, 1.0, 1e-12);
+  EXPECT_NEAR(SimTimeToMillis(root.expected_cost), 3.0, 1e-9);
+}
+
+TEST(CompiledQueryTest, CorrelatedModeCollapsesEqualSelectivities) {
+  // Paper §8: all filters of a query share the same predicate attribute, so
+  // with equal selectivities the global selectivity is s, not s².
+  CompiledQuery q(SimpleChain(0, {MakeSelect(1.0, 0.5),
+                                  MakeStoredJoin(2.0, 0.5),
+                                  MakeProject(3.0)}),
+                  SelectivityMode::kCorrelatedAttribute);
+  const SegmentStats leaf = q.LeafStats();
+  EXPECT_NEAR(leaf.selectivity, 0.5, 1e-12);
+  // Survivors of the first filter pass the rest: C̄ = 1 + 0.5·(2+3).
+  EXPECT_NEAR(SimTimeToMillis(leaf.expected_cost), 1.0 + 0.5 * 5.0, 1e-9);
+  // Effective selectivities are (0.5, 1, 1).
+  EXPECT_NEAR(q.EffectiveChainSelectivity(0), 0.5, 1e-12);
+  EXPECT_NEAR(q.EffectiveChainSelectivity(1), 1.0, 1e-12);
+  EXPECT_NEAR(q.EffectiveChainSelectivity(2), 1.0, 1e-12);
+}
+
+TEST(CompiledQueryTest, CorrelatedModeDecreasingThresholds) {
+  // Mixed selectivities: conditional pass prob = min-chain ratio.
+  CompiledQuery q(SimpleChain(0, {MakeSelect(1.0, 0.8),
+                                  MakeStoredJoin(1.0, 0.2),
+                                  MakeProject(1.0)}),
+                  SelectivityMode::kCorrelatedAttribute);
+  EXPECT_NEAR(q.EffectiveChainSelectivity(0), 0.8, 1e-12);
+  EXPECT_NEAR(q.EffectiveChainSelectivity(1), 0.25, 1e-12);  // 0.2/0.8
+  EXPECT_NEAR(q.LeafStats().selectivity, 0.2, 1e-12);
+}
+
+TEST(CompiledQueryTest, HnrEqualsSrptWhenSelectivityOne) {
+  // §3.5: with all selectivities 1, both HR and HNR order by 1/T (SRPT).
+  CompiledQuery cheap(SimpleChain(0, {MakeSelect(1.0, 1.0),
+                                      MakeProject(1.0)}),
+                      SelectivityMode::kIndependent);
+  CompiledQuery pricey(SimpleChain(1, {MakeSelect(4.0, 1.0),
+                                       MakeProject(4.0)}),
+                       SelectivityMode::kIndependent);
+  EXPECT_GT(cheap.LeafStats().OutputRate(), pricey.LeafStats().OutputRate());
+  EXPECT_GT(cheap.LeafStats().NormalizedRate(),
+            pricey.LeafStats().NormalizedRate());
+  // And C̄ == T for both.
+  EXPECT_DOUBLE_EQ(cheap.LeafStats().expected_cost,
+                   cheap.LeafStats().ideal_time);
+  EXPECT_DOUBLE_EQ(pricey.LeafStats().expected_cost,
+                   pricey.LeafStats().ideal_time);
+}
+
+QuerySpec TwoStreamSpec() {
+  QuerySpec spec;
+  spec.id = 0;
+  spec.left_stream = 0;
+  spec.right_stream = 1;
+  spec.left_ops = {MakeSelect(1.0, 0.5)};
+  spec.right_ops = {MakeSelect(2.0, 0.4)};
+  spec.join_op = MakeWindowJoin(3.0, 0.25, /*window_seconds=*/2.0);
+  spec.common_ops = {MakeProject(4.0)};
+  spec.left_mean_inter_arrival = 0.1;   // τ_l
+  spec.right_mean_inter_arrival = 0.2;  // τ_r
+  return spec;
+}
+
+TEST(CompiledQueryTest, MultiStreamIdealTimeDefinition6) {
+  CompiledQuery q(TwoStreamSpec(), SelectivityMode::kIndependent);
+  // T = C_L + C_R + 2·C_J + C_C = 1 + 2 + 6 + 4 ms.
+  EXPECT_NEAR(SimTimeToMillis(q.ideal_time()), 13.0, 1e-9);
+  EXPECT_NEAR(SimTimeToMillis(q.TotalSideCost(Side::kLeft)), 1.0, 1e-9);
+  EXPECT_NEAR(SimTimeToMillis(q.TotalSideCost(Side::kRight)), 2.0, 1e-9);
+  EXPECT_NEAR(SimTimeToMillis(q.JoinCost()), 3.0, 1e-9);
+  EXPECT_NEAR(SimTimeToMillis(q.TotalCommonCost()), 4.0, 1e-9);
+}
+
+TEST(CompiledQueryTest, MultiStreamWindowPartners) {
+  CompiledQuery q(TwoStreamSpec(), SelectivityMode::kIndependent);
+  // Partners of a left tuple: S_R · V/τ_R = 0.4 · 2/0.2 = 4.
+  EXPECT_NEAR(q.ExpectedWindowPartners(Side::kLeft), 4.0, 1e-9);
+  // Partners of a right tuple: S_L · V/τ_L = 0.5 · 2/0.1 = 10.
+  EXPECT_NEAR(q.ExpectedWindowPartners(Side::kRight), 10.0, 1e-9);
+}
+
+TEST(CompiledQueryTest, MultiStreamSideLeafStats) {
+  CompiledQuery q(TwoStreamSpec(), SelectivityMode::kIndependent);
+  const SegmentStats left = q.SideLeafStats(Side::kLeft);
+  // S_LL = S_L·S_J·(S_R·V/τ_R)·S_C = 0.5·0.25·4·1 = 0.5.
+  EXPECT_NEAR(left.selectivity, 0.5, 1e-9);
+  // C̄_LL = C_L + S_L·C_J + S_L·S_J·(S_R·V/τ_R)·C_C
+  //      = 1 + 0.5·3 + 0.5·0.25·4·4 = 4.5 ms.
+  EXPECT_NEAR(SimTimeToMillis(left.expected_cost), 4.5, 1e-9);
+  EXPECT_NEAR(SimTimeToMillis(left.ideal_time), 13.0, 1e-9);
+
+  const SegmentStats right = q.SideLeafStats(Side::kRight);
+  // S_RR = 0.4·0.25·10·1 = 1.0 (join selectivity may exceed filter range).
+  EXPECT_NEAR(right.selectivity, 1.0, 1e-9);
+  // C̄_RR = 2 + 0.4·3 + 0.4·0.25·10·4 = 7.2 ms.
+  EXPECT_NEAR(SimTimeToMillis(right.expected_cost), 7.2, 1e-9);
+}
+
+TEST(CompiledQueryTest, MultiStreamIdealCompositePath) {
+  CompiledQuery q(TwoStreamSpec(), SelectivityMode::kIndependent);
+  // Trigger left: C_L + C_J + C_C = 1+3+4; trigger right: 2+3+4.
+  EXPECT_NEAR(SimTimeToMillis(q.IdealCompositePathCost(Side::kLeft)), 8.0,
+              1e-9);
+  EXPECT_NEAR(SimTimeToMillis(q.IdealCompositePathCost(Side::kRight)), 9.0,
+              1e-9);
+}
+
+TEST(CompiledQueryTest, ExpectedWorkPerArrival) {
+  CompiledQuery single(SimpleChain(0, {MakeSelect(1.0, 0.5),
+                                       MakeProject(2.0)}),
+                       SelectivityMode::kIndependent);
+  EXPECT_NEAR(SimTimeToMillis(single.ExpectedWorkPerArrival(0)), 2.0, 1e-9);
+  EXPECT_DOUBLE_EQ(single.ExpectedWorkPerArrival(1), 0.0);
+
+  CompiledQuery multi(TwoStreamSpec(), SelectivityMode::kIndependent);
+  EXPECT_NEAR(SimTimeToMillis(multi.ExpectedWorkPerArrival(0)), 4.5, 1e-9);
+  EXPECT_NEAR(SimTimeToMillis(multi.ExpectedWorkPerArrival(1)), 7.2, 1e-9);
+}
+
+TEST(CompiledQueryTest, MinOperatorCost) {
+  CompiledQuery q(TwoStreamSpec(), SelectivityMode::kIndependent);
+  EXPECT_NEAR(SimTimeToMillis(q.MinOperatorCost()), 1.0, 1e-9);
+}
+
+TEST(CompiledQueryDeathTest, RejectsInvalidSpecs) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  // Empty single-stream chain.
+  EXPECT_DEATH(CompiledQuery(SimpleChain(0, {}),
+                             SelectivityMode::kIndependent),
+               "no operators");
+  // Zero-cost operator.
+  EXPECT_DEATH(CompiledQuery(SimpleChain(0, {MakeSelect(0.0, 0.5)}),
+                             SelectivityMode::kIndependent),
+               "");
+  // Multi-stream without join.
+  QuerySpec bad = TwoStreamSpec();
+  bad.join_op.reset();
+  EXPECT_DEATH(CompiledQuery(bad, SelectivityMode::kIndependent),
+               "join");
+  // Same stream on both sides.
+  QuerySpec same = TwoStreamSpec();
+  same.right_stream = same.left_stream;
+  EXPECT_DEATH(CompiledQuery(same, SelectivityMode::kIndependent), "");
+}
+
+TEST(SelectivityModeTest, Names) {
+  EXPECT_STREQ(SelectivityModeName(SelectivityMode::kCorrelatedAttribute),
+               "correlated_attribute");
+  EXPECT_STREQ(SelectivityModeName(SelectivityMode::kIndependent),
+               "independent");
+}
+
+}  // namespace
+}  // namespace aqsios::query

@@ -1,0 +1,225 @@
+#include "query/workload.h"
+
+#include "stream/trace.h"
+
+#include <cmath>
+#include <cstdio>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace aqsios::query {
+namespace {
+
+WorkloadConfig SmallConfig() {
+  WorkloadConfig config;
+  config.num_queries = 20;
+  config.num_arrivals = 2000;
+  config.utilization = 0.8;
+  config.seed = 7;
+  return config;
+}
+
+TEST(WorkloadTest, GeneratesRequestedPopulation) {
+  const Workload w = GenerateWorkload(SmallConfig());
+  EXPECT_EQ(w.plan.num_queries(), 20);
+  EXPECT_EQ(w.plan.num_streams(), 1);
+  EXPECT_EQ(w.arrivals.size(), 2000);
+  EXPECT_GT(w.scale_factor_k_ms, 0.0);
+}
+
+TEST(WorkloadTest, QueriesAreSelectJoinProject) {
+  const Workload w = GenerateWorkload(SmallConfig());
+  for (const CompiledQuery& q : w.plan.queries()) {
+    ASSERT_EQ(q.chain_length(), 3);
+    const auto& ops = q.spec().left_ops;
+    EXPECT_EQ(ops[0].kind, OperatorKind::kSelect);
+    EXPECT_EQ(ops[1].kind, OperatorKind::kStoredJoin);
+    EXPECT_EQ(ops[2].kind, OperatorKind::kProject);
+    // Same selectivity for select and join (paper §8), project passes all.
+    EXPECT_DOUBLE_EQ(ops[0].selectivity, ops[1].selectivity);
+    EXPECT_DOUBLE_EQ(ops[2].selectivity, 1.0);
+    // Same cost for all operators of a query: K·2^i.
+    EXPECT_DOUBLE_EQ(ops[0].cost_ms, ops[1].cost_ms);
+    EXPECT_DOUBLE_EQ(ops[0].cost_ms, ops[2].cost_ms);
+    const double expected_cost =
+        w.scale_factor_k_ms * std::pow(2.0, q.spec().cost_class);
+    EXPECT_NEAR(ops[0].cost_ms, expected_cost, 1e-12);
+  }
+}
+
+TEST(WorkloadTest, CostClassesAndSelectivitiesInRange) {
+  const Workload w = GenerateWorkload(SmallConfig());
+  std::set<int> classes;
+  for (const CompiledQuery& q : w.plan.queries()) {
+    EXPECT_GE(q.spec().cost_class, 0);
+    EXPECT_LT(q.spec().cost_class, 5);
+    classes.insert(q.spec().cost_class);
+    EXPECT_GE(q.spec().class_selectivity, 0.1 - 1e-12);
+    EXPECT_LE(q.spec().class_selectivity, 1.0 + 1e-12);
+  }
+  EXPECT_GE(classes.size(), 3u) << "cost classes should be diverse";
+}
+
+TEST(WorkloadTest, QuantizedSelectivitiesOnDecileGrid) {
+  WorkloadConfig config = SmallConfig();
+  config.num_queries = 200;
+  const Workload w = GenerateWorkload(config);
+  for (const CompiledQuery& q : w.plan.queries()) {
+    const double s = q.spec().class_selectivity;
+    const double snapped = std::round(s * 10.0) / 10.0;
+    EXPECT_NEAR(s, snapped, 1e-9) << "selectivity should be on 0.1 grid";
+  }
+}
+
+TEST(WorkloadTest, CalibrationHitsTargetUtilization) {
+  for (double target : {0.3, 0.7, 0.95}) {
+    WorkloadConfig config = SmallConfig();
+    config.utilization = target;
+    const Workload w = GenerateWorkload(config);
+    // Expected work per arrival divided by mean inter-arrival must equal the
+    // target (the calibration identity of §8).
+    const double tau = w.arrivals.MeanInterArrival();
+    const double work = w.plan.ExpectedWorkPerArrival(0);
+    EXPECT_NEAR(work / tau, target, 1e-9);
+    EXPECT_NEAR(w.expected_utilization, target, 1e-9);
+  }
+}
+
+TEST(WorkloadTest, DeterministicInSeed) {
+  const Workload a = GenerateWorkload(SmallConfig());
+  const Workload b = GenerateWorkload(SmallConfig());
+  ASSERT_EQ(a.plan.num_queries(), b.plan.num_queries());
+  EXPECT_DOUBLE_EQ(a.scale_factor_k_ms, b.scale_factor_k_ms);
+  for (int i = 0; i < a.plan.num_queries(); ++i) {
+    EXPECT_DOUBLE_EQ(a.plan.query(i).spec().class_selectivity,
+                     b.plan.query(i).spec().class_selectivity);
+    EXPECT_EQ(a.plan.query(i).spec().cost_class,
+              b.plan.query(i).spec().cost_class);
+  }
+  for (int64_t i = 0; i < a.arrivals.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.arrivals.arrivals[static_cast<size_t>(i)].time,
+                     b.arrivals.arrivals[static_cast<size_t>(i)].time);
+  }
+}
+
+TEST(WorkloadTest, DifferentSeedsDiffer) {
+  WorkloadConfig other = SmallConfig();
+  other.seed = 8;
+  const Workload a = GenerateWorkload(SmallConfig());
+  const Workload b = GenerateWorkload(other);
+  bool any_difference = false;
+  for (int i = 0; i < a.plan.num_queries() && !any_difference; ++i) {
+    any_difference =
+        a.plan.query(i).spec().cost_class != b.plan.query(i).spec().cost_class ||
+        a.plan.query(i).spec().class_selectivity !=
+            b.plan.query(i).spec().class_selectivity;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(WorkloadTest, SharingGroupsPartitionQueries) {
+  WorkloadConfig config = SmallConfig();
+  config.sharing_group_size = 5;
+  const Workload w = GenerateWorkload(config);
+  ASSERT_EQ(w.plan.sharing_groups().size(), 4u);
+  std::set<QueryId> seen;
+  for (const SharingGroup& group : w.plan.sharing_groups()) {
+    EXPECT_EQ(group.members.size(), 5u);
+    const CompiledQuery& first = w.plan.query(group.members.front());
+    for (QueryId member : group.members) {
+      EXPECT_TRUE(seen.insert(member).second);
+      const auto& leaf = w.plan.query(member).spec().left_ops.front();
+      EXPECT_DOUBLE_EQ(leaf.cost_ms, first.spec().left_ops.front().cost_ms);
+      EXPECT_DOUBLE_EQ(leaf.selectivity,
+                       first.spec().left_ops.front().selectivity);
+    }
+  }
+  EXPECT_EQ(seen.size(), 20u);
+  // Calibration still hits the target with the sharing discount.
+  EXPECT_NEAR(w.plan.ExpectedWorkPerArrival(0) / w.arrivals.MeanInterArrival(),
+              config.utilization, 1e-9);
+}
+
+TEST(WorkloadTest, MultiStreamWorkload) {
+  WorkloadConfig config = SmallConfig();
+  config.multi_stream = true;
+  config.arrival_pattern = ArrivalPattern::kPoisson;
+  config.poisson_rate = 20.0;
+  config.num_arrivals = 4000;
+  config.num_join_keys = 1;
+  const Workload w = GenerateWorkload(config);
+  EXPECT_EQ(w.plan.num_streams(), 2);
+  for (const CompiledQuery& q : w.plan.queries()) {
+    ASSERT_TRUE(q.is_multi_stream());
+    EXPECT_GE(q.spec().join_op->window_seconds, 1.0);
+    EXPECT_LE(q.spec().join_op->window_seconds, 10.0);
+  }
+  // Both streams populated, each with ~half the arrivals.
+  int64_t left = 0;
+  for (const stream::Arrival& a : w.arrivals.arrivals) {
+    if (a.stream == 0) ++left;
+  }
+  EXPECT_EQ(left, 2000);
+  // Calibration: total work rate across both streams equals the target.
+  const double rate =
+      w.plan.ExpectedWorkPerArrival(0) / w.arrivals.MeanInterArrival(0) +
+      w.plan.ExpectedWorkPerArrival(1) / w.arrivals.MeanInterArrival(1);
+  EXPECT_NEAR(rate, config.utilization, 1e-9);
+}
+
+TEST(WorkloadTest, TraceFileReplay) {
+  // Write a deterministic trace, replay it as the workload's arrivals.
+  const std::string path = testing::TempDir() + "/workload.trace";
+  std::vector<SimTime> timestamps;
+  for (int i = 0; i < 500; ++i) timestamps.push_back(0.01 * i);
+  ASSERT_TRUE(stream::WriteTrace(path, timestamps).ok());
+
+  WorkloadConfig config = SmallConfig();
+  config.arrival_pattern = ArrivalPattern::kTraceFile;
+  config.trace_path = path;
+  config.num_arrivals = 400;  // cap below the trace length
+  const Workload w = GenerateWorkload(config);
+  ASSERT_EQ(w.arrivals.size(), 400);
+  for (int64_t i = 0; i < w.arrivals.size(); ++i) {
+    EXPECT_NEAR(w.arrivals.arrivals[static_cast<size_t>(i)].time, 0.01 * i,
+                1e-9);
+  }
+  // Calibration against the trace's inter-arrival time still holds.
+  EXPECT_NEAR(w.plan.ExpectedWorkPerArrival(0) / w.arrivals.MeanInterArrival(),
+              config.utilization, 1e-9);
+  std::remove(path.c_str());
+}
+
+TEST(WorkloadTest, TraceShorterThanRequestedTruncates) {
+  const std::string path = testing::TempDir() + "/short.trace";
+  ASSERT_TRUE(stream::WriteTrace(path, {0.0, 0.5, 1.0, 1.5}).ok());
+  WorkloadConfig config = SmallConfig();
+  config.arrival_pattern = ArrivalPattern::kTraceFile;
+  config.trace_path = path;
+  config.num_arrivals = 100;
+  const Workload w = GenerateWorkload(config);
+  EXPECT_EQ(w.arrivals.size(), 4);
+  std::remove(path.c_str());
+}
+
+TEST(WorkloadTest, ArrivalPatternNames) {
+  EXPECT_STREQ(ArrivalPatternName(ArrivalPattern::kOnOff), "onoff");
+  EXPECT_STREQ(ArrivalPatternName(ArrivalPattern::kPoisson), "poisson");
+  EXPECT_STREQ(ArrivalPatternName(ArrivalPattern::kDeterministic),
+               "deterministic");
+}
+
+TEST(WorkloadDeathTest, RejectsBadConfigs) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  WorkloadConfig zero_queries = SmallConfig();
+  zero_queries.num_queries = 0;
+  EXPECT_DEATH(GenerateWorkload(zero_queries), "");
+  WorkloadConfig sharing_multi = SmallConfig();
+  sharing_multi.multi_stream = true;
+  sharing_multi.sharing_group_size = 5;
+  EXPECT_DEATH(GenerateWorkload(sharing_multi), "single-stream");
+}
+
+}  // namespace
+}  // namespace aqsios::query

@@ -1,0 +1,266 @@
+#include "sched/clustering.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "sched/clustered_bsd.h"
+
+namespace aqsios::sched {
+namespace {
+
+Unit UnitWithPhi(int id, double phi) {
+  Unit unit;
+  unit.id = id;
+  unit.stats.phi = phi;
+  unit.stats.output_rate = phi;
+  unit.stats.normalized_rate = phi;
+  unit.stats.ideal_time = 1.0;
+  return unit;
+}
+
+UnitTable UnitsWithPhis(const std::vector<double>& phis) {
+  UnitTable units;
+  for (size_t i = 0; i < phis.size(); ++i) {
+    units.push_back(UnitWithPhi(static_cast<int>(i), phis[i]));
+  }
+  return units;
+}
+
+TEST(ClusteringTest, LogarithmicBoundsIntraClusterRatioByEpsilon) {
+  // Paper's example: domain [1, 100], 2 clusters -> ε = 10; clusters
+  // [1, 10) and [10, 100].
+  const UnitTable units = UnitsWithPhis({1.0, 2.0, 9.0, 10.1, 50.0, 100.0});
+  const Clustering c =
+      BuildClustering(units, ClusteringKind::kLogarithmic, 2);
+  EXPECT_EQ(c.num_clusters, 2);
+  EXPECT_NEAR(c.delta, 100.0, 1e-9);
+  EXPECT_NEAR(c.epsilon, 10.0, 1e-9);
+  EXPECT_EQ(c.cluster_of_unit[0], 0);
+  EXPECT_EQ(c.cluster_of_unit[1], 0);
+  EXPECT_EQ(c.cluster_of_unit[2], 0);
+  EXPECT_EQ(c.cluster_of_unit[3], 1);
+  EXPECT_EQ(c.cluster_of_unit[4], 1);
+  EXPECT_EQ(c.cluster_of_unit[5], 1);
+  EXPECT_NEAR(c.pseudo_priority[0], 1.0, 1e-9);
+  EXPECT_NEAR(c.pseudo_priority[1], 10.0, 1e-9);
+}
+
+TEST(ClusteringTest, UniformSplitsRangeEvenly) {
+  // Same domain uniform: clusters [1, 50.5) and [50.5, 100].
+  const UnitTable units = UnitsWithPhis({1.0, 2.0, 9.0, 10.1, 50.0, 100.0});
+  const Clustering c = BuildClustering(units, ClusteringKind::kUniform, 2);
+  EXPECT_EQ(c.cluster_of_unit[0], 0);
+  EXPECT_EQ(c.cluster_of_unit[3], 0);  // 10.1 still in the wide low cluster
+  EXPECT_EQ(c.cluster_of_unit[4], 0);  // 50 < 50.5
+  EXPECT_EQ(c.cluster_of_unit[5], 1);
+  EXPECT_NEAR(c.pseudo_priority[0], 1.0, 1e-9);
+  EXPECT_NEAR(c.pseudo_priority[1], 50.5, 1e-9);
+}
+
+TEST(ClusteringTest, EveryPhiInItsClusterRange) {
+  std::vector<double> phis;
+  for (int i = 0; i < 100; ++i) phis.push_back(std::pow(1.17, i));
+  const UnitTable units = UnitsWithPhis(phis);
+  for (ClusteringKind kind :
+       {ClusteringKind::kLogarithmic, ClusteringKind::kUniform}) {
+    for (int m : {1, 3, 12, 40}) {
+      const Clustering c = BuildClustering(units, kind, m);
+      for (size_t u = 0; u < units.size(); ++u) {
+        const int cluster = c.cluster_of_unit[u];
+        ASSERT_GE(cluster, 0);
+        ASSERT_LT(cluster, c.num_clusters);
+        // Pseudo priority (lower edge) never exceeds the member's phi by
+        // more than floating noise.
+        EXPECT_LE(c.pseudo_priority[static_cast<size_t>(cluster)],
+                  units[u].stats.phi * (1.0 + 1e-9));
+        if (cluster + 1 < c.num_clusters) {
+          EXPECT_GE(c.pseudo_priority[static_cast<size_t>(cluster) + 1],
+                    units[u].stats.phi * (1.0 - 1e-9));
+        }
+      }
+    }
+  }
+}
+
+TEST(ClusteringTest, LogIntraClusterRatioNeverExceedsEpsilon) {
+  std::vector<double> phis;
+  for (int i = 0; i < 200; ++i) {
+    phis.push_back(1.0 + 1e4 * (i / 199.0) * (i / 199.0));
+  }
+  const UnitTable units = UnitsWithPhis(phis);
+  const int m = 8;
+  const Clustering c = BuildClustering(units, ClusteringKind::kLogarithmic, m);
+  std::vector<double> lo(static_cast<size_t>(m), 1e300);
+  std::vector<double> hi(static_cast<size_t>(m), 0.0);
+  for (size_t u = 0; u < units.size(); ++u) {
+    auto& l = lo[static_cast<size_t>(c.cluster_of_unit[u])];
+    auto& h = hi[static_cast<size_t>(c.cluster_of_unit[u])];
+    l = std::min(l, units[u].stats.phi);
+    h = std::max(h, units[u].stats.phi);
+  }
+  for (int i = 0; i < m; ++i) {
+    if (hi[static_cast<size_t>(i)] == 0.0) continue;  // empty cluster
+    EXPECT_LE(hi[static_cast<size_t>(i)] / lo[static_cast<size_t>(i)],
+              c.epsilon * (1.0 + 1e-9));
+  }
+}
+
+TEST(ClusteringTest, DegenerateSinglePriority) {
+  const UnitTable units = UnitsWithPhis({3.0, 3.0, 3.0});
+  const Clustering c = BuildClustering(units, ClusteringKind::kLogarithmic, 5);
+  EXPECT_EQ(c.num_clusters, 1);
+  EXPECT_NEAR(c.pseudo_priority[0], 3.0, 1e-12);
+  for (int cluster : c.cluster_of_unit) EXPECT_EQ(cluster, 0);
+}
+
+TEST(ClusteringTest, Names) {
+  EXPECT_STREQ(ClusteringKindName(ClusteringKind::kUniform), "uniform");
+  EXPECT_STREQ(ClusteringKindName(ClusteringKind::kLogarithmic),
+               "logarithmic");
+}
+
+// --- ClusteredBsdScheduler ---------------------------------------------------
+
+void Push(UnitTable& units, Scheduler& scheduler, int unit,
+          stream::ArrivalId arrival, SimTime time) {
+  units[static_cast<size_t>(unit)].queue.push_back(QueueEntry{arrival, time});
+  scheduler.OnEnqueue(unit);
+}
+
+std::vector<int> Pick(UnitTable& units, Scheduler& scheduler, SimTime now,
+                      SchedulingCost* cost = nullptr) {
+  SchedulingCost local;
+  std::vector<int> out;
+  if (!scheduler.PickNext(now, cost != nullptr ? cost : &local, &out)) {
+    return {};
+  }
+  for (int u : out) {
+    units[static_cast<size_t>(u)].queue.pop_front();
+    scheduler.OnDequeue(u);
+  }
+  return out;
+}
+
+TEST(ClusteredBsdTest, PicksByPseudoPriorityTimesWait) {
+  // Units with phis 1 and 100 land in different clusters (m=2, ε=10).
+  UnitTable units = UnitsWithPhis({1.0, 100.0});
+  ClusteredBsdOptions options;
+  options.num_clusters = 2;
+  ClusteredBsdScheduler scheduler(options);
+  scheduler.Attach(&units);
+
+  Push(units, scheduler, 0, 0, 0.0);    // low-phi cluster, long wait
+  Push(units, scheduler, 1, 1, 9.99);   // high-phi cluster, short wait
+  // At t=10: cluster(0) priority = 1 * 10 = 10; cluster(1) = 10 * 0.01.
+  EXPECT_EQ(Pick(units, scheduler, 10.0), std::vector<int>({0}));
+  // Next pick gets the remaining unit.
+  EXPECT_EQ(Pick(units, scheduler, 10.0), std::vector<int>({1}));
+  EXPECT_TRUE(Pick(units, scheduler, 10.0).empty());
+}
+
+TEST(ClusteredBsdTest, ClusteredProcessingBundlesSameArrival) {
+  // Three units in one cluster, all fed the same arrival.
+  UnitTable units = UnitsWithPhis({5.0, 5.5, 6.0});
+  ClusteredBsdOptions options;
+  options.num_clusters = 1;
+  options.clustered_processing = true;
+  ClusteredBsdScheduler scheduler(options);
+  scheduler.Attach(&units);
+  for (int u = 0; u < 3; ++u) Push(units, scheduler, u, /*arrival=*/7, 1.0);
+  Push(units, scheduler, 0, /*arrival=*/8, 2.0);
+
+  const std::vector<int> first = Pick(units, scheduler, 3.0);
+  EXPECT_EQ(first, std::vector<int>({0, 1, 2}));
+  const std::vector<int> second = Pick(units, scheduler, 3.0);
+  EXPECT_EQ(second, std::vector<int>({0}));
+}
+
+TEST(ClusteredBsdTest, WithoutClusteredProcessingOneAtATime) {
+  UnitTable units = UnitsWithPhis({5.0, 5.5});
+  ClusteredBsdOptions options;
+  options.num_clusters = 1;
+  options.clustered_processing = false;
+  ClusteredBsdScheduler scheduler(options);
+  scheduler.Attach(&units);
+  Push(units, scheduler, 0, 7, 1.0);
+  Push(units, scheduler, 1, 7, 1.0);
+  EXPECT_EQ(Pick(units, scheduler, 2.0).size(), 1u);
+  EXPECT_EQ(Pick(units, scheduler, 2.0).size(), 1u);
+  EXPECT_TRUE(Pick(units, scheduler, 2.0).empty());
+}
+
+TEST(ClusteredBsdTest, FaginAgreesWithScan) {
+  // Many clusters, random-ish waits: FA must return the same cluster as the
+  // scan-based selection at every step.
+  std::vector<double> phis;
+  for (int i = 0; i < 64; ++i) phis.push_back(std::pow(1.3, i % 23) + i);
+  UnitTable units_scan = UnitsWithPhis(phis);
+  UnitTable units_fa = UnitsWithPhis(phis);
+
+  ClusteredBsdOptions scan_options;
+  scan_options.num_clusters = 16;
+  scan_options.use_fagin = false;
+  ClusteredBsdOptions fa_options = scan_options;
+  fa_options.use_fagin = true;
+
+  ClusteredBsdScheduler scan(scan_options);
+  ClusteredBsdScheduler fagin(fa_options);
+  scan.Attach(&units_scan);
+  fagin.Attach(&units_fa);
+
+  // Deterministic pseudo-random enqueue pattern.
+  uint64_t state = 12345;
+  auto next = [&state]() {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state >> 33;
+  };
+  SimTime t = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    t += 0.01;
+    const int unit = static_cast<int>(next() % phis.size());
+    Push(units_scan, scan, unit, i, t);
+    Push(units_fa, fagin, unit, i, t);
+  }
+  for (int step = 0; step < 200; ++step) {
+    t += 0.005;
+    SchedulingCost scan_cost;
+    SchedulingCost fa_cost;
+    const auto a = Pick(units_scan, scan, t, &scan_cost);
+    const auto b = Pick(units_fa, fagin, t, &fa_cost);
+    ASSERT_EQ(a, b) << "step " << step;
+    if (a.empty()) break;
+  }
+}
+
+TEST(ClusteredBsdTest, FaginTouchesFewerClustersOnSkewedWaits) {
+  // All clusters enqueued at the same time except one stale cluster: FA
+  // should prune most of the scan.
+  std::vector<double> phis;
+  for (int i = 0; i < 128; ++i) phis.push_back(std::pow(1.1, i));
+  UnitTable units = UnitsWithPhis(phis);
+  ClusteredBsdOptions options;
+  options.num_clusters = 64;
+  options.use_fagin = true;
+  ClusteredBsdScheduler scheduler(options);
+  scheduler.Attach(&units);
+  for (int u = 0; u < 128; ++u) Push(units, scheduler, u, u, 10.0);
+  SchedulingCost cost;
+  std::vector<int> out;
+  ASSERT_TRUE(scheduler.PickNext(10.001, &cost, &out));
+  // A full scan would evaluate every non-empty cluster (64); FA should do
+  // substantially better here.
+  EXPECT_LT(cost.computations, 40);
+}
+
+TEST(ClusteredBsdTest, NameEncodesConfiguration) {
+  ClusteredBsdOptions options;
+  options.clustering = ClusteringKind::kUniform;
+  options.use_fagin = true;
+  options.clustered_processing = true;
+  ClusteredBsdScheduler scheduler(options);
+  EXPECT_STREQ(scheduler.name(), "BSD-Uniform+FA+CP");
+}
+
+}  // namespace
+}  // namespace aqsios::sched

@@ -1,0 +1,277 @@
+// Tests for the extension policies: Chain (memory minimization), the
+// generalized lp-norm slowdown family, Aurora's two-level RR+RB, and the
+// stats-refresh (OnStatsUpdated) contract.
+
+#include <gtest/gtest.h>
+
+#include "sched/basic_policies.h"
+#include "sched/chain_policy.h"
+#include "sched/lp_norm_policy.h"
+#include "sched/policy.h"
+#include "sched/two_level.h"
+
+namespace aqsios::sched {
+namespace {
+
+// --- Chain progress-chart slopes ---------------------------------------------
+
+TEST(ChainPolicyTest, SingleFilterSlope) {
+  // One op, cost 2 ms: both filtered (0.75) and emitted (0.25) tuples leave
+  // the system, so the drop is the full tuple: slope = 1 / 0.002.
+  const std::vector<query::OperatorSpec> ops = {query::MakeSelect(2.0, 0.25)};
+  EXPECT_NEAR(ChainEnvelopeSlope(ops, {0.25}, 0), 1.0 / 0.002, 1e-6);
+}
+
+TEST(ChainPolicyTest, SelectivityOneChainDropsViaEmission) {
+  // No filtering, but survivors depart at the root: slope = 1 / total cost.
+  const std::vector<query::OperatorSpec> ops = {query::MakeProject(1.0),
+                                                query::MakeProject(2.0)};
+  EXPECT_NEAR(ChainEnvelopeSlope(ops, {1.0, 1.0}, 0), 1.0 / 0.003, 1e-6);
+}
+
+TEST(ChainPolicyTest, EnvelopeTakesSteepestForwardSegment) {
+  // Op 0: expensive no-op filter (s=1, c=10ms); op 1: sharp filter
+  // (s=0.1, c=1ms). From position 0 the steepest drop needs the whole
+  // segment (terminal departure): 1/11ms.
+  const std::vector<query::OperatorSpec> ops = {
+      query::MakeSelect(10.0, 1.0), query::MakeSelect(1.0, 0.1)};
+  const double from0 = ChainEnvelopeSlope(ops, {1.0, 0.1}, 0);
+  EXPECT_NEAR(from0, 1.0 / 0.011, 1e-6);
+  // From position 1 the slope is much steeper.
+  const double from1 = ChainEnvelopeSlope(ops, {1.0, 0.1}, 1);
+  EXPECT_NEAR(from1, 1.0 / 0.001, 1e-6);
+  EXPECT_GT(from1, from0);
+}
+
+TEST(ChainPolicyTest, EarlyDropBeatsLaterDrop) {
+  // A chain whose first op already filters hard: the envelope slope from 0
+  // is achieved at the first op alone (0.8/1ms beats 1/5ms).
+  const std::vector<query::OperatorSpec> ops = {
+      query::MakeSelect(1.0, 0.2), query::MakeSelect(4.0, 0.9)};
+  EXPECT_NEAR(ChainEnvelopeSlope(ops, {0.2, 0.9}, 0), 0.8 / 0.001, 1e-6);
+}
+
+TEST(ChainPolicyTest, AggregateSlopeIsQueueDrainRate) {
+  // One queued tuple departs per execution, whatever its fate.
+  EXPECT_NEAR(AggregateSlope(0.3, 0.010), 100.0, 1e-9);
+  EXPECT_NEAR(AggregateSlope(2.5, 0.010), 100.0, 1e-9);
+  EXPECT_NEAR(AggregateSlope(1.0, 0.020), 50.0, 1e-9);
+}
+
+TEST(ChainPolicyTest, ChainSchedulerOrdersBySlope) {
+  UnitTable units;
+  for (int i = 0; i < 3; ++i) {
+    Unit unit;
+    unit.id = i;
+    unit.query = i;
+    unit.stats.ideal_time = 1.0;
+    units.push_back(unit);
+  }
+  units[0].stats.chain_slope = 10.0;
+  units[1].stats.chain_slope = 30.0;
+  units[2].stats.chain_slope = 20.0;
+  StaticPriorityScheduler scheduler(StaticPolicy::kChain);
+  scheduler.Attach(&units);
+  for (int u = 0; u < 3; ++u) {
+    units[static_cast<size_t>(u)].queue.push_back(QueueEntry{0, 0.0});
+    scheduler.OnEnqueue(u);
+  }
+  SchedulingCost cost;
+  std::vector<int> out;
+  ASSERT_TRUE(scheduler.PickNext(1.0, &cost, &out));
+  EXPECT_EQ(out.front(), 1);
+  EXPECT_STREQ(scheduler.name(), "Chain");
+}
+
+// --- lp-norm family -----------------------------------------------------------
+
+Unit UnitWithRates(int id, double selectivity, SimTime cost, SimTime t) {
+  Unit unit;
+  unit.id = id;
+  unit.query = id;
+  unit.stats.selectivity = selectivity;
+  unit.stats.expected_cost = cost;
+  unit.stats.ideal_time = t;
+  RederiveUnitStats(&unit.stats);
+  return unit;
+}
+
+TEST(LpNormTest, P1EqualsHnrOrdering) {
+  UnitTable units;
+  units.push_back(UnitWithRates(0, 1.0, 0.005, 0.005));   // Example 1 Q1
+  units.push_back(UnitWithRates(1, 0.33, 0.002, 0.002));  // Example 1 Q2
+  LpNormScheduler scheduler(1.0);
+  scheduler.Attach(&units);
+  // p=1 priority is the static normalized rate regardless of wait.
+  units[0].queue.push_back(QueueEntry{0, 0.0});
+  units[1].queue.push_back(QueueEntry{1, 0.9});
+  EXPECT_GT(scheduler.PriorityOf(units[1], 1.0),
+            scheduler.PriorityOf(units[0], 1.0));
+  // Same comparison much later: unchanged (no W dependence).
+  EXPECT_GT(scheduler.PriorityOf(units[1], 100.0),
+            scheduler.PriorityOf(units[0], 100.0));
+}
+
+TEST(LpNormTest, P2EqualsBsdPriority) {
+  UnitTable units;
+  units.push_back(UnitWithRates(0, 0.5, 0.004, 0.010));
+  LpNormScheduler scheduler(2.0);
+  scheduler.Attach(&units);
+  units[0].queue.push_back(QueueEntry{0, 2.0});
+  // BSD: phi * W.
+  const double expected = units[0].stats.phi * (5.0 - 2.0);
+  EXPECT_NEAR(scheduler.PriorityOf(units[0], 5.0), expected, 1e-9);
+}
+
+TEST(LpNormTest, LargePFavorsLongestStretch) {
+  UnitTable units;
+  // Unit 0: hugely productive, short wait. Unit 1: unproductive, waited
+  // long relative to its tiny T (large stretch).
+  units.push_back(UnitWithRates(0, 1.0, 0.001, 0.010));
+  units.push_back(UnitWithRates(1, 0.01, 0.001, 0.001));
+  LpNormScheduler scheduler(16.0);
+  scheduler.Attach(&units);
+  units[0].queue.push_back(QueueEntry{0, 9.9});
+  scheduler.OnEnqueue(0);
+  units[1].queue.push_back(QueueEntry{1, 1.0});
+  scheduler.OnEnqueue(1);
+  SchedulingCost cost;
+  std::vector<int> out;
+  ASSERT_TRUE(scheduler.PickNext(10.0, &cost, &out));
+  // stretch(1) = 9/0.001 = 9000 vs stretch(0) = 0.1/0.01 = 10: with p=16
+  // the stretch term dominates any rate advantage.
+  EXPECT_EQ(out.front(), 1);
+}
+
+TEST(LpNormTest, NameEncodesP) {
+  EXPECT_STREQ(LpNormScheduler(3.0).name(), "L3-SD");
+}
+
+TEST(LpNormDeathTest, RejectsPBelowOne) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  EXPECT_DEATH(LpNormScheduler(0.5), "");
+}
+
+// --- Two-level RR + RB --------------------------------------------------------
+
+TEST(TwoLevelTest, OuterRoundRobinAcrossQueries) {
+  UnitTable units;
+  // Two queries, two operator units each; rates make op order deterministic.
+  for (int q = 0; q < 2; ++q) {
+    for (int x = 0; x < 2; ++x) {
+      Unit unit;
+      unit.id = static_cast<int>(units.size());
+      unit.kind = UnitKind::kOperator;
+      unit.query = q;
+      unit.op_index = x;
+      unit.stats.output_rate = x == 0 ? 1.0 : 5.0;  // downstream op faster
+      unit.stats.ideal_time = 1.0;
+      units.push_back(unit);
+    }
+  }
+  TwoLevelRrScheduler scheduler;
+  scheduler.Attach(&units);
+  auto push = [&](int unit) {
+    units[static_cast<size_t>(unit)].queue.push_back(QueueEntry{0, 0.0});
+    scheduler.OnEnqueue(unit);
+  };
+  auto pick = [&]() {
+    SchedulingCost cost;
+    std::vector<int> out;
+    if (!scheduler.PickNext(1.0, &cost, &out)) return -1;
+    units[static_cast<size_t>(out.front())].queue.pop_front();
+    scheduler.OnDequeue(out.front());
+    return out.front();
+  };
+  // Query 0 has work pending on both its operators; query 1 on its leaf.
+  push(0);
+  push(1);
+  push(2);
+  // RR starts at query 0 and picks its highest-rate ready op (unit 1).
+  EXPECT_EQ(pick(), 1);
+  // Next round: query 1's leaf (unit 2).
+  EXPECT_EQ(pick(), 2);
+  // Back to query 0: remaining unit 0.
+  EXPECT_EQ(pick(), 0);
+  EXPECT_EQ(pick(), -1);
+}
+
+TEST(TwoLevelTest, SkipsQueriesWithoutWork) {
+  UnitTable units;
+  for (int q = 0; q < 3; ++q) {
+    Unit unit;
+    unit.id = q;
+    unit.query = q;
+    unit.stats.output_rate = 1.0;
+    units.push_back(unit);
+  }
+  TwoLevelRrScheduler scheduler;
+  scheduler.Attach(&units);
+  units[2].queue.push_back(QueueEntry{0, 0.0});
+  scheduler.OnEnqueue(2);
+  SchedulingCost cost;
+  std::vector<int> out;
+  ASSERT_TRUE(scheduler.PickNext(1.0, &cost, &out));
+  EXPECT_EQ(out.front(), 2);
+}
+
+// --- OnStatsUpdated re-ranking --------------------------------------------------
+
+TEST(StatsUpdateTest, StaticSchedulerReordersAfterRefresh) {
+  UnitTable units;
+  units.push_back(UnitWithRates(0, 0.9, 0.001, 0.001));
+  units.push_back(UnitWithRates(1, 0.1, 0.001, 0.001));
+  StaticPriorityScheduler scheduler(StaticPolicy::kHnr);
+  scheduler.Attach(&units);
+  for (int u = 0; u < 2; ++u) {
+    units[static_cast<size_t>(u)].queue.push_back(QueueEntry{0, 0.0});
+    scheduler.OnEnqueue(u);
+  }
+  SchedulingCost cost;
+  std::vector<int> out;
+  ASSERT_TRUE(scheduler.PickNext(1.0, &cost, &out));
+  EXPECT_EQ(out.front(), 0);
+
+  // Monitoring discovers unit 1 is actually far more selective-productive.
+  units[1].stats.selectivity = 0.99;
+  RederiveUnitStats(&units[1].stats);
+  units[0].stats.selectivity = 0.05;
+  RederiveUnitStats(&units[0].stats);
+  scheduler.OnStatsUpdated();
+
+  out.clear();
+  ASSERT_TRUE(scheduler.PickNext(1.0, &cost, &out));
+  EXPECT_EQ(out.front(), 1);
+}
+
+TEST(StatsUpdateTest, RederivePreservesIdealTime) {
+  UnitStats stats;
+  stats.selectivity = 0.5;
+  stats.expected_cost = 0.002;
+  stats.ideal_time = 0.004;
+  RederiveUnitStats(&stats);
+  EXPECT_NEAR(stats.output_rate, 250.0, 1e-9);
+  EXPECT_NEAR(stats.normalized_rate, 250.0 / 0.004, 1e-9);
+  EXPECT_NEAR(stats.phi, 250.0 / 0.004 / 0.004, 1e-6);
+  EXPECT_NEAR(stats.chain_slope, 1.0 / 0.002, 1e-9);
+  EXPECT_DOUBLE_EQ(stats.ideal_time, 0.004);
+}
+
+// --- Factory coverage of new kinds ---------------------------------------------
+
+TEST(PolicyFactoryExtensionsTest, CreatesAndParses) {
+  EXPECT_STREQ(
+      CreateScheduler(PolicyConfig::Of(PolicyKind::kChain))->name(), "Chain");
+  EXPECT_STREQ(
+      CreateScheduler(PolicyConfig::Of(PolicyKind::kTwoLevelRr))->name(),
+      "RR+RB");
+  PolicyConfig lp = PolicyConfig::Of(PolicyKind::kLpNorm);
+  lp.lp_norm_p = 4.0;
+  EXPECT_STREQ(CreateScheduler(lp)->name(), "L4-SD");
+  EXPECT_EQ(ParsePolicyKind("chain").value(), PolicyKind::kChain);
+  EXPECT_EQ(ParsePolicyKind("rr-rb").value(), PolicyKind::kTwoLevelRr);
+  EXPECT_EQ(ParsePolicyKind("lp").value(), PolicyKind::kLpNorm);
+}
+
+}  // namespace
+}  // namespace aqsios::sched

@@ -1,0 +1,246 @@
+#include "sched/basic_policies.h"
+
+#include <gtest/gtest.h>
+
+#include "sched/policy.h"
+
+namespace aqsios::sched {
+namespace {
+
+/// Builds a unit with the given static priority ingredients.
+Unit MakeUnit(int id, double output_rate, double normalized_rate, double phi,
+              SimTime ideal_time) {
+  Unit unit;
+  unit.id = id;
+  unit.kind = UnitKind::kQueryChain;
+  unit.query = id;
+  unit.input_stream = 0;
+  unit.stats.output_rate = output_rate;
+  unit.stats.normalized_rate = normalized_rate;
+  unit.stats.phi = phi;
+  unit.stats.ideal_time = ideal_time;
+  return unit;
+}
+
+void Push(UnitTable& units, Scheduler& scheduler, int unit,
+          stream::ArrivalId arrival, SimTime time) {
+  units[static_cast<size_t>(unit)].queue.push_back(
+      QueueEntry{arrival, time});
+  scheduler.OnEnqueue(unit);
+}
+
+int PopPick(UnitTable& units, Scheduler& scheduler, SimTime now) {
+  SchedulingCost cost;
+  std::vector<int> out;
+  if (!scheduler.PickNext(now, &cost, &out)) return -1;
+  EXPECT_EQ(out.size(), 1u);
+  const int unit = out.front();
+  units[static_cast<size_t>(unit)].queue.pop_front();
+  scheduler.OnDequeue(unit);
+  return unit;
+}
+
+UnitTable ThreeUnits() {
+  UnitTable units;
+  // unit 0: high rate, low normalized rate, T = 10s.
+  units.push_back(MakeUnit(0, /*rate=*/5.0, /*nrate=*/0.5, /*phi=*/0.05, 10.0));
+  // unit 1: low rate, high normalized rate, T = 1s.
+  units.push_back(MakeUnit(1, 2.0, 2.0, 2.0, 1.0));
+  // unit 2: middling, T = 4s.
+  units.push_back(MakeUnit(2, 3.0, 0.75, 0.1875, 4.0));
+  return units;
+}
+
+TEST(FcfsTest, ServesInArrivalOrder) {
+  UnitTable units = ThreeUnits();
+  FcfsScheduler scheduler;
+  scheduler.Attach(&units);
+  Push(units, scheduler, 2, 0, 0.0);
+  Push(units, scheduler, 0, 1, 1.0);
+  Push(units, scheduler, 1, 2, 2.0);
+  EXPECT_EQ(PopPick(units, scheduler, 3.0), 2);
+  EXPECT_EQ(PopPick(units, scheduler, 3.0), 0);
+  EXPECT_EQ(PopPick(units, scheduler, 3.0), 1);
+  EXPECT_EQ(PopPick(units, scheduler, 3.0), -1);
+}
+
+TEST(RoundRobinTest, CyclesAcrossReadyUnits) {
+  UnitTable units = ThreeUnits();
+  RoundRobinScheduler scheduler;
+  scheduler.Attach(&units);
+  for (int i = 0; i < 2; ++i) {
+    Push(units, scheduler, 0, i, 0.0);
+    Push(units, scheduler, 1, i, 0.0);
+    Push(units, scheduler, 2, i, 0.0);
+  }
+  EXPECT_EQ(PopPick(units, scheduler, 1.0), 0);
+  EXPECT_EQ(PopPick(units, scheduler, 1.0), 1);
+  EXPECT_EQ(PopPick(units, scheduler, 1.0), 2);
+  EXPECT_EQ(PopPick(units, scheduler, 1.0), 0);
+}
+
+TEST(RoundRobinTest, SkipsEmptyUnits) {
+  UnitTable units = ThreeUnits();
+  RoundRobinScheduler scheduler;
+  scheduler.Attach(&units);
+  Push(units, scheduler, 1, 0, 0.0);
+  Push(units, scheduler, 1, 1, 0.0);
+  EXPECT_EQ(PopPick(units, scheduler, 1.0), 1);
+  EXPECT_EQ(PopPick(units, scheduler, 1.0), 1);
+  EXPECT_EQ(PopPick(units, scheduler, 1.0), -1);
+}
+
+TEST(StaticPriorityTest, HrOrdersByOutputRate) {
+  UnitTable units = ThreeUnits();
+  StaticPriorityScheduler scheduler(StaticPolicy::kHr);
+  scheduler.Attach(&units);
+  for (int u = 0; u < 3; ++u) Push(units, scheduler, u, u, 0.0);
+  EXPECT_EQ(PopPick(units, scheduler, 1.0), 0);  // rate 5
+  EXPECT_EQ(PopPick(units, scheduler, 1.0), 2);  // rate 3
+  EXPECT_EQ(PopPick(units, scheduler, 1.0), 1);  // rate 2
+}
+
+TEST(StaticPriorityTest, HnrOrdersByNormalizedRate) {
+  UnitTable units = ThreeUnits();
+  StaticPriorityScheduler scheduler(StaticPolicy::kHnr);
+  scheduler.Attach(&units);
+  for (int u = 0; u < 3; ++u) Push(units, scheduler, u, u, 0.0);
+  EXPECT_EQ(PopPick(units, scheduler, 1.0), 1);  // nrate 2
+  EXPECT_EQ(PopPick(units, scheduler, 1.0), 2);  // nrate 0.75
+  EXPECT_EQ(PopPick(units, scheduler, 1.0), 0);  // nrate 0.5
+}
+
+TEST(StaticPriorityTest, SrptOrdersByIdealTime) {
+  UnitTable units = ThreeUnits();
+  StaticPriorityScheduler scheduler(StaticPolicy::kSrpt);
+  scheduler.Attach(&units);
+  for (int u = 0; u < 3; ++u) Push(units, scheduler, u, u, 0.0);
+  EXPECT_EQ(PopPick(units, scheduler, 1.0), 1);  // T = 1
+  EXPECT_EQ(PopPick(units, scheduler, 1.0), 2);  // T = 4
+  EXPECT_EQ(PopPick(units, scheduler, 1.0), 0);  // T = 10
+}
+
+TEST(StaticPriorityTest, HigherPriorityArrivalPreemptsOrder) {
+  UnitTable units = ThreeUnits();
+  StaticPriorityScheduler scheduler(StaticPolicy::kHnr);
+  scheduler.Attach(&units);
+  Push(units, scheduler, 0, 0, 0.0);
+  EXPECT_EQ(PopPick(units, scheduler, 1.0), 0);
+  Push(units, scheduler, 0, 1, 1.0);
+  Push(units, scheduler, 1, 2, 1.0);  // higher HNR priority arrives
+  EXPECT_EQ(PopPick(units, scheduler, 2.0), 1);
+  EXPECT_EQ(PopPick(units, scheduler, 2.0), 0);
+}
+
+TEST(StaticPriorityTest, Names) {
+  EXPECT_STREQ(StaticPriorityScheduler(StaticPolicy::kSrpt).name(), "SRPT");
+  EXPECT_STREQ(StaticPriorityScheduler(StaticPolicy::kHr).name(), "HR");
+  EXPECT_STREQ(StaticPriorityScheduler(StaticPolicy::kHnr).name(), "HNR");
+}
+
+TEST(LsfTest, PicksLargestWaitOverIdealTime) {
+  UnitTable units = ThreeUnits();
+  LsfScheduler scheduler;
+  scheduler.Attach(&units);
+  // unit 0 (T=10) waiting since t=0; unit 1 (T=1) waiting since t=8.
+  Push(units, scheduler, 0, 0, 0.0);
+  Push(units, scheduler, 1, 1, 8.0);
+  // At t=10: stretch(0) = 10/10 = 1; stretch(1) = 2/1 = 2.
+  EXPECT_EQ(PopPick(units, scheduler, 10.0), 1);
+  EXPECT_EQ(PopPick(units, scheduler, 10.0), 0);
+}
+
+TEST(LsfTest, OrderingFlipsWithTime) {
+  UnitTable units = ThreeUnits();
+  LsfScheduler scheduler;
+  scheduler.Attach(&units);
+  // unit 2 (T=4) waiting since t=0, unit 0 (T=10) since t=0:
+  // stretch(2) always larger -> 2 first regardless of instant; but against
+  // unit 1 (T=1, arrives late) the order flips as time passes.
+  Push(units, scheduler, 0, 0, 0.0);
+  // At t=1: stretch(0)=0.1.
+  Push(units, scheduler, 1, 1, 0.9);
+  // At t=1: stretch(1)=(1-0.9)/1=0.1 -> tie; at t=1.01 unit 1 wins
+  // ((0.11)/1 > 0.101/10).
+  EXPECT_EQ(PopPick(units, scheduler, 1.01), 1);
+}
+
+TEST(BsdTest, CombinesPhiAndWait) {
+  UnitTable units = ThreeUnits();
+  BsdScheduler scheduler(/*count_all_units=*/true);
+  scheduler.Attach(&units);
+  // phi(0)=0.05 waiting since 0; phi(1)=2 waiting since 9.9.
+  Push(units, scheduler, 0, 0, 0.0);
+  Push(units, scheduler, 1, 1, 9.9);
+  // At t=10: p0 = 0.05*10 = 0.5; p1 = 2*0.1 = 0.2 -> unit 0.
+  EXPECT_EQ(PopPick(units, scheduler, 10.0), 0);
+  // Re-enqueue unit 0 fresh; now p0 small, p1 grows.
+  Push(units, scheduler, 0, 2, 10.0);
+  // At t=10.5: p0 = 0.05*0.5 = 0.025; p1 = 2*0.6 = 1.2 -> unit 1.
+  EXPECT_EQ(PopPick(units, scheduler, 10.5), 1);
+}
+
+TEST(BsdTest, NaiveAccountingCountsAllUnits) {
+  UnitTable units = ThreeUnits();
+  BsdScheduler scheduler(/*count_all_units=*/true);
+  scheduler.Attach(&units);
+  Push(units, scheduler, 0, 0, 0.0);
+  SchedulingCost cost;
+  std::vector<int> out;
+  ASSERT_TRUE(scheduler.PickNext(1.0, &cost, &out));
+  EXPECT_EQ(cost.computations, 3);
+  EXPECT_EQ(cost.comparisons, 3);
+}
+
+TEST(BsdTest, ReadyOnlyAccounting) {
+  UnitTable units = ThreeUnits();
+  BsdScheduler scheduler(/*count_all_units=*/false);
+  scheduler.Attach(&units);
+  Push(units, scheduler, 0, 0, 0.0);
+  Push(units, scheduler, 1, 1, 0.0);
+  SchedulingCost cost;
+  std::vector<int> out;
+  ASSERT_TRUE(scheduler.PickNext(1.0, &cost, &out));
+  EXPECT_EQ(cost.computations, 2);
+}
+
+TEST(PolicyFactoryTest, CreatesEveryPolicy) {
+  for (PolicyKind kind :
+       {PolicyKind::kFcfs, PolicyKind::kRoundRobin, PolicyKind::kSrpt,
+        PolicyKind::kHr, PolicyKind::kHnr, PolicyKind::kLsf, PolicyKind::kBsd,
+        PolicyKind::kBsdClustered}) {
+    auto scheduler = CreateScheduler(PolicyConfig::Of(kind));
+    ASSERT_NE(scheduler, nullptr) << PolicyKindName(kind);
+    EXPECT_NE(std::string(scheduler->name()), "");
+  }
+}
+
+TEST(PolicyFactoryTest, ParsePolicyKind) {
+  EXPECT_EQ(ParsePolicyKind("hnr").value(), PolicyKind::kHnr);
+  EXPECT_EQ(ParsePolicyKind("HNR").value(), PolicyKind::kHnr);
+  EXPECT_EQ(ParsePolicyKind("rr").value(), PolicyKind::kRoundRobin);
+  EXPECT_EQ(ParsePolicyKind("bsd-clustered").value(),
+            PolicyKind::kBsdClustered);
+  EXPECT_FALSE(ParsePolicyKind("nope").ok());
+}
+
+TEST(SchedulingCostTest, TotalsAndClear) {
+  SchedulingCost cost;
+  cost.computations = 3;
+  cost.comparisons = 4;
+  EXPECT_EQ(cost.total(), 7);
+  cost.Clear();
+  EXPECT_EQ(cost.total(), 0);
+}
+
+TEST(UnitTest, HeadWaitAndKindNames) {
+  Unit unit = MakeUnit(0, 1, 1, 1, 1);
+  unit.queue.push_back(QueueEntry{0, 2.0});
+  EXPECT_DOUBLE_EQ(unit.HeadWait(5.0), 3.0);
+  EXPECT_TRUE(unit.has_pending());
+  EXPECT_STREQ(UnitKindName(UnitKind::kSharedGroup), "shared_group");
+  EXPECT_STREQ(UnitKindName(UnitKind::kJoinSideLeft), "join_side_left");
+}
+
+}  // namespace
+}  // namespace aqsios::sched

@@ -1,0 +1,121 @@
+#include "sched/qos_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "core/dsms.h"
+#include "query/workload.h"
+#include "sched/policy.h"
+
+namespace aqsios::sched {
+namespace {
+
+TEST(QosGraphTest, UtilityInterpolation) {
+  const QosGraph graph({{0.0, 1.0}, {1.0, 1.0}, {3.0, 0.0}});
+  EXPECT_DOUBLE_EQ(graph.UtilityAt(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(graph.UtilityAt(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(graph.UtilityAt(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(graph.UtilityAt(2.0), 0.5);
+  EXPECT_DOUBLE_EQ(graph.UtilityAt(3.0), 0.0);
+  EXPECT_DOUBLE_EQ(graph.UtilityAt(10.0), 0.0);
+}
+
+TEST(QosGraphTest, DecayRate) {
+  const QosGraph graph({{0.0, 1.0}, {1.0, 1.0}, {3.0, 0.0}});
+  EXPECT_DOUBLE_EQ(graph.DecayRateAt(0.5), 0.0);   // flat segment
+  EXPECT_DOUBLE_EQ(graph.DecayRateAt(2.0), 0.5);   // 1 utility over 2 s
+  EXPECT_DOUBLE_EQ(graph.DecayRateAt(5.0), 0.0);   // past the cliff
+}
+
+TEST(QosGraphTest, FlatThenLinearFactory) {
+  const QosGraph graph = QosGraph::FlatThenLinear(2.0, 6.0);
+  EXPECT_DOUBLE_EQ(graph.UtilityAt(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(graph.UtilityAt(4.0), 0.5);
+  EXPECT_DOUBLE_EQ(graph.DecayRateAt(3.0), 0.25);
+}
+
+TEST(QosGraphDeathTest, RejectsMalformedGraphs) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  EXPECT_DEATH(QosGraph({{1.0, 1.0}, {1.0, 0.5}}), "increasing");
+  EXPECT_DEATH(QosGraph({{0.0, 0.5}, {1.0, 0.8}}), "non-increasing");
+  EXPECT_DEATH(QosGraph({}), "");
+}
+
+Unit UnitWith(int id, double output_rate, SimTime ideal_time) {
+  Unit unit;
+  unit.id = id;
+  unit.query = id;
+  unit.stats.output_rate = output_rate;
+  unit.stats.ideal_time = ideal_time;
+  return unit;
+}
+
+TEST(QosGraphSchedulerTest, PicksSteepestUtilityLoss) {
+  UnitTable units;
+  // Unit 0: T = 1 s -> decays over [5 s, 50 s]. Unit 1: T = 0.01 s ->
+  // decays over [0.05 s, 0.5 s].
+  units.push_back(UnitWith(0, 1.0, 1.0));
+  units.push_back(UnitWith(1, 1.0, 0.01));
+  QosGraphScheduler scheduler(QosGraphOptions{});
+  scheduler.Attach(&units);
+  units[0].queue.push_back(QueueEntry{0, 0.0});
+  scheduler.OnEnqueue(0);
+  units[1].queue.push_back(QueueEntry{1, 0.0});
+  scheduler.OnEnqueue(1);
+  // At t = 0.1 s: unit 0 still flat (priority 0); unit 1 decaying.
+  SchedulingCost cost;
+  std::vector<int> out;
+  ASSERT_TRUE(scheduler.PickNext(0.1, &cost, &out));
+  EXPECT_EQ(out.front(), 1);
+}
+
+TEST(QosGraphSchedulerTest, FallsBackToRateWhenAllFlat) {
+  UnitTable units;
+  units.push_back(UnitWith(0, /*rate=*/2.0, 1.0));
+  units.push_back(UnitWith(1, /*rate=*/9.0, 1.0));
+  QosGraphScheduler scheduler(QosGraphOptions{});
+  scheduler.Attach(&units);
+  for (int u = 0; u < 2; ++u) {
+    units[static_cast<size_t>(u)].queue.push_back(QueueEntry{0, 0.0});
+    scheduler.OnEnqueue(u);
+  }
+  // Immediately after arrival everything is on the flat segment.
+  SchedulingCost cost;
+  std::vector<int> out;
+  ASSERT_TRUE(scheduler.PickNext(0.001, &cost, &out));
+  EXPECT_EQ(out.front(), 1);  // higher output rate
+}
+
+TEST(QosGraphSchedulerTest, ZeroUtilityTuplesStillServed) {
+  UnitTable units;
+  units.push_back(UnitWith(0, 1.0, 0.001));
+  QosGraphScheduler scheduler(QosGraphOptions{});
+  scheduler.Attach(&units);
+  units[0].queue.push_back(QueueEntry{0, 0.0});
+  scheduler.OnEnqueue(0);
+  // Way past the graph cliff: decay 0 everywhere, fallback must fire.
+  SchedulingCost cost;
+  std::vector<int> out;
+  ASSERT_TRUE(scheduler.PickNext(1000.0, &cost, &out));
+  EXPECT_EQ(out.front(), 0);
+}
+
+TEST(QosGraphSchedulerTest, EndToEndComparableToSlowdownPolicies) {
+  query::WorkloadConfig config;
+  config.num_queries = 20;
+  config.num_arrivals = 3000;
+  config.utilization = 0.9;
+  config.seed = 17;
+  const query::Workload workload = query::GenerateWorkload(config);
+  const core::RunResult qos_graph = core::Simulate(
+      workload, sched::PolicyConfig::Of(sched::PolicyKind::kQosGraph));
+  const core::RunResult rr = core::Simulate(
+      workload, sched::PolicyConfig::Of(sched::PolicyKind::kRoundRobin));
+  EXPECT_EQ(qos_graph.policy_name, "QoS-Graph");
+  EXPECT_EQ(qos_graph.qos.tuples_emitted, rr.qos.tuples_emitted);
+  EXPECT_GE(qos_graph.qos.avg_slowdown, 1.0);
+  // Latency-aware: clearly better than the blind baseline.
+  EXPECT_LT(qos_graph.qos.avg_slowdown, rr.qos.avg_slowdown);
+}
+
+}  // namespace
+}  // namespace aqsios::sched

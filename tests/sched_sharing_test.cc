@@ -1,0 +1,164 @@
+#include "sched/sharing.h"
+
+#include <gtest/gtest.h>
+
+namespace aqsios::sched {
+namespace {
+
+MemberSegment Member(query::QueryId q, double selectivity, double cost_s,
+                     double ideal_s) {
+  MemberSegment m;
+  m.query = q;
+  m.selectivity = selectivity;
+  m.expected_cost = cost_s;
+  m.ideal_time = ideal_s;
+  return m;
+}
+
+TEST(SharingTest, AggregateCountsSharedOperatorOnce) {
+  // Two members, each C̄ = 3s, shared op cost 1s:
+  // S̄C = 3 + 3 − 1 = 5 (paper §7).
+  const std::vector<MemberSegment> members = {Member(0, 0.5, 3.0, 4.0),
+                                              Member(1, 0.25, 3.0, 2.0)};
+  const GroupAggregate agg = AggregateMembers(members, {0, 1}, 1.0);
+  EXPECT_NEAR(agg.shared_cost, 5.0, 1e-12);
+  EXPECT_NEAR(agg.sum_selectivity, 0.75, 1e-12);
+  EXPECT_NEAR(agg.sum_sel_over_t, 0.5 / 4.0 + 0.25 / 2.0, 1e-12);
+  EXPECT_NEAR(agg.min_ideal_time, 2.0, 1e-12);
+  // Eq. 7: V = Σ(S/T) / S̄C.
+  EXPECT_NEAR(agg.NormalizedRate(), (0.125 + 0.125) / 5.0, 1e-12);
+}
+
+TEST(SharingTest, SingletonAggregateMatchesSegmentFormulas) {
+  const std::vector<MemberSegment> members = {Member(0, 0.5, 2.0, 4.0)};
+  const GroupAggregate agg = AggregateMembers(members, {0}, 1.0);
+  EXPECT_NEAR(agg.shared_cost, 2.0, 1e-12);
+  EXPECT_NEAR(agg.NormalizedRate(), 0.5 / (2.0 * 4.0), 1e-12);
+  EXPECT_NEAR(agg.Phi(), 0.5 / (2.0 * 4.0 * 4.0), 1e-12);
+  EXPECT_NEAR(agg.OutputRate(), 0.25, 1e-12);
+}
+
+TEST(SharingTest, MaxStrategyUsesBestSegmentButExecutesAll) {
+  const std::vector<MemberSegment> members = {
+      Member(0, 0.9, 2.0, 2.0),    // v = 0.9/4 = 0.225
+      Member(1, 0.1, 5.0, 10.0),   // v = 0.1/50 = 0.002
+  };
+  const GroupPriority result = ComputeGroupPriority(
+      members, 1.0, SharingStrategy::kMax, SharingObjective::kHnr);
+  EXPECT_NEAR(result.stats.normalized_rate, 0.225, 1e-12);
+  ASSERT_EQ(result.executed_members.size(), 2u);
+  EXPECT_TRUE(result.remainder_members.empty());
+}
+
+TEST(SharingTest, SumStrategyAggregatesAll) {
+  const std::vector<MemberSegment> members = {Member(0, 0.9, 2.0, 2.0),
+                                              Member(1, 0.1, 5.0, 10.0)};
+  const GroupPriority result = ComputeGroupPriority(
+      members, 1.0, SharingStrategy::kSum, SharingObjective::kHnr);
+  // S̄C = 2 + 5 − 1 = 6; Σ S/T = 0.45 + 0.01.
+  EXPECT_NEAR(result.stats.normalized_rate, 0.46 / 6.0, 1e-12);
+  EXPECT_EQ(result.executed_members.size(), 2u);
+  EXPECT_TRUE(result.remainder_members.empty());
+}
+
+TEST(SharingTest, PdtExcludesPriorityLoweringSegments) {
+  // Member 1 is so unproductive that adding it lowers the aggregate; PDT
+  // must exclude it.
+  const std::vector<MemberSegment> members = {Member(0, 0.9, 2.0, 2.0),
+                                              Member(1, 0.01, 50.0, 10.0)};
+  const GroupPriority result = ComputeGroupPriority(
+      members, 1.0, SharingStrategy::kPdt, SharingObjective::kHnr);
+  EXPECT_NEAR(result.stats.normalized_rate, 0.45 / 2.0, 1e-12);
+  ASSERT_EQ(result.executed_members.size(), 1u);
+  EXPECT_EQ(result.executed_members[0], 0);
+  ASSERT_EQ(result.remainder_members.size(), 1u);
+  EXPECT_EQ(result.remainder_members[0], 1);
+}
+
+TEST(SharingTest, PdtKeepsPriorityRaisingSegments) {
+  // Identical members: sharing strictly helps (the shared cost is split),
+  // so the PDT should take everyone.
+  const std::vector<MemberSegment> members = {Member(0, 0.5, 2.0, 2.0),
+                                              Member(1, 0.5, 2.0, 2.0),
+                                              Member(2, 0.5, 2.0, 2.0)};
+  const GroupPriority result = ComputeGroupPriority(
+      members, 1.0, SharingStrategy::kPdt, SharingObjective::kHnr);
+  EXPECT_EQ(result.executed_members.size(), 3u);
+  EXPECT_TRUE(result.remainder_members.empty());
+  // Aggregate: Σ(S/T) = 0.75; S̄C = 6 − 2 = 4.
+  EXPECT_NEAR(result.stats.normalized_rate, 0.75 / 4.0, 1e-12);
+}
+
+TEST(SharingTest, PdtDominatesMaxAndSum) {
+  // The PDT maximizes the aggregate over prefixes, so its priority is at
+  // least that of both Max (prefix of 1) and Sum (full set) for any input.
+  // Property check over a deterministic family of groups.
+  for (int variant = 0; variant < 50; ++variant) {
+    std::vector<MemberSegment> members;
+    uint64_t state = 1000 + static_cast<uint64_t>(variant);
+    auto next01 = [&state]() {
+      state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+      return static_cast<double>(state >> 11) * 0x1.0p-53;
+    };
+    const int n = 2 + variant % 8;
+    for (int i = 0; i < n; ++i) {
+      members.push_back(Member(i, 0.05 + 0.95 * next01(),
+                               0.5 + 5.0 * next01(), 0.5 + 10.0 * next01()));
+    }
+    const double shared = 0.25;
+    for (SharingObjective objective :
+         {SharingObjective::kHnr, SharingObjective::kBsd}) {
+      const double pdt =
+          objective == SharingObjective::kHnr
+              ? ComputeGroupPriority(members, shared, SharingStrategy::kPdt,
+                                     objective)
+                    .stats.normalized_rate
+              : ComputeGroupPriority(members, shared, SharingStrategy::kPdt,
+                                     objective)
+                    .stats.phi;
+      const double max_strategy =
+          objective == SharingObjective::kHnr
+              ? ComputeGroupPriority(members, shared, SharingStrategy::kMax,
+                                     objective)
+                    .stats.normalized_rate
+              : ComputeGroupPriority(members, shared, SharingStrategy::kMax,
+                                     objective)
+                    .stats.phi;
+      const double sum_strategy =
+          objective == SharingObjective::kHnr
+              ? ComputeGroupPriority(members, shared, SharingStrategy::kSum,
+                                     objective)
+                    .stats.normalized_rate
+              : ComputeGroupPriority(members, shared, SharingStrategy::kSum,
+                                     objective)
+                    .stats.phi;
+      EXPECT_GE(pdt, max_strategy - 1e-12) << "variant " << variant;
+      EXPECT_GE(pdt, sum_strategy - 1e-12) << "variant " << variant;
+    }
+  }
+}
+
+TEST(SharingTest, BsdObjectiveOrdersByPhi) {
+  // Under the BSD objective, a segment with smaller T gets a boost from the
+  // 1/T² weighting and should lead the PDT.
+  const std::vector<MemberSegment> members = {
+      Member(0, 0.5, 2.0, 8.0),  // v_hnr = 0.03125, phi = 0.0039
+      Member(1, 0.3, 2.0, 1.0),  // v_hnr = 0.15,    phi = 0.15
+  };
+  const GroupPriority hnr = ComputeGroupPriority(
+      members, 0.5, SharingStrategy::kPdt, SharingObjective::kHnr);
+  const GroupPriority bsd = ComputeGroupPriority(
+      members, 0.5, SharingStrategy::kPdt, SharingObjective::kBsd);
+  EXPECT_EQ(hnr.executed_members.front(), 1);
+  EXPECT_EQ(bsd.executed_members.front(), 1);
+  EXPECT_GT(bsd.stats.phi, 0.0);
+}
+
+TEST(SharingTest, StrategyNames) {
+  EXPECT_STREQ(SharingStrategyName(SharingStrategy::kMax), "Max");
+  EXPECT_STREQ(SharingStrategyName(SharingStrategy::kSum), "Sum");
+  EXPECT_STREQ(SharingStrategyName(SharingStrategy::kPdt), "PDT");
+}
+
+}  // namespace
+}  // namespace aqsios::sched

@@ -1,0 +1,183 @@
+#include "stream/arrival_process.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace aqsios::stream {
+namespace {
+
+TEST(PoissonArrivalProcessTest, MonotoneAndMeanRate) {
+  PoissonArrivalProcess process(100.0, /*seed=*/1);
+  SimTime prev = 0.0;
+  SimTime last = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const SimTime t = process.NextArrivalTime();
+    EXPECT_GE(t, prev);
+    prev = t;
+    last = t;
+  }
+  // Mean inter-arrival should be close to 1/rate = 10 ms.
+  EXPECT_NEAR(last / n, 0.01, 0.001);
+}
+
+TEST(PoissonArrivalProcessTest, DeterministicInSeed) {
+  PoissonArrivalProcess a(50.0, 7);
+  PoissonArrivalProcess b(50.0, 7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.NextArrivalTime(), b.NextArrivalTime());
+  }
+}
+
+TEST(DeterministicArrivalProcessTest, FixedSpacing) {
+  DeterministicArrivalProcess process(0.5, 1.0);
+  EXPECT_DOUBLE_EQ(process.NextArrivalTime(), 1.0);
+  EXPECT_DOUBLE_EQ(process.NextArrivalTime(), 1.5);
+  EXPECT_DOUBLE_EQ(process.NextArrivalTime(), 2.0);
+}
+
+TEST(OnOffArrivalProcessTest, MonotoneNonDecreasing) {
+  OnOffConfig config;
+  config.on_rate = 1000.0;
+  config.mean_on_duration = 0.1;
+  config.mean_off_duration = 0.3;
+  OnOffArrivalProcess process(config, 11);
+  SimTime prev = 0.0;
+  for (int i = 0; i < 50000; ++i) {
+    const SimTime t = process.NextArrivalTime();
+    ASSERT_GE(t, prev);
+    prev = t;
+  }
+}
+
+TEST(OnOffArrivalProcessTest, LongRunRateMatchesConfig) {
+  OnOffConfig config;
+  config.on_rate = 2000.0;
+  config.mean_on_duration = 0.2;
+  config.mean_off_duration = 0.6;
+  OnOffArrivalProcess process(config, 5);
+  const int n = 200000;
+  SimTime last = 0.0;
+  for (int i = 0; i < n; ++i) last = process.NextArrivalTime();
+  const double measured_rate = n / last;
+  EXPECT_NEAR(measured_rate / config.MeanRate(), 1.0, 0.1);
+}
+
+TEST(OnOffArrivalProcessTest, BurstierThanPoisson) {
+  // The squared coefficient of variation of inter-arrivals must exceed 1
+  // (the Poisson value) by a clear margin.
+  OnOffConfig config;
+  config.on_rate = 5000.0;
+  config.mean_on_duration = 0.05;
+  config.mean_off_duration = 0.2;
+  OnOffArrivalProcess process(config, 13);
+  const int n = 100000;
+  double prev = 0.0;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const SimTime t = process.NextArrivalTime();
+    const double gap = t - prev;
+    prev = t;
+    sum += gap;
+    sum_sq += gap * gap;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  const double cv2 = var / (mean * mean);
+  EXPECT_GT(cv2, 2.0);
+}
+
+TEST(TraceArrivalProcessTest, ReplaysAndExhausts) {
+  TraceArrivalProcess process({0.5, 1.0, 2.5});
+  EXPECT_DOUBLE_EQ(process.NextArrivalTime(), 0.5);
+  EXPECT_DOUBLE_EQ(process.NextArrivalTime(), 1.0);
+  EXPECT_EQ(process.remaining(), 1);
+  EXPECT_DOUBLE_EQ(process.NextArrivalTime(), 2.5);
+  EXPECT_TRUE(std::isinf(process.NextArrivalTime()));
+}
+
+TEST(GenerateArrivalsTest, AttributesInRangeAndDeterministic) {
+  PoissonArrivalProcess p1(100.0, 3);
+  PoissonArrivalProcess p2(100.0, 3);
+  const auto a = GenerateArrivals(p1, 0, 1000, /*seed=*/9, 50);
+  const auto b = GenerateArrivals(p2, 0, 1000, /*seed=*/9, 50);
+  ASSERT_EQ(a.size(), 1000u);
+  ASSERT_EQ(b.size(), 1000u);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].time, b[i].time);
+    EXPECT_DOUBLE_EQ(a[i].attribute, b[i].attribute);
+    EXPECT_GT(a[i].attribute, 0.0);
+    EXPECT_LE(a[i].attribute, 100.0);
+    EXPECT_GE(a[i].join_key, 0);
+    EXPECT_LT(a[i].join_key, 50);
+    EXPECT_EQ(a[i].stream, 0);
+  }
+}
+
+TEST(MergeArrivalTablesTest, MergesSortedWithDenseIds) {
+  PoissonArrivalProcess p0(100.0, 1);
+  PoissonArrivalProcess p1(100.0, 2);
+  auto s0 = GenerateArrivals(p0, 0, 500, 10);
+  auto s1 = GenerateArrivals(p1, 1, 500, 11);
+  const ArrivalTable table = MergeArrivalTables({s0, s1});
+  ASSERT_EQ(table.size(), 1000);
+  for (int64_t i = 0; i < table.size(); ++i) {
+    EXPECT_EQ(table.arrivals[static_cast<size_t>(i)].id, i);
+    if (i > 0) {
+      EXPECT_GE(table.arrivals[static_cast<size_t>(i)].time,
+                table.arrivals[static_cast<size_t>(i - 1)].time);
+    }
+  }
+}
+
+TEST(ArrivalTableTest, MeanInterArrivalPerStream) {
+  ArrivalTable table;
+  for (int i = 0; i < 10; ++i) {
+    Arrival a;
+    a.id = i;
+    a.stream = i % 2;
+    a.time = i * 0.5;
+    table.arrivals.push_back(a);
+  }
+  // Whole table: gaps of 0.5.
+  EXPECT_NEAR(table.MeanInterArrival(), 0.5, 1e-12);
+  // Each stream: gaps of 1.0.
+  EXPECT_NEAR(table.MeanInterArrival(0), 1.0, 1e-12);
+  EXPECT_NEAR(table.MeanInterArrival(1), 1.0, 1e-12);
+  EXPECT_NEAR(table.Horizon(), 4.5, 1e-12);
+}
+
+TEST(ArrivalTableTest, DegenerateCases) {
+  ArrivalTable table;
+  EXPECT_DOUBLE_EQ(table.MeanInterArrival(), 0.0);
+  EXPECT_DOUBLE_EQ(table.Horizon(), 0.0);
+  Arrival a;
+  a.time = 3.0;
+  table.arrivals.push_back(a);
+  EXPECT_DOUBLE_EQ(table.MeanInterArrival(), 0.0);
+  EXPECT_DOUBLE_EQ(table.Horizon(), 3.0);
+  EXPECT_DOUBLE_EQ(table.MeanInterArrival(5), 0.0);
+}
+
+TEST(FrozenRandomnessTest, PureFunctionOfKey) {
+  EXPECT_DOUBLE_EQ(FrozenUniform(42), FrozenUniform(42));
+  EXPECT_NE(FrozenUniform(42), FrozenUniform(43));
+  EXPECT_EQ(FrozenBernoulli(7, 0.5), FrozenBernoulli(7, 0.5));
+}
+
+TEST(FrozenRandomnessTest, ApproximatelyUniform) {
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (FrozenBernoulli(MixKeys(1, static_cast<uint64_t>(i)), 0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+}  // namespace
+}  // namespace aqsios::stream
