@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_burst_timeline.dir/bench_ablation_burst_timeline.cc.o"
+  "CMakeFiles/bench_ablation_burst_timeline.dir/bench_ablation_burst_timeline.cc.o.d"
+  "bench_ablation_burst_timeline"
+  "bench_ablation_burst_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_burst_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

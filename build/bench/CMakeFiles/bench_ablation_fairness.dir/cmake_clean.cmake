@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_fairness.dir/bench_ablation_fairness.cc.o"
+  "CMakeFiles/bench_ablation_fairness.dir/bench_ablation_fairness.cc.o.d"
+  "bench_ablation_fairness"
+  "bench_ablation_fairness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_fairness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_levels.dir/bench_ablation_levels.cc.o"
+  "CMakeFiles/bench_ablation_levels.dir/bench_ablation_levels.cc.o.d"
+  "bench_ablation_levels"
+  "bench_ablation_levels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_levels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

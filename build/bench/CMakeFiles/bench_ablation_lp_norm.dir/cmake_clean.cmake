@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_lp_norm.dir/bench_ablation_lp_norm.cc.o"
+  "CMakeFiles/bench_ablation_lp_norm.dir/bench_ablation_lp_norm.cc.o.d"
+  "bench_ablation_lp_norm"
+  "bench_ablation_lp_norm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_lp_norm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_qos_graph.dir/bench_ablation_qos_graph.cc.o"
+  "CMakeFiles/bench_ablation_qos_graph.dir/bench_ablation_qos_graph.cc.o.d"
+  "bench_ablation_qos_graph"
+  "bench_ablation_qos_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_qos_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_selectivity_mode.dir/bench_ablation_selectivity_mode.cc.o"
+  "CMakeFiles/bench_ablation_selectivity_mode.dir/bench_ablation_selectivity_mode.cc.o.d"
+  "bench_ablation_selectivity_mode"
+  "bench_ablation_selectivity_mode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_selectivity_mode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

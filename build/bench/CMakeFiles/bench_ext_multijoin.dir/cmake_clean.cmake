@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_multijoin.dir/bench_ext_multijoin.cc.o"
+  "CMakeFiles/bench_ext_multijoin.dir/bench_ext_multijoin.cc.o.d"
+  "bench_ext_multijoin"
+  "bench_ext_multijoin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_multijoin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_l2_norm.dir/bench_fig10_l2_norm.cc.o"
+  "CMakeFiles/bench_fig10_l2_norm.dir/bench_fig10_l2_norm.cc.o.d"
+  "bench_fig10_l2_norm"
+  "bench_fig10_l2_norm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_l2_norm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

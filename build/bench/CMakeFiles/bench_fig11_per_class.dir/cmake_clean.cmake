@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_per_class.dir/bench_fig11_per_class.cc.o"
+  "CMakeFiles/bench_fig11_per_class.dir/bench_fig11_per_class.cc.o.d"
+  "bench_fig11_per_class"
+  "bench_fig11_per_class.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_per_class.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_multistream.dir/bench_fig12_multistream.cc.o"
+  "CMakeFiles/bench_fig12_multistream.dir/bench_fig12_multistream.cc.o.d"
+  "bench_fig12_multistream"
+  "bench_fig12_multistream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_multistream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_clustering.dir/bench_fig13_clustering.cc.o"
+  "CMakeFiles/bench_fig13_clustering.dir/bench_fig13_clustering.cc.o.d"
+  "bench_fig13_clustering"
+  "bench_fig13_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

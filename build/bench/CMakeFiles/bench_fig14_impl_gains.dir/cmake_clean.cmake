@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_impl_gains.dir/bench_fig14_impl_gains.cc.o"
+  "CMakeFiles/bench_fig14_impl_gains.dir/bench_fig14_impl_gains.cc.o.d"
+  "bench_fig14_impl_gains"
+  "bench_fig14_impl_gains.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_impl_gains.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_avg_slowdown.dir/bench_fig5_avg_slowdown.cc.o"
+  "CMakeFiles/bench_fig5_avg_slowdown.dir/bench_fig5_avg_slowdown.cc.o.d"
+  "bench_fig5_avg_slowdown"
+  "bench_fig5_avg_slowdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_avg_slowdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

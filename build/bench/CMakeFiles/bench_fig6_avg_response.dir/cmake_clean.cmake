@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_avg_response.dir/bench_fig6_avg_response.cc.o"
+  "CMakeFiles/bench_fig6_avg_response.dir/bench_fig6_avg_response.cc.o.d"
+  "bench_fig6_avg_response"
+  "bench_fig6_avg_response.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_avg_response.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

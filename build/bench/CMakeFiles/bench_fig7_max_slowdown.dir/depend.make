@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig7_max_slowdown.
+# This may be replaced when dependencies are built.

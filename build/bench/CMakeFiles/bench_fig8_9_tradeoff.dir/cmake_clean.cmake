@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_9_tradeoff.dir/bench_fig8_9_tradeoff.cc.o"
+  "CMakeFiles/bench_fig8_9_tradeoff.dir/bench_fig8_9_tradeoff.cc.o.d"
+  "bench_fig8_9_tradeoff"
+  "bench_fig8_9_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_9_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

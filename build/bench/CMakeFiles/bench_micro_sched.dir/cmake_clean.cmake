@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_sched.dir/bench_micro_sched.cc.o"
+  "CMakeFiles/bench_micro_sched.dir/bench_micro_sched.cc.o.d"
+  "bench_micro_sched"
+  "bench_micro_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

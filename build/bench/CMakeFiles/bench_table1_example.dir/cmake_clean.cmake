@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_example.dir/bench_table1_example.cc.o"
+  "CMakeFiles/bench_table1_example.dir/bench_table1_example.cc.o.d"
+  "bench_table1_example"
+  "bench_table1_example.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_sharing.dir/bench_table2_sharing.cc.o"
+  "CMakeFiles/bench_table2_sharing.dir/bench_table2_sharing.cc.o.d"
+  "bench_table2_sharing"
+  "bench_table2_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

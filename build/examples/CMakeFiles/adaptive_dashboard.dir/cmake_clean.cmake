@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_dashboard.dir/adaptive_dashboard.cpp.o"
+  "CMakeFiles/adaptive_dashboard.dir/adaptive_dashboard.cpp.o.d"
+  "adaptive_dashboard"
+  "adaptive_dashboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_dashboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

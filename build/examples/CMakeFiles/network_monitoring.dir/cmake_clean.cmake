@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_monitoring.dir/network_monitoring.cpp.o"
+  "CMakeFiles/network_monitoring.dir/network_monitoring.cpp.o.d"
+  "network_monitoring"
+  "network_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shared_plans.dir/shared_plans.cpp.o"
+  "CMakeFiles/shared_plans.dir/shared_plans.cpp.o.d"
+  "shared_plans"
+  "shared_plans.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shared_plans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

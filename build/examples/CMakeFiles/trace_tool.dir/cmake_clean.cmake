@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_tool.dir/trace_tool.cpp.o"
+  "CMakeFiles/trace_tool.dir/trace_tool.cpp.o.d"
+  "trace_tool"
+  "trace_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqsios_common.dir/flags.cc.o"
+  "CMakeFiles/aqsios_common.dir/flags.cc.o.d"
+  "CMakeFiles/aqsios_common.dir/stats.cc.o"
+  "CMakeFiles/aqsios_common.dir/stats.cc.o.d"
+  "CMakeFiles/aqsios_common.dir/status.cc.o"
+  "CMakeFiles/aqsios_common.dir/status.cc.o.d"
+  "CMakeFiles/aqsios_common.dir/table.cc.o"
+  "CMakeFiles/aqsios_common.dir/table.cc.o.d"
+  "libaqsios_common.a"
+  "libaqsios_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqsios_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqsios_core.dir/dsms.cc.o"
+  "CMakeFiles/aqsios_core.dir/dsms.cc.o.d"
+  "CMakeFiles/aqsios_core.dir/experiment.cc.o"
+  "CMakeFiles/aqsios_core.dir/experiment.cc.o.d"
+  "CMakeFiles/aqsios_core.dir/report.cc.o"
+  "CMakeFiles/aqsios_core.dir/report.cc.o.d"
+  "libaqsios_core.a"
+  "libaqsios_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqsios_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/engine.cc" "src/exec/CMakeFiles/aqsios_exec.dir/engine.cc.o" "gcc" "src/exec/CMakeFiles/aqsios_exec.dir/engine.cc.o.d"
+  "/root/repo/src/exec/stats_monitor.cc" "src/exec/CMakeFiles/aqsios_exec.dir/stats_monitor.cc.o" "gcc" "src/exec/CMakeFiles/aqsios_exec.dir/stats_monitor.cc.o.d"
+  "/root/repo/src/exec/unit_builder.cc" "src/exec/CMakeFiles/aqsios_exec.dir/unit_builder.cc.o" "gcc" "src/exec/CMakeFiles/aqsios_exec.dir/unit_builder.cc.o.d"
+  "/root/repo/src/exec/window_join.cc" "src/exec/CMakeFiles/aqsios_exec.dir/window_join.cc.o" "gcc" "src/exec/CMakeFiles/aqsios_exec.dir/window_join.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/aqsios_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/aqsios_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/aqsios_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/aqsios_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/aqsios_stream.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqsios_exec.dir/engine.cc.o"
+  "CMakeFiles/aqsios_exec.dir/engine.cc.o.d"
+  "CMakeFiles/aqsios_exec.dir/stats_monitor.cc.o"
+  "CMakeFiles/aqsios_exec.dir/stats_monitor.cc.o.d"
+  "CMakeFiles/aqsios_exec.dir/unit_builder.cc.o"
+  "CMakeFiles/aqsios_exec.dir/unit_builder.cc.o.d"
+  "CMakeFiles/aqsios_exec.dir/window_join.cc.o"
+  "CMakeFiles/aqsios_exec.dir/window_join.cc.o.d"
+  "libaqsios_exec.a"
+  "libaqsios_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqsios_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqsios_metrics.dir/qos.cc.o"
+  "CMakeFiles/aqsios_metrics.dir/qos.cc.o.d"
+  "CMakeFiles/aqsios_metrics.dir/timeline.cc.o"
+  "CMakeFiles/aqsios_metrics.dir/timeline.cc.o.d"
+  "libaqsios_metrics.a"
+  "libaqsios_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqsios_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

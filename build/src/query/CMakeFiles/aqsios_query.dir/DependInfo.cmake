@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/query/builder.cc" "src/query/CMakeFiles/aqsios_query.dir/builder.cc.o" "gcc" "src/query/CMakeFiles/aqsios_query.dir/builder.cc.o.d"
+  "/root/repo/src/query/operator.cc" "src/query/CMakeFiles/aqsios_query.dir/operator.cc.o" "gcc" "src/query/CMakeFiles/aqsios_query.dir/operator.cc.o.d"
+  "/root/repo/src/query/plan.cc" "src/query/CMakeFiles/aqsios_query.dir/plan.cc.o" "gcc" "src/query/CMakeFiles/aqsios_query.dir/plan.cc.o.d"
+  "/root/repo/src/query/query.cc" "src/query/CMakeFiles/aqsios_query.dir/query.cc.o" "gcc" "src/query/CMakeFiles/aqsios_query.dir/query.cc.o.d"
+  "/root/repo/src/query/workload.cc" "src/query/CMakeFiles/aqsios_query.dir/workload.cc.o" "gcc" "src/query/CMakeFiles/aqsios_query.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/aqsios_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/aqsios_stream.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

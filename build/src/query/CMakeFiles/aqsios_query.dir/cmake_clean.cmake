@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqsios_query.dir/builder.cc.o"
+  "CMakeFiles/aqsios_query.dir/builder.cc.o.d"
+  "CMakeFiles/aqsios_query.dir/operator.cc.o"
+  "CMakeFiles/aqsios_query.dir/operator.cc.o.d"
+  "CMakeFiles/aqsios_query.dir/plan.cc.o"
+  "CMakeFiles/aqsios_query.dir/plan.cc.o.d"
+  "CMakeFiles/aqsios_query.dir/query.cc.o"
+  "CMakeFiles/aqsios_query.dir/query.cc.o.d"
+  "CMakeFiles/aqsios_query.dir/workload.cc.o"
+  "CMakeFiles/aqsios_query.dir/workload.cc.o.d"
+  "libaqsios_query.a"
+  "libaqsios_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqsios_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

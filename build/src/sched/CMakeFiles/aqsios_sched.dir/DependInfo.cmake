@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/basic_policies.cc" "src/sched/CMakeFiles/aqsios_sched.dir/basic_policies.cc.o" "gcc" "src/sched/CMakeFiles/aqsios_sched.dir/basic_policies.cc.o.d"
+  "/root/repo/src/sched/chain_policy.cc" "src/sched/CMakeFiles/aqsios_sched.dir/chain_policy.cc.o" "gcc" "src/sched/CMakeFiles/aqsios_sched.dir/chain_policy.cc.o.d"
+  "/root/repo/src/sched/clustered_bsd.cc" "src/sched/CMakeFiles/aqsios_sched.dir/clustered_bsd.cc.o" "gcc" "src/sched/CMakeFiles/aqsios_sched.dir/clustered_bsd.cc.o.d"
+  "/root/repo/src/sched/clustering.cc" "src/sched/CMakeFiles/aqsios_sched.dir/clustering.cc.o" "gcc" "src/sched/CMakeFiles/aqsios_sched.dir/clustering.cc.o.d"
+  "/root/repo/src/sched/lp_norm_policy.cc" "src/sched/CMakeFiles/aqsios_sched.dir/lp_norm_policy.cc.o" "gcc" "src/sched/CMakeFiles/aqsios_sched.dir/lp_norm_policy.cc.o.d"
+  "/root/repo/src/sched/policy.cc" "src/sched/CMakeFiles/aqsios_sched.dir/policy.cc.o" "gcc" "src/sched/CMakeFiles/aqsios_sched.dir/policy.cc.o.d"
+  "/root/repo/src/sched/qos_graph.cc" "src/sched/CMakeFiles/aqsios_sched.dir/qos_graph.cc.o" "gcc" "src/sched/CMakeFiles/aqsios_sched.dir/qos_graph.cc.o.d"
+  "/root/repo/src/sched/sharing.cc" "src/sched/CMakeFiles/aqsios_sched.dir/sharing.cc.o" "gcc" "src/sched/CMakeFiles/aqsios_sched.dir/sharing.cc.o.d"
+  "/root/repo/src/sched/two_level.cc" "src/sched/CMakeFiles/aqsios_sched.dir/two_level.cc.o" "gcc" "src/sched/CMakeFiles/aqsios_sched.dir/two_level.cc.o.d"
+  "/root/repo/src/sched/unit.cc" "src/sched/CMakeFiles/aqsios_sched.dir/unit.cc.o" "gcc" "src/sched/CMakeFiles/aqsios_sched.dir/unit.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/aqsios_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/aqsios_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/aqsios_stream.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

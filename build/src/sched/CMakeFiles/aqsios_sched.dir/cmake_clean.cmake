@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqsios_sched.dir/basic_policies.cc.o"
+  "CMakeFiles/aqsios_sched.dir/basic_policies.cc.o.d"
+  "CMakeFiles/aqsios_sched.dir/chain_policy.cc.o"
+  "CMakeFiles/aqsios_sched.dir/chain_policy.cc.o.d"
+  "CMakeFiles/aqsios_sched.dir/clustered_bsd.cc.o"
+  "CMakeFiles/aqsios_sched.dir/clustered_bsd.cc.o.d"
+  "CMakeFiles/aqsios_sched.dir/clustering.cc.o"
+  "CMakeFiles/aqsios_sched.dir/clustering.cc.o.d"
+  "CMakeFiles/aqsios_sched.dir/lp_norm_policy.cc.o"
+  "CMakeFiles/aqsios_sched.dir/lp_norm_policy.cc.o.d"
+  "CMakeFiles/aqsios_sched.dir/policy.cc.o"
+  "CMakeFiles/aqsios_sched.dir/policy.cc.o.d"
+  "CMakeFiles/aqsios_sched.dir/qos_graph.cc.o"
+  "CMakeFiles/aqsios_sched.dir/qos_graph.cc.o.d"
+  "CMakeFiles/aqsios_sched.dir/sharing.cc.o"
+  "CMakeFiles/aqsios_sched.dir/sharing.cc.o.d"
+  "CMakeFiles/aqsios_sched.dir/two_level.cc.o"
+  "CMakeFiles/aqsios_sched.dir/two_level.cc.o.d"
+  "CMakeFiles/aqsios_sched.dir/unit.cc.o"
+  "CMakeFiles/aqsios_sched.dir/unit.cc.o.d"
+  "libaqsios_sched.a"
+  "libaqsios_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqsios_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stream/arrival_process.cc" "src/stream/CMakeFiles/aqsios_stream.dir/arrival_process.cc.o" "gcc" "src/stream/CMakeFiles/aqsios_stream.dir/arrival_process.cc.o.d"
+  "/root/repo/src/stream/trace.cc" "src/stream/CMakeFiles/aqsios_stream.dir/trace.cc.o" "gcc" "src/stream/CMakeFiles/aqsios_stream.dir/trace.cc.o.d"
+  "/root/repo/src/stream/tuple.cc" "src/stream/CMakeFiles/aqsios_stream.dir/tuple.cc.o" "gcc" "src/stream/CMakeFiles/aqsios_stream.dir/tuple.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/aqsios_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqsios_stream.dir/arrival_process.cc.o"
+  "CMakeFiles/aqsios_stream.dir/arrival_process.cc.o.d"
+  "CMakeFiles/aqsios_stream.dir/trace.cc.o"
+  "CMakeFiles/aqsios_stream.dir/trace.cc.o.d"
+  "CMakeFiles/aqsios_stream.dir/tuple.cc.o"
+  "CMakeFiles/aqsios_stream.dir/tuple.cc.o.d"
+  "libaqsios_stream.a"
+  "libaqsios_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqsios_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_dsms_test.dir/core_dsms_test.cc.o"
+  "CMakeFiles/core_dsms_test.dir/core_dsms_test.cc.o.d"
+  "core_dsms_test"
+  "core_dsms_test.pdb"
+  "core_dsms_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_dsms_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

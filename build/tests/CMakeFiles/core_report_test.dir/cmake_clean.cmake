@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_report_test.dir/core_report_test.cc.o"
+  "CMakeFiles/core_report_test.dir/core_report_test.cc.o.d"
+  "core_report_test"
+  "core_report_test.pdb"
+  "core_report_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_report_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

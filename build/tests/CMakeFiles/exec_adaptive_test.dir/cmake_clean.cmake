@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exec_adaptive_test.dir/exec_adaptive_test.cc.o"
+  "CMakeFiles/exec_adaptive_test.dir/exec_adaptive_test.cc.o.d"
+  "exec_adaptive_test"
+  "exec_adaptive_test.pdb"
+  "exec_adaptive_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exec_adaptive_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

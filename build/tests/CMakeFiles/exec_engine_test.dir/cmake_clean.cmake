@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exec_engine_test.dir/exec_engine_test.cc.o"
+  "CMakeFiles/exec_engine_test.dir/exec_engine_test.cc.o.d"
+  "exec_engine_test"
+  "exec_engine_test.pdb"
+  "exec_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exec_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exec_example1_test.dir/exec_example1_test.cc.o"
+  "CMakeFiles/exec_example1_test.dir/exec_example1_test.cc.o.d"
+  "exec_example1_test"
+  "exec_example1_test.pdb"
+  "exec_example1_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exec_example1_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exec_invariants_test.dir/exec_invariants_test.cc.o"
+  "CMakeFiles/exec_invariants_test.dir/exec_invariants_test.cc.o.d"
+  "exec_invariants_test"
+  "exec_invariants_test.pdb"
+  "exec_invariants_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exec_invariants_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exec_row_window_test.dir/exec_row_window_test.cc.o"
+  "CMakeFiles/exec_row_window_test.dir/exec_row_window_test.cc.o.d"
+  "exec_row_window_test"
+  "exec_row_window_test.pdb"
+  "exec_row_window_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exec_row_window_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

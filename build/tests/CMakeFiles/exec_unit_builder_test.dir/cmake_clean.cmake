@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exec_unit_builder_test.dir/exec_unit_builder_test.cc.o"
+  "CMakeFiles/exec_unit_builder_test.dir/exec_unit_builder_test.cc.o.d"
+  "exec_unit_builder_test"
+  "exec_unit_builder_test.pdb"
+  "exec_unit_builder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exec_unit_builder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exec_window_join_test.dir/exec_window_join_test.cc.o"
+  "CMakeFiles/exec_window_join_test.dir/exec_window_join_test.cc.o.d"
+  "exec_window_join_test"
+  "exec_window_join_test.pdb"
+  "exec_window_join_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exec_window_join_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

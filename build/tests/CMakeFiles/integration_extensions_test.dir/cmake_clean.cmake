@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_extensions_test.dir/integration_extensions_test.cc.o"
+  "CMakeFiles/integration_extensions_test.dir/integration_extensions_test.cc.o.d"
+  "integration_extensions_test"
+  "integration_extensions_test.pdb"
+  "integration_extensions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_extensions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

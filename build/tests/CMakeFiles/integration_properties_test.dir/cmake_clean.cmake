@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_properties_test.dir/integration_properties_test.cc.o"
+  "CMakeFiles/integration_properties_test.dir/integration_properties_test.cc.o.d"
+  "integration_properties_test"
+  "integration_properties_test.pdb"
+  "integration_properties_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_properties_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

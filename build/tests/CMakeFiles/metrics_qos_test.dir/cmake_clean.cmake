@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metrics_qos_test.dir/metrics_qos_test.cc.o"
+  "CMakeFiles/metrics_qos_test.dir/metrics_qos_test.cc.o.d"
+  "metrics_qos_test"
+  "metrics_qos_test.pdb"
+  "metrics_qos_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metrics_qos_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

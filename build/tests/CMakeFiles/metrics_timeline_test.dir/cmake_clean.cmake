@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metrics_timeline_test.dir/metrics_timeline_test.cc.o"
+  "CMakeFiles/metrics_timeline_test.dir/metrics_timeline_test.cc.o.d"
+  "metrics_timeline_test"
+  "metrics_timeline_test.pdb"
+  "metrics_timeline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metrics_timeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_builder_test.dir/query_builder_test.cc.o"
+  "CMakeFiles/query_builder_test.dir/query_builder_test.cc.o.d"
+  "query_builder_test"
+  "query_builder_test.pdb"
+  "query_builder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_builder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

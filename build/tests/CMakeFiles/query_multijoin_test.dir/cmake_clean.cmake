@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_multijoin_test.dir/query_multijoin_test.cc.o"
+  "CMakeFiles/query_multijoin_test.dir/query_multijoin_test.cc.o.d"
+  "query_multijoin_test"
+  "query_multijoin_test.pdb"
+  "query_multijoin_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_multijoin_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

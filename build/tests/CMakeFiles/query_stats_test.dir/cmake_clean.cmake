@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_stats_test.dir/query_stats_test.cc.o"
+  "CMakeFiles/query_stats_test.dir/query_stats_test.cc.o.d"
+  "query_stats_test"
+  "query_stats_test.pdb"
+  "query_stats_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/query_workload_test.cc" "tests/CMakeFiles/query_workload_test.dir/query_workload_test.cc.o" "gcc" "tests/CMakeFiles/query_workload_test.dir/query_workload_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/aqsios_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/aqsios_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/aqsios_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/aqsios_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/aqsios_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/aqsios_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/aqsios_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_workload_test.dir/query_workload_test.cc.o"
+  "CMakeFiles/query_workload_test.dir/query_workload_test.cc.o.d"
+  "query_workload_test"
+  "query_workload_test.pdb"
+  "query_workload_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_workload_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_extensions_test.dir/sched_extensions_test.cc.o"
+  "CMakeFiles/sched_extensions_test.dir/sched_extensions_test.cc.o.d"
+  "sched_extensions_test"
+  "sched_extensions_test.pdb"
+  "sched_extensions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_extensions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

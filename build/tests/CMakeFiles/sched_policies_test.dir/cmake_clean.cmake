@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_policies_test.dir/sched_policies_test.cc.o"
+  "CMakeFiles/sched_policies_test.dir/sched_policies_test.cc.o.d"
+  "sched_policies_test"
+  "sched_policies_test.pdb"
+  "sched_policies_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_policies_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

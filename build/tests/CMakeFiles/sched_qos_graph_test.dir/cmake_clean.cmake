@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_qos_graph_test.dir/sched_qos_graph_test.cc.o"
+  "CMakeFiles/sched_qos_graph_test.dir/sched_qos_graph_test.cc.o.d"
+  "sched_qos_graph_test"
+  "sched_qos_graph_test.pdb"
+  "sched_qos_graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_qos_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

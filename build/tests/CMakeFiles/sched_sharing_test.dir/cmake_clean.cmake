@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_sharing_test.dir/sched_sharing_test.cc.o"
+  "CMakeFiles/sched_sharing_test.dir/sched_sharing_test.cc.o.d"
+  "sched_sharing_test"
+  "sched_sharing_test.pdb"
+  "sched_sharing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_sharing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

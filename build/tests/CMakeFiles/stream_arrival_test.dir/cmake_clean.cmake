@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stream_arrival_test.dir/stream_arrival_test.cc.o"
+  "CMakeFiles/stream_arrival_test.dir/stream_arrival_test.cc.o.d"
+  "stream_arrival_test"
+  "stream_arrival_test.pdb"
+  "stream_arrival_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stream_arrival_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

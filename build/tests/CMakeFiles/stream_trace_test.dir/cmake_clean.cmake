@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stream_trace_test.dir/stream_trace_test.cc.o"
+  "CMakeFiles/stream_trace_test.dir/stream_trace_test.cc.o.d"
+  "stream_trace_test"
+  "stream_trace_test.pdb"
+  "stream_trace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stream_trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
