@@ -26,8 +26,7 @@ int Main(int argc, const char* const* argv) {
       "Extension: l2 norm of slowdowns, three-stream window-join queries",
       "Figure 12's ordering holds recursively: BSD best, RR/FCFS far behind");
 
-  core::SweepConfig sweep;
-  sweep.workload = bench::TestbedConfig(args);
+  core::SweepConfig sweep = bench::TestbedSweep(args);
   sweep.workload.multi_stream = true;
   sweep.workload.join_streams = streams;
   sweep.workload.arrival_pattern = query::ArrivalPattern::kPoisson;
@@ -35,7 +34,6 @@ int Main(int argc, const char* const* argv) {
   sweep.workload.window_min_seconds = 0.2;
   sweep.workload.window_max_seconds = 0.8;
   sweep.workload.num_join_keys = 1;
-  sweep.utilizations = args.UtilizationList();
   sweep.policies = {sched::PolicyConfig::Of(sched::PolicyKind::kRoundRobin),
                     sched::PolicyConfig::Of(sched::PolicyKind::kFcfs),
                     sched::PolicyConfig::Of(sched::PolicyKind::kHnr),

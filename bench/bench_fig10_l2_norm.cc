@@ -16,9 +16,7 @@ int Main(int argc, const char* const* argv) {
   bench::PrintHeader("Figure 10: l2 norm of slowdowns vs utilization",
                      "BSD best: up to ~57% below LSF and ~24% below HNR");
 
-  core::SweepConfig sweep;
-  sweep.workload = bench::TestbedConfig(args);
-  sweep.utilizations = args.UtilizationList();
+  core::SweepConfig sweep = bench::TestbedSweep(args);
   sweep.policies = {sched::PolicyConfig::Of(sched::PolicyKind::kRoundRobin),
                     sched::PolicyConfig::Of(sched::PolicyKind::kSrpt),
                     sched::PolicyConfig::Of(sched::PolicyKind::kHr),

@@ -20,8 +20,7 @@ int Main(int argc, const char* const* argv) {
       "Figure 12: l2 norm of slowdowns, two-stream window-join queries",
       "BSD best (~14% below HNR; ~15x below RR/FCFS at 0.9)");
 
-  core::SweepConfig sweep;
-  sweep.workload = bench::TestbedConfig(args);
+  core::SweepConfig sweep = bench::TestbedSweep(args);
   sweep.workload.num_queries = std::min(args.queries, 30);
   sweep.workload.multi_stream = true;
   sweep.workload.arrival_pattern = query::ArrivalPattern::kPoisson;
@@ -29,7 +28,6 @@ int Main(int argc, const char* const* argv) {
   sweep.workload.window_min_seconds = 0.5;
   sweep.workload.window_max_seconds = 2.0;
   sweep.workload.num_join_keys = 1;
-  sweep.utilizations = args.UtilizationList();
   sweep.policies = {sched::PolicyConfig::Of(sched::PolicyKind::kRoundRobin),
                     sched::PolicyConfig::Of(sched::PolicyKind::kFcfs),
                     sched::PolicyConfig::Of(sched::PolicyKind::kHnr),

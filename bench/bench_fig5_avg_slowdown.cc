@@ -18,9 +18,7 @@ int Main(int argc, const char* const* argv) {
       "Figure 5: average slowdown vs utilization",
       "HNR lowest; ~75% below RR, ~50% below SRPT, ~20% below HR at 0.95");
 
-  core::SweepConfig sweep;
-  sweep.workload = bench::TestbedConfig(args);
-  sweep.utilizations = args.UtilizationList();
+  core::SweepConfig sweep = bench::TestbedSweep(args);
   sweep.policies = {sched::PolicyConfig::Of(sched::PolicyKind::kRoundRobin),
                     sched::PolicyConfig::Of(sched::PolicyKind::kFcfs),
                     sched::PolicyConfig::Of(sched::PolicyKind::kSrpt),

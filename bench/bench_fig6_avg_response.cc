@@ -17,9 +17,7 @@ int Main(int argc, const char* const* argv) {
   bench::PrintHeader("Figure 6: average response time (ms) vs utilization",
                      "HR best; HNR within a few percent of HR");
 
-  core::SweepConfig sweep;
-  sweep.workload = bench::TestbedConfig(args);
-  sweep.utilizations = args.UtilizationList();
+  core::SweepConfig sweep = bench::TestbedSweep(args);
   sweep.policies = {sched::PolicyConfig::Of(sched::PolicyKind::kRoundRobin),
                     sched::PolicyConfig::Of(sched::PolicyKind::kFcfs),
                     sched::PolicyConfig::Of(sched::PolicyKind::kSrpt),

@@ -17,9 +17,7 @@ int Main(int argc, const char* const* argv) {
   bench::PrintHeader("Figure 7: maximum slowdown vs utilization",
                      "LSF far below HNR (~80% lower at high load)");
 
-  core::SweepConfig sweep;
-  sweep.workload = bench::TestbedConfig(args);
-  sweep.utilizations = args.UtilizationList();
+  core::SweepConfig sweep = bench::TestbedSweep(args);
   sweep.policies = {sched::PolicyConfig::Of(sched::PolicyKind::kRoundRobin),
                     sched::PolicyConfig::Of(sched::PolicyKind::kSrpt),
                     sched::PolicyConfig::Of(sched::PolicyKind::kHr),

@@ -18,13 +18,12 @@ int Main(int argc, const char* const* argv) {
       "Figures 8-9: max and avg slowdown for HNR / LSF / BSD",
       "BSD max ~44% below HNR; BSD avg ~80% below LSF (at 0.95)");
 
-  core::SweepConfig sweep;
-  sweep.workload = bench::TestbedConfig(args);
-  sweep.utilizations = args.UtilizationList();
+  core::SweepConfig sweep = bench::TestbedSweep(args);
   sweep.policies = {sched::PolicyConfig::Of(sched::PolicyKind::kHnr),
                     sched::PolicyConfig::Of(sched::PolicyKind::kLsf),
                     sched::PolicyConfig::Of(sched::PolicyKind::kBsd)};
   const auto cells = core::RunSweep(sweep);
+  bench::MaybePrintJson(args, cells);
   std::cout << "Figure 8 (maximum slowdown):\n"
             << core::SweepTable(cells, core::Metric::kMaxSlowdown).ToAscii()
             << "\nFigure 9 (average slowdown):\n"

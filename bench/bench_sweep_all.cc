@@ -1,0 +1,248 @@
+// Unified experiment driver: runs the Figure 5–14 sweep grids in one binary
+// and writes a machine-readable report (default: BENCH_sweep.json in the
+// current directory — run from the repo root to refresh the tracked perf
+// trajectory).
+//
+// Schema (aqsios-bench-sweep/1):
+//   {
+//     "schema": "aqsios-bench-sweep/1",
+//     "queries": N, "arrivals": N, "seed": N, "threads": N,
+//     "utilizations": [0.5, ...],
+//     "total_wall_ms": W, "max_rss_kb": R,
+//     "figures": [
+//       { "figure": "fig5", "metric": "avg_slowdown", "wall_ms": W,
+//         "cells": [ { "utilization": U, "policy": "HNR", "wall_ms": W,
+//                      "max_rss_kb": R, "qos": { ... } }, ... ] },
+//       ...
+//     ]
+//   }
+// Per-cell wall_ms is the wall-clock of that cell's simulation; figure and
+// total wall_ms are end-to-end (so with --threads > 1 the per-cell sum
+// exceeds the elapsed total). Simulation results are independent of
+// --threads; only the timing fields vary run to run.
+
+#include <chrono>
+#include <fstream>
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/thread_pool.h"
+
+namespace aqsios {
+namespace {
+
+struct FigureGrid {
+  std::string figure;
+  /// The primary metric the paper's figure plots (every cell still carries
+  /// the full QoS snapshot).
+  core::Metric metric;
+  core::SweepConfig sweep;
+};
+
+sched::PolicyConfig Clustered(sched::ClusteringKind clustering, int clusters,
+                              bool fagin, bool clustered_processing) {
+  sched::PolicyConfig config =
+      sched::PolicyConfig::Of(sched::PolicyKind::kBsdClustered);
+  config.clustered.clustering = clustering;
+  config.clustered.num_clusters = clusters;
+  config.clustered.use_fagin = fagin;
+  config.clustered.clustered_processing = clustered_processing;
+  return config;
+}
+
+std::vector<FigureGrid> BuildGrids(const bench::BenchArgs& args) {
+  using sched::PolicyConfig;
+  using sched::PolicyKind;
+  std::vector<FigureGrid> grids;
+  // Per-class breakdowns are bulky and only Figure 11 plots them; it
+  // re-enables tracking below.
+  const auto slim = [](core::SweepConfig sweep) {
+    sweep.options.qos.track_per_class = false;
+    return sweep;
+  };
+
+  {  // Figure 5: average slowdown across the baseline policy ladder.
+    FigureGrid grid{"fig5", core::Metric::kAvgSlowdown,
+                    slim(bench::TestbedSweep(args))};
+    grid.sweep.policies = {PolicyConfig::Of(PolicyKind::kRoundRobin),
+                           PolicyConfig::Of(PolicyKind::kFcfs),
+                           PolicyConfig::Of(PolicyKind::kSrpt),
+                           PolicyConfig::Of(PolicyKind::kHr),
+                           PolicyConfig::Of(PolicyKind::kHnr)};
+    grids.push_back(std::move(grid));
+  }
+  {  // Figure 6: average response time, same ladder.
+    FigureGrid grid{"fig6", core::Metric::kAvgResponseMs,
+                    slim(bench::TestbedSweep(args))};
+    grid.sweep.policies = {PolicyConfig::Of(PolicyKind::kRoundRobin),
+                           PolicyConfig::Of(PolicyKind::kFcfs),
+                           PolicyConfig::Of(PolicyKind::kSrpt),
+                           PolicyConfig::Of(PolicyKind::kHr),
+                           PolicyConfig::Of(PolicyKind::kHnr)};
+    grids.push_back(std::move(grid));
+  }
+  {  // Figure 7: maximum slowdown (starvation view).
+    FigureGrid grid{"fig7", core::Metric::kMaxSlowdown,
+                    slim(bench::TestbedSweep(args))};
+    grid.sweep.policies = {PolicyConfig::Of(PolicyKind::kRoundRobin),
+                           PolicyConfig::Of(PolicyKind::kSrpt),
+                           PolicyConfig::Of(PolicyKind::kHr),
+                           PolicyConfig::Of(PolicyKind::kHnr),
+                           PolicyConfig::Of(PolicyKind::kLsf)};
+    grids.push_back(std::move(grid));
+  }
+  {  // Figures 8–9: BSD's worst-case/average trade-off.
+    FigureGrid grid{"fig8_9", core::Metric::kMaxSlowdown,
+                    slim(bench::TestbedSweep(args))};
+    grid.sweep.policies = {PolicyConfig::Of(PolicyKind::kHnr),
+                           PolicyConfig::Of(PolicyKind::kLsf),
+                           PolicyConfig::Of(PolicyKind::kBsd)};
+    grids.push_back(std::move(grid));
+  }
+  {  // Figure 10: l2 norm of slowdowns.
+    FigureGrid grid{"fig10", core::Metric::kL2Slowdown,
+                    slim(bench::TestbedSweep(args))};
+    grid.sweep.policies = {PolicyConfig::Of(PolicyKind::kRoundRobin),
+                           PolicyConfig::Of(PolicyKind::kSrpt),
+                           PolicyConfig::Of(PolicyKind::kHr),
+                           PolicyConfig::Of(PolicyKind::kHnr),
+                           PolicyConfig::Of(PolicyKind::kLsf),
+                           PolicyConfig::Of(PolicyKind::kBsd)};
+    grids.push_back(std::move(grid));
+  }
+  {  // Figure 11: per-class breakdown (per_class_avg_slowdown in each cell).
+    FigureGrid grid{"fig11", core::Metric::kAvgSlowdown,
+                    bench::TestbedSweep(args)};
+    grid.sweep.workload.num_queries = std::max(args.queries, 120);
+    grid.sweep.policies = {PolicyConfig::Of(PolicyKind::kHr),
+                           PolicyConfig::Of(PolicyKind::kHnr),
+                           PolicyConfig::Of(PolicyKind::kBsd)};
+    grids.push_back(std::move(grid));
+  }
+  {  // Figure 12: two-stream window-join workload.
+    FigureGrid grid{"fig12", core::Metric::kL2Slowdown,
+                    slim(bench::TestbedSweep(args))};
+    grid.sweep.workload.num_queries = std::min(args.queries, 30);
+    grid.sweep.workload.multi_stream = true;
+    grid.sweep.workload.arrival_pattern = query::ArrivalPattern::kPoisson;
+    grid.sweep.workload.poisson_rate = 50.0;
+    grid.sweep.workload.window_min_seconds = 0.5;
+    grid.sweep.workload.window_max_seconds = 2.0;
+    grid.sweep.workload.num_join_keys = 1;
+    grid.sweep.policies = {PolicyConfig::Of(PolicyKind::kRoundRobin),
+                           PolicyConfig::Of(PolicyKind::kFcfs),
+                           PolicyConfig::Of(PolicyKind::kHnr),
+                           PolicyConfig::Of(PolicyKind::kBsd)};
+    grids.push_back(std::move(grid));
+  }
+  {  // Figure 13: clustering accuracy/overhead trade-off, overhead charged.
+    FigureGrid grid{"fig13", core::Metric::kL2Slowdown,
+                    slim(bench::TestbedSweep(args))};
+    grid.sweep.options.charge_scheduling_overhead = true;
+    grid.sweep.policies = {
+        PolicyConfig::Of(PolicyKind::kHnr),
+        PolicyConfig::Of(PolicyKind::kBsd),
+        Clustered(sched::ClusteringKind::kLogarithmic, 12, true, true),
+        Clustered(sched::ClusteringKind::kUniform, 12, true, true)};
+    grids.push_back(std::move(grid));
+  }
+  {  // Figure 14: incremental implementation gains, overhead charged.
+    FigureGrid grid{"fig14", core::Metric::kL2Slowdown,
+                    slim(bench::TestbedSweep(args))};
+    grid.sweep.options.charge_scheduling_overhead = true;
+    grid.sweep.policies = {
+        PolicyConfig::Of(PolicyKind::kBsd),
+        Clustered(sched::ClusteringKind::kLogarithmic, 12, false, false),
+        Clustered(sched::ClusteringKind::kLogarithmic, 12, true, false),
+        Clustered(sched::ClusteringKind::kLogarithmic, 12, true, true)};
+    grids.push_back(std::move(grid));
+  }
+  return grids;
+}
+
+int Main(int argc, const char* const* argv) {
+  FlagSet flags("bench_sweep_all");
+  std::string out = "BENCH_sweep.json";
+  flags.AddString("out", &out,
+                  "output path for the JSON report ('-' = stdout only)");
+  const bench::BenchArgs args =
+      bench::ParseBenchArgs("sweep_all", argc, argv, &flags);
+
+  std::vector<FigureGrid> grids = BuildGrids(args);
+
+  core::JsonWriter json;
+  json.BeginObject();
+  json.Key("schema");
+  json.String("aqsios-bench-sweep/1");
+  json.Key("queries");
+  json.Number(static_cast<int64_t>(args.queries));
+  json.Key("arrivals");
+  json.Number(args.arrivals);
+  json.Key("seed");
+  json.Number(static_cast<int64_t>(args.seed));
+  json.Key("threads");
+  json.Number(static_cast<int64_t>(
+      args.threads > 0 ? args.threads : ThreadPool::DefaultThreads()));
+  json.Key("utilizations");
+  json.BeginArray();
+  for (double u : args.UtilizationList()) json.Number(u);
+  json.EndArray();
+
+  const auto sweep_start = std::chrono::steady_clock::now();
+  double total_wall_ms = 0.0;
+  int64_t max_rss_kb = 0;
+  json.Key("figures");
+  json.BeginArray();
+  for (FigureGrid& grid : grids) {
+    std::cout << "running " << grid.figure << " ("
+              << grid.sweep.utilizations.size() << " x "
+              << grid.sweep.policies.size() << " cells)..." << std::flush;
+    const auto start = std::chrono::steady_clock::now();
+    const std::vector<core::SweepCell> cells = core::RunSweep(grid.sweep);
+    const double wall_ms = std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - start)
+                               .count();
+    std::cout << " " << wall_ms << " ms\n";
+    for (const core::SweepCell& cell : cells) {
+      max_rss_kb = std::max(max_rss_kb, cell.max_rss_kb);
+    }
+    json.BeginObject();
+    json.Key("figure");
+    json.String(grid.figure);
+    json.Key("metric");
+    json.String(core::MetricName(grid.metric));
+    json.Key("wall_ms");
+    json.Number(wall_ms);
+    json.Key("cells");
+    core::WriteSweepCells(json, cells);
+    json.EndObject();
+  }
+  json.EndArray();
+  total_wall_ms = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - sweep_start)
+                      .count();
+  json.Key("total_wall_ms");
+  json.Number(total_wall_ms);
+  json.Key("max_rss_kb");
+  json.Number(max_rss_kb);
+  json.EndObject();
+
+  if (out == "-") {
+    std::cout << "JSON: " << json.str() << "\n";
+  } else {
+    std::ofstream file(out);
+    if (!file) {
+      std::cerr << "cannot open " << out << " for writing\n";
+      return 1;
+    }
+    file << json.str() << "\n";
+    std::cout << "wrote " << out << " (" << json.str().size() << " bytes, "
+              << total_wall_ms << " ms total)\n";
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace aqsios
+
+int main(int argc, char** argv) { return aqsios::Main(argc, argv); }

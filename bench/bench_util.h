@@ -28,6 +28,9 @@ struct BenchArgs {
   std::string utilizations = "0.5,0.7,0.8,0.9,0.95";
   /// Also emit the sweep as JSON (machine-readable, for plotting).
   bool json = false;
+  /// Worker threads for RunSweep cells (0 = one per hardware thread,
+  /// 1 = serial). Any value produces bit-identical results.
+  int threads = 0;
   /// Replay arrivals from this aqsios-trace file (e.g. a converted
   /// LBL-PKT-4) instead of the synthetic On/Off process.
   std::string trace;
@@ -66,6 +69,9 @@ inline BenchArgs ParseBenchArgs(const std::string& name, int argc,
   flags->AddString("utils", &args.utilizations,
                    "comma-separated utilization sweep");
   flags->AddBool("json", &args.json, "also print the sweep as JSON");
+  flags->AddInt("threads", &args.threads,
+                "sweep worker threads (0 = all hardware threads, 1 = serial; "
+                "results are identical for any value)");
   flags->AddString("trace", &args.trace,
                    "replay arrivals from this trace file (e.g. converted "
                    "LBL-PKT-4) instead of synthetic On/Off traffic");
@@ -90,6 +96,16 @@ inline query::WorkloadConfig TestbedConfig(const BenchArgs& args) {
     config.trace_path = args.trace;
   }
   return config;
+}
+
+/// A SweepConfig pre-filled with the standard knobs (testbed workload,
+/// utilization list, worker threads); callers add policies and options.
+inline core::SweepConfig TestbedSweep(const BenchArgs& args) {
+  core::SweepConfig sweep;
+  sweep.workload = TestbedConfig(args);
+  sweep.utilizations = args.UtilizationList();
+  sweep.threads = args.threads;
+  return sweep;
 }
 
 inline void PrintHeader(const std::string& title, const std::string& claim) {

@@ -3,17 +3,25 @@
 
 The sweep benches emit a machine-readable line when run with --json:
 
-    JSON: [{"utilization":0.5,"policy":"RR","qos":{...}}, ...]
+    JSON: [{"utilization":0.5,"policy":"RR","wall_ms":12.3,"qos":{...}}, ...]
 
-This script extracts that array (from a file or stdin; raw JSON arrays work
-too), pivots one QoS metric into a utilization x policy grid, and writes
-CSV — one row per utilization, one column per policy — ready for any
+and the unified driver (bench_sweep_all) writes a multi-figure report
+(schema aqsios-bench-sweep/1) with the same cell arrays nested under
+"figures". This script extracts one cell array (from a file or stdin; raw
+JSON works too), pivots one metric into a utilization x policy grid, and
+writes CSV — one row per utilization, one column per policy — ready for any
 plotting tool.
+
+The metric is looked up in the cell's "qos" object first, then in the cell
+itself (timing fields such as wall_ms / max_rss_kb), then in its "counters"
+object when present.
 
 Usage:
     build/bench/bench_fig5_avg_slowdown --json | \
         scripts/json_to_csv.py --metric avg_slowdown > fig5.csv
     scripts/json_to_csv.py --metric l2_slowdown --in sweep.json
+    scripts/json_to_csv.py --metric wall_ms --figure fig8_9 \
+        --in BENCH_sweep.json
 Standard library only.
 """
 
@@ -22,17 +30,49 @@ import json
 import sys
 
 
-def extract_cells(text):
-    """Returns the first sweep-cell array found in `text`."""
+def extract_cells(text, figure=None):
+    """Returns the requested sweep-cell array found in `text`.
+
+    Accepts three shapes: bench output with a "JSON: [...]" line, a raw cell
+    array, or a bench_sweep_all report (object with a "figures" array, in
+    which case `figure` selects the grid — required when there are several).
+    """
+    data = None
     for line in text.splitlines():
         line = line.strip()
         if line.startswith("JSON: "):
-            return json.loads(line[len("JSON: "):])
-    # Fall back to treating the whole input as JSON.
-    data = json.loads(text)
+            data = json.loads(line[len("JSON: "):])
+            break
+    if data is None:
+        data = json.loads(text)
+    if isinstance(data, dict) and "figures" in data:
+        names = [f.get("figure") for f in data["figures"]]
+        if figure is None:
+            if len(names) != 1:
+                raise ValueError(
+                    f"--figure required to pick one of: {', '.join(names)}")
+            return data["figures"][0]["cells"]
+        for entry in data["figures"]:
+            if entry.get("figure") == figure:
+                return entry["cells"]
+        raise KeyError(
+            f"figure '{figure}' not found; available: {', '.join(names)}")
     if not isinstance(data, list):
         raise ValueError("expected a JSON array of sweep cells")
+    if figure is not None:
+        raise ValueError("--figure only applies to bench_sweep_all reports")
     return data
+
+
+def cell_metric(cell, metric):
+    """Looks up `metric` in qos, then the cell itself, then counters."""
+    for scope in (cell.get("qos", {}), cell, cell.get("counters", {})):
+        value = scope.get(metric)
+        if value is not None and not isinstance(value, (dict, list)):
+            return value
+    available = sorted(
+        set(cell.get("qos", {})) | set(cell) | set(cell.get("counters", {})))
+    raise KeyError(f"metric '{metric}' not found; available: {available}")
 
 
 def pivot(cells, metric):
@@ -43,26 +83,27 @@ def pivot(cells, metric):
         policy = cell["policy"]
         if policy not in policies:
             policies.append(policy)
-        value = cell["qos"].get(metric)
-        if value is None:
-            raise KeyError(
-                f"metric '{metric}' not in qos; available: "
-                f"{sorted(cell['qos'])}")
-        grid.setdefault(cell["utilization"], {})[policy] = value
+        grid.setdefault(cell["utilization"], {})[policy] = cell_metric(
+            cell, metric)
     return policies, grid
 
 
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--metric", default="avg_slowdown",
-                        help="qos field to pivot (default: avg_slowdown)")
+                        help="field to pivot: a qos metric, a per-cell "
+                             "timing field (wall_ms, max_rss_kb), or a "
+                             "counter (default: avg_slowdown)")
+    parser.add_argument("--figure", default=None,
+                        help="grid to extract from a bench_sweep_all report "
+                             "(e.g. fig5, fig8_9)")
     parser.add_argument("--in", dest="input", default="-",
                         help="input file ('-' = stdin)")
     args = parser.parse_args()
 
     text = (sys.stdin.read() if args.input == "-"
             else open(args.input, encoding="utf-8").read())
-    cells = extract_cells(text)
+    cells = extract_cells(text, args.figure)
     policies, grid = pivot(cells, args.metric)
 
     print(",".join(["utilization"] + policies))

@@ -1,0 +1,57 @@
+#include "common/thread_pool.h"
+
+#include "common/check.h"
+
+namespace aqsios {
+
+ThreadPool::ThreadPool(int num_threads) {
+  AQSIOS_CHECK_GE(num_threads, 1) << "thread pool needs at least one worker";
+  workers_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+std::future<void> ThreadPool::Submit(std::function<void()> task) {
+  std::packaged_task<void()> packaged(std::move(task));
+  std::future<void> result = packaged.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    AQSIOS_CHECK(!shutting_down_) << "Submit after shutdown began";
+    tasks_.push_back(std::move(packaged));
+  }
+  work_available_.notify_one();
+  return result;
+}
+
+int ThreadPool::DefaultThreads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(
+          lock, [this] { return shutting_down_ || !tasks_.empty(); });
+      // Drain remaining tasks even when shutting down; exit only once empty.
+      if (tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    task();  // exceptions land in the task's future
+  }
+}
+
+}  // namespace aqsios

@@ -1,0 +1,62 @@
+// A fixed-size thread pool with a single FIFO task queue (no work stealing —
+// tasks here are coarse simulation cells, so a shared queue is contention-free
+// in practice and keeps dispatch order deterministic).
+//
+//   ThreadPool pool(4);
+//   std::future<void> done = pool.Submit([] { HeavyWork(); });
+//   done.get();  // rethrows any exception HeavyWork threw
+//
+// Guarantees:
+//  * tasks start in submission order (completion order depends on runtimes);
+//  * exceptions escaping a task are captured in its future and rethrown by
+//    future::get();
+//  * the destructor drains all already-submitted tasks, then joins — no task
+//    is dropped on shutdown.
+
+#ifndef AQSIOS_COMMON_THREAD_POOL_H_
+#define AQSIOS_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace aqsios {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (must be >= 1).
+  explicit ThreadPool(int num_threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Drains pending tasks and joins all workers.
+  ~ThreadPool();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues `task`; the returned future becomes ready when it finishes and
+  /// rethrows anything it threw. Must not be called during destruction.
+  std::future<void> Submit(std::function<void()> task);
+
+  /// A sensible default worker count for CPU-bound work: the hardware
+  /// concurrency, or 1 when it is unknown.
+  static int DefaultThreads();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::deque<std::packaged_task<void()>> tasks_;
+  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace aqsios
+
+#endif  // AQSIOS_COMMON_THREAD_POOL_H_

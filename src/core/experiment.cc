@@ -1,8 +1,16 @@
 #include "core/experiment.h"
 
 #include <algorithm>
+#include <chrono>
+#include <future>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 
 namespace aqsios::core {
 
@@ -51,23 +59,84 @@ double GetMetric(const RunResult& result, Metric metric) {
   return 0.0;
 }
 
+namespace {
+
+/// Process-wide peak resident set size in KiB (0 where unsupported).
+int64_t CurrentPeakRssKb() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return usage.ru_maxrss / 1024;  // ru_maxrss is bytes on macOS
+#else
+  return usage.ru_maxrss;  // KiB on Linux
+#endif
+#else
+  return 0;
+#endif
+}
+
+}  // namespace
+
 std::vector<SweepCell> RunSweep(const SweepConfig& config) {
   AQSIOS_CHECK(!config.utilizations.empty());
   AQSIOS_CHECK(!config.policies.empty());
-  std::vector<SweepCell> cells;
-  cells.reserve(config.utilizations.size() * config.policies.size());
-  for (double utilization : config.utilizations) {
+  const size_t num_utils = config.utilizations.size();
+  const size_t num_policies = config.policies.size();
+  std::vector<SweepCell> cells(num_utils * num_policies);
+
+  // Each cell is an independent deterministic simulation writing only to its
+  // own grid slot, so any dispatch order yields bit-identical RunResults;
+  // the serial path below and the pool differ only in wall-clock.
+  std::vector<query::Workload> workloads(num_utils);
+  const auto generate_workload = [&](size_t u) {
     query::WorkloadConfig workload_config = config.workload;
-    workload_config.utilization = utilization;
-    const query::Workload workload = query::GenerateWorkload(workload_config);
-    for (const sched::PolicyConfig& policy : config.policies) {
-      SweepCell cell;
-      cell.utilization = utilization;
-      cell.result = Simulate(workload, policy, config.options);
-      cell.policy = cell.result.policy_name;
-      cells.push_back(std::move(cell));
+    workload_config.utilization = config.utilizations[u];
+    workloads[u] = query::GenerateWorkload(workload_config);
+  };
+  const auto run_cell = [&](size_t u, size_t p) {
+    SweepCell& cell = cells[u * num_policies + p];
+    cell.utilization = config.utilizations[u];
+    const auto start = std::chrono::steady_clock::now();
+    cell.result = Simulate(workloads[u], config.policies[p], config.options);
+    cell.wall_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+    cell.policy = cell.result.policy_name;
+    cell.max_rss_kb = CurrentPeakRssKb();
+  };
+
+  int threads =
+      config.threads > 0 ? config.threads : ThreadPool::DefaultThreads();
+  threads = std::min(threads, static_cast<int>(cells.size()));
+
+  if (threads <= 1) {
+    for (size_t u = 0; u < num_utils; ++u) {
+      generate_workload(u);
+      for (size_t p = 0; p < num_policies; ++p) run_cell(u, p);
+    }
+    return cells;
+  }
+
+  ThreadPool pool(threads);
+  std::vector<std::future<void>> pending;
+  // Phase 1: per-utilization workloads, shared by that row's policy runs.
+  pending.reserve(num_utils);
+  for (size_t u = 0; u < num_utils; ++u) {
+    pending.push_back(pool.Submit([&generate_workload, u] {
+      generate_workload(u);
+    }));
+  }
+  for (std::future<void>& f : pending) f.get();
+  // Phase 2: one task per grid cell.
+  pending.clear();
+  pending.reserve(cells.size());
+  for (size_t u = 0; u < num_utils; ++u) {
+    for (size_t p = 0; p < num_policies; ++p) {
+      pending.push_back(pool.Submit([&run_cell, u, p] { run_cell(u, p); }));
     }
   }
+  for (std::future<void>& f : pending) f.get();
   return cells;
 }
 

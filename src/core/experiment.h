@@ -39,16 +39,28 @@ struct SweepConfig {
   std::vector<double> utilizations;
   std::vector<sched::PolicyConfig> policies;
   SimulationOptions options;
+  /// Worker threads for the sweep: each (utilization, policy) cell is an
+  /// independent single-threaded simulation, so cells run concurrently.
+  /// 1 = serial; 0 = one per hardware thread. Results are bit-for-bit
+  /// identical for any thread count (only wall_ms / max_rss_kb vary).
+  int threads = 0;
 };
 
 struct SweepCell {
   double utilization = 0.0;
   std::string policy;
   RunResult result;
+  /// Wall-clock spent simulating this cell, in (real) milliseconds.
+  double wall_ms = 0.0;
+  /// Process-wide peak RSS (KiB) observed when this cell finished. Monotone
+  /// over a run; the grid maximum is the sweep's memory high-water mark.
+  int64_t max_rss_kb = 0;
 };
 
-/// Runs every (utilization, policy) combination. Workload generation is
-/// shared across policies of the same utilization.
+/// Runs every (utilization, policy) combination, dispatching cells across
+/// `config.threads` workers. Workload generation is shared across policies
+/// of the same utilization, and cells are returned in grid order
+/// (utilizations outer, policies inner) regardless of thread count.
 std::vector<SweepCell> RunSweep(const SweepConfig& config);
 
 /// Renders one metric as a table: one row per utilization, one column per

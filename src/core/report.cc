@@ -207,8 +207,7 @@ std::string RunResultToJson(const RunResult& result) {
   return json.str();
 }
 
-std::string SweepToJson(const std::vector<SweepCell>& cells) {
-  JsonWriter json;
+void WriteSweepCells(JsonWriter& json, const std::vector<SweepCell>& cells) {
   json.BeginArray();
   for (const SweepCell& cell : cells) {
     json.BeginObject();
@@ -216,11 +215,20 @@ std::string SweepToJson(const std::vector<SweepCell>& cells) {
     json.Number(cell.utilization);
     json.Key("policy");
     json.String(cell.policy);
+    json.Key("wall_ms");
+    json.Number(cell.wall_ms);
+    json.Key("max_rss_kb");
+    json.Number(cell.max_rss_kb);
     json.Key("qos");
     WriteQos(json, cell.result.qos);
     json.EndObject();
   }
   json.EndArray();
+}
+
+std::string SweepToJson(const std::vector<SweepCell>& cells) {
+  JsonWriter json;
+  WriteSweepCells(json, cells);
   return json.str();
 }
 

@@ -54,7 +54,13 @@ class JsonWriter {
 /// Serializes one run: policy, QoS metrics, and execution counters.
 std::string RunResultToJson(const RunResult& result);
 
-/// Serializes a sweep grid: an array of {utilization, policy, qos...} cells.
+/// Writes a sweep grid into an in-progress `json` document: an array of
+/// {utilization, policy, wall_ms, max_rss_kb, qos...} cells. Exposed so
+/// composite reports (e.g. the unified bench_sweep_all driver) can embed
+/// grids inside a larger object.
+void WriteSweepCells(JsonWriter& json, const std::vector<SweepCell>& cells);
+
+/// Serializes a sweep grid as a standalone JSON array (see WriteSweepCells).
 std::string SweepToJson(const std::vector<SweepCell>& cells);
 
 }  // namespace aqsios::core

@@ -20,6 +20,7 @@ void FcfsScheduler::OnDequeue(int /*unit*/) {}
 
 bool FcfsScheduler::PickNext(SimTime /*now*/, SchedulingCost* /*cost*/,
                              std::vector<int>* out) {
+  // O(1) pop, no priority computations or comparisons: charges zero.
   if (fifo_.empty()) return false;
   out->push_back(fifo_.front());
   fifo_.pop_front();
@@ -35,6 +36,8 @@ void RoundRobinScheduler::Attach(const UnitTable* units) {
 
 bool RoundRobinScheduler::PickNext(SimTime /*now*/, SchedulingCost* /*cost*/,
                                    std::vector<int>* out) {
+  // The cursor scan tests has_pending() but computes no priorities, so RR
+  // charges zero (the paper treats RR's decision overhead as negligible).
   const int n = static_cast<int>(units_->size());
   if (n == 0) return false;
   for (int step = 0; step < n; ++step) {
@@ -126,6 +129,8 @@ void StaticPriorityScheduler::OnDequeue(int unit) {
 bool StaticPriorityScheduler::PickNext(SimTime /*now*/,
                                        SchedulingCost* /*cost*/,
                                        std::vector<int>* out) {
+  // Priorities are static ranks maintained on enqueue/dequeue; the pick
+  // itself is O(1) (set front), so the decision charges zero (§6.1).
   if (ready_.empty()) return false;
   out->push_back(ready_.begin()->second);
   return true;
@@ -150,14 +155,19 @@ void LsfScheduler::OnDequeue(int unit) {
   }
 }
 
-bool LsfScheduler::PickNext(SimTime now, SchedulingCost* /*cost*/,
+bool LsfScheduler::PickNext(SimTime now, SchedulingCost* cost,
                             std::vector<int>* out) {
   if (ready_.empty()) return false;
   int best = -1;
   double best_priority = -1.0;
+  // Like BSD, the W/T priority is time-varying, so every pick recomputes and
+  // compares the priority of each ready unit; charge both so the Figure 13–14
+  // overhead comparisons see the same accounting across scan-based policies.
   for (int unit : ready_) {
     const Unit& u = (*units_)[static_cast<size_t>(unit)];
     const double priority = u.HeadWait(now) / u.stats.ideal_time;
+    ++cost->computations;
+    ++cost->comparisons;
     if (priority > best_priority) {
       best_priority = priority;
       best = unit;

@@ -1,0 +1,80 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace aqsios {
+namespace {
+
+TEST(ThreadPoolTest, RunsAllSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> pending;
+  for (int i = 0; i < 100; ++i) {
+    pending.push_back(pool.Submit([&counter] { ++counter; }));
+  }
+  for (auto& f : pending) f.get();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, SingleWorkerPreservesSubmissionOrder) {
+  ThreadPool pool(1);
+  std::vector<int> order;  // only the lone worker writes; no lock needed
+  std::vector<std::future<void>> pending;
+  for (int i = 0; i < 20; ++i) {
+    pending.push_back(pool.Submit([&order, i] { order.push_back(i); }));
+  }
+  for (auto& f : pending) f.get();
+  ASSERT_EQ(order.size(), 20u);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(ThreadPoolTest, FutureRethrowsTaskException) {
+  ThreadPool pool(2);
+  std::future<void> ok = pool.Submit([] {});
+  std::future<void> bad =
+      pool.Submit([] { throw std::runtime_error("cell exploded"); });
+  EXPECT_NO_THROW(ok.get());
+  try {
+    bad.get();
+    FAIL() << "expected the task's exception to propagate";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "cell exploded");
+  }
+}
+
+TEST(ThreadPoolTest, FailedTaskDoesNotPoisonThePool) {
+  ThreadPool pool(1);
+  std::future<void> bad = pool.Submit([] { throw std::logic_error("boom"); });
+  std::atomic<bool> ran{false};
+  std::future<void> after = pool.Submit([&ran] { ran = true; });
+  EXPECT_THROW(bad.get(), std::logic_error);
+  after.get();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPoolTest, DestructorDrainsPendingTasks) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&counter] {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        ++counter;
+      });
+    }
+    // No get(): the destructor must still run every queued task.
+  }
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, DefaultThreadsIsPositive) {
+  EXPECT_GE(ThreadPool::DefaultThreads(), 1);
+}
+
+}  // namespace
+}  // namespace aqsios

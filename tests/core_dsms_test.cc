@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "gtest_compat.h"
+
 namespace aqsios::core {
 namespace {
 
@@ -72,7 +74,7 @@ TEST(DsmsTest, SharingGroupValidatedAtRun) {
 }
 
 TEST(DsmsDeathTest, RejectsMisuse) {
-  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  AQSIOS_GTEST_SET_FLAG(death_test_style, "threadsafe");
   {
     Dsms dsms;
     EXPECT_DEATH(

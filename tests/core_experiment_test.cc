@@ -82,6 +82,62 @@ TEST(ExperimentTest, MemoryAndFairnessMetricExtraction) {
   EXPECT_NEAR(GetMetric(result, Metric::kJainFairness), 1.0, 1e-12);
 }
 
+// The tentpole guarantee of the parallel harness: dispatching cells across a
+// pool is bit-for-bit identical to the serial path — every Metric value and
+// every RunCounters field, for every cell of the grid.
+TEST(ExperimentTest, ParallelSweepMatchesSerialBitForBit) {
+  SweepConfig config = SmallSweep();
+  config.utilizations = {0.4, 0.7, 0.9};
+  config.policies = {sched::PolicyConfig::Of(sched::PolicyKind::kHnr),
+                     sched::PolicyConfig::Of(sched::PolicyKind::kBsd)};
+  config.options.qos.track_per_query = true;
+
+  config.threads = 1;
+  const auto serial = RunSweep(config);
+  config.threads = 4;
+  const auto parallel = RunSweep(config);
+
+  ASSERT_EQ(serial.size(), 6u);
+  ASSERT_EQ(parallel.size(), serial.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    SCOPED_TRACE("cell " + std::to_string(i));
+    const SweepCell& a = serial[i];
+    const SweepCell& b = parallel[i];
+    EXPECT_EQ(a.policy, b.policy);
+    EXPECT_EQ(a.utilization, b.utilization);
+    for (Metric metric :
+         {Metric::kAvgSlowdown, Metric::kAvgResponseMs, Metric::kMaxSlowdown,
+          Metric::kL2Slowdown, Metric::kRmsSlowdown, Metric::kJainFairness,
+          Metric::kPeakQueuedTuples, Metric::kAvgQueuedTuples}) {
+      SCOPED_TRACE(MetricName(metric));
+      EXPECT_EQ(GetMetric(a.result, metric), GetMetric(b.result, metric));
+    }
+    const exec::RunCounters& ca = a.result.counters;
+    const exec::RunCounters& cb = b.result.counters;
+    EXPECT_EQ(ca.scheduling_points, cb.scheduling_points);
+    EXPECT_EQ(ca.unit_executions, cb.unit_executions);
+    EXPECT_EQ(ca.operator_invocations, cb.operator_invocations);
+    EXPECT_EQ(ca.tuples_emitted, cb.tuples_emitted);
+    EXPECT_EQ(ca.tuples_filtered, cb.tuples_filtered);
+    EXPECT_EQ(ca.composites_generated, cb.composites_generated);
+    EXPECT_EQ(ca.overhead_operations, cb.overhead_operations);
+    EXPECT_EQ(ca.adaptation_ticks, cb.adaptation_ticks);
+    EXPECT_EQ(ca.busy_time, cb.busy_time);
+    EXPECT_EQ(ca.overhead_time, cb.overhead_time);
+    EXPECT_EQ(ca.end_time, cb.end_time);
+    EXPECT_EQ(ca.peak_queued_tuples, cb.peak_queued_tuples);
+    EXPECT_EQ(ca.avg_queued_tuples, cb.avg_queued_tuples);
+  }
+}
+
+TEST(ExperimentTest, SweepCellsCarryWallClock) {
+  SweepConfig config = SmallSweep();
+  config.threads = 2;
+  for (const SweepCell& cell : RunSweep(config)) {
+    EXPECT_GT(cell.wall_ms, 0.0);
+  }
+}
+
 TEST(ExperimentTest, HigherLoadHigherSlowdown) {
   SweepConfig config = SmallSweep();
   config.utilizations = {0.3, 0.95};

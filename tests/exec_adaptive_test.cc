@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "gtest_compat.h"
+
 #include "core/dsms.h"
 #include "exec/stats_monitor.h"
 #include "query/workload.h"
@@ -217,7 +219,7 @@ INSTANTIATE_TEST_SUITE_P(Seeds, AdaptiveEndToEndTest,
                          testing::Values(42u, 7u, 2024u));
 
 TEST(AdaptiveEngineDeathTest, RequiresQueryLevel) {
-  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  AQSIOS_GTEST_SET_FLAG(death_test_style, "threadsafe");
   query::WorkloadConfig config;
   config.num_queries = 4;
   config.num_arrivals = 100;

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include "gtest_compat.h"
+
 #include "core/dsms.h"
 #include "exec/window_join.h"
 #include "query/builder.h"
@@ -90,7 +92,7 @@ TEST(RowWindowStatsTest, OccupancyIsRowCount) {
 }
 
 TEST(RowWindowStatsDeathTest, RequiresExactlyOneWindowKind) {
-  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  AQSIOS_GTEST_SET_FLAG(death_test_style, "threadsafe");
   query::QuerySpec spec;
   spec.left_stream = 0;
   spec.right_stream = 1;

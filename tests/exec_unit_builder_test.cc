@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include "gtest_compat.h"
+
 #include "query/operator.h"
 
 namespace aqsios::exec {
@@ -156,7 +158,7 @@ TEST(UnitBuilderTest, OperatorChainSlopesAreExactEnvelopes) {
 }
 
 TEST(UnitBuilderDeathTest, OperatorLevelRejectsSharingAndJoins) {
-  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  AQSIOS_GTEST_SET_FLAG(death_test_style, "threadsafe");
   UnitBuilderOptions options;
   options.level = SchedulingLevel::kOperatorLevel;
   {

@@ -1,0 +1,21 @@
+// Compatibility shims for the range of GoogleTest versions found in the
+// wild (the oldest we support is the 1.11 line some distros still ship).
+//
+// GTEST_FLAG_SET(name, value) only exists since GoogleTest 1.12; earlier
+// releases expose each flag as ::testing::FLAGS_gtest_<name> (reachable
+// portably through the GTEST_FLAG(name) macro). Tests use
+// AQSIOS_GTEST_SET_FLAG so they compile against both.
+
+#ifndef AQSIOS_TESTS_GTEST_COMPAT_H_
+#define AQSIOS_TESTS_GTEST_COMPAT_H_
+
+#include <gtest/gtest.h>
+
+#ifdef GTEST_FLAG_SET
+#define AQSIOS_GTEST_SET_FLAG(name, value) GTEST_FLAG_SET(name, value)
+#else
+#define AQSIOS_GTEST_SET_FLAG(name, value) \
+  (void)(::testing::GTEST_FLAG(name) = (value))
+#endif
+
+#endif  // AQSIOS_TESTS_GTEST_COMPAT_H_

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "gtest_compat.h"
+
 namespace aqsios::query {
 namespace {
 
@@ -92,7 +94,7 @@ TEST(QueryBuilderTest, ReusableAfterBuild) {
 }
 
 TEST(QueryBuilderDeathTest, Misuse) {
-  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  AQSIOS_GTEST_SET_FLAG(death_test_style, "threadsafe");
   // Empty chain fails validation at Build.
   EXPECT_DEATH(QueryBuilder(0).Build(), "no operators");
   // Common() without a join.

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include "gtest_compat.h"
+
 #include "core/dsms.h"
 #include "query/workload.h"
 
@@ -108,7 +110,7 @@ TEST(MultiJoinStatsTest, ExpectedWorkPerArrivalPerStream) {
 }
 
 TEST(MultiJoinStatsDeathTest, Validation) {
-  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  AQSIOS_GTEST_SET_FLAG(death_test_style, "threadsafe");
   // Duplicate stream across inputs.
   QuerySpec dup = ThreeStreamSpec();
   dup.extra_stages[0].stream = 1;

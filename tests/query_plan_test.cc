@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "gtest_compat.h"
+
 #include "query/operator.h"
 
 namespace aqsios::query {
@@ -66,7 +68,7 @@ TEST(GlobalPlanTest, SharingGroupDiscountsSharedCost) {
 }
 
 TEST(GlobalPlanDeathTest, ValidatesStructure) {
-  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  AQSIOS_GTEST_SET_FLAG(death_test_style, "threadsafe");
   {
     // Non-dense ids.
     std::vector<CompiledQuery> queries;

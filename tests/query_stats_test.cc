@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "gtest_compat.h"
+
 #include "query/operator.h"
 
 namespace aqsios::query {
@@ -199,7 +201,7 @@ TEST(CompiledQueryTest, MinOperatorCost) {
 }
 
 TEST(CompiledQueryDeathTest, RejectsInvalidSpecs) {
-  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  AQSIOS_GTEST_SET_FLAG(death_test_style, "threadsafe");
   // Empty single-stream chain.
   EXPECT_DEATH(CompiledQuery(SimpleChain(0, {}),
                              SelectivityMode::kIndependent),

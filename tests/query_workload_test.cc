@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include "gtest_compat.h"
+
 namespace aqsios::query {
 namespace {
 
@@ -211,7 +213,7 @@ TEST(WorkloadTest, ArrivalPatternNames) {
 }
 
 TEST(WorkloadDeathTest, RejectsBadConfigs) {
-  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  AQSIOS_GTEST_SET_FLAG(death_test_style, "threadsafe");
   WorkloadConfig zero_queries = SmallConfig();
   zero_queries.num_queries = 0;
   EXPECT_DEATH(GenerateWorkload(zero_queries), "");

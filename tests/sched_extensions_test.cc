@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include "gtest_compat.h"
+
 #include "sched/basic_policies.h"
 #include "sched/chain_policy.h"
 #include "sched/lp_norm_policy.h"
@@ -148,7 +150,7 @@ TEST(LpNormTest, NameEncodesP) {
 }
 
 TEST(LpNormDeathTest, RejectsPBelowOne) {
-  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  AQSIOS_GTEST_SET_FLAG(death_test_style, "threadsafe");
   EXPECT_DEATH(LpNormScheduler(0.5), "");
 }
 

@@ -1,0 +1,177 @@
+// Regression tests for scheduling-overhead accounting (§9.2, Figures 13–14).
+//
+// The overhead experiments compare policies by the number of priority
+// computations and comparisons their decisions need, so every policy must
+// charge SchedulingCost consistently: scan-based time-varying policies (LSF,
+// BSD, lp-norm) charge one computation and one comparison per unit touched;
+// O(1)/amortized policies (FCFS, RR, static-priority, two-level) charge
+// zero. These tests pin the exact counts for small fixed configurations so
+// accounting drift shows up as a diff, not as a silently biased figure.
+
+#include <gtest/gtest.h>
+
+#include "core/dsms.h"
+#include "sched/basic_policies.h"
+#include "sched/lp_norm_policy.h"
+#include "sched/two_level.h"
+
+namespace aqsios::sched {
+namespace {
+
+Unit MakeUnit(int id, double output_rate, double normalized_rate, double phi,
+              SimTime ideal_time) {
+  Unit unit;
+  unit.id = id;
+  unit.kind = UnitKind::kQueryChain;
+  unit.query = id;
+  unit.input_stream = 0;
+  unit.stats.output_rate = output_rate;
+  unit.stats.normalized_rate = normalized_rate;
+  unit.stats.phi = phi;
+  unit.stats.ideal_time = ideal_time;
+  return unit;
+}
+
+UnitTable FourUnits() {
+  UnitTable units;
+  units.push_back(MakeUnit(0, 5.0, 0.5, 0.05, 10.0));
+  units.push_back(MakeUnit(1, 2.0, 2.0, 2.0, 1.0));
+  units.push_back(MakeUnit(2, 3.0, 0.75, 0.1875, 4.0));
+  units.push_back(MakeUnit(3, 1.0, 1.0, 1.0, 2.0));
+  return units;
+}
+
+void Enqueue(UnitTable& units, Scheduler& scheduler, int unit,
+             stream::ArrivalId arrival, SimTime time) {
+  units[static_cast<size_t>(unit)].queue.push_back(QueueEntry{arrival, time});
+  scheduler.OnEnqueue(unit);
+}
+
+/// Runs one decision and returns the charged cost.
+SchedulingCost PickCost(Scheduler& scheduler, SimTime now) {
+  SchedulingCost cost;
+  std::vector<int> out;
+  EXPECT_TRUE(scheduler.PickNext(now, &cost, &out));
+  return cost;
+}
+
+TEST(OverheadAccountingTest, FcfsChargesZero) {
+  UnitTable units = FourUnits();
+  FcfsScheduler scheduler;
+  scheduler.Attach(&units);
+  Enqueue(units, scheduler, 0, 0, 0.0);
+  Enqueue(units, scheduler, 1, 1, 0.0);
+  const SchedulingCost cost = PickCost(scheduler, 1.0);
+  EXPECT_EQ(cost.total(), 0);
+}
+
+TEST(OverheadAccountingTest, RoundRobinChargesZero) {
+  UnitTable units = FourUnits();
+  RoundRobinScheduler scheduler;
+  scheduler.Attach(&units);
+  Enqueue(units, scheduler, 2, 0, 0.0);
+  const SchedulingCost cost = PickCost(scheduler, 1.0);
+  EXPECT_EQ(cost.total(), 0);
+}
+
+TEST(OverheadAccountingTest, StaticPriorityChargesZero) {
+  UnitTable units = FourUnits();
+  StaticPriorityScheduler scheduler(StaticPolicy::kHnr);
+  scheduler.Attach(&units);
+  Enqueue(units, scheduler, 0, 0, 0.0);
+  Enqueue(units, scheduler, 1, 1, 0.0);
+  Enqueue(units, scheduler, 2, 2, 0.0);
+  const SchedulingCost cost = PickCost(scheduler, 1.0);
+  EXPECT_EQ(cost.total(), 0);
+}
+
+TEST(OverheadAccountingTest, TwoLevelRrChargesZero) {
+  UnitTable units = FourUnits();
+  TwoLevelRrScheduler scheduler;
+  scheduler.Attach(&units);
+  Enqueue(units, scheduler, 1, 0, 0.0);
+  const SchedulingCost cost = PickCost(scheduler, 1.0);
+  EXPECT_EQ(cost.total(), 0);
+}
+
+TEST(OverheadAccountingTest, LsfChargesPerReadyUnit) {
+  UnitTable units = FourUnits();
+  LsfScheduler scheduler;
+  scheduler.Attach(&units);
+  Enqueue(units, scheduler, 0, 0, 0.0);
+  Enqueue(units, scheduler, 1, 1, 0.0);
+  Enqueue(units, scheduler, 3, 2, 0.0);
+  // Three ready units: one computation + one comparison each.
+  SchedulingCost cost = PickCost(scheduler, 1.0);
+  EXPECT_EQ(cost.computations, 3);
+  EXPECT_EQ(cost.comparisons, 3);
+  // Idle units (2) are never touched; a lone ready unit still costs 1+1.
+  units[0].queue.clear();
+  scheduler.OnDequeue(0);
+  units[1].queue.clear();
+  scheduler.OnDequeue(1);
+  cost = PickCost(scheduler, 2.0);
+  EXPECT_EQ(cost.computations, 1);
+  EXPECT_EQ(cost.comparisons, 1);
+}
+
+TEST(OverheadAccountingTest, BsdNaiveChargesAllUnits) {
+  UnitTable units = FourUnits();
+  BsdScheduler scheduler(/*count_all_units=*/true);
+  scheduler.Attach(&units);
+  Enqueue(units, scheduler, 1, 0, 0.0);
+  // §6.2 naive accounting: all four installed units are touched.
+  const SchedulingCost cost = PickCost(scheduler, 1.0);
+  EXPECT_EQ(cost.computations, 4);
+  EXPECT_EQ(cost.comparisons, 4);
+}
+
+TEST(OverheadAccountingTest, BsdReadyOnlyChargesReadyUnits) {
+  UnitTable units = FourUnits();
+  BsdScheduler scheduler(/*count_all_units=*/false);
+  scheduler.Attach(&units);
+  Enqueue(units, scheduler, 1, 0, 0.0);
+  Enqueue(units, scheduler, 2, 1, 0.0);
+  const SchedulingCost cost = PickCost(scheduler, 1.0);
+  EXPECT_EQ(cost.computations, 2);
+  EXPECT_EQ(cost.comparisons, 2);
+}
+
+TEST(OverheadAccountingTest, LpNormChargesPerReadyUnit) {
+  UnitTable units = FourUnits();
+  LpNormScheduler scheduler(2.0);
+  scheduler.Attach(&units);
+  Enqueue(units, scheduler, 0, 0, 0.0);
+  Enqueue(units, scheduler, 3, 1, 0.0);
+  const SchedulingCost cost = PickCost(scheduler, 1.0);
+  EXPECT_EQ(cost.computations, 2);
+  EXPECT_EQ(cost.comparisons, 2);
+}
+
+// End-to-end: with a single registered query the LSF ready set is never
+// larger than one, so every successful pick charges exactly 1+1 and the run
+// counter must equal 2 × unit_executions. Before the fix LSF charged nothing
+// and this counter stayed 0, biasing the Figure 13–14 comparisons.
+TEST(OverheadAccountingTest, LsfRunChargesTwoOpsPerPick) {
+  core::Dsms dsms(query::SelectivityMode::kCorrelatedAttribute);
+  query::QuerySpec spec;
+  spec.left_stream = 0;
+  spec.left_ops = {query::MakeSelect(1.0, 0.5), query::MakeProject(1.0)};
+  dsms.AddQuery(std::move(spec));
+  stream::ArrivalTable table;
+  for (int i = 0; i < 40; ++i) {
+    stream::Arrival a;
+    a.id = i;
+    a.stream = 0;
+    a.time = 0.01 * i;
+    a.attribute = 1.0;
+    table.arrivals.push_back(a);
+  }
+  dsms.SetArrivals(std::move(table));
+  const core::RunResult r = dsms.Run(PolicyConfig::Of(PolicyKind::kLsf));
+  EXPECT_GT(r.counters.unit_executions, 0);
+  EXPECT_EQ(r.counters.overhead_operations, 2 * r.counters.unit_executions);
+}
+
+}  // namespace
+}  // namespace aqsios::sched

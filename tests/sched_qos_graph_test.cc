@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "gtest_compat.h"
+
 #include "core/dsms.h"
 #include "query/workload.h"
 #include "sched/policy.h"
@@ -34,7 +36,7 @@ TEST(QosGraphTest, FlatThenLinearFactory) {
 }
 
 TEST(QosGraphDeathTest, RejectsMalformedGraphs) {
-  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  AQSIOS_GTEST_SET_FLAG(death_test_style, "threadsafe");
   EXPECT_DEATH(QosGraph({{1.0, 1.0}, {1.0, 0.5}}), "increasing");
   EXPECT_DEATH(QosGraph({{0.0, 0.5}, {1.0, 0.8}}), "non-increasing");
   EXPECT_DEATH(QosGraph({}), "");
