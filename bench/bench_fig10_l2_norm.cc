@@ -25,6 +25,7 @@ int Main(int argc, const char* const* argv) {
                     sched::PolicyConfig::Of(sched::PolicyKind::kBsd)};
   const auto cells = core::RunSweep(sweep);
   bench::MaybePrintJson(args, cells);
+  bench::MaybeWriteTrace(args, sweep);
   std::cout << core::SweepTable(cells, core::Metric::kL2Slowdown).ToAscii()
             << "\n";
 

@@ -26,6 +26,7 @@ int Main(int argc, const char* const* argv) {
                     sched::PolicyConfig::Of(sched::PolicyKind::kHnr)};
   const auto cells = core::RunSweep(sweep);
   bench::MaybePrintJson(args, cells);
+  bench::MaybeWriteTrace(args, sweep);
   std::cout << core::SweepTable(cells, core::Metric::kAvgSlowdown).ToAscii()
             << "\n";
 

@@ -24,6 +24,7 @@ int Main(int argc, const char* const* argv) {
                     sched::PolicyConfig::Of(sched::PolicyKind::kBsd)};
   const auto cells = core::RunSweep(sweep);
   bench::MaybePrintJson(args, cells);
+  bench::MaybeWriteTrace(args, sweep);
   std::cout << "Figure 8 (maximum slowdown):\n"
             << core::SweepTable(cells, core::Metric::kMaxSlowdown).ToAscii()
             << "\nFigure 9 (average slowdown):\n"

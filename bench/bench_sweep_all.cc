@@ -218,6 +218,9 @@ int Main(int argc, const char* const* argv) {
     json.EndObject();
   }
   json.EndArray();
+  // One extra traced run (fig5's first cell) when --trace-out is given; the
+  // sweep above is untouched.
+  bench::MaybeWriteTrace(args, grids.front().sweep);
   total_wall_ms = std::chrono::duration<double, std::milli>(
                       std::chrono::steady_clock::now() - sweep_start)
                       .count();

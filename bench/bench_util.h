@@ -17,6 +17,8 @@
 #include "common/flags.h"
 #include "core/experiment.h"
 #include "core/report.h"
+#include "obs/chrome_trace.h"
+#include "obs/tracer.h"
 
 namespace aqsios::bench {
 
@@ -34,6 +36,10 @@ struct BenchArgs {
   /// Replay arrivals from this aqsios-trace file (e.g. a converted
   /// LBL-PKT-4) instead of the synthetic On/Off process.
   std::string trace;
+  /// Write a Chrome trace-event JSON of one traced simulation (the sweep's
+  /// first utilization under its first policy) to this path; load it in
+  /// Perfetto / chrome://tracing. Empty = no trace.
+  std::string trace_out;
 
   std::vector<double> UtilizationList() const {
     std::vector<double> result;
@@ -75,6 +81,9 @@ inline BenchArgs ParseBenchArgs(const std::string& name, int argc,
   flags->AddString("trace", &args.trace,
                    "replay arrivals from this trace file (e.g. converted "
                    "LBL-PKT-4) instead of synthetic On/Off traffic");
+  flags->AddString("trace-out", &args.trace_out,
+                   "write a Chrome trace-event JSON (Perfetto-loadable) of "
+                   "one traced run to this path");
   const Status status = flags->Parse(argc, argv);
   if (!status.ok()) {
     if (flags->help_requested()) std::exit(0);
@@ -105,6 +114,10 @@ inline core::SweepConfig TestbedSweep(const BenchArgs& args) {
   sweep.workload = TestbedConfig(args);
   sweep.utilizations = args.UtilizationList();
   sweep.threads = args.threads;
+  // Stage-attribute every 32nd arrival id: cheap (one modulo per emission),
+  // deterministic, and the same tuples are sampled under every policy, so
+  // the per-policy attribution blocks in the JSON reports are comparable.
+  sweep.options.attribution_sample_every = 32;
   return sweep;
 }
 
@@ -118,6 +131,38 @@ inline void MaybePrintJson(const BenchArgs& args,
                            const std::vector<core::SweepCell>& cells) {
   if (!args.json) return;
   std::cout << "JSON: " << core::SweepToJson(cells) << "\n";
+}
+
+/// When --trace-out was passed, re-runs the sweep's (first utilization,
+/// first policy) cell with an event tracer attached and writes the Chrome
+/// trace-event JSON. Runs *after* the sweep so its results are untouched
+/// (and identical whether or not a trace is requested — tracing is
+/// observation-only).
+inline void MaybeWriteTrace(const BenchArgs& args,
+                            const core::SweepConfig& sweep) {
+  if (args.trace_out.empty()) return;
+  query::WorkloadConfig workload_config = sweep.workload;
+  workload_config.utilization = sweep.utilizations.front();
+  const query::Workload workload = query::GenerateWorkload(workload_config);
+
+  obs::EventTracer tracer;
+  core::SimulationOptions options = sweep.options;
+  options.tracer = &tracer;
+  const core::RunResult result =
+      core::Simulate(workload, sweep.policies.front(), options);
+
+  obs::ChromeTraceMeta meta;
+  meta.num_queries = workload.plan.num_queries();
+  meta.policy = result.policy_name;
+  const Status status = obs::WriteChromeTrace(args.trace_out, tracer, meta);
+  if (!status.ok()) {
+    std::cerr << "trace-out: " << status << "\n";
+    std::exit(1);
+  }
+  std::cout << "wrote trace " << args.trace_out << " (" << tracer.size()
+            << " events kept, " << tracer.dropped() << " dropped, policy "
+            << meta.policy << " at utilization "
+            << sweep.utilizations.front() << ")\n";
 }
 
 /// Prints "<label>: <a> vs <b> (<percent>% lower)" comparisons used by the

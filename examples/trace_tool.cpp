@@ -9,14 +9,22 @@
 //       Reads the first whitespace-separated column of each line as a
 //       timestamp, sorts, rebases to zero, and writes the aqsios format.
 //   inspect  --in=trace.txt
-//       Prints count, duration, mean inter-arrival, CV, and an inter-arrival
-//       histogram.
+//       Prints count, duration, mean inter-arrival, CV, inter-arrival
+//       percentiles (from the obs::Histogram used engine-wide), and the
+//       bucket rendering.
+//   chrome   --in=trace.txt --out=trace.json --queries=30 --policy=hnr
+//       Replays the trace through the §8 testbed under the given policy with
+//       event tracing on and writes a Chrome trace-event JSON; open it in
+//       Perfetto (https://ui.perfetto.dev) or chrome://tracing.
 
 #include <cstdio>
 #include <iostream>
 
 #include "common/flags.h"
-#include "common/stats.h"
+#include "core/dsms.h"
+#include "obs/chrome_trace.h"
+#include "obs/histogram.h"
+#include "obs/tracer.h"
 #include "stream/trace.h"
 
 namespace {
@@ -71,13 +79,49 @@ int Inspect(const std::string& in) {
             << "  (Poisson = 1; On/Off traffic is substantially higher)\n";
   std::cout << "max gap:            " << stats.max_inter_arrival << " s\n";
   if (trace.size() > 1) {
-    LogHistogram histogram(stats.mean_inter_arrival / 100.0, 10.0, 6);
+    obs::Histogram histogram({.min_value = stats.mean_inter_arrival / 100.0});
     for (size_t i = 1; i < trace.size(); ++i) {
       histogram.Add(trace[i] - trace[i - 1]);
     }
+    std::cout << "inter-arrival p50:  " << histogram.Quantile(0.5) * 1e3
+              << " ms\n";
+    std::cout << "inter-arrival p90:  " << histogram.Quantile(0.9) * 1e3
+              << " ms\n";
+    std::cout << "inter-arrival p99:  " << histogram.Quantile(0.99) * 1e3
+              << " ms\n";
+    std::cout << "inter-arrival p999: " << histogram.Quantile(0.999) * 1e3
+              << " ms\n";
     std::cout << "inter-arrival histogram (seconds):\n"
               << histogram.ToString();
   }
+  return 0;
+}
+
+int Chrome(const std::string& in, const std::string& out, int queries,
+           const std::string& policy_name) {
+  const StatusOr<sched::PolicyKind> kind =
+      sched::ParsePolicyKind(policy_name);
+  if (!kind.ok()) return Fail(kind.status());
+  query::WorkloadConfig config;
+  config.num_queries = queries;
+  config.arrival_pattern = query::ArrivalPattern::kTraceFile;
+  config.trace_path = in;
+  const query::Workload workload = query::GenerateWorkload(config);
+
+  obs::EventTracer tracer;
+  core::SimulationOptions options;
+  options.tracer = &tracer;
+  const core::RunResult result = core::Simulate(
+      workload, sched::PolicyConfig::Of(kind.value()), options);
+
+  obs::ChromeTraceMeta meta;
+  meta.num_queries = workload.plan.num_queries();
+  meta.policy = result.policy_name;
+  const Status status = obs::WriteChromeTrace(out, tracer, meta);
+  if (!status.ok()) return Fail(status);
+  std::cout << "wrote " << out << ": " << tracer.size() << " events ("
+            << tracer.dropped() << " dropped), policy " << meta.policy
+            << ", avg slowdown " << result.qos.avg_slowdown << "\n";
   return 0;
 }
 
@@ -92,6 +136,8 @@ int main(int argc, char** argv) {
   double mean_on = 0.5;
   double mean_off = 0.5;
   int64_t seed = 42;
+  int64_t queries = 30;
+  std::string policy = "hnr";
   flags.AddString("in", &in, "input trace file");
   flags.AddString("out", &out, "output trace file");
   flags.AddInt("count", &count, "arrivals to generate");
@@ -99,6 +145,9 @@ int main(int argc, char** argv) {
   flags.AddDouble("mean-on", &mean_on, "mean ON duration (s)");
   flags.AddDouble("mean-off", &mean_off, "mean OFF duration (s)");
   flags.AddInt("seed", &seed, "generator seed");
+  flags.AddInt("queries", &queries, "queries for the chrome subcommand");
+  flags.AddString("policy", &policy,
+                  "scheduling policy for the chrome subcommand");
   const Status status = flags.Parse(argc, argv);
   if (!status.ok()) {
     if (flags.help_requested()) return 0;
@@ -113,6 +162,9 @@ int main(int argc, char** argv) {
   }
   if (command == "convert") return Convert(in, out);
   if (command == "inspect") return Inspect(in);
+  if (command == "chrome") {
+    return Chrome(in, out, static_cast<int>(queries), policy);
+  }
   if (command == "demo") {
     std::cout << "== trace_tool demo: generate then inspect ==\n";
     const int rc = Generate(out, 50000, on_rate, mean_on, mean_off, seed);
@@ -122,6 +174,6 @@ int main(int argc, char** argv) {
     return rc2;
   }
   std::cerr << "unknown command: " << command
-            << " (expected generate | convert | inspect)\n";
+            << " (expected generate | convert | inspect | chrome)\n";
   return 2;
 }

@@ -12,14 +12,23 @@ JSON works too), pivots one metric into a utilization x policy grid, and
 writes CSV — one row per utilization, one column per policy — ready for any
 plotting tool.
 
-The metric is looked up in the cell's "qos" object first, then in the cell
-itself (timing fields such as wall_ms / max_rss_kb), then in its "counters"
-object when present.
+The metric is looked up in the cell's "qos" object first (avg/max/l2
+slowdown, the histogram quantiles p50/p95/p99/p999_slowdown, ...), then in
+the cell itself (timing fields such as wall_ms / max_rss_kb), then in its
+"counters", "decisions" (scheduling_points, mean_candidates,
+mean_priority_computations) and "attribution" (mean_queue_wait_ms,
+mean_sched_overhead_ms, mean_processing_ms, mean_dependency_delay_ms)
+objects when present. Histogram summaries nested inside counters are
+reachable with a dotted path, e.g. "counters.queue_length.p99".
 
 Usage:
     build/bench/bench_fig5_avg_slowdown --json | \
         scripts/json_to_csv.py --metric avg_slowdown > fig5.csv
-    scripts/json_to_csv.py --metric l2_slowdown --in sweep.json
+    scripts/json_to_csv.py --metric p999_slowdown --in sweep.json
+    scripts/json_to_csv.py --metric mean_candidates --in sweep.json
+    scripts/json_to_csv.py --metric mean_queue_wait_ms --in sweep.json
+    scripts/json_to_csv.py --metric counters.exec_busy_seconds.p99 \
+        --in sweep.json
     scripts/json_to_csv.py --metric wall_ms --figure fig8_9 \
         --in BENCH_sweep.json
 Standard library only.
@@ -65,13 +74,25 @@ def extract_cells(text, figure=None):
 
 
 def cell_metric(cell, metric):
-    """Looks up `metric` in qos, then the cell itself, then counters."""
-    for scope in (cell.get("qos", {}), cell, cell.get("counters", {})):
+    """Looks up `metric` in qos, then the cell itself, then counters,
+    decisions and attribution. Dotted metrics ("counters.queue_length.p99")
+    descend from the cell root."""
+    if "." in metric:
+        value = cell
+        for part in metric.split("."):
+            if not isinstance(value, dict) or part not in value:
+                raise KeyError(f"metric path '{metric}' not found at '{part}'")
+            value = value[part]
+        if isinstance(value, (dict, list)):
+            raise KeyError(f"metric path '{metric}' is not scalar")
+        return value
+    scopes = (cell.get("qos", {}), cell, cell.get("counters", {}),
+              cell.get("decisions", {}), cell.get("attribution", {}))
+    for scope in scopes:
         value = scope.get(metric)
         if value is not None and not isinstance(value, (dict, list)):
             return value
-    available = sorted(
-        set(cell.get("qos", {})) | set(cell) | set(cell.get("counters", {})))
+    available = sorted(set().union(*scopes))
     raise KeyError(f"metric '{metric}' not found; available: {available}")
 
 

@@ -1,0 +1,116 @@
+#include "common/json.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace aqsios {
+
+std::string JsonWriter::Escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::BeforeValue() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // key already emitted the separator
+  }
+  if (has_sibling_.back()) out_ += ',';
+  has_sibling_.back() = true;
+}
+
+void JsonWriter::BeginObject() {
+  BeforeValue();
+  out_ += '{';
+  has_sibling_.push_back(false);
+}
+
+void JsonWriter::EndObject() {
+  AQSIOS_CHECK_GT(has_sibling_.size(), 1u) << "unbalanced EndObject";
+  has_sibling_.pop_back();
+  out_ += '}';
+}
+
+void JsonWriter::BeginArray() {
+  BeforeValue();
+  out_ += '[';
+  has_sibling_.push_back(false);
+}
+
+void JsonWriter::EndArray() {
+  AQSIOS_CHECK_GT(has_sibling_.size(), 1u) << "unbalanced EndArray";
+  has_sibling_.pop_back();
+  out_ += ']';
+}
+
+void JsonWriter::Key(const std::string& name) {
+  if (has_sibling_.back()) out_ += ',';
+  has_sibling_.back() = true;
+  out_ += '"';
+  out_ += Escape(name);
+  out_ += "\":";
+  pending_key_ = true;
+}
+
+void JsonWriter::String(const std::string& value) {
+  BeforeValue();
+  out_ += '"';
+  out_ += Escape(value);
+  out_ += '"';
+}
+
+void JsonWriter::Number(double value) {
+  BeforeValue();
+  if (!std::isfinite(value)) {
+    out_ += "null";
+    return;
+  }
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.12g", value);
+  out_ += buffer;
+}
+
+void JsonWriter::Number(int64_t value) {
+  BeforeValue();
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%" PRId64, value);
+  out_ += buffer;
+}
+
+void JsonWriter::Bool(bool value) {
+  BeforeValue();
+  out_ += value ? "true" : "false";
+}
+
+}  // namespace aqsios

@@ -1,0 +1,52 @@
+// Minimal JSON writer shared by reports, the observability exports, and the
+// bench drivers (values are numbers, strings, arrays, objects, and booleans;
+// strings are escaped per RFC 8259).
+
+#ifndef AQSIOS_COMMON_JSON_H_
+#define AQSIOS_COMMON_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace aqsios {
+
+/// Minimal JSON writer with explicit structure calls:
+///
+///   JsonWriter json;
+///   json.BeginObject();
+///   json.Key("policy"); json.String("BSD");
+///   json.Key("avg_slowdown"); json.Number(2.9);
+///   json.EndObject();
+///   json.str(); // {"policy":"BSD","avg_slowdown":2.9}
+class JsonWriter {
+ public:
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+  /// Emits an object key; must be inside an object.
+  void Key(const std::string& name);
+  void String(const std::string& value);
+  void Number(double value);
+  void Number(int64_t value);
+  void Bool(bool value);
+
+  const std::string& str() const { return out_; }
+
+  /// Escapes a string per JSON rules (quotes, backslash, control chars).
+  static std::string Escape(const std::string& text);
+
+ private:
+  /// Emits a separating comma when a value follows a previous sibling.
+  void BeforeValue();
+
+  std::string out_;
+  /// Per nesting level: whether a value was already emitted.
+  std::vector<bool> has_sibling_ = {false};
+  bool pending_key_ = false;
+};
+
+}  // namespace aqsios
+
+#endif  // AQSIOS_COMMON_JSON_H_

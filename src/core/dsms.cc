@@ -28,6 +28,8 @@ RunResult SimulatePlan(const query::GlobalPlan& plan,
   engine_config.overhead_op_cost =
       options.charge_scheduling_overhead ? plan.MinOperatorCost() : 0.0;
   engine_config.adaptation = options.adaptation;
+  engine_config.tracer = options.tracer;
+  engine_config.attribution_sample_every = options.attribution_sample_every;
 
   std::unique_ptr<sched::Scheduler> scheduler = sched::CreateScheduler(policy);
   metrics::QosCollector collector(options.qos);

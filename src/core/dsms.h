@@ -30,6 +30,12 @@ struct SimulationOptions {
   /// environment support). Query-level scheduling only.
   exec::AdaptationConfig adaptation;
   metrics::QosCollector::Options qos;
+  /// Optional event tracer forwarded to the engine (observation-only; the
+  /// caller owns the tracer and exports it after the run).
+  obs::EventTracer* tracer = nullptr;
+  /// Per-tuple stage-attribution sample period (see obs/attribution.h);
+  /// 0 disables attribution.
+  int64_t attribution_sample_every = 0;
 };
 
 struct RunResult {

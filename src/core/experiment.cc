@@ -88,6 +88,13 @@ std::vector<SweepCell> RunSweep(const SweepConfig& config) {
   // Each cell is an independent deterministic simulation writing only to its
   // own grid slot, so any dispatch order yields bit-identical RunResults;
   // the serial path below and the pool differ only in wall-clock.
+  //
+  // A single ring-buffer tracer cannot be shared by concurrent cells (and an
+  // interleaved sweep trace would be meaningless anyway), so sweeps always
+  // run untraced; callers wanting a trace run one extra simulation with a
+  // tracer attached (see bench/bench_util.h MaybeWriteTrace).
+  SimulationOptions cell_options = config.options;
+  cell_options.tracer = nullptr;
   std::vector<query::Workload> workloads(num_utils);
   const auto generate_workload = [&](size_t u) {
     query::WorkloadConfig workload_config = config.workload;
@@ -98,7 +105,7 @@ std::vector<SweepCell> RunSweep(const SweepConfig& config) {
     SweepCell& cell = cells[u * num_policies + p];
     cell.utilization = config.utilizations[u];
     const auto start = std::chrono::steady_clock::now();
-    cell.result = Simulate(workloads[u], config.policies[p], config.options);
+    cell.result = Simulate(workloads[u], config.policies[p], cell_options);
     cell.wall_ms = std::chrono::duration<double, std::milli>(
                        std::chrono::steady_clock::now() - start)
                        .count();

@@ -1,117 +1,8 @@
 #include "core/report.h"
 
-#include <cinttypes>
-#include <cmath>
-#include <cstdio>
-
-#include "common/check.h"
+#include "obs/registry.h"
 
 namespace aqsios::core {
-
-std::string JsonWriter::Escape(const std::string& text) {
-  std::string out;
-  out.reserve(text.size() + 2);
-  for (char c : text) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\r':
-        out += "\\r";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buffer[8];
-          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
-          out += buffer;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
-void JsonWriter::BeforeValue() {
-  if (pending_key_) {
-    pending_key_ = false;
-    return;  // key already emitted the separator
-  }
-  if (has_sibling_.back()) out_ += ',';
-  has_sibling_.back() = true;
-}
-
-void JsonWriter::BeginObject() {
-  BeforeValue();
-  out_ += '{';
-  has_sibling_.push_back(false);
-}
-
-void JsonWriter::EndObject() {
-  AQSIOS_CHECK_GT(has_sibling_.size(), 1u) << "unbalanced EndObject";
-  has_sibling_.pop_back();
-  out_ += '}';
-}
-
-void JsonWriter::BeginArray() {
-  BeforeValue();
-  out_ += '[';
-  has_sibling_.push_back(false);
-}
-
-void JsonWriter::EndArray() {
-  AQSIOS_CHECK_GT(has_sibling_.size(), 1u) << "unbalanced EndArray";
-  has_sibling_.pop_back();
-  out_ += ']';
-}
-
-void JsonWriter::Key(const std::string& name) {
-  if (has_sibling_.back()) out_ += ',';
-  has_sibling_.back() = true;
-  out_ += '"';
-  out_ += Escape(name);
-  out_ += "\":";
-  pending_key_ = true;
-}
-
-void JsonWriter::String(const std::string& value) {
-  BeforeValue();
-  out_ += '"';
-  out_ += Escape(value);
-  out_ += '"';
-}
-
-void JsonWriter::Number(double value) {
-  BeforeValue();
-  if (!std::isfinite(value)) {
-    out_ += "null";
-    return;
-  }
-  char buffer[64];
-  std::snprintf(buffer, sizeof(buffer), "%.12g", value);
-  out_ += buffer;
-}
-
-void JsonWriter::Number(int64_t value) {
-  BeforeValue();
-  char buffer[32];
-  std::snprintf(buffer, sizeof(buffer), "%" PRId64, value);
-  out_ += buffer;
-}
-
-void JsonWriter::Bool(bool value) {
-  BeforeValue();
-  out_ += value ? "true" : "false";
-}
 
 namespace {
 
@@ -133,8 +24,12 @@ void WriteQos(JsonWriter& json, const metrics::QosSnapshot& qos) {
   json.Number(qos.rms_slowdown);
   json.Key("p50_slowdown");
   json.Number(qos.p50_slowdown);
+  json.Key("p95_slowdown");
+  json.Number(qos.p95_slowdown);
   json.Key("p99_slowdown");
   json.Number(qos.p99_slowdown);
+  json.Key("p999_slowdown");
+  json.Number(qos.p999_slowdown);
   if (!qos.per_query_slowdown.empty()) {
     json.Key("jain_fairness");
     json.Number(qos.JainFairnessIndex());
@@ -189,6 +84,53 @@ void WriteCounters(JsonWriter& json, const exec::RunCounters& counters) {
   json.Number(counters.peak_queued_tuples);
   json.Key("avg_queued_tuples");
   json.Number(counters.avg_queued_tuples);
+  json.Key("queue_length");
+  obs::WriteSummaryJson(json, counters.queue_length);
+  json.Key("exec_busy_seconds");
+  obs::WriteSummaryJson(json, counters.exec_busy);
+  json.EndObject();
+}
+
+/// The per-policy decision shape: how many scheduling points the run took
+/// and what an average decision cost/examined (Figures 13–14 context).
+void WriteDecisions(JsonWriter& json, const exec::RunCounters& counters) {
+  const double points = static_cast<double>(counters.scheduling_points);
+  json.BeginObject();
+  json.Key("scheduling_points");
+  json.Number(counters.scheduling_points);
+  json.Key("candidates_total");
+  json.Number(counters.decision_candidates);
+  json.Key("mean_candidates");
+  json.Number(points > 0.0
+                  ? static_cast<double>(counters.decision_candidates) / points
+                  : 0.0);
+  json.Key("mean_priority_computations");
+  json.Number(
+      points > 0.0
+          ? static_cast<double>(counters.priority_computations) / points
+          : 0.0);
+  json.EndObject();
+}
+
+void WriteAttribution(JsonWriter& json,
+                      const obs::StageAttribution& attribution) {
+  json.BeginObject();
+  json.Key("sample_every");
+  json.Number(attribution.sample_every);
+  json.Key("samples");
+  json.Number(attribution.samples());
+  json.Key("mean_response_ms");
+  json.Number(SimTimeToMillis(attribution.response.Mean()));
+  json.Key("mean_queue_wait_ms");
+  json.Number(SimTimeToMillis(attribution.queue_wait.Mean()));
+  json.Key("mean_sched_overhead_ms");
+  json.Number(SimTimeToMillis(attribution.sched_overhead.Mean()));
+  json.Key("mean_processing_ms");
+  json.Number(SimTimeToMillis(attribution.processing.Mean()));
+  json.Key("dependency_samples");
+  json.Number(attribution.dependency_delay.count());
+  json.Key("mean_dependency_delay_ms");
+  json.Number(SimTimeToMillis(attribution.dependency_delay.Mean()));
   json.EndObject();
 }
 
@@ -203,6 +145,12 @@ std::string RunResultToJson(const RunResult& result) {
   WriteQos(json, result.qos);
   json.Key("counters");
   WriteCounters(json, result.counters);
+  json.Key("decisions");
+  WriteDecisions(json, result.counters);
+  if (result.counters.attribution.samples() > 0) {
+    json.Key("attribution");
+    WriteAttribution(json, result.counters.attribution);
+  }
   json.EndObject();
   return json.str();
 }
@@ -221,6 +169,14 @@ void WriteSweepCells(JsonWriter& json, const std::vector<SweepCell>& cells) {
     json.Number(cell.max_rss_kb);
     json.Key("qos");
     WriteQos(json, cell.result.qos);
+    json.Key("counters");
+    WriteCounters(json, cell.result.counters);
+    json.Key("decisions");
+    WriteDecisions(json, cell.result.counters);
+    if (cell.result.counters.attribution.samples() > 0) {
+      json.Key("attribution");
+      WriteAttribution(json, cell.result.counters.attribution);
+    }
     json.EndObject();
   }
   json.EndArray();

@@ -11,45 +11,15 @@
 #include <string>
 #include <vector>
 
+#include "common/json.h"
 #include "core/experiment.h"
 
 namespace aqsios::core {
 
-/// Minimal JSON writer with explicit structure calls:
-///
-///   JsonWriter json;
-///   json.BeginObject();
-///   json.Key("policy"); json.String("BSD");
-///   json.Key("avg_slowdown"); json.Number(2.9);
-///   json.EndObject();
-///   json.str(); // {"policy":"BSD","avg_slowdown":2.9}
-class JsonWriter {
- public:
-  void BeginObject();
-  void EndObject();
-  void BeginArray();
-  void EndArray();
-  /// Emits an object key; must be inside an object.
-  void Key(const std::string& name);
-  void String(const std::string& value);
-  void Number(double value);
-  void Number(int64_t value);
-  void Bool(bool value);
-
-  const std::string& str() const { return out_; }
-
-  /// Escapes a string per JSON rules (quotes, backslash, control chars).
-  static std::string Escape(const std::string& text);
-
- private:
-  /// Emits a separating comma when a value follows a previous sibling.
-  void BeforeValue();
-
-  std::string out_;
-  /// Per nesting level: whether a value was already emitted.
-  std::vector<bool> has_sibling_ = {false};
-  bool pending_key_ = false;
-};
+/// The JSON writer moved to common/json.h so layers below core (the
+/// observability exports) can share it; the alias keeps existing callers
+/// spelled `core::JsonWriter` working.
+using JsonWriter = ::aqsios::JsonWriter;
 
 /// Serializes one run: policy, QoS metrics, and execution counters.
 std::string RunResultToJson(const RunResult& result);

@@ -32,7 +32,8 @@ std::string RunCounters::ToString() const {
      << " busy=" << busy_time << "s overhead=" << overhead_time
      << "s end=" << end_time << "s util=" << MeasuredUtilization()
      << " peak_queue=" << peak_queued_tuples
-     << " avg_queue=" << avg_queued_tuples;
+     << " avg_queue=" << avg_queued_tuples
+     << " candidates=" << decision_candidates;
   return os.str();
 }
 
@@ -44,7 +45,9 @@ Engine::Engine(const query::GlobalPlan* plan,
       arrivals_(arrivals),
       config_(config),
       scheduler_(scheduler),
-      collector_(collector) {
+      collector_(collector),
+      tracer_(config.tracer) {
+  attribution_.sample_every = config.attribution_sample_every;
   AQSIOS_CHECK(plan != nullptr);
   AQSIOS_CHECK(arrivals != nullptr);
   AQSIOS_CHECK(scheduler != nullptr);
@@ -95,10 +98,41 @@ Engine::Engine(const query::GlobalPlan* plan,
 }
 
 void Engine::Charge(SimTime cost) {
+  if (tracer_ != nullptr) {
+    tracer_->Record({obs::EventKind::kOperatorInvocation, now_, cost,
+                     cur_unit_, cur_query_});
+  }
   now_ += cost;
   counters_.busy_time += cost;
   ++counters_.operator_invocations;
   if (stats_monitor_ != nullptr) stats_monitor_->AddBusyTime(cost);
+}
+
+void Engine::DropTuple(query::QueryId q, int64_t arrival) {
+  ++counters_.tuples_filtered;
+  if (tracer_ != nullptr) {
+    tracer_->Record({obs::EventKind::kFilterDrop, now_, 0.0, cur_unit_,
+                     static_cast<int32_t>(q), arrival});
+  }
+}
+
+void Engine::AttributeEmission(int64_t arrival, SimTime arrival_time,
+                               SimTime dependency_delay) {
+  if (attribution_.sample_every <= 0 ||
+      arrival % attribution_.sample_every != 0) {
+    return;
+  }
+  // The decomposition (see obs/attribution.h): the emitting execution began
+  // at exec_start_, right after its scheduling point charged
+  // exec_point_overhead_; everything before that point is queue wait.
+  const SimTime response = now_ - arrival_time;
+  const SimTime processing = now_ - exec_start_;
+  const SimTime overhead = exec_point_overhead_;
+  const SimTime wait = response - processing - overhead;
+  attribution_.AddSample(response, wait, overhead, processing);
+  if (dependency_delay >= 0.0) {
+    attribution_.dependency_delay.Add(dependency_delay);
+  }
 }
 
 bool Engine::Passes(const query::OperatorSpec& op,
@@ -144,18 +178,24 @@ bool Engine::RunChainOps(const query::CompiledQuery& q,
     const query::OperatorSpec& op = ops[static_cast<size_t>(x)];
     Charge(op.cost());
     if (!Passes(op, arrival, q.id(), x)) {
-      ++counters_.tuples_filtered;
+      DropTuple(q.id(), arrival.id);
       return false;
     }
   }
   return true;
 }
 
-void Engine::EmitSingle(const query::CompiledQuery& q, SimTime arrival_time) {
+void Engine::EmitSingle(const query::CompiledQuery& q,
+                        stream::ArrivalId arrival, SimTime arrival_time) {
   const SimTime response = now_ - arrival_time;
   const double slowdown = response / q.ideal_time();
   ++counters_.tuples_emitted;
   if (stats_monitor_ != nullptr) stats_monitor_->AddEmission();
+  if (tracer_ != nullptr) {
+    tracer_->Record({obs::EventKind::kEmit, now_, 0.0, cur_unit_,
+                     static_cast<int32_t>(q.id()), arrival, slowdown});
+  }
+  AttributeEmission(arrival, arrival_time, /*dependency_delay=*/-1.0);
   if (collector_ != nullptr) {
     collector_->RecordOutput(q.id(), q.spec().cost_class,
                              q.spec().class_selectivity, arrival_time,
@@ -169,7 +209,7 @@ void Engine::ExecuteQueryChain(const sched::Unit& unit,
   const stream::Arrival& arrival =
       arrivals_->arrivals[static_cast<size_t>(entry.arrival)];
   if (RunChainOps(q, arrival, /*from=*/0)) {
-    EmitSingle(q, entry.arrival_time);
+    EmitSingle(q, entry.arrival, entry.arrival_time);
   }
 }
 
@@ -179,7 +219,7 @@ void Engine::ExecuteRemainder(const sched::Unit& unit,
   const stream::Arrival& arrival =
       arrivals_->arrivals[static_cast<size_t>(entry.arrival)];
   if (RunChainOps(q, arrival, unit.op_index)) {
-    EmitSingle(q, entry.arrival_time);
+    EmitSingle(q, entry.arrival, entry.arrival_time);
   }
 }
 
@@ -195,14 +235,14 @@ void Engine::ExecuteSharedGroup(const sched::Unit& unit,
   // The shared operator runs once for the whole group.
   Charge(shared.cost());
   if (!SharedOpPasses(shared, arrival, unit.group)) {
-    ++counters_.tuples_filtered;
+    DropTuple(unit.query, arrival.id);
     return;
   }
   // Members bundled with the shared operator execute now, in priority order.
   for (query::QueryId member : runtime.executed) {
     const query::CompiledQuery& q = plan_->query(member);
     if (RunChainOps(q, arrival, /*from=*/1)) {
-      EmitSingle(q, entry.arrival_time);
+      EmitSingle(q, entry.arrival, entry.arrival_time);
     }
   }
   // PDT-excluded remainders become separately scheduled work.
@@ -220,11 +260,11 @@ void Engine::ExecuteOperator(const sched::Unit& unit,
       q.spec().left_ops[static_cast<size_t>(unit.op_index)];
   Charge(op.cost());
   if (!Passes(op, arrival, q.id(), unit.op_index)) {
-    ++counters_.tuples_filtered;
+    DropTuple(q.id(), arrival.id);
     return;
   }
   if (unit.op_index + 1 == q.chain_length()) {
-    EmitSingle(q, entry.arrival_time);
+    EmitSingle(q, entry.arrival, entry.arrival_time);
     return;
   }
   const int next_unit =
@@ -258,6 +298,14 @@ void Engine::EmitComposite(const query::CompiledQuery& q,
   const double slowdown = 1.0 + (now_ - ideal_departure) / q.ideal_time();
   ++counters_.tuples_emitted;
   if (stats_monitor_ != nullptr) stats_monitor_->AddEmission();
+  if (tracer_ != nullptr) {
+    tracer_->Record({obs::EventKind::kEmit, now_, 0.0, cur_unit_,
+                     static_cast<int32_t>(q.id()),
+                     static_cast<int64_t>(composite.id), slowdown});
+  }
+  AttributeEmission(
+      composite.id, composite.arrival_time,
+      composite.arrival_time - composite.first_arrival_time);
   if (collector_ != nullptr) {
     collector_->RecordOutput(q.id(), q.spec().cost_class,
                              q.spec().class_selectivity,
@@ -276,7 +324,7 @@ void Engine::PropagateComposite(
       Charge(op.cost());
       if (!PassesComposite(op, composite.identity, q.id(),
                            kCommonOrdinalBase + x)) {
-        ++counters_.tuples_filtered;
+        DropTuple(q.id(), composite.id);
         return;
       }
     }
@@ -299,6 +347,11 @@ void Engine::ProbeAndPropagate(const query::CompiledQuery& q, int stage,
   std::vector<SymmetricHashJoinState::Entry> candidates;
   JoinState(q.id(), stage).Probe(side, join_key, entry.timestamp,
                                  &candidates);
+  if (tracer_ != nullptr) {
+    tracer_->Record({obs::EventKind::kJoinProbe, now_, 0.0, cur_unit_,
+                     static_cast<int32_t>(q.id()),
+                     static_cast<int64_t>(candidates.size())});
+  }
   for (const SymmetricHashJoinState::Entry& partner : candidates) {
     // Per-pair match draw, symmetric in the pair identities so the outcome
     // does not depend on processing order (and hence not on the policy).
@@ -318,6 +371,8 @@ void Engine::ProbeAndPropagate(const query::CompiledQuery& q, int stage,
     composite.timestamp = std::max(entry.timestamp, partner.timestamp);
     composite.arrival_time =
         std::max(entry.arrival_time, partner.arrival_time);
+    composite.first_arrival_time =
+        std::min(entry.first_arrival_time, partner.first_arrival_time);
     if (entry.arrival_time > partner.arrival_time) {
       composite.trigger_input = entry.trigger_input;
     } else if (partner.arrival_time > entry.arrival_time) {
@@ -348,7 +403,7 @@ void Engine::ExecuteJoinInput(const sched::Unit& unit,
     const query::OperatorSpec& op = side_ops[static_cast<size_t>(x)];
     Charge(op.cost());
     if (!Passes(op, arrival, q.id(), ordinal_base + x)) {
-      ++counters_.tuples_filtered;
+      DropTuple(q.id(), arrival.id);
       return;
     }
   }
@@ -364,6 +419,7 @@ void Engine::ExecuteJoinInput(const sched::Unit& unit,
   self.id = arrival.id;
   self.timestamp = arrival.time;
   self.arrival_time = entry.arrival_time;
+  self.first_arrival_time = entry.arrival_time;
   self.identity = static_cast<uint64_t>(arrival.id);
   self.trigger_input = input;
   JoinState(q.id(), stage).Insert(side, arrival.join_key, self);
@@ -384,6 +440,12 @@ void Engine::Enqueue(int unit_id, stream::ArrivalId arrival,
   ++queued_tuples_;
   counters_.peak_queued_tuples =
       std::max(counters_.peak_queued_tuples, queued_tuples_);
+  if (tracer_ != nullptr) {
+    tracer_->Record({obs::EventKind::kEnqueue, now_, 0.0, unit_id,
+                     static_cast<int32_t>(unit.query),
+                     static_cast<int64_t>(arrival),
+                     static_cast<double>(unit.queue.size())});
+  }
   scheduler_->OnEnqueue(unit_id);
 }
 
@@ -392,6 +454,11 @@ void Engine::DeliverArrivalsUpTo(SimTime time) {
     const stream::Arrival& arrival =
         arrivals_->arrivals[static_cast<size_t>(next_arrival_)];
     if (arrival.time > time) break;
+    if (tracer_ != nullptr) {
+      tracer_->Record({obs::EventKind::kTupleArrival, arrival.time, 0.0,
+                       static_cast<int32_t>(arrival.stream), -1,
+                       static_cast<int64_t>(arrival.id)});
+    }
     for (int unit :
          leaf_units_of_stream_[static_cast<size_t>(arrival.stream)]) {
       Enqueue(unit, arrival.id, arrival.time);
@@ -411,6 +478,10 @@ void Engine::ExecuteUnit(int unit_id) {
   scheduler_->OnDequeue(unit_id);
   ++counters_.unit_executions;
   if (stats_monitor_ != nullptr) stats_monitor_->OnExecutionStart(unit_id);
+
+  exec_start_ = now_;
+  cur_unit_ = unit_id;
+  cur_query_ = static_cast<int32_t>(unit.query);
 
   switch (unit.kind) {
     case sched::UnitKind::kQueryChain:
@@ -435,6 +506,16 @@ void Engine::ExecuteUnit(int unit_id) {
       ExecuteJoinInput(unit, entry, unit.op_index);
       break;
   }
+
+  exec_busy_hist_.Add(now_ - exec_start_);
+  if (tracer_ != nullptr) {
+    tracer_->Record({obs::EventKind::kSegmentRun, exec_start_,
+                     now_ - exec_start_, unit_id,
+                     static_cast<int32_t>(unit.query),
+                     static_cast<int64_t>(entry.arrival)});
+  }
+  cur_unit_ = -1;
+  cur_query_ = -1;
 }
 
 RunCounters Engine::Run() {
@@ -456,15 +537,29 @@ RunCounters Engine::Run() {
     }
     ++counters_.scheduling_points;
     counters_.overhead_operations += cost.total();
+    counters_.decision_candidates += cost.candidates;
+    counters_.priority_computations += cost.computations;
+    queue_len_hist_.Add(static_cast<double>(queued_tuples_));
+    if (tracer_ != nullptr) {
+      tracer_->Record({obs::EventKind::kSchedDecision, now_, 0.0,
+                       picked_.front(), -1, cost.candidates,
+                       cost.chosen_priority});
+    }
+    exec_point_overhead_ = 0.0;
     if (config_.overhead_op_cost > 0.0 && cost.total() > 0) {
       const SimTime overhead =
           static_cast<double>(cost.total()) * config_.overhead_op_cost;
       now_ += overhead;
       counters_.overhead_time += overhead;
+      exec_point_overhead_ = overhead;
     }
     for (int unit : picked_) ExecuteUnit(unit);
     if (stats_monitor_ != nullptr && stats_monitor_->MaybeAdapt(now_)) {
       ++counters_.adaptation_ticks;
+      if (tracer_ != nullptr) {
+        tracer_->Record({obs::EventKind::kAdaptationTick, now_, 0.0, -1, -1,
+                         stats_monitor_->last_refreshed_units()});
+      }
     }
     DeliverArrivalsUpTo(now_);
   }
@@ -472,6 +567,9 @@ RunCounters Engine::Run() {
   counters_.end_time = now_;
   counters_.avg_queued_tuples =
       now_ > 0.0 ? queued_tuple_seconds_ / now_ : 0.0;
+  counters_.queue_length = queue_len_hist_.Summarize();
+  counters_.exec_busy = exec_busy_hist_.Summarize();
+  counters_.attribution = attribution_;
   return counters_;
 }
 

@@ -24,6 +24,9 @@
 #include "exec/unit_builder.h"
 #include "exec/window_join.h"
 #include "metrics/qos.h"
+#include "obs/attribution.h"
+#include "obs/histogram.h"
+#include "obs/tracer.h"
 #include "query/plan.h"
 #include "sched/scheduler.h"
 #include "stream/tuple.h"
@@ -40,6 +43,16 @@ struct EngineConfig {
 
   /// Run-time statistics monitoring (query-level scheduling only).
   AdaptationConfig adaptation;
+
+  /// Optional event tracer. Observation-only: attaching a tracer never
+  /// changes the simulation (every site is a branch on this pointer — the
+  /// null-sink fast path pinned by tests/obs_tracer_test.cc).
+  obs::EventTracer* tracer = nullptr;
+
+  /// Per-tuple stage-attribution sample period N: every N-th arrival id's
+  /// emissions get their response time decomposed into queue wait /
+  /// scheduling overhead / processing (see obs/attribution.h). 0 disables.
+  int64_t attribution_sample_every = 0;
 };
 
 /// Execution counters of one run.
@@ -53,6 +66,11 @@ struct RunCounters {
   int64_t overhead_operations = 0;
   int64_t adaptation_ticks = 0;
 
+  /// Decision shape: Σ candidates examined and Σ priority computations over
+  /// all scheduling points (the per-policy `decisions` block in reports).
+  int64_t decision_candidates = 0;
+  int64_t priority_computations = 0;
+
   SimTime busy_time = 0.0;      // operator processing time
   SimTime overhead_time = 0.0;  // charged scheduling overhead
   SimTime end_time = 0.0;       // virtual time when all work drained
@@ -61,6 +79,14 @@ struct RunCounters {
   /// quantity Chain ([5], Table 3) minimizes.
   int64_t peak_queued_tuples = 0;
   double avg_queued_tuples = 0.0;
+
+  /// Distribution of total queued tuples observed at each scheduling point.
+  obs::HistogramSummary queue_length;
+  /// Distribution of busy time per unit execution (seconds).
+  obs::HistogramSummary exec_busy;
+
+  /// Sampled response-time decomposition (empty when sampling is disabled).
+  obs::StageAttribution attribution;
 
   /// busy_time / end_time: fraction of the run the CPU spent on operators.
   double MeasuredUtilization() const {
@@ -111,7 +137,17 @@ class Engine {
   bool RunChainOps(const query::CompiledQuery& q,
                    const stream::Arrival& arrival, int from);
 
-  void EmitSingle(const query::CompiledQuery& q, SimTime arrival_time);
+  void EmitSingle(const query::CompiledQuery& q, stream::ArrivalId arrival,
+                  SimTime arrival_time);
+
+  /// Counts a filter drop (and traces it when a tracer is attached).
+  void DropTuple(query::QueryId q, int64_t arrival);
+
+  /// Records the decomposed response time of an emission when the arrival id
+  /// falls in the attribution sample. `dependency_delay` < 0 means "not a
+  /// composite" (no dependency component recorded).
+  void AttributeEmission(int64_t arrival, SimTime arrival_time,
+                         SimTime dependency_delay);
 
   void ExecuteQueryChain(const sched::Unit& unit,
                          const sched::QueueEntry& entry);
@@ -178,6 +214,21 @@ class Engine {
   bool ran_ = false;
   /// Scratch buffer reused across scheduling points.
   std::vector<int> picked_;
+
+  /// Observability state — all observation-only (never feeds the clock).
+  obs::EventTracer* tracer_ = nullptr;
+  /// Queue lengths are small integers: first bucket edge at 1 tuple.
+  obs::Histogram queue_len_hist_{{.min_value = 1.0}};
+  obs::Histogram exec_busy_hist_;
+  obs::StageAttribution attribution_;
+  /// Unit/query of the execution in progress (trace context for operator
+  /// invocations and join probes); -1 outside ExecuteUnit.
+  int32_t cur_unit_ = -1;
+  int32_t cur_query_ = -1;
+  /// Clock when the execution in progress began, and the scheduling overhead
+  /// charged at its scheduling point (the attribution decomposition).
+  SimTime exec_start_ = 0.0;
+  SimTime exec_point_overhead_ = 0.0;
 };
 
 }  // namespace aqsios::exec

@@ -46,11 +46,13 @@ bool StatsMonitor::MaybeAdapt(SimTime now) {
   // Catch up in one tick even if several periods elapsed while idle.
   while (next_tick_ <= now) next_tick_ += config_.period;
   ++ticks_;
+  last_refreshed_units_ = 0;
 
   const double alpha = config_.ewma_alpha;
   for (size_t u = 0; u < units_->size(); ++u) {
     Window& window = windows_[u];
     if (window.executions >= config_.min_executions) {
+      ++last_refreshed_units_;
       const double observed_selectivity =
           static_cast<double>(window.emissions) /
           static_cast<double>(window.executions);

@@ -60,6 +60,10 @@ class StatsMonitor {
 
   int64_t ticks() const { return ticks_; }
 
+  /// Units whose estimates were actually refreshed by the most recent tick
+  /// (units below min_executions keep their prior estimate and don't count).
+  int64_t last_refreshed_units() const { return last_refreshed_units_; }
+
   /// Current selectivity estimate of a unit (exposed for tests).
   double EstimatedSelectivity(int unit) const {
     return estimated_selectivity_[static_cast<size_t>(unit)];
@@ -84,6 +88,7 @@ class StatsMonitor {
   int current_unit_ = -1;
   SimTime next_tick_ = 0.0;
   int64_t ticks_ = 0;
+  int64_t last_refreshed_units_ = 0;
 };
 
 }  // namespace aqsios::exec

@@ -32,6 +32,10 @@ class SymmetricHashJoinState {
     SimTime timestamp = 0.0;
     /// System arrival time A_i (max over constituents for composites).
     SimTime arrival_time = 0.0;
+    /// Earliest constituent arrival (min over constituents; == arrival_time
+    /// for base tuples). arrival_time − first_arrival_time is the §5.1.2
+    /// dependency delay the slowdown definition excludes.
+    SimTime first_arrival_time = 0.0;
     /// Order-independent identity for frozen match draws: the arrival id
     /// for base tuples, a mix of constituent identities for composites.
     uint64_t identity = 0;

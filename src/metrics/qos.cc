@@ -25,9 +25,7 @@ std::string QosSnapshot::ToString() const {
 }
 
 QosCollector::QosCollector(const Options& options)
-    : options_(options),
-      slowdown_reservoir_(options.reservoir_capacity,
-                          options.reservoir_seed) {
+    : options_(options), slowdown_histogram_(options.slowdown_histogram) {
   if (options.timeline_bucket > 0.0) {
     timeline_.emplace(options.timeline_bucket);
   }
@@ -58,7 +56,7 @@ void QosCollector::RecordOutput(int32_t query_id, int cost_class,
   if (arrival_time < options_.warmup_until) return;
   response_.Add(response);
   slowdown_.Add(slowdown);
-  slowdown_reservoir_.Add(slowdown);
+  slowdown_histogram_.Add(slowdown);
   if (options_.track_per_class) {
     per_class_slowdown_[MakeClassKey(cost_class, selectivity)].Add(slowdown);
   }
@@ -79,8 +77,10 @@ QosSnapshot QosCollector::Snapshot() const {
   snap.max_slowdown = slowdown_.Max();
   snap.l2_slowdown = slowdown_.L2Norm();
   snap.rms_slowdown = slowdown_.Rms();
-  snap.p50_slowdown = slowdown_reservoir_.Quantile(0.5);
-  snap.p99_slowdown = slowdown_reservoir_.Quantile(0.99);
+  snap.p50_slowdown = slowdown_histogram_.Quantile(0.5);
+  snap.p95_slowdown = slowdown_histogram_.Quantile(0.95);
+  snap.p99_slowdown = slowdown_histogram_.Quantile(0.99);
+  snap.p999_slowdown = slowdown_histogram_.Quantile(0.999);
   snap.per_class_slowdown = per_class_slowdown_;
   snap.per_query_slowdown = per_query_slowdown_;
   if (timeline_.has_value()) {

@@ -18,6 +18,7 @@
 #include "common/sim_time.h"
 #include "common/stats.h"
 #include "metrics/timeline.h"
+#include "obs/histogram.h"
 
 namespace aqsios::metrics {
 
@@ -54,8 +55,13 @@ struct QosSnapshot {
   /// different output counts.
   double rms_slowdown = 0.0;
 
+  /// Slowdown quantiles from a log-bucketed histogram (obs/histogram.h):
+  /// deterministic — a pure function of the recorded slowdowns, identical
+  /// across thread counts and unaffected by any sampling seed.
   double p50_slowdown = 0.0;
+  double p95_slowdown = 0.0;
   double p99_slowdown = 0.0;
+  double p999_slowdown = 0.0;
 
   /// Per-class average slowdown, keyed by (cost class, selectivity decile).
   std::map<ClassKey, aqsios::RunningStats> per_class_slowdown;
@@ -88,8 +94,9 @@ class QosCollector {
     /// When > 0, collect the slowdown timeline with this bucket width
     /// (virtual seconds).
     SimTime timeline_bucket = 0.0;
-    size_t reservoir_capacity = 4096;
-    uint64_t reservoir_seed = 0x51ca9e5d;
+    /// Bucket layout of the slowdown histogram behind the quantiles.
+    /// Slowdowns are >= 1 by definition, so the first bucket edge sits at 1.
+    obs::HistogramOptions slowdown_histogram{.min_value = 1.0};
     /// Outputs with arrival time before this are ignored (warm-up cut).
     SimTime warmup_until = 0.0;
   };
@@ -109,7 +116,7 @@ class QosCollector {
   Options options_;
   aqsios::RunningStats response_;
   aqsios::RunningStats slowdown_;
-  aqsios::ReservoirSample slowdown_reservoir_;
+  obs::Histogram slowdown_histogram_;
   std::map<ClassKey, aqsios::RunningStats> per_class_slowdown_;
   std::map<int32_t, aqsios::RunningStats> per_query_slowdown_;
   std::optional<TimelineCollector> timeline_;

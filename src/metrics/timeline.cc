@@ -13,8 +13,13 @@ TimelineCollector::TimelineCollector(SimTime bucket_width)
 
 void TimelineCollector::Record(SimTime arrival_time, double value) {
   AQSIOS_CHECK_GE(arrival_time, 0.0);
-  const size_t index =
-      static_cast<size_t>(std::floor(arrival_time / bucket_width_));
+  // Clamp before the cast: converting an out-of-range double to size_t is
+  // undefined, so a pathological arrival time must be caught while still a
+  // double.
+  const double scaled = std::floor(arrival_time / bucket_width_);
+  const size_t index = scaled >= static_cast<double>(kMaxBuckets)
+                           ? static_cast<size_t>(kMaxBuckets) - 1
+                           : static_cast<size_t>(scaled);
   if (index >= buckets_.size()) buckets_.resize(index + 1);
   buckets_[index].Add(value);
 }

@@ -19,10 +19,17 @@ namespace aqsios::metrics {
 
 class TimelineCollector {
  public:
+  /// Hard cap on allocated buckets: one pathological arrival time must not
+  /// allocate an unbounded dense series. Observations past the cap collapse
+  /// into the last bucket (see Record).
+  static constexpr int kMaxBuckets = 1 << 16;
+
   /// Buckets cover [k·width, (k+1)·width) in virtual seconds.
   explicit TimelineCollector(SimTime bucket_width);
 
-  /// Records one observation for the bucket of `arrival_time`.
+  /// Records one observation for the bucket of `arrival_time`. Out-of-order
+  /// arrival times are fine (buckets are keyed by time, not call order);
+  /// times at or past kMaxBuckets·width clamp into the last bucket.
   void Record(SimTime arrival_time, double value);
 
   SimTime bucket_width() const { return bucket_width_; }

@@ -1,0 +1,64 @@
+// Per-tuple stage attribution of response time.
+//
+// For a 1-in-N sample of emitted tuples the engine decomposes the response
+// time R = D − A into where the simulated time actually went:
+//
+//   queue_wait      — time from system arrival to the start of the unit
+//                     execution that emitted the tuple, minus the scheduling
+//                     overhead of that execution's own decision. For
+//                     query-level scheduling of single-stream queries this
+//                     is pure leaf-queue wait (the paper's W_x); for
+//                     operator-level scheduling it also contains the
+//                     upstream segments' wait and processing.
+//   sched_overhead  — overhead charged at the scheduling point that
+//                     dispatched the emitting execution (0 unless overhead
+//                     charging is enabled, §9.2).
+//   processing      — busy time of the emitting execution up to the emit.
+//   dependency_delay — composites only (§5.1.2): how long the earliest
+//                     constituent waited for the latest (trigger)
+//                     constituent to arrive, A_max − A_min. The slowdown
+//                     definition measures R from A_max, i.e. it excludes
+//                     exactly this component; recording it makes that
+//                     exclusion auditable per run.
+//
+// The identity R = queue_wait + sched_overhead + processing holds exactly
+// for every sampled tuple (dependency_delay sits *outside* R by
+// construction). Sampling is keyed on the arrival id, so the same tuples
+// are sampled under every policy and the breakdowns are comparable.
+
+#ifndef AQSIOS_OBS_ATTRIBUTION_H_
+#define AQSIOS_OBS_ATTRIBUTION_H_
+
+#include <cstdint>
+
+#include "common/stats.h"
+
+namespace aqsios::obs {
+
+struct StageAttribution {
+  /// Sampling period N (a tuple is sampled when arrival_id % N == 0);
+  /// 0 = attribution disabled.
+  int64_t sample_every = 0;
+
+  aqsios::RunningStats response;
+  aqsios::RunningStats queue_wait;
+  aqsios::RunningStats sched_overhead;
+  aqsios::RunningStats processing;
+  /// Only composite emissions contribute (count() < samples() is expected
+  /// on mixed workloads).
+  aqsios::RunningStats dependency_delay;
+
+  int64_t samples() const { return response.count(); }
+
+  void AddSample(double response_time, double wait, double overhead,
+                 double busy) {
+    response.Add(response_time);
+    queue_wait.Add(wait);
+    sched_overhead.Add(overhead);
+    processing.Add(busy);
+  }
+};
+
+}  // namespace aqsios::obs
+
+#endif  // AQSIOS_OBS_ATTRIBUTION_H_

@@ -1,0 +1,159 @@
+#include "obs/chrome_trace.h"
+
+#include <fstream>
+#include <string>
+
+#include "common/json.h"
+
+namespace aqsios::obs {
+namespace {
+
+constexpr int64_t kPid = 1;
+constexpr int64_t kSchedulerTid = 0;
+constexpr int64_t kArrivalsTid = 1;
+constexpr int64_t kQueryTidBase = 2;
+
+int64_t TidOf(const TraceEvent& event) {
+  switch (event.kind) {
+    case EventKind::kSchedDecision:
+    case EventKind::kAdaptationTick:
+      return kSchedulerTid;
+    case EventKind::kTupleArrival:
+      return kArrivalsTid;
+    default:
+      return event.query >= 0 ? kQueryTidBase + event.query : kArrivalsTid;
+  }
+}
+
+/// Virtual seconds → trace microseconds.
+double Ts(SimTime t) { return t * 1e6; }
+
+void WriteThreadName(JsonWriter& json, int64_t tid, const std::string& name) {
+  json.BeginObject();
+  json.Key("name");
+  json.String("thread_name");
+  json.Key("ph");
+  json.String("M");
+  json.Key("pid");
+  json.Number(kPid);
+  json.Key("tid");
+  json.Number(tid);
+  json.Key("args");
+  json.BeginObject();
+  json.Key("name");
+  json.String(name);
+  json.EndObject();
+  json.EndObject();
+}
+
+void WriteEvent(JsonWriter& json, const TraceEvent& event) {
+  const bool span = event.kind == EventKind::kSegmentRun ||
+                    event.kind == EventKind::kOperatorInvocation;
+  json.BeginObject();
+  json.Key("name");
+  json.String(EventKindName(event.kind));
+  json.Key("ph");
+  json.String(span ? "X" : "i");
+  json.Key("ts");
+  json.Number(Ts(event.time));
+  if (span) {
+    json.Key("dur");
+    json.Number(Ts(event.duration));
+  } else {
+    // Thread-scoped instant: renders as a tick on its lane.
+    json.Key("s");
+    json.String("t");
+  }
+  json.Key("pid");
+  json.Number(kPid);
+  json.Key("tid");
+  json.Number(TidOf(event));
+  json.Key("args");
+  json.BeginObject();
+  if (event.unit >= 0) {
+    json.Key("unit");
+    json.Number(static_cast<int64_t>(event.unit));
+  }
+  if (event.query >= 0) {
+    json.Key("query");
+    json.Number(static_cast<int64_t>(event.query));
+  }
+  switch (event.kind) {
+    case EventKind::kTupleArrival:
+      json.Key("arrival");
+      json.Number(event.a);
+      json.Key("stream");
+      json.Number(static_cast<int64_t>(event.unit));
+      break;
+    case EventKind::kEnqueue:
+    case EventKind::kSegmentRun:
+      json.Key("arrival");
+      json.Number(event.a);
+      break;
+    case EventKind::kEmit:
+      json.Key("arrival");
+      json.Number(event.a);
+      json.Key("slowdown");
+      json.Number(event.b);
+      break;
+    case EventKind::kJoinProbe:
+      json.Key("matches");
+      json.Number(event.a);
+      break;
+    case EventKind::kSchedDecision:
+      json.Key("candidates");
+      json.Number(event.a);
+      json.Key("priority");
+      json.Number(event.b);
+      break;
+    case EventKind::kAdaptationTick:
+      json.Key("units_refreshed");
+      json.Number(event.a);
+      break;
+    case EventKind::kOperatorInvocation:
+    case EventKind::kFilterDrop:
+      break;
+  }
+  json.EndObject();
+  json.EndObject();
+}
+
+}  // namespace
+
+std::string ChromeTraceJson(const std::vector<TraceEvent>& events,
+                            const ChromeTraceMeta& meta) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("displayTimeUnit");
+  json.String("ms");
+  json.Key("traceEvents");
+  json.BeginArray();
+  WriteThreadName(json, kSchedulerTid,
+                  meta.policy.empty() ? "scheduler"
+                                      : "scheduler (" + meta.policy + ")");
+  WriteThreadName(json, kArrivalsTid, "arrivals");
+  for (int q = 0; q < meta.num_queries; ++q) {
+    WriteThreadName(json, kQueryTidBase + q, "Q" + std::to_string(q));
+  }
+  for (const TraceEvent& event : events) {
+    WriteEvent(json, event);
+  }
+  json.EndArray();
+  json.EndObject();
+  return json.str();
+}
+
+Status WriteChromeTrace(const std::string& path, const EventTracer& tracer,
+                        const ChromeTraceMeta& meta) {
+  std::ofstream file(path);
+  if (!file) {
+    return Status::IoError("cannot open " + path + " for writing");
+  }
+  file << ChromeTraceJson(tracer.Events(), meta) << "\n";
+  if (!file.good()) {
+    return Status::IoError("write to " + path + " failed");
+  }
+  return Status::Ok();
+}
+
+}  // namespace aqsios::obs

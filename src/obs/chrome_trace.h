@@ -1,0 +1,44 @@
+// Chrome trace-event JSON export (Perfetto / chrome://tracing loadable).
+//
+// Lane layout: one process ("aqsios"), with
+//   tid 0            — the scheduler lane (decisions, adaptation ticks);
+//   tid 1            — the arrivals lane (stream tuples entering);
+//   tid 2 + query_id — one lane per query (segment runs, operator
+//                      invocations, emits, drops, join probes).
+//
+// Virtual seconds map to trace microseconds (the trace "us" unit), so one
+// simulated second reads as one second in the viewer. Spans (segment runs,
+// operator invocations) become "X" complete events; everything else becomes
+// "i" instants. Lane names are emitted as "M" metadata events.
+
+#ifndef AQSIOS_OBS_CHROME_TRACE_H_
+#define AQSIOS_OBS_CHROME_TRACE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/event.h"
+#include "obs/tracer.h"
+
+namespace aqsios::obs {
+
+struct ChromeTraceMeta {
+  /// Queries in the traced plan (one lane each).
+  int num_queries = 0;
+  /// Policy name shown in the scheduler lane label.
+  std::string policy;
+};
+
+/// Renders the tracer's surviving events as a Chrome trace-event JSON
+/// document: {"displayTimeUnit":"ms","traceEvents":[...]}.
+std::string ChromeTraceJson(const std::vector<TraceEvent>& events,
+                            const ChromeTraceMeta& meta);
+
+/// Writes ChromeTraceJson(tracer.Events(), meta) to `path`.
+Status WriteChromeTrace(const std::string& path, const EventTracer& tracer,
+                        const ChromeTraceMeta& meta);
+
+}  // namespace aqsios::obs
+
+#endif  // AQSIOS_OBS_CHROME_TRACE_H_

@@ -1,0 +1,130 @@
+#include "obs/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace aqsios::obs {
+
+Histogram::Histogram(const HistogramOptions& options) : options_(options) {
+  AQSIOS_CHECK_GT(options.min_value, 0.0);
+  AQSIOS_CHECK_GT(options.growth, 1.0);
+  AQSIOS_CHECK_GE(options.max_buckets, 2);
+  log_growth_ = std::log(options.growth);
+}
+
+int Histogram::BucketIndex(double value) const {
+  if (value < options_.min_value) return 0;
+  // Bucket 1 starts at min_value; +1e-9 guards edge values against log
+  // rounding just below an integer.
+  const int index = 1 + static_cast<int>(std::floor(
+                            std::log(value / options_.min_value) /
+                                log_growth_ +
+                            1e-9));
+  return std::min(index, options_.max_buckets - 1);
+}
+
+void Histogram::Add(double value) {
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+  const int index = BucketIndex(value);
+  if (index == options_.max_buckets - 1 &&
+      value >= BucketUpperEdge(index)) {
+    ++overflow_;
+  }
+  if (index >= num_buckets()) counts_.resize(static_cast<size_t>(index) + 1);
+  ++counts_[static_cast<size_t>(index)];
+}
+
+double Histogram::BucketLowerEdge(int i) const {
+  if (i <= 0) return 0.0;
+  return options_.min_value * std::exp(log_growth_ * (i - 1));
+}
+
+double Histogram::BucketUpperEdge(int i) const {
+  return options_.min_value * std::exp(log_growth_ * i);
+}
+
+double Histogram::Quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Target rank in [1, count]: the ceil makes Quantile(0.5) of {a, b} pick
+  // a, matching nearest-rank semantics.
+  const int64_t target = std::max<int64_t>(
+      1, static_cast<int64_t>(std::ceil(q * static_cast<double>(count_))));
+  int64_t cumulative = 0;
+  for (int i = 0; i < num_buckets(); ++i) {
+    const int64_t in_bucket = counts_[static_cast<size_t>(i)];
+    if (in_bucket == 0) continue;
+    if (cumulative + in_bucket >= target) {
+      // Linear interpolation inside the bucket by rank fraction.
+      const double fraction =
+          static_cast<double>(target - cumulative) /
+          static_cast<double>(in_bucket);
+      const double lower = BucketLowerEdge(i);
+      const double upper = BucketUpperEdge(i);
+      const double value = lower + (upper - lower) * fraction;
+      return std::clamp(value, min_, max_);
+    }
+    cumulative += in_bucket;
+  }
+  return max_;
+}
+
+HistogramSummary Histogram::Summarize() const {
+  HistogramSummary summary;
+  summary.count = count_;
+  summary.mean = Mean();
+  summary.min = Min();
+  summary.max = Max();
+  summary.p50 = Quantile(0.5);
+  summary.p90 = Quantile(0.9);
+  summary.p99 = Quantile(0.99);
+  return summary;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  AQSIOS_CHECK(options_.min_value == other.options_.min_value &&
+               options_.growth == other.options_.growth &&
+               options_.max_buckets == other.options_.max_buckets)
+      << "histograms with different bucket layouts cannot be merged";
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  overflow_ += other.overflow_;
+  sum_ += other.sum_;
+  if (other.num_buckets() > num_buckets()) {
+    counts_.resize(other.counts_.size());
+  }
+  for (int i = 0; i < other.num_buckets(); ++i) {
+    counts_[static_cast<size_t>(i)] +=
+        other.counts_[static_cast<size_t>(i)];
+  }
+}
+
+std::string Histogram::ToString() const {
+  std::ostringstream os;
+  for (int i = 0; i < num_buckets(); ++i) {
+    const int64_t n = counts_[static_cast<size_t>(i)];
+    if (n == 0) continue;
+    os << "[" << BucketLowerEdge(i) << ", " << BucketUpperEdge(i)
+       << "): " << n << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace aqsios::obs

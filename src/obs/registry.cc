@@ -1,0 +1,59 @@
+#include "obs/registry.h"
+
+namespace aqsios::obs {
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name,
+                                         const HistogramOptions& options) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(name, Histogram(options)).first;
+  }
+  return it->second;
+}
+
+void WriteSummaryJson(JsonWriter& json, const HistogramSummary& summary) {
+  json.BeginObject();
+  json.Key("count");
+  json.Number(summary.count);
+  json.Key("mean");
+  json.Number(summary.mean);
+  json.Key("min");
+  json.Number(summary.min);
+  json.Key("max");
+  json.Number(summary.max);
+  json.Key("p50");
+  json.Number(summary.p50);
+  json.Key("p90");
+  json.Number(summary.p90);
+  json.Key("p99");
+  json.Number(summary.p99);
+  json.EndObject();
+}
+
+void MetricsRegistry::WriteJson(JsonWriter& json) const {
+  json.BeginObject();
+  json.Key("counters");
+  json.BeginObject();
+  for (const auto& [name, value] : counters_) {
+    json.Key(name);
+    json.Number(value);
+  }
+  json.EndObject();
+  json.Key("gauges");
+  json.BeginObject();
+  for (const auto& [name, value] : gauges_) {
+    json.Key(name);
+    json.Number(value);
+  }
+  json.EndObject();
+  json.Key("histograms");
+  json.BeginObject();
+  for (const auto& [name, histogram] : histograms_) {
+    json.Key(name);
+    WriteSummaryJson(json, histogram.Summarize());
+  }
+  json.EndObject();
+  json.EndObject();
+}
+
+}  // namespace aqsios::obs

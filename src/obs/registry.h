@@ -1,0 +1,63 @@
+// Named metrics registry: counters, gauges, and histograms.
+//
+// A single owner (the engine, a bench driver, a tool) registers metrics by
+// name and updates them through stable references; export walks the registry
+// in name order, so serialized output is deterministic. The registry is a
+// container, not a synchronization point — one instance per simulation run,
+// like the QosCollector.
+
+#ifndef AQSIOS_OBS_REGISTRY_H_
+#define AQSIOS_OBS_REGISTRY_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/json.h"
+#include "obs/histogram.h"
+
+namespace aqsios::obs {
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Returns the counter registered under `name`, creating it at 0. The
+  /// reference stays valid for the registry's lifetime.
+  int64_t& Counter(const std::string& name) { return counters_[name]; }
+
+  /// Returns the gauge registered under `name`, creating it at 0.
+  double& Gauge(const std::string& name) { return gauges_[name]; }
+
+  /// Returns the histogram registered under `name`, creating it with
+  /// `options` on first use (later calls ignore `options`).
+  Histogram& GetHistogram(const std::string& name,
+                          const HistogramOptions& options = {});
+
+  bool HasHistogram(const std::string& name) const {
+    return histograms_.count(name) != 0;
+  }
+
+  size_t num_counters() const { return counters_.size(); }
+  size_t num_gauges() const { return gauges_.size(); }
+  size_t num_histograms() const { return histograms_.size(); }
+
+  /// Writes {"counters":{...},"gauges":{...},"histograms":{name:
+  /// {count,mean,min,max,p50,p90,p99}}} as one JSON object value into an
+  /// in-progress document. Keys are emitted in name order.
+  void WriteJson(JsonWriter& json) const;
+
+ private:
+  std::map<std::string, int64_t> counters_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+/// Writes a HistogramSummary as a JSON object value.
+void WriteSummaryJson(JsonWriter& json, const HistogramSummary& summary);
+
+}  // namespace aqsios::obs
+
+#endif  // AQSIOS_OBS_REGISTRY_H_

@@ -1,0 +1,65 @@
+#include "obs/tracer.h"
+
+#include "common/check.h"
+
+namespace aqsios::obs {
+
+const char* EventKindName(EventKind kind) {
+  switch (kind) {
+    case EventKind::kTupleArrival:
+      return "tuple_arrival";
+    case EventKind::kEnqueue:
+      return "enqueue";
+    case EventKind::kSegmentRun:
+      return "segment_run";
+    case EventKind::kOperatorInvocation:
+      return "operator";
+    case EventKind::kEmit:
+      return "emit";
+    case EventKind::kFilterDrop:
+      return "filter_drop";
+    case EventKind::kJoinProbe:
+      return "join_probe";
+    case EventKind::kSchedDecision:
+      return "sched_decision";
+    case EventKind::kAdaptationTick:
+      return "adaptation_tick";
+  }
+  return "unknown";
+}
+
+EventTracer::EventTracer(size_t capacity) {
+  AQSIOS_CHECK_GT(capacity, 0u);
+  buffer_.resize(capacity);
+}
+
+std::vector<TraceEvent> EventTracer::Events() const {
+  std::vector<TraceEvent> out;
+  const size_t n = size();
+  out.reserve(n);
+  // Oldest surviving event: next_ when the ring has wrapped, 0 otherwise.
+  const size_t start =
+      recorded_ > static_cast<int64_t>(buffer_.size()) ? next_ : 0;
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(buffer_[(start + i) % buffer_.size()]);
+  }
+  return out;
+}
+
+int64_t EventTracer::CountOf(EventKind kind) const {
+  int64_t count = 0;
+  const size_t n = size();
+  const size_t start =
+      recorded_ > static_cast<int64_t>(buffer_.size()) ? next_ : 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (buffer_[(start + i) % buffer_.size()].kind == kind) ++count;
+  }
+  return count;
+}
+
+void EventTracer::Clear() {
+  next_ = 0;
+  recorded_ = 0;
+}
+
+}  // namespace aqsios::obs

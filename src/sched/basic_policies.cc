@@ -18,10 +18,11 @@ void FcfsScheduler::OnEnqueue(int unit) { fifo_.push_back(unit); }
 
 void FcfsScheduler::OnDequeue(int /*unit*/) {}
 
-bool FcfsScheduler::PickNext(SimTime /*now*/, SchedulingCost* /*cost*/,
+bool FcfsScheduler::PickNext(SimTime /*now*/, SchedulingCost* cost,
                              std::vector<int>* out) {
   // O(1) pop, no priority computations or comparisons: charges zero.
   if (fifo_.empty()) return false;
+  cost->candidates = 1;
   out->push_back(fifo_.front());
   fifo_.pop_front();
   return true;
@@ -34,7 +35,7 @@ void RoundRobinScheduler::Attach(const UnitTable* units) {
   cursor_ = 0;
 }
 
-bool RoundRobinScheduler::PickNext(SimTime /*now*/, SchedulingCost* /*cost*/,
+bool RoundRobinScheduler::PickNext(SimTime /*now*/, SchedulingCost* cost,
                                    std::vector<int>* out) {
   // The cursor scan tests has_pending() but computes no priorities, so RR
   // charges zero (the paper treats RR's decision overhead as negligible).
@@ -44,6 +45,7 @@ bool RoundRobinScheduler::PickNext(SimTime /*now*/, SchedulingCost* /*cost*/,
     const int candidate = (cursor_ + step) % n;
     if ((*units_)[static_cast<size_t>(candidate)].has_pending()) {
       cursor_ = (candidate + 1) % n;
+      cost->candidates = step + 1;
       out->push_back(candidate);
       return true;
     }
@@ -127,12 +129,16 @@ void StaticPriorityScheduler::OnDequeue(int unit) {
 }
 
 bool StaticPriorityScheduler::PickNext(SimTime /*now*/,
-                                       SchedulingCost* /*cost*/,
+                                       SchedulingCost* cost,
                                        std::vector<int>* out) {
   // Priorities are static ranks maintained on enqueue/dequeue; the pick
   // itself is O(1) (set front), so the decision charges zero (§6.1).
   if (ready_.empty()) return false;
-  out->push_back(ready_.begin()->second);
+  const int chosen = ready_.begin()->second;
+  cost->candidates = 1;
+  cost->chosen_priority =
+      PriorityOf(policy_, (*units_)[static_cast<size_t>(chosen)]);
+  out->push_back(chosen);
   return true;
 }
 
@@ -173,6 +179,8 @@ bool LsfScheduler::PickNext(SimTime now, SchedulingCost* cost,
       best = unit;
     }
   }
+  cost->candidates = static_cast<int64_t>(ready_.size());
+  cost->chosen_priority = best_priority;
   out->push_back(best);
   return true;
 }
@@ -216,6 +224,8 @@ bool BsdScheduler::PickNext(SimTime now, SchedulingCost* cost,
                               : static_cast<int64_t>(ready_.size());
   cost->computations += touched;
   cost->comparisons += touched;
+  cost->candidates = static_cast<int64_t>(ready_.size());
+  cost->chosen_priority = best_priority;
   out->push_back(best);
   return true;
 }

@@ -68,11 +68,13 @@ int ClusteredBsdScheduler::SelectByScan(SimTime now,
         (now - head_time);
     ++cost->computations;
     ++cost->comparisons;
+    ++cost->candidates;
     if (priority > best_priority) {
       best_priority = priority;
       best = cluster;
     }
   }
+  cost->chosen_priority = best_priority;
   return best;
 }
 
@@ -98,6 +100,7 @@ int ClusteredBsdScheduler::SelectByFagin(SimTime now,
         (now - HeadTime(cluster));
     ++cost->computations;
     ++cost->comparisons;
+    ++cost->candidates;
     if (priority > best_priority) {
       best_priority = priority;
       best = cluster;
@@ -148,6 +151,7 @@ int ClusteredBsdScheduler::SelectByFagin(SimTime now,
     ++cost->comparisons;
     if (best_priority >= threshold) break;
   }
+  cost->chosen_priority = best_priority;
   return best;
 }
 

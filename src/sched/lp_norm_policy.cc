@@ -63,6 +63,8 @@ bool LpNormScheduler::PickNext(SimTime now, SchedulingCost* cost,
       best = unit;
     }
   }
+  cost->candidates = static_cast<int64_t>(ready_.size());
+  cost->chosen_priority = best_priority;
   out->push_back(best);
   return true;
 }

@@ -108,6 +108,8 @@ bool QosGraphScheduler::PickNext(SimTime now, SchedulingCost* cost,
       fallback = unit_id;
     }
   }
+  cost->candidates = static_cast<int64_t>(ready_.size());
+  cost->chosen_priority = best >= 0 ? best_priority : fallback_rate;
   out->push_back(best >= 0 ? best : fallback);
   return true;
 }

@@ -45,6 +45,13 @@ class Scheduler {
   /// comparisons this decision needed into `cost` (used by the
   /// scheduling-overhead experiments, Figures 13–14); policies whose
   /// decisions are O(1)/amortized-trivial report zero.
+  ///
+  /// `cost` doubles as the observability decision hook: implementations also
+  /// fill `cost->candidates` (ready units examined by this decision) and
+  /// `cost->chosen_priority` (the chosen unit's priority value, 0 when the
+  /// policy has no numeric priority). The engine forwards both to the event
+  /// tracer and the per-policy decision counters; neither affects the
+  /// simulated clock.
   virtual bool PickNext(SimTime now, SchedulingCost* cost,
                         std::vector<int>* out) = 0;
 

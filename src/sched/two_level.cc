@@ -44,7 +44,7 @@ void TwoLevelRrScheduler::OnDequeue(int unit) {
   AQSIOS_DCHECK_GE(pending, 0);
 }
 
-bool TwoLevelRrScheduler::PickNext(SimTime /*now*/, SchedulingCost* /*cost*/,
+bool TwoLevelRrScheduler::PickNext(SimTime /*now*/, SchedulingCost* cost,
                                    std::vector<int>* out) {
   const int num_queries = static_cast<int>(units_of_query_.size());
   if (num_queries == 0) return false;
@@ -55,6 +55,9 @@ bool TwoLevelRrScheduler::PickNext(SimTime /*now*/, SchedulingCost* /*cost*/,
     for (int unit : units_of_query_[static_cast<size_t>(query)]) {
       if ((*units_)[static_cast<size_t>(unit)].has_pending()) {
         cursor_ = (query + 1) % num_queries;
+        cost->candidates = step + 1;
+        cost->chosen_priority =
+            (*units_)[static_cast<size_t>(unit)].stats.output_rate;
         out->push_back(unit);
         return true;
       }

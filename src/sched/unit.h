@@ -111,15 +111,26 @@ struct Unit {
 
 using UnitTable = std::vector<Unit>;
 
-/// Cost of one scheduling decision, in abstract operations. The engine
-/// charges (computations + comparisons) × (cheapest operator cost) of
-/// simulated time when overhead charging is enabled (§9.2).
+/// Cost and shape of one scheduling decision. The engine charges
+/// (computations + comparisons) × (cheapest operator cost) of simulated time
+/// when overhead charging is enabled (§9.2); `candidates` and
+/// `chosen_priority` are the observability side of the same decision (trace
+/// events, per-policy decision accounting) and never affect the clock.
 struct SchedulingCost {
   int64_t computations = 0;
   int64_t comparisons = 0;
+  /// Ready units (or clusters) the decision examined; policies that pop a
+  /// precomputed order report 1 (the popped candidate).
+  int64_t candidates = 0;
+  /// Priority value of the chosen unit under the policy's own priority
+  /// function; 0 for policies without a numeric priority (FCFS, RR).
+  double chosen_priority = 0.0;
 
   int64_t total() const { return computations + comparisons; }
-  void Clear() { computations = comparisons = 0; }
+  void Clear() {
+    computations = comparisons = candidates = 0;
+    chosen_priority = 0.0;
+  }
 };
 
 }  // namespace aqsios::sched

@@ -91,6 +91,7 @@ TEST(ExperimentTest, ParallelSweepMatchesSerialBitForBit) {
   config.policies = {sched::PolicyConfig::Of(sched::PolicyKind::kHnr),
                      sched::PolicyConfig::Of(sched::PolicyKind::kBsd)};
   config.options.qos.track_per_query = true;
+  config.options.attribution_sample_every = 8;
 
   config.threads = 1;
   const auto serial = RunSweep(config);
@@ -127,6 +128,23 @@ TEST(ExperimentTest, ParallelSweepMatchesSerialBitForBit) {
     EXPECT_EQ(ca.end_time, cb.end_time);
     EXPECT_EQ(ca.peak_queued_tuples, cb.peak_queued_tuples);
     EXPECT_EQ(ca.avg_queued_tuples, cb.avg_queued_tuples);
+    // Observability additions must be just as deterministic: decision
+    // shape, histogram summaries, quantiles, and attribution.
+    EXPECT_EQ(ca.decision_candidates, cb.decision_candidates);
+    EXPECT_EQ(ca.priority_computations, cb.priority_computations);
+    EXPECT_EQ(ca.queue_length.count, cb.queue_length.count);
+    EXPECT_EQ(ca.queue_length.p50, cb.queue_length.p50);
+    EXPECT_EQ(ca.queue_length.p99, cb.queue_length.p99);
+    EXPECT_EQ(ca.exec_busy.mean, cb.exec_busy.mean);
+    EXPECT_EQ(ca.exec_busy.p90, cb.exec_busy.p90);
+    EXPECT_EQ(a.result.qos.p50_slowdown, b.result.qos.p50_slowdown);
+    EXPECT_EQ(a.result.qos.p95_slowdown, b.result.qos.p95_slowdown);
+    EXPECT_EQ(a.result.qos.p99_slowdown, b.result.qos.p99_slowdown);
+    EXPECT_EQ(a.result.qos.p999_slowdown, b.result.qos.p999_slowdown);
+    EXPECT_GT(ca.attribution.samples(), 0);
+    EXPECT_EQ(ca.attribution.samples(), cb.attribution.samples());
+    EXPECT_EQ(ca.attribution.queue_wait.sum(), cb.attribution.queue_wait.sum());
+    EXPECT_EQ(ca.attribution.processing.sum(), cb.attribution.processing.sum());
   }
 }
 

@@ -118,5 +118,75 @@ TEST(ReportTest, EndToEndFromSimulation) {
   EXPECT_NE(json.find("\"measured_utilization\""), std::string::npos);
 }
 
+TEST(ReportTest, QosCarriesHistogramQuantiles) {
+  RunResult result;
+  result.qos.p50_slowdown = 1.5;
+  result.qos.p95_slowdown = 3.25;
+  result.qos.p99_slowdown = 6.5;
+  result.qos.p999_slowdown = 9.75;
+  const std::string json = RunResultToJson(result);
+  EXPECT_NE(json.find("\"p50_slowdown\":1.5"), std::string::npos);
+  EXPECT_NE(json.find("\"p95_slowdown\":3.25"), std::string::npos);
+  EXPECT_NE(json.find("\"p99_slowdown\":6.5"), std::string::npos);
+  EXPECT_NE(json.find("\"p999_slowdown\":9.75"), std::string::npos);
+}
+
+TEST(ReportTest, DecisionsBlockAggregatesTheDecisionShape) {
+  RunResult result;
+  result.counters.scheduling_points = 4;
+  result.counters.decision_candidates = 10;
+  result.counters.priority_computations = 8;
+  const std::string json = RunResultToJson(result);
+  EXPECT_NE(json.find("\"decisions\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"candidates_total\":10"), std::string::npos);
+  EXPECT_NE(json.find("\"mean_candidates\":2.5"), std::string::npos);
+  EXPECT_NE(json.find("\"mean_priority_computations\":2"), std::string::npos);
+}
+
+TEST(ReportTest, AttributionBlockOnlyWhenSampled) {
+  RunResult result;
+  EXPECT_EQ(RunResultToJson(result).find("\"attribution\""),
+            std::string::npos);
+
+  result.counters.attribution.sample_every = 4;
+  result.counters.attribution.AddSample(/*response_time=*/0.004,
+                                        /*wait=*/0.003, /*overhead=*/0.0,
+                                        /*busy=*/0.001);
+  const std::string json = RunResultToJson(result);
+  EXPECT_NE(json.find("\"attribution\""), std::string::npos);
+  EXPECT_NE(json.find("\"sample_every\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"mean_response_ms\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"mean_queue_wait_ms\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"mean_processing_ms\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"dependency_samples\":0"), std::string::npos);
+}
+
+TEST(ReportTest, CountersCarryHistogramSummaries) {
+  query::WorkloadConfig config;
+  config.num_queries = 5;
+  config.num_arrivals = 200;
+  config.seed = 2;
+  const query::Workload workload = query::GenerateWorkload(config);
+  const RunResult result =
+      Simulate(workload, sched::PolicyConfig::Of(sched::PolicyKind::kHnr));
+  const std::string json = RunResultToJson(result);
+  EXPECT_NE(json.find("\"queue_length\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"exec_busy_seconds\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"p90\""), std::string::npos);
+}
+
+TEST(ReportTest, SweepCellsCarryCountersDecisionsAndAttribution) {
+  std::vector<SweepCell> cells(1);
+  cells[0].utilization = 0.5;
+  cells[0].policy = "HNR";
+  cells[0].result.counters.scheduling_points = 2;
+  cells[0].result.counters.attribution.sample_every = 2;
+  cells[0].result.counters.attribution.AddSample(0.002, 0.001, 0.0, 0.001);
+  const std::string json = SweepToJson(cells);
+  EXPECT_NE(json.find("\"counters\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"decisions\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"attribution\":{"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace aqsios::core

@@ -1,0 +1,142 @@
+#include "obs/attribution.h"
+
+#include <gtest/gtest.h>
+
+#include "core/dsms.h"
+#include "query/workload.h"
+
+namespace aqsios::exec {
+namespace {
+
+TEST(StageAttributionTest, AddSampleAccumulates) {
+  obs::StageAttribution attribution;
+  attribution.sample_every = 4;
+  attribution.AddSample(/*response_time=*/1.0, /*wait=*/0.6, /*overhead=*/0.1,
+                        /*busy=*/0.3);
+  attribution.AddSample(3.0, 2.0, 0.2, 0.8);
+  EXPECT_EQ(attribution.samples(), 2);
+  EXPECT_DOUBLE_EQ(attribution.response.Mean(), 2.0);
+  EXPECT_DOUBLE_EQ(attribution.queue_wait.Mean(), 1.3);
+  EXPECT_DOUBLE_EQ(attribution.sched_overhead.Mean(), 0.15);
+  EXPECT_DOUBLE_EQ(attribution.processing.Mean(), 0.55);
+  EXPECT_EQ(attribution.dependency_delay.count(), 0);
+}
+
+core::RunResult RunAttributed(const query::WorkloadConfig& config,
+                              bool charge_overhead,
+                              int64_t sample_every = 1,
+                              sched::PolicyKind kind = sched::PolicyKind::kHnr) {
+  const query::Workload workload = query::GenerateWorkload(config);
+  core::SimulationOptions options;
+  options.attribution_sample_every = sample_every;
+  options.charge_scheduling_overhead = charge_overhead;
+  return core::Simulate(workload, sched::PolicyConfig::Of(kind), options);
+}
+
+query::WorkloadConfig SingleStreamConfig() {
+  query::WorkloadConfig config;
+  config.num_queries = 8;
+  config.num_arrivals = 500;
+  config.seed = 23;
+  config.utilization = 0.9;
+  return config;
+}
+
+// The core identity: R = queue_wait + sched_overhead + processing holds
+// exactly per sample, hence also for the accumulated sums.
+TEST(StageAttributionTest, ResponseDecomposesExactly) {
+  const core::RunResult result = RunAttributed(SingleStreamConfig(),
+                                               /*charge_overhead=*/false);
+  const obs::StageAttribution& attribution = result.counters.attribution;
+  ASSERT_GT(attribution.samples(), 100);
+  EXPECT_EQ(attribution.queue_wait.count(), attribution.samples());
+  EXPECT_EQ(attribution.processing.count(), attribution.samples());
+  EXPECT_NEAR(attribution.response.sum(),
+              attribution.queue_wait.sum() + attribution.sched_overhead.sum() +
+                  attribution.processing.sum(),
+              1e-9 * attribution.response.sum());
+  // No overhead charging: that component is identically zero.
+  EXPECT_DOUBLE_EQ(attribution.sched_overhead.sum(), 0.0);
+  // Waits and processing are nonnegative throughout.
+  EXPECT_GE(attribution.queue_wait.Min(), 0.0);
+  EXPECT_GT(attribution.processing.Min(), 0.0);
+  // Single-stream workload: no composites, no dependency delay.
+  EXPECT_EQ(attribution.dependency_delay.count(), 0);
+}
+
+TEST(StageAttributionTest, OverheadChargingShowsUpAsOverheadComponent) {
+  // LSF rescans the ready set at every decision, so every scheduling point
+  // charges overhead (HNR's O(1) heap picks mostly charge none).
+  const core::RunResult result = RunAttributed(SingleStreamConfig(),
+                                               /*charge_overhead=*/true,
+                                               /*sample_every=*/1,
+                                               sched::PolicyKind::kLsf);
+  const obs::StageAttribution& attribution = result.counters.attribution;
+  ASSERT_GT(attribution.samples(), 0);
+  EXPECT_GT(attribution.sched_overhead.sum(), 0.0);
+  EXPECT_NEAR(attribution.response.sum(),
+              attribution.queue_wait.sum() + attribution.sched_overhead.sum() +
+                  attribution.processing.sum(),
+              1e-9 * attribution.response.sum());
+}
+
+// §5.1.2: composite outputs carry a dependency delay — the wait for the
+// trigger tuple — which sits outside R and therefore outside slowdown.
+TEST(StageAttributionTest, JoinWorkloadRecordsDependencyDelay) {
+  query::WorkloadConfig config;
+  config.num_queries = 6;
+  config.num_arrivals = 600;
+  config.seed = 29;
+  config.utilization = 0.8;
+  config.multi_stream = true;
+  config.arrival_pattern = query::ArrivalPattern::kPoisson;
+  config.poisson_rate = 50.0;
+  config.window_min_seconds = 0.5;
+  config.window_max_seconds = 2.0;
+  config.num_join_keys = 1;
+  const core::RunResult result = RunAttributed(config,
+                                               /*charge_overhead=*/false);
+  const obs::StageAttribution& attribution = result.counters.attribution;
+  ASSERT_GT(result.counters.composites_generated, 0);
+  ASSERT_GT(attribution.dependency_delay.count(), 0);
+  // Constituents never arrive simultaneously under Poisson arrivals, so the
+  // delay is strictly positive somewhere — and never negative.
+  EXPECT_GE(attribution.dependency_delay.Min(), 0.0);
+  EXPECT_GT(attribution.dependency_delay.Max(), 0.0);
+  // The identity still holds for composite emissions.
+  EXPECT_NEAR(attribution.response.sum(),
+              attribution.queue_wait.sum() + attribution.sched_overhead.sum() +
+                  attribution.processing.sum(),
+              1e-9 * attribution.response.sum());
+}
+
+// Sampling is keyed on arrival id, so different policies sample the same
+// tuples: the response-time means differ, the sample counts do not.
+TEST(StageAttributionTest, SamePopulationSampledUnderEveryPolicy) {
+  const query::Workload workload =
+      query::GenerateWorkload(SingleStreamConfig());
+  core::SimulationOptions options;
+  options.attribution_sample_every = 8;
+  const core::RunResult fcfs = core::Simulate(
+      workload, sched::PolicyConfig::Of(sched::PolicyKind::kFcfs), options);
+  const core::RunResult hnr = core::Simulate(
+      workload, sched::PolicyConfig::Of(sched::PolicyKind::kHnr), options);
+  ASSERT_GT(fcfs.counters.attribution.samples(), 0);
+  EXPECT_EQ(fcfs.counters.attribution.samples(),
+            hnr.counters.attribution.samples());
+  // Frozen randomness: processing cost of the same tuples is
+  // policy-invariant; only the queueing differs.
+  EXPECT_NEAR(fcfs.counters.attribution.processing.sum(),
+              hnr.counters.attribution.processing.sum(),
+              1e-9 * fcfs.counters.attribution.processing.sum());
+}
+
+TEST(StageAttributionTest, DisabledByDefault) {
+  const core::RunResult result = RunAttributed(SingleStreamConfig(),
+                                               /*charge_overhead=*/false,
+                                               /*sample_every=*/0);
+  EXPECT_EQ(result.counters.attribution.samples(), 0);
+}
+
+}  // namespace
+}  // namespace aqsios::exec

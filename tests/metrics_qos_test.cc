@@ -72,14 +72,39 @@ TEST(QosCollectorTest, WarmupCutDropsEarlyArrivals) {
   EXPECT_NEAR(snap.avg_slowdown, 6.0, 1e-12);
 }
 
-TEST(QosCollectorTest, QuantilesFromReservoir) {
+TEST(QosCollectorTest, QuantilesFromHistogram) {
   QosCollector collector;
   for (int i = 1; i <= 1000; ++i) {
     collector.RecordOutput(0, 0, 0.5, 0.0, 0.001 * i, 1.0 + i * 0.01);
   }
   const QosSnapshot snap = collector.Snapshot();
   EXPECT_NEAR(snap.p50_slowdown, 1.0 + 500 * 0.01, 0.5);
-  EXPECT_GT(snap.p99_slowdown, snap.p50_slowdown);
+  EXPECT_NEAR(snap.p95_slowdown, 1.0 + 950 * 0.01, 0.6);
+  EXPECT_NEAR(snap.p99_slowdown, 1.0 + 990 * 0.01, 0.6);
+  EXPECT_NEAR(snap.p999_slowdown, 1.0 + 999 * 0.01, 0.6);
+  EXPECT_LE(snap.p50_slowdown, snap.p95_slowdown);
+  EXPECT_LE(snap.p95_slowdown, snap.p99_slowdown);
+  EXPECT_LE(snap.p99_slowdown, snap.p999_slowdown);
+  EXPECT_LE(snap.p999_slowdown, snap.max_slowdown);
+}
+
+TEST(QosCollectorTest, QuantilesAreDeterministic) {
+  // The histogram has no reservoir and no seed: two collectors fed the same
+  // observations in different orders agree bit-for-bit on every quantile.
+  QosCollector forward;
+  QosCollector backward;
+  for (int i = 1; i <= 500; ++i) {
+    forward.RecordOutput(0, 0, 0.5, 0.0, 0.001, 1.0 + (i % 37) * 0.4);
+  }
+  for (int i = 500; i >= 1; --i) {
+    backward.RecordOutput(0, 0, 0.5, 0.0, 0.001, 1.0 + (i % 37) * 0.4);
+  }
+  const QosSnapshot a = forward.Snapshot();
+  const QosSnapshot b = backward.Snapshot();
+  EXPECT_DOUBLE_EQ(a.p50_slowdown, b.p50_slowdown);
+  EXPECT_DOUBLE_EQ(a.p95_slowdown, b.p95_slowdown);
+  EXPECT_DOUBLE_EQ(a.p99_slowdown, b.p99_slowdown);
+  EXPECT_DOUBLE_EQ(a.p999_slowdown, b.p999_slowdown);
 }
 
 TEST(QosCollectorTest, SnapshotToStringMentionsKeyMetrics) {

@@ -46,6 +46,45 @@ TEST(TimelineCollectorTest, BoundaryLandsInUpperBucket) {
   EXPECT_EQ(timeline.Bucket(1).count(), 1);
 }
 
+TEST(TimelineCollectorTest, OutOfOrderArrivalsBucketByTimeNotCallOrder) {
+  // Composite emissions report the constituents' arrival times, which need
+  // not be monotone in emission order.
+  TimelineCollector timeline(1.0);
+  timeline.Record(5.5, 8.0);
+  timeline.Record(0.5, 2.0);  // earlier arrival observed later
+  timeline.Record(5.6, 4.0);
+  ASSERT_EQ(timeline.num_buckets(), 6);
+  EXPECT_EQ(timeline.Bucket(0).count(), 1);
+  EXPECT_DOUBLE_EQ(timeline.Bucket(0).Mean(), 2.0);
+  EXPECT_EQ(timeline.Bucket(5).count(), 2);
+  EXPECT_NEAR(timeline.Bucket(5).Mean(), 6.0, 1e-12);
+}
+
+TEST(TimelineCollectorTest, FirstBucketStartsAtTimeZero) {
+  TimelineCollector timeline(2.0);
+  timeline.Record(0.0, 3.0);
+  ASSERT_EQ(timeline.num_buckets(), 1);
+  EXPECT_DOUBLE_EQ(timeline.BucketStart(0), 0.0);
+  EXPECT_EQ(timeline.Bucket(0).count(), 1);
+  EXPECT_DOUBLE_EQ(timeline.Bucket(0).Mean(), 3.0);
+}
+
+TEST(TimelineCollectorTest, HugeArrivalTimeClampsIntoLastBucket) {
+  // One pathological arrival time must not allocate an unbounded dense
+  // series: the index clamps to kMaxBuckets - 1.
+  TimelineCollector timeline(0.001);
+  timeline.Record(1e18, 7.0);
+  ASSERT_EQ(timeline.num_buckets(), TimelineCollector::kMaxBuckets);
+  EXPECT_EQ(timeline.Bucket(TimelineCollector::kMaxBuckets - 1).count(), 1);
+  // Normal records afterwards still land where they should.
+  timeline.Record(0.0005, 1.0);
+  EXPECT_EQ(timeline.Bucket(0).count(), 1);
+  const auto series = timeline.MeanSeries();
+  ASSERT_EQ(series.size(),
+            static_cast<size_t>(TimelineCollector::kMaxBuckets));
+  EXPECT_DOUBLE_EQ(series.back(), 7.0);
+}
+
 TEST(QosTimelineTest, CollectorIntegration) {
   QosCollector::Options options;
   options.timeline_bucket = 1.0;

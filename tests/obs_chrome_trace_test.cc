@@ -1,0 +1,294 @@
+#include "obs/chrome_trace.h"
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/dsms.h"
+#include "obs/tracer.h"
+#include "query/workload.h"
+
+namespace aqsios::obs {
+namespace {
+
+// A minimal recursive-descent JSON parser: the well-formedness check for the
+// exporter is that its output parses back and has the advertised structure,
+// not merely that braces look balanced.
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  bool Has(const std::string& key) const { return object.count(key) != 0; }
+  const JsonValue& At(const std::string& key) const { return object.at(key); }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  bool Parse(JsonValue* out) {
+    const bool ok = ParseValue(out);
+    SkipSpace();
+    return ok && pos_ == text_.size();
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ >= text_.size() || text_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool ParseValue(JsonValue* out) {
+    SkipSpace();
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{':
+        return ParseObject(out);
+      case '[':
+        return ParseArray(out);
+      case '"':
+        out->type = JsonValue::Type::kString;
+        return ParseString(&out->string);
+      case 't':
+      case 'f':
+        out->type = JsonValue::Type::kBool;
+        out->boolean = text_[pos_] == 't';
+        return ParseLiteral(out->boolean ? "true" : "false");
+      case 'n':
+        out->type = JsonValue::Type::kNull;
+        return ParseLiteral("null");
+      default:
+        out->type = JsonValue::Type::kNumber;
+        return ParseNumber(&out->number);
+    }
+  }
+
+  bool ParseLiteral(const std::string& literal) {
+    if (text_.compare(pos_, literal.size(), literal) != 0) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  bool ParseNumber(double* out) {
+    size_t end = pos_;
+    while (end < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[end])) ||
+            text_[end] == '-' || text_[end] == '+' || text_[end] == '.' ||
+            text_[end] == 'e' || text_[end] == 'E')) {
+      ++end;
+    }
+    if (end == pos_) return false;
+    try {
+      *out = std::stod(text_.substr(pos_, end - pos_));
+    } catch (...) {
+      return false;
+    }
+    pos_ = end;
+    return true;
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) return false;
+    out->clear();
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return false;
+        const char escape = text_[pos_++];
+        switch (escape) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          case 'u': pos_ += 4; c = '?'; break;
+          default: c = escape; break;
+        }
+      }
+      out->push_back(c);
+    }
+    return Consume('"');
+  }
+
+  bool ParseObject(JsonValue* out) {
+    out->type = JsonValue::Type::kObject;
+    if (!Consume('{')) return false;
+    SkipSpace();
+    if (Consume('}')) return true;
+    while (true) {
+      std::string key;
+      if (!ParseString(&key) || !Consume(':')) return false;
+      JsonValue value;
+      if (!ParseValue(&value)) return false;
+      out->object.emplace(std::move(key), std::move(value));
+      if (Consume(',')) continue;
+      return Consume('}');
+    }
+  }
+
+  bool ParseArray(JsonValue* out) {
+    out->type = JsonValue::Type::kArray;
+    if (!Consume('[')) return false;
+    SkipSpace();
+    if (Consume(']')) return true;
+    while (true) {
+      JsonValue value;
+      if (!ParseValue(&value)) return false;
+      out->array.push_back(std::move(value));
+      if (Consume(',')) continue;
+      return Consume(']');
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+struct TracedRun {
+  std::unique_ptr<EventTracer> tracer;
+  ChromeTraceMeta meta;
+};
+
+TracedRun RunTracedSimulation() {
+  query::WorkloadConfig config;
+  config.num_queries = 6;
+  config.num_arrivals = 300;
+  config.seed = 11;
+  config.utilization = 0.8;
+  const query::Workload workload = query::GenerateWorkload(config);
+
+  TracedRun run;
+  run.tracer = std::make_unique<EventTracer>();
+  core::SimulationOptions options;
+  options.tracer = run.tracer.get();
+  const core::RunResult result = core::Simulate(
+      workload, sched::PolicyConfig::Of(sched::PolicyKind::kHnr), options);
+  run.meta.num_queries = workload.plan.num_queries();
+  run.meta.policy = result.policy_name;
+  return run;
+}
+
+TEST(ChromeTraceTest, ExportParsesBackWithExpectedStructure) {
+  const TracedRun run = RunTracedSimulation();
+  const std::string text = ChromeTraceJson(run.tracer->Events(), run.meta);
+
+  JsonValue root;
+  ASSERT_TRUE(JsonParser(text).Parse(&root)) << text.substr(0, 200);
+  ASSERT_EQ(root.type, JsonValue::Type::kObject);
+  EXPECT_EQ(root.At("displayTimeUnit").string, "ms");
+  ASSERT_TRUE(root.Has("traceEvents"));
+  const JsonValue& events = root.At("traceEvents");
+  ASSERT_EQ(events.type, JsonValue::Type::kArray);
+  ASSERT_GT(events.array.size(), 10u);
+
+  std::set<std::string> names;
+  std::set<double> tids;
+  for (const JsonValue& event : events.array) {
+    ASSERT_EQ(event.type, JsonValue::Type::kObject);
+    ASSERT_TRUE(event.Has("name"));
+    ASSERT_TRUE(event.Has("ph"));
+    ASSERT_TRUE(event.Has("pid"));
+    ASSERT_TRUE(event.Has("tid"));
+    const std::string& ph = event.At("ph").string;
+    EXPECT_TRUE(ph == "X" || ph == "i" || ph == "M") << ph;
+    if (ph == "X") {
+      EXPECT_GE(event.At("ts").number, 0.0);
+      EXPECT_GE(event.At("dur").number, 0.0);
+    }
+    if (ph != "M") names.insert(event.At("name").string);
+    tids.insert(event.At("tid").number);
+  }
+  for (const char* required : {"sched_decision", "tuple_arrival", "enqueue",
+                               "segment_run", "operator", "emit"}) {
+    EXPECT_TRUE(names.count(required)) << "missing event kind " << required;
+  }
+  // Lane layout: scheduler (0), arrivals (1), one lane per query (2+q).
+  EXPECT_TRUE(tids.count(0.0));
+  EXPECT_TRUE(tids.count(1.0));
+  EXPECT_TRUE(tids.count(2.0));
+}
+
+TEST(ChromeTraceTest, MetadataNamesEveryLane) {
+  const TracedRun run = RunTracedSimulation();
+  const std::string text = ChromeTraceJson(run.tracer->Events(), run.meta);
+  JsonValue root;
+  ASSERT_TRUE(JsonParser(text).Parse(&root));
+
+  std::map<double, std::string> lane_names;
+  for (const JsonValue& event : root.At("traceEvents").array) {
+    if (event.At("ph").string != "M") continue;
+    EXPECT_EQ(event.At("name").string, "thread_name");
+    lane_names[event.At("tid").number] = event.At("args").At("name").string;
+  }
+  ASSERT_EQ(lane_names.size(),
+            static_cast<size_t>(2 + run.meta.num_queries));
+  EXPECT_NE(lane_names[0.0].find("scheduler"), std::string::npos);
+  EXPECT_NE(lane_names[0.0].find(run.meta.policy), std::string::npos);
+  EXPECT_EQ(lane_names[1.0], "arrivals");
+  EXPECT_EQ(lane_names[2.0], "Q0");
+}
+
+TEST(ChromeTraceTest, SchedDecisionArgsCarryCandidatesAndPriority) {
+  const TracedRun run = RunTracedSimulation();
+  const std::string text = ChromeTraceJson(run.tracer->Events(), run.meta);
+  JsonValue root;
+  ASSERT_TRUE(JsonParser(text).Parse(&root));
+
+  int64_t decisions = 0;
+  for (const JsonValue& event : root.At("traceEvents").array) {
+    if (event.At("name").string != "sched_decision") continue;
+    ++decisions;
+    const JsonValue& args = event.At("args");
+    EXPECT_GE(args.At("candidates").number, 1.0);
+    EXPECT_TRUE(args.Has("priority"));
+    EXPECT_GE(args.At("unit").number, 0.0);
+  }
+  EXPECT_GT(decisions, 0);
+}
+
+TEST(ChromeTraceTest, WriteChromeTraceRoundTripsThroughAFile) {
+  const TracedRun run = RunTracedSimulation();
+  const std::string path = testing::TempDir() + "/aqsios_trace_test.json";
+  ASSERT_TRUE(WriteChromeTrace(path, *run.tracer, run.meta).ok());
+
+  std::ifstream file(path);
+  ASSERT_TRUE(file.good());
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  std::string text = buffer.str();
+  while (!text.empty() && text.back() == '\n') text.pop_back();
+  JsonValue root;
+  EXPECT_TRUE(JsonParser(text).Parse(&root));
+  EXPECT_GT(root.At("traceEvents").array.size(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(ChromeTraceTest, FailsCleanlyOnUnwritablePath) {
+  EventTracer tracer(4);
+  const Status status =
+      WriteChromeTrace("/nonexistent-dir/trace.json", tracer, {});
+  EXPECT_FALSE(status.ok());
+}
+
+}  // namespace
+}  // namespace aqsios::obs

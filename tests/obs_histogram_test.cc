@@ -1,0 +1,151 @@
+#include "obs/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/json.h"
+#include "common/rng.h"
+#include "obs/registry.h"
+
+namespace aqsios::obs {
+namespace {
+
+TEST(HistogramTest, EmptyHistogram) {
+  Histogram histogram;
+  EXPECT_EQ(histogram.count(), 0);
+  EXPECT_DOUBLE_EQ(histogram.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.5), 0.0);
+  const HistogramSummary summary = histogram.Summarize();
+  EXPECT_EQ(summary.count, 0);
+  EXPECT_DOUBLE_EQ(summary.p99, 0.0);
+}
+
+TEST(HistogramTest, ZerosAndNegativesLandInUnderflowBucket) {
+  Histogram histogram({.min_value = 1.0});
+  histogram.Add(0.0);
+  histogram.Add(-3.0);
+  histogram.Add(0.5);
+  EXPECT_EQ(histogram.count(), 3);
+  EXPECT_EQ(histogram.bucket_count(0), 3);
+  EXPECT_DOUBLE_EQ(histogram.BucketLowerEdge(0), 0.0);
+  EXPECT_DOUBLE_EQ(histogram.BucketUpperEdge(0), 1.0);
+}
+
+TEST(HistogramTest, BucketEdgesAreGeometric) {
+  Histogram histogram({.min_value = 1.0, .growth = 2.0, .max_buckets = 8});
+  histogram.Add(1.0);   // [1, 2)    -> bucket 1
+  histogram.Add(3.0);   // [2, 4)    -> bucket 2
+  histogram.Add(5.0);   // [4, 8)    -> bucket 3
+  histogram.Add(7.9);   // [4, 8)    -> bucket 3
+  EXPECT_EQ(histogram.bucket_count(1), 1);
+  EXPECT_EQ(histogram.bucket_count(2), 1);
+  EXPECT_EQ(histogram.bucket_count(3), 2);
+  EXPECT_DOUBLE_EQ(histogram.BucketLowerEdge(1), 1.0);
+  EXPECT_DOUBLE_EQ(histogram.BucketUpperEdge(1), 2.0);
+  EXPECT_DOUBLE_EQ(histogram.BucketLowerEdge(3), 4.0);
+  EXPECT_DOUBLE_EQ(histogram.BucketUpperEdge(3), 8.0);
+}
+
+TEST(HistogramTest, ValuesBeyondRangeClampIntoLastBucketAsOverflow) {
+  Histogram histogram({.min_value = 1.0, .growth = 2.0, .max_buckets = 4});
+  histogram.Add(1e12);
+  EXPECT_EQ(histogram.count(), 1);
+  EXPECT_EQ(histogram.overflow(), 1);
+  EXPECT_EQ(histogram.bucket_count(histogram.num_buckets() - 1), 1);
+  // Min/Max still track the exact observed values.
+  EXPECT_DOUBLE_EQ(histogram.Max(), 1e12);
+}
+
+TEST(HistogramTest, QuantileRelativeErrorBoundedByBucketWidth) {
+  // Uniform ramp 1..10000: every quantile of the histogram must sit within
+  // one bucket's relative width (2^(1/16) with the defaults) of the truth.
+  Histogram histogram({.min_value = 1e-3});
+  for (int i = 1; i <= 10000; ++i) histogram.Add(static_cast<double>(i));
+  for (double q : {0.01, 0.25, 0.5, 0.9, 0.95, 0.99, 0.999}) {
+    const double exact = q * 10000.0;
+    const double approx = histogram.Quantile(q);
+    EXPECT_NEAR(approx / exact, 1.0, 0.05) << "q=" << q;
+  }
+  // Extremes stay within one bucket of the observed min/max; the top
+  // quantile clamps to the exact observed maximum.
+  EXPECT_GE(histogram.Quantile(0.0), 1.0);
+  EXPECT_LE(histogram.Quantile(0.0), 1.05);
+  EXPECT_DOUBLE_EQ(histogram.Quantile(1.0), 10000.0);
+}
+
+TEST(HistogramTest, QuantilesAreOrderIndependentAndDeterministic) {
+  Rng rng(7);
+  std::vector<double> values;
+  for (int i = 0; i < 2000; ++i) values.push_back(rng.Exponential(0.01));
+
+  Histogram forward;
+  for (double v : values) forward.Add(v);
+  std::reverse(values.begin(), values.end());
+  Histogram backward;
+  for (double v : values) backward.Add(v);
+
+  for (double q : {0.5, 0.9, 0.99, 0.999}) {
+    EXPECT_DOUBLE_EQ(forward.Quantile(q), backward.Quantile(q)) << "q=" << q;
+  }
+  EXPECT_DOUBLE_EQ(forward.Mean(), backward.Mean());
+}
+
+TEST(HistogramTest, MergeMatchesSingleHistogram) {
+  Histogram a, b, whole;
+  for (int i = 1; i <= 100; ++i) {
+    const double v = 0.001 * i;
+    (i % 2 == 0 ? a : b).Add(v);
+    whole.Add(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_DOUBLE_EQ(a.Mean(), whole.Mean());
+  EXPECT_DOUBLE_EQ(a.Quantile(0.5), whole.Quantile(0.5));
+  EXPECT_DOUBLE_EQ(a.Quantile(0.99), whole.Quantile(0.99));
+}
+
+TEST(HistogramTest, SummarizeCarriesMoments) {
+  Histogram histogram;
+  histogram.Add(0.010);
+  histogram.Add(0.030);
+  const HistogramSummary summary = histogram.Summarize();
+  EXPECT_EQ(summary.count, 2);
+  EXPECT_DOUBLE_EQ(summary.mean, 0.020);
+  EXPECT_DOUBLE_EQ(summary.min, 0.010);
+  EXPECT_DOUBLE_EQ(summary.max, 0.030);
+  EXPECT_LE(summary.p50, summary.p90);
+  EXPECT_LE(summary.p90, summary.p99);
+}
+
+TEST(HistogramTest, ToStringListsNonEmptyBuckets) {
+  Histogram histogram({.min_value = 1.0, .growth = 2.0});
+  histogram.Add(3.0);
+  const std::string text = histogram.ToString();
+  EXPECT_NE(text.find("[2, 4)"), std::string::npos) << text;
+}
+
+TEST(MetricsRegistryTest, CountersGaugesHistograms) {
+  MetricsRegistry registry;
+  registry.Counter("tuples") += 5;
+  registry.Counter("tuples") += 2;
+  registry.Gauge("load") = 0.8;
+  registry.GetHistogram("latency").Add(0.25);
+  EXPECT_EQ(registry.Counter("tuples"), 7);
+  EXPECT_EQ(registry.num_counters(), 1u);
+  EXPECT_EQ(registry.num_gauges(), 1u);
+  EXPECT_TRUE(registry.HasHistogram("latency"));
+  EXPECT_FALSE(registry.HasHistogram("missing"));
+
+  JsonWriter json;
+  registry.WriteJson(json);
+  const std::string text = json.str();
+  EXPECT_NE(text.find("\"tuples\":7"), std::string::npos) << text;
+  EXPECT_NE(text.find("\"load\":0.8"), std::string::npos) << text;
+  EXPECT_NE(text.find("\"latency\""), std::string::npos) << text;
+}
+
+}  // namespace
+}  // namespace aqsios::obs
