@@ -12,7 +12,12 @@ JSON works too), pivots one metric into a utilization x policy grid, and
 writes CSV — one row per utilization, one column per policy — ready for any
 plotting tool.
 
-The metric is looked up in the cell's "qos" object first (avg/max/l2
+Micro-benchmark reports (schema aqsios-bench-perf/1, written by
+bench_micro_sched --out BENCH_perf.json) are detected automatically and
+emitted as a flat name,ns_per_op,ops,wall_ms table — the pivot options do
+not apply to them.
+
+For sweep reports the metric is looked up in the cell's "qos" object first (avg/max/l2
 slowdown, the histogram quantiles p50/p95/p99/p999_slowdown, ...), then in
 the cell itself (timing fields such as wall_ms / max_rss_kb), then in its
 "counters", "decisions" (scheduling_points, mean_candidates,
@@ -31,6 +36,7 @@ Usage:
         --in sweep.json
     scripts/json_to_csv.py --metric wall_ms --figure fig8_9 \
         --in BENCH_sweep.json
+    scripts/json_to_csv.py --in BENCH_perf.json
 Standard library only.
 """
 
@@ -54,6 +60,9 @@ def extract_cells(text, figure=None):
             break
     if data is None:
         data = json.loads(text)
+    if (isinstance(data, dict)
+            and str(data.get("schema", "")).startswith("aqsios-bench-perf/")):
+        return data["benchmarks"]
     if isinstance(data, dict) and "figures" in data:
         names = [f.get("figure") for f in data["figures"]]
         if figure is None:
@@ -125,6 +134,13 @@ def main():
     text = (sys.stdin.read() if args.input == "-"
             else open(args.input, encoding="utf-8").read())
     cells = extract_cells(text, args.figure)
+    if cells and isinstance(cells[0], dict) and "ns_per_op" in cells[0]:
+        # aqsios-bench-perf/1 micro-benchmark rows: flat table, no pivot.
+        print("name,ns_per_op,ops,wall_ms")
+        for bench in cells:
+            print(f"{bench['name']},{bench['ns_per_op']!r},"
+                  f"{bench['ops']},{bench['wall_ms']!r}")
+        return 0
     policies, grid = pivot(cells, args.metric)
 
     print(",".join(["utilization"] + policies))

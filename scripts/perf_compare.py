@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Compare two benchmark reports and flag perf regressions.
+
+Accepts either report the repo's bench binaries write:
+
+  * aqsios-bench-perf/1  (bench_micro_sched --out BENCH_perf.json):
+    benchmarks are matched by "name" and compared on ns_per_op.
+  * aqsios-bench-sweep/1 (bench_sweep_all --out BENCH_sweep.json):
+    cells are matched by (figure, utilization, policy) and compared on
+    wall_ms.
+
+For every matched entry the ratio new/old is printed; entries whose ratio
+exceeds 1 + --threshold are regressions, entries below 1 - --threshold are
+improvements, the rest are noise-level. Exit status is 1 when any regression
+was found, unless --warn-only (CI runners are noisy shared machines — the
+committed-baseline check runs with --warn-only so it informs instead of
+flaking).
+
+Usage:
+    scripts/perf_compare.py old.json new.json
+    scripts/perf_compare.py BENCH_perf.json /tmp/perf_new.json \
+        --threshold 0.25 --warn-only
+    scripts/perf_compare.py BENCH_sweep.json /tmp/sweep_new.json
+
+Standard library only.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_entries(path):
+    """Returns (schema, {key: value}) for one report file.
+
+    Keys are benchmark names (perf schema) or "figure/util/policy" strings
+    (sweep schema); values are the compared metric (ns_per_op / wall_ms).
+    """
+    with open(path, encoding="utf-8") as handle:
+        report = json.load(handle)
+    schema = report.get("schema", "")
+    entries = {}
+    if schema.startswith("aqsios-bench-perf/"):
+        for bench in report["benchmarks"]:
+            entries[bench["name"]] = float(bench["ns_per_op"])
+    elif schema.startswith("aqsios-bench-sweep/"):
+        for figure in report["figures"]:
+            for cell in figure["cells"]:
+                key = "{}/u={}/{}".format(
+                    figure["figure"], cell["utilization"], cell["policy"])
+                entries[key] = float(cell["wall_ms"])
+    else:
+        raise ValueError(
+            f"{path}: unrecognized schema {schema!r} (expected "
+            "aqsios-bench-perf/1 or aqsios-bench-sweep/1)")
+    return schema, entries
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("old", help="baseline report (JSON)")
+    parser.add_argument("new", help="candidate report (JSON)")
+    parser.add_argument("--threshold", type=float, default=0.15,
+                        help="relative change treated as noise "
+                             "(default: 0.15 = +-15%%)")
+    parser.add_argument("--warn-only", action="store_true",
+                        help="always exit 0; report regressions as warnings")
+    args = parser.parse_args()
+
+    old_schema, old_entries = load_entries(args.old)
+    new_schema, new_entries = load_entries(args.new)
+    if old_schema != new_schema:
+        print(f"error: schema mismatch: {old_schema} vs {new_schema}",
+              file=sys.stderr)
+        return 2
+
+    shared = [k for k in old_entries if k in new_entries]
+    only_old = sorted(k for k in old_entries if k not in new_entries)
+    only_new = sorted(k for k in new_entries if k not in old_entries)
+
+    regressions = []
+    improvements = []
+    width = max((len(k) for k in shared), default=0)
+    for key in shared:
+        old_value = old_entries[key]
+        new_value = new_entries[key]
+        if old_value <= 0.0:
+            ratio = float("inf") if new_value > 0.0 else 1.0
+        else:
+            ratio = new_value / old_value
+        if ratio > 1.0 + args.threshold:
+            verdict = "REGRESSION"
+            regressions.append(key)
+        elif ratio < 1.0 - args.threshold:
+            verdict = "improved"
+            improvements.append(key)
+        else:
+            verdict = "ok"
+        print(f"{key:<{width}}  {old_value:12.2f} -> {new_value:12.2f}  "
+              f"x{ratio:.3f}  {verdict}")
+
+    for key in only_old:
+        print(f"{key}: removed (only in {args.old})")
+    for key in only_new:
+        print(f"{key}: added (only in {args.new})")
+
+    print(f"\n{len(shared)} compared, {len(improvements)} improved, "
+          f"{len(regressions)} regressed (threshold +-"
+          f"{args.threshold * 100:.0f}%)")
+    if regressions:
+        label = "warning" if args.warn_only else "error"
+        for key in regressions:
+            print(f"{label}: regression in {key}", file=sys.stderr)
+        if not args.warn_only:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

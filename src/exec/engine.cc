@@ -86,6 +86,14 @@ Engine::Engine(const query::GlobalPlan* plan,
     }
   }
 
+  size_t max_join_stages = 0;
+  for (const auto& states : join_state_) {
+    max_join_stages = std::max(max_join_stages, states.size());
+  }
+  // One probe buffer per possible recursion depth, sized up front so the
+  // buffers never move while a shallower probe is iterating its own.
+  probe_scratch_.resize(max_join_stages + 1);
+
   scheduler_->Attach(&built_.units);
 
   if (config.adaptation.enabled) {
@@ -136,21 +144,20 @@ void Engine::AttributeEmission(int64_t arrival, SimTime arrival_time,
 }
 
 bool Engine::Passes(const query::OperatorSpec& op,
-                    const stream::Arrival& arrival, query::QueryId q,
-                    int op_ordinal) const {
+                    const stream::Arrival& arrival,
+                    const query::CompiledQuery& q, int op_ordinal) const {
   // Execution uses the operator's *actual* selectivity; the priorities were
   // computed from the assumed one (they differ under statistics drift).
   const double selectivity = op.EffectiveActualSelectivity();
   if (selectivity >= 1.0) return true;
-  if (plan_->query(q).selectivity_mode() ==
-      query::SelectivityMode::kCorrelatedAttribute) {
+  if (q.selectivity_mode() == query::SelectivityMode::kCorrelatedAttribute) {
     // The paper's testbed realizes selectivity s as a predicate
     // "attribute <= s·100" over the synthetic uniform (0,100] attribute.
     return arrival.attribute <= selectivity * 100.0;
   }
   const uint64_t key =
       MixKeys(kFilterSalt, static_cast<uint64_t>(arrival.id),
-              static_cast<uint64_t>(q), static_cast<uint64_t>(op_ordinal));
+              static_cast<uint64_t>(q.id()), static_cast<uint64_t>(op_ordinal));
   return FrozenBernoulli(key, selectivity);
 }
 
@@ -177,7 +184,7 @@ bool Engine::RunChainOps(const query::CompiledQuery& q,
   for (int x = from; x < static_cast<int>(ops.size()); ++x) {
     const query::OperatorSpec& op = ops[static_cast<size_t>(x)];
     Charge(op.cost());
-    if (!Passes(op, arrival, q.id(), x)) {
+    if (!Passes(op, arrival, q, x)) {
       DropTuple(q.id(), arrival.id);
       return false;
     }
@@ -259,7 +266,7 @@ void Engine::ExecuteOperator(const sched::Unit& unit,
   const query::OperatorSpec& op =
       q.spec().left_ops[static_cast<size_t>(unit.op_index)];
   Charge(op.cost());
-  if (!Passes(op, arrival, q.id(), unit.op_index)) {
+  if (!Passes(op, arrival, q, unit.op_index)) {
     DropTuple(q.id(), arrival.id);
     return;
   }
@@ -342,9 +349,12 @@ void Engine::ProbeAndPropagate(const query::CompiledQuery& q, int stage,
                                const SymmetricHashJoinState::Entry& entry,
                                int32_t join_key) {
   const query::OperatorSpec& join = q.StageJoin(stage);
-  // The probe scratch buffer is reused across recursion levels; take a
-  // local copy of this level's candidates.
-  std::vector<SymmetricHashJoinState::Entry> candidates;
+  // Each recursion depth owns one pooled candidates buffer: this level
+  // iterates its buffer while PropagateComposite fills deeper ones.
+  AQSIOS_DCHECK_LT(static_cast<size_t>(probe_depth_), probe_scratch_.size());
+  std::vector<SymmetricHashJoinState::Entry>& candidates =
+      probe_scratch_[static_cast<size_t>(probe_depth_)];
+  candidates.clear();
   JoinState(q.id(), stage).Probe(side, join_key, entry.timestamp,
                                  &candidates);
   if (tracer_ != nullptr) {
@@ -352,6 +362,7 @@ void Engine::ProbeAndPropagate(const query::CompiledQuery& q, int stage,
                      static_cast<int32_t>(q.id()),
                      static_cast<int64_t>(candidates.size())});
   }
+  ++probe_depth_;
   for (const SymmetricHashJoinState::Entry& partner : candidates) {
     // Per-pair match draw, symmetric in the pair identities so the outcome
     // does not depend on processing order (and hence not on the policy).
@@ -383,6 +394,7 @@ void Engine::ProbeAndPropagate(const query::CompiledQuery& q, int stage,
     }
     PropagateComposite(q, stage + 1, composite, join_key);
   }
+  --probe_depth_;
 }
 
 void Engine::ExecuteJoinInput(const sched::Unit& unit,
@@ -402,7 +414,7 @@ void Engine::ExecuteJoinInput(const sched::Unit& unit,
   for (int x = 0; x < static_cast<int>(side_ops.size()); ++x) {
     const query::OperatorSpec& op = side_ops[static_cast<size_t>(x)];
     Charge(op.cost());
-    if (!Passes(op, arrival, q.id(), ordinal_base + x)) {
+    if (!Passes(op, arrival, q, ordinal_base + x)) {
       DropTuple(q.id(), arrival.id);
       return;
     }

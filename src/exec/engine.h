@@ -123,9 +123,10 @@ class Engine {
 
   /// Whether `op` (the op_ordinal-th operator of query q) passes `arrival`.
   /// Deterministic in (arrival, query, ordinal) so all policies see the same
-  /// filter outcomes.
+  /// filter outcomes. Takes the compiled query the caller already holds to
+  /// keep the per-operator hot path free of plan lookups.
   bool Passes(const query::OperatorSpec& op, const stream::Arrival& arrival,
-              query::QueryId q, int op_ordinal) const;
+              const query::CompiledQuery& q, int op_ordinal) const;
 
   /// Whether the shared leaf operator of `group` passes `arrival` (one
   /// outcome for the whole group).
@@ -214,6 +215,13 @@ class Engine {
   bool ran_ = false;
   /// Scratch buffer reused across scheduling points.
   std::vector<int> picked_;
+  /// Join-probe candidate buffers, one per recursion depth of
+  /// ProbeAndPropagate (a probe at stage s iterates its buffer while deeper
+  /// stages fill theirs). Sized once in the constructor from the deepest
+  /// join pipeline in the plan; reused across all probes so the hot path
+  /// allocates nothing.
+  std::vector<std::vector<SymmetricHashJoinState::Entry>> probe_scratch_;
+  int probe_depth_ = 0;
 
   /// Observability state — all observation-only (never feeds the clock).
   obs::EventTracer* tracer_ = nullptr;

@@ -58,7 +58,15 @@ void QosCollector::RecordOutput(int32_t query_id, int cost_class,
   slowdown_.Add(slowdown);
   slowdown_histogram_.Add(slowdown);
   if (options_.track_per_class) {
-    per_class_slowdown_[MakeClassKey(cost_class, selectivity)].Add(slowdown);
+    if (static_cast<size_t>(query_id) >= per_class_memo_.size()) {
+      per_class_memo_.resize(static_cast<size_t>(query_id) + 1, nullptr);
+    }
+    aqsios::RunningStats*& stats =
+        per_class_memo_[static_cast<size_t>(query_id)];
+    if (stats == nullptr) {
+      stats = &per_class_slowdown_[MakeClassKey(cost_class, selectivity)];
+    }
+    stats->Add(slowdown);
   }
   if (options_.track_per_query) {
     per_query_slowdown_[query_id].Add(slowdown);

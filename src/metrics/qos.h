@@ -118,6 +118,12 @@ class QosCollector {
   aqsios::RunningStats slowdown_;
   obs::Histogram slowdown_histogram_;
   std::map<ClassKey, aqsios::RunningStats> per_class_slowdown_;
+  /// Per-query shortcut into per_class_slowdown_. A query's (cost class,
+  /// selectivity) — and hence its ClassKey — never changes mid-run, and
+  /// std::map nodes are address-stable, so after the first emission each
+  /// query points straight at its class accumulator instead of walking the
+  /// map on every output tuple.
+  std::vector<aqsios::RunningStats*> per_class_memo_;
   std::map<int32_t, aqsios::RunningStats> per_query_slowdown_;
   std::optional<TimelineCollector> timeline_;
 };

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <sstream>
 
 #include "common/check.h"
@@ -13,35 +14,46 @@ Histogram::Histogram(const HistogramOptions& options) : options_(options) {
   AQSIOS_CHECK_GT(options.growth, 1.0);
   AQSIOS_CHECK_GE(options.max_buckets, 2);
   log_growth_ = std::log(options.growth);
+  // Fast-path tables for BucketIndex. `edges_[k]` is the smallest value the
+  // reference formula `1 + floor(log(v/min)/log(growth) + 1e-9)` maps to
+  // bucket k, so "largest k with edges_[k] <= v" reproduces it (up to the
+  // last-ulp rounding of the edge itself). The 64-entry mantissa table turns
+  // log2 into an exponent read plus one lookup; its granularity error
+  // (< 0.023 octaves) is absorbed by the +-1 edge correction steps below.
+  inv_log2_growth_ = 1.0 / std::log2(options.growth);
+  log2_min_ = std::log2(options.min_value);
+  edges_.resize(static_cast<size_t>(options.max_buckets));
+  edges_[0] = 0.0;
+  for (int k = 1; k < options.max_buckets; ++k) {
+    edges_[static_cast<size_t>(k)] =
+        options.min_value * std::exp(log_growth_ * (k - 1 - 1e-9));
+  }
+  for (int i = 0; i < 64; ++i) {
+    log2_mantissa_[static_cast<size_t>(i)] =
+        std::log2(1.0 + (static_cast<double>(i) + 0.5) / 64.0);
+  }
 }
 
 int Histogram::BucketIndex(double value) const {
   if (value < options_.min_value) return 0;
-  // Bucket 1 starts at min_value; +1e-9 guards edge values against log
-  // rounding just below an integer.
-  const int index = 1 + static_cast<int>(std::floor(
-                            std::log(value / options_.min_value) /
-                                log_growth_ +
-                            1e-9));
-  return std::min(index, options_.max_buckets - 1);
-}
-
-void Histogram::Add(double value) {
-  if (count_ == 0) {
-    min_ = max_ = value;
-  } else {
-    min_ = std::min(min_, value);
-    max_ = std::max(max_, value);
+  // log2(value) from the exponent bits plus a mantissa-table refinement;
+  // value >= min_value > 0 here, so it is a normal (or at worst subnormal
+  // with min_value subnormal, which the options CHECKs exclude) double.
+  uint64_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  const int exponent = static_cast<int>((bits >> 52) & 0x7ff) - 1023;
+  const double log2_value =
+      static_cast<double>(exponent) + log2_mantissa_[(bits >> 46) & 63];
+  int index = 1 + static_cast<int>((log2_value - log2_min_) *
+                                       inv_log2_growth_ +
+                                   1e-9);
+  const int last = options_.max_buckets - 1;
+  index = std::clamp(index, 1, last);
+  while (index < last && value >= edges_[static_cast<size_t>(index) + 1]) {
+    ++index;
   }
-  ++count_;
-  sum_ += value;
-  const int index = BucketIndex(value);
-  if (index == options_.max_buckets - 1 &&
-      value >= BucketUpperEdge(index)) {
-    ++overflow_;
-  }
-  if (index >= num_buckets()) counts_.resize(static_cast<size_t>(index) + 1);
-  ++counts_[static_cast<size_t>(index)];
+  while (index > 1 && value < edges_[static_cast<size_t>(index)]) --index;
+  return index;
 }
 
 double Histogram::BucketLowerEdge(int i) const {

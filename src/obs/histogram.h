@@ -16,7 +16,11 @@
 #ifndef AQSIOS_OBS_HISTOGRAM_H_
 #define AQSIOS_OBS_HISTOGRAM_H_
 
+#include <algorithm>
+#include <array>
 #include <cstdint>
+#include <cstring>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -50,6 +54,9 @@ class Histogram {
   Histogram() : Histogram(HistogramOptions()) {}
   explicit Histogram(const HistogramOptions& options);
 
+  // Defined inline below: recording runs once or twice per scheduling point
+  // (~10^6/s in a sweep cell), so the common cache-hit path must not pay a
+  // call.
   void Add(double value);
 
   int64_t count() const { return count_; }
@@ -86,8 +93,30 @@ class Histogram {
  private:
   int BucketIndex(double value) const;
 
+  /// Memoized BucketIndex. Add() is on the engine's per-scheduling-point
+  /// hot path and the recorded streams repeat values heavily (integer queue
+  /// lengths random-walking in a narrow band, per-query-constant busy
+  /// times), so a small open-addressed value→index cache skips the std::log
+  /// most of the time. Pure memoization of BucketIndex — the resulting
+  /// bucket index, and hence every summary and quantile, is bit-identical
+  /// with or without it.
+  struct CacheSlot {
+    // NaN never compares equal, so fresh slots never hit.
+    double value = std::numeric_limits<double>::quiet_NaN();
+    int index = 0;
+  };
+  static constexpr size_t kCacheSlots = 1024;  // power of two
+
   HistogramOptions options_;
   double log_growth_ = 0.0;
+  double inv_log2_growth_ = 0.0;
+  double log2_min_ = 0.0;
+  /// Precomputed bucket lower edges (see constructor) — lets BucketIndex
+  /// replace std::log with an exponent read, a table lookup, and at most a
+  /// couple of edge comparisons.
+  std::vector<double> edges_;
+  std::array<double, 64> log2_mantissa_{};
+  std::array<CacheSlot, kCacheSlots> cache_;
   std::vector<int64_t> counts_;
   int64_t count_ = 0;
   int64_t overflow_ = 0;
@@ -95,6 +124,35 @@ class Histogram {
   double min_ = 0.0;
   double max_ = 0.0;
 };
+
+inline void Histogram::Add(double value) {
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+  uint64_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  CacheSlot& slot = cache_[(bits * 0x9E3779B97F4A7C15ull) >>
+                           (64 - 10)];  // top 10 bits: kCacheSlots == 1024
+  int index;
+  if (slot.value == value) {
+    index = slot.index;
+  } else {
+    index = BucketIndex(value);
+    slot.value = value;
+    slot.index = index;
+  }
+  if (index == options_.max_buckets - 1 &&
+      value >= BucketUpperEdge(index)) {
+    ++overflow_;
+  }
+  if (index >= num_buckets()) counts_.resize(static_cast<size_t>(index) + 1);
+  ++counts_[static_cast<size_t>(index)];
+}
 
 }  // namespace aqsios::obs
 

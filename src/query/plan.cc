@@ -46,18 +46,6 @@ GlobalPlan::GlobalPlan(std::vector<CompiledQuery> queries,
   }
 }
 
-const CompiledQuery& GlobalPlan::query(QueryId id) const {
-  AQSIOS_CHECK_GE(id, 0);
-  AQSIOS_CHECK_LT(id, num_queries());
-  return queries_[static_cast<size_t>(id)];
-}
-
-int GlobalPlan::SharingGroupOf(QueryId id) const {
-  AQSIOS_CHECK_GE(id, 0);
-  AQSIOS_CHECK_LT(id, num_queries());
-  return group_of_query_[static_cast<size_t>(id)];
-}
-
 SimTime GlobalPlan::MinOperatorCost() const {
   SimTime min_cost = std::numeric_limits<SimTime>::infinity();
   for (const CompiledQuery& q : queries_) {

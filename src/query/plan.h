@@ -11,6 +11,7 @@
 
 #include <vector>
 
+#include "common/check.h"
 #include "query/query.h"
 #include "stream/tuple.h"
 
@@ -36,14 +37,24 @@ class GlobalPlan {
   GlobalPlan& operator=(const GlobalPlan&) = default;
 
   const std::vector<CompiledQuery>& queries() const { return queries_; }
-  const CompiledQuery& query(QueryId id) const;
+  // Defined inline: looked up per operator invocation on the engine's hot
+  // path.
+  const CompiledQuery& query(QueryId id) const {
+    AQSIOS_DCHECK_GE(id, 0);
+    AQSIOS_DCHECK_LT(id, num_queries());
+    return queries_[static_cast<size_t>(id)];
+  }
   int num_queries() const { return static_cast<int>(queries_.size()); }
 
   const std::vector<SharingGroup>& sharing_groups() const {
     return sharing_groups_;
   }
   /// Sharing group index of a query, or -1 if it is standalone.
-  int SharingGroupOf(QueryId id) const;
+  int SharingGroupOf(QueryId id) const {
+    AQSIOS_DCHECK_GE(id, 0);
+    AQSIOS_DCHECK_LT(id, num_queries());
+    return group_of_query_[static_cast<size_t>(id)];
+  }
 
   int num_streams() const { return num_streams_; }
 

@@ -32,25 +32,39 @@ bool FcfsScheduler::PickNext(SimTime /*now*/, SchedulingCost* cost,
 
 void RoundRobinScheduler::Attach(const UnitTable* units) {
   units_ = units;
+  ready_.Reset(static_cast<int>(units->size()));
   cursor_ = 0;
+}
+
+void RoundRobinScheduler::OnEnqueue(int unit) {
+  if ((*units_)[static_cast<size_t>(unit)].queue.size() == 1) {
+    ready_.Insert(unit);
+  }
+}
+
+void RoundRobinScheduler::OnDequeue(int unit) {
+  if ((*units_)[static_cast<size_t>(unit)].queue.empty()) {
+    ready_.Erase(unit);
+  }
 }
 
 bool RoundRobinScheduler::PickNext(SimTime /*now*/, SchedulingCost* cost,
                                    std::vector<int>* out) {
-  // The cursor scan tests has_pending() but computes no priorities, so RR
-  // charges zero (the paper treats RR's decision overhead as negligible).
+  // lower_bound-with-wraparound over the ordered ready set: the first ready
+  // unit at or after the cursor is exactly the unit the modular cursor scan
+  // would have stopped at. RR computes no priorities, so it charges zero
+  // (the paper treats RR's decision overhead as negligible); `candidates`
+  // still reports how many units the scan *would* have tested.
   const int n = static_cast<int>(units_->size());
   if (n == 0) return false;
-  for (int step = 0; step < n; ++step) {
-    const int candidate = (cursor_ + step) % n;
-    if ((*units_)[static_cast<size_t>(candidate)].has_pending()) {
-      cursor_ = (candidate + 1) % n;
-      cost->candidates = step + 1;
-      out->push_back(candidate);
-      return true;
-    }
-  }
-  return false;
+  const int candidate = ready_.FirstCyclic(cursor_);
+  if (candidate < 0) return false;
+  const int step =
+      candidate >= cursor_ ? candidate - cursor_ : candidate + n - cursor_;
+  cursor_ = (candidate + 1) % n;
+  cost->candidates = step + 1;
+  out->push_back(candidate);
+  return true;
 }
 
 // --- Static priority family (SRPT / HR / HNR) --------------------------------
@@ -87,29 +101,29 @@ const char* StaticPriorityScheduler::name() const {
 
 void StaticPriorityScheduler::RebuildRanks() {
   const int n = static_cast<int>(units_->size());
-  std::vector<int> order(static_cast<size_t>(n));
-  std::iota(order.begin(), order.end(), 0);
-  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+  order_.resize(static_cast<size_t>(n));
+  std::iota(order_.begin(), order_.end(), 0);
+  std::stable_sort(order_.begin(), order_.end(), [&](int a, int b) {
     return PriorityOf(policy_, (*units_)[static_cast<size_t>(a)]) >
            PriorityOf(policy_, (*units_)[static_cast<size_t>(b)]);
   });
   rank_.assign(static_cast<size_t>(n), 0);
-  for (int r = 0; r < n; ++r) rank_[static_cast<size_t>(order[r])] = r;
+  for (int r = 0; r < n; ++r) rank_[static_cast<size_t>(order_[r])] = r;
 }
 
 void StaticPriorityScheduler::Attach(const UnitTable* units) {
   units_ = units;
-  ready_.clear();
   RebuildRanks();
+  ready_.Reset(static_cast<int>(units->size()));
 }
 
 void StaticPriorityScheduler::OnStatsUpdated() {
   RebuildRanks();
-  // Ranks changed; rebuild the ready set keyed by the new ranks.
-  ready_.clear();
+  // Ranks changed; rebuild the ready bitmap keyed by the new ranks.
+  ready_.Reset(static_cast<int>(units_->size()));
   for (const Unit& unit : *units_) {
     if (unit.has_pending()) {
-      ready_.insert({rank_[static_cast<size_t>(unit.id)], unit.id});
+      ready_.Insert(rank_[static_cast<size_t>(unit.id)]);
     }
   }
 }
@@ -117,14 +131,14 @@ void StaticPriorityScheduler::OnStatsUpdated() {
 void StaticPriorityScheduler::OnEnqueue(int unit) {
   const Unit& u = (*units_)[static_cast<size_t>(unit)];
   if (u.queue.size() == 1) {
-    ready_.insert({rank_[static_cast<size_t>(unit)], unit});
+    ready_.Insert(rank_[static_cast<size_t>(unit)]);
   }
 }
 
 void StaticPriorityScheduler::OnDequeue(int unit) {
   const Unit& u = (*units_)[static_cast<size_t>(unit)];
   if (u.queue.empty()) {
-    ready_.erase({rank_[static_cast<size_t>(unit)], unit});
+    ready_.Erase(rank_[static_cast<size_t>(unit)]);
   }
 }
 
@@ -132,9 +146,9 @@ bool StaticPriorityScheduler::PickNext(SimTime /*now*/,
                                        SchedulingCost* cost,
                                        std::vector<int>* out) {
   // Priorities are static ranks maintained on enqueue/dequeue; the pick
-  // itself is O(1) (set front), so the decision charges zero (§6.1).
+  // itself is O(1) (lowest ready rank), so the decision charges zero (§6.1).
   if (ready_.empty()) return false;
-  const int chosen = ready_.begin()->second;
+  const int chosen = order_[static_cast<size_t>(ready_.First())];
   cost->candidates = 1;
   cost->chosen_priority =
       PriorityOf(policy_, (*units_)[static_cast<size_t>(chosen)]);
@@ -147,28 +161,68 @@ bool StaticPriorityScheduler::PickNext(SimTime /*now*/,
 void LsfScheduler::Attach(const UnitTable* units) {
   units_ = units;
   ready_.clear();
+  index_.Reserve(static_cast<int>(units->size()));
 }
 
 void LsfScheduler::OnEnqueue(int unit) {
-  if ((*units_)[static_cast<size_t>(unit)].queue.size() == 1) {
+  const Unit& u = (*units_)[static_cast<size_t>(unit)];
+  if (u.queue.size() != 1) return;
+  if (use_kinetic_) {
+    index_.Insert(unit, u.head().arrival_time, u.stats.ideal_time);
+  } else {
     ready_.insert(unit);
   }
 }
 
 void LsfScheduler::OnDequeue(int unit) {
-  if ((*units_)[static_cast<size_t>(unit)].queue.empty()) {
-    ready_.erase(unit);
+  const Unit& u = (*units_)[static_cast<size_t>(unit)];
+  if (u.queue.empty()) {
+    if (use_kinetic_) {
+      index_.Erase(unit);
+    } else {
+      ready_.erase(unit);
+    }
+  } else if (use_kinetic_) {
+    // The head changed: the priority line is anchored at the new head's
+    // arrival time (W measures the head tuple's wait).
+    index_.Insert(unit, u.head().arrival_time, u.stats.ideal_time);
+  }
+}
+
+void LsfScheduler::OnStatsUpdated() {
+  // The scan reads stats at decision time and adapts automatically; the
+  // kinetic index caches line coefficients (1/T slopes) and must re-key.
+  if (!use_kinetic_) return;
+  index_.Clear();
+  for (const Unit& u : *units_) {
+    if (u.has_pending()) {
+      index_.Insert(u.id, u.head().arrival_time, u.stats.ideal_time);
+    }
   }
 }
 
 bool LsfScheduler::PickNext(SimTime now, SchedulingCost* cost,
                             std::vector<int>* out) {
+  // Either path: the W/T priority is time-varying, so conceptually every
+  // pick recomputes and compares the priority of each ready unit; charge
+  // both per ready unit so the Figure 13–14 overhead comparisons see the
+  // same accounting across scan-based policies, regardless of how few units
+  // the kinetic index actually touched in wall-clock terms.
+  if (use_kinetic_) {
+    if (index_.empty()) return false;
+    double best_priority = 0.0;
+    const int best = index_.ArgMax(now, &best_priority);
+    const int64_t ready = index_.size();
+    cost->computations += ready;
+    cost->comparisons += ready;
+    cost->candidates = ready;
+    cost->chosen_priority = best_priority;
+    out->push_back(best);
+    return true;
+  }
   if (ready_.empty()) return false;
   int best = -1;
   double best_priority = -1.0;
-  // Like BSD, the W/T priority is time-varying, so every pick recomputes and
-  // compares the priority of each ready unit; charge both so the Figure 13–14
-  // overhead comparisons see the same accounting across scan-based policies.
   for (int unit : ready_) {
     const Unit& u = (*units_)[static_cast<size_t>(unit)];
     const double priority = u.HeadWait(now) / u.stats.ideal_time;
@@ -190,41 +244,72 @@ bool LsfScheduler::PickNext(SimTime now, SchedulingCost* cost,
 void BsdScheduler::Attach(const UnitTable* units) {
   units_ = units;
   ready_.clear();
+  index_.Reserve(static_cast<int>(units->size()));
 }
 
 void BsdScheduler::OnEnqueue(int unit) {
-  if ((*units_)[static_cast<size_t>(unit)].queue.size() == 1) {
+  const Unit& u = (*units_)[static_cast<size_t>(unit)];
+  if (u.queue.size() != 1) return;
+  if (use_kinetic_) {
+    index_.Insert(unit, u.head().arrival_time, u.stats.phi);
+  } else {
     ready_.insert(unit);
   }
 }
 
 void BsdScheduler::OnDequeue(int unit) {
-  if ((*units_)[static_cast<size_t>(unit)].queue.empty()) {
-    ready_.erase(unit);
+  const Unit& u = (*units_)[static_cast<size_t>(unit)];
+  if (u.queue.empty()) {
+    if (use_kinetic_) {
+      index_.Erase(unit);
+    } else {
+      ready_.erase(unit);
+    }
+  } else if (use_kinetic_) {
+    index_.Insert(unit, u.head().arrival_time, u.stats.phi);
+  }
+}
+
+void BsdScheduler::OnStatsUpdated() {
+  if (!use_kinetic_) return;
+  index_.Clear();
+  for (const Unit& u : *units_) {
+    if (u.has_pending()) {
+      index_.Insert(u.id, u.head().arrival_time, u.stats.phi);
+    }
   }
 }
 
 bool BsdScheduler::PickNext(SimTime now, SchedulingCost* cost,
                             std::vector<int>* out) {
-  if (ready_.empty()) return false;
   int best = -1;
   double best_priority = -1.0;
-  for (int unit : ready_) {
-    const Unit& u = (*units_)[static_cast<size_t>(unit)];
-    const double priority = u.stats.phi * u.HeadWait(now);
-    if (priority > best_priority) {
-      best_priority = priority;
-      best = unit;
+  int64_t ready_count = 0;
+  if (use_kinetic_) {
+    if (index_.empty()) return false;
+    best = index_.ArgMax(now, &best_priority);
+    ready_count = index_.size();
+  } else {
+    if (ready_.empty()) return false;
+    for (int unit : ready_) {
+      const Unit& u = (*units_)[static_cast<size_t>(unit)];
+      const double priority = u.stats.phi * u.HeadWait(now);
+      if (priority > best_priority) {
+        best_priority = priority;
+        best = unit;
+      }
     }
+    ready_count = static_cast<int64_t>(ready_.size());
   }
   // §6.2: a naive implementation recomputes the priority of every installed
-  // query's leaf at each scheduling point.
-  const int64_t touched = count_all_units_
-                              ? static_cast<int64_t>(units_->size())
-                              : static_cast<int64_t>(ready_.size());
+  // query's leaf at each scheduling point. The charge models that naive
+  // implementation in both pick paths — simulated cost is a property of the
+  // policy being simulated, not of how fast this simulator finds the argmax.
+  const int64_t touched =
+      count_all_units_ ? static_cast<int64_t>(units_->size()) : ready_count;
   cost->computations += touched;
   cost->comparisons += touched;
-  cost->candidates = static_cast<int64_t>(ready_.size());
+  cost->candidates = ready_count;
   cost->chosen_priority = best_priority;
   out->push_back(best);
   return true;

@@ -7,15 +7,22 @@
 //   HNR:   S / (C̄·T)       — highest normalized rate first
 //   LSF:   W / T           — longest current stretch first
 //   BSD:   (S / (C̄·T²))·W  — balance slowdown
+//
+// LSF and BSD have time-varying priorities; by default they answer each pick
+// from a KineticIndex (O(log n) amortized wall-clock) instead of the naive
+// O(n) scan. The two implementations return bit-identical decisions and
+// charge identical simulated SchedulingCost — the flag only changes how fast
+// the simulator itself runs (see docs/performance.md).
 
 #ifndef AQSIOS_SCHED_BASIC_POLICIES_H_
 #define AQSIOS_SCHED_BASIC_POLICIES_H_
 
 #include <deque>
 #include <set>
-#include <utility>
 #include <vector>
 
+#include "sched/kinetic_index.h"
+#include "sched/ready_set.h"
 #include "sched/scheduler.h"
 
 namespace aqsios::sched {
@@ -40,17 +47,22 @@ class FcfsScheduler : public Scheduler {
 /// units with pending tuples. (Within a unit, execution is the pipelined
 /// rate-based segment run, which at query-level granularity is the whole
 /// query — matching the RR/RB combination the paper compares against.)
+///
+/// The pick is an ordered-ready-set lower_bound with wraparound rather than
+/// a modular cursor scan; the visit order — and therefore the pick sequence
+/// and the reported candidates count — is identical to the scan's.
 class RoundRobinScheduler : public Scheduler {
  public:
   void Attach(const UnitTable* units) override;
-  void OnEnqueue(int /*unit*/) override {}
-  void OnDequeue(int /*unit*/) override {}
+  void OnEnqueue(int unit) override;
+  void OnDequeue(int unit) override;
   bool PickNext(SimTime now, SchedulingCost* cost,
                 std::vector<int>* out) override;
   const char* name() const override { return "RR"; }
 
  private:
   const UnitTable* units_ = nullptr;
+  OrderedReadySet ready_;
   int cursor_ = 0;
 };
 
@@ -59,8 +71,10 @@ class RoundRobinScheduler : public Scheduler {
 /// sched/chain_policy.h).
 enum class StaticPolicy { kSrpt, kHr, kHnr, kChain };
 
-/// Serves the ready unit with the highest static priority. O(log n) per
-/// event via a rank-ordered ready set.
+/// Serves the ready unit with the highest static priority. Ranks are unique
+/// per unit, so the ready set is a bitmap over ranks: O(1)-ish per event,
+/// allocation-free, same pick order as the rank-ordered std::set it
+/// replaced.
 class StaticPriorityScheduler : public Scheduler {
  public:
   explicit StaticPriorityScheduler(StaticPolicy policy) : policy_(policy) {}
@@ -84,47 +98,64 @@ class StaticPriorityScheduler : public Scheduler {
   const UnitTable* units_ = nullptr;
   /// rank[unit] = position in descending priority order (ties by id).
   std::vector<int> rank_;
-  /// Ready units keyed by rank; begin() is the highest-priority ready unit.
-  std::set<std::pair<int, int>> ready_;
+  /// order[rank] = unit — the inverse permutation of rank_.
+  std::vector<int> order_;
+  /// Ready units as a bitmap over ranks; First() is the highest-priority
+  /// ready unit.
+  OrderedReadySet ready_;
 };
 
 /// Longest Stretch First (Eq. 5): max W/T among ready units. The ordering is
-/// time-varying, so each pick scans the ready set.
+/// time-varying; picks are answered by a kinetic index (default) or the
+/// naive per-pick scan — identical results either way.
 class LsfScheduler : public Scheduler {
  public:
+  explicit LsfScheduler(bool use_kinetic_index = true)
+      : use_kinetic_(use_kinetic_index) {}
+
   void Attach(const UnitTable* units) override;
   void OnEnqueue(int unit) override;
   void OnDequeue(int unit) override;
+  void OnStatsUpdated() override;
   bool PickNext(SimTime now, SchedulingCost* cost,
                 std::vector<int>* out) override;
   const char* name() const override { return "LSF"; }
 
  private:
+  bool use_kinetic_;
   const UnitTable* units_ = nullptr;
+  /// Scan path only; the kinetic path keeps readiness in the index.
   std::set<int> ready_;
+  KineticIndex index_{KineticIndex::EvalMode::kRatio};
 };
 
 /// Exact Balance Slowdown (Eq. 6): max Φ·W. `count_all_units` selects the
 /// naive-implementation accounting the paper describes in §6.2 (the
 /// scheduler touches all q units at every scheduling point); otherwise only
 /// ready units are counted. The *hypothetical* BSD of §9.2 is this scheduler
-/// with engine-side overhead charging disabled.
+/// with engine-side overhead charging disabled. Like LSF, the pick itself is
+/// kinetic by default; the simulated charges are unaffected.
 class BsdScheduler : public Scheduler {
  public:
-  explicit BsdScheduler(bool count_all_units = true)
-      : count_all_units_(count_all_units) {}
+  explicit BsdScheduler(bool count_all_units = true,
+                        bool use_kinetic_index = true)
+      : count_all_units_(count_all_units), use_kinetic_(use_kinetic_index) {}
 
   void Attach(const UnitTable* units) override;
   void OnEnqueue(int unit) override;
   void OnDequeue(int unit) override;
+  void OnStatsUpdated() override;
   bool PickNext(SimTime now, SchedulingCost* cost,
                 std::vector<int>* out) override;
   const char* name() const override { return "BSD"; }
 
  private:
   bool count_all_units_;
+  bool use_kinetic_;
   const UnitTable* units_ = nullptr;
+  /// Scan path only; the kinetic path keeps readiness in the index.
   std::set<int> ready_;
+  KineticIndex index_{KineticIndex::EvalMode::kScaled};
 };
 
 }  // namespace aqsios::sched

@@ -27,6 +27,7 @@ void ClusteredBsdScheduler::Attach(const UnitTable* units) {
   cluster_queues_.assign(
       static_cast<size_t>(clustering_.num_clusters), {});
   by_head_time_.clear();
+  index_.Reserve(clustering_.num_clusters);
   seen_epoch_.assign(static_cast<size_t>(clustering_.num_clusters), 0);
   fagin_epoch_ = 0;
 
@@ -49,7 +50,13 @@ void ClusteredBsdScheduler::OnEnqueue(int unit) {
   const int cluster = clustering_.cluster_of_unit[static_cast<size_t>(unit)];
   auto& queue = cluster_queues_[static_cast<size_t>(cluster)];
   if (queue.empty()) {
-    by_head_time_.insert({pushed.arrival_time, cluster});
+    if (kinetic_active()) {
+      index_.Insert(cluster, pushed.arrival_time,
+                    clustering_.pseudo_priority[static_cast<size_t>(cluster)],
+                    /*tie_key=*/pushed.arrival_time);
+    } else {
+      by_head_time_.insert({pushed.arrival_time, cluster});
+    }
   }
   queue.push_back(Entry{unit, pushed.arrival, pushed.arrival_time});
 }
@@ -155,16 +162,33 @@ int ClusteredBsdScheduler::SelectByFagin(SimTime now,
   return best;
 }
 
+int ClusteredBsdScheduler::SelectByKinetic(SimTime now,
+                                           SchedulingCost* cost) {
+  // SelectByScan touches every non-empty cluster, charging one computation,
+  // one comparison, and one candidate each; the simulated charges model that
+  // scan no matter how few nodes the index revalidated.
+  double best_priority = -1.0;
+  const int best = index_.ArgMax(now, &best_priority);
+  const int64_t non_empty = index_.size();
+  cost->computations += non_empty;
+  cost->comparisons += non_empty;
+  cost->candidates += non_empty;
+  cost->chosen_priority = best_priority;
+  return best;
+}
+
 bool ClusteredBsdScheduler::PickNext(SimTime now, SchedulingCost* cost,
                                      std::vector<int>* out) {
-  if (by_head_time_.empty()) return false;
+  const bool kinetic = kinetic_active();
+  if (kinetic ? index_.empty() : by_head_time_.empty()) return false;
   const int cluster = options_.use_fagin ? SelectByFagin(now, cost)
+                      : kinetic          ? SelectByKinetic(now, cost)
                                          : SelectByScan(now, cost);
   AQSIOS_DCHECK_GE(cluster, 0);
 
   auto& queue = cluster_queues_[static_cast<size_t>(cluster)];
   AQSIOS_DCHECK(!queue.empty());
-  by_head_time_.erase({queue.front().arrival_time, cluster});
+  if (!kinetic) by_head_time_.erase({queue.front().arrival_time, cluster});
 
   const stream::ArrivalId head_arrival = queue.front().arrival;
   out->push_back(queue.front().unit);
@@ -176,7 +200,16 @@ bool ClusteredBsdScheduler::PickNext(SimTime now, SchedulingCost* cost,
       queue.pop_front();
     }
   }
-  if (!queue.empty()) {
+  if (kinetic) {
+    if (queue.empty()) {
+      index_.Erase(cluster);
+    } else {
+      // Re-key to the new head: same line slope, new anchor and tie key.
+      index_.Insert(cluster, queue.front().arrival_time,
+                    clustering_.pseudo_priority[static_cast<size_t>(cluster)],
+                    /*tie_key=*/queue.front().arrival_time);
+    }
+  } else if (!queue.empty()) {
     by_head_time_.insert({queue.front().arrival_time, cluster});
   }
   return true;

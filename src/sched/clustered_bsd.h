@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "sched/clustering.h"
+#include "sched/kinetic_index.h"
 #include "sched/scheduler.h"
 
 namespace aqsios::sched {
@@ -35,6 +36,11 @@ struct ClusteredBsdOptions {
   bool use_fagin = false;
   /// Enable clustered processing (§6.2.3).
   bool clustered_processing = false;
+  /// Answer the cluster-selection scan from a kinetic index (wall-clock
+  /// only; decisions and simulated charges are bit-identical to the scan).
+  /// Ignored when `use_fagin` is set — the Fagin traversal's charges depend
+  /// on its own sorted-access order, so it keeps its list-based structures.
+  bool use_kinetic_index = true;
 };
 
 class ClusteredBsdScheduler : public Scheduler {
@@ -62,6 +68,13 @@ class ClusteredBsdScheduler : public Scheduler {
   int SelectByScan(SimTime now, SchedulingCost* cost) const;
   /// Fagin top-1 over the two sorted lists; returns the winning cluster.
   int SelectByFagin(SimTime now, SchedulingCost* cost) const;
+  /// Kinetic-index argmax charging exactly what SelectByScan charges.
+  int SelectByKinetic(SimTime now, SchedulingCost* cost);
+
+  /// Whether the kinetic index replaces by_head_time_ for this config.
+  bool kinetic_active() const {
+    return options_.use_kinetic_index && !options_.use_fagin;
+  }
 
   SimTime HeadTime(int cluster) const {
     return cluster_queues_[static_cast<size_t>(cluster)].front().arrival_time;
@@ -76,7 +89,11 @@ class ClusteredBsdScheduler : public Scheduler {
   std::vector<int> by_pseudo_priority_;
   /// Non-empty clusters keyed by oldest-pending-arrival time, i.e. by
   /// descending head wait (Fagin's list B). Doubles as the non-empty set.
+  /// Unused when kinetic_active(): the index then tracks the same clusters
+  /// keyed by the line pseudo_c * (t - head_c) with tie key head_c, which
+  /// reproduces this set's iteration-order tie-break exactly.
   std::set<std::pair<SimTime, int>> by_head_time_;
+  KineticIndex index_{KineticIndex::EvalMode::kScaled};
   /// Per-cluster marker of the last Fagin pass that evaluated it (avoids
   /// duplicate evaluations when a cluster surfaces in both sorted lists).
   mutable std::vector<int> seen_epoch_;

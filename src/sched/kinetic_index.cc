@@ -1,0 +1,282 @@
+#include "sched/kinetic_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace aqsios::sched {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+void KineticIndex::Reserve(int max_ids) {
+  int capacity = 1;
+  while (capacity < max_ids) capacity <<= 1;
+  dense_ = capacity <= kDenseMaxCapacity;
+  capacity_ = capacity;
+  const size_t leaves = static_cast<size_t>(capacity_);
+  occupied_.assign(leaves, 0);
+  lines_.assign(leaves, Line{});
+  dense_ids_.clear();
+  dense_pos_.assign(leaves, -1);
+  dense_anchor_.clear();
+  dense_coef_.clear();
+  dense_tie_.clear();
+  if (dense_) {
+    nodes_.clear();
+  } else {
+    nodes_.assign(leaves * 2, Node{-1, kInf, kInf});
+  }
+  size_ = 0;
+}
+
+void KineticIndex::Clear() {
+  std::fill(occupied_.begin(), occupied_.end(), 0);
+  std::fill(nodes_.begin(), nodes_.end(), Node{-1, kInf, kInf});
+  dense_ids_.clear();
+  dense_anchor_.clear();
+  dense_coef_.clear();
+  dense_tie_.clear();
+  std::fill(dense_pos_.begin(), dense_pos_.end(), -1);
+  size_ = 0;
+}
+
+void KineticIndex::Rebuild(int new_capacity) {
+  const size_t leaves = static_cast<size_t>(new_capacity);
+  occupied_.resize(leaves, 0);
+  lines_.resize(leaves, Line{});
+  dense_pos_.resize(leaves, -1);
+  capacity_ = new_capacity;
+  if (capacity_ <= kDenseMaxCapacity) {
+    // Still small: stay dense — the live-id list and lines carry over.
+    return;
+  }
+  // Crossing into tree territory (or already there): build the tournament
+  // from the occupancy bitmap. The dense bookkeeping goes dormant.
+  dense_ = false;
+  dense_ids_.clear();
+  dense_anchor_.clear();
+  dense_coef_.clear();
+  dense_tie_.clear();
+  std::fill(dense_pos_.begin(), dense_pos_.end(), -1);
+  nodes_.assign(leaves * 2, Node{-1, kInf, kInf});
+  for (int slot = 0; slot < capacity_; ++slot) {
+    if (occupied_[static_cast<size_t>(slot)]) {
+      nodes_[static_cast<size_t>(capacity_ + slot)].winner = slot;
+    }
+  }
+  for (int node = capacity_ - 1; node >= 1; --node) {
+    RecomputeNode(node, last_time_);
+  }
+}
+
+void KineticIndex::Insert(int id, double anchor, double coef,
+                          double tie_key) {
+  AQSIOS_DCHECK_GE(id, 0);
+  AQSIOS_DCHECK_GT(coef, 0.0);
+  if (id >= capacity_) {
+    int capacity = capacity_ == 0 ? 1 : capacity_;
+    while (capacity <= id) capacity <<= 1;
+    Rebuild(capacity);
+  }
+  const size_t slot = static_cast<size_t>(id);
+  if (!occupied_[slot]) {
+    occupied_[slot] = 1;
+    ++size_;
+    if (dense_) {
+      dense_pos_[slot] = static_cast<int>(dense_ids_.size());
+      dense_ids_.push_back(id);
+      dense_anchor_.push_back(anchor);
+      dense_coef_.push_back(coef);
+      dense_tie_.push_back(tie_key);
+    } else {
+      nodes_[static_cast<size_t>(capacity_ + id)].winner = id;
+    }
+  } else if (dense_) {
+    const size_t pos = static_cast<size_t>(dense_pos_[slot]);
+    dense_anchor_[pos] = anchor;
+    dense_coef_[pos] = coef;
+    dense_tie_[pos] = tie_key;
+  }
+  Line& line = lines_[slot];
+  line.anchor = anchor;
+  line.coef = coef;
+  line.slope = mode_ == EvalMode::kRatio ? 1.0 / coef : coef;
+  line.tie = tie_key;
+  if (!dense_) MarkPath(id);
+}
+
+void KineticIndex::Erase(int id) {
+  if (!Contains(id)) return;
+  occupied_[static_cast<size_t>(id)] = 0;
+  --size_;
+  if (dense_) {
+    const size_t pos = static_cast<size_t>(dense_pos_[static_cast<size_t>(id)]);
+    const int last = dense_ids_.back();
+    dense_ids_[pos] = last;
+    dense_anchor_[pos] = dense_anchor_.back();
+    dense_coef_[pos] = dense_coef_.back();
+    dense_tie_[pos] = dense_tie_.back();
+    dense_pos_[static_cast<size_t>(last)] = static_cast<int>(pos);
+    dense_ids_.pop_back();
+    dense_anchor_.pop_back();
+    dense_coef_.pop_back();
+    dense_tie_.pop_back();
+    dense_pos_[static_cast<size_t>(id)] = -1;
+    return;
+  }
+  nodes_[static_cast<size_t>(capacity_ + id)].winner = -1;
+  MarkPath(id);
+}
+
+void KineticIndex::MarkPath(int slot) {
+  // Flag the leaf and its ancestors as dirty (-inf expiry). Stops as soon as
+  // an ancestor is already dirty: by construction dirtiness always extends
+  // to the root, so the remaining prefix is already marked. No priority
+  // arithmetic happens here — it is all deferred to the next ArgMax, which
+  // both deduplicates overlapping paths and evaluates matches at the query
+  // time instead of a stale clock.
+  size_t node = static_cast<size_t>(capacity_ + slot);
+  while (nodes_[node].subtree_exp != -kInf) {
+    nodes_[node].subtree_exp = -kInf;
+    if (node == 1) break;
+    node >>= 1;
+  }
+}
+
+void KineticIndex::RecomputeNode(int node, double t) {
+  ++node_recomputes_;
+  const size_t i = static_cast<size_t>(node);
+  const size_t l = i << 1;
+  const size_t r = l | 1;
+  const int wl = nodes_[l].winner;
+  const int wr = nodes_[r].winner;
+  int winner;
+  double match_exp = kInf;
+  if (wl < 0 || wr < 0) {
+    winner = wl < 0 ? wr : wl;
+  } else {
+    const double pl = Eval(wl, t);
+    const double pr = Eval(wr, t);
+    const Line& ll = lines_[static_cast<size_t>(wl)];
+    const Line& lr = lines_[static_cast<size_t>(wr)];
+    bool left_wins;
+    if (pl != pr) {
+      left_wins = pl > pr;
+    } else if (ll.tie != lr.tie) {
+      left_wins = ll.tie < lr.tie;
+    } else {
+      left_wins = wl < wr;
+    }
+    winner = left_wins ? wl : wr;
+    const Line& lw = left_wins ? ll : lr;
+    const Line& lo = left_wins ? lr : ll;
+    if (lo.slope > lw.slope) {
+      // The losing line is steeper: it overtakes at the algebraic crossover
+      // tc. Re-check a relative margin early; never certify past-the-present
+      // validity (a certificate at `t` means "re-check on the next query").
+      const double tc =
+          (lo.slope * lo.anchor - lw.slope * lw.anchor) / (lo.slope - lw.slope);
+      double cert = tc - 1e-9 * std::max(1.0, std::abs(tc));
+      if (!(cert > t)) cert = t;
+      match_exp = cert;
+    }
+  }
+  nodes_[i].winner = winner;
+  nodes_[i].match_exp = match_exp;
+  nodes_[i].subtree_exp = std::min(
+      match_exp, std::min(nodes_[l].subtree_exp, nodes_[r].subtree_exp));
+}
+
+bool KineticIndex::RefreshNode(int node, double now) {
+  const size_t i = static_cast<size_t>(node);
+  const size_t l = i << 1;
+  const size_t r = l | 1;
+  bool left_changed = false;
+  bool right_changed = false;
+  if (static_cast<int>(l) >= capacity_) {
+    // Children are leaves. A leaf with an expired (-inf, i.e. dirty) marker
+    // had its line rewritten — or the slot emptied — by an Insert/Erase
+    // since the last query. Reporting "changed" forces every ancestor match
+    // its line participates in to be recomputed: the winning *slot* of
+    // those matches may be unchanged while the line behind it is not, so a
+    // slot comparison alone would be unsound.
+    if (nodes_[l].subtree_exp <= now) {
+      nodes_[l].subtree_exp = kInf;
+      left_changed = true;
+    }
+    if (nodes_[r].subtree_exp <= now) {
+      nodes_[r].subtree_exp = kInf;
+      right_changed = true;
+    }
+  } else {
+    // Recurse only into expired/dirty subtrees; clean ones are not entered.
+    if (nodes_[l].subtree_exp <= now) left_changed = RefreshNode(l, now);
+    if (nodes_[r].subtree_exp <= now) right_changed = RefreshNode(r, now);
+  }
+  const int old_winner = nodes_[i].winner;
+  if (!(left_changed || right_changed) && nodes_[i].match_exp > now) {
+    // Only descendants tightened their expiries; the cached match is intact.
+    nodes_[i].subtree_exp =
+        std::min(nodes_[i].match_exp,
+                 std::min(nodes_[l].subtree_exp, nodes_[r].subtree_exp));
+    return false;
+  }
+  RecomputeNode(node, now);
+  const int w = nodes_[i].winner;
+  if (w != old_winner) return true;
+  // Same winning slot — but if the winner came out of a subtree that
+  // reported a change, its *line* may have been rewritten, and ancestors
+  // matched against the old line must re-run their matches too.
+  return w == nodes_[l].winner ? left_changed : right_changed;
+}
+
+int KineticIndex::DenseArgMax(SimTime now, double* priority) {
+  // Walks the packed parallel arrays — contiguous loads, no id indirection
+  // on the hot comparisons; ids are only consulted to break exact ties.
+  const size_t n = dense_ids_.size();
+  const double* const anchor = dense_anchor_.data();
+  const double* const coef = dense_coef_.data();
+  const bool ratio = mode_ == EvalMode::kRatio;
+  size_t best_pos = 0;
+  double best_priority = ratio ? (now - anchor[0]) / coef[0]
+                               : coef[0] * (now - anchor[0]);
+  for (size_t k = 1; k < n; ++k) {
+    const double p = ratio ? (now - anchor[k]) / coef[k]
+                           : coef[k] * (now - anchor[k]);
+    if (p > best_priority) {
+      best_pos = k;
+      best_priority = p;
+    } else if (p == best_priority) {
+      // Exact tie under the scan's own arithmetic: smallest (tie, id) wins,
+      // independent of the swap-removal order of the packed arrays.
+      if (dense_tie_[k] < dense_tie_[best_pos] ||
+          (dense_tie_[k] == dense_tie_[best_pos] &&
+           dense_ids_[k] < dense_ids_[best_pos])) {
+        best_pos = k;
+      }
+    }
+  }
+  if (priority != nullptr) *priority = best_priority;
+  return dense_ids_[best_pos];
+}
+
+int KineticIndex::ArgMax(SimTime now, double* priority) {
+  if (size_ == 0) return -1;
+  last_time_ = now;
+  if (dense_) return DenseArgMax(now, priority);
+  if (capacity_ > 1) {
+    if (nodes_[1].subtree_exp <= now) RefreshNode(1, now);
+  } else {
+    // Single-leaf tree: node 1 is the leaf itself; just clear its marker.
+    nodes_[1].subtree_exp = kInf;
+  }
+  const int winner = nodes_[1].winner;
+  if (priority != nullptr) *priority = Eval(winner, now);
+  return winner;
+}
+
+}  // namespace aqsios::sched

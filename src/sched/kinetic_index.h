@@ -1,0 +1,199 @@
+// Kinetic tournament index over linearly-growing priorities.
+//
+// The time-varying policies (LSF, BSD, clustered BSD) assign every ready
+// unit a priority that is a *linear function of the virtual clock*:
+//
+//   LSF:        p_u(t) = (t - a_u) / T_u            (slope 1/T_u)
+//   BSD:        p_u(t) = phi_u * (t - a_u)          (slope phi_u)
+//   clustered:  p_c(t) = pseudo_c * (t - head_c)    (slope pseudo_c)
+//
+// where a_u is the head tuple's arrival time. The argmax over ready units is
+// therefore an upper-envelope query, which a kinetic tournament answers in
+// O(log n) amortized instead of the naive O(n) scan per scheduling point:
+// a complete binary tree holds one leaf per unit; each internal node caches
+// the winner of its two subtrees plus a *certificate* — the earliest time
+// the losing line could overtake the winning line. ArgMax(now) only
+// re-evaluates subtrees whose certificates have expired; inserts and erases
+// just mark their leaf-to-root path dirty (plain stores, no arithmetic) and
+// the next ArgMax re-runs the marked matches once, at the query time.
+//
+// The index is a hybrid: up to kDenseMaxCapacity slots it skips the tree
+// entirely and answers ArgMax with one exact evaluation per live line over
+// a flat array (see kDenseMaxCapacity for why small n favours that), then
+// switches to the tournament when it grows past the threshold. Both paths
+// implement identical semantics; which one answers is invisible to callers
+// except through dense()/node_recomputes().
+//
+// Bit-identical contract: the index must return exactly the unit the linear
+// scan in basic_policies.cc / clustered_bsd.cc would return, including its
+// priority *value* with identical floating-point rounding. Two rules make
+// that hold:
+//
+//  1. Matches are decided by evaluating the scan's own arithmetic
+//     (EvalMode::kRatio = `(t - anchor) / coef`, EvalMode::kScaled =
+//     `coef * (t - anchor)`), never by rearranged line algebra. Certificates
+//     are merely conservative *re-check times*; a pessimistic certificate
+//     costs a re-evaluation, never a wrong answer.
+//  2. Ties reproduce the scan's iteration order: the scan iterates an
+//     ordered set and keeps the first maximum (strict `>`), so ties go to
+//     the smallest (tie_key, id) pair. LSF/BSD pass tie_key = 0 (lowest id
+//     wins, matching std::set<int>); clustered BSD passes tie_key =
+//     head time (matching its std::set<pair<SimTime, cluster>>).
+//
+// Certificates are computed from the algebraic crossover of the two lines
+// minus a relative safety margin of 1e-9 (orders of magnitude wider than
+// the rounding error of the certificate arithmetic), clamped to be no
+// earlier than the evaluation time; a certificate that keeps landing at
+// "now" simply degrades that node to re-check-per-query, which is the safe
+// direction.
+
+#ifndef AQSIOS_SCHED_KINETIC_INDEX_H_
+#define AQSIOS_SCHED_KINETIC_INDEX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/sim_time.h"
+
+namespace aqsios::sched {
+
+class KineticIndex {
+ public:
+  enum class EvalMode {
+    /// p(t) = (t - anchor) / coef — LSF's HeadWait(now) / ideal_time.
+    kRatio,
+    /// p(t) = coef * (t - anchor) — BSD's phi * HeadWait(now) and the
+    /// clustered pseudo_priority * (now - head_time).
+    kScaled,
+  };
+
+  explicit KineticIndex(EvalMode mode) : mode_(mode) {}
+
+  /// Pre-sizes the tree for ids in [0, max_ids) and clears it. The index
+  /// grows on demand if a larger id is inserted later.
+  void Reserve(int max_ids);
+
+  /// Removes all entries (capacity and clock are kept).
+  void Clear();
+
+  /// Inserts id with the given line, or re-keys it if already present.
+  /// `coef` must be > 0 (priorities are nonnegative and increasing).
+  void Insert(int id, double anchor, double coef, double tie_key = 0.0);
+
+  /// Removes id; no-op when absent.
+  void Erase(int id);
+
+  bool Contains(int id) const {
+    return id >= 0 && id < capacity_ && occupied_[static_cast<size_t>(id)] != 0;
+  }
+
+  bool empty() const { return size_ == 0; }
+  int size() const { return size_; }
+
+  /// Returns the id maximizing p(now) — ties broken by smallest
+  /// (tie_key, id) — and stores its priority, computed with the scan's exact
+  /// arithmetic, into *priority when non-null. -1 when empty. `now` must be
+  /// non-decreasing across calls (the simulation clock is monotone).
+  int ArgMax(SimTime now, double* priority = nullptr);
+
+  /// The priority the scan formula assigns to `id` at time `t` (test aid).
+  double EvalAt(int id, SimTime t) const {
+    return Eval(id, t);
+  }
+
+  /// Internal-node recomputations since construction — the work an ArgMax /
+  /// Insert / Erase actually did (test + benchmark introspection; a valid
+  /// root certificate makes ArgMax O(1)). Always 0 while the index is in
+  /// its dense small-n mode, which keeps no tree at all.
+  int64_t node_recomputes() const { return node_recomputes_; }
+
+  /// Whether the index is currently answering queries with the dense linear
+  /// fast path instead of the tournament tree (introspection).
+  bool dense() const { return dense_; }
+
+  /// Largest capacity served by the dense fast path. Below this size the
+  /// tournament's ~log n match replays per re-key cost more than simply
+  /// evaluating every line over a flat array (a pick re-keys the picked
+  /// unit, which was the winner of every match on its leaf-to-root path, so
+  /// the whole path must be replayed — certificates cannot save it). The
+  /// crossover sits past a hundred units on current hardware; above it the
+  /// tree's O(log n) takes over.
+  static constexpr int kDenseMaxCapacity = 128;
+
+ private:
+  double Eval(int slot, double t) const {
+    const Line& line = lines_[static_cast<size_t>(slot)];
+    return mode_ == EvalMode::kRatio ? (t - line.anchor) / line.coef
+                                     : line.coef * (t - line.anchor);
+  }
+
+  /// Re-derives winner, match certificate, and subtree expiry of internal
+  /// node `node` from its children, evaluating the match at time `t`.
+  void RecomputeNode(int node, double t);
+
+  /// Revalidates the subtree under internal node `node` — the caller has
+  /// already established it is expired or dirty — and returns whether the
+  /// subtree's winner (slot or line) changed. Recurses only into expired or
+  /// dirty children; clean subtrees are never entered.
+  bool RefreshNode(int node, double now);
+
+  /// Marks the leaf-to-root path above `slot` dirty (-inf expiries) so the
+  /// next ArgMax recomputes it. Mutations do no priority arithmetic at all:
+  /// deferring to query time deduplicates overlapping paths and evaluates
+  /// matches at the freshest possible clock.
+  void MarkPath(int slot);
+
+  /// Rebuilds the whole tree for a new leaf capacity (power of two).
+  void Rebuild(int new_capacity);
+
+  /// Dense-mode ArgMax: one exact Eval per live id, running lexicographic
+  /// (priority desc, tie asc, id asc) best — identical semantics to the
+  /// tree, with zero maintenance on Insert/Erase.
+  int DenseArgMax(SimTime now, double* priority);
+
+  EvalMode mode_;
+  bool dense_ = true;  // small indexes start dense; Reserve/growth decide
+  int capacity_ = 0;  // leaf slots, power of two (0 until first Reserve)
+  int size_ = 0;
+  /// Latest ArgMax query time; a mid-stream Rebuild evaluates its matches
+  /// here (the clock is monotone, so this is the most recent — and
+  /// therefore tightest — evaluation point available).
+  double last_time_ = 0.0;
+  int64_t node_recomputes_ = 0;
+
+  /// Per-leaf-slot line state (indexed by id): 32 bytes, two lines per cache
+  /// line, so one Eval plus the tie-break touch at most one line of memory.
+  struct Line {
+    double anchor = 0.0;
+    double coef = 1.0;
+    double slope = 0.0;  // d p / d t: 1/coef (kRatio) or coef (kScaled)
+    double tie = 0.0;
+  };
+
+  /// Tournament node, fused for the same reason. Nodes 1..2*capacity_-1,
+  /// leaves at capacity_ + slot. Leaves use only `winner` (the slot, or -1
+  /// when vacant) and `subtree_exp` (-inf dirty marker, +inf otherwise).
+  struct Node {
+    int winner = -1;          // winning slot of the subtree, -1 when empty
+    double match_exp = 0.0;   // earliest time this node's match can flip
+    double subtree_exp = 0.0; // min over subtree: match expiries + dirt
+  };
+
+  std::vector<char> occupied_;
+  std::vector<Line> lines_;
+  std::vector<Node> nodes_;
+  /// Dense mode only: the live ids in arbitrary order (swap-removed), each
+  /// id's position in that list (-1 when absent), and the live lines packed
+  /// in the same order as parallel arrays — the ArgMax scan walks contiguous
+  /// memory with no per-element indirection.
+  std::vector<int> dense_ids_;
+  std::vector<int> dense_pos_;
+  std::vector<double> dense_anchor_;
+  std::vector<double> dense_coef_;
+  std::vector<double> dense_tie_;
+};
+
+}  // namespace aqsios::sched
+
+#endif  // AQSIOS_SCHED_KINETIC_INDEX_H_

@@ -4,6 +4,18 @@
 
 namespace aqsios::sched {
 
+void TupleQueue::Grow() {
+  const uint32_t new_cap = cap_ * 2;
+  QueueEntry* grown = new QueueEntry[new_cap];
+  for (uint32_t i = 0; i < len_; ++i) {
+    grown[i] = buf_[(head_ + i) & (cap_ - 1)];
+  }
+  if (buf_ != inline_) delete[] buf_;
+  buf_ = grown;
+  cap_ = new_cap;
+  head_ = 0;
+}
+
 const char* UnitKindName(UnitKind kind) {
   switch (kind) {
     case UnitKind::kQueryChain:

@@ -20,8 +20,9 @@
 #ifndef AQSIOS_SCHED_UNIT_H_
 #define AQSIOS_SCHED_UNIT_H_
 
+#include <cstddef>
 #include <cstdint>
-#include <deque>
+#include <utility>
 #include <vector>
 
 #include "common/sim_time.h"
@@ -50,6 +51,110 @@ const char* UnitKindName(UnitKind kind);
 struct QueueEntry {
   stream::ArrivalId arrival = 0;
   SimTime arrival_time = 0.0;
+};
+
+/// FIFO of pending QueueEntry values, tuned for the per-unit queue's common
+/// case. At simulation rates the std::deque it replaces allocated a 512-byte
+/// chunk per unit up front and churned chunks in steady-state FIFO traffic;
+/// most unit queues hold 0–2 entries almost all of the time, so this ring
+/// buffer keeps the first two entries inline in the Unit itself and only
+/// touches the heap when a queue actually backs up (capacity doubles, powers
+/// of two, entries relocated in FIFO order). Supports exactly the deque
+/// surface the engine, schedulers, and tests use.
+class TupleQueue {
+ public:
+  TupleQueue() = default;
+  TupleQueue(const TupleQueue& other) { CopyFrom(other); }
+  TupleQueue& operator=(const TupleQueue& other) {
+    if (this != &other) {
+      Release();
+      CopyFrom(other);
+    }
+    return *this;
+  }
+  TupleQueue(TupleQueue&& other) noexcept { MoveFrom(other); }
+  TupleQueue& operator=(TupleQueue&& other) noexcept {
+    if (this != &other) {
+      Release();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+  ~TupleQueue() { Release(); }
+
+  bool empty() const { return len_ == 0; }
+  size_t size() const { return len_; }
+
+  QueueEntry& front() { return buf_[head_]; }
+  const QueueEntry& front() const { return buf_[head_]; }
+  QueueEntry& back() { return buf_[(head_ + len_ - 1) & (cap_ - 1)]; }
+  const QueueEntry& back() const {
+    return buf_[(head_ + len_ - 1) & (cap_ - 1)];
+  }
+  /// The i-th entry from the front (0 = head).
+  const QueueEntry& at(size_t i) const {
+    return buf_[(head_ + static_cast<uint32_t>(i)) & (cap_ - 1)];
+  }
+
+  void push_back(const QueueEntry& entry) {
+    if (len_ == cap_) Grow();
+    buf_[(head_ + len_) & (cap_ - 1)] = entry;
+    ++len_;
+  }
+
+  void pop_front() {
+    head_ = (head_ + 1) & (cap_ - 1);
+    --len_;
+  }
+
+  void clear() {
+    head_ = 0;
+    len_ = 0;
+  }
+
+ private:
+  static constexpr uint32_t kInlineCapacity = 2;
+
+  void Grow();
+
+  void CopyFrom(const TupleQueue& other) {
+    buf_ = inline_;
+    cap_ = kInlineCapacity;
+    head_ = 0;
+    len_ = 0;
+    for (size_t i = 0; i < other.size(); ++i) push_back(other.at(i));
+  }
+
+  void MoveFrom(TupleQueue& other) {
+    if (other.buf_ == other.inline_) {
+      buf_ = inline_;
+      inline_[0] = other.inline_[0];
+      inline_[1] = other.inline_[1];
+    } else {
+      buf_ = other.buf_;
+    }
+    cap_ = other.cap_;
+    head_ = other.head_;
+    len_ = other.len_;
+    other.buf_ = other.inline_;
+    other.cap_ = kInlineCapacity;
+    other.head_ = 0;
+    other.len_ = 0;
+  }
+
+  void Release() {
+    if (buf_ != inline_) delete[] buf_;
+    buf_ = inline_;
+    cap_ = kInlineCapacity;
+    head_ = 0;
+    len_ = 0;
+  }
+
+  QueueEntry inline_[kInlineCapacity];
+  QueueEntry* buf_ = inline_;
+  uint32_t cap_ = kInlineCapacity;  // always a power of two
+  uint32_t head_ = 0;
+  uint32_t len_ = 0;
 };
 
 /// Static priority ingredients of a unit (derived from SegmentStats, or from
@@ -101,7 +206,7 @@ struct Unit {
   stream::StreamId input_stream = -1;
 
   UnitStats stats;
-  std::deque<QueueEntry> queue;
+  TupleQueue queue;
 
   bool has_pending() const { return !queue.empty(); }
   const QueueEntry& head() const { return queue.front(); }

@@ -1,0 +1,355 @@
+// KineticIndex correctness: randomized equivalence against a brute-force
+// reference (both eval modes, dense and tournament-tree regimes, and the
+// dense-to-tree growth switch), golden-trace equivalence of the kinetic
+// schedulers against their naive scan twins (picks *and* simulated
+// SchedulingCost charges), and full-simulation equality kinetic on vs off.
+
+#include "sched/kinetic_index.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <memory>
+#include <random>
+#include <vector>
+
+#include "core/dsms.h"
+#include "query/workload.h"
+#include "sched/basic_policies.h"
+#include "sched/clustered_bsd.h"
+#include "sched/policy.h"
+
+namespace aqsios::sched {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Brute-force reference.
+
+struct RefLine {
+  double anchor = 0.0;
+  double coef = 1.0;
+  double tie = 0.0;
+};
+
+/// The scan the index must reproduce bit for bit: first maximum under
+/// strict >, iterating ids in ascending order (ties therefore go to the
+/// smallest (tie, id)).
+int ReferenceArgMax(const std::map<int, RefLine>& lines,
+                    KineticIndex::EvalMode mode, double now,
+                    double* priority) {
+  int best = -1;
+  double best_priority = 0.0;
+  double best_tie = 0.0;
+  for (const auto& [id, line] : lines) {
+    const double p = mode == KineticIndex::EvalMode::kRatio
+                         ? (now - line.anchor) / line.coef
+                         : line.coef * (now - line.anchor);
+    if (best < 0 || p > best_priority ||
+        (p == best_priority && line.tie < best_tie)) {
+      best = id;
+      best_priority = p;
+      best_tie = line.tie;
+    }
+  }
+  if (best >= 0 && priority != nullptr) *priority = best_priority;
+  return best;
+}
+
+/// Drives the index and the reference through `steps` random mutations and
+/// queries over ids in [0, max_id) and asserts identical answers throughout.
+void RunRandomizedTrace(KineticIndex::EvalMode mode, int max_id, int steps,
+                        uint64_t seed, bool reserve_first) {
+  KineticIndex index(mode);
+  if (reserve_first) index.Reserve(max_id);
+  std::map<int, RefLine> reference;
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int> id_dist(0, max_id - 1);
+  std::uniform_real_distribution<double> anchor_dist(0.0, 10.0);
+  std::uniform_real_distribution<double> coef_dist(0.01, 5.0);
+  std::uniform_int_distribution<int> op_dist(0, 9);
+  std::uniform_int_distribution<int> tie_dist(0, 2);
+  double now = 0.0;
+  for (int step = 0; step < steps; ++step) {
+    const int op = op_dist(rng);
+    if (op < 5) {  // insert or re-key
+      const int id = id_dist(rng);
+      RefLine line;
+      // Anchors may lie ahead of `now` (a queue head that arrived "recently"
+      // relative to a stale clock) and ties collide often on purpose.
+      line.anchor = anchor_dist(rng);
+      line.coef = coef_dist(rng);
+      line.tie = static_cast<double>(tie_dist(rng));
+      reference[id] = line;
+      index.Insert(id, line.anchor, line.coef, line.tie);
+    } else if (op < 7) {  // erase
+      const int id = id_dist(rng);
+      reference.erase(id);
+      index.Erase(id);
+    } else {  // query at an advanced clock
+      now += anchor_dist(rng) * 0.3;
+      double expected_priority = 0.0;
+      const int expected =
+          ReferenceArgMax(reference, mode, now, &expected_priority);
+      double actual_priority = 0.0;
+      const int actual = index.ArgMax(now, &actual_priority);
+      ASSERT_EQ(actual, expected) << "step " << step << " now=" << now;
+      if (expected >= 0) {
+        // Exact equality: both sides must use the same arithmetic.
+        ASSERT_EQ(actual_priority, expected_priority) << "step " << step;
+      }
+    }
+    ASSERT_EQ(index.size(), static_cast<int>(reference.size()));
+  }
+}
+
+TEST(KineticIndexTest, RandomizedTraceDenseRatio) {
+  // max_id 60 <= kDenseMaxCapacity: the whole trace runs in dense mode.
+  RunRandomizedTrace(KineticIndex::EvalMode::kRatio, 60, 4000, 0xA1, true);
+}
+
+TEST(KineticIndexTest, RandomizedTraceDenseScaled) {
+  RunRandomizedTrace(KineticIndex::EvalMode::kScaled, 60, 4000, 0xB2, true);
+}
+
+TEST(KineticIndexTest, RandomizedTraceTreeRatio) {
+  // max_id 600 forces the tournament tree (capacity 1024 > 128).
+  RunRandomizedTrace(KineticIndex::EvalMode::kRatio, 600, 4000, 0xC3, true);
+}
+
+TEST(KineticIndexTest, RandomizedTraceTreeScaled) {
+  RunRandomizedTrace(KineticIndex::EvalMode::kScaled, 600, 4000, 0xD4, true);
+}
+
+TEST(KineticIndexTest, RandomizedTraceGrowthSwitch) {
+  // No Reserve: the index starts dense at capacity 1 and crosses into tree
+  // mode mid-trace when an id past kDenseMaxCapacity arrives.
+  RunRandomizedTrace(KineticIndex::EvalMode::kScaled, 400, 4000, 0xE5, false);
+}
+
+TEST(KineticIndexTest, DenseModeFlagTracksCapacity) {
+  KineticIndex index(KineticIndex::EvalMode::kScaled);
+  index.Reserve(60);
+  EXPECT_TRUE(index.dense());
+  index.Insert(5, 0.0, 1.0);
+  EXPECT_EQ(index.ArgMax(1.0), 5);
+  EXPECT_EQ(index.node_recomputes(), 0) << "dense mode keeps no tree";
+  // Inserting an id past the dense cap flips the index to the tournament;
+  // the existing entry must survive the switch.
+  index.Insert(KineticIndex::kDenseMaxCapacity + 1, 0.0, 2.0);
+  EXPECT_FALSE(index.dense());
+  EXPECT_EQ(index.size(), 2);
+  EXPECT_EQ(index.ArgMax(1.0), KineticIndex::kDenseMaxCapacity + 1);
+  index.Erase(KineticIndex::kDenseMaxCapacity + 1);
+  EXPECT_EQ(index.ArgMax(1.0), 5);
+}
+
+TEST(KineticIndexTest, ReserveAboveCapGoesStraightToTree) {
+  KineticIndex index(KineticIndex::EvalMode::kRatio);
+  index.Reserve(500);
+  EXPECT_FALSE(index.dense());
+  index.Insert(400, 0.0, 2.0);
+  index.Insert(7, 0.0, 4.0);
+  // (now - 0) / 2 > (now - 0) / 4.
+  EXPECT_EQ(index.ArgMax(8.0), 400);
+  EXPECT_GT(index.node_recomputes(), 0);
+}
+
+TEST(KineticIndexTest, TreeCertificatesSuppressRecomputes) {
+  // With static lines and a monotone clock, repeated queries after the first
+  // must ride the root certificate (no recomputation) until a crossover.
+  KineticIndex index(KineticIndex::EvalMode::kScaled);
+  index.Reserve(500);  // tree mode
+  // Line A: 1.0 * (t - 0)  — wins early. Line B: 10 * (t - 9) — overtakes at
+  // t = 10.
+  index.Insert(0, 0.0, 1.0);
+  index.Insert(300, 9.0, 10.0);
+  EXPECT_EQ(index.ArgMax(9.5), 0);
+  const int64_t after_first = index.node_recomputes();
+  EXPECT_EQ(index.ArgMax(9.6), 0);
+  EXPECT_EQ(index.ArgMax(9.7), 0);
+  EXPECT_EQ(index.node_recomputes(), after_first)
+      << "queries inside the certificate window must be O(1)";
+  EXPECT_EQ(index.ArgMax(11.0), 300) << "crossover must be noticed";
+}
+
+TEST(KineticIndexTest, ClearEmptiesBothModes) {
+  for (const int reserve : {60, 500}) {
+    KineticIndex index(KineticIndex::EvalMode::kScaled);
+    index.Reserve(reserve);
+    index.Insert(1, 0.0, 1.0);
+    index.Insert(2, 0.0, 2.0);
+    index.Clear();
+    EXPECT_TRUE(index.empty());
+    EXPECT_EQ(index.ArgMax(5.0), -1);
+    index.Insert(3, 0.0, 1.0);
+    EXPECT_EQ(index.ArgMax(5.0), 3);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Golden-trace equivalence: kinetic scheduler vs its naive scan twin.
+
+Unit MakeUnit(int id, double phi, SimTime ideal_time) {
+  Unit unit;
+  unit.id = id;
+  unit.kind = UnitKind::kQueryChain;
+  unit.query = id;
+  unit.input_stream = 0;
+  unit.stats.phi = phi;
+  unit.stats.output_rate = phi * 2.0;
+  unit.stats.normalized_rate = phi * 1.5;
+  unit.stats.ideal_time = ideal_time;
+  return unit;
+}
+
+UnitTable MakeUnits(int n, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> phi_dist(0.05, 20.0);
+  std::uniform_int_distribution<int> ideal_dist(1, 5);
+  UnitTable units;
+  for (int i = 0; i < n; ++i) {
+    // Few distinct ideal_times (LSF coefficient classes) and continuous phi,
+    // mirroring the testbed's shape; both produce frequent priority ties.
+    units.push_back(
+        MakeUnit(i, phi_dist(rng), 0.001 * ideal_dist(rng)));
+  }
+  return units;
+}
+
+/// Runs the same random enqueue/pick trace through both schedulers and
+/// asserts identical picks and identical SchedulingCost charges. The two
+/// unit tables evolve in lockstep because picks match.
+void RunGoldenTrace(Scheduler& kinetic, Scheduler& scan, int n, int steps,
+                    uint64_t seed) {
+  UnitTable units_a = MakeUnits(n, seed);
+  UnitTable units_b = MakeUnits(n, seed);
+  kinetic.Attach(&units_a);
+  scan.Attach(&units_b);
+  std::mt19937_64 rng(seed ^ 0x5EED);
+  std::uniform_int_distribution<int> unit_dist(0, n - 1);
+  std::uniform_int_distribution<int> op_dist(0, 3);
+  double now = 0.0;
+  int64_t arrival = 0;
+  for (int step = 0; step < steps; ++step) {
+    now += 0.001;
+    if (op_dist(rng) != 0) {  // enqueue (weighted 3:1 over pick)
+      const int u = unit_dist(rng);
+      units_a[static_cast<size_t>(u)].queue.push_back(QueueEntry{arrival, now});
+      units_b[static_cast<size_t>(u)].queue.push_back(QueueEntry{arrival, now});
+      ++arrival;
+      kinetic.OnEnqueue(u);
+      scan.OnEnqueue(u);
+      continue;
+    }
+    SchedulingCost cost_a;
+    SchedulingCost cost_b;
+    std::vector<int> out_a;
+    std::vector<int> out_b;
+    const bool ok_a = kinetic.PickNext(now, &cost_a, &out_a);
+    const bool ok_b = scan.PickNext(now, &cost_b, &out_b);
+    ASSERT_EQ(ok_a, ok_b) << "step " << step;
+    ASSERT_EQ(out_a, out_b) << "step " << step;
+    // The simulated overhead charges must be identical: the kinetic index is
+    // a wall-clock optimization, not a change to the costs the §9.2
+    // experiments charge to the virtual clock.
+    ASSERT_EQ(cost_a.computations, cost_b.computations) << "step " << step;
+    ASSERT_EQ(cost_a.comparisons, cost_b.comparisons) << "step " << step;
+    ASSERT_EQ(cost_a.candidates, cost_b.candidates) << "step " << step;
+    ASSERT_EQ(cost_a.chosen_priority, cost_b.chosen_priority)
+        << "step " << step;
+    if (!ok_a) continue;
+    for (const int u : out_a) {
+      units_a[static_cast<size_t>(u)].queue.pop_front();
+      units_b[static_cast<size_t>(u)].queue.pop_front();
+      kinetic.OnDequeue(u);
+      scan.OnDequeue(u);
+    }
+  }
+}
+
+TEST(KineticEquivalenceTest, LsfGoldenTrace) {
+  for (const int n : {7, 60, 200}) {
+    LsfScheduler kinetic(/*use_kinetic_index=*/true);
+    LsfScheduler scan(/*use_kinetic_index=*/false);
+    RunGoldenTrace(kinetic, scan, n, 6000, 0x11F + static_cast<uint64_t>(n));
+  }
+}
+
+TEST(KineticEquivalenceTest, BsdGoldenTraceBothCountModes) {
+  for (const bool count_all : {false, true}) {
+    for (const int n : {7, 60, 200}) {
+      BsdScheduler kinetic(count_all, /*use_kinetic_index=*/true);
+      BsdScheduler scan(count_all, /*use_kinetic_index=*/false);
+      RunGoldenTrace(kinetic, scan, n, 6000,
+                     0xB5D + static_cast<uint64_t>(n) + (count_all ? 1 : 0));
+    }
+  }
+}
+
+TEST(KineticEquivalenceTest, ClusteredBsdGoldenTrace) {
+  for (const bool clustered_processing : {false, true}) {
+    for (const int n : {20, 60}) {
+      ClusteredBsdOptions on;
+      on.num_clusters = 6;
+      on.clustered_processing = clustered_processing;
+      on.use_kinetic_index = true;
+      ClusteredBsdOptions off = on;
+      off.use_kinetic_index = false;
+      ClusteredBsdScheduler kinetic(on);
+      ClusteredBsdScheduler scan(off);
+      RunGoldenTrace(kinetic, scan, n, 6000,
+                     0xC1 + static_cast<uint64_t>(n) +
+                         (clustered_processing ? 7 : 0));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Full-simulation equality.
+
+core::RunResult RunSim(sched::PolicyConfig config, bool kinetic,
+                       bool charge_overhead) {
+  query::WorkloadConfig workload_config;
+  workload_config.num_queries = 24;
+  workload_config.num_arrivals = 3000;
+  workload_config.seed = 42;
+  workload_config.utilization = 0.9;
+  const query::Workload workload = query::GenerateWorkload(workload_config);
+  config.use_kinetic_index = kinetic;
+  config.clustered.use_kinetic_index = kinetic;
+  core::SimulationOptions options;
+  options.charge_scheduling_overhead = charge_overhead;
+  return core::Simulate(workload, config, options);
+}
+
+void ExpectSameRun(const core::RunResult& a, const core::RunResult& b) {
+  EXPECT_EQ(a.qos.tuples_emitted, b.qos.tuples_emitted);
+  EXPECT_EQ(a.qos.avg_response, b.qos.avg_response);
+  EXPECT_EQ(a.qos.avg_slowdown, b.qos.avg_slowdown);
+  EXPECT_EQ(a.qos.max_slowdown, b.qos.max_slowdown);
+  EXPECT_EQ(a.qos.l2_slowdown, b.qos.l2_slowdown);
+  EXPECT_EQ(a.counters.scheduling_points, b.counters.scheduling_points);
+  EXPECT_EQ(a.counters.priority_computations, b.counters.priority_computations);
+  EXPECT_EQ(a.counters.decision_candidates, b.counters.decision_candidates);
+  EXPECT_EQ(a.counters.overhead_operations, b.counters.overhead_operations);
+  EXPECT_EQ(a.counters.overhead_time, b.counters.overhead_time);
+  EXPECT_EQ(a.counters.end_time, b.counters.end_time);
+}
+
+TEST(KineticEquivalenceTest, SimulationBitIdenticalKineticOnOff) {
+  // Both with and without §9.2 overhead charging: the kinetic index must
+  // leave the virtual clock — including the charged scheduling costs —
+  // untouched.
+  for (const bool charge : {false, true}) {
+    for (const PolicyKind kind :
+         {PolicyKind::kLsf, PolicyKind::kBsd, PolicyKind::kBsdClustered}) {
+      const auto config = PolicyConfig::Of(kind);
+      ExpectSameRun(RunSim(config, /*kinetic=*/true, charge),
+                    RunSim(config, /*kinetic=*/false, charge));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace aqsios::sched

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <random>
+#include <utility>
+
 #include "sched/policy.h"
 
 namespace aqsios::sched {
@@ -240,6 +243,129 @@ TEST(UnitTest, HeadWaitAndKindNames) {
   EXPECT_TRUE(unit.has_pending());
   EXPECT_STREQ(UnitKindName(UnitKind::kSharedGroup), "shared_group");
   EXPECT_STREQ(UnitKindName(UnitKind::kJoinSideLeft), "join_side_left");
+}
+
+// The bitmap-backed RR must be indistinguishable from the modular cursor
+// scan it replaced: same pick sequence and same reported candidates count
+// (how many units the scan would have visited), on a long randomized trace.
+TEST(RoundRobinTest, RandomizedTraceMatchesCursorScanReference) {
+  constexpr int kUnits = 70;  // spans more than one 64-bit bitmap word
+  UnitTable units;
+  for (int i = 0; i < kUnits; ++i) units.push_back(MakeUnit(i, 1, 1, 1, 1));
+  RoundRobinScheduler scheduler;
+  scheduler.Attach(&units);
+
+  // Reference state: queue depths plus the cursor of the naive scan.
+  std::vector<int> depth(kUnits, 0);
+  int cursor = 0;
+
+  std::mt19937_64 rng(0x88);
+  std::uniform_int_distribution<int> unit_dist(0, kUnits - 1);
+  std::uniform_int_distribution<int> op_dist(0, 3);
+  double now = 0.0;
+  int64_t arrival = 0;
+  for (int step = 0; step < 20000; ++step) {
+    now += 0.001;
+    if (op_dist(rng) != 0) {
+      const int u = unit_dist(rng);
+      units[static_cast<size_t>(u)].queue.push_back(QueueEntry{arrival++, now});
+      scheduler.OnEnqueue(u);
+      ++depth[u];
+      continue;
+    }
+    // Reference pick: scan cursor, cursor+1, ... (mod n) for the first
+    // non-empty queue, counting visited units as candidates.
+    int expected = -1;
+    int64_t expected_candidates = 0;
+    for (int k = 0; k < kUnits; ++k) {
+      const int u = (cursor + k) % kUnits;
+      ++expected_candidates;
+      if (depth[u] > 0) {
+        expected = u;
+        break;
+      }
+    }
+    SchedulingCost cost;
+    std::vector<int> out;
+    const bool picked = scheduler.PickNext(now, &cost, &out);
+    ASSERT_EQ(picked, expected >= 0) << "step " << step;
+    if (expected < 0) continue;
+    ASSERT_EQ(out.size(), 1u);
+    ASSERT_EQ(out.front(), expected) << "step " << step;
+    ASSERT_EQ(cost.candidates, expected_candidates) << "step " << step;
+    units[static_cast<size_t>(expected)].queue.pop_front();
+    scheduler.OnDequeue(expected);
+    --depth[expected];
+    cursor = (expected + 1) % kUnits;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// TupleQueue: the inline-first ring buffer behind Unit::queue.
+
+TEST(TupleQueueTest, FifoOrderAcrossGrowth) {
+  TupleQueue queue;
+  for (int64_t i = 0; i < 100; ++i) {
+    queue.push_back(QueueEntry{i, static_cast<double>(i)});
+  }
+  EXPECT_EQ(queue.size(), 100u);
+  for (int64_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(queue.front().arrival, i);
+    EXPECT_EQ(queue.at(0).arrival, i);
+    queue.pop_front();
+  }
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(TupleQueueTest, WrapsAroundUnderChurn) {
+  // Steady-state churn at depth <= 2 stays inside the inline buffer; the
+  // head index must wrap cleanly for arbitrarily many operations.
+  TupleQueue queue;
+  for (int64_t i = 0; i < 1000; ++i) {
+    queue.push_back(QueueEntry{i, 0.0});
+    if (i % 2 == 1) {
+      EXPECT_EQ(queue.front().arrival, i - 1);
+      queue.pop_front();
+      queue.pop_front();
+    }
+  }
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(TupleQueueTest, AtIndexesFromHead) {
+  TupleQueue queue;
+  for (int64_t i = 0; i < 10; ++i) queue.push_back(QueueEntry{i, 0.0});
+  queue.pop_front();
+  queue.pop_front();
+  for (size_t i = 0; i < queue.size(); ++i) {
+    EXPECT_EQ(queue.at(i).arrival, static_cast<int64_t>(i) + 2);
+  }
+  EXPECT_EQ(queue.back().arrival, 9);
+}
+
+TEST(TupleQueueTest, CopyAndMovePreserveContents) {
+  TupleQueue queue;
+  for (int64_t i = 0; i < 20; ++i) queue.push_back(QueueEntry{i, 0.5 * i});
+  queue.pop_front();
+
+  TupleQueue copy(queue);
+  ASSERT_EQ(copy.size(), queue.size());
+  EXPECT_EQ(copy.front().arrival, 1);
+  EXPECT_EQ(copy.back().arrival, 19);
+  copy.pop_front();
+  EXPECT_EQ(queue.front().arrival, 1) << "copy must not alias the original";
+
+  TupleQueue assigned;
+  assigned.push_back(QueueEntry{99, 0.0});
+  assigned = queue;
+  EXPECT_EQ(assigned.size(), 19u);
+  EXPECT_EQ(assigned.front().arrival, 1);
+
+  TupleQueue moved(std::move(assigned));
+  EXPECT_EQ(moved.size(), 19u);
+  EXPECT_EQ(moved.front().arrival, 1);
+  moved.clear();
+  EXPECT_TRUE(moved.empty());
 }
 
 }  // namespace
