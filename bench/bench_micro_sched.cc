@@ -31,6 +31,11 @@
 //  * join/insert_probe — symmetric-hash-join insert+probe path.
 //  * sim/<policy>/q=<n>/kinetic=<on|off> — full Simulate cells on the §8
 //    testbed workload; on/off QoS results are checked for exact equality.
+//  * sim/<policy>/q=<n>/ov=on/batch=<k> — overhead-charged Simulate cells
+//    across tuple-train batch sizes; each carries its deterministic virtual
+//    throughput (tuples_per_vsec), and batch>=8 must clear 1.5x the batch=1
+//    throughput for the overhead-paying policies (LSF/BSD) or the run
+//    aborts.
 
 #include <algorithm>
 #include <chrono>
@@ -69,6 +74,10 @@ struct BenchResult {
   double ns_per_op = 0.0;
   int64_t ops = 0;
   double wall_ms = 0.0;
+  /// Virtual throughput (emitted tuples per simulated second) for the
+  /// batched sim/ cells; 0 = not applicable, omitted from the JSON.
+  /// Deterministic — a pure function of the simulation, not of the host.
+  double tuples_per_vsec = 0.0;
 };
 
 /// Runs `body` (which performs `ops` operations) `reps` times and keeps the
@@ -288,6 +297,59 @@ void BenchSim(const query::Workload& workload, const std::string& policy,
 }
 
 // ---------------------------------------------------------------------------
+// Batched sim cells (§9.2 overhead amortization).
+
+core::RunResult BatchedSimCell(const query::Workload& workload,
+                               const std::string& policy, int batch) {
+  sched::PolicyConfig config = PickPolicy(policy, /*kinetic=*/true);
+  core::SimulationOptions options;
+  options.qos.track_per_class = false;
+  options.charge_scheduling_overhead = true;
+  options.batch_size = batch;
+  return core::Simulate(workload, config, options);
+}
+
+/// Emitted tuples per simulated second — the virtual throughput the batched
+/// dispatch improves by spending fewer virtual seconds on scheduling
+/// decisions. Deterministic, so CHECKable (unlike wall time).
+double VirtualThroughput(const core::RunResult& r) {
+  return r.counters.end_time > 0.0
+             ? static_cast<double>(r.qos.tuples_emitted) / r.counters.end_time
+             : 0.0;
+}
+
+/// Benchmarks overhead-charged sim cells across tuple-train batch sizes.
+/// For the dynamic-priority policies (nonzero per-decision overhead) the
+/// amortization must show up in the virtual metrics: at batch=8 the cell
+/// has to clear 1.5× the batch=1 virtual throughput or the suite aborts.
+void BenchSimBatched(const query::Workload& workload,
+                     const std::string& policy, int queries, int reps,
+                     const std::vector<int>& batches,
+                     std::vector<BenchResult>* results) {
+  double base_throughput = 0.0;
+  for (const int batch : batches) {
+    const core::RunResult r = BatchedSimCell(workload, policy, batch);
+    const double throughput = VirtualThroughput(r);
+    if (batch == 1) {
+      base_throughput = throughput;
+    } else if (batch >= 8 && base_throughput > 0.0) {
+      AQSIOS_CHECK(throughput >= 1.5 * base_throughput)
+          << "batched dispatch must amortize " << policy
+          << "'s scheduling overhead: batch=" << batch << " throughput "
+          << throughput << " < 1.5x batch=1 throughput " << base_throughput;
+    }
+    std::ostringstream name;
+    name << "sim/" << policy << "/q=" << queries << "/ov=on/batch=" << batch;
+    BenchResult result = RunTimed(name.str(), 1, reps, [&] {
+      const core::RunResult rep = BatchedSimCell(workload, policy, batch);
+      KeepAlive(static_cast<int64_t>(rep.qos.tuples_emitted));
+    });
+    result.tuples_per_vsec = throughput;
+    results->push_back(result);
+  }
+}
+
+// ---------------------------------------------------------------------------
 
 std::string ToJson(const std::vector<BenchResult>& results, int queries,
                    int64_t arrivals, uint64_t seed, int reps,
@@ -304,8 +366,11 @@ std::string ToJson(const std::vector<BenchResult>& results, int queries,
   for (size_t i = 0; i < results.size(); ++i) {
     const BenchResult& r = results[i];
     os << "    {\"name\": \"" << r.name << "\", \"ns_per_op\": " << r.ns_per_op
-       << ", \"ops\": " << r.ops << ", \"wall_ms\": " << r.wall_ms << "}"
-       << (i + 1 < results.size() ? "," : "") << "\n";
+       << ", \"ops\": " << r.ops << ", \"wall_ms\": " << r.wall_ms;
+    if (r.tuples_per_vsec > 0.0) {
+      os << ", \"tuples_per_vsec\": " << r.tuples_per_vsec;
+    }
+    os << "}" << (i + 1 < results.size() ? "," : "") << "\n";
   }
   os << "  ]\n}\n";
   return os.str();
@@ -394,6 +459,17 @@ int Main(int argc, char** argv) {
   BenchSim(workload, "bsd-clustered", queries, reps, /*has_kinetic=*/true,
            &results);
   BenchSim(workload, "hnr", queries, reps, /*has_kinetic=*/false, &results);
+
+  // Tuple-train batching under §9.2 overhead charging. Only the
+  // dynamic-priority policies (LSF, BSD) pay per-decision overhead, so only
+  // they gain virtual throughput from amortizing it; the batch=8 cells must
+  // clear 1.5x the batch=1 cells (checked inside BenchSimBatched).
+  const std::vector<int> batches = quick ? std::vector<int>{1, 8}
+                                         : std::vector<int>{1, 8, 32};
+  BenchSimBatched(workload, "bsd", queries, reps, batches, &results);
+  if (!quick) {
+    BenchSimBatched(workload, "lsf", queries, reps, batches, &results);
+  }
 
   if (!quick) {
     // 500-query cell: the ready set is large enough that the kinetic

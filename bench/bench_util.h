@@ -40,6 +40,10 @@ struct BenchArgs {
   /// first utilization under its first policy) to this path; load it in
   /// Perfetto / chrome://tracing. Empty = no trace.
   std::string trace_out;
+  /// Tuple-train batch size forwarded to SimulationOptions::batch_size:
+  /// 1 = classic per-tuple dispatch, 0 = drain the picked queue, k > 1 =
+  /// up to k tuples per scheduling decision.
+  int batch = 1;
 
   std::vector<double> UtilizationList() const {
     std::vector<double> result;
@@ -84,6 +88,9 @@ inline BenchArgs ParseBenchArgs(const std::string& name, int argc,
   flags->AddString("trace-out", &args.trace_out,
                    "write a Chrome trace-event JSON (Perfetto-loadable) of "
                    "one traced run to this path");
+  flags->AddInt("batch", &args.batch,
+                "tuple-train batch size (1 = per-tuple dispatch, 0 = drain "
+                "the picked queue, k > 1 = up to k tuples per decision)");
   const Status status = flags->Parse(argc, argv);
   if (!status.ok()) {
     if (flags->help_requested()) std::exit(0);
@@ -118,6 +125,7 @@ inline core::SweepConfig TestbedSweep(const BenchArgs& args) {
   // deterministic, and the same tuples are sampled under every policy, so
   // the per-policy attribution blocks in the JSON reports are comparable.
   sweep.options.attribution_sample_every = 32;
+  sweep.options.batch_size = args.batch;
   return sweep;
 }
 

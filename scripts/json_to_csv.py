@@ -14,8 +14,10 @@ plotting tool.
 
 Micro-benchmark reports (schema aqsios-bench-perf/1, written by
 bench_micro_sched --out BENCH_perf.json) are detected automatically and
-emitted as a flat name,ns_per_op,ops,wall_ms table — the pivot options do
-not apply to them.
+emitted as a flat name,ns_per_op,ops,wall_ms,tuples_per_vsec table — the
+pivot options do not apply to them. tuples_per_vsec is the deterministic
+virtual throughput the batched sim cells (sim/<policy>/.../batch=<k>)
+carry; the column is empty for cells without it.
 
 For sweep reports the metric is looked up in the cell's "qos" object first (avg/max/l2
 slowdown, the histogram quantiles p50/p95/p99/p999_slowdown, ...), then in
@@ -136,10 +138,12 @@ def main():
     cells = extract_cells(text, args.figure)
     if cells and isinstance(cells[0], dict) and "ns_per_op" in cells[0]:
         # aqsios-bench-perf/1 micro-benchmark rows: flat table, no pivot.
-        print("name,ns_per_op,ops,wall_ms")
+        print("name,ns_per_op,ops,wall_ms,tuples_per_vsec")
         for bench in cells:
+            vsec = bench.get("tuples_per_vsec")
             print(f"{bench['name']},{bench['ns_per_op']!r},"
-                  f"{bench['ops']},{bench['wall_ms']!r}")
+                  f"{bench['ops']},{bench['wall_ms']!r},"
+                  f"{'' if vsec is None else repr(vsec)}")
         return 0
     policies, grid = pivot(cells, args.metric)
 

@@ -11,10 +11,12 @@ Accepts either report the repo's bench binaries write:
 
 For every matched entry the ratio new/old is printed; entries whose ratio
 exceeds 1 + --threshold are regressions, entries below 1 - --threshold are
-improvements, the rest are noise-level. Exit status is 1 when any regression
-was found, unless --warn-only (CI runners are noisy shared machines — the
-committed-baseline check runs with --warn-only so it informs instead of
-flaking).
+improvements, the rest are noise-level. Cells present in only one report are
+coverage drift — a renamed or silently dropped benchmark looks exactly like
+a fixed regression — and fail the comparison alongside regressions. Exit
+status is 1 when any regression or coverage drift was found, unless
+--warn-only (CI runners are noisy shared machines — the committed-baseline
+check runs with --warn-only so it informs instead of flaking).
 
 Usage:
     scripts/perf_compare.py old.json new.json
@@ -99,20 +101,25 @@ def main():
         print(f"{key:<{width}}  {old_value:12.2f} -> {new_value:12.2f}  "
               f"x{ratio:.3f}  {verdict}")
 
+    label = "warning" if args.warn_only else "error"
     for key in only_old:
         print(f"{key}: removed (only in {args.old})")
+        print(f"{label}: cell missing from {args.new}: {key}",
+              file=sys.stderr)
     for key in only_new:
         print(f"{key}: added (only in {args.new})")
+        print(f"{label}: extra cell not in baseline {args.old}: {key}",
+              file=sys.stderr)
 
     print(f"\n{len(shared)} compared, {len(improvements)} improved, "
-          f"{len(regressions)} regressed (threshold +-"
+          f"{len(regressions)} regressed, {len(only_old)} missing, "
+          f"{len(only_new)} extra (threshold +-"
           f"{args.threshold * 100:.0f}%)")
     if regressions:
-        label = "warning" if args.warn_only else "error"
         for key in regressions:
             print(f"{label}: regression in {key}", file=sys.stderr)
-        if not args.warn_only:
-            return 1
+    if (regressions or only_old or only_new) and not args.warn_only:
+        return 1
     return 0
 
 

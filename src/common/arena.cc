@@ -1,0 +1,47 @@
+#include "common/arena.h"
+
+#include "common/check.h"
+
+namespace aqsios {
+
+Arena::Arena(size_t min_chunk_bytes)
+    : next_chunk_bytes_(std::max<size_t>(min_chunk_bytes, 64)) {}
+
+void Arena::AddChunk(size_t min_bytes) {
+  const size_t capacity = std::max(next_chunk_bytes_, min_bytes);
+  chunks_.push_back(Chunk{std::make_unique<std::byte[]>(capacity), capacity});
+  cursor_ = chunks_.back().data.get();
+  limit_ = cursor_ + capacity;
+  bytes_reserved_ += capacity;
+  next_chunk_bytes_ = std::min(capacity * 2, kMaxChunkBytes);
+}
+
+void* Arena::Allocate(size_t bytes, size_t alignment) {
+  AQSIOS_DCHECK_GT(alignment, 0u);
+  AQSIOS_DCHECK_EQ(alignment & (alignment - 1), 0u)
+      << "alignment must be a power of two";
+  auto address = reinterpret_cast<uintptr_t>(cursor_);
+  uintptr_t aligned = (address + alignment - 1) & ~(alignment - 1);
+  size_t padding = aligned - address;
+  if (cursor_ == nullptr ||
+      bytes + padding > static_cast<size_t>(limit_ - cursor_)) {
+    // A fresh chunk is alignment-padded at most alignment-1 bytes.
+    AddChunk(bytes + alignment - 1);
+    address = reinterpret_cast<uintptr_t>(cursor_);
+    aligned = (address + alignment - 1) & ~(alignment - 1);
+    padding = aligned - address;
+  }
+  cursor_ += padding + bytes;
+  bytes_used_ += padding + bytes;
+  return reinterpret_cast<void*>(aligned);
+}
+
+void Arena::Reset() {
+  chunks_.clear();
+  cursor_ = nullptr;
+  limit_ = nullptr;
+  bytes_used_ = 0;
+  bytes_reserved_ = 0;
+}
+
+}  // namespace aqsios

@@ -1,0 +1,147 @@
+// Arena (bump) allocator and a typed free-list object pool on top of it.
+//
+// The simulator's per-tuple hot paths — window-join tables in particular —
+// used node-based standard containers whose steady-state behaviour is one
+// heap round-trip per tuple. The arena replaces that with pointer-bump
+// allocation out of geometrically growing chunks: allocation is a cursor
+// add, deallocation is free (dropped wholesale when the arena dies), and
+// consecutively allocated objects are contiguous, which is what makes
+// batched tuple trains cache-friendly (cf. the chunked storage layout of
+// column stores such as Hyrise).
+//
+// ObjectPool<T> adds O(1) reuse for fixed-size objects with FIFO churn
+// (join-state bucket nodes): released slots go on an intrusive free list
+// threaded through the dead objects themselves, so a steady-state
+// insert/evict cycle touches no allocator at all.
+
+#ifndef AQSIOS_COMMON_ARENA_H_
+#define AQSIOS_COMMON_ARENA_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace aqsios {
+
+class Arena {
+ public:
+  /// `min_chunk_bytes` sizes the first chunk; later chunks double up to
+  /// kMaxChunkBytes. No memory is reserved until the first Allocate.
+  explicit Arena(size_t min_chunk_bytes = 4096);
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+  /// Chunks are heap blocks owned via unique_ptr, so objects allocated from
+  /// the arena stay at their addresses when the arena itself is moved.
+  Arena(Arena&&) noexcept = default;
+  Arena& operator=(Arena&&) noexcept = default;
+
+  /// Returns `bytes` of storage aligned to `alignment` (a power of two).
+  void* Allocate(size_t bytes, size_t alignment);
+
+  /// Drops every chunk and returns the arena to its freshly constructed
+  /// state. Invalidates all outstanding allocations.
+  void Reset();
+
+  /// Total bytes handed out (including alignment padding).
+  size_t bytes_used() const { return bytes_used_; }
+  /// Total bytes of chunk capacity reserved from the heap.
+  size_t bytes_reserved() const { return bytes_reserved_; }
+  size_t num_chunks() const { return chunks_.size(); }
+
+ private:
+  static constexpr size_t kMaxChunkBytes = size_t{1} << 20;  // 1 MiB
+
+  struct Chunk {
+    std::unique_ptr<std::byte[]> data;
+    size_t capacity = 0;
+  };
+
+  /// Starts a new chunk with room for at least `min_bytes`.
+  void AddChunk(size_t min_bytes);
+
+  std::vector<Chunk> chunks_;
+  std::byte* cursor_ = nullptr;
+  std::byte* limit_ = nullptr;
+  size_t next_chunk_bytes_;
+  size_t bytes_used_ = 0;
+  size_t bytes_reserved_ = 0;
+};
+
+/// Arena-backed pool of fixed-size objects with an intrusive free list.
+/// T must be trivially destructible: the pool never runs destructors, its
+/// storage is reclaimed wholesale by the owning arena.
+template <typename T>
+class ObjectPool {
+  static_assert(std::is_trivially_destructible_v<T>,
+                "ObjectPool storage is reclaimed without running "
+                "destructors");
+
+ public:
+  explicit ObjectPool(size_t min_chunk_bytes = 4096)
+      : arena_(min_chunk_bytes) {}
+
+  ObjectPool(const ObjectPool&) = delete;
+  ObjectPool& operator=(const ObjectPool&) = delete;
+  ObjectPool(ObjectPool&&) noexcept = default;
+  ObjectPool& operator=(ObjectPool&&) noexcept = default;
+
+  /// Constructs a T in a recycled slot when one is free, otherwise in fresh
+  /// arena storage.
+  template <typename... Args>
+  T* New(Args&&... args) {
+    void* slot;
+    if (free_ != nullptr) {
+      slot = free_;
+      free_ = free_->next;
+      --free_count_;
+    } else {
+      slot = arena_.Allocate(sizeof(T),
+                             std::max(alignof(T), alignof(FreeNode)));
+    }
+    ++live_;
+    return new (slot) T(std::forward<Args>(args)...);
+  }
+
+  /// Returns `object`'s slot to the free list for reuse by a later New.
+  void Release(T* object) {
+    auto* node = reinterpret_cast<FreeNode*>(object);
+    node->next = free_;
+    free_ = node;
+    --live_;
+    ++free_count_;
+  }
+
+  /// Drops every object and every chunk (outstanding pointers invalidated).
+  void Clear() {
+    arena_.Reset();
+    free_ = nullptr;
+    live_ = 0;
+    free_count_ = 0;
+  }
+
+  int64_t live() const { return live_; }
+  int64_t free_count() const { return free_count_; }
+  const Arena& arena() const { return arena_; }
+
+ private:
+  struct FreeNode {
+    FreeNode* next;
+  };
+  static_assert(sizeof(T) >= sizeof(FreeNode),
+                "pooled objects must be able to hold a free-list link");
+
+  Arena arena_;
+  FreeNode* free_ = nullptr;
+  int64_t live_ = 0;
+  int64_t free_count_ = 0;
+};
+
+}  // namespace aqsios
+
+#endif  // AQSIOS_COMMON_ARENA_H_

@@ -30,6 +30,8 @@ RunResult SimulatePlan(const query::GlobalPlan& plan,
   engine_config.adaptation = options.adaptation;
   engine_config.tracer = options.tracer;
   engine_config.attribution_sample_every = options.attribution_sample_every;
+  engine_config.batch_size = options.batch_size;
+  engine_config.batch_quantum = options.batch_quantum;
 
   std::unique_ptr<sched::Scheduler> scheduler = sched::CreateScheduler(policy);
   metrics::QosCollector collector(options.qos);

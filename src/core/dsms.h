@@ -36,6 +36,17 @@ struct SimulationOptions {
   /// Per-tuple stage-attribution sample period (see obs/attribution.h);
   /// 0 disables attribution.
   int64_t attribution_sample_every = 0;
+  /// Tuple-train batching (exec::EngineConfig::batch_size): maximum tuples
+  /// drained from the picked unit per scheduling decision. 1 = classic
+  /// per-tuple dispatch (the default, bit-identical to the unbatched
+  /// engine); 0 = drain the whole queue; k > 1 amortizes one decision —
+  /// and its §9.2 overhead charge — over up to k tuples.
+  int batch_size = 1;
+  /// Optional time-quantum cap on the train (exec::EngineConfig::
+  /// batch_quantum): expected-cost budget per dispatch in simulated
+  /// seconds; 0 disables. Any positive value engages the batched
+  /// dispatcher even at batch_size 1.
+  SimTime batch_quantum = 0.0;
 };
 
 struct RunResult {

@@ -38,6 +38,11 @@ struct SweepConfig {
   query::WorkloadConfig workload;
   std::vector<double> utilizations;
   std::vector<sched::PolicyConfig> policies;
+  /// Per-cell simulation knobs, applied uniformly to every cell. This is
+  /// also where tuple-train batching rides into a sweep
+  /// (SimulationOptions::batch_size / batch_quantum): a batched sweep runs
+  /// the same grid with every engine draining up to batch_size tuples per
+  /// scheduling decision.
   SimulationOptions options;
   /// Worker threads for the sweep: each (utilization, policy) cell is an
   /// independent single-threaded simulation, so cells run concurrently.

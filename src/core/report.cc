@@ -88,6 +88,23 @@ void WriteCounters(JsonWriter& json, const exec::RunCounters& counters) {
   obs::WriteSummaryJson(json, counters.queue_length);
   json.Key("exec_busy_seconds");
   obs::WriteSummaryJson(json, counters.exec_busy);
+  if (counters.train_dispatches > 0) {
+    // Batched-dispatch shape; only present when the engine ran its tuple
+    // train path, so per-tuple runs (batch_size 1) serialize byte-identically
+    // to reports written before batching existed.
+    json.Key("trains");
+    json.BeginObject();
+    json.Key("dispatches");
+    json.Number(counters.train_dispatches);
+    json.Key("tuples");
+    json.Number(counters.train_tuples);
+    json.Key("max_tuples");
+    json.Number(counters.max_train_tuples);
+    json.Key("mean_tuples");
+    json.Number(static_cast<double>(counters.train_tuples) /
+                static_cast<double>(counters.train_dispatches));
+    json.EndObject();
+  }
   json.EndObject();
 }
 

@@ -34,6 +34,11 @@ std::string RunCounters::ToString() const {
      << " peak_queue=" << peak_queued_tuples
      << " avg_queue=" << avg_queued_tuples
      << " candidates=" << decision_candidates;
+  if (train_dispatches > 0) {
+    os << " trains=" << train_dispatches
+       << " train_tuples=" << train_tuples
+       << " max_train=" << max_train_tuples;
+  }
   return os.str();
 }
 
@@ -51,6 +56,9 @@ Engine::Engine(const query::GlobalPlan* plan,
   AQSIOS_CHECK(plan != nullptr);
   AQSIOS_CHECK(arrivals != nullptr);
   AQSIOS_CHECK(scheduler != nullptr);
+  AQSIOS_CHECK_GE(config.batch_size, 0);
+  AQSIOS_CHECK_GE(config.batch_quantum, 0.0);
+  batching_ = config.batch_size != 1 || config.batch_quantum > 0.0;
 
   UnitBuilderOptions builder_options;
   builder_options.level = config.level;
@@ -530,6 +538,141 @@ void Engine::ExecuteUnit(int unit_id) {
   cur_query_ = -1;
 }
 
+size_t Engine::TrainLength(const sched::Unit& unit) const {
+  size_t limit = config_.batch_size <= 0
+                     ? unit.queue.size()
+                     : static_cast<size_t>(config_.batch_size);
+  if (config_.batch_quantum > 0.0 && unit.stats.expected_cost > 0.0) {
+    const double budget = config_.batch_quantum / unit.stats.expected_cost;
+    // The quantum is deterministic up front: an expected-cost tuple budget,
+    // never a mid-train cutoff (which would depend on realized
+    // selectivities and make train sizes order-sensitive).
+    const size_t quantum_cap =
+        budget < 1.0 ? size_t{1}
+                     : static_cast<size_t>(std::min(
+                           budget, static_cast<double>(unit.queue.size())));
+    limit = std::min(limit, quantum_cap);
+  }
+  return std::min(limit, unit.queue.size());
+}
+
+void Engine::ExecuteChainTrain(const sched::Unit& unit, size_t count) {
+  const query::CompiledQuery& q = plan_->query(unit.query);
+  const std::vector<query::OperatorSpec>& ops = q.spec().left_ops;
+  const int from =
+      unit.kind == sched::UnitKind::kRemainder ? unit.op_index : 0;
+  const int n_ops = static_cast<int>(ops.size());
+  if (from >= n_ops) {
+    for (size_t i = 0; i < count; ++i) {
+      EmitSingle(q, train_[i].arrival, train_[i].arrival_time);
+    }
+    return;
+  }
+  train_sel_.clear();
+  for (uint32_t i = 0; i < static_cast<uint32_t>(count); ++i) {
+    train_sel_.push_back(i);
+  }
+  // Operator-at-a-time over the surviving run: evaluate each chain operator
+  // against every survivor before moving to the next operator, compacting
+  // the selection vector in place. The last operator emits survivors inline
+  // so each tuple departs with its own virtual timestamp (monotone within
+  // the train). At count == 1 the charge/emit sequence is exactly the
+  // per-tuple RunChainOps + EmitSingle sequence.
+  for (int x = from; x < n_ops && !train_sel_.empty(); ++x) {
+    const query::OperatorSpec& op = ops[static_cast<size_t>(x)];
+    const bool last = x + 1 == n_ops;
+    size_t kept = 0;
+    for (const uint32_t idx : train_sel_) {
+      const sched::QueueEntry& entry = train_[idx];
+      const stream::Arrival& arrival =
+          arrivals_->arrivals[static_cast<size_t>(entry.arrival)];
+      Charge(op.cost());
+      if (!Passes(op, arrival, q, x)) {
+        DropTuple(q.id(), arrival.id);
+        continue;
+      }
+      if (last) {
+        EmitSingle(q, entry.arrival, entry.arrival_time);
+      } else {
+        train_sel_[kept++] = idx;
+      }
+    }
+    train_sel_.resize(kept);
+  }
+}
+
+void Engine::ExecuteUnitTrain(int unit_id) {
+  sched::Unit& unit = built_.units[static_cast<size_t>(unit_id)];
+  AQSIOS_CHECK(unit.has_pending())
+      << "scheduler picked empty unit " << unit_id;
+  const size_t count = TrainLength(unit);
+  train_.clear();
+  for (size_t i = 0; i < count; ++i) {
+    train_.push_back(unit.queue.front());
+    unit.queue.pop_front();
+  }
+  AccrueQueueOccupancy();
+  queued_tuples_ -= static_cast<int64_t>(count);
+  // One scheduler reconciliation for the whole train (the amortized re-key).
+  scheduler_->OnBatchDequeue(unit_id, static_cast<int>(count));
+  counters_.unit_executions += static_cast<int64_t>(count);
+  ++counters_.train_dispatches;
+  counters_.train_tuples += static_cast<int64_t>(count);
+  counters_.max_train_tuples = std::max(counters_.max_train_tuples,
+                                        static_cast<int64_t>(count));
+  if (stats_monitor_ != nullptr) {
+    // Each train tuple is one execution of the unit for the selectivity /
+    // cost estimators, exactly as on the per-tuple path.
+    for (size_t i = 0; i < count; ++i) {
+      stats_monitor_->OnExecutionStart(unit_id);
+    }
+  }
+
+  exec_start_ = now_;
+  cur_unit_ = unit_id;
+  cur_query_ = static_cast<int32_t>(unit.query);
+
+  switch (unit.kind) {
+    case sched::UnitKind::kQueryChain:
+    case sched::UnitKind::kRemainder:
+      ExecuteChainTrain(unit, count);
+      break;
+    case sched::UnitKind::kOperator:
+      for (size_t i = 0; i < count; ++i) ExecuteOperator(unit, train_[i]);
+      break;
+    case sched::UnitKind::kSharedGroup:
+      for (size_t i = 0; i < count; ++i) ExecuteSharedGroup(unit, train_[i]);
+      break;
+    case sched::UnitKind::kJoinSideLeft:
+      for (size_t i = 0; i < count; ++i) {
+        ExecuteJoinInput(unit, train_[i], 0);
+      }
+      break;
+    case sched::UnitKind::kJoinSideRight:
+      for (size_t i = 0; i < count; ++i) {
+        ExecuteJoinInput(unit, train_[i], 1);
+      }
+      break;
+    case sched::UnitKind::kJoinInput:
+      for (size_t i = 0; i < count; ++i) {
+        ExecuteJoinInput(unit, train_[i], unit.op_index);
+      }
+      break;
+  }
+
+  // One busy sample / segment-run event per dispatch: the train is the unit
+  // of dispatch, and its span is what queue-wait attribution sees.
+  exec_busy_hist_.Add(now_ - exec_start_);
+  if (tracer_ != nullptr) {
+    tracer_->Record({obs::EventKind::kSegmentRun, exec_start_,
+                     now_ - exec_start_, unit_id,
+                     static_cast<int32_t>(unit.query),
+                     static_cast<int64_t>(train_.front().arrival)});
+  }
+  cur_unit_ = -1;
+  cur_query_ = -1;
+}
+
 RunCounters Engine::Run() {
   AQSIOS_CHECK(!ran_) << "Engine::Run may be called once";
   ran_ = true;
@@ -565,7 +708,11 @@ RunCounters Engine::Run() {
       counters_.overhead_time += overhead;
       exec_point_overhead_ = overhead;
     }
-    for (int unit : picked_) ExecuteUnit(unit);
+    if (batching_) {
+      for (int unit : picked_) ExecuteUnitTrain(unit);
+    } else {
+      for (int unit : picked_) ExecuteUnit(unit);
+    }
     if (stats_monitor_ != nullptr && stats_monitor_->MaybeAdapt(now_)) {
       ++counters_.adaptation_ticks;
       if (tracer_ != nullptr) {

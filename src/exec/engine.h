@@ -53,6 +53,21 @@ struct EngineConfig {
   /// emissions get their response time decomposed into queue wait /
   /// scheduling overhead / processing (see obs/attribution.h). 0 disables.
   int64_t attribution_sample_every = 0;
+
+  /// Batched (train) execution: one scheduling decision drains up to
+  /// `batch_size` tuples from the picked unit and runs them through the
+  /// segment as a train, so priority re-keys and the §9.2 overhead charge
+  /// are amortized over the whole batch (Aurora's train scheduling, the
+  /// regime Figure 14 analyzes). 1 = the per-tuple engine (bit-identical
+  /// results, untouched code path); 0 = unbounded (drain the whole queue).
+  int batch_size = 1;
+
+  /// Optional time-quantum budget: when > 0, a train is additionally capped
+  /// at floor(batch_quantum / expected segment cost) tuples (minimum 1).
+  /// Any positive value engages the batched dispatcher even at
+  /// batch_size = 1, which is how the equivalence tests drive the train
+  /// path with per-tuple semantics.
+  SimTime batch_quantum = 0.0;
 };
 
 /// Execution counters of one run.
@@ -70,6 +85,14 @@ struct RunCounters {
   /// all scheduling points (the per-policy `decisions` block in reports).
   int64_t decision_candidates = 0;
   int64_t priority_computations = 0;
+
+  /// Batched execution only (all zero on the per-tuple path, and the report
+  /// writer omits them then so default-path JSON is byte-identical):
+  /// dispatches of the train path, tuples they drained, and the largest
+  /// single train.
+  int64_t train_dispatches = 0;
+  int64_t train_tuples = 0;
+  int64_t max_train_tuples = 0;
 
   SimTime busy_time = 0.0;      // operator processing time
   SimTime overhead_time = 0.0;  // charged scheduling overhead
@@ -117,6 +140,19 @@ class Engine {
   void DeliverArrivalsUpTo(SimTime time);
   void Enqueue(int unit, stream::ArrivalId arrival, SimTime arrival_time);
   void ExecuteUnit(int unit_id);
+
+  /// Batched path: number of head entries the next train on `unit` drains
+  /// (>= 1; capped by batch_size, the batch_quantum budget, and the queue).
+  size_t TrainLength(const sched::Unit& unit) const;
+  /// Batched path counterpart of ExecuteUnit: drains TrainLength entries in
+  /// one dispatch and runs them as a train. Per-tuple semantics (timestamps,
+  /// QoS, filter outcomes) are preserved; only the dispatch is amortized.
+  void ExecuteUnitTrain(int unit_id);
+  /// Runs the train through a chain segment (kQueryChain / kRemainder) with
+  /// a selection-vector pass: operator-at-a-time over the surviving run,
+  /// compacting survivors in place. Safe because filter outcomes are frozen
+  /// per (arrival, query, ordinal) — evaluation order cannot change them.
+  void ExecuteChainTrain(const sched::Unit& unit, size_t count);
 
   /// Charges processing time to the clock.
   void Charge(SimTime cost);
@@ -215,6 +251,15 @@ class Engine {
   bool ran_ = false;
   /// Scratch buffer reused across scheduling points.
   std::vector<int> picked_;
+  /// Batched dispatcher engaged (batch_size != 1 or batch_quantum > 0);
+  /// false keeps the per-tuple path bit-identical to the pre-batching
+  /// engine.
+  bool batching_ = false;
+  /// Train scratch, reused across dispatches: the entries drained by the
+  /// current train, and the selection vector of indexes into it that still
+  /// survive the chain pass.
+  std::vector<sched::QueueEntry> train_;
+  std::vector<uint32_t> train_sel_;
   /// Join-probe candidate buffers, one per recursion depth of
   /// ProbeAndPropagate (a probe at stage s iterates its buffer while deeper
   /// stages fill theirs). Sized once in the constructor from the deepest

@@ -19,43 +19,60 @@ SymmetricHashJoinState SymmetricHashJoinState::RowWindow(
   return state;
 }
 
-void SymmetricHashJoinState::EvictExpired(Table& t, std::deque<Entry>& bucket,
+void SymmetricHashJoinState::PushBack(Bucket& bucket, const Entry& entry) {
+  Node* node = pool_.New(Node{entry, nullptr});
+  if (bucket.tail == nullptr) {
+    bucket.head = node;
+  } else {
+    bucket.tail->next = node;
+  }
+  bucket.tail = node;
+}
+
+void SymmetricHashJoinState::PopFront(Table& t, Bucket& bucket) {
+  Node* node = bucket.head;
+  AQSIOS_DCHECK(node != nullptr);
+  bucket.head = node->next;
+  if (bucket.head == nullptr) bucket.tail = nullptr;
+  pool_.Release(node);
+  --t.size;
+}
+
+void SymmetricHashJoinState::EvictExpired(Table& t, Bucket& bucket,
                                           SimTime horizon) {
-  while (!bucket.empty() && bucket.front().timestamp < horizon) {
-    bucket.pop_front();
-    --t.size;
+  while (bucket.head != nullptr && bucket.head->entry.timestamp < horizon) {
+    PopFront(t, bucket);
   }
 }
 
 void SymmetricHashJoinState::Insert(query::Side side, int32_t key,
                                     const Entry& entry) {
   Table& t = table(side);
-  std::deque<Entry>& bucket = t.buckets[key];
+  Bucket& bucket = t.buckets[key];
   if (kind_ == WindowKind::kRow) {
-    bucket.push_back(entry);
+    PushBack(bucket, entry);
     ++t.size;
     t.insertion_order.push_back(key);
     // Evict beyond the last window_rows_ inserts, oldest first (bucket
-    // fronts are per-key oldest because inserts append).
+    // heads are per-key oldest because inserts append).
     while (t.size > window_rows_) {
       const int32_t oldest_key = t.insertion_order.front();
       t.insertion_order.pop_front();
-      std::deque<Entry>& oldest_bucket = t.buckets[oldest_key];
+      Bucket& oldest_bucket = t.buckets[oldest_key];
       AQSIOS_DCHECK(!oldest_bucket.empty());
-      oldest_bucket.pop_front();
-      --t.size;
+      PopFront(t, oldest_bucket);
     }
     return;
   }
   AQSIOS_DCHECK(!ordered_ || bucket.empty() ||
-                bucket.back().timestamp <= entry.timestamp)
+                bucket.tail->entry.timestamp <= entry.timestamp)
       << "per-side insert timestamps must be non-decreasing in ordered mode";
   // No eviction here: probes into this table come from the *other* stream,
   // whose tuples may still be queued with timestamps older than this
   // insert's. Eviction by the inserter's timestamp could drop entries a
   // delayed probe is still entitled to match; probe-time eviction (whose
   // timestamps are non-decreasing per table) is the safe point.
-  bucket.push_back(entry);
+  PushBack(bucket, entry);
   ++t.size;
 }
 
@@ -67,29 +84,31 @@ void SymmetricHashJoinState::Probe(query::Side side, int32_t key,
   Table& t = table(other);
   auto it = t.buckets.find(key);
   if (it == t.buckets.end()) return;
-  std::deque<Entry>& bucket = it->second;
+  Bucket& bucket = it->second;
   if (kind_ == WindowKind::kRow) {
     // Every resident of the last-N window is a candidate.
-    for (const Entry& entry : bucket) candidates->push_back(entry);
+    for (const Node* node = bucket.head; node != nullptr; node = node->next) {
+      candidates->push_back(node->entry);
+    }
     return;
   }
   if (!ordered_) {
     // Unordered mode (composite-fed stages): no eviction is safe; scan the
     // whole bucket for window matches.
-    for (const Entry& entry : bucket) {
-      if (entry.timestamp >= timestamp - window_ &&
-          entry.timestamp <= timestamp + window_) {
-        candidates->push_back(entry);
+    for (const Node* node = bucket.head; node != nullptr; node = node->next) {
+      if (node->entry.timestamp >= timestamp - window_ &&
+          node->entry.timestamp <= timestamp + window_) {
+        candidates->push_back(node->entry);
       }
     }
     return;
   }
   EvictExpired(t, bucket, timestamp - window_);
-  for (const Entry& entry : bucket) {
+  for (const Node* node = bucket.head; node != nullptr; node = node->next) {
     // Entries still newer than probe + V are kept for future probes but are
     // not candidates of this one.
-    if (entry.timestamp > timestamp + window_) break;
-    candidates->push_back(entry);
+    if (node->entry.timestamp > timestamp + window_) break;
+    candidates->push_back(node->entry);
   }
 }
 

@@ -8,6 +8,13 @@
 // the probe timestamps hitting one table are non-decreasing. Inserts do not
 // evict: the inserting side's timestamps say nothing about what the (possibly
 // delayed) opposite side still needs to match.
+//
+// Bucket storage is arena-pooled (common/arena.h): each bucket is an
+// intrusive FIFO list of nodes drawn from a per-state ObjectPool, so the
+// steady-state insert/evict churn of the sliding window touches no heap
+// allocator and consecutive inserts land contiguously. Iteration order is
+// exactly the per-bucket insertion (FIFO) order the previous deque-based
+// storage had, so probe results are unchanged bit for bit.
 
 #ifndef AQSIOS_EXEC_WINDOW_JOIN_H_
 #define AQSIOS_EXEC_WINDOW_JOIN_H_
@@ -17,6 +24,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/sim_time.h"
 #include "query/query.h"
 #include "stream/tuple.h"
@@ -51,6 +59,14 @@ class SymmetricHashJoinState {
   /// evicted.
   explicit SymmetricHashJoinState(SimTime window_seconds, bool ordered = true);
 
+  /// Bucket nodes are pool-owned raw pointers: movable (arena chunks are
+  /// address-stable), but not copyable.
+  SymmetricHashJoinState(SymmetricHashJoinState&&) noexcept = default;
+  SymmetricHashJoinState& operator=(SymmetricHashJoinState&&) noexcept =
+      default;
+  SymmetricHashJoinState(const SymmetricHashJoinState&) = delete;
+  SymmetricHashJoinState& operator=(const SymmetricHashJoinState&) = delete;
+
   /// Tuple-count window: each side retains exactly its last `window_rows`
   /// inserted entries (CQL ROWS semantics); probes match all residents of
   /// the opposite side's bucket. (A named factory rather than a constructor
@@ -69,13 +85,31 @@ class SymmetricHashJoinState {
   /// Number of resident entries on `side`.
   int64_t size(query::Side side) const;
 
+  /// Pool occupancy (live + recycled nodes), for tests and diagnostics.
+  int64_t pooled_nodes() const { return pool_.live() + pool_.free_count(); }
+
  private:
   enum class WindowKind { kTime, kRow };
 
   SymmetricHashJoinState() = default;  // used by the RowWindow factory
 
+  /// One resident tuple; storage comes from pool_, never the heap directly.
+  struct Node {
+    Entry entry;
+    Node* next = nullptr;
+  };
+
+  /// FIFO bucket as an intrusive singly-linked list of pooled nodes. Head is
+  /// the oldest insert (the eviction point), appends go to the tail, so a
+  /// head-to-tail walk reproduces the old deque's iteration order exactly.
+  struct Bucket {
+    Node* head = nullptr;
+    Node* tail = nullptr;
+    bool empty() const { return head == nullptr; }
+  };
+
   struct Table {
-    std::unordered_map<int32_t, std::deque<Entry>> buckets;
+    std::unordered_map<int32_t, Bucket> buckets;
     /// Row windows: join keys in insertion order, for oldest-first eviction.
     std::deque<int32_t> insertion_order;
     int64_t size = 0;
@@ -88,14 +122,21 @@ class SymmetricHashJoinState {
     return side == query::Side::kLeft ? left_ : right_;
   }
 
-  /// Drops entries in `bucket` with timestamp < horizon (front of the deque;
+  /// Appends `entry` to the bucket tail (callers account Table::size).
+  void PushBack(Bucket& bucket, const Entry& entry);
+  /// Releases the bucket head back to the pool and decrements `t.size`.
+  void PopFront(Table& t, Bucket& bucket);
+
+  /// Drops entries in `bucket` with timestamp < horizon (from the head;
   /// entries are inserted in non-decreasing timestamp order per side).
-  void EvictExpired(Table& t, std::deque<Entry>& bucket, SimTime horizon);
+  void EvictExpired(Table& t, Bucket& bucket, SimTime horizon);
 
   WindowKind kind_ = WindowKind::kTime;
   SimTime window_ = 0.0;
   int64_t window_rows_ = 0;
   bool ordered_ = true;
+  /// One node pool for both sides; reclaimed wholesale with the state.
+  ObjectPool<Node> pool_;
   Table left_;
   Table right_;
 };

@@ -74,6 +74,9 @@ void QosCollector::RecordOutput(int32_t query_id, int cost_class,
   if (timeline_.has_value()) {
     timeline_->Record(arrival_time, slowdown);
   }
+  if (options_.track_outputs) {
+    outputs_.push_back({query_id, arrival_time, response, slowdown});
+  }
 }
 
 QosSnapshot QosCollector::Snapshot() const {
@@ -96,6 +99,7 @@ QosSnapshot QosCollector::Snapshot() const {
     snap.slowdown_timeline_mean = timeline_->MeanSeries();
     snap.slowdown_timeline_max = timeline_->MaxSeries();
   }
+  snap.outputs = outputs_;
   return snap;
 }
 

@@ -41,6 +41,17 @@ struct ClassKey {
 
 ClassKey MakeClassKey(int cost_class, double selectivity);
 
+/// One emitted tuple, recorded verbatim when Options::track_outputs is set.
+/// The (query, arrival_time) pair identifies the tuple across runs of the
+/// same workload, so golden-trace tests can compare per-tuple response times
+/// between engine configurations rather than only aggregate moments.
+struct OutputRecord {
+  int32_t query = 0;
+  SimTime arrival_time = 0.0;
+  SimTime response = 0.0;
+  double slowdown = 0.0;
+};
+
 /// Aggregated QoS results of one simulation run.
 struct QosSnapshot {
   int64_t tuples_emitted = 0;
@@ -76,6 +87,11 @@ struct QosSnapshot {
   std::vector<double> slowdown_timeline_mean;
   std::vector<double> slowdown_timeline_max;
 
+  /// Every recorded output in emission order (present when track_outputs is
+  /// set; empty otherwise). Memory grows with the output count — a test and
+  /// debugging facility, not for sweep-scale runs.
+  std::vector<OutputRecord> outputs;
+
   /// Jain's fairness index over the per-query mean slowdowns:
   /// (Σ x_i)² / (n · Σ x_i²) ∈ (0, 1]; 1 means every query experiences the
   /// same average slowdown. Captures the fairness dimension of §4 (LSF/BSD
@@ -99,6 +115,9 @@ class QosCollector {
     obs::HistogramOptions slowdown_histogram{.min_value = 1.0};
     /// Outputs with arrival time before this are ignored (warm-up cut).
     SimTime warmup_until = 0.0;
+    /// Keep every output tuple's (query, arrival, response, slowdown) in
+    /// emission order for golden-trace comparisons (QosSnapshot::outputs).
+    bool track_outputs = false;
   };
 
   QosCollector() : QosCollector(Options()) {}
@@ -126,6 +145,7 @@ class QosCollector {
   std::vector<aqsios::RunningStats*> per_class_memo_;
   std::map<int32_t, aqsios::RunningStats> per_query_slowdown_;
   std::optional<TimelineCollector> timeline_;
+  std::vector<OutputRecord> outputs_;
 };
 
 }  // namespace aqsios::metrics

@@ -25,6 +25,14 @@
 // for every sampled tuple (dependency_delay sits *outside* R by
 // construction). Sampling is keyed on the arrival id, so the same tuples
 // are sampled under every policy and the breakdowns are comparable.
+//
+// Batched dispatch (EngineConfig::batch_size != 1) keeps the identity and
+// the field set unchanged: the execution start is the *train* start, so a
+// tuple's queue_wait ends when its train is dispatched (not when the tuple
+// itself is reached within the train), processing covers the train's busy
+// time up to the emit, and sched_overhead is the single whole-batch charge
+// of the decision that dispatched the train — the amortization batching
+// exists to provide shows up here as a smaller per-tuple overhead share.
 
 #ifndef AQSIOS_OBS_ATTRIBUTION_H_
 #define AQSIOS_OBS_ATTRIBUTION_H_

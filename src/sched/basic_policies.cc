@@ -18,6 +18,23 @@ void FcfsScheduler::OnEnqueue(int unit) { fifo_.push_back(unit); }
 
 void FcfsScheduler::OnDequeue(int /*unit*/) {}
 
+void FcfsScheduler::OnBatchDequeue(int unit, int count) {
+  // PickNext already popped the head entry's fifo slot; the train consumed
+  // this unit's next count-1 entries — its count-1 oldest remaining fifo
+  // occurrences, because unit queues are FIFO.
+  int remaining = count - 1;
+  if (remaining == 0) return;
+  for (auto it = fifo_.begin(); it != fifo_.end() && remaining > 0;) {
+    if (*it == unit) {
+      it = fifo_.erase(it);
+      --remaining;
+    } else {
+      ++it;
+    }
+  }
+  AQSIOS_DCHECK_EQ(remaining, 0) << "fifo out of sync for unit " << unit;
+}
+
 bool FcfsScheduler::PickNext(SimTime /*now*/, SchedulingCost* cost,
                              std::vector<int>* out) {
   // O(1) pop, no priority computations or comparisons: charges zero.

@@ -34,6 +34,9 @@ class FcfsScheduler : public Scheduler {
   void Attach(const UnitTable* units) override;
   void OnEnqueue(int unit) override;
   void OnDequeue(int unit) override;
+  /// A train consumed `count - 1` entries beyond the one PickNext popped
+  /// from the fifo; their fifo occurrences must be retired too.
+  void OnBatchDequeue(int unit, int count) override;
   bool PickNext(SimTime now, SchedulingCost* cost,
                 std::vector<int>* out) override;
   const char* name() const override { return "FCFS"; }
@@ -56,6 +59,8 @@ class RoundRobinScheduler : public Scheduler {
   void Attach(const UnitTable* units) override;
   void OnEnqueue(int unit) override;
   void OnDequeue(int unit) override;
+  /// Readiness depends only on the final queue state: reconcile once.
+  void OnBatchDequeue(int unit, int /*count*/) override { OnDequeue(unit); }
   bool PickNext(SimTime now, SchedulingCost* cost,
                 std::vector<int>* out) override;
   const char* name() const override { return "RR"; }
@@ -82,6 +87,8 @@ class StaticPriorityScheduler : public Scheduler {
   void Attach(const UnitTable* units) override;
   void OnEnqueue(int unit) override;
   void OnDequeue(int unit) override;
+  /// Readiness depends only on the final queue state: reconcile once.
+  void OnBatchDequeue(int unit, int /*count*/) override { OnDequeue(unit); }
   bool PickNext(SimTime now, SchedulingCost* cost,
                 std::vector<int>* out) override;
   /// Re-ranks all units by their refreshed stats, preserving queue state.
@@ -116,6 +123,9 @@ class LsfScheduler : public Scheduler {
   void Attach(const UnitTable* units) override;
   void OnEnqueue(int unit) override;
   void OnDequeue(int unit) override;
+  /// One erase-or-re-key on the post-train head instead of `count`
+  /// intermediate kinetic re-keys — the once-per-batch priority update.
+  void OnBatchDequeue(int unit, int /*count*/) override { OnDequeue(unit); }
   void OnStatsUpdated() override;
   bool PickNext(SimTime now, SchedulingCost* cost,
                 std::vector<int>* out) override;
@@ -144,6 +154,9 @@ class BsdScheduler : public Scheduler {
   void Attach(const UnitTable* units) override;
   void OnEnqueue(int unit) override;
   void OnDequeue(int unit) override;
+  /// One erase-or-re-key on the post-train head instead of `count`
+  /// intermediate kinetic re-keys — the once-per-batch priority update.
+  void OnBatchDequeue(int unit, int /*count*/) override { OnDequeue(unit); }
   void OnStatsUpdated() override;
   bool PickNext(SimTime now, SchedulingCost* cost,
                 std::vector<int>* out) override;

@@ -65,6 +65,42 @@ void ClusteredBsdScheduler::OnDequeue(int /*unit*/) {
   // Bookkeeping for scheduled entries already happened in PickNext.
 }
 
+void ClusteredBsdScheduler::OnBatchDequeue(int unit, int count) {
+  // PickNext already retired this unit's head entry (and re-keyed the
+  // cluster to its post-pop head). A train additionally consumed the unit's
+  // next count-1 queue entries; their shadow entries — the unit's count-1
+  // oldest remaining occurrences — may sit anywhere in the cluster FIFO, and
+  // removing them can change the cluster head, so the head key is rebuilt
+  // once after the sweep.
+  int remaining = count - 1;
+  if (remaining == 0) return;
+  const int cluster = clustering_.cluster_of_unit[static_cast<size_t>(unit)];
+  auto& queue = cluster_queues_[static_cast<size_t>(cluster)];
+  const bool kinetic = kinetic_active();
+  if (!kinetic && !queue.empty()) {
+    by_head_time_.erase({queue.front().arrival_time, cluster});
+  }
+  for (auto it = queue.begin(); it != queue.end() && remaining > 0;) {
+    if (it->unit == unit) {
+      it = queue.erase(it);
+      --remaining;
+    } else {
+      ++it;
+    }
+  }
+  AQSIOS_DCHECK_EQ(remaining, 0)
+      << "cluster queue out of sync for unit " << unit;
+  if (queue.empty()) {
+    if (kinetic) index_.Erase(cluster);
+  } else if (kinetic) {
+    index_.Insert(cluster, queue.front().arrival_time,
+                  clustering_.pseudo_priority[static_cast<size_t>(cluster)],
+                  /*tie_key=*/queue.front().arrival_time);
+  } else {
+    by_head_time_.insert({queue.front().arrival_time, cluster});
+  }
+}
+
 int ClusteredBsdScheduler::SelectByScan(SimTime now,
                                         SchedulingCost* cost) const {
   int best = -1;

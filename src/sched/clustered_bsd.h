@@ -50,6 +50,9 @@ class ClusteredBsdScheduler : public Scheduler {
   void Attach(const UnitTable* units) override;
   void OnEnqueue(int unit) override;
   void OnDequeue(int unit) override;
+  /// Retires the train's extra entries from the unit's cluster FIFO and
+  /// re-keys the cluster's head once for the whole batch.
+  void OnBatchDequeue(int unit, int count) override;
   bool PickNext(SimTime now, SchedulingCost* cost,
                 std::vector<int>* out) override;
   const char* name() const override { return name_.c_str(); }

@@ -33,6 +33,8 @@ class LpNormScheduler : public Scheduler {
   void Attach(const UnitTable* units) override;
   void OnEnqueue(int unit) override;
   void OnDequeue(int unit) override;
+  /// Readiness depends only on the final queue state: reconcile once.
+  void OnBatchDequeue(int unit, int /*count*/) override { OnDequeue(unit); }
   bool PickNext(SimTime now, SchedulingCost* cost,
                 std::vector<int>* out) override;
   /// Recomputes the precomputed static factors from refreshed stats.

@@ -68,6 +68,8 @@ class QosGraphScheduler : public Scheduler {
   void Attach(const UnitTable* units) override;
   void OnEnqueue(int unit) override;
   void OnDequeue(int unit) override;
+  /// Readiness depends only on the final queue state: reconcile once.
+  void OnBatchDequeue(int unit, int /*count*/) override { OnDequeue(unit); }
   bool PickNext(SimTime now, SchedulingCost* cost,
                 std::vector<int>* out) override;
   const char* name() const override { return "QoS-Graph"; }

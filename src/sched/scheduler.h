@@ -28,6 +28,19 @@ class Scheduler {
   /// Called after the engine popped the head entry of units[unit].queue.
   virtual void OnDequeue(int unit) = 0;
 
+  /// Batched (train) execution: called once after the engine popped `count`
+  /// head entries of units[unit].queue in a single dispatch — the queue
+  /// already reflects the post-train state. The default forwards to
+  /// OnDequeue once per popped entry, which is correct for any policy whose
+  /// OnDequeue is idempotent on the current queue state or counts entries.
+  /// Policies that key bookkeeping off the head entry (kinetic re-keys,
+  /// per-entry pick orders) override this to reconcile in one pass, so the
+  /// priority maintenance cost is paid once per batch instead of once per
+  /// tuple.
+  virtual void OnBatchDequeue(int unit, int count) {
+    for (int i = 0; i < count; ++i) OnDequeue(unit);
+  }
+
   /// Called after the adaptive statistics monitor refreshed UnitStats in
   /// place. Policies that precompute orderings from the stats must rebuild
   /// them here (queues are untouched); policies that read stats at decision

@@ -44,6 +44,13 @@ void TwoLevelRrScheduler::OnDequeue(int unit) {
   AQSIOS_DCHECK_GE(pending, 0);
 }
 
+void TwoLevelRrScheduler::OnBatchDequeue(int unit, int count) {
+  int64_t& pending = pending_of_query_[static_cast<size_t>(
+      (*units_)[static_cast<size_t>(unit)].query)];
+  pending -= count;
+  AQSIOS_DCHECK_GE(pending, 0);
+}
+
 bool TwoLevelRrScheduler::PickNext(SimTime /*now*/, SchedulingCost* cost,
                                    std::vector<int>* out) {
   const int num_queries = static_cast<int>(units_of_query_.size());

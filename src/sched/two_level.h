@@ -21,6 +21,8 @@ class TwoLevelRrScheduler : public Scheduler {
   void Attach(const UnitTable* units) override;
   void OnEnqueue(int unit) override;
   void OnDequeue(int unit) override;
+  /// One counter update for the whole train.
+  void OnBatchDequeue(int unit, int count) override;
   bool PickNext(SimTime now, SchedulingCost* cost,
                 std::vector<int>* out) override;
   /// Re-sorts the inner rate-based orders from refreshed stats.

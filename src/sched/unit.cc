@@ -16,6 +16,22 @@ void TupleQueue::Grow() {
   head_ = 0;
 }
 
+void TupleQueue::shrink_to_fit() {
+  if (buf_ == inline_) return;
+  uint32_t target = kInlineCapacity;
+  while (target < len_) target *= 2;
+  if (target == cap_) return;
+  QueueEntry* shrunk =
+      target == kInlineCapacity ? inline_ : new QueueEntry[target];
+  for (uint32_t i = 0; i < len_; ++i) {
+    shrunk[i] = buf_[(head_ + i) & (cap_ - 1)];
+  }
+  delete[] buf_;
+  buf_ = shrunk;
+  cap_ = target;
+  head_ = 0;
+}
+
 const char* UnitKindName(UnitKind kind) {
   switch (kind) {
     case UnitKind::kQueryChain:

@@ -112,6 +112,16 @@ class TupleQueue {
     len_ = 0;
   }
 
+  /// Current ring capacity (inline = 2; grows in powers of two).
+  size_t capacity() const { return cap_; }
+
+  /// Releases surplus heap capacity left behind by a burst: relocates the
+  /// entries (FIFO order preserved) into the smallest power-of-two buffer
+  /// that holds them — back into the inline buffer when they fit. Intended
+  /// for callers that know a burst has drained; the engine's hot path never
+  /// shrinks.
+  void shrink_to_fit();
+
  private:
   static constexpr uint32_t kInlineCapacity = 2;
 

@@ -1,0 +1,153 @@
+// Arena / ObjectPool: the allocator behind the engine's tuple trains and the
+// window-join bucket nodes. Pointers must stay stable for the life of the
+// arena, alignment must hold for every request, and the pool's free list
+// must actually recycle.
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/arena.h"
+
+namespace aqsios {
+namespace {
+
+TEST(ArenaTest, StartsEmpty) {
+  Arena arena;
+  EXPECT_EQ(arena.bytes_used(), 0u);
+  EXPECT_EQ(arena.bytes_reserved(), 0u);
+  EXPECT_EQ(arena.num_chunks(), 0u);
+}
+
+TEST(ArenaTest, AllocationsAreAligned) {
+  Arena arena(/*min_chunk_bytes=*/256);
+  for (const size_t alignment : {1u, 2u, 4u, 8u, 16u, 64u}) {
+    for (int i = 0; i < 10; ++i) {
+      void* p = arena.Allocate(3, alignment);
+      ASSERT_NE(p, nullptr);
+      EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % alignment, 0u)
+          << "alignment " << alignment << " request " << i;
+    }
+  }
+}
+
+TEST(ArenaTest, PointersStableAcrossChunkGrowth) {
+  Arena arena(/*min_chunk_bytes=*/64);
+  std::vector<int64_t*> ptrs;
+  for (int i = 0; i < 1000; ++i) {
+    auto* p = static_cast<int64_t*>(arena.Allocate(sizeof(int64_t),
+                                                   alignof(int64_t)));
+    *p = i;
+    ptrs.push_back(p);
+  }
+  EXPECT_GT(arena.num_chunks(), 1u) << "growth must have happened";
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(*ptrs[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(ArenaTest, OversizedRequestGetsItsOwnChunk) {
+  Arena arena(/*min_chunk_bytes=*/64);
+  void* small = arena.Allocate(8, 8);
+  void* big = arena.Allocate(10000, 8);
+  ASSERT_NE(big, nullptr);
+  auto* bytes = static_cast<unsigned char*>(big);
+  bytes[0] = 1;
+  bytes[9999] = 2;
+  EXPECT_NE(small, nullptr);
+  EXPECT_GE(arena.bytes_reserved(), 10000u + 8u);
+}
+
+TEST(ArenaTest, ResetReleasesEverything) {
+  Arena arena(/*min_chunk_bytes=*/64);
+  for (int i = 0; i < 100; ++i) arena.Allocate(32, 8);
+  EXPECT_GT(arena.bytes_used(), 0u);
+  arena.Reset();
+  EXPECT_EQ(arena.bytes_used(), 0u);
+  EXPECT_EQ(arena.bytes_reserved(), 0u);
+  EXPECT_EQ(arena.num_chunks(), 0u);
+  // And it is usable again.
+  auto* p = static_cast<int*>(arena.Allocate(sizeof(int), alignof(int)));
+  *p = 7;
+  EXPECT_EQ(*p, 7);
+}
+
+TEST(ArenaTest, MoveTransfersOwnership) {
+  Arena a(/*min_chunk_bytes=*/64);
+  auto* p = static_cast<int*>(a.Allocate(sizeof(int), alignof(int)));
+  *p = 42;
+  Arena b = std::move(a);
+  EXPECT_EQ(*p, 42);
+  EXPECT_GT(b.bytes_used(), 0u);
+}
+
+struct PoolNode {
+  int64_t value = 0;
+  int64_t extra = 0;
+};
+
+TEST(ObjectPoolTest, NewConstructsAndLiveCounts) {
+  ObjectPool<PoolNode> pool;
+  EXPECT_EQ(pool.live(), 0);
+  PoolNode* a = pool.New(PoolNode{1, 2});
+  PoolNode* b = pool.New(PoolNode{3, 4});
+  EXPECT_EQ(a->value, 1);
+  EXPECT_EQ(b->value, 3);
+  EXPECT_EQ(pool.live(), 2);
+  EXPECT_EQ(pool.free_count(), 0);
+}
+
+TEST(ObjectPoolTest, ReleaseRecyclesMemory) {
+  ObjectPool<PoolNode> pool;
+  PoolNode* a = pool.New(PoolNode{1, 0});
+  pool.Release(a);
+  EXPECT_EQ(pool.live(), 0);
+  EXPECT_EQ(pool.free_count(), 1);
+  // LIFO free list: the very next New reuses a's slot with no arena growth.
+  const size_t used = pool.arena().bytes_used();
+  PoolNode* b = pool.New(PoolNode{2, 0});
+  EXPECT_EQ(b, a);
+  EXPECT_EQ(b->value, 2);
+  EXPECT_EQ(pool.arena().bytes_used(), used);
+  EXPECT_EQ(pool.free_count(), 0);
+}
+
+TEST(ObjectPoolTest, SteadyStateChurnDoesNotGrowArena) {
+  ObjectPool<PoolNode> pool;
+  std::vector<PoolNode*> live;
+  for (int i = 0; i < 64; ++i) live.push_back(pool.New(PoolNode{i, 0}));
+  const size_t reserved = pool.arena().bytes_reserved();
+  // FIFO-ish churn at constant population, the window-join's steady state.
+  for (int i = 0; i < 10000; ++i) {
+    pool.Release(live[static_cast<size_t>(i % 64)]);
+    live[static_cast<size_t>(i % 64)] = pool.New(PoolNode{i, 1});
+  }
+  EXPECT_EQ(pool.arena().bytes_reserved(), reserved)
+      << "churn at constant population must be allocation-free";
+  EXPECT_EQ(pool.live(), 64);
+}
+
+TEST(ObjectPoolTest, DistinctLivePointers) {
+  ObjectPool<PoolNode> pool;
+  std::set<PoolNode*> seen;
+  for (int i = 0; i < 500; ++i) {
+    PoolNode* p = pool.New(PoolNode{i, 0});
+    EXPECT_TRUE(seen.insert(p).second) << "duplicate live pointer";
+  }
+}
+
+TEST(ObjectPoolTest, ClearResetsPoolAndArena) {
+  ObjectPool<PoolNode> pool;
+  for (int i = 0; i < 100; ++i) pool.New(PoolNode{i, 0});
+  pool.Clear();
+  EXPECT_EQ(pool.live(), 0);
+  EXPECT_EQ(pool.free_count(), 0);
+  EXPECT_EQ(pool.arena().bytes_used(), 0u);
+  PoolNode* p = pool.New(PoolNode{5, 6});
+  EXPECT_EQ(p->extra, 6);
+}
+
+}  // namespace
+}  // namespace aqsios

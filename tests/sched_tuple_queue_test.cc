@@ -1,0 +1,142 @@
+// TupleQueue regression tests for the ring buffer's tricky transitions:
+// growing while the ring is wrapped (head past the physical middle) and
+// shrinking surplus capacity back down after a burst drains.
+
+#include <deque>
+
+#include <gtest/gtest.h>
+
+#include "sched/unit.h"
+
+namespace aqsios::sched {
+namespace {
+
+QueueEntry E(int64_t i) { return QueueEntry{i, static_cast<double>(i)}; }
+
+void ExpectFifo(const TupleQueue& queue, const std::deque<int64_t>& expected) {
+  ASSERT_EQ(queue.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(queue.at(i).arrival, expected[i]) << "position " << i;
+  }
+}
+
+TEST(TupleQueueTest, WraparoundThenGrowPreservesOrder) {
+  // Advance head so the ring is wrapped, then force Grow() mid-wrap: the
+  // relocation must emit entries in FIFO order, not physical order.
+  TupleQueue queue;
+  std::deque<int64_t> model;
+  int64_t next = 0;
+  // Fill inline capacity (2), pop one, push one: head_ = 1, ring wrapped.
+  queue.push_back(E(next));
+  model.push_back(next++);
+  queue.push_back(E(next));
+  model.push_back(next++);
+  queue.pop_front();
+  model.pop_front();
+  queue.push_back(E(next));
+  model.push_back(next++);
+  // Next push grows 2 -> 4 while wrapped.
+  queue.push_back(E(next));
+  model.push_back(next++);
+  ExpectFifo(queue, model);
+
+  // Repeat the pattern at the larger capacity: wrap at 4, grow to 8.
+  queue.pop_front();
+  model.pop_front();
+  for (int i = 0; i < 5; ++i) {
+    queue.push_back(E(next));
+    model.push_back(next++);
+  }
+  ExpectFifo(queue, model);
+  EXPECT_GE(queue.capacity(), 8u);
+}
+
+TEST(TupleQueueTest, MirrorsDequeUnderMixedChurn) {
+  TupleQueue queue;
+  std::deque<int64_t> model;
+  int64_t next = 0;
+  uint64_t state = 0x9e3779b97f4a7c15ull;
+  for (int step = 0; step < 20000; ++step) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    const bool push = model.empty() || (state >> 33) % 3 != 0;
+    if (push) {
+      queue.push_back(E(next));
+      model.push_back(next++);
+    } else {
+      EXPECT_EQ(queue.front().arrival, model.front());
+      queue.pop_front();
+      model.pop_front();
+    }
+    if (step % 4096 == 0) ExpectFifo(queue, model);
+  }
+  ExpectFifo(queue, model);
+}
+
+TEST(TupleQueueTest, ShrinkToFitReturnsToInlineBuffer) {
+  TupleQueue queue;
+  for (int64_t i = 0; i < 100; ++i) queue.push_back(E(i));
+  EXPECT_GE(queue.capacity(), 128u);
+  for (int i = 0; i < 99; ++i) queue.pop_front();
+  queue.shrink_to_fit();
+  EXPECT_EQ(queue.capacity(), 2u) << "one survivor fits inline";
+  EXPECT_EQ(queue.front().arrival, 99);
+  // Still fully functional after relocating into the inline buffer.
+  queue.push_back(E(100));
+  queue.push_back(E(101));
+  ExpectFifo(queue, {99, 100, 101});
+}
+
+TEST(TupleQueueTest, ShrinkToFitPicksSmallestSufficientPowerOfTwo) {
+  TupleQueue queue;
+  for (int64_t i = 0; i < 300; ++i) queue.push_back(E(i));
+  const size_t grown = queue.capacity();
+  EXPECT_GE(grown, 512u);
+  // Drain to 5 survivors with a wrapped head, then shrink: 5 needs 8 slots.
+  for (int i = 0; i < 295; ++i) queue.pop_front();
+  queue.shrink_to_fit();
+  EXPECT_EQ(queue.capacity(), 8u);
+  ExpectFifo(queue, {295, 296, 297, 298, 299});
+}
+
+TEST(TupleQueueTest, ShrinkToFitIsANoOpWhenAlreadyTight) {
+  TupleQueue queue;
+  queue.push_back(E(0));
+  queue.shrink_to_fit();  // inline buffer: nothing to release
+  EXPECT_EQ(queue.capacity(), 2u);
+  for (int64_t i = 1; i < 4; ++i) queue.push_back(E(i));
+  EXPECT_EQ(queue.capacity(), 4u);
+  queue.shrink_to_fit();  // 4 entries in 4 slots: already tight
+  EXPECT_EQ(queue.capacity(), 4u);
+  ExpectFifo(queue, {0, 1, 2, 3});
+}
+
+TEST(TupleQueueTest, ShrinkAfterWraparoundPreservesOrder) {
+  TupleQueue queue;
+  std::deque<int64_t> model;
+  int64_t next = 0;
+  for (int i = 0; i < 64; ++i) {
+    queue.push_back(E(next));
+    model.push_back(next++);
+  }
+  // Rotate so the ring wraps: pop 60, push 3.
+  for (int i = 0; i < 60; ++i) {
+    queue.pop_front();
+    model.pop_front();
+  }
+  for (int i = 0; i < 3; ++i) {
+    queue.push_back(E(next));
+    model.push_back(next++);
+  }
+  queue.shrink_to_fit();
+  EXPECT_EQ(queue.capacity(), 8u);
+  ExpectFifo(queue, model);
+  // And the shrunk queue keeps working: grow again from the compact state.
+  for (int i = 0; i < 50; ++i) {
+    queue.push_back(E(next));
+    model.push_back(next++);
+  }
+  ExpectFifo(queue, model);
+}
+
+}  // namespace
+}  // namespace aqsios::sched
