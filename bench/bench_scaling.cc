@@ -1,0 +1,288 @@
+// Shard-scaling curve for the partitioned runtime (docs/scaling.md).
+//
+// Runs the 500-query §8 testbed cell under BSD (§4.2.2) with the classic
+// linear-scan pick — the configuration where per-decision cost is
+// proportional to the number of units one scheduler owns, the scaling wall
+// Aurora/STREAM describe — at shards ∈ {1, 2, 4, 8} and reports the
+// wall-clock scaling curve. The win is algorithmic, not core-count-bound:
+// each of K shard schedulers scans ~n/K units per pick, so the aggregate
+// scheduling work drops by ~K even on a single core. (The kinetic index is
+// the orthogonal single-scheduler answer to the same wall — O(log n) picks —
+// and composes with sharding; it is deliberately off here so the bench
+// measures the runtime's ability to shrink scan breadth, not the index.)
+//
+// Cells are spliced into the aqsios-bench-perf/1 report (default:
+// BENCH_perf.json — run from the repo root to refresh the tracked
+// trajectory) as
+//   {"name": "scaling/bsd/q=500/shards=K", "ns_per_op": wall_ns/arrivals,
+//    "ops": arrivals, "wall_ms": W, "tuples_per_wall_sec": T,
+//    "speedup_vs_shards1": S, "load_imbalance": L, "avg_slowdown": A}
+// Existing scaling/ lines are replaced; every other benchmark line and the
+// report header are preserved byte-for-byte, so refreshing the scaling curve
+// never perturbs the committed micro-benchmark baselines.
+//
+// In full mode the suite aborts unless shards=4 clears 2.5x the shards=1
+// throughput (the tentpole acceptance bar); --quick skips the bar and runs a
+// scaled-down cell as a CI/TSan smoke test.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/flags.h"
+#include "core/dsms.h"
+#include "core/sharded_dsms.h"
+#include "query/workload.h"
+#include "sched/policy.h"
+
+namespace aqsios {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ElapsedMs(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+struct ScalingCell {
+  int shards = 0;
+  double wall_ms = 0.0;           // fastest repetition
+  double tuples_per_wall_sec = 0.0;
+  double speedup_vs_shards1 = 0.0;
+  double load_imbalance = 1.0;
+  double avg_slowdown = 0.0;
+  int64_t tuples_emitted = 0;
+};
+
+/// One (shards=K) measurement: `reps` timed runs, fastest kept. Repeated
+/// runs must agree exactly on the virtual results (the determinism contract
+/// of docs/scaling.md) or the bench aborts.
+ScalingCell RunCell(const query::Workload& workload,
+                    const sched::PolicyConfig& policy, int shards, int reps) {
+  core::SimulationOptions options;
+  options.qos.track_per_class = false;
+  options.shards = shards;
+
+  ScalingCell cell;
+  cell.shards = shards;
+  for (int rep = 0; rep < reps; ++rep) {
+    const Clock::time_point start = Clock::now();
+    int64_t tuples = 0;
+    double slowdown = 0.0;
+    double imbalance = 1.0;
+    if (shards > 1) {
+      const core::ShardedRunResult sharded =
+          core::SimulateSharded(workload, policy, options);
+      tuples = sharded.result.qos.tuples_emitted;
+      slowdown = sharded.result.qos.avg_slowdown;
+      imbalance = sharded.LoadImbalance();
+    } else {
+      const core::RunResult result =
+          core::Simulate(workload, policy, options);
+      tuples = result.qos.tuples_emitted;
+      slowdown = result.qos.avg_slowdown;
+    }
+    const double ms = ElapsedMs(start);
+    if (rep == 0) {
+      cell.wall_ms = ms;
+      cell.tuples_emitted = tuples;
+      cell.avg_slowdown = slowdown;
+      cell.load_imbalance = imbalance;
+    } else {
+      AQSIOS_CHECK(tuples == cell.tuples_emitted &&
+                   slowdown == cell.avg_slowdown)
+          << "repeated sharded runs diverged at shards=" << shards;
+      cell.wall_ms = std::min(cell.wall_ms, ms);
+    }
+  }
+  cell.tuples_per_wall_sec =
+      cell.wall_ms > 0.0
+          ? static_cast<double>(cell.tuples_emitted) / (cell.wall_ms / 1e3)
+          : 0.0;
+  return cell;
+}
+
+std::string CellLine(const ScalingCell& cell, int queries, int64_t arrivals) {
+  std::ostringstream os;
+  os.precision(17);
+  const double wall_ns = cell.wall_ms * 1e6;
+  os << "    {\"name\": \"scaling/bsd/q=" << queries
+     << "/shards=" << cell.shards << "\", \"ns_per_op\": "
+     << wall_ns / static_cast<double>(std::max<int64_t>(arrivals, 1))
+     << ", \"ops\": " << arrivals << ", \"wall_ms\": " << cell.wall_ms
+     << ", \"tuples_per_wall_sec\": " << cell.tuples_per_wall_sec
+     << ", \"speedup_vs_shards1\": " << cell.speedup_vs_shards1
+     << ", \"load_imbalance\": " << cell.load_imbalance
+     << ", \"avg_slowdown\": " << cell.avg_slowdown << "}";
+  return os.str();
+}
+
+bool IsBenchmarkLine(const std::string& line) {
+  return line.rfind("    {\"name\": ", 0) == 0;
+}
+
+bool IsScalingLine(const std::string& line) {
+  return line.rfind("    {\"name\": \"scaling/", 0) == 0;
+}
+
+/// Splices the scaling cells into an aqsios-bench-perf/1 report: header and
+/// non-scaling benchmark lines are kept verbatim, existing scaling/ lines are
+/// replaced, and trailing commas are re-normalized. Falls back to writing a
+/// fresh report when `path` is missing or not in the expected shape. Returns
+/// false when `path` cannot be opened for writing.
+bool WriteReport(const std::string& path, const std::vector<std::string>& cells,
+                 int queries, int64_t arrivals, uint64_t seed, int reps,
+                 double total_wall_ms) {
+  std::vector<std::string> header;
+  std::vector<std::string> kept;
+  bool parsed = false;
+  {
+    std::ifstream in(path);
+    if (in) {
+      std::string line;
+      bool in_benchmarks = false;
+      while (std::getline(in, line)) {
+        if (!in_benchmarks) {
+          header.push_back(line);
+          if (line == "  \"benchmarks\": [") {
+            in_benchmarks = true;
+            parsed = true;
+          }
+        } else if (IsBenchmarkLine(line)) {
+          if (!IsScalingLine(line)) kept.push_back(line);
+        }
+        // Footer lines ("  ]", "}") and anything unexpected are re-emitted
+        // from scratch below.
+      }
+    }
+  }
+  if (!parsed) {
+    header.clear();
+    std::ostringstream os;
+    os.precision(17);
+    os << "{\n  \"schema\": \"aqsios-bench-perf/1\",\n";
+    os << "  \"queries\": " << queries << ",\n";
+    os << "  \"arrivals\": " << arrivals << ",\n";
+    os << "  \"seed\": " << seed << ",\n";
+    os << "  \"reps\": " << reps << ",\n";
+    os << "  \"total_wall_ms\": " << total_wall_ms << ",\n";
+    os << "  \"benchmarks\": [";
+    std::string line;
+    std::istringstream is(os.str());
+    while (std::getline(is, line)) header.push_back(line);
+  }
+
+  // Re-normalize commas: strip, then re-add on all but the last line.
+  for (std::string& line : kept) {
+    if (!line.empty() && line.back() == ',') line.pop_back();
+  }
+  std::vector<std::string> body = kept;
+  body.insert(body.end(), cells.begin(), cells.end());
+
+  std::ofstream out(path);
+  if (!out.good()) return false;
+  for (const std::string& line : header) out << line << "\n";
+  for (size_t i = 0; i < body.size(); ++i) {
+    out << body[i] << (i + 1 < body.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  return out.good();
+}
+
+int Main(int argc, char** argv) {
+  std::string out = "BENCH_perf.json";
+  int queries = 500;
+  int64_t arrivals = 10000;
+  int64_t seed = 42;
+  int reps = 3;
+  int threads = 0;
+  bool quick = false;
+  FlagSet flags("bench_scaling");
+  flags.AddString("out", &out,
+                  "perf report to splice the scaling cells into (empty = "
+                  "stdout only)");
+  flags.AddInt("queries", &queries, "registered CQs for the scaling cell");
+  flags.AddInt("arrivals", &arrivals, "stream arrivals for the scaling cell");
+  flags.AddInt("seed", &seed, "workload seed");
+  flags.AddInt("reps", &reps, "repetitions per cell (min is reported)");
+  flags.AddInt("threads", &threads,
+               "shard worker threads (0 = one per hardware thread)");
+  flags.AddBool("quick", &quick,
+                "CI smoke mode: scaled-down cell, 1 rep, no speedup bar");
+  const Status status = flags.Parse(argc, argv);
+  if (!status.ok()) {
+    if (flags.help_requested()) return 0;
+    std::cerr << "bench_scaling: " << status << "\n" << flags.Usage();
+    return 2;
+  }
+  if (quick) {
+    reps = 1;
+    queries = std::min(queries, 120);
+    arrivals = std::min<int64_t>(arrivals, 2000);
+  }
+
+  const Clock::time_point suite_start = Clock::now();
+
+  query::WorkloadConfig config;
+  config.num_queries = queries;
+  config.num_arrivals = arrivals;
+  config.seed = static_cast<uint64_t>(seed);
+  config.utilization = 0.9;
+  const query::Workload workload = query::GenerateWorkload(config);
+  sched::PolicyConfig policy = sched::PolicyConfig::Of(sched::PolicyKind::kBsd);
+  policy.use_kinetic_index = false;
+
+  std::vector<ScalingCell> cells;
+  for (const int shards : {1, 2, 4, 8}) {
+    ScalingCell cell = RunCell(workload, policy, shards, reps);
+    cell.speedup_vs_shards1 =
+        cells.empty() ? 1.0 : cells.front().wall_ms / cell.wall_ms;
+    std::cout << "scaling/bsd/q=" << queries << "/shards=" << shards << ": "
+              << cell.wall_ms << " ms, " << cell.tuples_per_wall_sec
+              << " tuples/s, speedup " << cell.speedup_vs_shards1
+              << "x, load imbalance " << cell.load_imbalance
+              << ", avg slowdown " << cell.avg_slowdown << "\n";
+    cells.push_back(cell);
+  }
+
+  if (!quick) {
+    const ScalingCell& four = cells[2];
+    AQSIOS_CHECK(four.shards == 4);
+    AQSIOS_CHECK(four.speedup_vs_shards1 >= 2.5)
+        << "shard-parallel runtime must clear 2.5x at 4 shards: got "
+        << four.speedup_vs_shards1 << "x ("
+        << cells.front().tuples_per_wall_sec << " -> "
+        << four.tuples_per_wall_sec << " tuples/wall-sec)";
+  }
+
+  std::vector<std::string> lines;
+  for (const ScalingCell& cell : cells) {
+    lines.push_back(CellLine(cell, queries, arrivals));
+  }
+  const double total_wall_ms = ElapsedMs(suite_start);
+  if (!out.empty()) {
+    if (!WriteReport(out, lines, queries, arrivals,
+                     static_cast<uint64_t>(seed), reps, total_wall_ms)) {
+      std::cerr << "bench_scaling: cannot write " << out << "\n";
+      return 1;
+    }
+    std::cout << "spliced " << lines.size() << " scaling cells into " << out
+              << "\n";
+  } else {
+    for (const std::string& line : lines) std::cout << line << "\n";
+  }
+  std::cout << "total: " << total_wall_ms << " ms\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace aqsios
+
+int main(int argc, char** argv) { return aqsios::Main(argc, argv); }

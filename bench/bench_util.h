@@ -17,7 +17,9 @@
 #include "common/flags.h"
 #include "core/experiment.h"
 #include "core/report.h"
+#include "core/sharded_dsms.h"
 #include "obs/chrome_trace.h"
+#include "obs/shard_trace.h"
 #include "obs/tracer.h"
 
 namespace aqsios::bench {
@@ -44,6 +46,10 @@ struct BenchArgs {
   /// 1 = classic per-tuple dispatch, 0 = drain the picked queue, k > 1 =
   /// up to k tuples per scheduling decision.
   int batch = 1;
+  /// Shards forwarded to SimulationOptions::shards: 1 = the classic
+  /// single-scheduler runtime (byte-identical results); K > 1 = the
+  /// shard-parallel runtime (docs/scaling.md).
+  int shards = 1;
 
   std::vector<double> UtilizationList() const {
     std::vector<double> result;
@@ -91,6 +97,9 @@ inline BenchArgs ParseBenchArgs(const std::string& name, int argc,
   flags->AddInt("batch", &args.batch,
                 "tuple-train batch size (1 = per-tuple dispatch, 0 = drain "
                 "the picked queue, k > 1 = up to k tuples per decision)");
+  flags->AddInt("shards", &args.shards,
+                "scheduler shards (1 = classic single-scheduler runtime; "
+                "K > 1 = partitioned shard-parallel runtime)");
   const Status status = flags->Parse(argc, argv);
   if (!status.ok()) {
     if (flags->help_requested()) std::exit(0);
@@ -126,6 +135,7 @@ inline core::SweepConfig TestbedSweep(const BenchArgs& args) {
   // the per-policy attribution blocks in the JSON reports are comparable.
   sweep.options.attribution_sample_every = 32;
   sweep.options.batch_size = args.batch;
+  sweep.options.shards = args.shards;
   return sweep;
 }
 
@@ -153,22 +163,47 @@ inline void MaybeWriteTrace(const BenchArgs& args,
   workload_config.utilization = sweep.utilizations.front();
   const query::Workload workload = query::GenerateWorkload(workload_config);
 
-  obs::EventTracer tracer;
   core::SimulationOptions options = sweep.options;
-  options.tracer = &tracer;
-  const core::RunResult result =
-      core::Simulate(workload, sweep.policies.front(), options);
-
   obs::ChromeTraceMeta meta;
   meta.num_queries = workload.plan.num_queries();
-  meta.policy = result.policy_name;
-  const Status status = obs::WriteChromeTrace(args.trace_out, tracer, meta);
+  meta.num_shards = options.shards > 1 ? options.shards : 1;
+  Status status = Status::Ok();
+  size_t kept = 0;
+  size_t dropped = 0;
+  if (options.shards > 1) {
+    // Sharded runs need one private single-producer sink per shard; the
+    // per-shard timelines are merged into one deterministic trace.
+    std::vector<obs::EventTracer> tracers(
+        static_cast<size_t>(options.shards));
+    std::vector<obs::EventTracer*> tracer_ptrs;
+    for (obs::EventTracer& tracer : tracers) tracer_ptrs.push_back(&tracer);
+    const core::ShardedRunResult sharded = core::SimulateSharded(
+        workload, sweep.policies.front(), options, &tracer_ptrs);
+    meta.policy = sharded.result.policy_name;
+    std::vector<obs::ShardTraceInput> inputs;
+    for (size_t s = 0; s < tracers.size(); ++s) {
+      inputs.push_back({&tracers[s], &sharded.query_id_maps[s]});
+      kept += tracers[s].size();
+      dropped += tracers[s].dropped();
+    }
+    status = obs::WriteChromeTrace(args.trace_out,
+                                   obs::MergeShardTraces(inputs), meta);
+  } else {
+    obs::EventTracer tracer;
+    options.tracer = &tracer;
+    const core::RunResult result =
+        core::Simulate(workload, sweep.policies.front(), options);
+    meta.policy = result.policy_name;
+    kept = tracer.size();
+    dropped = tracer.dropped();
+    status = obs::WriteChromeTrace(args.trace_out, tracer, meta);
+  }
   if (!status.ok()) {
     std::cerr << "trace-out: " << status << "\n";
     std::exit(1);
   }
-  std::cout << "wrote trace " << args.trace_out << " (" << tracer.size()
-            << " events kept, " << tracer.dropped() << " dropped, policy "
+  std::cout << "wrote trace " << args.trace_out << " (" << kept
+            << " events kept, " << dropped << " dropped, policy "
             << meta.policy << " at utilization "
             << sweep.utilizations.front() << ")\n";
 }

@@ -13,11 +13,13 @@ writes CSV — one row per utilization, one column per policy — ready for any
 plotting tool.
 
 Micro-benchmark reports (schema aqsios-bench-perf/1, written by
-bench_micro_sched --out BENCH_perf.json) are detected automatically and
-emitted as a flat name,ns_per_op,ops,wall_ms,tuples_per_vsec table — the
-pivot options do not apply to them. tuples_per_vsec is the deterministic
-virtual throughput the batched sim cells (sim/<policy>/.../batch=<k>)
-carry; the column is empty for cells without it.
+bench_micro_sched / bench_scaling --out BENCH_perf.json) are detected
+automatically and emitted as a flat table — the pivot options do not apply
+to them. Besides name,ns_per_op,ops,wall_ms the table carries the optional
+per-cell columns: tuples_per_vsec (deterministic virtual throughput of the
+batched sim cells), and the shard-scaling curve's tuples_per_wall_sec,
+speedup_vs_shards1 and load_imbalance (scaling/<policy>/q=N/shards=K cells,
+see docs/scaling.md). Columns are empty for cells without the field.
 
 For sweep reports the metric is looked up in the cell's "qos" object first (avg/max/l2
 slowdown, the histogram quantiles p50/p95/p99/p999_slowdown, ...), then in
@@ -138,12 +140,16 @@ def main():
     cells = extract_cells(text, args.figure)
     if cells and isinstance(cells[0], dict) and "ns_per_op" in cells[0]:
         # aqsios-bench-perf/1 micro-benchmark rows: flat table, no pivot.
-        print("name,ns_per_op,ops,wall_ms,tuples_per_vsec")
+        optional = ["tuples_per_vsec", "tuples_per_wall_sec",
+                    "speedup_vs_shards1", "load_imbalance"]
+        print(",".join(["name", "ns_per_op", "ops", "wall_ms"] + optional))
         for bench in cells:
-            vsec = bench.get("tuples_per_vsec")
-            print(f"{bench['name']},{bench['ns_per_op']!r},"
-                  f"{bench['ops']},{bench['wall_ms']!r},"
-                  f"{'' if vsec is None else repr(vsec)}")
+            row = [bench["name"], repr(bench["ns_per_op"]),
+                   str(bench["ops"]), repr(bench["wall_ms"])]
+            for field in optional:
+                value = bench.get(field)
+                row.append("" if value is None else repr(value))
+            print(",".join(row))
         return 0
     policies, grid = pivot(cells, args.metric)
 

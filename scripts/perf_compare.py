@@ -3,8 +3,13 @@
 
 Accepts either report the repo's bench binaries write:
 
-  * aqsios-bench-perf/1  (bench_micro_sched --out BENCH_perf.json):
-    benchmarks are matched by "name" and compared on ns_per_op.
+  * aqsios-bench-perf/1  (bench_micro_sched / bench_scaling --out
+    BENCH_perf.json): benchmarks are matched by "name" and compared on
+    ns_per_op. The shard-scaling cells (scaling/<policy>/q=N/shards=K) are
+    additionally compared on the *inverse* of speedup_vs_shards1 under the
+    synthetic key "<name>/speedup" — inverting keeps every compared number
+    lower-is-better, so a shrinking shard speedup shows up as a REGRESSION
+    like any slowdown would.
   * aqsios-bench-sweep/1 (bench_sweep_all --out BENCH_sweep.json):
     cells are matched by (figure, utilization, policy) and compared on
     wall_ms.
@@ -45,6 +50,11 @@ def load_entries(path):
     if schema.startswith("aqsios-bench-perf/"):
         for bench in report["benchmarks"]:
             entries[bench["name"]] = float(bench["ns_per_op"])
+            # Scaling-curve cells also gate on the shard speedup itself,
+            # inverted so lower stays better (see module docstring).
+            speedup = bench.get("speedup_vs_shards1")
+            if speedup:
+                entries[bench["name"] + "/speedup"] = 1.0 / float(speedup)
     elif schema.startswith("aqsios-bench-sweep/"):
         for figure in report["figures"]:
             for cell in figure["cells"]:

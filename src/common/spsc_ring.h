@@ -1,0 +1,89 @@
+// Lock-free single-producer/single-consumer ring buffer.
+//
+// The sharded runtime routes per-stream arrivals from the routing thread
+// into each shard's collector through one of these rings, so the arrival
+// hot path stays lock-free and allocation-free: the slot storage is
+// preallocated up front, TryPush/TryPop are one relaxed load, one
+// acquire/release pair and a memcpy-sized store each, and neither side ever
+// blocks in the kernel (callers spin/yield on full/empty).
+//
+// Correctness: `tail_` is written only by the producer, `head_` only by the
+// consumer. The producer's release-store of `tail_` after writing the slot
+// publishes the element; the consumer's acquire-load of `tail_` before
+// reading the slot synchronizes with it (and symmetrically for `head_` so
+// the producer never overwrites an unread slot). Close() is a release-store
+// the consumer uses to distinguish "empty for now" from "drained".
+
+#ifndef AQSIOS_COMMON_SPSC_RING_H_
+#define AQSIOS_COMMON_SPSC_RING_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace aqsios {
+
+template <typename T>
+class SpscRing {
+ public:
+  /// `capacity` slots are preallocated; must be a power of two >= 2.
+  explicit SpscRing(size_t capacity) : buffer_(capacity), mask_(capacity - 1) {
+    AQSIOS_CHECK_GE(capacity, 2u);
+    AQSIOS_CHECK_EQ(capacity & (capacity - 1), 0u)
+        << "SpscRing capacity must be a power of two";
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  size_t capacity() const { return buffer_.size(); }
+
+  /// Producer side. Returns false when the ring is full (caller retries).
+  bool TryPush(const T& value) {
+    const uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_.load(std::memory_order_acquire) == buffer_.size()) {
+      return false;
+    }
+    buffer_[static_cast<size_t>(tail) & mask_] = value;
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Returns false when the ring is empty.
+  bool TryPop(T* out) {
+    const uint64_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_.load(std::memory_order_acquire)) return false;
+    *out = buffer_[static_cast<size_t>(head) & mask_];
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Producer side: marks the stream complete. The consumer drains with
+  /// TryPop until it fails *after* observing closed().
+  void Close() { closed_.store(true, std::memory_order_release); }
+
+  bool closed() const { return closed_.load(std::memory_order_acquire); }
+
+  /// Entries currently in flight (approximate under concurrency; exact when
+  /// one side is quiescent).
+  size_t size() const {
+    return static_cast<size_t>(tail_.load(std::memory_order_acquire) -
+                               head_.load(std::memory_order_acquire));
+  }
+
+ private:
+  std::vector<T> buffer_;
+  size_t mask_;
+  /// Producer and consumer indexes on separate cache lines so the two sides
+  /// do not false-share.
+  alignas(64) std::atomic<uint64_t> tail_{0};  // next slot to write
+  alignas(64) std::atomic<uint64_t> head_{0};  // next slot to read
+  alignas(64) std::atomic<bool> closed_{false};
+};
+
+}  // namespace aqsios
+
+#endif  // AQSIOS_COMMON_SPSC_RING_H_

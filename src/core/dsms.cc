@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "core/sharded_dsms.h"
 
 namespace aqsios::core {
 
@@ -17,21 +18,35 @@ sched::SharingObjective ObjectiveForPolicy(sched::PolicyKind kind) {
   }
 }
 
-RunResult SimulatePlan(const query::GlobalPlan& plan,
-                       const stream::ArrivalTable& arrivals,
-                       const sched::PolicyConfig& policy,
-                       const SimulationOptions& options) {
+exec::EngineConfig MakeEngineConfig(const SimulationOptions& options,
+                                    const sched::PolicyConfig& policy,
+                                    SimTime min_operator_cost) {
   exec::EngineConfig engine_config;
   engine_config.level = options.level;
   engine_config.sharing_strategy = options.sharing_strategy;
   engine_config.sharing_objective = ObjectiveForPolicy(policy.kind);
   engine_config.overhead_op_cost =
-      options.charge_scheduling_overhead ? plan.MinOperatorCost() : 0.0;
+      options.charge_scheduling_overhead ? min_operator_cost : 0.0;
   engine_config.adaptation = options.adaptation;
   engine_config.tracer = options.tracer;
   engine_config.attribution_sample_every = options.attribution_sample_every;
   engine_config.batch_size = options.batch_size;
   engine_config.batch_quantum = options.batch_quantum;
+  return engine_config;
+}
+
+RunResult SimulatePlan(const query::GlobalPlan& plan,
+                       const stream::ArrivalTable& arrivals,
+                       const sched::PolicyConfig& policy,
+                       const SimulationOptions& options) {
+  if (options.shards > 1) {
+    AQSIOS_CHECK(options.tracer == nullptr)
+        << "a single tracer cannot serve concurrent shards; use "
+           "SimulateShardedPlan with per-shard tracers (obs/shard_trace.h)";
+    return SimulateShardedPlan(plan, arrivals, policy, options).result;
+  }
+  const exec::EngineConfig engine_config =
+      MakeEngineConfig(options, policy, plan.MinOperatorCost());
 
   std::unique_ptr<sched::Scheduler> scheduler = sched::CreateScheduler(policy);
   metrics::QosCollector collector(options.qos);

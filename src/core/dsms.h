@@ -10,6 +10,7 @@
 #ifndef AQSIOS_CORE_DSMS_H_
 #define AQSIOS_CORE_DSMS_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -47,6 +48,21 @@ struct SimulationOptions {
   /// seconds; 0 disables. Any positive value engages the batched
   /// dispatcher even at batch_size 1.
   SimTime batch_quantum = 0.0;
+
+  /// Shard-parallel runtime (core/sharded_dsms.h, docs/scaling.md): number
+  /// of shards K the query population is partitioned into. 1 = the classic
+  /// single-scheduler runtime, byte-identical to before sharding existed.
+  /// K > 1 is a documented scheduling variant — K independent
+  /// scheduler+engine pairs on private virtual clocks with exactly-merged
+  /// metrics; results are deterministic in (workload, policy, K, shard_seed)
+  /// and independent of shard_threads.
+  int shards = 1;
+  /// Worker threads executing shards; 0 = min(hardware threads, shards).
+  /// Never affects results, only wall-clock.
+  int shard_threads = 0;
+  /// Seed of the shard-assignment hash (sched/shard_router.h):
+  /// shard(q) = MixKeys(shard_seed, anchor(q)) mod K.
+  uint64_t shard_seed = 0x5eedc0de;
 };
 
 struct RunResult {
@@ -58,6 +74,15 @@ struct RunResult {
 /// The sharing objective matching a policy (BSD policies maximize Φ-based
 /// aggregates; everything else uses the HNR objective).
 sched::SharingObjective ObjectiveForPolicy(sched::PolicyKind kind);
+
+/// Engine configuration implied by `options` for `policy`.
+/// `min_operator_cost` is the §9.2 overhead unit (the *full* plan's
+/// cheapest operator cost — system-wide even when the engine runs one
+/// shard's sub-plan); it is applied only when charge_scheduling_overhead
+/// is set.
+exec::EngineConfig MakeEngineConfig(const SimulationOptions& options,
+                                    const sched::PolicyConfig& policy,
+                                    SimTime min_operator_cost);
 
 /// Runs `workload` under `policy` and returns QoS metrics plus counters.
 RunResult Simulate(const query::Workload& workload,

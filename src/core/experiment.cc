@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <future>
+#include <utility>
 #include <vector>
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -59,9 +60,6 @@ double GetMetric(const RunResult& result, Metric metric) {
   return 0.0;
 }
 
-namespace {
-
-/// Process-wide peak resident set size in KiB (0 where unsupported).
 int64_t CurrentPeakRssKb() {
 #if defined(__unix__) || defined(__APPLE__)
   struct rusage usage;
@@ -75,8 +73,6 @@ int64_t CurrentPeakRssKb() {
   return 0;
 #endif
 }
-
-}  // namespace
 
 std::vector<SweepCell> RunSweep(const SweepConfig& config) {
   AQSIOS_CHECK(!config.utilizations.empty());
@@ -105,7 +101,15 @@ std::vector<SweepCell> RunSweep(const SweepConfig& config) {
     SweepCell& cell = cells[u * num_policies + p];
     cell.utilization = config.utilizations[u];
     const auto start = std::chrono::steady_clock::now();
-    cell.result = Simulate(workloads[u], config.policies[p], cell_options);
+    if (cell_options.shards > 1) {
+      ShardedRunResult sharded =
+          SimulateSharded(workloads[u], config.policies[p], cell_options);
+      cell.result = std::move(sharded.result);
+      cell.shard_stats = std::move(sharded.shard_stats);
+      cell.load_imbalance = sharded.LoadImbalance();
+    } else {
+      cell.result = Simulate(workloads[u], config.policies[p], cell_options);
+    }
     cell.wall_ms = std::chrono::duration<double, std::milli>(
                        std::chrono::steady_clock::now() - start)
                        .count();

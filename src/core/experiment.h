@@ -4,11 +4,13 @@
 #ifndef AQSIOS_CORE_EXPERIMENT_H_
 #define AQSIOS_CORE_EXPERIMENT_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "common/table.h"
 #include "core/dsms.h"
+#include "core/sharded_dsms.h"
 #include "query/workload.h"
 
 namespace aqsios::core {
@@ -30,6 +32,9 @@ enum class Metric {
 
 const char* MetricName(Metric metric);
 double GetMetric(const RunResult& result, Metric metric);
+
+/// Process-wide peak resident set size in KiB (0 where unsupported).
+int64_t CurrentPeakRssKb();
 
 struct SweepConfig {
   /// Base workload; `utilization` is overridden per sweep point. The same
@@ -60,6 +65,11 @@ struct SweepCell {
   /// Process-wide peak RSS (KiB) observed when this cell finished. Monotone
   /// over a run; the grid maximum is the sweep's memory high-water mark.
   int64_t max_rss_kb = 0;
+  /// Sharded cells only (options.shards > 1; empty otherwise — the report
+  /// writer then omits the shard block so unsharded sweep JSON is
+  /// unchanged): per-shard accounting and the max/mean busy-time ratio.
+  std::vector<ShardRunStats> shard_stats;
+  double load_imbalance = 0.0;
 };
 
 /// Runs every (utilization, policy) combination, dispatching cells across

@@ -184,6 +184,32 @@ void WriteSweepCells(JsonWriter& json, const std::vector<SweepCell>& cells) {
     json.Number(cell.wall_ms);
     json.Key("max_rss_kb");
     json.Number(cell.max_rss_kb);
+    if (!cell.shard_stats.empty()) {
+      // Sharded cells only: unsharded sweep JSON stays byte-identical.
+      json.Key("load_imbalance");
+      json.Number(cell.load_imbalance);
+      json.Key("shards");
+      json.BeginArray();
+      for (const ShardRunStats& shard : cell.shard_stats) {
+        json.BeginObject();
+        json.Key("shard");
+        json.Number(static_cast<int64_t>(shard.shard));
+        json.Key("num_queries");
+        json.Number(static_cast<int64_t>(shard.num_queries));
+        json.Key("arrivals");
+        json.Number(shard.arrivals);
+        json.Key("wall_ms");
+        json.Number(shard.wall_ms);
+        json.Key("max_rss_kb");
+        json.Number(shard.max_rss_kb);
+        json.Key("busy_seconds");
+        json.Number(shard.busy_seconds);
+        json.Key("end_seconds");
+        json.Number(shard.end_seconds);
+        json.EndObject();
+      }
+      json.EndArray();
+    }
     json.Key("qos");
     WriteQos(json, cell.result.qos);
     json.Key("counters");

@@ -1,0 +1,197 @@
+#include "core/sharded_dsms.h"
+
+#include <algorithm>
+#include <chrono>
+#include <future>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/thread_pool.h"
+#include "core/experiment.h"
+#include "exec/engine.h"
+
+namespace aqsios::core {
+
+double ShardedRunResult::LoadImbalance() const {
+  if (shard_stats.empty()) return 1.0;
+  double max_busy = 0.0;
+  double total_busy = 0.0;
+  for (const ShardRunStats& stats : shard_stats) {
+    max_busy = std::max(max_busy, stats.busy_seconds);
+    total_busy += stats.busy_seconds;
+  }
+  if (total_busy <= 0.0) return 1.0;
+  return max_busy / (total_busy / static_cast<double>(shard_stats.size()));
+}
+
+ShardedRunResult SimulateShardedPlan(
+    const query::GlobalPlan& plan, const stream::ArrivalTable& arrivals,
+    const sched::PolicyConfig& policy, const SimulationOptions& options,
+    const std::vector<obs::EventTracer*>* shard_tracers) {
+  const int num_shards = options.shards;
+  AQSIOS_CHECK_GE(num_shards, 1);
+  if (shard_tracers != nullptr) {
+    AQSIOS_CHECK_EQ(shard_tracers->size(), static_cast<size_t>(num_shards));
+  }
+
+  ShardedRunResult sharded;
+  sharded.assignment =
+      sched::AssignShards(plan, num_shards, options.shard_seed);
+  sharded.query_id_maps.resize(static_cast<size_t>(num_shards));
+  sharded.shard_stats.resize(static_cast<size_t>(num_shards));
+  for (int s = 0; s < num_shards; ++s) {
+    ShardRunStats& stats = sharded.shard_stats[static_cast<size_t>(s)];
+    stats.shard = s;
+    stats.num_queries = static_cast<int>(
+        sharded.assignment.queries_of_shard[static_cast<size_t>(s)].size());
+  }
+
+  // The §9.2 overhead unit is system-wide: every shard charges the *full*
+  // plan's cheapest operator cost, not its sub-plan's.
+  const SimTime min_op_cost = plan.MinOperatorCost();
+
+  // Sub-plans: local dense query ids for the engine's tables; global
+  // SharingGroup::id preserved so shared-leaf frozen draws are
+  // shard-invariant. A group's members all share the group anchor, so the
+  // whole group lands on one shard by construction.
+  std::vector<query::GlobalPlan> sub_plans(static_cast<size_t>(num_shards));
+  for (int s = 0; s < num_shards; ++s) {
+    const std::vector<query::QueryId>& members =
+        sharded.assignment.queries_of_shard[static_cast<size_t>(s)];
+    if (members.empty()) continue;
+    std::vector<int> local_of_global(
+        static_cast<size_t>(plan.num_queries()), -1);
+    std::vector<query::CompiledQuery> compiled;
+    compiled.reserve(members.size());
+    std::vector<int32_t>& to_global =
+        sharded.query_id_maps[static_cast<size_t>(s)];
+    to_global.reserve(members.size());
+    for (query::QueryId global : members) {
+      const query::CompiledQuery& q = plan.query(global);
+      query::QuerySpec spec = q.spec();
+      local_of_global[static_cast<size_t>(global)] =
+          static_cast<int>(compiled.size());
+      spec.id = static_cast<query::QueryId>(compiled.size());
+      to_global.push_back(global);
+      compiled.emplace_back(std::move(spec), q.selectivity_mode());
+    }
+    std::vector<query::SharingGroup> groups;
+    for (const query::SharingGroup& group : plan.sharing_groups()) {
+      if (sharded.assignment.shard_of_query[static_cast<size_t>(
+              group.members.front())] != s) {
+        continue;
+      }
+      query::SharingGroup local = group;  // keeps the global group id
+      for (query::QueryId& member : local.members) {
+        member = local_of_global[static_cast<size_t>(member)];
+        AQSIOS_CHECK_GE(member, 0) << "sharing group split across shards";
+      }
+      groups.push_back(std::move(local));
+    }
+    sub_plans[static_cast<size_t>(s)] = query::GlobalPlan(
+        std::move(compiled), std::move(groups), plan.num_streams());
+  }
+
+  // Arrival routing. All K consumers must drain concurrently while the
+  // producer pushes (a full ring blocks the producer), so the collect pool
+  // has exactly K workers and the caller thread produces.
+  std::vector<stream::ArrivalTable> sub_arrivals(
+      static_cast<size_t>(num_shards));
+  {
+    sched::ShardRouter router(plan, sharded.assignment);
+    ThreadPool collect_pool(num_shards);
+    std::vector<std::future<void>> draining;
+    draining.reserve(static_cast<size_t>(num_shards));
+    for (int s = 0; s < num_shards; ++s) {
+      draining.push_back(collect_pool.Submit([&router, &sub_arrivals, s] {
+        router.Collect(s, &sub_arrivals[static_cast<size_t>(s)]);
+      }));
+    }
+    router.Route(arrivals);
+    for (std::future<void>& f : draining) f.get();
+    for (int s = 0; s < num_shards; ++s) {
+      sharded.shard_stats[static_cast<size_t>(s)].arrivals =
+          router.routed_counts()[static_cast<size_t>(s)];
+    }
+  }
+
+  // Execute the shards. Each run is single-threaded and deterministic over
+  // its sub-plan + sub-table, so dispatch order and thread count change
+  // only wall_ms / max_rss_kb.
+  std::vector<metrics::QosCollector> collectors;
+  collectors.reserve(static_cast<size_t>(num_shards));
+  for (int s = 0; s < num_shards; ++s) collectors.emplace_back(options.qos);
+  std::vector<exec::RunCounters> counters(static_cast<size_t>(num_shards));
+
+  const auto run_shard = [&](int s) {
+    const size_t i = static_cast<size_t>(s);
+    const auto start = std::chrono::steady_clock::now();
+    exec::EngineConfig config = MakeEngineConfig(options, policy, min_op_cost);
+    config.tracer =
+        shard_tracers != nullptr ? (*shard_tracers)[i] : nullptr;
+    std::unique_ptr<sched::Scheduler> scheduler =
+        sched::CreateScheduler(policy);
+    exec::Engine engine(&sub_plans[i], &sub_arrivals[i], config,
+                        scheduler.get(), &collectors[i]);
+    counters[i] = engine.Run();
+    ShardRunStats& stats = sharded.shard_stats[i];
+    stats.wall_ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+    stats.max_rss_kb = CurrentPeakRssKb();
+    stats.busy_seconds = counters[i].busy_time;
+    stats.end_seconds = counters[i].end_time;
+  };
+
+  int exec_threads = options.shard_threads > 0 ? options.shard_threads
+                                               : ThreadPool::DefaultThreads();
+  exec_threads = std::max(1, std::min(exec_threads, num_shards));
+  const auto shard_has_work = [&sharded](int s) {
+    return sharded.shard_stats[static_cast<size_t>(s)].num_queries > 0;
+  };
+  if (exec_threads <= 1) {
+    for (int s = 0; s < num_shards; ++s) {
+      if (shard_has_work(s)) run_shard(s);
+    }
+  } else {
+    ThreadPool exec_pool(exec_threads);
+    std::vector<std::future<void>> running;
+    for (int s = 0; s < num_shards; ++s) {
+      if (!shard_has_work(s)) continue;
+      running.push_back(exec_pool.Submit([&run_shard, s] { run_shard(s); }));
+    }
+    for (std::future<void>& f : running) f.get();
+  }
+
+  // Deterministic aggregation: shards are merged in shard order, and every
+  // aggregate merges exactly (see RunCounters::Merge / QosCollector::
+  // MergeFrom), so the merged result is independent of execution timing.
+  sharded.result.policy_name = sched::CreateScheduler(policy)->name();
+  metrics::QosCollector merged(options.qos);
+  bool first = true;
+  for (int s = 0; s < num_shards; ++s) {
+    if (!shard_has_work(s)) continue;
+    const size_t i = static_cast<size_t>(s);
+    merged.MergeFrom(collectors[i], sharded.query_id_maps[i]);
+    if (first) {
+      sharded.result.counters = counters[i];
+      first = false;
+    } else {
+      sharded.result.counters.Merge(counters[i]);
+    }
+  }
+  sharded.result.qos = merged.Snapshot();
+  return sharded;
+}
+
+ShardedRunResult SimulateSharded(
+    const query::Workload& workload, const sched::PolicyConfig& policy,
+    const SimulationOptions& options,
+    const std::vector<obs::EventTracer*>* shard_tracers) {
+  return SimulateShardedPlan(workload.plan, workload.arrivals, policy,
+                             options, shard_tracers);
+}
+
+}  // namespace aqsios::core

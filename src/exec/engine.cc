@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <sstream>
+#include <utility>
 
 #include "common/check.h"
 #include "common/rng.h"
@@ -22,6 +23,38 @@ constexpr int kSideOrdinalStride = 1000;
 constexpr int kCommonOrdinalBase = 1000000;
 
 }  // namespace
+
+void RunCounters::Merge(const RunCounters& other) {
+  // Queued-tuple-seconds must be recovered before end_time mutates.
+  const double self_queued_seconds = avg_queued_tuples * end_time;
+  const double other_queued_seconds = other.avg_queued_tuples * other.end_time;
+
+  scheduling_points += other.scheduling_points;
+  unit_executions += other.unit_executions;
+  operator_invocations += other.operator_invocations;
+  tuples_emitted += other.tuples_emitted;
+  tuples_filtered += other.tuples_filtered;
+  composites_generated += other.composites_generated;
+  overhead_operations += other.overhead_operations;
+  adaptation_ticks += other.adaptation_ticks;
+  decision_candidates += other.decision_candidates;
+  priority_computations += other.priority_computations;
+  train_dispatches += other.train_dispatches;
+  train_tuples += other.train_tuples;
+  max_train_tuples = std::max(max_train_tuples, other.max_train_tuples);
+  busy_time += other.busy_time;
+  overhead_time += other.overhead_time;
+  end_time = std::max(end_time, other.end_time);
+  peak_queued_tuples += other.peak_queued_tuples;
+  avg_queued_tuples =
+      end_time > 0.0 ? (self_queued_seconds + other_queued_seconds) / end_time
+                     : 0.0;
+  queue_length_hist.Merge(other.queue_length_hist);
+  exec_busy_hist.Merge(other.exec_busy_hist);
+  queue_length = queue_length_hist.Summarize();
+  exec_busy = exec_busy_hist.Summarize();
+  attribution.Merge(other.attribution);
+}
 
 std::string RunCounters::ToString() const {
   std::ostringstream os;
@@ -173,16 +206,18 @@ bool Engine::SharedOpPasses(const query::OperatorSpec& op,
                             const stream::Arrival& arrival, int group) const {
   const double selectivity = op.EffectiveActualSelectivity();
   if (selectivity >= 1.0) return true;
+  const query::SharingGroup& sharing =
+      plan_->sharing_groups()[static_cast<size_t>(group)];
   const query::SelectivityMode mode =
-      plan_->query(plan_->sharing_groups()[static_cast<size_t>(group)]
-                       .members.front())
-          .selectivity_mode();
+      plan_->query(sharing.members.front()).selectivity_mode();
   if (mode == query::SelectivityMode::kCorrelatedAttribute) {
     return arrival.attribute <= selectivity * 100.0;
   }
+  // Keyed on the group's stable id (not the local table index) so the draw
+  // is identical when the group runs inside a shard's sub-plan.
   const uint64_t key = MixKeys(kSharedOpSalt,
                                static_cast<uint64_t>(arrival.id),
-                               static_cast<uint64_t>(group));
+                               static_cast<uint64_t>(sharing.id));
   return FrozenBernoulli(key, selectivity);
 }
 
@@ -224,7 +259,7 @@ void Engine::ExecuteQueryChain(const sched::Unit& unit,
   const stream::Arrival& arrival =
       arrivals_->arrivals[static_cast<size_t>(entry.arrival)];
   if (RunChainOps(q, arrival, /*from=*/0)) {
-    EmitSingle(q, entry.arrival, entry.arrival_time);
+    EmitSingle(q, arrival.id, entry.arrival_time);
   }
 }
 
@@ -234,7 +269,7 @@ void Engine::ExecuteRemainder(const sched::Unit& unit,
   const stream::Arrival& arrival =
       arrivals_->arrivals[static_cast<size_t>(entry.arrival)];
   if (RunChainOps(q, arrival, unit.op_index)) {
-    EmitSingle(q, entry.arrival, entry.arrival_time);
+    EmitSingle(q, arrival.id, entry.arrival_time);
   }
 }
 
@@ -257,7 +292,7 @@ void Engine::ExecuteSharedGroup(const sched::Unit& unit,
   for (query::QueryId member : runtime.executed) {
     const query::CompiledQuery& q = plan_->query(member);
     if (RunChainOps(q, arrival, /*from=*/1)) {
-      EmitSingle(q, entry.arrival, entry.arrival_time);
+      EmitSingle(q, arrival.id, entry.arrival_time);
     }
   }
   // PDT-excluded remainders become separately scheduled work.
@@ -279,7 +314,7 @@ void Engine::ExecuteOperator(const sched::Unit& unit,
     return;
   }
   if (unit.op_index + 1 == q.chain_length()) {
-    EmitSingle(q, entry.arrival, entry.arrival_time);
+    EmitSingle(q, arrival.id, entry.arrival_time);
     return;
   }
   const int next_unit =
@@ -463,7 +498,7 @@ void Engine::Enqueue(int unit_id, stream::ArrivalId arrival,
   if (tracer_ != nullptr) {
     tracer_->Record({obs::EventKind::kEnqueue, now_, 0.0, unit_id,
                      static_cast<int32_t>(unit.query),
-                     static_cast<int64_t>(arrival),
+                     arrivals_->arrivals[static_cast<size_t>(arrival)].id,
                      static_cast<double>(unit.queue.size())});
   }
   scheduler_->OnEnqueue(unit_id);
@@ -481,7 +516,9 @@ void Engine::DeliverArrivalsUpTo(SimTime time) {
     }
     for (int unit :
          leaf_units_of_stream_[static_cast<size_t>(arrival.stream)]) {
-      Enqueue(unit, arrival.id, arrival.time);
+      // Queue entries carry the table *index*; Arrival::id stays global so
+      // frozen draws and trace ids are identical inside shard sub-tables.
+      Enqueue(unit, next_arrival_, arrival.time);
     }
     ++next_arrival_;
   }
@@ -529,10 +566,10 @@ void Engine::ExecuteUnit(int unit_id) {
 
   exec_busy_hist_.Add(now_ - exec_start_);
   if (tracer_ != nullptr) {
-    tracer_->Record({obs::EventKind::kSegmentRun, exec_start_,
-                     now_ - exec_start_, unit_id,
-                     static_cast<int32_t>(unit.query),
-                     static_cast<int64_t>(entry.arrival)});
+    tracer_->Record(
+        {obs::EventKind::kSegmentRun, exec_start_, now_ - exec_start_,
+         unit_id, static_cast<int32_t>(unit.query),
+         arrivals_->arrivals[static_cast<size_t>(entry.arrival)].id});
   }
   cur_unit_ = -1;
   cur_query_ = -1;
@@ -564,7 +601,9 @@ void Engine::ExecuteChainTrain(const sched::Unit& unit, size_t count) {
   const int n_ops = static_cast<int>(ops.size());
   if (from >= n_ops) {
     for (size_t i = 0; i < count; ++i) {
-      EmitSingle(q, train_[i].arrival, train_[i].arrival_time);
+      EmitSingle(
+          q, arrivals_->arrivals[static_cast<size_t>(train_[i].arrival)].id,
+          train_[i].arrival_time);
     }
     return;
   }
@@ -592,7 +631,7 @@ void Engine::ExecuteChainTrain(const sched::Unit& unit, size_t count) {
         continue;
       }
       if (last) {
-        EmitSingle(q, entry.arrival, entry.arrival_time);
+        EmitSingle(q, arrival.id, entry.arrival_time);
       } else {
         train_sel_[kept++] = idx;
       }
@@ -664,10 +703,11 @@ void Engine::ExecuteUnitTrain(int unit_id) {
   // of dispatch, and its span is what queue-wait attribution sees.
   exec_busy_hist_.Add(now_ - exec_start_);
   if (tracer_ != nullptr) {
-    tracer_->Record({obs::EventKind::kSegmentRun, exec_start_,
-                     now_ - exec_start_, unit_id,
-                     static_cast<int32_t>(unit.query),
-                     static_cast<int64_t>(train_.front().arrival)});
+    tracer_->Record(
+        {obs::EventKind::kSegmentRun, exec_start_, now_ - exec_start_,
+         unit_id, static_cast<int32_t>(unit.query),
+         arrivals_->arrivals[static_cast<size_t>(train_.front().arrival)]
+             .id});
   }
   cur_unit_ = -1;
   cur_query_ = -1;
@@ -728,6 +768,10 @@ RunCounters Engine::Run() {
       now_ > 0.0 ? queued_tuple_seconds_ / now_ : 0.0;
   counters_.queue_length = queue_len_hist_.Summarize();
   counters_.exec_busy = exec_busy_hist_.Summarize();
+  // Full histograms travel with the counters so per-shard runs merge their
+  // distributions exactly (RunCounters::Merge re-summarizes the union).
+  counters_.queue_length_hist = std::move(queue_len_hist_);
+  counters_.exec_busy_hist = std::move(exec_busy_hist_);
   counters_.attribution = attribution_;
   return counters_;
 }

@@ -108,8 +108,23 @@ struct RunCounters {
   /// Distribution of busy time per unit execution (seconds).
   obs::HistogramSummary exec_busy;
 
+  /// Full histograms behind the two summaries above. Kept so per-shard
+  /// counters merge exactly: quantiles are pure functions of the merged
+  /// buckets, so Merge can rebuild the summaries from combined counts
+  /// instead of approximating from pre-digested quantiles.
+  obs::Histogram queue_length_hist{{.min_value = 1.0}};
+  obs::Histogram exec_busy_hist;
+
   /// Sampled response-time decomposition (empty when sampling is disabled).
   obs::StageAttribution attribution;
+
+  /// Folds another (disjoint) run's counters into this one, exactly: counts
+  /// and times sum; end_time and max_train_tuples take the max (shards run
+  /// concurrently on the virtual clock); peak_queued_tuples sums (concurrent
+  /// shards each hold their peak's memory); avg_queued_tuples re-weights by
+  /// each run's queued-tuple-seconds over the merged end_time; and the
+  /// histogram summaries are rebuilt from the merged full histograms.
+  void Merge(const RunCounters& other);
 
   /// busy_time / end_time: fraction of the run the CPU spent on operators.
   double MeasuredUtilization() const {
@@ -138,6 +153,8 @@ class Engine {
 
  private:
   void DeliverArrivalsUpTo(SimTime time);
+  /// `arrival` is the *index* into the engine's arrival table (queue entries
+  /// carry indexes; Arrival::id stays global — see sched/unit.h).
   void Enqueue(int unit, stream::ArrivalId arrival, SimTime arrival_time);
   void ExecuteUnit(int unit_id);
 

@@ -79,6 +79,33 @@ void QosCollector::RecordOutput(int32_t query_id, int cost_class,
   }
 }
 
+void QosCollector::MergeFrom(const QosCollector& other,
+                             const std::vector<int32_t>& query_id_map) {
+  const auto remap = [&query_id_map](int32_t query) {
+    if (query_id_map.empty()) return query;
+    AQSIOS_CHECK_LT(static_cast<size_t>(query), query_id_map.size());
+    return query_id_map[static_cast<size_t>(query)];
+  };
+  response_.Merge(other.response_);
+  slowdown_.Merge(other.slowdown_);
+  slowdown_histogram_.Merge(other.slowdown_histogram_);
+  // Class keys are global (cost class, selectivity decile) — no remap.
+  for (const auto& [key, stats] : other.per_class_slowdown_) {
+    per_class_slowdown_[key].Merge(stats);
+  }
+  for (const auto& [query, stats] : other.per_query_slowdown_) {
+    per_query_slowdown_[remap(query)].Merge(stats);
+  }
+  if (timeline_.has_value() && other.timeline_.has_value()) {
+    timeline_->Merge(*other.timeline_);
+  }
+  outputs_.reserve(outputs_.size() + other.outputs_.size());
+  for (OutputRecord record : other.outputs_) {
+    record.query = remap(record.query);
+    outputs_.push_back(record);
+  }
+}
+
 QosSnapshot QosCollector::Snapshot() const {
   QosSnapshot snap;
   snap.tuples_emitted = response_.count();

@@ -127,6 +127,19 @@ class QosCollector {
   void RecordOutput(int32_t query_id, int cost_class, double selectivity,
                     SimTime arrival_time, SimTime response, double slowdown);
 
+  /// Merges a collector that recorded a disjoint subset of the run's
+  /// outputs (one shard of a sharded simulation). `query_id_map[local]`
+  /// translates the other collector's query ids into this collector's id
+  /// space; pass an empty map for identity. Every aggregate merges exactly
+  /// (histogram bucket counts add; RunningStats sums add; timeline buckets
+  /// are keyed by arrival time), so merge-of-parts equals a single pass
+  /// over the union — outputs_ alone is appended in merge-call order, not
+  /// re-interleaved by emission time. Intended for merge-only collectors:
+  /// do not RecordOutput on `this` after merging (the per-query class memo
+  /// is not rebuilt).
+  void MergeFrom(const QosCollector& other,
+                 const std::vector<int32_t>& query_id_map);
+
   QosSnapshot Snapshot() const;
 
   int64_t tuples_emitted() const { return response_.count(); }

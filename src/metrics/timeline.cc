@@ -24,6 +24,17 @@ void TimelineCollector::Record(SimTime arrival_time, double value) {
   buckets_[index].Add(value);
 }
 
+void TimelineCollector::Merge(const TimelineCollector& other) {
+  AQSIOS_CHECK_EQ(bucket_width_, other.bucket_width_)
+      << "timelines with different bucket widths cannot be merged";
+  if (other.buckets_.size() > buckets_.size()) {
+    buckets_.resize(other.buckets_.size());
+  }
+  for (size_t i = 0; i < other.buckets_.size(); ++i) {
+    buckets_[i].Merge(other.buckets_[i]);
+  }
+}
+
 const aqsios::RunningStats& TimelineCollector::Bucket(int i) const {
   AQSIOS_CHECK_GE(i, 0);
   AQSIOS_CHECK_LT(i, num_buckets());

@@ -32,6 +32,11 @@ class TimelineCollector {
   /// times at or past kMaxBuckets·width clamp into the last bucket.
   void Record(SimTime arrival_time, double value);
 
+  /// Merges another collector with the same bucket width: bucket i absorbs
+  /// the other's bucket i (exact — buckets are keyed by arrival time, so a
+  /// run split across collectors merges to the single-pass series).
+  void Merge(const TimelineCollector& other);
+
   SimTime bucket_width() const { return bucket_width_; }
 
   /// Number of buckets (index of the last populated bucket + 1).

@@ -65,6 +65,20 @@ struct StageAttribution {
     sched_overhead.Add(overhead);
     processing.Add(busy);
   }
+
+  /// Merges another attribution block recorded with the same sampling
+  /// period over a disjoint tuple subset (shard merge): every component
+  /// accumulator absorbs the other's. Sampling keys on the global arrival
+  /// id, so a partition of the arrivals samples exactly the tuples a
+  /// single-pass run would.
+  void Merge(const StageAttribution& other) {
+    if (sample_every == 0) sample_every = other.sample_every;
+    response.Merge(other.response);
+    queue_wait.Merge(other.queue_wait);
+    sched_overhead.Merge(other.sched_overhead);
+    processing.Merge(other.processing);
+    dependency_delay.Merge(other.dependency_delay);
+  }
 };
 
 }  // namespace aqsios::obs

@@ -13,15 +13,23 @@ constexpr int64_t kSchedulerTid = 0;
 constexpr int64_t kArrivalsTid = 1;
 constexpr int64_t kQueryTidBase = 2;
 
-int64_t TidOf(const TraceEvent& event) {
+int64_t TidOf(const TraceEvent& event, int num_shards) {
+  // Sharded layout: shard s owns tids {2s, 2s+1}; query lanes are global and
+  // follow all shard lanes, so a query keeps its lane across shard counts.
+  const int64_t scheduler_tid =
+      num_shards > 1 ? int64_t{2} * event.shard : kSchedulerTid;
+  const int64_t arrivals_tid =
+      num_shards > 1 ? int64_t{2} * event.shard + 1 : kArrivalsTid;
+  const int64_t query_base =
+      num_shards > 1 ? int64_t{2} * num_shards : kQueryTidBase;
   switch (event.kind) {
     case EventKind::kSchedDecision:
     case EventKind::kAdaptationTick:
-      return kSchedulerTid;
+      return scheduler_tid;
     case EventKind::kTupleArrival:
-      return kArrivalsTid;
+      return arrivals_tid;
     default:
-      return event.query >= 0 ? kQueryTidBase + event.query : kArrivalsTid;
+      return event.query >= 0 ? query_base + event.query : arrivals_tid;
   }
 }
 
@@ -46,7 +54,7 @@ void WriteThreadName(JsonWriter& json, int64_t tid, const std::string& name) {
   json.EndObject();
 }
 
-void WriteEvent(JsonWriter& json, const TraceEvent& event) {
+void WriteEvent(JsonWriter& json, const TraceEvent& event, int num_shards) {
   const bool span = event.kind == EventKind::kSegmentRun ||
                     event.kind == EventKind::kOperatorInvocation;
   json.BeginObject();
@@ -67,9 +75,13 @@ void WriteEvent(JsonWriter& json, const TraceEvent& event) {
   json.Key("pid");
   json.Number(kPid);
   json.Key("tid");
-  json.Number(TidOf(event));
+  json.Number(TidOf(event, num_shards));
   json.Key("args");
   json.BeginObject();
+  if (num_shards > 1) {
+    json.Key("shard");
+    json.Number(static_cast<int64_t>(event.shard));
+  }
   if (event.unit >= 0) {
     json.Key("unit");
     json.Number(static_cast<int64_t>(event.unit));
@@ -128,15 +140,28 @@ std::string ChromeTraceJson(const std::vector<TraceEvent>& events,
   json.String("ms");
   json.Key("traceEvents");
   json.BeginArray();
-  WriteThreadName(json, kSchedulerTid,
-                  meta.policy.empty() ? "scheduler"
-                                      : "scheduler (" + meta.policy + ")");
-  WriteThreadName(json, kArrivalsTid, "arrivals");
+  const std::string policy_suffix =
+      meta.policy.empty() ? "" : " (" + meta.policy + ")";
+  if (meta.num_shards > 1) {
+    for (int s = 0; s < meta.num_shards; ++s) {
+      const std::string shard = "shard" + std::to_string(s);
+      WriteThreadName(json, int64_t{2} * s, shard + " scheduler" +
+                                                policy_suffix);
+      WriteThreadName(json, int64_t{2} * s + 1, shard + " arrivals");
+    }
+  } else {
+    WriteThreadName(json, kSchedulerTid,
+                    meta.policy.empty() ? "scheduler"
+                                        : "scheduler" + policy_suffix);
+    WriteThreadName(json, kArrivalsTid, "arrivals");
+  }
+  const int64_t query_base =
+      meta.num_shards > 1 ? int64_t{2} * meta.num_shards : kQueryTidBase;
   for (int q = 0; q < meta.num_queries; ++q) {
-    WriteThreadName(json, kQueryTidBase + q, "Q" + std::to_string(q));
+    WriteThreadName(json, query_base + q, "Q" + std::to_string(q));
   }
   for (const TraceEvent& event : events) {
-    WriteEvent(json, event);
+    WriteEvent(json, event, meta.num_shards);
   }
   json.EndArray();
   json.EndObject();
@@ -145,11 +170,17 @@ std::string ChromeTraceJson(const std::vector<TraceEvent>& events,
 
 Status WriteChromeTrace(const std::string& path, const EventTracer& tracer,
                         const ChromeTraceMeta& meta) {
+  return WriteChromeTrace(path, tracer.Events(), meta);
+}
+
+Status WriteChromeTrace(const std::string& path,
+                        const std::vector<TraceEvent>& events,
+                        const ChromeTraceMeta& meta) {
   std::ofstream file(path);
   if (!file) {
     return Status::IoError("cannot open " + path + " for writing");
   }
-  file << ChromeTraceJson(tracer.Events(), meta) << "\n";
+  file << ChromeTraceJson(events, meta) << "\n";
   if (!file.good()) {
     return Status::IoError("write to " + path + " failed");
   }

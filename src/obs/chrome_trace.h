@@ -6,6 +6,13 @@
 //   tid 2 + query_id — one lane per query (segment runs, operator
 //                      invocations, emits, drops, join probes).
 //
+// Merged sharded traces (ChromeTraceMeta::num_shards > 1, see
+// obs/shard_trace.h) get stable per-shard lanes instead: shard s owns
+//   tid 2s     — "shard<s> scheduler" (that shard's decisions/ticks);
+//   tid 2s + 1 — "shard<s> arrivals" (tuples routed to that shard);
+// and query lanes follow at tid 2·num_shards + global query id, so a
+// query's lane does not depend on which shard ran it.
+//
 // Virtual seconds map to trace microseconds (the trace "us" unit), so one
 // simulated second reads as one second in the viewer. Spans (segment runs,
 // operator invocations) become "X" complete events; everything else becomes
@@ -28,6 +35,10 @@ struct ChromeTraceMeta {
   int num_queries = 0;
   /// Policy name shown in the scheduler lane label.
   std::string policy;
+  /// Shards in the traced run; > 1 switches to the per-shard lane layout
+  /// described above (events must carry TraceEvent::shard, i.e. come from
+  /// MergeShardTraces). 1 keeps the classic single-scheduler layout.
+  int num_shards = 1;
 };
 
 /// Renders the tracer's surviving events as a Chrome trace-event JSON
@@ -37,6 +48,11 @@ std::string ChromeTraceJson(const std::vector<TraceEvent>& events,
 
 /// Writes ChromeTraceJson(tracer.Events(), meta) to `path`.
 Status WriteChromeTrace(const std::string& path, const EventTracer& tracer,
+                        const ChromeTraceMeta& meta);
+
+/// Writes ChromeTraceJson(events, meta) to `path` (merged sharded traces).
+Status WriteChromeTrace(const std::string& path,
+                        const std::vector<TraceEvent>& events,
                         const ChromeTraceMeta& meta);
 
 }  // namespace aqsios::obs

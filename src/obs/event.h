@@ -55,6 +55,10 @@ struct TraceEvent {
   int64_t a = 0;
   /// Kind-specific double payload (priority, slowdown, ...).
   double b = 0.0;
+  /// Shard that recorded the event. Engines record 0 (each shard's tracer is
+  /// a private single-producer sink); MergeShardTraces (obs/shard_trace.h)
+  /// stamps the shard index when combining per-shard timelines.
+  int16_t shard = 0;
 };
 
 }  // namespace aqsios::obs

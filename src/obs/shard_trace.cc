@@ -1,0 +1,39 @@
+#include "obs/shard_trace.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace aqsios::obs {
+
+std::vector<TraceEvent> MergeShardTraces(
+    const std::vector<ShardTraceInput>& shards) {
+  std::vector<TraceEvent> merged;
+  size_t total = 0;
+  for (const ShardTraceInput& shard : shards) {
+    if (shard.tracer != nullptr) total += shard.tracer->size();
+  }
+  merged.reserve(total);
+  for (size_t s = 0; s < shards.size(); ++s) {
+    const ShardTraceInput& shard = shards[s];
+    if (shard.tracer == nullptr) continue;
+    const std::vector<int32_t>* map = shard.query_id_map;
+    for (TraceEvent event : shard.tracer->Events()) {
+      event.shard = static_cast<int16_t>(s);
+      if (map != nullptr && !map->empty() && event.query >= 0) {
+        AQSIOS_CHECK_LT(static_cast<size_t>(event.query), map->size());
+        event.query = (*map)[static_cast<size_t>(event.query)];
+      }
+      merged.push_back(event);
+    }
+  }
+  // Concatenation order is (shard, within-shard record order); a stable sort
+  // on the timestamp alone preserves exactly that order among ties.
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.time < b.time;
+                   });
+  return merged;
+}
+
+}  // namespace aqsios::obs

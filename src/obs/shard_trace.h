@@ -1,0 +1,45 @@
+// Deterministic merging of per-shard trace timelines.
+//
+// The EventTracer ring buffer is a single-producer sink: concurrent Record()
+// calls from several shard engines would race on the ring cursor and
+// interleave nondeterministically. The sharded runtime therefore gives every
+// shard its own tracer and merges afterwards, here: events are stamped with
+// their shard index, shard-local query ids are translated back to global
+// ids, and the per-shard streams are combined into one timeline ordered by
+// virtual timestamp.
+//
+// Ordering contract (pinned by tests/obs_shard_trace_test.cc): the merged
+// sequence is sorted by TraceEvent::time; events with equal timestamps keep
+// shard order (shard 0's events first), and events of the same shard keep
+// their original record order. The merge is therefore a pure function of the
+// per-shard traces — independent of thread scheduling and repeatable
+// bit-for-bit.
+
+#ifndef AQSIOS_OBS_SHARD_TRACE_H_
+#define AQSIOS_OBS_SHARD_TRACE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "obs/event.h"
+#include "obs/tracer.h"
+
+namespace aqsios::obs {
+
+/// One shard's trace sink plus its query-id translation.
+struct ShardTraceInput {
+  /// The shard's private tracer (one producer: that shard's engine).
+  const EventTracer* tracer = nullptr;
+  /// Shard-local query id -> global query id; nullptr or empty = identity.
+  const std::vector<int32_t>* query_id_map = nullptr;
+};
+
+/// Merges the shards' surviving events into one timeline: stamps
+/// TraceEvent::shard with the input index, remaps query ids to global, and
+/// stable-sorts by virtual timestamp (see the ordering contract above).
+std::vector<TraceEvent> MergeShardTraces(
+    const std::vector<ShardTraceInput>& shards);
+
+}  // namespace aqsios::obs
+
+#endif  // AQSIOS_OBS_SHARD_TRACE_H_

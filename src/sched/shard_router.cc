@@ -1,0 +1,108 @@
+#include "sched/shard_router.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace aqsios::sched {
+
+ShardAssignment AssignShards(const query::GlobalPlan& plan, int num_shards,
+                             uint64_t seed) {
+  AQSIOS_CHECK_GE(num_shards, 1);
+  ShardAssignment assignment;
+  assignment.num_shards = num_shards;
+  assignment.seed = seed;
+  assignment.shard_of_query.resize(
+      static_cast<size_t>(plan.num_queries()));
+  assignment.queries_of_shard.resize(static_cast<size_t>(num_shards));
+  for (const query::CompiledQuery& q : plan.queries()) {
+    query::QueryId anchor = q.id();
+    const int group = plan.SharingGroupOf(q.id());
+    if (group >= 0) {
+      const std::vector<query::QueryId>& members =
+          plan.sharing_groups()[static_cast<size_t>(group)].members;
+      anchor = *std::min_element(members.begin(), members.end());
+    }
+    const int shard = static_cast<int>(
+        MixKeys(seed, static_cast<uint64_t>(anchor)) %
+        static_cast<uint64_t>(num_shards));
+    assignment.shard_of_query[static_cast<size_t>(q.id())] = shard;
+    assignment.queries_of_shard[static_cast<size_t>(shard)].push_back(q.id());
+  }
+  return assignment;
+}
+
+ShardRouter::ShardRouter(const query::GlobalPlan& plan,
+                         const ShardAssignment& assignment,
+                         size_t ring_capacity)
+    : routed_(static_cast<size_t>(assignment.num_shards), 0) {
+  AQSIOS_CHECK_EQ(static_cast<size_t>(plan.num_queries()),
+                  assignment.shard_of_query.size());
+  shards_of_stream_.resize(static_cast<size_t>(plan.num_streams()));
+  const auto subscribe = [this, &assignment](stream::StreamId stream,
+                                             query::QueryId q) {
+    AQSIOS_CHECK_LT(static_cast<size_t>(stream), shards_of_stream_.size());
+    shards_of_stream_[static_cast<size_t>(stream)].push_back(
+        assignment.shard_of_query[static_cast<size_t>(q)]);
+  };
+  for (const query::CompiledQuery& q : plan.queries()) {
+    const query::QuerySpec& spec = q.spec();
+    subscribe(spec.left_stream, q.id());
+    if (spec.is_multi_stream()) {
+      subscribe(spec.right_stream, q.id());
+      for (const query::JoinStage& stage : spec.extra_stages) {
+        subscribe(stage.stream, q.id());
+      }
+    }
+  }
+  for (std::vector<int>& shards : shards_of_stream_) {
+    std::sort(shards.begin(), shards.end());
+    shards.erase(std::unique(shards.begin(), shards.end()), shards.end());
+  }
+  rings_.reserve(static_cast<size_t>(assignment.num_shards));
+  for (int s = 0; s < assignment.num_shards; ++s) {
+    rings_.push_back(
+        std::make_unique<SpscRing<stream::Arrival>>(ring_capacity));
+  }
+}
+
+void ShardRouter::Route(const stream::ArrivalTable& arrivals) {
+  for (const stream::Arrival& arrival : arrivals.arrivals) {
+    AQSIOS_DCHECK_LT(static_cast<size_t>(arrival.stream),
+                     shards_of_stream_.size());
+    for (int shard : shards_of_stream_[static_cast<size_t>(arrival.stream)]) {
+      SpscRing<stream::Arrival>& ring = *rings_[static_cast<size_t>(shard)];
+      while (!ring.TryPush(arrival)) {
+        // Full ring = consumer backpressure; yield and retry, never drop.
+        std::this_thread::yield();
+      }
+      ++routed_[static_cast<size_t>(shard)];
+    }
+  }
+  for (std::unique_ptr<SpscRing<stream::Arrival>>& ring : rings_) {
+    ring->Close();
+  }
+}
+
+void ShardRouter::Collect(int shard, stream::ArrivalTable* out) {
+  SpscRing<stream::Arrival>& ring = *rings_[static_cast<size_t>(shard)];
+  stream::Arrival arrival;
+  while (true) {
+    if (ring.TryPop(&arrival)) {
+      out->arrivals.push_back(arrival);
+      continue;
+    }
+    if (ring.closed()) {
+      // Close() happens after the last push; once observed, one failed pop
+      // means the ring is drained for good.
+      if (!ring.TryPop(&arrival)) break;
+      out->arrivals.push_back(arrival);
+      continue;
+    }
+    std::this_thread::yield();
+  }
+}
+
+}  // namespace aqsios::sched

@@ -1,0 +1,98 @@
+// Shard assignment and lock-free arrival routing for the sharded runtime.
+//
+// Sharding partitions the query population into K disjoint shards, each run
+// by its own scheduler + engine on a private virtual clock (see
+// core/sharded_dsms.h for the execution model and determinism contract).
+// This file owns the two pure-routing pieces:
+//
+//  * AssignShards — the documented, seeded hash placement. Query q lands on
+//
+//        shard(q) = MixKeys(seed, anchor(q)) mod K
+//
+//    where anchor(q) is the smallest member id of q's sharing group (so a
+//    whole §7 sharing group co-locates and its shared leaf operator still
+//    executes once per tuple), or q's own id for standalone queries. The
+//    placement is a pure function of (plan, K, seed): stable across runs,
+//    thread counts, and platforms.
+//
+//  * ShardRouter — fan-out of the global arrival table to per-shard SPSC
+//    ring buffers. One producer thread walks the time-ordered table and
+//    pushes each arrival into the ring of every shard subscribed to its
+//    stream; one consumer per shard drains its ring into a shard-local
+//    sub-table. The hot path is lock-free and allocation-free (rings are
+//    pre-sized; the producer spins with yield on a full ring — backpressure,
+//    never loss).
+//
+// Shard-local sub-tables preserve global Arrival::id values and relative
+// time order (the producer walks the table in order and SPSC rings are
+// FIFO), so every frozen per-arrival draw inside a shard is identical to the
+// single-engine run's.
+
+#ifndef AQSIOS_SCHED_SHARD_ROUTER_H_
+#define AQSIOS_SCHED_SHARD_ROUTER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/spsc_ring.h"
+#include "query/plan.h"
+#include "stream/tuple.h"
+
+namespace aqsios::sched {
+
+/// The placement computed by AssignShards.
+struct ShardAssignment {
+  int num_shards = 1;
+  uint64_t seed = 0;
+  /// Shard of each query, indexed by global query id.
+  std::vector<int> shard_of_query;
+  /// Global query ids of each shard, ascending within a shard. A shard may
+  /// be empty (hashing gives no occupancy guarantee at small query counts).
+  std::vector<std::vector<query::QueryId>> queries_of_shard;
+};
+
+/// Computes the seeded hash placement documented above. `num_shards` >= 1.
+ShardAssignment AssignShards(const query::GlobalPlan& plan, int num_shards,
+                             uint64_t seed);
+
+/// Routes a time-ordered arrival table to per-shard rings. Single producer
+/// (Route), one consumer per shard (Collect); all consumers must be running
+/// before Route fills a ring, or a full ring blocks the producer forever.
+class ShardRouter {
+ public:
+  /// Ring capacity per shard (entries). 4096 Arrival slots ≈ 160 KiB per
+  /// shard: small enough to stay cache-friendly, deep enough that the
+  /// producer almost never waits on a healthy consumer.
+  static constexpr size_t kDefaultRingCapacity = size_t{1} << 12;
+
+  ShardRouter(const query::GlobalPlan& plan, const ShardAssignment& assignment,
+              size_t ring_capacity = kDefaultRingCapacity);
+
+  ShardRouter(const ShardRouter&) = delete;
+  ShardRouter& operator=(const ShardRouter&) = delete;
+
+  int num_shards() const { return static_cast<int>(rings_.size()); }
+
+  /// Producer: pushes every arrival into the ring of each shard subscribed
+  /// to its stream (spinning on full rings), then closes all rings. Call
+  /// exactly once, from one thread.
+  void Route(const stream::ArrivalTable& arrivals);
+
+  /// Consumer for `shard`: appends drained arrivals to `out` in push order
+  /// until the ring is closed and empty. Call from one thread per shard.
+  void Collect(int shard, stream::ArrivalTable* out);
+
+  /// Arrivals routed to each shard (valid after Route returns).
+  const std::vector<int64_t>& routed_counts() const { return routed_; }
+
+ private:
+  /// Subscribed shards per stream id: sorted, deduplicated.
+  std::vector<std::vector<int>> shards_of_stream_;
+  std::vector<std::unique_ptr<SpscRing<stream::Arrival>>> rings_;
+  std::vector<int64_t> routed_;
+};
+
+}  // namespace aqsios::sched
+
+#endif  // AQSIOS_SCHED_SHARD_ROUTER_H_

@@ -45,9 +45,12 @@ enum class UnitKind {
 
 const char* UnitKindName(UnitKind kind);
 
-/// One pending tuple in a unit's input queue. `arrival_time` is the tuple's
-/// system arrival time A_i (not the time it entered this particular queue):
-/// wait times W in the LSF/BSD priorities measure time in the system.
+/// One pending tuple in a unit's input queue. `arrival` is the *index* of
+/// the referenced arrival in the engine's arrival table (not necessarily the
+/// global Arrival::id — shard sub-tables renumber indexes but keep ids).
+/// `arrival_time` is the tuple's system arrival time A_i (not the time it
+/// entered this particular queue): wait times W in the LSF/BSD priorities
+/// measure time in the system.
 struct QueueEntry {
   stream::ArrivalId arrival = 0;
   SimTime arrival_time = 0.0;

@@ -14,7 +14,10 @@
 
 namespace aqsios::stream {
 
-/// Index of an arrival within its experiment's arrival table.
+/// Global identifier of an arrival. In a whole-workload table ids equal the
+/// table index; a shard's sub-table keeps the global ids of the arrivals
+/// routed to it (so frozen per-arrival draws and trace ids are
+/// shard-invariant) while queue entries index into the sub-table.
 using ArrivalId = int64_t;
 
 /// Identifier of a data stream within a workload.
@@ -36,8 +39,9 @@ struct Arrival {
   int32_t join_key = 0;
 };
 
-/// An experiment's full arrival table: all arrivals of all streams merged in
-/// non-decreasing time order. Arrival::id indexes into `arrivals`.
+/// An arrival table: arrivals of all streams merged in non-decreasing time
+/// order. In a full workload table Arrival::id equals the index into
+/// `arrivals`; shard sub-tables preserve global ids (see ArrivalId).
 struct ArrivalTable {
   std::vector<Arrival> arrivals;
 

@@ -1,0 +1,313 @@
+// Merge-of-parts == single-pass, exactly — the aggregation spine the sharded
+// runtime stands on (core/sharded_dsms.h). Test values are dyadic rationals
+// (representable in binary floating point), so every "equal" below is exact
+// EXPECT_EQ on doubles, not a tolerance.
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+#include "exec/engine.h"
+#include "metrics/qos.h"
+#include "obs/attribution.h"
+#include "obs/histogram.h"
+
+namespace aqsios {
+namespace {
+
+// Dyadic sample spread over several log-buckets, with repeats (exercising
+// the memo cache) and values below min_value (underflow bucket).
+std::vector<double> SampleValues() {
+  std::vector<double> values;
+  for (int i = 0; i < 400; ++i) {
+    values.push_back(0.25 * (1 + i % 37));        // repeats
+    values.push_back(1.0 + 0.5 * (i % 9));        // low buckets
+    values.push_back(1024.0 * (1 + i % 5));       // high buckets
+    if (i % 11 == 0) values.push_back(0.0);       // underflow
+    // Past the last bucket edge (~2^40.9 for min_value=1) but dyadic and
+    // small enough that partial sums stay exact in any order.
+    if (i % 97 == 0) values.push_back(4398046511104.0);  // 2^42
+  }
+  return values;
+}
+
+TEST(HistogramMergeTest, MergeOfPartsEqualsSinglePass) {
+  const obs::HistogramOptions options{.min_value = 1.0};
+  obs::Histogram whole(options);
+  obs::Histogram part_a(options);
+  obs::Histogram part_b(options);
+  const std::vector<double> values = SampleValues();
+  for (size_t i = 0; i < values.size(); ++i) {
+    whole.Add(values[i]);
+    (i % 3 == 0 ? part_a : part_b).Add(values[i]);
+  }
+  part_a.Merge(part_b);
+
+  EXPECT_EQ(part_a.count(), whole.count());
+  EXPECT_EQ(part_a.sum(), whole.sum());
+  EXPECT_EQ(part_a.Min(), whole.Min());
+  EXPECT_EQ(part_a.Max(), whole.Max());
+  EXPECT_EQ(part_a.overflow(), whole.overflow());
+  // Log-bucket alignment: identical options => identical bucket edges, so
+  // the merged bucket counts must match the single pass bucket for bucket.
+  ASSERT_EQ(part_a.num_buckets(), whole.num_buckets());
+  for (int b = 0; b < whole.num_buckets(); ++b) {
+    EXPECT_EQ(part_a.bucket_count(b), whole.bucket_count(b)) << "bucket " << b;
+    EXPECT_EQ(part_a.BucketLowerEdge(b), whole.BucketLowerEdge(b));
+  }
+  // Quantiles are pure functions of (buckets, min, max, count): p99/p999
+  // of the merge must be bit-equal to the single pass.
+  for (const double q : {0.0, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    EXPECT_EQ(part_a.Quantile(q), whole.Quantile(q)) << "q=" << q;
+  }
+  const obs::HistogramSummary merged = part_a.Summarize();
+  const obs::HistogramSummary single = whole.Summarize();
+  EXPECT_EQ(merged.count, single.count);
+  EXPECT_EQ(merged.mean, single.mean);
+  EXPECT_EQ(merged.p50, single.p50);
+  EXPECT_EQ(merged.p99, single.p99);
+}
+
+TEST(HistogramMergeTest, MergeIntoEmptyAndFromEmpty) {
+  obs::Histogram a;
+  obs::Histogram b;
+  b.Add(0.5);
+  b.Add(2.0);
+  a.Merge(b);  // empty <- nonempty
+  EXPECT_EQ(a.count(), 2);
+  EXPECT_EQ(a.Min(), 0.5);
+  EXPECT_EQ(a.Max(), 2.0);
+  obs::Histogram empty;
+  a.Merge(empty);  // nonempty <- empty: unchanged
+  EXPECT_EQ(a.count(), 2);
+  EXPECT_EQ(a.sum(), 2.5);
+}
+
+TEST(RunningStatsMergeTest, MergeOfPartsEqualsSinglePass) {
+  RunningStats whole;
+  RunningStats part_a;
+  RunningStats part_b;
+  for (int i = 0; i < 100; ++i) {
+    const double v = 0.125 * (i % 17) + (i % 2 ? 4.0 : 0.5);
+    whole.Add(v);
+    (i < 40 ? part_a : part_b).Add(v);
+  }
+  part_a.Merge(part_b);
+  EXPECT_EQ(part_a.count(), whole.count());
+  EXPECT_EQ(part_a.sum(), whole.sum());
+  EXPECT_EQ(part_a.sum_squares(), whole.sum_squares());
+  EXPECT_EQ(part_a.Min(), whole.Min());
+  EXPECT_EQ(part_a.Max(), whole.Max());
+}
+
+TEST(StageAttributionMergeTest, ComponentsMergeAndPeriodPropagates) {
+  obs::StageAttribution a;
+  obs::StageAttribution b;
+  b.sample_every = 32;
+  b.AddSample(/*response=*/1.5, /*wait=*/1.0, /*overhead=*/0.25,
+              /*busy=*/0.25);
+  b.AddSample(3.0, 2.0, 0.5, 0.5);
+  b.dependency_delay.Add(0.125);
+  a.Merge(b);
+  EXPECT_EQ(a.sample_every, 32);
+  EXPECT_EQ(a.samples(), 2);
+  EXPECT_EQ(a.response.sum(), 4.5);
+  EXPECT_EQ(a.queue_wait.sum(), 3.0);
+  EXPECT_EQ(a.sched_overhead.sum(), 0.75);
+  EXPECT_EQ(a.processing.sum(), 0.75);
+  EXPECT_EQ(a.dependency_delay.count(), 1);
+}
+
+exec::RunCounters MakeCounters(int64_t scale, double busy, double end,
+                               int64_t peak, double avg_queued) {
+  exec::RunCounters c;
+  c.scheduling_points = 10 * scale;
+  c.unit_executions = 20 * scale;
+  c.operator_invocations = 30 * scale;
+  c.tuples_emitted = 40 * scale;
+  c.tuples_filtered = 5 * scale;
+  c.composites_generated = scale;
+  c.overhead_operations = 2 * scale;
+  c.adaptation_ticks = scale;
+  c.decision_candidates = 100 * scale;
+  c.priority_computations = 50 * scale;
+  c.train_dispatches = 4 * scale;
+  c.train_tuples = 16 * scale;
+  c.max_train_tuples = 4 + scale;
+  c.busy_time = busy;
+  c.overhead_time = busy / 4.0;
+  c.end_time = end;
+  c.peak_queued_tuples = peak;
+  c.avg_queued_tuples = avg_queued;
+  for (int i = 0; i < 8; ++i) {
+    c.queue_length_hist.Add(static_cast<double>(1 + (i + scale) % 5));
+    c.exec_busy_hist.Add(0.001 * static_cast<double>(1 + i % 3));
+  }
+  c.queue_length = c.queue_length_hist.Summarize();
+  c.exec_busy = c.exec_busy_hist.Summarize();
+  return c;
+}
+
+TEST(RunCountersMergeTest, CountsSumClocksMaxQueueAveragesReweight) {
+  exec::RunCounters a = MakeCounters(1, /*busy=*/2.0, /*end=*/8.0,
+                                     /*peak=*/10, /*avg_queued=*/2.0);
+  const exec::RunCounters b = MakeCounters(3, 3.0, 16.0, 7, 0.5);
+  a.Merge(b);
+
+  EXPECT_EQ(a.scheduling_points, 40);
+  EXPECT_EQ(a.unit_executions, 80);
+  EXPECT_EQ(a.tuples_emitted, 160);
+  EXPECT_EQ(a.decision_candidates, 400);
+  EXPECT_EQ(a.train_dispatches, 16);
+  EXPECT_EQ(a.max_train_tuples, 7);  // max, not sum
+  EXPECT_EQ(a.busy_time, 5.0);
+  EXPECT_EQ(a.overhead_time, 1.25);
+  // Shards run concurrently on the virtual clock: the merged run ends when
+  // the last shard drains.
+  EXPECT_EQ(a.end_time, 16.0);
+  // Concurrent shards each hold their peak simultaneously-queued memory.
+  EXPECT_EQ(a.peak_queued_tuples, 17);
+  // avg re-weights by queued-tuple-seconds: (2*8 + 0.5*16) / 16 = 1.5.
+  EXPECT_EQ(a.avg_queued_tuples, 1.5);
+  // Summaries are rebuilt from the merged full histograms.
+  EXPECT_EQ(a.queue_length.count, a.queue_length_hist.count());
+  EXPECT_EQ(a.queue_length.count, 16);
+  EXPECT_EQ(a.queue_length.p50, a.queue_length_hist.Quantile(0.5));
+  EXPECT_EQ(a.exec_busy.count, 16);
+}
+
+// ---------------------------------------------------------------------------
+// QosCollector::MergeFrom — the full aggregation path.
+
+metrics::QosCollector::Options FullTracking() {
+  metrics::QosCollector::Options options;
+  options.track_per_class = true;
+  options.track_per_query = true;
+  options.timeline_bucket = 0.5;
+  options.track_outputs = true;
+  return options;
+}
+
+struct FakeOutput {
+  int32_t query;
+  int cost_class;
+  double selectivity;
+  double arrival;
+  double response;
+  double slowdown;
+};
+
+std::vector<FakeOutput> FakeOutputs() {
+  std::vector<FakeOutput> outputs;
+  for (int i = 0; i < 240; ++i) {
+    FakeOutput o;
+    o.query = i % 6;
+    o.cost_class = o.query % 3;
+    o.selectivity = 0.5;
+    o.arrival = 0.125 * i;
+    o.response = 0.25 + 0.0625 * (i % 13);
+    o.slowdown = 1.0 + 0.5 * (i % 21);
+    outputs.push_back(o);
+  }
+  return outputs;
+}
+
+TEST(QosMergeTest, MergeOfShardsEqualsSinglePass) {
+  metrics::QosCollector whole(FullTracking());
+  // Two "shards" with local id spaces: shard 0 owns global queries {0,2,4},
+  // shard 1 owns {1,3,5}; outputs are routed by ownership, as the sharded
+  // runtime routes by assignment.
+  metrics::QosCollector shard0(FullTracking());
+  metrics::QosCollector shard1(FullTracking());
+  const std::vector<int32_t> map0 = {0, 2, 4};  // local -> global
+  const std::vector<int32_t> map1 = {1, 3, 5};
+  for (const FakeOutput& o : FakeOutputs()) {
+    whole.RecordOutput(o.query, o.cost_class, o.selectivity, o.arrival,
+                       o.response, o.slowdown);
+    const int32_t local = o.query / 2;
+    (o.query % 2 == 0 ? shard0 : shard1)
+        .RecordOutput(local, o.cost_class, o.selectivity, o.arrival,
+                      o.response, o.slowdown);
+  }
+  metrics::QosCollector merged(FullTracking());
+  merged.MergeFrom(shard0, map0);
+  merged.MergeFrom(shard1, map1);
+
+  const metrics::QosSnapshot want = whole.Snapshot();
+  const metrics::QosSnapshot got = merged.Snapshot();
+  EXPECT_EQ(got.tuples_emitted, want.tuples_emitted);
+  EXPECT_EQ(got.avg_response, want.avg_response);
+  EXPECT_EQ(got.max_response, want.max_response);
+  EXPECT_EQ(got.avg_slowdown, want.avg_slowdown);
+  EXPECT_EQ(got.max_slowdown, want.max_slowdown);
+  EXPECT_EQ(got.l2_slowdown, want.l2_slowdown);
+  EXPECT_EQ(got.rms_slowdown, want.rms_slowdown);
+  // Histogram-backed quantiles: p99/p999 invariance under partitioning.
+  EXPECT_EQ(got.p50_slowdown, want.p50_slowdown);
+  EXPECT_EQ(got.p95_slowdown, want.p95_slowdown);
+  EXPECT_EQ(got.p99_slowdown, want.p99_slowdown);
+  EXPECT_EQ(got.p999_slowdown, want.p999_slowdown);
+
+  // Per-class and per-query maps merge key-exactly (ids back in the global
+  // space via the query_id_map).
+  ASSERT_EQ(got.per_class_slowdown.size(), want.per_class_slowdown.size());
+  for (const auto& [key, stats] : want.per_class_slowdown) {
+    const auto& other = got.per_class_slowdown.at(key);
+    EXPECT_EQ(other.count(), stats.count());
+    EXPECT_EQ(other.sum(), stats.sum());
+    EXPECT_EQ(other.sum_squares(), stats.sum_squares());
+  }
+  ASSERT_EQ(got.per_query_slowdown.size(), want.per_query_slowdown.size());
+  for (const auto& [query, stats] : want.per_query_slowdown) {
+    const auto& other = got.per_query_slowdown.at(query);
+    EXPECT_EQ(other.count(), stats.count());
+    EXPECT_EQ(other.sum(), stats.sum());
+  }
+  EXPECT_EQ(got.JainFairnessIndex(), want.JainFairnessIndex());
+
+  // Timeline buckets key on arrival time, which sharding preserves.
+  EXPECT_EQ(got.timeline_bucket, want.timeline_bucket);
+  ASSERT_EQ(got.slowdown_timeline_mean.size(),
+            want.slowdown_timeline_mean.size());
+  for (size_t i = 0; i < want.slowdown_timeline_mean.size(); ++i) {
+    EXPECT_EQ(got.slowdown_timeline_mean[i], want.slowdown_timeline_mean[i]);
+    EXPECT_EQ(got.slowdown_timeline_max[i], want.slowdown_timeline_max[i]);
+  }
+
+  // Outputs append in merge order (documented), so compare as multisets of
+  // identifying pairs: the same tuples must be present.
+  ASSERT_EQ(got.outputs.size(), want.outputs.size());
+  int64_t want_sum = 0;
+  int64_t got_sum = 0;
+  for (size_t i = 0; i < want.outputs.size(); ++i) {
+    want_sum += want.outputs[i].query;
+    got_sum += got.outputs[i].query;
+  }
+  EXPECT_EQ(got_sum, want_sum);
+}
+
+TEST(QosMergeTest, IdentityMapAndEmptyShard) {
+  metrics::QosCollector whole(FullTracking());
+  metrics::QosCollector shard(FullTracking());
+  for (const FakeOutput& o : FakeOutputs()) {
+    whole.RecordOutput(o.query, o.cost_class, o.selectivity, o.arrival,
+                       o.response, o.slowdown);
+    shard.RecordOutput(o.query, o.cost_class, o.selectivity, o.arrival,
+                       o.response, o.slowdown);
+  }
+  metrics::QosCollector merged(FullTracking());
+  merged.MergeFrom(shard, {});  // empty map = identity
+  const metrics::QosCollector empty(FullTracking());
+  merged.MergeFrom(empty, {});  // merging an idle shard changes nothing
+  const metrics::QosSnapshot want = whole.Snapshot();
+  const metrics::QosSnapshot got = merged.Snapshot();
+  EXPECT_EQ(got.tuples_emitted, want.tuples_emitted);
+  EXPECT_EQ(got.avg_slowdown, want.avg_slowdown);
+  EXPECT_EQ(got.p999_slowdown, want.p999_slowdown);
+  ASSERT_EQ(got.per_query_slowdown.size(), want.per_query_slowdown.size());
+}
+
+}  // namespace
+}  // namespace aqsios

@@ -1,0 +1,191 @@
+#include "sched/shard_router.h"
+
+#include <algorithm>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "query/plan.h"
+#include "query/workload.h"
+#include "stream/tuple.h"
+
+namespace aqsios::sched {
+namespace {
+
+query::Workload SingleStream(int queries, int sharing_group_size = 0) {
+  query::WorkloadConfig config;
+  config.num_queries = queries;
+  config.num_arrivals = 500;
+  config.seed = 42;
+  config.sharing_group_size = sharing_group_size;
+  return query::GenerateWorkload(config);
+}
+
+TEST(AssignShardsTest, DeterministicAndComplete) {
+  const query::Workload workload = SingleStream(64);
+  const ShardAssignment a = AssignShards(workload.plan, 4, 0x5eedc0de);
+  const ShardAssignment b = AssignShards(workload.plan, 4, 0x5eedc0de);
+  EXPECT_EQ(a.num_shards, 4);
+  ASSERT_EQ(a.shard_of_query.size(), 64u);
+  EXPECT_EQ(a.shard_of_query, b.shard_of_query);
+
+  // Every query lands on exactly one shard, and the two views agree.
+  int total = 0;
+  for (int s = 0; s < 4; ++s) {
+    for (const query::QueryId q : a.queries_of_shard[static_cast<size_t>(s)]) {
+      EXPECT_EQ(a.shard_of_query[static_cast<size_t>(q)], s);
+      ++total;
+    }
+    // Ascending within a shard (sub-plan order).
+    EXPECT_TRUE(std::is_sorted(
+        a.queries_of_shard[static_cast<size_t>(s)].begin(),
+        a.queries_of_shard[static_cast<size_t>(s)].end()));
+  }
+  EXPECT_EQ(total, 64);
+}
+
+TEST(AssignShardsTest, SeedChangesPlacement) {
+  const query::Workload workload = SingleStream(64);
+  const ShardAssignment a = AssignShards(workload.plan, 4, 1);
+  const ShardAssignment b = AssignShards(workload.plan, 4, 2);
+  EXPECT_NE(a.shard_of_query, b.shard_of_query);
+}
+
+TEST(AssignShardsTest, SingleShardTakesEverything) {
+  const query::Workload workload = SingleStream(10);
+  const ShardAssignment a = AssignShards(workload.plan, 1, 7);
+  EXPECT_EQ(a.queries_of_shard.size(), 1u);
+  EXPECT_EQ(a.queries_of_shard[0].size(), 10u);
+}
+
+TEST(AssignShardsTest, SharingGroupsColocate) {
+  // §9.3-style workload: groups of 10 queries share a select operator. A
+  // group's shared leaf must execute once per tuple, so the whole group
+  // anchors on its smallest member id and lands on one shard.
+  const query::Workload workload = SingleStream(60, /*sharing_group_size=*/10);
+  ASSERT_FALSE(workload.plan.sharing_groups().empty());
+  const ShardAssignment a = AssignShards(workload.plan, 4, 0x5eedc0de);
+  for (const query::SharingGroup& group : workload.plan.sharing_groups()) {
+    ASSERT_FALSE(group.members.empty());
+    const int shard =
+        a.shard_of_query[static_cast<size_t>(group.members.front())];
+    for (const query::QueryId member : group.members) {
+      EXPECT_EQ(a.shard_of_query[static_cast<size_t>(member)], shard)
+          << "sharing group split across shards";
+    }
+  }
+}
+
+// Routes with one concurrent consumer thread per shard and returns the
+// per-shard sub-tables.
+std::vector<stream::ArrivalTable> RouteAll(const query::GlobalPlan& plan,
+                                           const stream::ArrivalTable& table,
+                                           const ShardAssignment& assignment,
+                                           size_t ring_capacity) {
+  ShardRouter router(plan, assignment, ring_capacity);
+  std::vector<stream::ArrivalTable> out(
+      static_cast<size_t>(assignment.num_shards));
+  std::vector<std::thread> consumers;
+  for (int s = 0; s < assignment.num_shards; ++s) {
+    consumers.emplace_back(
+        [&router, &out, s] { router.Collect(s, &out[static_cast<size_t>(s)]); });
+  }
+  router.Route(table);
+  for (std::thread& t : consumers) t.join();
+  return out;
+}
+
+TEST(ShardRouterTest, SingleStreamFanOutIsExactCopy) {
+  const query::Workload workload = SingleStream(24);
+  const ShardAssignment assignment =
+      AssignShards(workload.plan, 3, 0x5eedc0de);
+  const std::vector<stream::ArrivalTable> shards = RouteAll(
+      workload.plan, workload.arrivals, assignment,
+      ShardRouter::kDefaultRingCapacity);
+  // Single-stream workload: every (non-empty) shard subscribes to stream 0
+  // and receives the whole table — same global ids, same order.
+  for (int s = 0; s < 3; ++s) {
+    if (assignment.queries_of_shard[static_cast<size_t>(s)].empty()) continue;
+    const stream::ArrivalTable& sub = shards[static_cast<size_t>(s)];
+    ASSERT_EQ(sub.size(), workload.arrivals.size()) << "shard " << s;
+    for (int64_t i = 0; i < sub.size(); ++i) {
+      EXPECT_EQ(sub.arrivals[static_cast<size_t>(i)].id,
+                workload.arrivals.arrivals[static_cast<size_t>(i)].id);
+      EXPECT_EQ(sub.arrivals[static_cast<size_t>(i)].time,
+                workload.arrivals.arrivals[static_cast<size_t>(i)].time);
+    }
+  }
+}
+
+TEST(ShardRouterTest, TinyRingBackpressureLosesNothing) {
+  // Capacity 4 forces the producer onto the spin/yield backpressure path
+  // thousands of times; delivery must still be complete and in order.
+  const query::Workload workload = SingleStream(24);
+  const ShardAssignment assignment =
+      AssignShards(workload.plan, 4, 0x5eedc0de);
+  const std::vector<stream::ArrivalTable> shards =
+      RouteAll(workload.plan, workload.arrivals, assignment,
+               /*ring_capacity=*/4);
+  for (int s = 0; s < 4; ++s) {
+    if (assignment.queries_of_shard[static_cast<size_t>(s)].empty()) continue;
+    const stream::ArrivalTable& sub = shards[static_cast<size_t>(s)];
+    ASSERT_EQ(sub.size(), workload.arrivals.size());
+    for (int64_t i = 0; i < sub.size(); ++i) {
+      ASSERT_EQ(sub.arrivals[static_cast<size_t>(i)].id,
+                workload.arrivals.arrivals[static_cast<size_t>(i)].id);
+    }
+  }
+}
+
+TEST(ShardRouterTest, MultiStreamRoutesBySubscription) {
+  query::WorkloadConfig config;
+  config.num_queries = 16;
+  config.num_arrivals = 600;
+  config.seed = 7;
+  config.multi_stream = true;
+  const query::Workload workload = query::GenerateWorkload(config);
+  const ShardAssignment assignment =
+      AssignShards(workload.plan, 3, 0x5eedc0de);
+  ShardRouter router(workload.plan, assignment);
+  std::vector<stream::ArrivalTable> shards(3);
+  std::vector<std::thread> consumers;
+  for (int s = 0; s < 3; ++s) {
+    consumers.emplace_back(
+        [&router, &shards, s] { router.Collect(s, &shards[static_cast<size_t>(s)]); });
+  }
+  router.Route(workload.arrivals);
+  for (std::thread& t : consumers) t.join();
+
+  // Streams each shard's queries consume.
+  for (int s = 0; s < 3; ++s) {
+    std::set<stream::StreamId> subscribed;
+    for (const query::QueryId q :
+         assignment.queries_of_shard[static_cast<size_t>(s)]) {
+      const query::QuerySpec& spec = workload.plan.query(q).spec();
+      subscribed.insert(spec.left_stream);
+      if (spec.right_stream >= 0) subscribed.insert(spec.right_stream);
+      for (const query::JoinStage& stage : spec.extra_stages) {
+        subscribed.insert(stage.stream);
+      }
+    }
+    // The shard's sub-table must be exactly the global table filtered to its
+    // subscribed streams (order and ids preserved).
+    std::vector<stream::Arrival> want;
+    for (const stream::Arrival& arrival : workload.arrivals.arrivals) {
+      if (subscribed.count(arrival.stream)) want.push_back(arrival);
+    }
+    const stream::ArrivalTable& sub = shards[static_cast<size_t>(s)];
+    ASSERT_EQ(sub.size(), static_cast<int64_t>(want.size())) << "shard " << s;
+    EXPECT_EQ(router.routed_counts()[static_cast<size_t>(s)],
+              static_cast<int64_t>(want.size()));
+    for (size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(sub.arrivals[i].id, want[i].id);
+      EXPECT_EQ(sub.arrivals[i].stream, want[i].stream);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace aqsios::sched
