@@ -13,13 +13,17 @@ writes CSV — one row per utilization, one column per policy — ready for any
 plotting tool.
 
 Micro-benchmark reports (schema aqsios-bench-perf/1, written by
-bench_micro_sched / bench_scaling --out BENCH_perf.json) are detected
-automatically and emitted as a flat table — the pivot options do not apply
-to them. Besides name,ns_per_op,ops,wall_ms the table carries the optional
-per-cell columns: tuples_per_vsec (deterministic virtual throughput of the
-batched sim cells), and the shard-scaling curve's tuples_per_wall_sec,
-speedup_vs_shards1 and load_imbalance (scaling/<policy>/q=N/shards=K cells,
-see docs/scaling.md). Columns are empty for cells without the field.
+bench_micro_sched / bench_scaling / bench_stress --out BENCH_perf.json) are
+detected automatically and emitted as a flat table — the pivot options do
+not apply to them. Besides name,ns_per_op,ops,wall_ms the table carries the
+optional per-cell columns: tuples_per_vsec (deterministic virtual
+throughput of the batched sim cells), the shard-scaling curve's
+tuples_per_wall_sec, speedup_vs_shards1 and load_imbalance
+(scaling/<policy>/q=N/shards=K cells, see docs/scaling.md), and the
+overload-stress frontier's shed_ratio, p99_slowdown, avg_slowdown,
+peak_queued_tuples, tuples_emitted and admission_dropped
+(stress/<policy>/... cells, see docs/overload.md). Columns are empty for
+cells without the field.
 
 For sweep reports the metric is looked up in the cell's "qos" object first (avg/max/l2
 slowdown, the histogram quantiles p50/p95/p99/p999_slowdown, ...), then in
@@ -141,7 +145,9 @@ def main():
     if cells and isinstance(cells[0], dict) and "ns_per_op" in cells[0]:
         # aqsios-bench-perf/1 micro-benchmark rows: flat table, no pivot.
         optional = ["tuples_per_vsec", "tuples_per_wall_sec",
-                    "speedup_vs_shards1", "load_imbalance"]
+                    "speedup_vs_shards1", "load_imbalance", "shed_ratio",
+                    "p99_slowdown", "avg_slowdown", "peak_queued_tuples",
+                    "tuples_emitted", "admission_dropped"]
         print(",".join(["name", "ns_per_op", "ops", "wall_ms"] + optional))
         for bench in cells:
             row = [bench["name"], repr(bench["ns_per_op"]),

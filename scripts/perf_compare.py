@@ -3,13 +3,17 @@
 
 Accepts either report the repo's bench binaries write:
 
-  * aqsios-bench-perf/1  (bench_micro_sched / bench_scaling --out
-    BENCH_perf.json): benchmarks are matched by "name" and compared on
+  * aqsios-bench-perf/1  (bench_micro_sched / bench_scaling / bench_stress
+    --out BENCH_perf.json): benchmarks are matched by "name" and compared on
     ns_per_op. The shard-scaling cells (scaling/<policy>/q=N/shards=K) are
     additionally compared on the *inverse* of speedup_vs_shards1 under the
     synthetic key "<name>/speedup" — inverting keeps every compared number
     lower-is-better, so a shrinking shard speedup shows up as a REGRESSION
-    like any slowdown would.
+    like any slowdown would. The overload-stress cells
+    (stress/<policy>/q=N/shed=F and .../admission=shards4) are additionally
+    compared on p99_slowdown under "<name>/p99" — the frontier's QoS axis is
+    a deterministic virtual quantity, so a worsening p99 at the same shed
+    fraction is a real scheduling regression, not machine noise.
   * aqsios-bench-sweep/1 (bench_sweep_all --out BENCH_sweep.json):
     cells are matched by (figure, utilization, policy) and compared on
     wall_ms.
@@ -55,6 +59,12 @@ def load_entries(path):
             speedup = bench.get("speedup_vs_shards1")
             if speedup:
                 entries[bench["name"] + "/speedup"] = 1.0 / float(speedup)
+            # Overload-stress cells also gate on the frontier's QoS axis
+            # (deterministic virtual p99 slowdown, lower is better).
+            if bench["name"].startswith("stress/"):
+                p99 = bench.get("p99_slowdown")
+                if p99 is not None:
+                    entries[bench["name"] + "/p99"] = float(p99)
     elif schema.startswith("aqsios-bench-sweep/"):
         for figure in report["figures"]:
             for cell in figure["cells"]:

@@ -32,6 +32,7 @@ exec::EngineConfig MakeEngineConfig(const SimulationOptions& options,
   engine_config.attribution_sample_every = options.attribution_sample_every;
   engine_config.batch_size = options.batch_size;
   engine_config.batch_quantum = options.batch_quantum;
+  engine_config.shed = options.shed;
   return engine_config;
 }
 
@@ -57,6 +58,10 @@ RunResult SimulatePlan(const query::GlobalPlan& plan,
   result.policy_name = scheduler->name();
   result.counters = engine.Run();
   result.qos = collector.Snapshot();
+  // Shed tuples never reached the collector (slowdown stats are over
+  // delivered tuples only); surface the loss on the snapshot explicitly.
+  result.qos.shed_count = result.counters.tuples_shed;
+  result.qos.shed_ratio = result.counters.ShedRatio();
   return result;
 }
 

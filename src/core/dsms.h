@@ -17,7 +17,9 @@
 #include "exec/engine.h"
 #include "metrics/qos.h"
 #include "query/workload.h"
+#include "sched/admission.h"
 #include "sched/policy.h"
+#include "sched/shard_router.h"
 
 namespace aqsios::core {
 
@@ -63,6 +65,18 @@ struct SimulationOptions {
   /// Seed of the shard-assignment hash (sched/shard_router.h):
   /// shard(q) = MixKeys(shard_seed, anchor(q)) mod K.
   uint64_t shard_seed = 0x5eedc0de;
+
+  /// QoS-aware load shedding at the sources (exec::ShedConfig,
+  /// docs/overload.md). Off by default: the engine and its reports stay
+  /// byte-identical to pre-shedding builds.
+  exec::ShedConfig shed;
+  /// Per-class admission control at the shard router (sched/admission.h);
+  /// only meaningful when shards > 1. Off by default.
+  sched::AdmissionConfig admission;
+  /// Router backpressure behaviour on a full shard ring
+  /// (sched::StallPolicy); only meaningful when shards > 1. The default is
+  /// lossless bounded backoff.
+  sched::StallPolicy stall;
 };
 
 struct RunResult {

@@ -10,6 +10,14 @@ void WriteQos(JsonWriter& json, const metrics::QosSnapshot& qos) {
   json.BeginObject();
   json.Key("tuples_emitted");
   json.Number(qos.tuples_emitted);
+  if (qos.shed_count > 0) {
+    // Shedding engaged; runs without shedding serialize byte-identically to
+    // reports written before load shedding existed.
+    json.Key("shed_count");
+    json.Number(qos.shed_count);
+    json.Key("shed_ratio");
+    json.Number(qos.shed_ratio);
+  }
   json.Key("avg_response_ms");
   json.Number(SimTimeToMillis(qos.avg_response));
   json.Key("max_response_ms");
@@ -103,6 +111,19 @@ void WriteCounters(JsonWriter& json, const exec::RunCounters& counters) {
     json.Key("mean_tuples");
     json.Number(static_cast<double>(counters.train_tuples) /
                 static_cast<double>(counters.train_dispatches));
+    json.EndObject();
+  }
+  if (counters.tuples_offered > 0) {
+    // Load shedding enabled (even if nothing was shed); disabled runs keep
+    // serializing byte-identically to pre-shedding reports.
+    json.Key("shed");
+    json.BeginObject();
+    json.Key("offered");
+    json.Number(counters.tuples_offered);
+    json.Key("shed");
+    json.Number(counters.tuples_shed);
+    json.Key("ratio");
+    json.Number(counters.ShedRatio());
     json.EndObject();
   }
   json.EndObject();
@@ -206,6 +227,12 @@ void WriteSweepCells(JsonWriter& json, const std::vector<SweepCell>& cells) {
         json.Number(shard.busy_seconds);
         json.Key("end_seconds");
         json.Number(shard.end_seconds);
+        if (shard.admission_dropped > 0) {
+          // Admission control engaged; runs without it keep serializing
+          // byte-identically to pre-admission sweep reports.
+          json.Key("admission_dropped");
+          json.Number(shard.admission_dropped);
+        }
         json.EndObject();
       }
       json.EndArray();

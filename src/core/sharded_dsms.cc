@@ -100,7 +100,19 @@ ShardedRunResult SimulateShardedPlan(
   std::vector<stream::ArrivalTable> sub_arrivals(
       static_cast<size_t>(num_shards));
   {
-    sched::ShardRouter router(plan, sharded.assignment);
+    sched::ShardRouter router(plan, sharded.assignment,
+                              sched::ShardRouter::kDefaultRingCapacity,
+                              options.stall);
+    // Admission control sits on the producer side of the rings: rejected
+    // arrivals are decided purely by the time-ordered table walk, so the
+    // admitted sub-tables — and therefore all downstream results — stay
+    // deterministic regardless of ring/thread timing.
+    std::unique_ptr<sched::AdmissionController> admission;
+    if (options.admission.enabled) {
+      admission = std::make_unique<sched::AdmissionController>(
+          plan, sharded.assignment, options.admission);
+      router.AttachAdmission(admission.get());
+    }
     ThreadPool collect_pool(num_shards);
     std::vector<std::future<void>> draining;
     draining.reserve(static_cast<size_t>(num_shards));
@@ -112,8 +124,12 @@ ShardedRunResult SimulateShardedPlan(
     router.Route(arrivals);
     for (std::future<void>& f : draining) f.get();
     for (int s = 0; s < num_shards; ++s) {
-      sharded.shard_stats[static_cast<size_t>(s)].arrivals =
-          router.routed_counts()[static_cast<size_t>(s)];
+      ShardRunStats& stats = sharded.shard_stats[static_cast<size_t>(s)];
+      stats.arrivals = router.routed_counts()[static_cast<size_t>(s)];
+      if (admission != nullptr) {
+        stats.admission_dropped =
+            admission->dropped_per_shard()[static_cast<size_t>(s)];
+      }
     }
   }
 
@@ -183,6 +199,10 @@ ShardedRunResult SimulateShardedPlan(
     }
   }
   sharded.result.qos = merged.Snapshot();
+  // Shed tuples never reached any shard's collector; surface the merged
+  // loss on the snapshot, mirroring the single-shard path.
+  sharded.result.qos.shed_count = sharded.result.counters.tuples_shed;
+  sharded.result.qos.shed_ratio = sharded.result.counters.ShedRatio();
   return sharded;
 }
 

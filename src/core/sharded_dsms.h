@@ -57,6 +57,9 @@ struct ShardRunStats {
   double busy_seconds = 0.0;
   /// The shard's virtual clock when it drained.
   double end_seconds = 0.0;
+  /// Arrivals the admission controller refused to route to this shard
+  /// (0 unless SimulationOptions::admission is enabled).
+  int64_t admission_dropped = 0;
 };
 
 /// A sharded run: the merged RunResult plus the sharding it came from.

@@ -42,6 +42,8 @@ void RunCounters::Merge(const RunCounters& other) {
   train_dispatches += other.train_dispatches;
   train_tuples += other.train_tuples;
   max_train_tuples = std::max(max_train_tuples, other.max_train_tuples);
+  tuples_offered += other.tuples_offered;
+  tuples_shed += other.tuples_shed;
   busy_time += other.busy_time;
   overhead_time += other.overhead_time;
   end_time = std::max(end_time, other.end_time);
@@ -71,6 +73,10 @@ std::string RunCounters::ToString() const {
     os << " trains=" << train_dispatches
        << " train_tuples=" << train_tuples
        << " max_train=" << max_train_tuples;
+  }
+  if (tuples_offered > 0) {
+    os << " offered=" << tuples_offered << " shed=" << tuples_shed
+       << " shed_ratio=" << ShedRatio();
   }
   return os.str();
 }
@@ -136,6 +142,35 @@ Engine::Engine(const query::GlobalPlan* plan,
   probe_scratch_.resize(max_join_stages + 1);
 
   scheduler_->Attach(&built_.units);
+
+  shedding_ = config.shed.enabled;
+  if (shedding_) {
+    AQSIOS_CHECK_GE(config.shed.queue_cap, 0);
+    AQSIOS_CHECK_GE(config.shed.shed_fraction, 0.0);
+    AQSIOS_CHECK_LE(config.shed.shed_fraction, 1.0);
+    // The sheddable set: the bottom shed_fraction of the leaf units ranked
+    // ascending by the policy's marginal-slowdown slope (ties by id). Fixed
+    // for the whole run, so shed outcomes are a pure function of the arrival
+    // sequence — never of scheduling order or wall-clock.
+    std::vector<int> leaves;
+    for (const sched::Unit& unit : built_.units) {
+      if (unit.input_stream >= 0) leaves.push_back(unit.id);
+    }
+    std::sort(leaves.begin(), leaves.end(), [this](int a, int b) {
+      const double pa =
+          scheduler_->ShedPriority(built_.units[static_cast<size_t>(a)]);
+      const double pb =
+          scheduler_->ShedPriority(built_.units[static_cast<size_t>(b)]);
+      if (pa != pb) return pa < pb;
+      return a < b;
+    });
+    sheddable_.assign(built_.units.size(), 0);
+    const size_t num_sheddable = static_cast<size_t>(
+        config.shed.shed_fraction * static_cast<double>(leaves.size()));
+    for (size_t i = 0; i < num_sheddable && i < leaves.size(); ++i) {
+      sheddable_[static_cast<size_t>(leaves[i])] = 1;
+    }
+  }
 
   if (config.adaptation.enabled) {
     AQSIOS_CHECK(config.level == SchedulingLevel::kQueryLevel)
@@ -516,6 +551,22 @@ void Engine::DeliverArrivalsUpTo(SimTime time) {
     }
     for (int unit :
          leaf_units_of_stream_[static_cast<size_t>(arrival.stream)]) {
+      if (shedding_) {
+        ++counters_.tuples_offered;
+        if (queued_tuples_ >= config_.shed.queue_cap &&
+            sheddable_[static_cast<size_t>(unit)] != 0) {
+          ++counters_.tuples_shed;
+          if (tracer_ != nullptr) {
+            tracer_->Record(
+                {obs::EventKind::kShed, arrival.time, 0.0, unit,
+                 static_cast<int32_t>(
+                     built_.units[static_cast<size_t>(unit)].query),
+                 static_cast<int64_t>(arrival.id),
+                 static_cast<double>(queued_tuples_)});
+          }
+          continue;
+        }
+      }
       // Queue entries carry the table *index*; Arrival::id stays global so
       // frozen draws and trace ids are identical inside shard sub-tables.
       Enqueue(unit, next_arrival_, arrival.time);

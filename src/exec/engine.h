@@ -33,6 +33,25 @@
 
 namespace aqsios::exec {
 
+/// QoS-aware load shedding at the sources (overload survival,
+/// docs/overload.md). When the total queued-tuple population reaches
+/// `queue_cap`, arrivals destined for the *sheddable* leaf units are dropped
+/// at admission instead of enqueued. The sheddable set is the bottom
+/// `shed_fraction` of the leaf units ranked by the attached policy's
+/// marginal-slowdown line slope (Scheduler::ShedPriority, ties by unit id),
+/// computed once before the run — so shedding is deterministic in virtual
+/// time, policy-consistent (the policy loses the tuples it valued least),
+/// and schedule-invariant across repeats. Disabled (the default) leaves the
+/// engine bit-identical to one built before shedding existed.
+struct ShedConfig {
+  bool enabled = false;
+  /// Total queued tuples at which sheddable sources start dropping.
+  int64_t queue_cap = 1 << 16;
+  /// Fraction of leaf units (lowest shed priority first) that may shed;
+  /// 1.0 turns queue_cap into a hard cap on queued memory.
+  double shed_fraction = 1.0;
+};
+
 struct EngineConfig {
   SchedulingLevel level = SchedulingLevel::kQueryLevel;
   sched::SharingStrategy sharing_strategy = sched::SharingStrategy::kPdt;
@@ -68,6 +87,9 @@ struct EngineConfig {
   /// batch_size = 1, which is how the equivalence tests drive the train
   /// path with per-tuple semantics.
   SimTime batch_quantum = 0.0;
+
+  /// Source-side load shedding (see ShedConfig above). Off by default.
+  ShedConfig shed;
 };
 
 /// Execution counters of one run.
@@ -93,6 +115,15 @@ struct RunCounters {
   int64_t train_dispatches = 0;
   int64_t train_tuples = 0;
   int64_t max_train_tuples = 0;
+
+  /// Load shedding only (both stay zero — and the report writer omits the
+  /// shed block — unless ShedConfig::enabled): leaf-queue admission
+  /// opportunities offered to the engine, and how many of them were shed.
+  /// Shed tuples never reach the QoS collector, so every slowdown statistic
+  /// is over delivered tuples only; the shed ratio is reported alongside so
+  /// the loss is first-class instead of silently vanishing.
+  int64_t tuples_offered = 0;
+  int64_t tuples_shed = 0;
 
   SimTime busy_time = 0.0;      // operator processing time
   SimTime overhead_time = 0.0;  // charged scheduling overhead
@@ -129,6 +160,13 @@ struct RunCounters {
   /// busy_time / end_time: fraction of the run the CPU spent on operators.
   double MeasuredUtilization() const {
     return end_time > 0.0 ? busy_time / end_time : 0.0;
+  }
+
+  /// tuples_shed / tuples_offered; 0 when shedding was disabled.
+  double ShedRatio() const {
+    return tuples_offered > 0 ? static_cast<double>(tuples_shed) /
+                                    static_cast<double>(tuples_offered)
+                              : 0.0;
   }
 
   std::string ToString() const;
@@ -272,6 +310,12 @@ class Engine {
   /// false keeps the per-tuple path bit-identical to the pre-batching
   /// engine.
   bool batching_ = false;
+  /// Load shedding engaged (config_.shed.enabled); false keeps
+  /// DeliverArrivalsUpTo bit-identical to the pre-shedding engine.
+  bool shedding_ = false;
+  /// Leaf units in the sheddable set (bottom shed_fraction of the leaves by
+  /// Scheduler::ShedPriority); indexed by unit id, empty when !shedding_.
+  std::vector<uint8_t> sheddable_;
   /// Train scratch, reused across dispatches: the entries drained by the
   /// current train, and the selection vector of indexes into it that still
   /// survive the chain pass.

@@ -56,6 +56,16 @@ struct OutputRecord {
 struct QosSnapshot {
   int64_t tuples_emitted = 0;
 
+  /// Source tuples shed at admission (QoS-aware load shedding,
+  /// exec::ShedConfig). Shed tuples never reach the collector, so every
+  /// response/slowdown statistic below is over *delivered* tuples only;
+  /// these two report the loss explicitly. Both stay zero — and the report
+  /// writer omits them — when shedding is disabled. Filled by the
+  /// simulation entry points (core/dsms.cc) from the run counters: the
+  /// collector itself never sees shed tuples, by design.
+  int64_t shed_count = 0;
+  double shed_ratio = 0.0;
+
   double avg_response = 0.0;  // seconds
   double max_response = 0.0;
   double avg_slowdown = 0.0;

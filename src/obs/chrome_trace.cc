@@ -102,6 +102,12 @@ void WriteEvent(JsonWriter& json, const TraceEvent& event, int num_shards) {
       json.Key("arrival");
       json.Number(event.a);
       break;
+    case EventKind::kShed:
+      json.Key("arrival");
+      json.Number(event.a);
+      json.Key("queued_tuples");
+      json.Number(event.b);
+      break;
     case EventKind::kEmit:
       json.Key("arrival");
       json.Number(event.a);

@@ -37,6 +37,10 @@ enum class EventKind : uint8_t {
   kSchedDecision,
   /// An adaptation tick of the statistics monitor. a = units refreshed.
   kAdaptationTick,
+  /// A source tuple was shed at admission to a leaf queue (QoS-aware load
+  /// shedding, exec::ShedConfig). a = arrival id, b = total queued tuples
+  /// when the shed decision was made.
+  kShed,
 };
 
 const char* EventKindName(EventKind kind);

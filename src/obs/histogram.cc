@@ -44,11 +44,21 @@ int Histogram::BucketIndex(double value) const {
   const int exponent = static_cast<int>((bits >> 52) & 0x7ff) - 1023;
   const double log2_value =
       static_cast<double>(exponent) + log2_mantissa_[(bits >> 46) & 63];
-  int index = 1 + static_cast<int>((log2_value - log2_min_) *
-                                       inv_log2_growth_ +
-                                   1e-9);
   const int last = options_.max_buckets - 1;
-  index = std::clamp(index, 1, last);
+  // Clamp while still a double: converting an out-of-range double to int is
+  // undefined, and the scaled offset exceeds int range for huge values under
+  // a growth barely above 1 (inv_log2_growth_ in the millions). The negated
+  // comparison also pins NaN — which fails every ordered comparison,
+  // including the min_value gate above — into the last bucket rather than
+  // feeding it to the cast.
+  const double scaled =
+      (log2_value - log2_min_) * inv_log2_growth_ + 1e-9;
+  int index;
+  if (!(scaled < static_cast<double>(last))) {
+    index = last;
+  } else {
+    index = std::clamp(1 + static_cast<int>(scaled), 1, last);
+  }
   while (index < last && value >= edges_[static_cast<size_t>(index) + 1]) {
     ++index;
   }

@@ -24,6 +24,8 @@ const char* EventKindName(EventKind kind) {
       return "sched_decision";
     case EventKind::kAdaptationTick:
       return "adaptation_tick";
+    case EventKind::kShed:
+      return "shed";
   }
   return "unknown";
 }

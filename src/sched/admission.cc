@@ -1,0 +1,141 @@
+#include "sched/admission.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <utility>
+
+#include "common/check.h"
+
+namespace aqsios::sched {
+
+AdmissionController::AdmissionController(const query::GlobalPlan& plan,
+                                         const ShardAssignment& assignment,
+                                         const AdmissionConfig& config)
+    : config_(config), num_shards_(assignment.num_shards) {
+  AQSIOS_CHECK_GT(config.window_seconds, 0.0);
+  AQSIOS_CHECK_GE(config.ewma_alpha, 0.0);
+  AQSIOS_CHECK_LE(config.ewma_alpha, 1.0);
+  AQSIOS_CHECK_GE(config.min_share, 0.0);
+  AQSIOS_CHECK_EQ(static_cast<size_t>(plan.num_queries()),
+                  assignment.shard_of_query.size());
+
+  // Expected work per arrival, accumulated per (stream, shard, cost class)
+  // from the plan's assumed statistics. The class with the most work "owns"
+  // the (stream, shard) subscription and meters its admissions.
+  std::map<std::pair<int64_t, int>, double> work;  // (stream*S+shard, class)
+  const auto accumulate = [&](stream::StreamId st, const query::CompiledQuery& q) {
+    const int shard =
+        assignment.shard_of_query[static_cast<size_t>(q.id())];
+    const int64_t key =
+        static_cast<int64_t>(st) * num_shards_ + shard;
+    work[{key, q.spec().cost_class}] += q.ExpectedWorkPerArrival(st);
+  };
+  for (const query::CompiledQuery& q : plan.queries()) {
+    const query::QuerySpec& spec = q.spec();
+    accumulate(spec.left_stream, q);
+    if (spec.is_multi_stream()) {
+      accumulate(spec.right_stream, q);
+      for (const query::JoinStage& stage : spec.extra_stages) {
+        accumulate(stage.stream, q);
+      }
+    }
+  }
+
+  // Dominant class per (stream, shard): most expected work, ties broken by
+  // the smaller class id (map iteration order is (key, class) ascending).
+  std::map<int64_t, std::pair<int, double>> dominant;  // key -> (class, work)
+  for (const auto& [pair_key, w] : work) {
+    auto it = dominant.find(pair_key.first);
+    if (it == dominant.end() || w > it->second.second) {
+      dominant[pair_key.first] = {pair_key.second, w};
+    }
+  }
+
+  // One lane per (shard, dominant class) pair actually owning traffic.
+  lane_of_.assign(
+      static_cast<size_t>(plan.num_streams()) *
+          static_cast<size_t>(num_shards_),
+      -1);
+  std::map<std::pair<int, int>, int> lane_ids;  // (shard, class) -> lane
+  for (const auto& [key, best] : dominant) {
+    const int shard = static_cast<int>(key % num_shards_);
+    auto [it, inserted] =
+        lane_ids.insert({{shard, best.first}, num_lanes()});
+    if (inserted) {
+      shard_of_lane_.push_back(shard);
+      class_of_lane_.push_back(best.first);
+    }
+    lane_of_[static_cast<size_t>(key)] = it->second;
+  }
+
+  const size_t lanes = static_cast<size_t>(num_lanes());
+  demand_.assign(lanes, 0);
+  admitted_.assign(lanes, 0);
+  ewma_.assign(lanes, 0.0);
+  budget_.assign(lanes, 0);
+  dropped_per_shard_.assign(static_cast<size_t>(num_shards_), 0);
+  window_end_ = config.window_seconds;
+  Reallocate();
+}
+
+int AdmissionController::LaneOf(int shard, stream::StreamId stream) const {
+  const size_t index =
+      static_cast<size_t>(stream) * static_cast<size_t>(num_shards_) +
+      static_cast<size_t>(shard);
+  return index < lane_of_.size() ? lane_of_[index] : -1;
+}
+
+void AdmissionController::RollWindows(SimTime time) {
+  while (time >= window_end_) {
+    for (size_t i = 0; i < ewma_.size(); ++i) {
+      ewma_[i] = config_.ewma_alpha * static_cast<double>(demand_[i]) +
+                 (1.0 - config_.ewma_alpha) * ewma_[i];
+      demand_[i] = 0;
+      admitted_[i] = 0;
+    }
+    Reallocate();
+    window_end_ += config_.window_seconds;
+  }
+}
+
+void AdmissionController::Reallocate() {
+  if (config_.tuples_per_window <= 0 || budget_.empty()) return;
+  double total_demand = 0.0;
+  for (double e : ewma_) total_demand += e;
+  const double uniform = 1.0 / static_cast<double>(budget_.size());
+  std::vector<double> share(budget_.size());
+  double share_sum = 0.0;
+  for (size_t i = 0; i < budget_.size(); ++i) {
+    const double raw =
+        total_demand > 0.0 ? ewma_[i] / total_demand : uniform;
+    share[i] = std::max(raw, config_.min_share);
+    share_sum += share[i];
+  }
+  for (size_t i = 0; i < budget_.size(); ++i) {
+    // Floors can push Σshare past 1; renormalize so the total budget holds.
+    budget_[i] = std::max<int64_t>(
+        1, std::llround(static_cast<double>(config_.tuples_per_window) *
+                        share[i] / share_sum));
+  }
+}
+
+bool AdmissionController::Admit(int shard, stream::StreamId stream,
+                                SimTime time) {
+  RollWindows(time);
+  const int lane = LaneOf(shard, stream);
+  ++offered_;
+  if (lane < 0) return true;  // no metered work on this (stream, shard)
+  const size_t i = static_cast<size_t>(lane);
+  ++demand_[i];
+  if (config_.tuples_per_window <= 0) return true;
+  if (admitted_[i] < budget_[i]) {
+    ++admitted_[i];
+    return true;
+  }
+  ++dropped_;
+  ++dropped_per_shard_[static_cast<size_t>(shard)];
+  return false;
+}
+
+}  // namespace aqsios::sched

@@ -94,6 +94,11 @@ class StaticPriorityScheduler : public Scheduler {
   /// Re-ranks all units by their refreshed stats, preserving queue state.
   void OnStatsUpdated() override;
   const char* name() const override;
+  /// Static priorities are their own shed ranking: shedding drops the units
+  /// this policy would serve last.
+  double ShedPriority(const Unit& unit) const override {
+    return PriorityOf(policy_, unit);
+  }
 
   /// The priority value this policy assigns to `unit` (exposed for tests).
   static double PriorityOf(StaticPolicy policy, const Unit& unit);
@@ -130,6 +135,11 @@ class LsfScheduler : public Scheduler {
   bool PickNext(SimTime now, SchedulingCost* cost,
                 std::vector<int>* out) override;
   const char* name() const override { return "LSF"; }
+  /// W/T grows at 1/T per second of wait: shed the slowest-stretching
+  /// sources first.
+  double ShedPriority(const Unit& unit) const override {
+    return unit.stats.ideal_time > 0.0 ? 1.0 / unit.stats.ideal_time : 0.0;
+  }
 
  private:
   bool use_kinetic_;
@@ -161,6 +171,10 @@ class BsdScheduler : public Scheduler {
   bool PickNext(SimTime now, SchedulingCost* cost,
                 std::vector<int>* out) override;
   const char* name() const override { return "BSD"; }
+  /// Φ·W grows at Φ per second of wait: shed the lowest-Φ sources first.
+  double ShedPriority(const Unit& unit) const override {
+    return unit.stats.phi;
+  }
 
  private:
   bool count_all_units_;

@@ -56,6 +56,11 @@ class ClusteredBsdScheduler : public Scheduler {
   bool PickNext(SimTime now, SchedulingCost* cost,
                 std::vector<int>* out) override;
   const char* name() const override { return name_.c_str(); }
+  /// Same Φ line as exact BSD: clustering changes how the line is *served*
+  /// (per-cluster pseudo priorities), not which sources matter least.
+  double ShedPriority(const Unit& unit) const override {
+    return unit.stats.phi;
+  }
 
   const Clustering& clustering() const { return clustering_; }
   const ClusteredBsdOptions& options() const { return options_; }

@@ -30,6 +30,13 @@ void LpNormScheduler::OnStatsUpdated() {
   }
 }
 
+double LpNormScheduler::ShedPriority(const Unit& unit) const {
+  // Computed from stats (not static_priority_) so the shedder can rank
+  // before Attach and after stats refreshes without ordering constraints.
+  return unit.stats.normalized_rate /
+         std::pow(unit.stats.ideal_time, p_ - 1.0);
+}
+
 double LpNormScheduler::PriorityOf(const Unit& unit, SimTime now) const {
   // V = S/(C̄·T^p) · W^(p-1), i.e. normalized rate × stretch^(p-1).
   return static_priority_[static_cast<size_t>(unit.id)] *

@@ -40,6 +40,9 @@ class LpNormScheduler : public Scheduler {
   /// Recomputes the precomputed static factors from refreshed stats.
   void OnStatsUpdated() override;
   const char* name() const override { return name_.c_str(); }
+  /// V = (S/(C̄·T^p))·W^(p-1): the static factor is the line's growth
+  /// coefficient, so shed the lowest static factors first.
+  double ShedPriority(const Unit& unit) const override;
 
   double p() const { return p_; }
 

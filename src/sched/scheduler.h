@@ -70,6 +70,21 @@ class Scheduler {
 
   /// Human-readable policy name for reports.
   virtual const char* name() const = 0;
+
+  /// The policy's marginal-slowdown line slope for `unit`: the rate at which
+  /// the unit's priority grows per second of head wait for wait-varying
+  /// policies (LSF's W/T grows at 1/T, BSD's Φ·W at Φ), or the static
+  /// priority itself for wait-independent policies (SRPT/HR/HNR/Chain). The
+  /// QoS-aware load shedder (exec::ShedConfig) ranks leaf units by this
+  /// value once, before the run, and sheds the lowest-slope sources first —
+  /// the tuples whose loss costs the policy's own objective the least — so
+  /// shedding decisions stay consistent with the scheduling decisions.
+  /// Default: the HNR slope S/(C̄·T), the marginal slowdown reduction per
+  /// unit of work, also used by policies with no numeric priority of their
+  /// own (FCFS, RR, two-level RR, QoS-graph).
+  virtual double ShedPriority(const Unit& unit) const {
+    return unit.stats.normalized_rate;
+  }
 };
 
 }  // namespace aqsios::sched

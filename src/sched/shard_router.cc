@@ -1,10 +1,12 @@
 #include "sched/shard_router.h"
 
 #include <algorithm>
+#include <chrono>
 #include <thread>
 
 #include "common/check.h"
 #include "common/rng.h"
+#include "sched/admission.h"
 
 namespace aqsios::sched {
 
@@ -36,8 +38,10 @@ ShardAssignment AssignShards(const query::GlobalPlan& plan, int num_shards,
 
 ShardRouter::ShardRouter(const query::GlobalPlan& plan,
                          const ShardAssignment& assignment,
-                         size_t ring_capacity)
-    : routed_(static_cast<size_t>(assignment.num_shards), 0) {
+                         size_t ring_capacity, const StallPolicy& stall)
+    : stall_(stall),
+      routed_(static_cast<size_t>(assignment.num_shards), 0),
+      dropped_(static_cast<size_t>(assignment.num_shards), 0) {
   AQSIOS_CHECK_EQ(static_cast<size_t>(plan.num_queries()),
                   assignment.shard_of_query.size());
   shards_of_stream_.resize(static_cast<size_t>(plan.num_streams()));
@@ -68,15 +72,42 @@ ShardRouter::ShardRouter(const query::GlobalPlan& plan,
   }
 }
 
+bool ShardRouter::PushWithBackoff(SpscRing<stream::Arrival>& ring,
+                                  const stream::Arrival& arrival) {
+  // Phase 1: pure yields. The common full-ring case is a consumer a few
+  // entries behind; it drains within a handful of yields.
+  for (int spin = 0; spin < stall_.spin_yields; ++spin) {
+    if (ring.TryPush(arrival)) return true;
+    std::this_thread::yield();
+  }
+  // Phase 2: sleeps. Bounded CPU burn while a very slow consumer catches
+  // up; with drop_on_stall, a consumer still absent after stall_rounds
+  // sleeps is treated as wedged and the push abandoned (the caller counts
+  // the drop). Without it, sleep indefinitely — lossless, and still not the
+  // hot spin the original unbounded yield loop burned a core on.
+  int slept = 0;
+  while (true) {
+    if (ring.TryPush(arrival)) return true;
+    if (stall_.drop_on_stall && slept >= stall_.stall_rounds) return false;
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(stall_.sleep_micros));
+    ++slept;
+  }
+}
+
 void ShardRouter::Route(const stream::ArrivalTable& arrivals) {
   for (const stream::Arrival& arrival : arrivals.arrivals) {
     AQSIOS_DCHECK_LT(static_cast<size_t>(arrival.stream),
                      shards_of_stream_.size());
     for (int shard : shards_of_stream_[static_cast<size_t>(arrival.stream)]) {
+      if (admission_ != nullptr &&
+          !admission_->Admit(shard, arrival.stream, arrival.time)) {
+        continue;
+      }
       SpscRing<stream::Arrival>& ring = *rings_[static_cast<size_t>(shard)];
-      while (!ring.TryPush(arrival)) {
-        // Full ring = consumer backpressure; yield and retry, never drop.
-        std::this_thread::yield();
+      if (!PushWithBackoff(ring, arrival)) {
+        ++dropped_[static_cast<size_t>(shard)];
+        continue;
       }
       ++routed_[static_cast<size_t>(shard)];
     }

@@ -20,8 +20,12 @@
 //    pushes each arrival into the ring of every shard subscribed to its
 //    stream; one consumer per shard drains its ring into a shard-local
 //    sub-table. The hot path is lock-free and allocation-free (rings are
-//    pre-sized; the producer spins with yield on a full ring — backpressure,
-//    never loss).
+//    pre-sized). A full ring backpressures the producer with a bounded
+//    spin that escalates to short sleeps (StallPolicy) — lossless by
+//    default; with drop_on_stall the producer instead gives up on a shard
+//    whose consumer stays wedged past the stall budget and counts the
+//    arrival in dropped_counts(), so one dead consumer cannot livelock the
+//    whole router.
 //
 // Shard-local sub-tables preserve global Arrival::id values and relative
 // time order (the producer walks the table in order and SPSC rings are
@@ -56,9 +60,34 @@ struct ShardAssignment {
 ShardAssignment AssignShards(const query::GlobalPlan& plan, int num_shards,
                              uint64_t seed);
 
+// Forward declaration (sched/admission.h); the controller is attached to
+// the router but owned by the caller.
+class AdmissionController;
+
+/// Backpressure behaviour of Route() on a full ring. The default is
+/// lossless: a short pure-yield spin (cheap when the consumer is merely
+/// slow) escalating to sleeps (bounded CPU burn when it is *very* slow).
+/// With `drop_on_stall`, a ring still full after `stall_rounds` consecutive
+/// sleeps is declared wedged and the arrival is dropped for that shard —
+/// accounted in dropped_counts(), never silent — which is the overload
+/// escape hatch that keeps one stuck shard from livelocking the router.
+struct StallPolicy {
+  /// Pure std::this_thread::yield() retries before escalating to sleeps.
+  int spin_yields = 1024;
+  /// Sleep per escalated retry round (real microseconds).
+  int sleep_micros = 50;
+  /// Consecutive sleep rounds on one push before the consumer counts as
+  /// stalled (only meaningful with drop_on_stall). 200 × 50 µs ≈ 10 ms of
+  /// grace — geological time for a consumer that is merely busy.
+  int stall_rounds = 200;
+  /// Drop (and count) instead of waiting forever on a stalled ring.
+  bool drop_on_stall = false;
+};
+
 /// Routes a time-ordered arrival table to per-shard rings. Single producer
-/// (Route), one consumer per shard (Collect); all consumers must be running
-/// before Route fills a ring, or a full ring blocks the producer forever.
+/// (Route), one consumer per shard (Collect); unless drop_on_stall is set,
+/// all consumers must be running before Route fills a ring, or a full ring
+/// blocks the producer indefinitely (sleeping, not spinning).
 class ShardRouter {
  public:
   /// Ring capacity per shard (entries). 4096 Arrival slots ≈ 160 KiB per
@@ -67,16 +96,25 @@ class ShardRouter {
   static constexpr size_t kDefaultRingCapacity = size_t{1} << 12;
 
   ShardRouter(const query::GlobalPlan& plan, const ShardAssignment& assignment,
-              size_t ring_capacity = kDefaultRingCapacity);
+              size_t ring_capacity = kDefaultRingCapacity,
+              const StallPolicy& stall = {});
 
   ShardRouter(const ShardRouter&) = delete;
   ShardRouter& operator=(const ShardRouter&) = delete;
 
   int num_shards() const { return static_cast<int>(rings_.size()); }
 
+  /// Attaches per-class admission control (sched/admission.h): Route asks
+  /// the controller before every per-shard push and skips — without pushing
+  /// or counting in routed_counts() — arrivals the controller rejects. The
+  /// caller owns the controller; pass nullptr (default) to route everything.
+  void AttachAdmission(AdmissionController* admission) {
+    admission_ = admission;
+  }
+
   /// Producer: pushes every arrival into the ring of each shard subscribed
-  /// to its stream (spinning on full rings), then closes all rings. Call
-  /// exactly once, from one thread.
+  /// to its stream (backpressuring on full rings per StallPolicy), then
+  /// closes all rings. Call exactly once, from one thread.
   void Route(const stream::ArrivalTable& arrivals);
 
   /// Consumer for `shard`: appends drained arrivals to `out` in push order
@@ -86,11 +124,23 @@ class ShardRouter {
   /// Arrivals routed to each shard (valid after Route returns).
   const std::vector<int64_t>& routed_counts() const { return routed_; }
 
+  /// Arrivals dropped per shard because its ring stayed full past the stall
+  /// budget (only ever non-zero with StallPolicy::drop_on_stall).
+  const std::vector<int64_t>& dropped_counts() const { return dropped_; }
+
  private:
+  /// Pushes one arrival with the StallPolicy backoff; returns false when
+  /// the ring stalled and drop_on_stall elected to drop.
+  bool PushWithBackoff(SpscRing<stream::Arrival>& ring,
+                       const stream::Arrival& arrival);
+
   /// Subscribed shards per stream id: sorted, deduplicated.
   std::vector<std::vector<int>> shards_of_stream_;
   std::vector<std::unique_ptr<SpscRing<stream::Arrival>>> rings_;
+  StallPolicy stall_;
+  AdmissionController* admission_ = nullptr;
   std::vector<int64_t> routed_;
+  std::vector<int64_t> dropped_;
 };
 
 }  // namespace aqsios::sched

@@ -85,6 +85,40 @@ TEST(TimelineCollectorTest, HugeArrivalTimeClampsIntoLastBucket) {
   EXPECT_DOUBLE_EQ(series.back(), 7.0);
 }
 
+TEST(TimelineCollectorTest, ExactCapBoundaryAndInfinityClampIntoLastBucket) {
+  // kMaxBuckets * width is the first time past the dense range; it and
+  // anything beyond (including +inf, whose scaled index would be UB to
+  // cast) must clamp into the last bucket, never allocate past the cap.
+  TimelineCollector timeline(1.0);
+  const double cap_time = static_cast<double>(TimelineCollector::kMaxBuckets);
+  timeline.Record(cap_time, 1.0);
+  timeline.Record(cap_time - 1.0, 2.0);  // last in-range bucket
+  timeline.Record(std::numeric_limits<double>::infinity(), 3.0);
+  ASSERT_EQ(timeline.num_buckets(), TimelineCollector::kMaxBuckets);
+  // cap_time and infinity share the last bucket with the in-range record.
+  EXPECT_EQ(timeline.Bucket(TimelineCollector::kMaxBuckets - 1).count(), 3);
+}
+
+TEST(TimelineCollectorTest, MergeAfterResizeExtendsTheShorterSide) {
+  TimelineCollector a(1.0), b(1.0);
+  a.Record(0.5, 2.0);
+  b.Record(10.5, 4.0);  // b is 11 buckets, a is 1
+  a.Merge(b);
+  ASSERT_EQ(a.num_buckets(), 11);
+  EXPECT_EQ(a.Bucket(0).count(), 1);
+  EXPECT_EQ(a.Bucket(10).count(), 1);
+  EXPECT_DOUBLE_EQ(a.Bucket(10).Mean(), 4.0);
+  // The reverse direction (tall absorbs short) agrees bucket for bucket.
+  TimelineCollector c(1.0), d(1.0);
+  c.Record(10.5, 4.0);
+  d.Record(0.5, 2.0);
+  c.Merge(d);
+  ASSERT_EQ(c.num_buckets(), a.num_buckets());
+  for (int i = 0; i < a.num_buckets(); ++i) {
+    EXPECT_EQ(c.Bucket(i).count(), a.Bucket(i).count()) << "bucket " << i;
+  }
+}
+
 TEST(QosTimelineTest, CollectorIntegration) {
   QosCollector::Options options;
   options.timeline_bucket = 1.0;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -57,6 +58,89 @@ TEST(HistogramTest, ValuesBeyondRangeClampIntoLastBucketAsOverflow) {
   EXPECT_EQ(histogram.bucket_count(histogram.num_buckets() - 1), 1);
   // Min/Max still track the exact observed values.
   EXPECT_DOUBLE_EQ(histogram.Max(), 1e12);
+}
+
+TEST(HistogramTest, ExtremeValuesSaturateIntoLastBucket) {
+  // 1e300 and infinity push the scaled bucket offset far outside int range;
+  // the index must saturate into the last bucket (counted as overflow)
+  // instead of reaching the undefined double-to-int conversion.
+  Histogram histogram({.min_value = 1.0, .growth = 2.0, .max_buckets = 8});
+  histogram.Add(1e300);
+  histogram.Add(std::numeric_limits<double>::infinity());
+  EXPECT_EQ(histogram.count(), 2);
+  EXPECT_EQ(histogram.overflow(), 2);
+  EXPECT_EQ(histogram.bucket_count(7), 2);
+  EXPECT_DOUBLE_EQ(histogram.Max(),
+                   std::numeric_limits<double>::infinity());
+  // The saturated histogram still quantiles deterministically.
+  EXPECT_GE(histogram.Quantile(0.99), histogram.BucketLowerEdge(7));
+}
+
+TEST(HistogramTest, TightGrowthDoesNotOverflowTheIndex) {
+  // A growth barely above 1 makes 1/log2(growth) enormous (~7e6 here), so a
+  // large value scales to an offset way past INT_MAX. The pre-cast clamp
+  // must absorb it; without it the conversion itself is undefined.
+  Histogram histogram(
+      {.min_value = 1.0, .growth = 1.0000001, .max_buckets = 16});
+  histogram.Add(1e12);
+  histogram.Add(1e300);
+  EXPECT_EQ(histogram.count(), 2);
+  EXPECT_EQ(histogram.overflow(), 2);
+  EXPECT_EQ(histogram.bucket_count(15), 2);
+}
+
+TEST(HistogramTest, ExactLastBucketLowerEdgeIsNotOverflow) {
+  // growth=2, max_buckets=4: the last bucket 3 covers [4, 8). Its lower
+  // edge is in range (not overflow); its upper edge is the first value that
+  // clamps and counts as overflow.
+  Histogram histogram({.min_value = 1.0, .growth = 2.0, .max_buckets = 4});
+  histogram.Add(4.0);
+  EXPECT_EQ(histogram.overflow(), 0);
+  EXPECT_EQ(histogram.bucket_count(3), 1);
+  histogram.Add(8.0);
+  EXPECT_EQ(histogram.overflow(), 1);
+  EXPECT_EQ(histogram.bucket_count(3), 2);
+  histogram.Add(7.9999999);
+  EXPECT_EQ(histogram.overflow(), 1);
+  EXPECT_EQ(histogram.bucket_count(3), 3);
+}
+
+TEST(HistogramTest, MergeAfterLazyResizeExtendsTheShorterSide) {
+  // Buckets grow lazily with the largest recorded value, so merging a tall
+  // histogram into a short one must extend the short one's array first and
+  // leave every bucket count exact.
+  Histogram small({.min_value = 1.0, .growth = 2.0, .max_buckets = 12});
+  Histogram tall({.min_value = 1.0, .growth = 2.0, .max_buckets = 12});
+  small.Add(1.5);  // bucket 1 only
+  tall.Add(100.0); // bucket 7: [64, 128)
+  ASSERT_LT(small.num_buckets(), tall.num_buckets());
+  small.Merge(tall);
+  EXPECT_EQ(small.num_buckets(), tall.num_buckets());
+  EXPECT_EQ(small.count(), 2);
+  EXPECT_EQ(small.bucket_count(1), 1);
+  EXPECT_EQ(small.bucket_count(7), 1);
+  EXPECT_DOUBLE_EQ(small.Max(), 100.0);
+  // The reverse direction (short into tall) must agree.
+  Histogram tall2({.min_value = 1.0, .growth = 2.0, .max_buckets = 12});
+  Histogram small2({.min_value = 1.0, .growth = 2.0, .max_buckets = 12});
+  tall2.Add(100.0);
+  small2.Add(1.5);
+  tall2.Merge(small2);
+  EXPECT_EQ(tall2.count(), small.count());
+  EXPECT_DOUBLE_EQ(tall2.Quantile(0.5), small.Quantile(0.5));
+}
+
+TEST(HistogramTest, UnderflowStaysBelowTheGeometricRange) {
+  // Values below min_value — including denormals and exact zero — all land
+  // in bucket 0 and never perturb the geometric buckets.
+  Histogram histogram({.min_value = 1e-6});
+  histogram.Add(0.0);
+  histogram.Add(std::numeric_limits<double>::denorm_min());
+  histogram.Add(1e-300);
+  histogram.Add(-1e300);
+  EXPECT_EQ(histogram.bucket_count(0), 4);
+  EXPECT_EQ(histogram.overflow(), 0);
+  EXPECT_EQ(histogram.count(), 4);
 }
 
 TEST(HistogramTest, QuantileRelativeErrorBoundedByBucketWidth) {

@@ -1,6 +1,7 @@
 #include "sched/shard_router.h"
 
 #include <algorithm>
+#include <chrono>
 #include <set>
 #include <thread>
 #include <vector>
@@ -137,6 +138,76 @@ TEST(ShardRouterTest, TinyRingBackpressureLosesNothing) {
                 workload.arrivals.arrivals[static_cast<size_t>(i)].id);
     }
   }
+}
+
+TEST(ShardRouterTest, StalledConsumerCannotLivelockTheProducer) {
+  // Regression: a consumer that never drains used to pin Route() in an
+  // unbounded spin/yield loop — one dead shard livelocked the whole
+  // router. With drop_on_stall the producer must escalate to sleeps,
+  // declare the ring wedged after the stall budget, drop the overflow with
+  // accounting, and return. Consumers are started only *after* Route
+  // returns, so every ring is guaranteed full when the stall fires.
+  const query::Workload workload = SingleStream(24);
+  const ShardAssignment assignment =
+      AssignShards(workload.plan, 2, 0x5eedc0de);
+  StallPolicy stall;
+  stall.spin_yields = 4;
+  stall.sleep_micros = 1;
+  stall.stall_rounds = 3;
+  stall.drop_on_stall = true;
+  ShardRouter router(workload.plan, assignment, /*ring_capacity=*/4, stall);
+
+  router.Route(workload.arrivals);  // must return despite absent consumers
+
+  std::vector<stream::ArrivalTable> shards(2);
+  std::vector<std::thread> consumers;
+  for (int s = 0; s < 2; ++s) {
+    consumers.emplace_back([&router, &shards, s] {
+      router.Collect(s, &shards[static_cast<size_t>(s)]);
+    });
+  }
+  for (std::thread& t : consumers) t.join();
+
+  for (int s = 0; s < 2; ++s) {
+    const size_t i = static_cast<size_t>(s);
+    if (assignment.queries_of_shard[i].empty()) continue;
+    // Every arrival is accounted exactly once: routed (and later drained by
+    // the late consumer) or dropped against the stalled ring.
+    EXPECT_EQ(router.routed_counts()[i] + router.dropped_counts()[i],
+              workload.arrivals.size());
+    EXPECT_GT(router.dropped_counts()[i], 0)
+        << "a ring of capacity 4 with no consumer must stall";
+    EXPECT_EQ(static_cast<int64_t>(shards[i].size()),
+              router.routed_counts()[i]);
+    // The survivors preserve global ids and relative order.
+    int64_t prev = -1;
+    for (const stream::Arrival& arrival : shards[i].arrivals) {
+      EXPECT_GT(arrival.id, prev);
+      prev = arrival.id;
+    }
+  }
+}
+
+TEST(ShardRouterTest, LosslessDefaultStillDeliversEverythingUnderStall) {
+  // Without drop_on_stall the sleep escalation must stay lossless: a
+  // consumer that shows up very late still gets every arrival.
+  const query::Workload workload = SingleStream(8);
+  const ShardAssignment assignment =
+      AssignShards(workload.plan, 1, 0x5eedc0de);
+  StallPolicy stall;
+  stall.spin_yields = 1;
+  stall.sleep_micros = 1;
+  ShardRouter router(workload.plan, assignment, /*ring_capacity=*/4, stall);
+  stream::ArrivalTable out;
+  std::thread consumer([&router, &out] {
+    // Let the producer hit the sleep path before draining.
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    router.Collect(0, &out);
+  });
+  router.Route(workload.arrivals);
+  consumer.join();
+  EXPECT_EQ(out.size(), workload.arrivals.size());
+  EXPECT_EQ(router.dropped_counts()[0], 0);
 }
 
 TEST(ShardRouterTest, MultiStreamRoutesBySubscription) {
