@@ -21,6 +21,17 @@
 // report header are preserved byte-for-byte, so refreshing the scaling curve
 // never perturbs the committed micro-benchmark baselines.
 //
+// The suite also measures live-telemetry overhead (docs/telemetry.md): the
+// shards=4 cell re-runs with an aggressive 20 ms obs::TelemetrySampler
+// attached, and the pair is spliced as
+//   {"name": "telemetry/sampler_off/q=500/shards=4", ...}
+//   {"name": "telemetry/sampler_on/q=500/shards=4", ...,
+//    "telemetry_overhead_pct": P}
+// scripts/perf_compare.py gates telemetry_overhead_pct (default max 2%).
+// --metrics-out / --telemetry-jsonl / --metrics-port additionally attach a
+// sampler to the first repetition of every scaling cell for live viewing
+// (e.g. trace_tool top); min-wall timing still comes from the bare reps.
+//
 // In full mode the suite aborts unless shards=4 clears 2.5x the shards=1
 // throughput (the tentpole acceptance bar); --quick skips the bar and runs a
 // scaled-down cell as a CI/TSan smoke test.
@@ -38,6 +49,7 @@
 #include "common/flags.h"
 #include "core/dsms.h"
 #include "core/sharded_dsms.h"
+#include "obs/telemetry.h"
 #include "query/workload.h"
 #include "sched/policy.h"
 
@@ -61,11 +73,22 @@ struct ScalingCell {
   int64_t tuples_emitted = 0;
 };
 
+/// Which repetitions run with a live obs::TelemetrySampler attached.
+enum class SampleReps {
+  kNone,      // bare timing runs
+  kFirst,     // live viewing: rep 0 sampled, min-wall still from bare reps
+  kAll,       // overhead measurement: every rep pays the sampler
+};
+
 /// One (shards=K) measurement: `reps` timed runs, fastest kept. Repeated
 /// runs must agree exactly on the virtual results (the determinism contract
-/// of docs/scaling.md) or the bench aborts.
+/// of docs/scaling.md) or the bench aborts — and since sampled and bare
+/// repetitions are compared by the same CHECK, a sampler that perturbed
+/// results would abort the suite.
 ScalingCell RunCell(const query::Workload& workload,
-                    const sched::PolicyConfig& policy, int shards, int reps) {
+                    const sched::PolicyConfig& policy, int shards, int reps,
+                    const obs::TelemetryOptions& telemetry,
+                    SampleReps sample_reps) {
   core::SimulationOptions options;
   options.qos.track_per_class = false;
   options.shards = shards;
@@ -73,6 +96,15 @@ ScalingCell RunCell(const query::Workload& workload,
   ScalingCell cell;
   cell.shards = shards;
   for (int rep = 0; rep < reps; ++rep) {
+    const bool sampled = sample_reps == SampleReps::kAll ||
+                         (sample_reps == SampleReps::kFirst && rep == 0);
+    obs::TelemetryHub hub(shards);
+    obs::TelemetryMeta meta;
+    meta.job = "bench_scaling";
+    meta.policy = "bsd";
+    obs::TelemetrySampler sampler(&hub, telemetry, meta);
+    options.telemetry = sampled ? &hub : nullptr;
+    if (sampled) sampler.Start();
     const Clock::time_point start = Clock::now();
     int64_t tuples = 0;
     double slowdown = 0.0;
@@ -89,6 +121,7 @@ ScalingCell RunCell(const query::Workload& workload,
       tuples = result.qos.tuples_emitted;
       slowdown = result.qos.avg_slowdown;
     }
+    if (sampled) sampler.Stop();
     const double ms = ElapsedMs(start);
     if (rep == 0) {
       cell.wall_ms = ms;
@@ -124,12 +157,37 @@ std::string CellLine(const ScalingCell& cell, int queries, int64_t arrivals) {
   return os.str();
 }
 
+/// The sampler-overhead pair: the shards=4 cell bare vs with an aggressive
+/// sampler attached on every repetition.
+std::string OverheadLine(const ScalingCell& off, const ScalingCell& on,
+                         bool sampler_on, int queries, int64_t arrivals) {
+  std::ostringstream os;
+  os.precision(17);
+  const ScalingCell& cell = sampler_on ? on : off;
+  const double wall_ns = cell.wall_ms * 1e6;
+  os << "    {\"name\": \"telemetry/sampler_"
+     << (sampler_on ? "on" : "off") << "/q=" << queries
+     << "/shards=" << cell.shards << "\", \"ns_per_op\": "
+     << wall_ns / static_cast<double>(std::max<int64_t>(arrivals, 1))
+     << ", \"ops\": " << arrivals << ", \"wall_ms\": " << cell.wall_ms;
+  if (sampler_on) {
+    const double pct = off.wall_ms > 0.0
+                           ? (on.wall_ms - off.wall_ms) / off.wall_ms * 100.0
+                           : 0.0;
+    os << ", \"telemetry_overhead_pct\": " << pct;
+  }
+  os << ", \"tuples_emitted\": " << cell.tuples_emitted << "}";
+  return os.str();
+}
+
 bool IsBenchmarkLine(const std::string& line) {
   return line.rfind("    {\"name\": ", 0) == 0;
 }
 
+/// This bench owns both the scaling curve and the telemetry overhead pair.
 bool IsScalingLine(const std::string& line) {
-  return line.rfind("    {\"name\": \"scaling/", 0) == 0;
+  return line.rfind("    {\"name\": \"scaling/", 0) == 0 ||
+         line.rfind("    {\"name\": \"telemetry/", 0) == 0;
 }
 
 /// Splices the scaling cells into an aqsios-bench-perf/1 report: header and
@@ -204,6 +262,10 @@ int Main(int argc, char** argv) {
   int reps = 3;
   int threads = 0;
   bool quick = false;
+  std::string metrics_out;
+  std::string telemetry_jsonl;
+  double telemetry_period_ms = 100.0;
+  int metrics_port = -1;
   FlagSet flags("bench_scaling");
   flags.AddString("out", &out,
                   "perf report to splice the scaling cells into (empty = "
@@ -216,6 +278,16 @@ int Main(int argc, char** argv) {
                "shard worker threads (0 = one per hardware thread)");
   flags.AddBool("quick", &quick,
                 "CI smoke mode: scaled-down cell, 1 rep, no speedup bar");
+  flags.AddString("metrics-out", &metrics_out,
+                  "OpenMetrics exposition file, atomically replaced every "
+                  "sampler tick (empty = no live telemetry)");
+  flags.AddString("telemetry-jsonl", &telemetry_jsonl,
+                  "structured telemetry log (one JSON object per sample)");
+  flags.AddDouble("telemetry-period-ms", &telemetry_period_ms,
+                  "sampler period in wall milliseconds");
+  flags.AddInt("metrics-port", &metrics_port,
+               "serve /metrics on 127.0.0.1:<port> while sampling "
+               "(0 = ephemeral, -1 = off)");
   const Status status = flags.Parse(argc, argv);
   if (!status.ok()) {
     if (flags.help_requested()) return 0;
@@ -239,9 +311,19 @@ int Main(int argc, char** argv) {
   sched::PolicyConfig policy = sched::PolicyConfig::Of(sched::PolicyKind::kBsd);
   policy.use_kinetic_index = false;
 
+  obs::TelemetryOptions live;
+  live.metrics_out = metrics_out;
+  live.jsonl_out = telemetry_jsonl;
+  live.period_ms = telemetry_period_ms;
+  live.http_port = metrics_port;
+  const bool live_enabled =
+      !metrics_out.empty() || !telemetry_jsonl.empty() || metrics_port >= 0;
+  const SampleReps live_reps =
+      live_enabled ? SampleReps::kFirst : SampleReps::kNone;
+
   std::vector<ScalingCell> cells;
   for (const int shards : {1, 2, 4, 8}) {
-    ScalingCell cell = RunCell(workload, policy, shards, reps);
+    ScalingCell cell = RunCell(workload, policy, shards, reps, live, live_reps);
     cell.speedup_vs_shards1 =
         cells.empty() ? 1.0 : cells.front().wall_ms / cell.wall_ms;
     std::cout << "scaling/bsd/q=" << queries << "/shards=" << shards << ": "
@@ -262,10 +344,35 @@ int Main(int argc, char** argv) {
         << four.tuples_per_wall_sec << " tuples/wall-sec)";
   }
 
+  // Sampler-overhead pair: re-run the shards=4 cell bare and with an
+  // aggressive 20 ms sampler (5x the operational default) on every
+  // repetition (no file/HTTP outputs — the cost measured is snapshot reads +
+  // watchdog + exposition rendering, plus the wakeup preemption that
+  // dominates on core-constrained hosts). The perf gate
+  // (scripts/perf_compare.py) holds telemetry_overhead_pct <= 2%.
+  obs::TelemetryOptions aggressive;
+  aggressive.period_ms = 20.0;
+  const ScalingCell overhead_off =
+      RunCell(workload, policy, 4, reps, aggressive, SampleReps::kNone);
+  const ScalingCell overhead_on =
+      RunCell(workload, policy, 4, reps, aggressive, SampleReps::kAll);
+  const double overhead_pct =
+      overhead_off.wall_ms > 0.0
+          ? (overhead_on.wall_ms - overhead_off.wall_ms) /
+                overhead_off.wall_ms * 100.0
+          : 0.0;
+  std::cout << "telemetry/sampler q=" << queries << " shards=4: off "
+            << overhead_off.wall_ms << " ms, on " << overhead_on.wall_ms
+            << " ms, overhead " << overhead_pct << "%\n";
+
   std::vector<std::string> lines;
   for (const ScalingCell& cell : cells) {
     lines.push_back(CellLine(cell, queries, arrivals));
   }
+  lines.push_back(
+      OverheadLine(overhead_off, overhead_on, false, queries, arrivals));
+  lines.push_back(
+      OverheadLine(overhead_off, overhead_on, true, queries, arrivals));
   const double total_wall_ms = ElapsedMs(suite_start);
   if (!out.empty()) {
     if (!WriteReport(out, lines, queries, arrivals,

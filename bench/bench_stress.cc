@@ -19,11 +19,19 @@
 // trajectory) as
 //   {"name": "stress/<policy>/q=N/shed=F", "ns_per_op": wall_ns/offered,
 //    "ops": offered, "wall_ms": W, "shed_ratio": R, "p99_slowdown": P,
-//    "avg_slowdown": A, "peak_queued_tuples": Q, "tuples_emitted": E}
+//    "avg_slowdown": A, "peak_queued_tuples": Q, "tuples_emitted": E,
+//    "healthy": B, "health": "<verdict>"}
 // and "stress/<policy>/q=N/admission=shards4" lines carrying
 // "admission_dropped" instead of "shed_ratio". Existing stress/ lines are
 // replaced; every other benchmark line and the report header are preserved
-// byte-for-byte.
+// byte-for-byte. The health fields restate the telemetry watchdog's run-end
+// verdict (core::RestateHealth, docs/telemetry.md) from the deterministic
+// counters — overload cells are expected to read unhealthy.
+//
+// --metrics-out / --telemetry-jsonl / --metrics-port attach a live
+// telemetry sampler (obs::TelemetrySampler) to the first repetition of each
+// cell; later repetitions run bare, so the determinism CHECK doubles as
+// proof that sampling never perturbs results.
 //
 // In full mode the suite aborts unless, for every policy, (a) repeated runs
 // agree exactly (the determinism contract: the shed set is static and
@@ -47,7 +55,9 @@
 #include "common/check.h"
 #include "common/flags.h"
 #include "core/dsms.h"
+#include "core/report.h"
 #include "core/sharded_dsms.h"
+#include "obs/telemetry.h"
 #include "query/workload.h"
 #include "sched/policy.h"
 
@@ -84,7 +94,33 @@ struct StressCell {
   int64_t peak_queued_tuples = 0;
   int64_t tuples_emitted = 0;
   int64_t admission_dropped = 0;
+  /// Run-end health verdict, restated deterministically from the merged
+  /// counters (core::RestateHealth) — independent of sampler timing.
+  obs::HealthVerdict health;
 };
+
+/// Live-telemetry wiring shared by all cells (docs/telemetry.md). When any
+/// output is enabled the first repetition of each cell runs with a hub +
+/// sampler attached; later repetitions run bare, so the existing
+/// repetition-determinism CHECK doubles as a live proof that telemetry
+/// never perturbs results.
+struct TelemetrySetup {
+  obs::TelemetryOptions options;
+  bool enabled = false;
+};
+
+/// Runs `body` (one simulation) with a sampler attached to `hub`.
+template <typename Body>
+void WithSampler(const TelemetrySetup& telemetry, obs::TelemetryHub* hub,
+                 const std::string& policy_label, Body&& body) {
+  obs::TelemetryMeta meta;
+  meta.job = "bench_stress";
+  meta.policy = policy_label;
+  obs::TelemetrySampler sampler(hub, telemetry.options, meta);
+  sampler.Start();
+  body();
+  sampler.Stop();
+}
 
 /// The virtual-result signature repeated runs must reproduce exactly.
 struct CellSignature {
@@ -106,7 +142,8 @@ struct CellSignature {
 StressCell RunShedCell(const query::Workload& workload,
                        const sched::PolicyConfig& policy,
                        const std::string& label, double shed_fraction,
-                       int64_t queue_cap, int reps) {
+                       int64_t queue_cap, int reps,
+                       const TelemetrySetup& telemetry) {
   core::SimulationOptions options;
   options.qos.track_per_class = false;
   options.shed.enabled = true;
@@ -118,8 +155,19 @@ StressCell RunShedCell(const query::Workload& workload,
   cell.shed_fraction = shed_fraction;
   CellSignature first_sig;
   for (int rep = 0; rep < reps; ++rep) {
+    core::RunResult result;
+    const bool sampled = telemetry.enabled && rep == 0;
     const Clock::time_point start = Clock::now();
-    const core::RunResult result = core::Simulate(workload, policy, options);
+    if (sampled) {
+      obs::TelemetryHub hub(1);
+      options.telemetry = &hub;
+      WithSampler(telemetry, &hub, label, [&] {
+        result = core::Simulate(workload, policy, options);
+      });
+      options.telemetry = nullptr;
+    } else {
+      result = core::Simulate(workload, policy, options);
+    }
     const double ms = ElapsedMs(start);
     CellSignature sig;
     sig.tuples_emitted = result.qos.tuples_emitted;
@@ -134,6 +182,7 @@ StressCell RunShedCell(const query::Workload& workload,
       cell.avg_slowdown = result.qos.avg_slowdown;
       cell.peak_queued_tuples = result.counters.peak_queued_tuples;
       cell.tuples_emitted = result.qos.tuples_emitted;
+      cell.health = core::RestateHealth(result, telemetry.options.watchdog);
     } else {
       AQSIOS_CHECK(sig == first_sig)
           << "repeated stress runs diverged at " << label
@@ -148,7 +197,8 @@ StressCell RunShedCell(const query::Workload& workload,
 /// roughly half the offered per-window rate, shedding off.
 StressCell RunAdmissionCell(const query::Workload& workload,
                             const sched::PolicyConfig& policy,
-                            const std::string& label, int reps) {
+                            const std::string& label, int reps,
+                            const TelemetrySetup& telemetry) {
   core::SimulationOptions options;
   options.qos.track_per_class = false;
   options.shards = 4;
@@ -171,9 +221,19 @@ StressCell RunAdmissionCell(const query::Workload& workload,
   cell.admission = true;
   CellSignature first_sig;
   for (int rep = 0; rep < reps; ++rep) {
+    core::ShardedRunResult sharded;
+    const bool sampled = telemetry.enabled && rep == 0;
     const Clock::time_point start = Clock::now();
-    const core::ShardedRunResult sharded =
-        core::SimulateSharded(workload, policy, options);
+    if (sampled) {
+      obs::TelemetryHub hub(4);
+      options.telemetry = &hub;
+      WithSampler(telemetry, &hub, label, [&] {
+        sharded = core::SimulateSharded(workload, policy, options);
+      });
+      options.telemetry = nullptr;
+    } else {
+      sharded = core::SimulateSharded(workload, policy, options);
+    }
     const double ms = ElapsedMs(start);
     int64_t dropped = 0;
     int64_t routed = 0;
@@ -194,6 +254,9 @@ StressCell RunAdmissionCell(const query::Workload& workload,
       cell.peak_queued_tuples = sharded.result.counters.peak_queued_tuples;
       cell.tuples_emitted = sharded.result.qos.tuples_emitted;
       cell.admission_dropped = dropped;
+      cell.health = core::RestateHealth(sharded.result,
+                                        telemetry.options.watchdog, routed,
+                                        dropped);
     } else {
       AQSIOS_CHECK(sig == first_sig)
           << "repeated admission runs diverged at " << label;
@@ -230,7 +293,9 @@ std::string CellLine(const StressCell& cell, int queries) {
   os << ", \"p99_slowdown\": " << cell.p99_slowdown
      << ", \"avg_slowdown\": " << cell.avg_slowdown
      << ", \"peak_queued_tuples\": " << cell.peak_queued_tuples
-     << ", \"tuples_emitted\": " << cell.tuples_emitted << "}";
+     << ", \"tuples_emitted\": " << cell.tuples_emitted
+     << ", \"healthy\": " << (cell.health.healthy ? "true" : "false")
+     << ", \"health\": \"" << cell.health.ToString() << "\"}";
   return os.str();
 }
 
@@ -315,6 +380,10 @@ int Main(int argc, char** argv) {
   double utilization = 3.0;
   int64_t queue_cap = 4096;
   bool quick = false;
+  std::string metrics_out;
+  std::string telemetry_jsonl;
+  double telemetry_period_ms = 100.0;
+  int metrics_port = -1;
   FlagSet flags("bench_stress");
   flags.AddString("out", &out,
                   "perf report to splice the stress cells into (empty = "
@@ -329,6 +398,16 @@ int Main(int argc, char** argv) {
                "shedder queue cap (total queued tuples) for the shed cells");
   flags.AddBool("quick", &quick,
                 "CI smoke mode: scaled-down cell, 1 rep, no frontier bar");
+  flags.AddString("metrics-out", &metrics_out,
+                  "OpenMetrics exposition file, atomically replaced every "
+                  "sampler tick (empty = no live telemetry)");
+  flags.AddString("telemetry-jsonl", &telemetry_jsonl,
+                  "structured telemetry log (one JSON object per sample)");
+  flags.AddDouble("telemetry-period-ms", &telemetry_period_ms,
+                  "sampler period in wall milliseconds");
+  flags.AddInt("metrics-port", &metrics_port,
+               "serve /metrics on 127.0.0.1:<port> while sampling "
+               "(0 = ephemeral, -1 = off)");
   const Status status = flags.Parse(argc, argv);
   if (!status.ok()) {
     if (flags.help_requested()) return 0;
@@ -343,6 +422,18 @@ int Main(int argc, char** argv) {
   }
   AQSIOS_CHECK(utilization > 1.0)
       << "a stress harness below saturation measures nothing";
+
+  TelemetrySetup telemetry;
+  telemetry.options.metrics_out = metrics_out;
+  telemetry.options.jsonl_out = telemetry_jsonl;
+  telemetry.options.period_ms = telemetry_period_ms;
+  telemetry.options.http_port = metrics_port;
+  // The run-end verdict keys off the same cap the shedder enforces; the
+  // defaults (20% shed / rejected-arrival fractions) mark the overload
+  // cells unhealthy, which is the point of a stress suite.
+  telemetry.options.watchdog.queue_cap = queue_cap;
+  telemetry.enabled =
+      !metrics_out.empty() || !telemetry_jsonl.empty() || metrics_port >= 0;
 
   const Clock::time_point suite_start = Clock::now();
 
@@ -364,12 +455,12 @@ int Main(int argc, char** argv) {
     StressCell full_shed;
     for (const double fraction : shed_fractions) {
       cells.push_back(RunShedCell(workload, policy, under_test.label, fraction,
-                                  queue_cap, reps));
+                                  queue_cap, reps, telemetry));
       const StressCell& cell = cells.back();
       std::cout << CellName(cell, queries) << ": shed_ratio "
                 << cell.shed_ratio << ", p99 slowdown " << cell.p99_slowdown
-                << ", peak queue " << cell.peak_queued_tuples << ", "
-                << cell.wall_ms << " ms\n";
+                << ", peak queue " << cell.peak_queued_tuples << ", health "
+                << cell.health.ToString() << ", " << cell.wall_ms << " ms\n";
       if (fraction == 0.0) baseline = cell;
       if (fraction == 1.0) full_shed = cell;
     }
@@ -390,12 +481,13 @@ int Main(int argc, char** argv) {
     }
 
     cells.push_back(
-        RunAdmissionCell(workload, policy, under_test.label, reps));
+        RunAdmissionCell(workload, policy, under_test.label, reps, telemetry));
     const StressCell& admission = cells.back();
     std::cout << CellName(admission, queries) << ": dropped "
               << admission.admission_dropped << "/" << admission.offered
-              << ", p99 slowdown " << admission.p99_slowdown << ", "
-              << admission.wall_ms << " ms\n\n";
+              << ", p99 slowdown " << admission.p99_slowdown << ", health "
+              << admission.health.ToString() << ", " << admission.wall_ms
+              << " ms\n\n";
     AQSIOS_CHECK(admission.admission_dropped > 0)
         << under_test.label
         << ": a budget at half the offered rate must drop arrivals";

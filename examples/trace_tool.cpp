@@ -16,9 +16,22 @@
 //       Replays the trace through the §8 testbed under the given policy with
 //       event tracing on and writes a Chrome trace-event JSON; open it in
 //       Perfetto (https://ui.perfetto.dev) or chrome://tracing.
+//   top      --in=metrics.prom --interval-ms=500 --iterations=0
+//       Tails an OpenMetrics exposition written by a running bench with
+//       --metrics-out (docs/telemetry.md) and renders a per-shard live
+//       table, top(1)-style. --iterations=0 keeps refreshing until every
+//       shard reports done; --iterations=1 prints one table and exits
+//       (useful in CI).
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <map>
+#include <sstream>
+#include <thread>
 
 #include "common/flags.h"
 #include "core/dsms.h"
@@ -85,7 +98,7 @@ int Inspect(const std::string& in) {
     }
     std::cout << "inter-arrival p50:  " << histogram.Quantile(0.5) * 1e3
               << " ms\n";
-    std::cout << "inter-arrival p90:  " << histogram.Quantile(0.9) * 1e3
+    std::cout << "inter-arrival p95:  " << histogram.Quantile(0.95) * 1e3
               << " ms\n";
     std::cout << "inter-arrival p99:  " << histogram.Quantile(0.99) * 1e3
               << " ms\n";
@@ -125,6 +138,116 @@ int Chrome(const std::string& in, const std::string& out, int queries,
   return 0;
 }
 
+/// One parsed OpenMetrics exposition: run-wide scalars plus per-shard
+/// series, keyed by sample name (counters keep their `_total` suffix).
+struct ParsedMetrics {
+  std::map<std::string, double> scalars;
+  std::map<std::string, std::map<int, double>> by_shard;
+  std::string job;
+  std::string policy;
+};
+
+bool ParseExposition(const std::string& path, ParsedMetrics* out) {
+  std::ifstream file(path);
+  if (!file.is_open()) return false;
+  bool saw_eof = false;
+  std::string line;
+  while (std::getline(file, line)) {
+    if (line.rfind("# EOF", 0) == 0) {
+      saw_eof = true;
+      continue;
+    }
+    if (line.empty() || line[0] == '#') continue;
+    // `name{labels} value` or `name value`.
+    const size_t brace = line.find('{');
+    const size_t space = line.rfind(' ');
+    if (space == std::string::npos) continue;
+    const double value = std::strtod(line.c_str() + space + 1, nullptr);
+    if (brace != std::string::npos && brace < space) {
+      const std::string name = line.substr(0, brace);
+      const size_t close = line.find('}', brace);
+      if (close == std::string::npos) continue;
+      const std::string labels = line.substr(brace + 1, close - brace - 1);
+      const size_t shard_pos = labels.find("shard=\"");
+      if (shard_pos != std::string::npos) {
+        const int shard =
+            std::atoi(labels.c_str() + shard_pos + sizeof("shard=\"") - 1);
+        out->by_shard[name][shard] = value;
+      } else if (name == "aqsios_build") {
+        auto label_value = [&labels](const char* key) -> std::string {
+          const std::string needle = std::string(key) + "=\"";
+          const size_t at = labels.find(needle);
+          if (at == std::string::npos) return "";
+          const size_t from = at + needle.size();
+          return labels.substr(from, labels.find('"', from) - from);
+        };
+        out->job = label_value("job");
+        out->policy = label_value("policy");
+      } else {
+        out->scalars[name] = value;
+      }
+    } else {
+      out->scalars[line.substr(0, space)] = value;
+    }
+  }
+  // A torn/partial file (mid-rename reads cannot happen, but a missing or
+  // truncated write can) is signalled by the absent terminator.
+  return saw_eof;
+}
+
+int Top(const std::string& in, double interval_ms, int64_t iterations) {
+  if (in.empty()) {
+    std::cerr << "error: top requires --in=<metrics.prom>\n";
+    return 2;
+  }
+  int64_t shown = 0;
+  int misses = 0;
+  while (true) {
+    ParsedMetrics metrics;
+    if (!ParseExposition(in, &metrics)) {
+      if (++misses > 40) {
+        std::cerr << "error: no readable exposition at " << in << "\n";
+        return 1;
+      }
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+          std::max(interval_ms, 25.0)));
+      continue;
+    }
+    misses = 0;
+    if (shown > 0) std::cout << "\033[2J\033[H";  // clear + home when live
+    const double ticks = metrics.scalars["aqsios_sampler_ticks_total"];
+    const double wall = metrics.scalars["aqsios_sampler_wall_seconds"];
+    std::printf("aqsios top — job %s  policy %s  tick %.0f  wall %.1fs\n",
+                metrics.job.c_str(), metrics.policy.c_str(), ticks, wall);
+    std::printf("%5s %12s %12s %9s %11s %11s %9s %9s %10s %5s\n", "shard",
+                "vclock(s)", "busy(s)", "queued", "executed", "emitted",
+                "shed", "rejected", "slowdown", "done");
+    const auto& vclock = metrics.by_shard["aqsios_shard_virtual_seconds"];
+    bool all_done = !vclock.empty();
+    for (const auto& [shard, virtual_sec] : vclock) {
+      auto of = [&metrics, shard = shard](const char* name) {
+        const auto& series = metrics.by_shard[name];
+        const auto it = series.find(shard);
+        return it != series.end() ? it->second : 0.0;
+      };
+      const double done = of("aqsios_shard_done");
+      all_done = all_done && done > 0.0;
+      std::printf(
+          "%5d %12.3f %12.3f %9.0f %11.0f %11.0f %9.0f %9.0f %10.2f %5s\n",
+          shard, virtual_sec, of("aqsios_shard_busy_seconds"),
+          of("aqsios_shard_queued_tuples"), of("aqsios_tuples_executed_total"),
+          of("aqsios_tuples_emitted_total"), of("aqsios_tuples_shed_total"),
+          of("aqsios_admission_rejected_total"),
+          of("aqsios_shard_slowdown_mean"), done > 0.0 ? "yes" : "no");
+    }
+    ++shown;
+    if (iterations > 0 && shown >= iterations) return 0;
+    if (iterations == 0 && all_done) return 0;
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(interval_ms));
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -138,6 +261,8 @@ int main(int argc, char** argv) {
   int64_t seed = 42;
   int64_t queries = 30;
   std::string policy = "hnr";
+  double interval_ms = 500.0;
+  int64_t iterations = 0;
   flags.AddString("in", &in, "input trace file");
   flags.AddString("out", &out, "output trace file");
   flags.AddInt("count", &count, "arrivals to generate");
@@ -148,6 +273,10 @@ int main(int argc, char** argv) {
   flags.AddInt("queries", &queries, "queries for the chrome subcommand");
   flags.AddString("policy", &policy,
                   "scheduling policy for the chrome subcommand");
+  flags.AddDouble("interval-ms", &interval_ms,
+                  "refresh period for the top subcommand");
+  flags.AddInt("iterations", &iterations,
+               "top refreshes before exiting (0 = until all shards done)");
   const Status status = flags.Parse(argc, argv);
   if (!status.ok()) {
     if (flags.help_requested()) return 0;
@@ -165,6 +294,7 @@ int main(int argc, char** argv) {
   if (command == "chrome") {
     return Chrome(in, out, static_cast<int>(queries), policy);
   }
+  if (command == "top") return Top(in, interval_ms, iterations);
   if (command == "demo") {
     std::cout << "== trace_tool demo: generate then inspect ==\n";
     const int rc = Generate(out, 50000, on_rate, mean_on, mean_off, seed);
@@ -174,6 +304,6 @@ int main(int argc, char** argv) {
     return rc2;
   }
   std::cerr << "unknown command: " << command
-            << " (expected generate | convert | inspect | chrome)\n";
+            << " (expected generate | convert | inspect | chrome | top)\n";
   return 2;
 }

@@ -1,0 +1,169 @@
+#!/usr/bin/env python3
+"""Lint an OpenMetrics text exposition (the file bench binaries write via
+--metrics-out and trace_tool top tails).
+
+A pure-python subset of the OpenMetrics 1.0 text-format grammar — enough to
+catch every way the repo's renderer (src/obs/openmetrics.cc) could drift:
+
+  * metric and label names match the spec ABNF
+    ([a-zA-Z_:][a-zA-Z0-9_:]* / [a-zA-Z_][a-zA-Z0-9_]*);
+  * every sample line parses as name[{labels}] value with a finite decimal
+    value and correctly quoted/escaped label values;
+  * every sampled family is declared by exactly one preceding # TYPE line,
+    with an allowed type (counter/gauge/...), and at most one # HELP;
+  * counter samples carry the _total suffix, and no gauge sample does;
+  * the last line is the mandatory # EOF terminator and nothing follows it.
+
+Exit status 0 = clean; 1 = violations (each printed with its line number);
+2 = usage/IO error. Standard library only.
+
+Usage:
+    scripts/check_openmetrics.py metrics.prom [more.prom ...]
+"""
+
+import re
+import sys
+
+METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+# One label: name="value" with \" \\ \n as the only escapes.
+LABEL = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\\n]|\\["\\n])*)"')
+TYPES = {"counter", "gauge", "histogram", "summary", "info", "stateset",
+         "unknown"}
+# Sample suffixes each type may (or must) use on top of the family name.
+COUNTER_SUFFIXES = ("_total", "_created")
+
+
+def parse_value(text):
+    """True when `text` is a valid OpenMetrics sample value."""
+    if text in ("+Inf", "-Inf", "NaN"):
+        return True
+    try:
+        float(text)
+    except ValueError:
+        return False
+    return True
+
+
+def check_file(path):
+    """Returns a list of "line N: message" violation strings."""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            text = handle.read()
+    except OSError as error:
+        return [str(error)]
+
+    errors = []
+    types = {}     # family name -> declared type
+    helps = set()  # families with a # HELP seen
+    sampled = set()
+    saw_eof = False
+
+    lines = text.split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()  # the trailing newline
+    else:
+        errors.append("file must end with a newline")
+
+    for number, line in enumerate(lines, start=1):
+        if saw_eof:
+            errors.append(f"line {number}: content after # EOF")
+            break
+        if line == "# EOF":
+            saw_eof = True
+            continue
+        if line.startswith("# TYPE "):
+            parts = line[len("# TYPE "):].split(" ")
+            if len(parts) != 2:
+                errors.append(f"line {number}: malformed # TYPE line")
+                continue
+            family, kind = parts
+            if not METRIC_NAME.match(family):
+                errors.append(f"line {number}: bad metric name {family!r}")
+            if kind not in TYPES:
+                errors.append(f"line {number}: unknown type {kind!r}")
+            if family in types:
+                errors.append(
+                    f"line {number}: duplicate # TYPE for {family}")
+            if family in sampled:
+                errors.append(
+                    f"line {number}: # TYPE for {family} after its samples")
+            types[family] = kind
+            continue
+        if line.startswith("# HELP "):
+            parts = line[len("# HELP "):].split(" ", 1)
+            family = parts[0]
+            if not METRIC_NAME.match(family):
+                errors.append(f"line {number}: bad metric name {family!r}")
+            if family in helps:
+                errors.append(
+                    f"line {number}: duplicate # HELP for {family}")
+            helps.add(family)
+            continue
+        if line.startswith("#"):
+            errors.append(f"line {number}: unrecognized comment {line!r}")
+            continue
+
+        # Sample line: name[{labels}] value [timestamp].
+        match = re.match(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (.+)$",
+                         line)
+        if not match:
+            errors.append(f"line {number}: unparsable sample {line!r}")
+            continue
+        name, labels, rest = match.groups()
+        value = rest.split(" ")[0]
+        if not parse_value(value):
+            errors.append(f"line {number}: bad sample value {value!r}")
+        if labels:
+            body = labels[1:-1]
+            consumed = ",".join(
+                f'{label}="{raw}"' for label, raw in LABEL.findall(body))
+            if consumed != body:
+                errors.append(f"line {number}: malformed labels {labels!r}")
+
+        # Resolve the sample back to its declared family.
+        family = None
+        if name in types:
+            family = name
+        else:
+            for suffix in COUNTER_SUFFIXES:
+                if name.endswith(suffix) and name[:-len(suffix)] in types:
+                    family = name[:-len(suffix)]
+                    break
+        if family is None:
+            errors.append(
+                f"line {number}: sample {name!r} has no preceding # TYPE")
+            continue
+        sampled.add(family)
+        kind = types[family]
+        if kind == "counter" and name == family:
+            errors.append(
+                f"line {number}: counter sample {name!r} missing _total")
+        if kind != "counter" and name != family:
+            errors.append(
+                f"line {number}: {kind} sample {name!r} uses a counter "
+                "suffix")
+
+    if not saw_eof:
+        errors.append("missing # EOF terminator")
+    return errors
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    failed = False
+    for path in sys.argv[1:]:
+        errors = check_file(path)
+        if errors:
+            failed = True
+            for error in errors:
+                print(f"{path}: {error}")
+        else:
+            print(f"{path}: OK")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,6 +25,12 @@ peak_queued_tuples, tuples_emitted and admission_dropped
 (stress/<policy>/... cells, see docs/overload.md). Columns are empty for
 cells without the field.
 
+Telemetry JSONL logs (schema aqsios-telemetry/1, written by the bench
+binaries' --telemetry-jsonl flag, see docs/telemetry.md) are also detected
+automatically and flattened to one CSV row per sample x shard, with the
+sampler tick, wall clock, per-shard snapshot fields, and any watchdog
+events fired that tick (kind names joined with "|").
+
 For sweep reports the metric is looked up in the cell's "qos" object first (avg/max/l2
 slowdown, the histogram quantiles p50/p95/p99/p999_slowdown, ...), then in
 the cell itself (timing fields such as wall_ms / max_rss_kb), then in its
@@ -90,6 +96,31 @@ def extract_cells(text, figure=None):
     return data
 
 
+TELEMETRY_SHARD_FIELDS = [
+    "virtual_sec", "busy_sec", "queued_tuples", "tuples_executed",
+    "tuples_emitted", "tuples_filtered", "tuples_shed", "tuples_offered",
+    "scheduling_points", "routed", "admission_rejected", "slowdown_mean",
+    "slowdown_max", "done"]
+
+
+def telemetry_to_csv(lines):
+    """Flattens an aqsios-telemetry/1 JSONL log: one row per sample x shard,
+    watchdog events of the tick joined into the trailing column."""
+    print(",".join(["sample", "wall_ms", "final", "shard"]
+                   + TELEMETRY_SHARD_FIELDS + ["events"]))
+    for line in lines:
+        record = json.loads(line)
+        events = "|".join(e["kind"] for e in record.get("events", []))
+        for shard in record["shards"]:
+            row = [str(record["sample"]), repr(record["wall_ms"]),
+                   str(record["final"]), str(shard["shard"])]
+            for field in TELEMETRY_SHARD_FIELDS:
+                row.append(str(shard[field]))
+            row.append(events)
+            print(",".join(row))
+    return 0
+
+
 def cell_metric(cell, metric):
     """Looks up `metric` in qos, then the cell itself, then counters,
     decisions and attribution. Dotted metrics ("counters.queue_length.p99")
@@ -141,20 +172,26 @@ def main():
 
     text = (sys.stdin.read() if args.input == "-"
             else open(args.input, encoding="utf-8").read())
+    lines = [line for line in text.splitlines() if line.strip()]
+    if lines and lines[0].startswith('{"schema":"aqsios-telemetry/'):
+        return telemetry_to_csv(lines[1:])
     cells = extract_cells(text, args.figure)
     if cells and isinstance(cells[0], dict) and "ns_per_op" in cells[0]:
         # aqsios-bench-perf/1 micro-benchmark rows: flat table, no pivot.
         optional = ["tuples_per_vsec", "tuples_per_wall_sec",
                     "speedup_vs_shards1", "load_imbalance", "shed_ratio",
                     "p99_slowdown", "avg_slowdown", "peak_queued_tuples",
-                    "tuples_emitted", "admission_dropped"]
+                    "tuples_emitted", "admission_dropped",
+                    "telemetry_overhead_pct", "healthy", "health"]
         print(",".join(["name", "ns_per_op", "ops", "wall_ms"] + optional))
         for bench in cells:
             row = [bench["name"], repr(bench["ns_per_op"]),
                    str(bench["ops"]), repr(bench["wall_ms"])]
             for field in optional:
                 value = bench.get(field)
-                row.append("" if value is None else repr(value))
+                row.append("" if value is None
+                           else str(value) if isinstance(value, (str, bool))
+                           else repr(value))
             print(",".join(row))
         return 0
     policies, grid = pivot(cells, args.metric)

@@ -41,11 +41,13 @@ import json
 import sys
 
 
-def load_entries(path):
+def load_entries(path, overheads=None):
     """Returns (schema, {key: value}) for one report file.
 
     Keys are benchmark names (perf schema) or "figure/util/policy" strings
     (sweep schema); values are the compared metric (ns_per_op / wall_ms).
+    When `overheads` is a dict, cells carrying telemetry_overhead_pct (the
+    bench_scaling sampler-overhead pair) record it there by name.
     """
     with open(path, encoding="utf-8") as handle:
         report = json.load(handle)
@@ -65,6 +67,9 @@ def load_entries(path):
                 p99 = bench.get("p99_slowdown")
                 if p99 is not None:
                     entries[bench["name"] + "/p99"] = float(p99)
+            pct = bench.get("telemetry_overhead_pct")
+            if pct is not None and overheads is not None:
+                overheads[bench["name"]] = float(pct)
     elif schema.startswith("aqsios-bench-sweep/"):
         for figure in report["figures"]:
             for cell in figure["cells"]:
@@ -87,10 +92,15 @@ def main():
                              "(default: 0.15 = +-15%%)")
     parser.add_argument("--warn-only", action="store_true",
                         help="always exit 0; report regressions as warnings")
+    parser.add_argument("--max-telemetry-overhead", type=float, default=2.0,
+                        help="absolute ceiling (in percent) for "
+                             "telemetry_overhead_pct cells in the candidate "
+                             "report (default: 2.0)")
     args = parser.parse_args()
 
     old_schema, old_entries = load_entries(args.old)
-    new_schema, new_entries = load_entries(args.new)
+    new_overheads = {}
+    new_schema, new_entries = load_entries(args.new, overheads=new_overheads)
     if old_schema != new_schema:
         print(f"error: schema mismatch: {old_schema} vs {new_schema}",
               file=sys.stderr)
@@ -130,6 +140,18 @@ def main():
         print(f"{key}: added (only in {args.new})")
         print(f"{label}: extra cell not in baseline {args.old}: {key}",
               file=sys.stderr)
+
+    # Sampler overhead is gated absolutely, not against the baseline: the
+    # live-telemetry contract is "attaching the sampler costs <= the bar",
+    # whatever the machine.
+    for key, pct in sorted(new_overheads.items()):
+        if pct > args.max_telemetry_overhead:
+            verdict = "REGRESSION"
+            regressions.append(key + "/overhead")
+        else:
+            verdict = "ok"
+        print(f"{key}: telemetry overhead {pct:.2f}% "
+              f"(max {args.max_telemetry_overhead:.2f}%)  {verdict}")
 
     print(f"\n{len(shared)} compared, {len(improvements)} improved, "
           f"{len(regressions)} regressed, {len(only_old)} missing, "

@@ -46,8 +46,13 @@ RunResult SimulatePlan(const query::GlobalPlan& plan,
            "SimulateShardedPlan with per-shard tracers (obs/shard_trace.h)";
     return SimulateShardedPlan(plan, arrivals, policy, options).result;
   }
-  const exec::EngineConfig engine_config =
+  exec::EngineConfig engine_config =
       MakeEngineConfig(options, policy, plan.MinOperatorCost());
+  if (options.telemetry != nullptr) {
+    AQSIOS_CHECK_GE(options.telemetry->num_shards(), 1);
+    engine_config.telemetry = options.telemetry->cell(0);
+    options.telemetry->SetShardQueries(0, plan.num_queries());
+  }
 
   std::unique_ptr<sched::Scheduler> scheduler = sched::CreateScheduler(policy);
   metrics::QosCollector collector(options.qos);

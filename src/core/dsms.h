@@ -36,6 +36,14 @@ struct SimulationOptions {
   /// Optional event tracer forwarded to the engine (observation-only; the
   /// caller owns the tracer and exports it after the run).
   obs::EventTracer* tracer = nullptr;
+  /// Optional live-telemetry hub (obs/telemetry.h, docs/telemetry.md). Must
+  /// have at least `shards` cells; each shard engine publishes into its own
+  /// cell and the router pass publishes routed/admission counts, so a
+  /// TelemetrySampler thread can watch the run live. Observation-only:
+  /// attaching a hub never changes any result (pinned by
+  /// tests/obs_telemetry_test.cc). The caller owns the hub; it must outlive
+  /// the run.
+  obs::TelemetryHub* telemetry = nullptr;
   /// Per-tuple stage-attribution sample period (see obs/attribution.h);
   /// 0 disables attribution.
   int64_t attribution_sample_every = 0;

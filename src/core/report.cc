@@ -193,6 +193,52 @@ std::string RunResultToJson(const RunResult& result) {
   return json.str();
 }
 
+obs::HealthVerdict RestateHealth(const RunResult& result,
+                                 const obs::WatchdogConfig& config,
+                                 int64_t arrivals_routed,
+                                 int64_t admission_rejected) {
+  obs::RunEndStats stats;
+  stats.peak_queued_tuples = result.counters.peak_queued_tuples;
+  stats.tuples_offered = result.counters.tuples_offered;
+  stats.tuples_shed = result.counters.tuples_shed;
+  stats.arrivals_routed = arrivals_routed;
+  stats.admission_rejected = admission_rejected;
+  stats.p95_slowdown = result.qos.p95_slowdown;
+  stats.p99_slowdown = result.qos.p99_slowdown;
+  return obs::FinalizeHealth(config, stats);
+}
+
+void WriteHealthJson(JsonWriter& json, const obs::HealthVerdict& verdict) {
+  json.BeginObject();
+  json.Key("healthy");
+  json.Bool(verdict.healthy);
+  json.Key("verdict");
+  json.String(verdict.ToString());
+  json.Key("queue_divergence");
+  json.Bool(verdict.queue_divergence);
+  json.Key("shed_spike");
+  json.Bool(verdict.shed_spike);
+  json.Key("admission_spike");
+  json.Bool(verdict.admission_spike);
+  json.Key("slo_breach");
+  json.Bool(verdict.slo_breach);
+  json.EndObject();
+}
+
+std::string RunResultToJsonWithHealth(const RunResult& result,
+                                      const obs::HealthVerdict& verdict) {
+  // Re-render the standard object and splice the health block before the
+  // closing brace: the base report stays byte-identical up to that point.
+  std::string base = RunResultToJson(result);
+  JsonWriter health;
+  WriteHealthJson(health, verdict);
+  base.pop_back();  // trailing '}'
+  base += ",\"health\":";
+  base += health.str();
+  base += "}";
+  return base;
+}
+
 void WriteSweepCells(JsonWriter& json, const std::vector<SweepCell>& cells) {
   json.BeginArray();
   for (const SweepCell& cell : cells) {

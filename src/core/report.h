@@ -13,6 +13,7 @@
 
 #include "common/json.h"
 #include "core/experiment.h"
+#include "obs/telemetry.h"
 
 namespace aqsios::core {
 
@@ -23,6 +24,27 @@ using JsonWriter = ::aqsios::JsonWriter;
 
 /// Serializes one run: policy, QoS metrics, and execution counters.
 std::string RunResultToJson(const RunResult& result);
+
+/// Restates the health watchdog's run-end verdict deterministically from a
+/// run's merged counters (obs::FinalizeHealth over peak queue, shed ratio,
+/// admission drops, and the p9x slowdown). Unlike the live watchdog events
+/// — which are wall-clock-timed and quarantined from the result surface —
+/// this verdict is a pure function of the deterministic result, so tests
+/// can pin it. `arrivals_routed`/`admission_rejected` come from the sharded
+/// router pass (0/0 for single-shard runs, which have no admission lane).
+obs::HealthVerdict RestateHealth(const RunResult& result,
+                                 const obs::WatchdogConfig& config,
+                                 int64_t arrivals_routed = 0,
+                                 int64_t admission_rejected = 0);
+
+/// Writes a HealthVerdict as a JSON object into an in-progress document.
+void WriteHealthJson(JsonWriter& json, const obs::HealthVerdict& verdict);
+
+/// RunResultToJson plus a trailing "health" block carrying the verdict.
+/// Separate entry point — plain RunResultToJson stays byte-identical to
+/// pre-telemetry reports whether or not a sampler was attached.
+std::string RunResultToJsonWithHealth(const RunResult& result,
+                                      const obs::HealthVerdict& verdict);
 
 /// Writes a sweep grid into an in-progress `json` document: an array of
 /// {utilization, policy, wall_ms, max_rss_kb, qos...} cells. Exposed so

@@ -41,11 +41,17 @@ ShardedRunResult SimulateShardedPlan(
       sched::AssignShards(plan, num_shards, options.shard_seed);
   sharded.query_id_maps.resize(static_cast<size_t>(num_shards));
   sharded.shard_stats.resize(static_cast<size_t>(num_shards));
+  obs::TelemetryHub* hub = options.telemetry;
+  if (hub != nullptr) {
+    AQSIOS_CHECK_GE(hub->num_shards(), num_shards)
+        << "telemetry hub has fewer cells than shards";
+  }
   for (int s = 0; s < num_shards; ++s) {
     ShardRunStats& stats = sharded.shard_stats[static_cast<size_t>(s)];
     stats.shard = s;
     stats.num_queries = static_cast<int>(
         sharded.assignment.queries_of_shard[static_cast<size_t>(s)].size());
+    if (hub != nullptr) hub->SetShardQueries(s, stats.num_queries);
   }
 
   // The §9.2 overhead unit is system-wide: every shard charges the *full*
@@ -130,6 +136,13 @@ ShardedRunResult SimulateShardedPlan(
         stats.admission_dropped =
             admission->dropped_per_shard()[static_cast<size_t>(s)];
       }
+      // The routing/admission pass runs before any shard engine; publish
+      // its per-shard outcome into the hub so the sampler sees routed and
+      // rejected counts for the whole execution phase.
+      if (hub != nullptr) {
+        hub->SetRouted(s, stats.arrivals);
+        hub->SetAdmissionRejected(s, stats.admission_dropped);
+      }
     }
   }
 
@@ -147,6 +160,7 @@ ShardedRunResult SimulateShardedPlan(
     exec::EngineConfig config = MakeEngineConfig(options, policy, min_op_cost);
     config.tracer =
         shard_tracers != nullptr ? (*shard_tracers)[i] : nullptr;
+    config.telemetry = hub != nullptr ? hub->cell(s) : nullptr;
     std::unique_ptr<sched::Scheduler> scheduler =
         sched::CreateScheduler(policy);
     exec::Engine engine(&sub_plans[i], &sub_arrivals[i], config,

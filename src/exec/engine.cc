@@ -90,8 +90,17 @@ Engine::Engine(const query::GlobalPlan* plan,
       config_(config),
       scheduler_(scheduler),
       collector_(collector),
-      tracer_(config.tracer) {
+      tracer_(config.tracer),
+      telemetry_(config.telemetry) {
   attribution_.sample_every = config.attribution_sample_every;
+  if (telemetry_ != nullptr) {
+    AQSIOS_CHECK_GE(config.telemetry_publish_every, 1);
+    uint64_t period = 1;
+    while (period < static_cast<uint64_t>(config.telemetry_publish_every)) {
+      period <<= 1;
+    }
+    telemetry_mask_ = period - 1;
+  }
   AQSIOS_CHECK(plan != nullptr);
   AQSIOS_CHECK(arrivals != nullptr);
   AQSIOS_CHECK(scheduler != nullptr);
@@ -276,6 +285,11 @@ void Engine::EmitSingle(const query::CompiledQuery& q,
   const double slowdown = response / q.ideal_time();
   ++counters_.tuples_emitted;
   if (stats_monitor_ != nullptr) stats_monitor_->AddEmission();
+  if (telemetry_ != nullptr) {
+    telemetry_slowdown_sum_ += slowdown;
+    ++telemetry_slowdown_count_;
+    telemetry_max_slowdown_ = std::max(telemetry_max_slowdown_, slowdown);
+  }
   if (tracer_ != nullptr) {
     tracer_->Record({obs::EventKind::kEmit, now_, 0.0, cur_unit_,
                      static_cast<int32_t>(q.id()), arrival, slowdown});
@@ -383,6 +397,11 @@ void Engine::EmitComposite(const query::CompiledQuery& q,
   const double slowdown = 1.0 + (now_ - ideal_departure) / q.ideal_time();
   ++counters_.tuples_emitted;
   if (stats_monitor_ != nullptr) stats_monitor_->AddEmission();
+  if (telemetry_ != nullptr) {
+    telemetry_slowdown_sum_ += slowdown;
+    ++telemetry_slowdown_count_;
+    telemetry_max_slowdown_ = std::max(telemetry_max_slowdown_, slowdown);
+  }
   if (tracer_ != nullptr) {
     tracer_->Record({obs::EventKind::kEmit, now_, 0.0, cur_unit_,
                      static_cast<int32_t>(q.id()),
@@ -764,6 +783,25 @@ void Engine::ExecuteUnitTrain(int unit_id) {
   cur_query_ = -1;
 }
 
+void Engine::PublishTelemetry(bool done) {
+  obs::TelemetrySample s;
+  s.virtual_sec = now_;
+  s.busy_sec = counters_.busy_time;
+  s.queued_tuples = queued_tuples_;
+  // Enqueued-total = executed + still queued; no extra hot-path counter.
+  s.tuples_executed = counters_.unit_executions;
+  s.tuples_emitted = counters_.tuples_emitted;
+  s.tuples_filtered = counters_.tuples_filtered;
+  s.tuples_shed = counters_.tuples_shed;
+  s.tuples_offered = counters_.tuples_offered;
+  s.scheduling_points = counters_.scheduling_points;
+  s.slowdown_sum = telemetry_slowdown_sum_;
+  s.slowdown_count = telemetry_slowdown_count_;
+  s.max_slowdown = telemetry_max_slowdown_;
+  s.done = done;
+  telemetry_->Publish(s);
+}
+
 RunCounters Engine::Run() {
   AQSIOS_CHECK(!ran_) << "Engine::Run may be called once";
   ran_ = true;
@@ -779,9 +817,18 @@ RunCounters Engine::Run() {
           now_,
           arrivals_->arrivals[static_cast<size_t>(next_arrival_)].time);
       DeliverArrivalsUpTo(now_);
+      // Idle jumps still publish: a sampler watching the cell must see the
+      // clock advance even through arrival gaps, or the watchdog would
+      // mistake a sparse workload for a stalled shard.
+      if (telemetry_ != nullptr) PublishTelemetry(/*done=*/false);
       continue;
     }
     ++counters_.scheduling_points;
+    if (telemetry_ != nullptr &&
+        (static_cast<uint64_t>(counters_.scheduling_points) &
+         telemetry_mask_) == 0) {
+      PublishTelemetry(/*done=*/false);
+    }
     counters_.overhead_operations += cost.total();
     counters_.decision_candidates += cost.candidates;
     counters_.priority_computations += cost.computations;
@@ -814,6 +861,7 @@ RunCounters Engine::Run() {
     DeliverArrivalsUpTo(now_);
   }
   AccrueQueueOccupancy();
+  if (telemetry_ != nullptr) PublishTelemetry(/*done=*/true);
   counters_.end_time = now_;
   counters_.avg_queued_tuples =
       now_ > 0.0 ? queued_tuple_seconds_ / now_ : 0.0;

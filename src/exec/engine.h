@@ -26,6 +26,7 @@
 #include "metrics/qos.h"
 #include "obs/attribution.h"
 #include "obs/histogram.h"
+#include "obs/telemetry.h"
 #include "obs/tracer.h"
 #include "query/plan.h"
 #include "sched/scheduler.h"
@@ -67,6 +68,18 @@ struct EngineConfig {
   /// changes the simulation (every site is a branch on this pointer — the
   /// null-sink fast path pinned by tests/obs_tracer_test.cc).
   obs::EventTracer* tracer = nullptr;
+
+  /// Optional live-telemetry snapshot cell (obs/telemetry.h). The engine
+  /// publishes its hot counters into the cell at scheduling points so a
+  /// TelemetrySampler thread can observe the run live. Same discipline as
+  /// `tracer`: observation-only, one branch on a null pointer when disabled,
+  /// never feeds the virtual clock (pinned by tests/obs_telemetry_test.cc).
+  obs::SnapshotCell* telemetry = nullptr;
+
+  /// Publish into the cell every 2^ceil(log2(N)) scheduling points (the
+  /// engine rounds up to a power of two and tests a mask). 16 keeps the
+  /// publish cost well under the sampler's wall-clock resolution.
+  int telemetry_publish_every = 16;
 
   /// Per-tuple stage-attribution sample period N: every N-th arrival id's
   /// emissions get their response time decomposed into queue wait /
@@ -329,8 +342,23 @@ class Engine {
   std::vector<std::vector<SymmetricHashJoinState::Entry>> probe_scratch_;
   int probe_depth_ = 0;
 
+  /// Publishes the engine's hot counters into the telemetry cell. Wait-free
+  /// (SnapshotCell::Publish); called at masked scheduling points and once
+  /// with done=true when the run drains.
+  void PublishTelemetry(bool done);
+
   /// Observability state — all observation-only (never feeds the clock).
   obs::EventTracer* tracer_ = nullptr;
+  /// Live-telemetry cell (null = disabled; the hot-loop check is one branch
+  /// on this pointer, same as tracer_).
+  obs::SnapshotCell* telemetry_ = nullptr;
+  /// Publish every (mask+1) scheduling points; power-of-two minus one.
+  uint64_t telemetry_mask_ = 0;
+  /// Slowdown accumulators feeding the cell (only maintained when a cell is
+  /// attached — emission sites branch on telemetry_).
+  double telemetry_slowdown_sum_ = 0.0;
+  int64_t telemetry_slowdown_count_ = 0;
+  double telemetry_max_slowdown_ = 0.0;
   /// Queue lengths are small integers: first bucket edge at 1 tuple.
   obs::Histogram queue_len_hist_{{.min_value = 1.0}};
   obs::Histogram exec_busy_hist_;

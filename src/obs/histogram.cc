@@ -108,8 +108,9 @@ HistogramSummary Histogram::Summarize() const {
   summary.min = Min();
   summary.max = Max();
   summary.p50 = Quantile(0.5);
-  summary.p90 = Quantile(0.9);
+  summary.p95 = Quantile(0.95);
   summary.p99 = Quantile(0.99);
+  summary.p999 = Quantile(0.999);
   return summary;
 }
 

@@ -39,14 +39,17 @@ struct HistogramOptions {
 };
 
 /// Summary statistics of a histogram, cheap to copy into result structs.
+/// The quantile set matches QosSnapshot (p50/p95/p99/p999) so every exported
+/// distribution speaks the same language.
 struct HistogramSummary {
   int64_t count = 0;
   double mean = 0.0;
   double min = 0.0;
   double max = 0.0;
   double p50 = 0.0;
-  double p90 = 0.0;
+  double p95 = 0.0;
   double p99 = 0.0;
+  double p999 = 0.0;
 };
 
 class Histogram {

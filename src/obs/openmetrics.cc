@@ -1,0 +1,304 @@
+#include "obs/openmetrics.h"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace aqsios::obs {
+namespace {
+
+/// Formats a double the way Prometheus clients expect: shortest-ish decimal,
+/// no locale surprises. %.17g round-trips; trim is not needed for a lint
+/// pass, but keep the common integral case compact.
+std::string FormatValue(double value) {
+  if (value == static_cast<int64_t>(value) && value > -1e15 && value < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(static_cast<int64_t>(value)));
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+/// Escapes a label value per the OpenMetrics ABNF (backslash, quote, \n).
+std::string EscapeLabel(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '"') {
+      out += "\\\"";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+class Exposition {
+ public:
+  /// Starts a metric family: `# TYPE`/`# HELP` metadata. `name` is the
+  /// family name — counter samples get the `_total` suffix appended at
+  /// Sample time, per the OpenMetrics counter grammar.
+  void Family(const std::string& name, const std::string& type,
+              const std::string& help) {
+    out_ << "# TYPE " << name << ' ' << type << '\n';
+    out_ << "# HELP " << name << ' ' << help << '\n';
+    family_ = name;
+    counter_ = type == "counter";
+  }
+
+  void Sample(double value) { SampleWithLabels("", value); }
+
+  void Shard(int shard, double value) {
+    SampleWithLabels("shard=\"" + std::to_string(shard) + "\"", value);
+  }
+
+  void Labeled(const std::string& labels, double value) {
+    SampleWithLabels(labels, value);
+  }
+
+  std::string Finish() {
+    out_ << "# EOF\n";
+    return out_.str();
+  }
+
+ private:
+  void SampleWithLabels(const std::string& labels, double value) {
+    out_ << family_;
+    if (counter_) out_ << "_total";
+    if (!labels.empty()) out_ << '{' << labels << '}';
+    out_ << ' ' << FormatValue(value) << '\n';
+  }
+
+  std::ostringstream out_;
+  std::string family_;
+  bool counter_ = false;
+};
+
+}  // namespace
+
+std::string RenderOpenMetrics(const TelemetryMeta& meta,
+                              const std::vector<ShardObservation>& observations,
+                              int64_t sample_index, double wall_sec) {
+  Exposition out;
+
+  out.Family("aqsios_build", "gauge", "Static run metadata as labels.");
+  out.Labeled("job=\"" + EscapeLabel(meta.job) + "\",policy=\"" +
+                  EscapeLabel(meta.policy) + "\"",
+              1.0);
+
+  out.Family("aqsios_sampler_ticks", "counter",
+             "Telemetry sampler ticks taken.");
+  out.Sample(static_cast<double>(sample_index + 1));
+
+  out.Family("aqsios_sampler_wall_seconds", "gauge",
+             "Wall-clock seconds since the sampler started.");
+  out.Sample(wall_sec);
+
+  out.Family("aqsios_shards", "gauge", "Number of shards in the run.");
+  out.Sample(static_cast<double>(observations.size()));
+
+  out.Family("aqsios_shard_virtual_seconds", "gauge",
+             "Per-shard engine virtual clock.");
+  for (const ShardObservation& o : observations) {
+    out.Shard(o.shard, o.sample.virtual_sec);
+  }
+
+  out.Family("aqsios_shard_busy_seconds", "gauge",
+             "Per-shard virtual busy (processing) seconds.");
+  for (const ShardObservation& o : observations) {
+    out.Shard(o.shard, o.sample.busy_sec);
+  }
+
+  out.Family("aqsios_shard_queued_tuples", "gauge",
+             "Tuples currently queued across the shard's units.");
+  for (const ShardObservation& o : observations) {
+    out.Shard(o.shard, static_cast<double>(o.sample.queued_tuples));
+  }
+
+  out.Family("aqsios_shard_done", "gauge",
+             "1 once the shard's run has drained.");
+  for (const ShardObservation& o : observations) {
+    out.Shard(o.shard, o.sample.done ? 1.0 : 0.0);
+  }
+
+  out.Family("aqsios_tuples_executed", "counter",
+             "Queue entries dequeued and executed, per shard.");
+  for (const ShardObservation& o : observations) {
+    out.Shard(o.shard, static_cast<double>(o.sample.tuples_executed));
+  }
+
+  out.Family("aqsios_tuples_emitted", "counter",
+             "Tuples emitted at query roots, per shard.");
+  for (const ShardObservation& o : observations) {
+    out.Shard(o.shard, static_cast<double>(o.sample.tuples_emitted));
+  }
+
+  out.Family("aqsios_tuples_filtered", "counter",
+             "Tuples dropped by operator predicates, per shard.");
+  for (const ShardObservation& o : observations) {
+    out.Shard(o.shard, static_cast<double>(o.sample.tuples_filtered));
+  }
+
+  out.Family("aqsios_tuples_shed", "counter",
+             "Source tuples shed by overload control, per shard.");
+  for (const ShardObservation& o : observations) {
+    out.Shard(o.shard, static_cast<double>(o.sample.tuples_shed));
+  }
+
+  out.Family("aqsios_tuples_offered", "counter",
+             "Shed-path admission opportunities, per shard.");
+  for (const ShardObservation& o : observations) {
+    out.Shard(o.shard, static_cast<double>(o.sample.tuples_offered));
+  }
+
+  out.Family("aqsios_scheduling_points", "counter",
+             "Scheduling decisions taken, per shard.");
+  for (const ShardObservation& o : observations) {
+    out.Shard(o.shard, static_cast<double>(o.sample.scheduling_points));
+  }
+
+  out.Family("aqsios_arrivals_routed", "counter",
+             "Arrivals routed to the shard by the router pass.");
+  for (const ShardObservation& o : observations) {
+    out.Shard(o.shard, static_cast<double>(o.routed));
+  }
+
+  out.Family("aqsios_admission_rejected", "counter",
+             "Arrivals rejected by the admission controller, per shard.");
+  for (const ShardObservation& o : observations) {
+    out.Shard(o.shard, static_cast<double>(o.admission_rejected));
+  }
+
+  out.Family("aqsios_shard_slowdown_mean", "gauge",
+             "Mean emitted-tuple slowdown so far, per shard.");
+  for (const ShardObservation& o : observations) {
+    const double mean =
+        o.sample.slowdown_count > 0
+            ? o.sample.slowdown_sum / static_cast<double>(o.sample.slowdown_count)
+            : 0.0;
+    out.Shard(o.shard, mean);
+  }
+
+  out.Family("aqsios_shard_slowdown_max", "gauge",
+             "Maximum emitted-tuple slowdown so far, per shard.");
+  for (const ShardObservation& o : observations) {
+    out.Shard(o.shard, o.sample.max_slowdown);
+  }
+
+  return out.Finish();
+}
+
+bool WriteFileAtomic(const std::string& path, const std::string& body) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return false;
+  const size_t written = std::fwrite(body.data(), 1, body.size(), f);
+  const bool flushed = std::fclose(f) == 0 && written == body.size();
+  if (!flushed) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+MetricsHttpServer::~MetricsHttpServer() { Stop(); }
+
+bool MetricsHttpServer::Start(int port) {
+  AQSIOS_CHECK(listen_fd_ < 0) << "MetricsHttpServer started twice";
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  int reuse = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 8) != 0) {
+    ::close(fd);
+    return false;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    ::close(fd);
+    return false;
+  }
+  listen_fd_ = fd;
+  port_ = static_cast<int>(ntohs(addr.sin_port));
+  stopping_.store(false, std::memory_order_release);
+  thread_ = std::thread([this] { AcceptLoop(); });
+  return true;
+}
+
+void MetricsHttpServer::Stop() {
+  if (listen_fd_ < 0) return;
+  stopping_.store(true, std::memory_order_release);
+  // Wake the blocked accept(): shutdown on a listening socket makes it
+  // return with an error on Linux.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (thread_.joinable()) thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  port_ = -1;
+}
+
+void MetricsHttpServer::SetBody(const std::string& body) {
+  std::lock_guard<std::mutex> lock(body_mutex_);
+  body_ = body;
+}
+
+void MetricsHttpServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) {
+      if (errno == EINTR) continue;
+      break;  // Stop() shut the listening socket down.
+    }
+    // Read (and ignore) the request line + headers; a scrape fits one read.
+    char request[1024];
+    (void)::recv(client, request, sizeof(request), 0);
+    std::string body;
+    {
+      std::lock_guard<std::mutex> lock(body_mutex_);
+      body = body_;
+    }
+    std::string response =
+        "HTTP/1.1 200 OK\r\n"
+        "Content-Type: application/openmetrics-text; version=1.0.0; "
+        "charset=utf-8\r\n"
+        "Content-Length: " +
+        std::to_string(body.size()) +
+        "\r\n"
+        "Connection: close\r\n\r\n" +
+        body;
+    size_t sent = 0;
+    while (sent < response.size()) {
+      const ssize_t n =
+          ::send(client, response.data() + sent, response.size() - sent, 0);
+      if (n <= 0) break;
+      sent += static_cast<size_t>(n);
+    }
+    ::close(client);
+  }
+}
+
+}  // namespace aqsios::obs

@@ -1,0 +1,79 @@
+// OpenMetrics text exposition for the live telemetry subsystem
+// (docs/telemetry.md).
+//
+// Renders one TelemetrySampler tick — the per-shard snapshot rows plus the
+// run-wide sampler gauges — as an OpenMetrics/Prometheus text exposition:
+// `# TYPE`/`# HELP` metadata per family, counter samples with the `_total`
+// suffix, `{shard="k"}` labels, and a final `# EOF`. The exposition is
+// written to a snapshot file via an atomic tmp+rename replace (scrapers and
+// `trace_tool top` never observe a half-written file) and optionally served
+// from a minimal localhost-only HTTP `/metrics` endpoint.
+//
+// The grammar produced here is linted in CI by scripts/check_openmetrics.py
+// against a `bench_stress --quick --metrics-out` run.
+
+#ifndef AQSIOS_OBS_OPENMETRICS_H_
+#define AQSIOS_OBS_OPENMETRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/telemetry.h"
+
+namespace aqsios::obs {
+
+/// Renders one sampler tick as an OpenMetrics text exposition. Pure
+/// function of its arguments; `observations` holds one row per shard in
+/// shard order and `wall_sec` is the sampler's wall-clock since Start().
+std::string RenderOpenMetrics(const TelemetryMeta& meta,
+                              const std::vector<ShardObservation>& observations,
+                              int64_t sample_index, double wall_sec);
+
+/// Atomically replaces `path` with `body`: writes `path + ".tmp"` and
+/// renames it over the target, so concurrent readers always see a complete
+/// exposition. Returns false (and leaves the previous snapshot in place) on
+/// I/O failure.
+bool WriteFileAtomic(const std::string& path, const std::string& body);
+
+/// Minimal localhost-only HTTP server for GET /metrics. One accept thread,
+/// one request per connection, response written and the socket closed —
+/// deliberately the smallest thing a Prometheus scrape (or curl) can talk
+/// to. Not wired into any deterministic surface; serves whatever body
+/// SetBody last installed.
+class MetricsHttpServer {
+ public:
+  MetricsHttpServer() = default;
+  ~MetricsHttpServer();
+
+  MetricsHttpServer(const MetricsHttpServer&) = delete;
+  MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 = ephemeral) and starts the accept thread.
+  /// Returns false when the socket cannot be bound.
+  bool Start(int port);
+  void Stop();
+
+  /// The bound port (useful with port 0); -1 when not running.
+  int port() const { return port_; }
+
+  /// Installs the body served to subsequent requests.
+  void SetBody(const std::string& body);
+
+ private:
+  void AcceptLoop();
+
+  int listen_fd_ = -1;
+  int port_ = -1;
+  std::thread thread_;
+  std::atomic<bool> stopping_{false};
+  mutable std::mutex body_mutex_;
+  std::string body_;
+};
+
+}  // namespace aqsios::obs
+
+#endif  // AQSIOS_OBS_OPENMETRICS_H_

@@ -23,10 +23,12 @@ void WriteSummaryJson(JsonWriter& json, const HistogramSummary& summary) {
   json.Number(summary.max);
   json.Key("p50");
   json.Number(summary.p50);
-  json.Key("p90");
-  json.Number(summary.p90);
+  json.Key("p95");
+  json.Number(summary.p95);
   json.Key("p99");
   json.Number(summary.p99);
+  json.Key("p999");
+  json.Number(summary.p999);
   json.EndObject();
 }
 

@@ -45,7 +45,7 @@ class MetricsRegistry {
   size_t num_histograms() const { return histograms_.size(); }
 
   /// Writes {"counters":{...},"gauges":{...},"histograms":{name:
-  /// {count,mean,min,max,p50,p90,p99}}} as one JSON object value into an
+  /// {count,mean,min,max,p50,p95,p99,p999}}} as one JSON object value into an
   /// in-progress document. Keys are emitted in name order.
   void WriteJson(JsonWriter& json) const;
 

@@ -1,0 +1,475 @@
+#include "obs/telemetry.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+#include "common/json.h"
+#include "obs/openmetrics.h"
+
+namespace aqsios::obs {
+
+// ---------------------------------------------------------------------------
+// TelemetryHub
+
+TelemetryHub::TelemetryHub(int num_shards)
+    : shard_queries_(static_cast<size_t>(num_shards)),
+      routed_(static_cast<size_t>(num_shards)),
+      admission_rejected_(static_cast<size_t>(num_shards)) {
+  AQSIOS_CHECK_GE(num_shards, 1);
+  cells_.reserve(static_cast<size_t>(num_shards));
+  for (int i = 0; i < num_shards; ++i) {
+    cells_.push_back(std::make_unique<SnapshotCell>());
+  }
+  for (int i = 0; i < num_shards; ++i) {
+    shard_queries_[static_cast<size_t>(i)].store(0, std::memory_order_relaxed);
+    routed_[static_cast<size_t>(i)].store(0, std::memory_order_relaxed);
+    admission_rejected_[static_cast<size_t>(i)].store(
+        0, std::memory_order_relaxed);
+  }
+}
+
+void TelemetryHub::SetShardQueries(int shard, int num_queries) {
+  shard_queries_[static_cast<size_t>(shard)].store(num_queries,
+                                                   std::memory_order_release);
+}
+
+int TelemetryHub::shard_queries(int shard) const {
+  return shard_queries_[static_cast<size_t>(shard)].load(
+      std::memory_order_acquire);
+}
+
+void TelemetryHub::SetRouted(int shard, int64_t routed) {
+  routed_[static_cast<size_t>(shard)].store(routed, std::memory_order_relaxed);
+}
+
+void TelemetryHub::SetAdmissionRejected(int shard, int64_t rejected) {
+  admission_rejected_[static_cast<size_t>(shard)].store(
+      rejected, std::memory_order_relaxed);
+}
+
+int64_t TelemetryHub::routed(int shard) const {
+  return routed_[static_cast<size_t>(shard)].load(std::memory_order_relaxed);
+}
+
+int64_t TelemetryHub::admission_rejected(int shard) const {
+  return admission_rejected_[static_cast<size_t>(shard)].load(
+      std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Health
+
+const char* HealthEventKindName(HealthEventKind kind) {
+  switch (kind) {
+    case HealthEventKind::kStalledShard:
+      return "stalled_shard";
+    case HealthEventKind::kQueueDivergence:
+      return "queue_divergence";
+    case HealthEventKind::kShedSpike:
+      return "shed_spike";
+    case HealthEventKind::kAdmissionSpike:
+      return "admission_spike";
+    case HealthEventKind::kSloBreach:
+      return "slo_breach";
+  }
+  return "unknown";
+}
+
+std::string HealthVerdict::ToString() const {
+  if (healthy) return "healthy";
+  std::string out;
+  auto append = [&out](const char* flag) {
+    if (!out.empty()) out += "|";
+    out += flag;
+  };
+  if (queue_divergence) append("queue_divergence");
+  if (shed_spike) append("shed_spike");
+  if (admission_spike) append("admission_spike");
+  if (slo_breach) append("slo_breach");
+  return out;
+}
+
+HealthVerdict FinalizeHealth(const WatchdogConfig& config,
+                             const RunEndStats& stats) {
+  HealthVerdict verdict;
+  // Queue divergence at run end: the peak queue reached the configured cap,
+  // i.e. backlog growth was only stopped (or would not have been stopped) by
+  // the cap itself. Without a known cap there is no reproducible bar.
+  verdict.queue_divergence =
+      config.queue_cap > 0 && stats.peak_queued_tuples >= config.queue_cap;
+  if (stats.tuples_offered > 0) {
+    const double shed_fraction = static_cast<double>(stats.tuples_shed) /
+                                 static_cast<double>(stats.tuples_offered);
+    verdict.shed_spike = shed_fraction > config.shed_spike_fraction;
+  }
+  const int64_t admitted_or_rejected =
+      stats.arrivals_routed + stats.admission_rejected;
+  if (admitted_or_rejected > 0) {
+    const double rejected_fraction =
+        static_cast<double>(stats.admission_rejected) /
+        static_cast<double>(admitted_or_rejected);
+    verdict.admission_spike =
+        rejected_fraction > config.admission_spike_fraction;
+  }
+  if (config.slo_slowdown_target > 0.0) {
+    const double p9x = config.slo_quantile >= 0.99 ? stats.p99_slowdown
+                                                   : stats.p95_slowdown;
+    verdict.slo_breach = p9x > config.slo_slowdown_target;
+  }
+  verdict.healthy = !verdict.queue_divergence && !verdict.shed_spike &&
+                    !verdict.admission_spike && !verdict.slo_breach;
+  return verdict;
+}
+
+HealthWatchdog::HealthWatchdog(const WatchdogConfig& config, int num_shards)
+    : config_(config), shards_(static_cast<size_t>(num_shards)) {
+  AQSIOS_CHECK_GE(num_shards, 1);
+  AQSIOS_CHECK_GE(config.stall_samples, 1);
+  AQSIOS_CHECK_GE(config.divergence_window, 1);
+}
+
+void HealthWatchdog::Observe(int64_t sample_index, double wall_ms,
+                             const std::vector<ShardObservation>& observations) {
+  for (const ShardObservation& o : observations) {
+    AQSIOS_CHECK_GE(o.shard, 0);
+    AQSIOS_CHECK_LT(static_cast<size_t>(o.shard), shards_.size());
+    ShardState& state = shards_[static_cast<size_t>(o.shard)];
+    auto fire = [&](HealthEventKind kind, double value, double threshold) {
+      HealthEvent event;
+      event.kind = kind;
+      event.shard = o.shard;
+      event.sample = sample_index;
+      event.wall_ms = wall_ms;
+      event.value = value;
+      event.threshold = threshold;
+      events_.push_back(event);
+    };
+
+    // --- Stalled shard: a shard that owns work, has not finished, and has
+    // made no virtual-clock progress for stall_samples consecutive samples.
+    // A never-published cell counts as no progress — that is exactly the
+    // signature of a run wedged before its engines start (the PR 6 router
+    // livelock shape).
+    const bool expects_progress = o.num_queries > 0 && !o.sample.done;
+    const bool progressed =
+        o.published &&
+        (!state.seen || o.sample.virtual_sec > state.last_virtual_sec);
+    if (expects_progress && !progressed) {
+      ++state.stalled_for;
+      if (state.stalled_for >= config_.stall_samples && !state.stall_reported) {
+        state.stall_reported = true;
+        fire(HealthEventKind::kStalledShard,
+             static_cast<double>(state.stalled_for),
+             static_cast<double>(config_.stall_samples));
+      }
+    } else {
+      state.stalled_for = 0;
+      state.stall_reported = false;
+    }
+
+    // --- Divergent queue growth: strictly increasing queue length over
+    // divergence_window consecutive samples; with a cap configured the
+    // queue must also already be past queue_cap_fraction of it.
+    if (state.seen && o.published &&
+        o.sample.queued_tuples > state.last_queued) {
+      ++state.growing_for;
+    } else if (o.published && state.seen &&
+               o.sample.queued_tuples < state.last_queued) {
+      state.growing_for = 0;
+      state.divergence_reported = false;
+    }
+    const bool past_cap_fraction =
+        config_.queue_cap <= 0 ||
+        static_cast<double>(o.sample.queued_tuples) >
+            config_.queue_cap_fraction * static_cast<double>(config_.queue_cap);
+    if (state.growing_for >= config_.divergence_window && past_cap_fraction &&
+        !state.divergence_reported) {
+      state.divergence_reported = true;
+      fire(HealthEventKind::kQueueDivergence,
+           static_cast<double>(o.sample.queued_tuples),
+           static_cast<double>(config_.queue_cap));
+    }
+
+    // --- Shed / admission spikes: fraction dropped within this sample
+    // window (delta over delta) above the configured fraction.
+    if (state.seen && o.published) {
+      const int64_t offered_delta = o.sample.tuples_offered - state.last_offered;
+      const int64_t shed_delta = o.sample.tuples_shed - state.last_shed;
+      if (offered_delta > 0) {
+        const double fraction = static_cast<double>(shed_delta) /
+                                static_cast<double>(offered_delta);
+        if (fraction > config_.shed_spike_fraction) {
+          if (!state.shed_reported) {
+            state.shed_reported = true;
+            fire(HealthEventKind::kShedSpike, fraction,
+                 config_.shed_spike_fraction);
+          }
+        } else {
+          state.shed_reported = false;
+        }
+      }
+    }
+    if (state.seen) {
+      const int64_t routed_delta = o.routed - state.last_routed;
+      const int64_t rejected_delta =
+          o.admission_rejected - state.last_rejected;
+      const int64_t attempts = routed_delta + rejected_delta;
+      if (attempts > 0) {
+        const double fraction = static_cast<double>(rejected_delta) /
+                                static_cast<double>(attempts);
+        if (fraction > config_.admission_spike_fraction) {
+          if (!state.admission_reported) {
+            state.admission_reported = true;
+            fire(HealthEventKind::kAdmissionSpike, fraction,
+                 config_.admission_spike_fraction);
+          }
+        } else {
+          state.admission_reported = false;
+        }
+      }
+    }
+
+    // --- SLO breach: windowed mean slowdown (delta sum / delta count) above
+    // the target. The live rule is a mean-based proxy — exact p9x needs the
+    // full histogram, which is not in the hot cells; the run-end verdict
+    // (FinalizeHealth) applies the real quantile.
+    if (config_.slo_slowdown_target > 0.0 && state.seen && o.published) {
+      const double sum_delta = o.sample.slowdown_sum - state.last_slowdown_sum;
+      const int64_t count_delta =
+          o.sample.slowdown_count - state.last_slowdown_count;
+      if (count_delta > 0) {
+        const double mean = sum_delta / static_cast<double>(count_delta);
+        if (mean > config_.slo_slowdown_target) {
+          if (!state.slo_reported) {
+            state.slo_reported = true;
+            fire(HealthEventKind::kSloBreach, mean,
+                 config_.slo_slowdown_target);
+          }
+        } else {
+          state.slo_reported = false;
+        }
+      }
+    }
+
+    if (o.published) {
+      state.last_virtual_sec = o.sample.virtual_sec;
+      state.last_queued = o.sample.queued_tuples;
+      state.last_offered = o.sample.tuples_offered;
+      state.last_shed = o.sample.tuples_shed;
+      state.last_slowdown_sum = o.sample.slowdown_sum;
+      state.last_slowdown_count = o.sample.slowdown_count;
+    }
+    state.last_routed = o.routed;
+    state.last_rejected = o.admission_rejected;
+    state.seen = true;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// TelemetrySampler
+
+TelemetrySampler::TelemetrySampler(const TelemetryHub* hub,
+                                   const TelemetryOptions& options,
+                                   const TelemetryMeta& meta)
+    : hub_(hub),
+      options_(options),
+      meta_(meta),
+      watchdog_(options.watchdog, hub->num_shards()) {
+  AQSIOS_CHECK(hub != nullptr);
+  AQSIOS_CHECK_GT(options.period_ms, 0.0);
+  scratch_.resize(static_cast<size_t>(hub->num_shards()));
+}
+
+TelemetrySampler::~TelemetrySampler() { Stop(); }
+
+void TelemetrySampler::Start() {
+  AQSIOS_CHECK(!started_) << "TelemetrySampler started twice";
+  started_ = true;
+  start_time_ = std::chrono::steady_clock::now();
+  if (options_.http_port >= 0) {
+    http_ = std::make_unique<MetricsHttpServer>();
+    if (!http_->Start(options_.http_port)) http_.reset();
+  }
+  if (!options_.jsonl_out.empty()) {
+    jsonl_ = std::make_unique<std::ofstream>(options_.jsonl_out,
+                                             std::ios::out | std::ios::trunc);
+    if (jsonl_->is_open()) {
+      // Header record: schema + run metadata, one line, so downstream
+      // tooling (json_to_csv.py) can identify the stream.
+      JsonWriter json;
+      json.BeginObject();
+      json.Key("schema");
+      json.String("aqsios-telemetry/1");
+      json.Key("job");
+      json.String(meta_.job);
+      json.Key("policy");
+      json.String(meta_.policy);
+      json.Key("shards");
+      json.Number(static_cast<int64_t>(hub_->num_shards()));
+      json.Key("period_ms");
+      json.Number(options_.period_ms);
+      json.EndObject();
+      *jsonl_ << json.str() << '\n';
+    } else {
+      jsonl_.reset();
+    }
+  }
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void TelemetrySampler::Stop() {
+  if (!started_ || stopped_) return;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_requested_ = true;
+  }
+  wakeup_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  // One final fully-consistent sample so short runs still produce a
+  // complete exposition and the watchdog sees the end state.
+  SampleOnce(/*final_tick=*/true);
+  if (jsonl_ != nullptr) jsonl_->flush();
+  if (http_ != nullptr) http_->Stop();
+  stopped_ = true;
+}
+
+const std::vector<HealthEvent>& TelemetrySampler::health_events() const {
+  return watchdog_.events();
+}
+
+std::string TelemetrySampler::LatestExposition() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return exposition_;
+}
+
+int TelemetrySampler::http_port() const {
+  return http_ != nullptr ? http_->port() : -1;
+}
+
+void TelemetrySampler::Loop() {
+  const auto period = std::chrono::duration<double, std::milli>(
+      options_.period_ms);
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stop_requested_) {
+    lock.unlock();
+    SampleOnce(/*final_tick=*/false);
+    lock.lock();
+    wakeup_.wait_for(
+        lock, std::chrono::duration_cast<std::chrono::nanoseconds>(period),
+        [this] { return stop_requested_; });
+  }
+}
+
+void TelemetrySampler::SampleOnce(bool final_tick) {
+  const int64_t sample_index = samples_.load(std::memory_order_relaxed);
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start_time_)
+          .count();
+
+  for (int shard = 0; shard < hub_->num_shards(); ++shard) {
+    ShardObservation& o = scratch_[static_cast<size_t>(shard)];
+    o.shard = shard;
+    o.num_queries = hub_->shard_queries(shard);
+    const SnapshotCell* cell = hub_->cell(shard);
+    o.published = cell->publish_count() > 0;
+    // Bounded retry on a torn read; on the final tick the writer has
+    // stopped, so the read always converges. A transient tear mid-run just
+    // keeps the previous tick's values for this shard.
+    for (int attempt = 0; attempt < (final_tick ? 1024 : 8); ++attempt) {
+      if (cell->TryRead(&o.sample)) break;
+    }
+    o.routed = hub_->routed(shard);
+    o.admission_rejected = hub_->admission_rejected(shard);
+  }
+
+  watchdog_.Observe(sample_index, wall_ms, scratch_);
+
+  const std::string exposition =
+      RenderOpenMetrics(meta_, scratch_, sample_index, wall_ms / 1000.0);
+  if (!options_.metrics_out.empty()) {
+    WriteFileAtomic(options_.metrics_out, exposition);
+  }
+  if (http_ != nullptr) http_->SetBody(exposition);
+
+  if (jsonl_ != nullptr) {
+    JsonWriter json;
+    json.BeginObject();
+    json.Key("sample");
+    json.Number(sample_index);
+    json.Key("wall_ms");
+    json.Number(wall_ms);
+    json.Key("final");
+    json.Bool(final_tick);
+    json.Key("shards");
+    json.BeginArray();
+    for (const ShardObservation& o : scratch_) {
+      json.BeginObject();
+      json.Key("shard");
+      json.Number(static_cast<int64_t>(o.shard));
+      json.Key("virtual_sec");
+      json.Number(o.sample.virtual_sec);
+      json.Key("busy_sec");
+      json.Number(o.sample.busy_sec);
+      json.Key("queued_tuples");
+      json.Number(o.sample.queued_tuples);
+      json.Key("tuples_executed");
+      json.Number(o.sample.tuples_executed);
+      json.Key("tuples_emitted");
+      json.Number(o.sample.tuples_emitted);
+      json.Key("tuples_filtered");
+      json.Number(o.sample.tuples_filtered);
+      json.Key("tuples_shed");
+      json.Number(o.sample.tuples_shed);
+      json.Key("tuples_offered");
+      json.Number(o.sample.tuples_offered);
+      json.Key("scheduling_points");
+      json.Number(o.sample.scheduling_points);
+      json.Key("routed");
+      json.Number(o.routed);
+      json.Key("admission_rejected");
+      json.Number(o.admission_rejected);
+      json.Key("slowdown_mean");
+      json.Number(o.sample.slowdown_count > 0
+                      ? o.sample.slowdown_sum /
+                            static_cast<double>(o.sample.slowdown_count)
+                      : 0.0);
+      json.Key("slowdown_max");
+      json.Number(o.sample.max_slowdown);
+      json.Key("done");
+      json.Bool(o.sample.done);
+      json.EndObject();
+    }
+    json.EndArray();
+    // Events fired during this tick (the watchdog appends in order).
+    const std::vector<HealthEvent>& events = watchdog_.events();
+    json.Key("events");
+    json.BeginArray();
+    for (size_t i = jsonl_events_emitted_; i < events.size(); ++i) {
+      const HealthEvent& event = events[i];
+      json.BeginObject();
+      json.Key("kind");
+      json.String(HealthEventKindName(event.kind));
+      json.Key("shard");
+      json.Number(static_cast<int64_t>(event.shard));
+      json.Key("value");
+      json.Number(event.value);
+      json.Key("threshold");
+      json.Number(event.threshold);
+      json.EndObject();
+    }
+    jsonl_events_emitted_ = events.size();
+    json.EndArray();
+    json.EndObject();
+    *jsonl_ << json.str() << '\n';
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    exposition_ = exposition;
+  }
+  samples_.store(sample_index + 1, std::memory_order_release);
+}
+
+}  // namespace aqsios::obs

@@ -1,0 +1,408 @@
+// Live runtime telemetry: lock-free snapshot cells, a wall-clock sampler,
+// and a health watchdog (docs/telemetry.md).
+//
+// The observability layer so far (tracer, histograms, attribution) is
+// post-hoc: nothing is visible until a run finishes. This subsystem makes a
+// *running* simulation observable without perturbing it:
+//
+//  * each shard engine publishes its hot counters (tuples in/out/shed/
+//    filtered, queued total, busy virtual-seconds, virtual clock) into a
+//    per-shard seqlock-style SnapshotCell — the writer is wait-free (a
+//    handful of relaxed stores bracketed by the sequence word), never
+//    blocks on readers, and with no cell attached the engine pays one
+//    branch on a null pointer, exactly the EventTracer discipline;
+//  * a TelemetrySampler thread polls the cells on a wall-clock period and
+//    feeds each tick to the OpenMetrics exposition writer
+//    (obs/openmetrics.h), a structured JSONL log, and the HealthWatchdog;
+//  * the HealthWatchdog turns sample sequences into typed HealthEvents
+//    (stalled shard, divergent queue growth, shed/admission spikes, SLO
+//    breaches) plus a deterministic run-end HealthVerdict restated from the
+//    merged counters, so tests can assert verdicts without wall-clock
+//    sensitivity.
+//
+// Determinism contract: telemetry is observation-only. Attaching a hub and
+// sampler never changes any simulation result (pinned by
+// tests/obs_telemetry_test.cc); all wall-clock-timed output (exposition
+// file, JSONL, live events) is quarantined from the deterministic result
+// surface, and only the run-end verdict — a pure function of the merged
+// counters and the watchdog config — is part of result JSON, gated behind
+// an explicit request.
+
+#ifndef AQSIOS_OBS_TELEMETRY_H_
+#define AQSIOS_OBS_TELEMETRY_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace aqsios::obs {
+
+/// One shard engine's hot counters, as published into its SnapshotCell.
+/// Plain POD on the caller side; the cell stores each field in a relaxed
+/// atomic mirror.
+struct TelemetrySample {
+  double virtual_sec = 0.0;       ///< The shard engine's virtual clock.
+  double busy_sec = 0.0;          ///< Virtual busy (processing) seconds.
+  int64_t queued_tuples = 0;      ///< Tuples queued across the shard's units.
+  int64_t tuples_executed = 0;    ///< Queue entries dequeued and run.
+  int64_t tuples_emitted = 0;     ///< Tuples emitted at query roots.
+  int64_t tuples_filtered = 0;    ///< Tuples dropped by operator predicates.
+  int64_t tuples_shed = 0;        ///< Source tuples shed at admission.
+  int64_t tuples_offered = 0;     ///< Shed-path admission opportunities.
+  int64_t scheduling_points = 0;  ///< Scheduling decisions taken.
+  double slowdown_sum = 0.0;      ///< Sum of emitted-tuple slowdowns.
+  int64_t slowdown_count = 0;     ///< Emissions behind slowdown_sum.
+  double max_slowdown = 0.0;      ///< Max emitted-tuple slowdown so far.
+  bool done = false;              ///< The shard's run has drained.
+};
+
+/// Single-writer seqlock snapshot cell. The writer (one engine thread)
+/// publishes wait-free; any number of reader threads poll TryRead and
+/// retry/skip on a torn read. All fields are relaxed atomics bracketed by
+/// the acquire/release sequence word, so the cell is race-free under TSan
+/// and a consistent read is guaranteed to be one whole Publish.
+class alignas(64) SnapshotCell {
+ public:
+  SnapshotCell() = default;
+  SnapshotCell(const SnapshotCell&) = delete;
+  SnapshotCell& operator=(const SnapshotCell&) = delete;
+
+  /// Writer side: publishes one whole sample. Wait-free — a dozen relaxed
+  /// stores between the odd/even sequence stores; never loops, never locks.
+  void Publish(const TelemetrySample& s) {
+    const uint64_t seq = seq_.load(std::memory_order_relaxed);
+    seq_.store(seq + 1, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_release);
+    Store(s);
+    seq_.store(seq + 2, std::memory_order_release);
+  }
+
+  /// Reader side: fills `out` and returns true when a consistent snapshot
+  /// was read (sequence even and unchanged across the field reads). Returns
+  /// false on a torn read — callers poll again next tick.
+  bool TryRead(TelemetrySample* out) const {
+    const uint64_t before = seq_.load(std::memory_order_acquire);
+    if (before & 1) return false;
+    Load(out);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    const uint64_t after = seq_.load(std::memory_order_relaxed);
+    return before == after;
+  }
+
+  /// Number of completed Publish calls (0 = never published).
+  uint64_t publish_count() const {
+    return seq_.load(std::memory_order_acquire) / 2;
+  }
+
+ private:
+  void Store(const TelemetrySample& s) {
+    virtual_sec_.store(s.virtual_sec, std::memory_order_relaxed);
+    busy_sec_.store(s.busy_sec, std::memory_order_relaxed);
+    queued_tuples_.store(s.queued_tuples, std::memory_order_relaxed);
+    tuples_executed_.store(s.tuples_executed, std::memory_order_relaxed);
+    tuples_emitted_.store(s.tuples_emitted, std::memory_order_relaxed);
+    tuples_filtered_.store(s.tuples_filtered, std::memory_order_relaxed);
+    tuples_shed_.store(s.tuples_shed, std::memory_order_relaxed);
+    tuples_offered_.store(s.tuples_offered, std::memory_order_relaxed);
+    scheduling_points_.store(s.scheduling_points, std::memory_order_relaxed);
+    slowdown_sum_.store(s.slowdown_sum, std::memory_order_relaxed);
+    slowdown_count_.store(s.slowdown_count, std::memory_order_relaxed);
+    max_slowdown_.store(s.max_slowdown, std::memory_order_relaxed);
+    done_.store(s.done ? 1 : 0, std::memory_order_relaxed);
+  }
+
+  void Load(TelemetrySample* out) const {
+    out->virtual_sec = virtual_sec_.load(std::memory_order_relaxed);
+    out->busy_sec = busy_sec_.load(std::memory_order_relaxed);
+    out->queued_tuples = queued_tuples_.load(std::memory_order_relaxed);
+    out->tuples_executed = tuples_executed_.load(std::memory_order_relaxed);
+    out->tuples_emitted = tuples_emitted_.load(std::memory_order_relaxed);
+    out->tuples_filtered = tuples_filtered_.load(std::memory_order_relaxed);
+    out->tuples_shed = tuples_shed_.load(std::memory_order_relaxed);
+    out->tuples_offered = tuples_offered_.load(std::memory_order_relaxed);
+    out->scheduling_points =
+        scheduling_points_.load(std::memory_order_relaxed);
+    out->slowdown_sum = slowdown_sum_.load(std::memory_order_relaxed);
+    out->slowdown_count = slowdown_count_.load(std::memory_order_relaxed);
+    out->max_slowdown = max_slowdown_.load(std::memory_order_relaxed);
+    out->done = done_.load(std::memory_order_relaxed) != 0;
+  }
+
+  std::atomic<uint64_t> seq_{0};
+  std::atomic<double> virtual_sec_{0.0};
+  std::atomic<double> busy_sec_{0.0};
+  std::atomic<int64_t> queued_tuples_{0};
+  std::atomic<int64_t> tuples_executed_{0};
+  std::atomic<int64_t> tuples_emitted_{0};
+  std::atomic<int64_t> tuples_filtered_{0};
+  std::atomic<int64_t> tuples_shed_{0};
+  std::atomic<int64_t> tuples_offered_{0};
+  std::atomic<int64_t> scheduling_points_{0};
+  std::atomic<double> slowdown_sum_{0.0};
+  std::atomic<int64_t> slowdown_count_{0};
+  std::atomic<double> max_slowdown_{0.0};
+  std::atomic<int32_t> done_{0};
+};
+
+/// One run's worth of snapshot cells — one per shard — plus the router-side
+/// counters (routed arrivals, admission rejections) that are produced
+/// outside any shard engine. The hub is created by the caller (bench, test,
+/// application), handed to the simulation via SimulationOptions::telemetry,
+/// and polled by a TelemetrySampler; it outlives both.
+class TelemetryHub {
+ public:
+  explicit TelemetryHub(int num_shards);
+
+  TelemetryHub(const TelemetryHub&) = delete;
+  TelemetryHub& operator=(const TelemetryHub&) = delete;
+
+  int num_shards() const { return static_cast<int>(cells_.size()); }
+  SnapshotCell* cell(int shard) { return cells_[static_cast<size_t>(shard)].get(); }
+  const SnapshotCell* cell(int shard) const {
+    return cells_[static_cast<size_t>(shard)].get();
+  }
+
+  /// Declares how many queries shard `shard` owns. The watchdog uses this to
+  /// distinguish a legitimately idle (empty) shard from a wedged one that
+  /// never published.
+  void SetShardQueries(int shard, int num_queries);
+  int shard_queries(int shard) const;
+
+  /// Router-side accounting, published by the routing/admission pass
+  /// (relaxed stores; read by the sampler thread).
+  void SetRouted(int shard, int64_t routed);
+  void SetAdmissionRejected(int shard, int64_t rejected);
+  int64_t routed(int shard) const;
+  int64_t admission_rejected(int shard) const;
+
+ private:
+  std::vector<std::unique_ptr<SnapshotCell>> cells_;
+  std::vector<std::atomic<int32_t>> shard_queries_;
+  std::vector<std::atomic<int64_t>> routed_;
+  std::vector<std::atomic<int64_t>> admission_rejected_;
+};
+
+// ---------------------------------------------------------------------------
+// Health watchdog
+
+struct WatchdogConfig {
+  /// Consecutive samples with zero virtual-clock progress on a non-done,
+  /// non-empty shard before it is declared stalled.
+  int stall_samples = 5;
+  /// Consecutive samples of strictly growing queue length before queue
+  /// growth is declared divergent.
+  int divergence_window = 8;
+  /// The configured queue cap the divergence and run-end rules compare
+  /// against (exec::ShedConfig::queue_cap when shedding is on); 0 = no cap
+  /// known — the live rule then keys on sustained growth alone and the
+  /// run-end rule never flags divergence.
+  int64_t queue_cap = 0;
+  /// With a cap known, live divergence additionally requires the queue to
+  /// exceed this fraction of the cap (growth toward a far-away cap is not
+  /// yet an emergency).
+  double queue_cap_fraction = 0.5;
+  /// A shed (or admission-rejection) fraction above this — per sample
+  /// window live, over the whole run at the end — is flagged as a spike.
+  double shed_spike_fraction = 0.2;
+  double admission_spike_fraction = 0.2;
+  /// Which slowdown quantile the SLO targets at run end (0.95 or 0.99; the
+  /// live rule uses the windowed mean slowdown as its online proxy — exact
+  /// quantiles need the full histogram, which is not in the hot cells).
+  double slo_quantile = 0.95;
+  /// Slowdown the p9x must stay under; 0 disables the SLO rule.
+  double slo_slowdown_target = 0.0;
+};
+
+enum class HealthEventKind : uint8_t {
+  kStalledShard,     ///< No virtual-clock progress across stall_samples.
+  kQueueDivergence,  ///< Sustained queue growth (vs. cap when known).
+  kShedSpike,        ///< Shed fraction of a sample window over threshold.
+  kAdmissionSpike,   ///< Admission-rejection fraction over threshold.
+  kSloBreach,        ///< Windowed mean slowdown over the SLO target.
+};
+
+const char* HealthEventKindName(HealthEventKind kind);
+
+/// One typed watchdog observation. Live events are wall-clock timed and
+/// therefore quarantined from the deterministic result surface; they exist
+/// to be surfaced (JSONL log, stderr, dashboards) while the run executes.
+struct HealthEvent {
+  HealthEventKind kind = HealthEventKind::kStalledShard;
+  int shard = -1;       ///< -1 = run-wide.
+  int64_t sample = 0;   ///< Sampler tick index when the event fired.
+  double wall_ms = 0.0; ///< Wall clock since sampler start.
+  double value = 0.0;   ///< Measured quantity (samples stalled, queue, ...).
+  double threshold = 0.0;  ///< The configured bar it crossed.
+};
+
+/// What the sampler hands the watchdog per shard per tick.
+struct ShardObservation {
+  int shard = 0;
+  int num_queries = 0;  ///< 0 = the shard never had work assigned.
+  bool published = false;  ///< The cell has been written at least once.
+  TelemetrySample sample;
+  int64_t routed = 0;
+  int64_t admission_rejected = 0;
+};
+
+/// Run-end health verdict: a pure function of the merged run counters and
+/// the watchdog config (FinalizeHealth below) — byte-stable across repeats,
+/// thread counts, and sampler timing, so tests can pin it. The live
+/// stall/divergence observations are counted alongside but never feed the
+/// deterministic flags.
+struct HealthVerdict {
+  bool healthy = true;
+  bool queue_divergence = false;  ///< Peak queue reached the configured cap.
+  bool shed_spike = false;        ///< Run shed ratio over the threshold.
+  bool admission_spike = false;   ///< Rejection fraction over the threshold.
+  bool slo_breach = false;        ///< p9x slowdown over the SLO target.
+
+  std::string ToString() const;
+};
+
+/// The merged deterministic quantities the run-end verdict is restated
+/// from (filled from RunCounters + QosSnapshot by core::RestateHealth).
+struct RunEndStats {
+  int64_t peak_queued_tuples = 0;
+  int64_t tuples_offered = 0;
+  int64_t tuples_shed = 0;
+  int64_t arrivals_routed = 0;
+  int64_t admission_rejected = 0;
+  double p95_slowdown = 0.0;
+  double p99_slowdown = 0.0;
+};
+
+/// Restates the watchdog's verdict deterministically from merged run-end
+/// counters. The live watchdog may have seen (and reported) transient
+/// episodes the end state no longer shows; this is the reproducible subset.
+HealthVerdict FinalizeHealth(const WatchdogConfig& config,
+                             const RunEndStats& stats);
+
+/// Online health rules over the sampled sequences. Deterministic in the
+/// observation sequence it is fed (the sampler feeds wall-clock-timed
+/// sequences; tests feed synthetic ones).
+class HealthWatchdog {
+ public:
+  HealthWatchdog(const WatchdogConfig& config, int num_shards);
+
+  /// Feeds one sampler tick. `observations` holds one entry per shard.
+  /// Newly fired events are appended to events() (edge-triggered: each rule
+  /// fires once per episode, re-arming when the condition clears).
+  void Observe(int64_t sample_index, double wall_ms,
+               const std::vector<ShardObservation>& observations);
+
+  const std::vector<HealthEvent>& events() const { return events_; }
+
+ private:
+  struct ShardState {
+    double last_virtual_sec = 0.0;
+    int64_t last_queued = 0;
+    int64_t last_offered = 0;
+    int64_t last_shed = 0;
+    int64_t last_routed = 0;
+    int64_t last_rejected = 0;
+    double last_slowdown_sum = 0.0;
+    int64_t last_slowdown_count = 0;
+    int stalled_for = 0;        ///< Consecutive no-progress samples.
+    int growing_for = 0;        ///< Consecutive queue-growth samples.
+    bool stall_reported = false;
+    bool divergence_reported = false;
+    bool shed_reported = false;
+    bool admission_reported = false;
+    bool slo_reported = false;
+    bool seen = false;
+  };
+
+  WatchdogConfig config_;
+  std::vector<ShardState> shards_;
+  std::vector<HealthEvent> events_;
+};
+
+// ---------------------------------------------------------------------------
+// Sampler
+
+/// Static metadata stamped into the exposition and the JSONL header.
+struct TelemetryMeta {
+  std::string job = "aqsios";   ///< e.g. the bench binary / cell name.
+  std::string policy;           ///< Scheduling policy label.
+};
+
+struct TelemetryOptions {
+  /// Wall-clock sampling period.
+  double period_ms = 100.0;
+  /// OpenMetrics snapshot file, atomically replaced each tick ("" = off).
+  std::string metrics_out;
+  /// Structured JSONL telemetry log ("" = off).
+  std::string jsonl_out;
+  /// Localhost HTTP /metrics port: -1 = off, 0 = ephemeral (the bound port
+  /// is reported by http_port()), > 0 = fixed.
+  int http_port = -1;
+  /// Watchdog thresholds for the live rules.
+  WatchdogConfig watchdog;
+};
+
+class MetricsHttpServer;  // obs/openmetrics.h
+
+/// Background sampler: polls a TelemetryHub's cells on a wall-clock period
+/// and fans each tick out to the OpenMetrics writer, the JSONL log, and the
+/// HealthWatchdog. Start() spawns the thread; Stop() takes one final sample
+/// (so short runs still produce a complete exposition), flushes, and joins.
+/// The hub must outlive the sampler; the sampler is independent of the
+/// simulation threads and never blocks them.
+class TelemetrySampler {
+ public:
+  TelemetrySampler(const TelemetryHub* hub, const TelemetryOptions& options,
+                   const TelemetryMeta& meta);
+  ~TelemetrySampler();
+
+  TelemetrySampler(const TelemetrySampler&) = delete;
+  TelemetrySampler& operator=(const TelemetrySampler&) = delete;
+
+  void Start();
+  void Stop();
+
+  bool started() const { return started_; }
+  /// Sampler ticks taken so far (final tick included after Stop).
+  int64_t samples() const { return samples_.load(std::memory_order_acquire); }
+  /// Watchdog events observed so far. Only stable after Stop().
+  const std::vector<HealthEvent>& health_events() const;
+  /// The last rendered exposition text (empty before the first tick).
+  std::string LatestExposition() const;
+  /// Bound HTTP port when the endpoint is enabled; -1 otherwise.
+  int http_port() const;
+
+ private:
+  void Loop();
+  /// One sampling tick; `final_tick` forces a fully-consistent read.
+  void SampleOnce(bool final_tick);
+
+  const TelemetryHub* hub_;
+  TelemetryOptions options_;
+  TelemetryMeta meta_;
+  HealthWatchdog watchdog_;
+  std::unique_ptr<MetricsHttpServer> http_;
+
+  std::thread thread_;
+  mutable std::mutex mutex_;  ///< Guards stop_requested_ + wakeup + exposition_.
+  std::condition_variable wakeup_;
+  bool stop_requested_ = false;
+  bool started_ = false;
+  bool stopped_ = false;
+  std::atomic<int64_t> samples_{0};
+  std::string exposition_;
+  std::vector<ShardObservation> scratch_;
+  size_t jsonl_events_emitted_ = 0;
+  std::unique_ptr<std::ofstream> jsonl_;
+  std::chrono::steady_clock::time_point start_time_;
+};
+
+}  // namespace aqsios::obs
+
+#endif  // AQSIOS_OBS_TELEMETRY_H_

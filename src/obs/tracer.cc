@@ -32,7 +32,11 @@ const char* EventKindName(EventKind kind) {
 
 EventTracer::EventTracer(size_t capacity) {
   AQSIOS_CHECK_GT(capacity, 0u);
-  buffer_.resize(capacity);
+  // Round up to a power of two: Record() wraps with a mask, not a divide.
+  size_t rounded = 1;
+  while (rounded < capacity) rounded <<= 1;
+  buffer_.resize(rounded);
+  mask_ = rounded - 1;
 }
 
 std::vector<TraceEvent> EventTracer::Events() const {
@@ -43,7 +47,7 @@ std::vector<TraceEvent> EventTracer::Events() const {
   const size_t start =
       recorded_ > static_cast<int64_t>(buffer_.size()) ? next_ : 0;
   for (size_t i = 0; i < n; ++i) {
-    out.push_back(buffer_[(start + i) % buffer_.size()]);
+    out.push_back(buffer_[(start + i) & mask_]);
   }
   return out;
 }
@@ -54,7 +58,7 @@ int64_t EventTracer::CountOf(EventKind kind) const {
   const size_t start =
       recorded_ > static_cast<int64_t>(buffer_.size()) ? next_ : 0;
   for (size_t i = 0; i < n; ++i) {
-    if (buffer_[(start + i) % buffer_.size()].kind == kind) ++count;
+    if (buffer_[(start + i) & mask_].kind == kind) ++count;
   }
   return count;
 }

@@ -23,7 +23,8 @@ namespace aqsios::obs {
 
 class EventTracer {
  public:
-  /// `capacity` events are preallocated up front.
+  /// `capacity` events are preallocated up front, rounded up to the next
+  /// power of two so the per-event ring wrap is a mask instead of a divide.
   explicit EventTracer(size_t capacity = size_t{1} << 16);
 
   EventTracer(const EventTracer&) = delete;
@@ -31,7 +32,7 @@ class EventTracer {
 
   void Record(const TraceEvent& event) {
     buffer_[next_] = event;
-    next_ = (next_ + 1) % buffer_.size();
+    next_ = (next_ + 1) & mask_;
     ++recorded_;
   }
 
@@ -61,7 +62,8 @@ class EventTracer {
   void Clear();
 
  private:
-  std::vector<TraceEvent> buffer_;
+  std::vector<TraceEvent> buffer_;  ///< Power-of-two size.
+  size_t mask_ = 0;                 ///< buffer_.size() - 1.
   size_t next_ = 0;
   int64_t recorded_ = 0;
 };

@@ -136,7 +136,7 @@ TEST(ExperimentTest, ParallelSweepMatchesSerialBitForBit) {
     EXPECT_EQ(ca.queue_length.p50, cb.queue_length.p50);
     EXPECT_EQ(ca.queue_length.p99, cb.queue_length.p99);
     EXPECT_EQ(ca.exec_busy.mean, cb.exec_busy.mean);
-    EXPECT_EQ(ca.exec_busy.p90, cb.exec_busy.p90);
+    EXPECT_EQ(ca.exec_busy.p95, cb.exec_busy.p95);
     EXPECT_EQ(a.result.qos.p50_slowdown, b.result.qos.p50_slowdown);
     EXPECT_EQ(a.result.qos.p95_slowdown, b.result.qos.p95_slowdown);
     EXPECT_EQ(a.result.qos.p99_slowdown, b.result.qos.p99_slowdown);

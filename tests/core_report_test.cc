@@ -172,7 +172,10 @@ TEST(ReportTest, CountersCarryHistogramSummaries) {
   const std::string json = RunResultToJson(result);
   EXPECT_NE(json.find("\"queue_length\":{"), std::string::npos);
   EXPECT_NE(json.find("\"exec_busy_seconds\":{"), std::string::npos);
-  EXPECT_NE(json.find("\"p90\""), std::string::npos);
+  // The exported quantile set matches QosSnapshot: p50/p95/p99/p999.
+  EXPECT_NE(json.find("\"p95\""), std::string::npos);
+  EXPECT_NE(json.find("\"p999\""), std::string::npos);
+  EXPECT_EQ(json.find("\"p90\""), std::string::npos);
 }
 
 TEST(ReportTest, SweepCellsCarryCountersDecisionsAndAttribution) {

@@ -200,8 +200,9 @@ TEST(HistogramTest, SummarizeCarriesMoments) {
   EXPECT_DOUBLE_EQ(summary.mean, 0.020);
   EXPECT_DOUBLE_EQ(summary.min, 0.010);
   EXPECT_DOUBLE_EQ(summary.max, 0.030);
-  EXPECT_LE(summary.p50, summary.p90);
-  EXPECT_LE(summary.p90, summary.p99);
+  EXPECT_LE(summary.p50, summary.p95);
+  EXPECT_LE(summary.p95, summary.p99);
+  EXPECT_LE(summary.p99, summary.p999);
 }
 
 TEST(HistogramTest, ToStringListsNonEmptyBuckets) {

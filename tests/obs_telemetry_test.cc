@@ -1,0 +1,537 @@
+#include "obs/telemetry.h"
+
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/dsms.h"
+#include "core/report.h"
+#include "core/sharded_dsms.h"
+#include "obs/openmetrics.h"
+#include "query/workload.h"
+#include "sched/policy.h"
+
+namespace aqsios::obs {
+namespace {
+
+TelemetrySample MakeSample(int64_t i) {
+  // Fields are functions of one generation counter, so any mixed-generation
+  // (torn) read is detectable by cross-checking them.
+  TelemetrySample s;
+  s.virtual_sec = static_cast<double>(i);
+  s.busy_sec = static_cast<double>(2 * i);
+  s.queued_tuples = 3 * i;
+  s.tuples_executed = 5 * i;
+  s.tuples_emitted = 7 * i;
+  s.tuples_filtered = 11 * i;
+  s.tuples_shed = 13 * i;
+  s.tuples_offered = 17 * i;
+  s.scheduling_points = 19 * i;
+  s.slowdown_sum = static_cast<double>(23 * i);
+  s.slowdown_count = 29 * i;
+  s.max_slowdown = static_cast<double>(31 * i);
+  s.done = false;
+  return s;
+}
+
+void ExpectInternallyConsistent(const TelemetrySample& s) {
+  const int64_t i = static_cast<int64_t>(s.virtual_sec);
+  EXPECT_EQ(s.busy_sec, static_cast<double>(2 * i));
+  EXPECT_EQ(s.queued_tuples, 3 * i);
+  EXPECT_EQ(s.tuples_executed, 5 * i);
+  EXPECT_EQ(s.tuples_emitted, 7 * i);
+  EXPECT_EQ(s.tuples_filtered, 11 * i);
+  EXPECT_EQ(s.tuples_shed, 13 * i);
+  EXPECT_EQ(s.tuples_offered, 17 * i);
+  EXPECT_EQ(s.scheduling_points, 19 * i);
+  EXPECT_EQ(s.slowdown_sum, static_cast<double>(23 * i));
+  EXPECT_EQ(s.slowdown_count, 29 * i);
+  EXPECT_EQ(s.max_slowdown, static_cast<double>(31 * i));
+}
+
+TEST(SnapshotCellTest, RoundTripsOneSample) {
+  SnapshotCell cell;
+  EXPECT_EQ(cell.publish_count(), 0u);
+  TelemetrySample out;
+  ASSERT_TRUE(cell.TryRead(&out));  // never-published cells read as zeros
+  EXPECT_EQ(out.tuples_executed, 0);
+
+  TelemetrySample in = MakeSample(42);
+  in.done = true;
+  cell.Publish(in);
+  EXPECT_EQ(cell.publish_count(), 1u);
+  ASSERT_TRUE(cell.TryRead(&out));
+  ExpectInternallyConsistent(out);
+  EXPECT_EQ(out.virtual_sec, 42.0);
+  EXPECT_TRUE(out.done);
+}
+
+// The torn-read hammer (the TSan target): one writer publishing as fast as
+// it can, one reader polling concurrently. Every read that reports
+// consistent must be one whole Publish — the cross-field invariants of
+// MakeSample catch any mixed-generation read — and the generation must
+// never run backwards.
+TEST(SnapshotCellTest, ConcurrentReaderNeverSeesTornOrRegressingSnapshots) {
+  SnapshotCell cell;
+  std::thread writer([&] {
+    for (int64_t i = 1; i <= 200000; ++i) cell.Publish(MakeSample(i));
+    TelemetrySample last = MakeSample(200001);
+    last.done = true;
+    cell.Publish(last);  // sticks — the reader always terminates
+  });
+
+  int64_t consistent_reads = 0;
+  double last_virtual = 0.0;
+  TelemetrySample s;
+  while (true) {
+    if (!cell.TryRead(&s)) continue;
+    ++consistent_reads;
+    ExpectInternallyConsistent(s);
+    EXPECT_GE(s.virtual_sec, last_virtual);
+    last_virtual = s.virtual_sec;
+    if (s.done) break;
+  }
+  writer.join();
+  EXPECT_EQ(s.virtual_sec, 200001.0);
+  EXPECT_GT(consistent_reads, 0);
+}
+
+query::Workload SmallWorkload() {
+  query::WorkloadConfig config;
+  config.num_queries = 8;
+  config.num_arrivals = 400;
+  config.seed = 17;
+  config.utilization = 0.9;
+  return query::GenerateWorkload(config);
+}
+
+// A live reader hammering the cell while a real engine runs: consistent
+// snapshots must be monotone in the virtual clock and the cumulative
+// counters, and the run result must be byte-identical to an unobserved run.
+TEST(SnapshotCellTest, LiveEngineReaderSeesMonotoneSnapshots) {
+  const query::Workload workload = SmallWorkload();
+  const auto policy = sched::PolicyConfig::Of(sched::PolicyKind::kHnr);
+  core::SimulationOptions plain;
+  const std::string base = core::RunResultToJson(
+      core::Simulate(workload, policy, plain));
+
+  TelemetryHub hub(1);
+  core::SimulationOptions observed = plain;
+  observed.telemetry = &hub;
+  core::RunResult result;
+  std::thread engine([&] {
+    result = core::Simulate(workload, policy, observed);
+  });
+
+  TelemetrySample prev;
+  TelemetrySample s;
+  int64_t consistent_reads = 0;
+  while (true) {
+    if (hub.cell(0)->TryRead(&s)) {
+      ++consistent_reads;
+      EXPECT_GE(s.virtual_sec, prev.virtual_sec);
+      EXPECT_GE(s.scheduling_points, prev.scheduling_points);
+      EXPECT_GE(s.tuples_executed, prev.tuples_executed);
+      EXPECT_GE(s.tuples_emitted, prev.tuples_emitted);
+      EXPECT_GE(s.queued_tuples, 0);
+      prev = s;
+      if (s.done) break;
+    }
+  }
+  engine.join();
+  EXPECT_GT(consistent_reads, 0);
+  EXPECT_GT(hub.cell(0)->publish_count(), 0u);
+  // The final snapshot agrees with the merged counters.
+  ASSERT_TRUE(hub.cell(0)->TryRead(&s));
+  EXPECT_EQ(s.scheduling_points, result.counters.scheduling_points);
+  EXPECT_EQ(s.tuples_emitted, result.counters.tuples_emitted);
+  EXPECT_EQ(s.queued_tuples, 0);
+  // Observation-only: the observed run serializes byte-identically.
+  EXPECT_EQ(core::RunResultToJson(result), base);
+}
+
+// The invisibility pin for the whole sampler stack: a sharded run with a
+// hub, a fast sampler, and the watchdog attached produces byte-identical
+// result JSON to the bare run.
+TEST(TelemetrySamplerTest, SampledRunJsonIsByteIdenticalToBareRun) {
+  query::WorkloadConfig config;
+  config.num_queries = 24;
+  config.num_arrivals = 600;
+  config.seed = 23;
+  config.utilization = 1.2;
+  const query::Workload workload = query::GenerateWorkload(config);
+  const auto policy = sched::PolicyConfig::Of(sched::PolicyKind::kBsd);
+
+  core::SimulationOptions plain;
+  plain.shards = 2;
+  const std::string base = core::RunResultToJson(
+      core::SimulateSharded(workload, policy, plain).result);
+
+  TelemetryHub hub(2);
+  TelemetryOptions options;
+  options.period_ms = 0.5;
+  TelemetrySampler sampler(&hub, options, TelemetryMeta{});
+  sampler.Start();
+  core::SimulationOptions observed = plain;
+  observed.telemetry = &hub;
+  const std::string sampled = core::RunResultToJson(
+      core::SimulateSharded(workload, policy, observed).result);
+  sampler.Stop();
+
+  EXPECT_EQ(sampled, base);
+  EXPECT_GE(sampler.samples(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Watchdog
+
+ShardObservation Obs(int shard, double virtual_sec, int64_t queued) {
+  ShardObservation o;
+  o.shard = shard;
+  o.num_queries = 4;
+  o.published = true;
+  o.sample.virtual_sec = virtual_sec;
+  o.sample.queued_tuples = queued;
+  return o;
+}
+
+TEST(HealthWatchdogTest, FlagsStalledShardOnceAndRearms) {
+  WatchdogConfig config;
+  config.stall_samples = 3;
+  HealthWatchdog dog(config, 1);
+  // Progress, then a stall long enough to fire exactly once.
+  int64_t tick = 0;
+  dog.Observe(tick++, 0.0, {Obs(0, 1.0, 10)});
+  for (int i = 0; i < 6; ++i) dog.Observe(tick++, 0.0, {Obs(0, 1.0, 10)});
+  ASSERT_EQ(dog.events().size(), 1u);
+  EXPECT_EQ(dog.events()[0].kind, HealthEventKind::kStalledShard);
+  EXPECT_EQ(dog.events()[0].shard, 0);
+  EXPECT_GE(dog.events()[0].value, 3.0);
+
+  // Progress clears the episode; a second stall fires a second event.
+  dog.Observe(tick++, 0.0, {Obs(0, 2.0, 10)});
+  for (int i = 0; i < 6; ++i) dog.Observe(tick++, 0.0, {Obs(0, 2.0, 10)});
+  EXPECT_EQ(dog.events().size(), 2u);
+}
+
+TEST(HealthWatchdogTest, NeverPublishedShardWithQueriesCountsAsStalled) {
+  WatchdogConfig config;
+  config.stall_samples = 2;
+  HealthWatchdog dog(config, 2);
+  ShardObservation wedged;  // queries assigned, cell never written
+  wedged.shard = 0;
+  wedged.num_queries = 8;
+  wedged.published = false;
+  ShardObservation empty;  // no queries: legitimately idle, never flagged
+  empty.shard = 1;
+  empty.num_queries = 0;
+  empty.published = false;
+  for (int64_t tick = 0; tick < 5; ++tick) {
+    dog.Observe(tick, 0.0, {wedged, empty});
+  }
+  ASSERT_EQ(dog.events().size(), 1u);
+  EXPECT_EQ(dog.events()[0].kind, HealthEventKind::kStalledShard);
+  EXPECT_EQ(dog.events()[0].shard, 0);
+}
+
+TEST(HealthWatchdogTest, FlagsDivergentQueueGrowthPastCapFraction) {
+  WatchdogConfig config;
+  config.divergence_window = 4;
+  config.queue_cap = 1000;
+  config.queue_cap_fraction = 0.5;
+  HealthWatchdog dog(config, 1);
+  // Grows every tick but stays far from the cap: no event.
+  int64_t tick = 0;
+  for (int i = 0; i < 8; ++i) {
+    dog.Observe(tick++, 0.0, {Obs(0, static_cast<double>(i), 10 + i)});
+  }
+  EXPECT_TRUE(dog.events().empty());
+  // Sustained growth past cap/2 fires.
+  for (int i = 0; i < 8; ++i) {
+    dog.Observe(tick++, 0.0, {Obs(0, 100.0 + i, 600 + 10 * i)});
+  }
+  ASSERT_EQ(dog.events().size(), 1u);
+  EXPECT_EQ(dog.events()[0].kind, HealthEventKind::kQueueDivergence);
+}
+
+TEST(HealthWatchdogTest, FlagsShedAndAdmissionSpikes) {
+  WatchdogConfig config;
+  config.shed_spike_fraction = 0.2;
+  config.admission_spike_fraction = 0.2;
+  HealthWatchdog dog(config, 1);
+  ShardObservation calm = Obs(0, 1.0, 0);
+  calm.sample.tuples_offered = 100;
+  calm.sample.tuples_shed = 5;
+  calm.routed = 100;
+  calm.admission_rejected = 5;
+  dog.Observe(0, 0.0, {calm});
+  EXPECT_TRUE(dog.events().empty());
+
+  ShardObservation spiky = Obs(0, 2.0, 0);
+  spiky.sample.tuples_offered = 200;  // window: 100 offered, 55 shed
+  spiky.sample.tuples_shed = 60;
+  spiky.routed = 150;  // window: 50 routed, 45 rejected
+  spiky.admission_rejected = 50;
+  dog.Observe(1, 0.0, {spiky});
+  ASSERT_EQ(dog.events().size(), 2u);
+  EXPECT_EQ(dog.events()[0].kind, HealthEventKind::kShedSpike);
+  EXPECT_EQ(dog.events()[1].kind, HealthEventKind::kAdmissionSpike);
+}
+
+TEST(HealthWatchdogTest, FlagsSloBreachOnWindowedMeanSlowdown) {
+  WatchdogConfig config;
+  config.slo_slowdown_target = 10.0;
+  HealthWatchdog dog(config, 1);
+  ShardObservation ok = Obs(0, 1.0, 0);
+  ok.sample.slowdown_sum = 50.0;  // mean 5 over 10 emissions
+  ok.sample.slowdown_count = 10;
+  dog.Observe(0, 0.0, {ok});
+  EXPECT_TRUE(dog.events().empty());
+
+  ShardObservation slow = Obs(0, 2.0, 0);
+  slow.sample.slowdown_sum = 550.0;  // window: 500 over 10 -> mean 50
+  slow.sample.slowdown_count = 20;
+  dog.Observe(1, 0.0, {slow});
+  ASSERT_EQ(dog.events().size(), 1u);
+  EXPECT_EQ(dog.events()[0].kind, HealthEventKind::kSloBreach);
+}
+
+TEST(FinalizeHealthTest, FlagsAreIndependentAndHealthyWhenNoneFire) {
+  WatchdogConfig config;
+  config.queue_cap = 100;
+  config.slo_slowdown_target = 20.0;
+  RunEndStats calm;
+  calm.peak_queued_tuples = 50;
+  calm.tuples_offered = 1000;
+  calm.tuples_shed = 10;
+  calm.arrivals_routed = 900;
+  calm.admission_rejected = 50;
+  calm.p95_slowdown = 8.0;
+  EXPECT_TRUE(FinalizeHealth(config, calm).healthy);
+
+  RunEndStats bad = calm;
+  bad.peak_queued_tuples = 100;
+  bad.tuples_shed = 400;
+  bad.admission_rejected = 600;
+  bad.p95_slowdown = 90.0;
+  const HealthVerdict verdict = FinalizeHealth(config, bad);
+  EXPECT_FALSE(verdict.healthy);
+  EXPECT_TRUE(verdict.queue_divergence);
+  EXPECT_TRUE(verdict.shed_spike);
+  EXPECT_TRUE(verdict.admission_spike);
+  EXPECT_TRUE(verdict.slo_breach);
+  EXPECT_EQ(verdict.ToString(),
+            "queue_divergence|shed_spike|admission_spike|slo_breach");
+  EXPECT_EQ(FinalizeHealth(config, calm).ToString(), "healthy");
+
+  // p99 governs when the SLO quantile asks for it.
+  WatchdogConfig p99 = config;
+  p99.slo_quantile = 0.99;
+  RunEndStats tail = calm;
+  tail.p99_slowdown = 90.0;
+  EXPECT_FALSE(FinalizeHealth(p99, tail).healthy);
+  EXPECT_TRUE(FinalizeHealth(config, tail).healthy);
+}
+
+// RestateHealth on a real overloaded shed run: deterministic across repeats
+// and spliced into result JSON without touching the base bytes.
+TEST(FinalizeHealthTest, RestatedVerdictIsDeterministicAndSplicesIntoJson) {
+  query::WorkloadConfig config;
+  config.num_queries = 16;
+  config.num_arrivals = 500;
+  config.seed = 7;
+  config.utilization = 3.0;
+  const query::Workload workload = query::GenerateWorkload(config);
+  core::SimulationOptions options;
+  options.shed.enabled = true;
+  options.shed.queue_cap = 128;
+  options.shed.shed_fraction = 1.0;
+  const auto policy = sched::PolicyConfig::Of(sched::PolicyKind::kHnr);
+  const core::RunResult result = core::Simulate(workload, policy, options);
+
+  WatchdogConfig watchdog;
+  watchdog.queue_cap = options.shed.queue_cap;
+  const HealthVerdict verdict = core::RestateHealth(result, watchdog);
+  EXPECT_FALSE(verdict.healthy);  // overload past a finite cap must shed
+  EXPECT_TRUE(verdict.shed_spike);
+  const HealthVerdict again = core::RestateHealth(
+      core::Simulate(workload, policy, options), watchdog);
+  EXPECT_EQ(verdict.ToString(), again.ToString());
+
+  const std::string base = core::RunResultToJson(result);
+  const std::string with_health =
+      core::RunResultToJsonWithHealth(result, verdict);
+  // Byte-identical prefix; the health block rides at the tail.
+  EXPECT_EQ(with_health.substr(0, base.size() - 1),
+            base.substr(0, base.size() - 1));
+  EXPECT_NE(with_health.find("\"health\":{\"healthy\":false"),
+            std::string::npos);
+  EXPECT_NE(with_health.find("\"shed_spike\":true"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Sampler outputs
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+TEST(TelemetrySamplerTest, WritesExpositionFileAndJsonlLog) {
+  const std::string dir = ::testing::TempDir();
+  const std::string metrics_path = dir + "aqsios_telemetry_test.prom";
+  const std::string jsonl_path = dir + "aqsios_telemetry_test.jsonl";
+
+  TelemetryHub hub(2);
+  hub.SetShardQueries(0, 4);
+  hub.SetShardQueries(1, 4);
+  hub.SetRouted(0, 100);
+  hub.SetAdmissionRejected(0, 25);
+  TelemetrySample s = MakeSample(3);
+  hub.cell(0)->Publish(s);
+  s = MakeSample(5);
+  s.done = true;
+  hub.cell(1)->Publish(s);
+
+  TelemetryOptions options;
+  options.period_ms = 2.0;
+  options.metrics_out = metrics_path;
+  options.jsonl_out = jsonl_path;
+  TelemetryMeta meta;
+  meta.job = "obs_telemetry_test";
+  meta.policy = "hnr";
+  TelemetrySampler sampler(&hub, options, meta);
+  sampler.Start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  sampler.Stop();
+  ASSERT_GE(sampler.samples(), 2);
+
+  const std::string exposition = ReadFile(metrics_path);
+  EXPECT_EQ(exposition, sampler.LatestExposition());
+  EXPECT_NE(exposition.find("# TYPE aqsios_tuples_executed counter"),
+            std::string::npos);
+  EXPECT_NE(exposition.find("aqsios_tuples_executed_total{shard=\"0\"} 15"),
+            std::string::npos);
+  EXPECT_NE(exposition.find("aqsios_arrivals_routed_total{shard=\"0\"} 100"),
+            std::string::npos);
+  EXPECT_NE(
+      exposition.find("aqsios_admission_rejected_total{shard=\"0\"} 25"),
+      std::string::npos);
+  EXPECT_NE(exposition.find("aqsios_shard_done{shard=\"1\"} 1"),
+            std::string::npos);
+  EXPECT_NE(exposition.find("job=\"obs_telemetry_test\""), std::string::npos);
+  ASSERT_GE(exposition.size(), 6u);
+  EXPECT_EQ(exposition.substr(exposition.size() - 6), "# EOF\n");
+
+  std::ifstream jsonl(jsonl_path);
+  std::string line;
+  ASSERT_TRUE(std::getline(jsonl, line));
+  EXPECT_NE(line.find("\"schema\":\"aqsios-telemetry/1\""),
+            std::string::npos);
+  EXPECT_NE(line.find("\"shards\":2"), std::string::npos);
+  int64_t sample_lines = 0;
+  while (std::getline(jsonl, line)) {
+    EXPECT_EQ(line.find("{\"sample\":"), 0u);
+    EXPECT_NE(line.find("\"shards\":["), std::string::npos);
+    ++sample_lines;
+  }
+  EXPECT_EQ(sample_lines, sampler.samples());
+}
+
+TEST(OpenMetricsTest, WriteFileAtomicReplacesContents) {
+  const std::string path = ::testing::TempDir() + "aqsios_atomic_test.txt";
+  ASSERT_TRUE(WriteFileAtomic(path, "first\n"));
+  ASSERT_TRUE(WriteFileAtomic(path, "second\n"));
+  EXPECT_EQ(ReadFile(path), "second\n");
+}
+
+std::string HttpGet(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  const char request[] = "GET /metrics HTTP/1.1\r\nHost: localhost\r\n\r\n";
+  (void)!::send(fd, request, sizeof(request) - 1, 0);
+  std::string response;
+  char buffer[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buffer, sizeof(buffer), 0)) > 0) {
+    response.append(buffer, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST(OpenMetricsTest, HttpServerServesLatestBodyOnEphemeralPort) {
+  MetricsHttpServer server;
+  ASSERT_TRUE(server.Start(0));
+  ASSERT_GT(server.port(), 0);
+  server.SetBody("aqsios_shards 2\n# EOF\n");
+  const std::string response = HttpGet(server.port());
+  EXPECT_EQ(response.find("HTTP/1.1 200 OK"), 0u);
+  EXPECT_NE(response.find("application/openmetrics-text"),
+            std::string::npos);
+  EXPECT_NE(response.find("aqsios_shards 2\n# EOF\n"), std::string::npos);
+  server.Stop();
+}
+
+TEST(TelemetrySamplerTest, ServesMetricsOverHttpWhileRunning) {
+  TelemetryHub hub(1);
+  hub.cell(0)->Publish(MakeSample(2));
+  TelemetryOptions options;
+  options.period_ms = 2.0;
+  options.http_port = 0;  // ephemeral
+  TelemetrySampler sampler(&hub, options, TelemetryMeta{});
+  sampler.Start();
+  ASSERT_GT(sampler.http_port(), 0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  const std::string response = HttpGet(sampler.http_port());
+  sampler.Stop();
+  EXPECT_EQ(response.find("HTTP/1.1 200 OK"), 0u);
+  EXPECT_NE(response.find("aqsios_shard_virtual_seconds{shard=\"0\"} 2"),
+            std::string::npos);
+}
+
+TEST(OpenMetricsTest, RenderedExpositionHasCounterSuffixesAndEof) {
+  std::vector<ShardObservation> observations(1);
+  observations[0] = Obs(0, 4.0, 7);
+  observations[0].sample.tuples_executed = 12;
+  TelemetryMeta meta;
+  meta.policy = "with \"quotes\" and \\ backslash";
+  const std::string text = RenderOpenMetrics(meta, observations, 3, 1.5);
+  EXPECT_EQ(text.find("# TYPE aqsios_build gauge"), 0u);
+  // Label values are escaped per the OpenMetrics ABNF.
+  EXPECT_NE(text.find("policy=\"with \\\"quotes\\\" and \\\\ backslash\""),
+            std::string::npos);
+  EXPECT_NE(text.find("aqsios_sampler_ticks_total 4"), std::string::npos);
+  EXPECT_NE(text.find("aqsios_shard_queued_tuples{shard=\"0\"} 7"),
+            std::string::npos);
+  // Counters carry the _total sample suffix; gauges do not.
+  EXPECT_NE(text.find("aqsios_tuples_executed_total{shard=\"0\"} 12"),
+            std::string::npos);
+  EXPECT_EQ(text.find("aqsios_shard_virtual_seconds_total"),
+            std::string::npos);
+  EXPECT_EQ(text.substr(text.size() - 6), "# EOF\n");
+}
+
+}  // namespace
+}  // namespace aqsios::obs

@@ -46,6 +46,24 @@ TEST(EventTracerTest, RingWrapKeepsNewestOldestFirst) {
   }
 }
 
+// The masked ring pin: a non-power-of-two capacity rounds up to the next
+// power of two, and wraparound under the mask keeps exactly the newest
+// `capacity` events oldest-first — the same window the modulo ring kept.
+TEST(EventTracerTest, NonPowerOfTwoCapacityRoundsUpAndWrapsEquivalently) {
+  EventTracer tracer(6);
+  EXPECT_EQ(tracer.capacity(), 8u);
+  for (int i = 0; i < 21; ++i) {
+    tracer.Record(Instant(EventKind::kEnqueue, 0.01 * i, i));
+  }
+  EXPECT_EQ(tracer.recorded(), 21);
+  EXPECT_EQ(tracer.dropped(), 13);
+  const auto events = tracer.Events();
+  ASSERT_EQ(events.size(), 8u);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(events[static_cast<size_t>(i)].a, i + 13);
+  }
+}
+
 TEST(EventTracerTest, CountOfAndClear) {
   EventTracer tracer(16);
   tracer.Record(Instant(EventKind::kEmit, 0.1));
