@@ -36,6 +36,13 @@
 //    throughput (tuples_per_vsec), and batch>=8 must clear 1.5x the batch=1
 //    throughput for the overhead-paying policies (LSF/BSD) or the run
 //    aborts.
+//  * kernel/{scalar,columnar}/<policy>/q=<n>/ov=on/batch=32 — a train-bound
+//    kernel-stress cell (deep fused select chains under sustained backlog,
+//    see MakeKernelStressWorkload) executed with the scalar train pass vs
+//    the columnar SoA kernels (docs/performance.md). Both serialized results
+//    are checked for byte equality; each cell carries its wall-clock
+//    tuples_per_wall_sec, and the columnar cell carries speedup_vs_scalar,
+//    which scripts/perf_compare.py gates at >= 1.5x in CI.
 
 #include <algorithm>
 #include <chrono>
@@ -50,6 +57,7 @@
 #include "common/check.h"
 #include "common/flags.h"
 #include "core/dsms.h"
+#include "core/report.h"
 #include "exec/window_join.h"
 #include "query/workload.h"
 #include "sched/policy.h"
@@ -78,6 +86,13 @@ struct BenchResult {
   /// batched sim/ cells; 0 = not applicable, omitted from the JSON.
   /// Deterministic — a pure function of the simulation, not of the host.
   double tuples_per_vsec = 0.0;
+  /// Wall-clock throughput (emitted tuples per second of host time, fastest
+  /// repetition) for the kernel/ cells; 0 = not applicable, omitted.
+  double tuples_per_wall_sec = 0.0;
+  /// Columnar kernel/ cells only: wall-clock speedup over the paired scalar
+  /// cell (scalar wall / columnar wall, fastest repetitions); 0 = not
+  /// applicable, omitted. Gated by scripts/perf_compare.py.
+  double speedup_vs_scalar = 0.0;
 };
 
 /// Runs `body` (which performs `ops` operations) `reps` times and keeps the
@@ -350,6 +365,108 @@ void BenchSimBatched(const query::Workload& workload,
 }
 
 // ---------------------------------------------------------------------------
+// Columnar kernel cells (scalar vs SoA train execution).
+
+/// Builds the kernel cells' workload: deep fused select chains under
+/// sustained backlog, so the tuple-train chain pass — the code the columnar
+/// kernels replace — dominates the cell instead of the delivery/QoS floor
+/// that the §8 testbed cells (3-op chains, utilization 0.9) spend most of
+/// their wall-clock in. Each query is a 48-select correlated chain whose
+/// selectivities step down from 0.98 to 0.15 in plateaus of four operators
+/// (the scalar pass evaluates ~half the chain per tuple before the first
+/// failing predicate; plateaus let the columnar reach kernel reuse its
+/// prefix-min survivor counts), costs cycle through four cost classes, and
+/// deterministic arrivals at 1.3x capacity keep every train at the full
+/// batch size. Deterministic; byte-equality between the scalar and columnar
+/// runs is asserted on it like on any workload.
+query::Workload MakeKernelStressWorkload(int queries, int64_t arrivals) {
+  constexpr int kChainOps = 48;
+  constexpr int kPlateau = 4;
+  std::vector<query::CompiledQuery> compiled;
+  compiled.reserve(static_cast<size_t>(queries));
+  for (int qi = 0; qi < queries; ++qi) {
+    query::QuerySpec spec;
+    spec.id = qi;
+    spec.left_stream = 0;
+    const double cost_ms = 0.002 * static_cast<double>(1 << (qi % 4));
+    for (int x = 0; x < kChainOps; ++x) {
+      const int step = (x / kPlateau) * kPlateau;
+      const double selectivity =
+          0.98 - (0.98 - 0.15) * static_cast<double>(step) /
+                     static_cast<double>(kChainOps - 1);
+      spec.left_ops.push_back(query::MakeSelect(cost_ms, selectivity));
+    }
+    compiled.emplace_back(std::move(spec),
+                          query::SelectivityMode::kCorrelatedAttribute);
+  }
+  query::Workload workload;
+  workload.selectivity_mode = query::SelectivityMode::kCorrelatedAttribute;
+  workload.plan = query::GlobalPlan(std::move(compiled), {}, /*num_streams=*/1);
+  const double interval = workload.plan.ExpectedWorkPerArrival(0) / 1.3;
+  workload.expected_utilization = 1.3;
+  Rng rng(7);
+  workload.arrivals.arrivals.reserve(static_cast<size_t>(arrivals));
+  for (int64_t i = 0; i < arrivals; ++i) {
+    stream::Arrival arrival;
+    arrival.id = i;
+    arrival.stream = 0;
+    arrival.time = interval * static_cast<double>(i);
+    arrival.attribute = rng.Uniform(0.0, 100.0);
+    workload.arrivals.arrivals.push_back(arrival);
+  }
+  return workload;
+}
+
+core::RunResult KernelSimCell(const query::Workload& workload,
+                              const std::string& policy, bool columnar) {
+  sched::PolicyConfig config = PickPolicy(policy, /*kinetic=*/true);
+  core::SimulationOptions options;
+  options.qos.track_per_class = false;
+  options.charge_scheduling_overhead = true;
+  options.batch_size = 32;
+  options.use_columnar_kernels = columnar;
+  return core::Simulate(workload, config, options);
+}
+
+/// Benchmarks one policy's batch=32 overhead-charged kernel-stress cell
+/// under the scalar train pass and under the columnar SoA kernels. The two
+/// serialized results must be byte-equal — the flag selects an execution
+/// strategy, not semantics — and the columnar cell carries its wall-clock
+/// speedup over the scalar cell for the CI kernel gate
+/// (scripts/perf_compare.py).
+void BenchKernel(const query::Workload& workload, const std::string& policy,
+                 int queries, int reps, std::vector<BenchResult>* results) {
+  const core::RunResult scalar = KernelSimCell(workload, policy, false);
+  const core::RunResult columnar = KernelSimCell(workload, policy, true);
+  AQSIOS_CHECK(core::RunResultToJson(scalar) ==
+               core::RunResultToJson(columnar))
+      << "columnar kernels changed " << policy << "'s serialized results";
+  const double emitted = static_cast<double>(scalar.qos.tuples_emitted);
+  std::ostringstream scalar_name;
+  scalar_name << "kernel/scalar/" << policy << "/q=" << queries
+              << "/ov=on/batch=32";
+  BenchResult scalar_cell = RunTimed(scalar_name.str(), 1, reps, [&] {
+    const core::RunResult r = KernelSimCell(workload, policy, false);
+    KeepAlive(static_cast<int64_t>(r.qos.tuples_emitted));
+  });
+  std::ostringstream columnar_name;
+  columnar_name << "kernel/columnar/" << policy << "/q=" << queries
+                << "/ov=on/batch=32";
+  BenchResult columnar_cell = RunTimed(columnar_name.str(), 1, reps, [&] {
+    const core::RunResult r = KernelSimCell(workload, policy, true);
+    KeepAlive(static_cast<int64_t>(r.qos.tuples_emitted));
+  });
+  scalar_cell.tuples_per_wall_sec = emitted / (scalar_cell.wall_ms * 1e-3);
+  columnar_cell.tuples_per_wall_sec = emitted / (columnar_cell.wall_ms * 1e-3);
+  columnar_cell.speedup_vs_scalar =
+      scalar_cell.wall_ms / columnar_cell.wall_ms;
+  std::cout << "kernel/" << policy << ": columnar speedup "
+            << columnar_cell.speedup_vs_scalar << "x\n";
+  results->push_back(scalar_cell);
+  results->push_back(columnar_cell);
+}
+
+// ---------------------------------------------------------------------------
 
 std::string ToJson(const std::vector<BenchResult>& results, int queries,
                    int64_t arrivals, uint64_t seed, int reps,
@@ -369,6 +486,12 @@ std::string ToJson(const std::vector<BenchResult>& results, int queries,
        << ", \"ops\": " << r.ops << ", \"wall_ms\": " << r.wall_ms;
     if (r.tuples_per_vsec > 0.0) {
       os << ", \"tuples_per_vsec\": " << r.tuples_per_vsec;
+    }
+    if (r.tuples_per_wall_sec > 0.0) {
+      os << ", \"tuples_per_wall_sec\": " << r.tuples_per_wall_sec;
+    }
+    if (r.speedup_vs_scalar > 0.0) {
+      os << ", \"speedup_vs_scalar\": " << r.speedup_vs_scalar;
     }
     os << "}" << (i + 1 < results.size() ? "," : "") << "\n";
   }
@@ -470,6 +593,15 @@ int Main(int argc, char** argv) {
   if (!quick) {
     BenchSimBatched(workload, "lsf", queries, reps, batches, &results);
   }
+
+  // Scalar vs columnar train kernels at batch=32 on the train-bound
+  // kernel-stress workload (docs/performance.md). Runs in quick mode too so
+  // the CI smoke and sanitizer jobs execute the columnar path and its
+  // byte-equality check.
+  const query::Workload kernel_workload =
+      MakeKernelStressWorkload(queries, quick ? 4000 : 15000);
+  BenchKernel(kernel_workload, "lsf", queries, reps, &results);
+  BenchKernel(kernel_workload, "bsd", queries, reps, &results);
 
   if (!quick) {
     // 500-query cell: the ready set is large enough that the kinetic

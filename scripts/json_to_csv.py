@@ -17,7 +17,10 @@ bench_micro_sched / bench_scaling / bench_stress --out BENCH_perf.json) are
 detected automatically and emitted as a flat table — the pivot options do
 not apply to them. Besides name,ns_per_op,ops,wall_ms the table carries the
 optional per-cell columns: tuples_per_vsec (deterministic virtual
-throughput of the batched sim cells), the shard-scaling curve's
+throughput of the batched sim cells), the columnar-kernel cells'
+tuples_per_wall_sec and speedup_vs_scalar
+(kernel/{scalar,columnar}/<policy>/... cells, see docs/performance.md),
+the shard-scaling curve's
 tuples_per_wall_sec, speedup_vs_shards1 and load_imbalance
 (scaling/<policy>/q=N/shards=K cells, see docs/scaling.md), and the
 overload-stress frontier's shed_ratio, p99_slowdown, avg_slowdown,
@@ -179,6 +182,7 @@ def main():
     if cells and isinstance(cells[0], dict) and "ns_per_op" in cells[0]:
         # aqsios-bench-perf/1 micro-benchmark rows: flat table, no pivot.
         optional = ["tuples_per_vsec", "tuples_per_wall_sec",
+                    "speedup_vs_scalar",
                     "speedup_vs_shards1", "load_imbalance", "shed_ratio",
                     "p99_slowdown", "avg_slowdown", "peak_queued_tuples",
                     "tuples_emitted", "admission_dropped",

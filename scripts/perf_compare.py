@@ -13,7 +13,12 @@ Accepts either report the repo's bench binaries write:
     (stress/<policy>/q=N/shed=F and .../admission=shards4) are additionally
     compared on p99_slowdown under "<name>/p99" — the frontier's QoS axis is
     a deterministic virtual quantity, so a worsening p99 at the same shed
-    fraction is a real scheduling regression, not machine noise.
+    fraction is a real scheduling regression, not machine noise. The
+    columnar-kernel cells (kernel/columnar/...) are additionally compared on
+    the inverse of speedup_vs_scalar under "<name>/speedup", and the
+    candidate's speedups are gated absolutely against --min-kernel-speedup:
+    the speedup is measured within one report on one machine, so unlike raw
+    ns_per_op it is robust to host differences and can be a hard floor.
   * aqsios-bench-sweep/1 (bench_sweep_all --out BENCH_sweep.json):
     cells are matched by (figure, utilization, policy) and compared on
     wall_ms.
@@ -41,13 +46,15 @@ import json
 import sys
 
 
-def load_entries(path, overheads=None):
+def load_entries(path, overheads=None, kernel_speedups=None):
     """Returns (schema, {key: value}) for one report file.
 
     Keys are benchmark names (perf schema) or "figure/util/policy" strings
     (sweep schema); values are the compared metric (ns_per_op / wall_ms).
     When `overheads` is a dict, cells carrying telemetry_overhead_pct (the
-    bench_scaling sampler-overhead pair) record it there by name.
+    bench_scaling sampler-overhead pair) record it there by name. When
+    `kernel_speedups` is a dict, cells carrying speedup_vs_scalar (the
+    columnar-kernel cells) record it there by name.
     """
     with open(path, encoding="utf-8") as handle:
         report = json.load(handle)
@@ -67,6 +74,15 @@ def load_entries(path, overheads=None):
                 p99 = bench.get("p99_slowdown")
                 if p99 is not None:
                     entries[bench["name"] + "/p99"] = float(p99)
+            # Columnar-kernel cells also gate on their within-report
+            # wall-clock speedup over the paired scalar cell, inverted so
+            # lower stays better; the candidate's speedups are additionally
+            # gated absolutely (see module docstring).
+            kernel = bench.get("speedup_vs_scalar")
+            if kernel:
+                entries[bench["name"] + "/speedup"] = 1.0 / float(kernel)
+                if kernel_speedups is not None:
+                    kernel_speedups[bench["name"]] = float(kernel)
             pct = bench.get("telemetry_overhead_pct")
             if pct is not None and overheads is not None:
                 overheads[bench["name"]] = float(pct)
@@ -96,11 +112,17 @@ def main():
                         help="absolute ceiling (in percent) for "
                              "telemetry_overhead_pct cells in the candidate "
                              "report (default: 2.0)")
+    parser.add_argument("--min-kernel-speedup", type=float, default=1.5,
+                        help="absolute floor for speedup_vs_scalar on the "
+                             "candidate's kernel/columnar/ cells "
+                             "(default: 1.5)")
     args = parser.parse_args()
 
     old_schema, old_entries = load_entries(args.old)
     new_overheads = {}
-    new_schema, new_entries = load_entries(args.new, overheads=new_overheads)
+    new_kernel_speedups = {}
+    new_schema, new_entries = load_entries(args.new, overheads=new_overheads,
+                                           kernel_speedups=new_kernel_speedups)
     if old_schema != new_schema:
         print(f"error: schema mismatch: {old_schema} vs {new_schema}",
               file=sys.stderr)
@@ -134,12 +156,12 @@ def main():
     label = "warning" if args.warn_only else "error"
     for key in only_old:
         print(f"{key}: removed (only in {args.old})")
-        print(f"{label}: cell missing from {args.new}: {key}",
-              file=sys.stderr)
+        print(f"{label}: cell {key} is in the baseline ({args.old}) but "
+              f"missing from the candidate ({args.new})", file=sys.stderr)
     for key in only_new:
         print(f"{key}: added (only in {args.new})")
-        print(f"{label}: extra cell not in baseline {args.old}: {key}",
-              file=sys.stderr)
+        print(f"{label}: cell {key} is in the candidate ({args.new}) but "
+              f"missing from the baseline ({args.old})", file=sys.stderr)
 
     # Sampler overhead is gated absolutely, not against the baseline: the
     # live-telemetry contract is "attaching the sampler costs <= the bar",
@@ -152,6 +174,18 @@ def main():
             verdict = "ok"
         print(f"{key}: telemetry overhead {pct:.2f}% "
               f"(max {args.max_telemetry_overhead:.2f}%)  {verdict}")
+
+    # Kernel speedup is gated absolutely too: the columnar train kernels
+    # must beat the scalar pass by the floor on whatever machine ran the
+    # candidate report.
+    for key, speedup in sorted(new_kernel_speedups.items()):
+        if speedup < args.min_kernel_speedup:
+            verdict = "REGRESSION"
+            regressions.append(key + "/kernel-speedup")
+        else:
+            verdict = "ok"
+        print(f"{key}: columnar speedup {speedup:.2f}x "
+              f"(min {args.min_kernel_speedup:.2f}x)  {verdict}")
 
     print(f"\n{len(shared)} compared, {len(improvements)} improved, "
           f"{len(regressions)} regressed, {len(only_old)} missing, "

@@ -36,6 +36,13 @@ void* Arena::Allocate(size_t bytes, size_t alignment) {
   return reinterpret_cast<void*>(aligned);
 }
 
+void* Arena::AllocateAligned(size_t bytes, size_t alignment) {
+  AQSIOS_CHECK_GT(alignment, 0u);
+  AQSIOS_CHECK_EQ(alignment & (alignment - 1), 0u)
+      << "alignment must be a power of two";
+  return Allocate(bytes, alignment);
+}
+
 void Arena::Reset() {
   chunks_.clear();
   cursor_ = nullptr;

@@ -44,6 +44,28 @@ class Arena {
   /// Returns `bytes` of storage aligned to `alignment` (a power of two).
   void* Allocate(size_t bytes, size_t alignment);
 
+  /// Cache-line / SIMD-friendly default alignment for column storage.
+  static constexpr size_t kColumnAlignment = 64;
+
+  /// Allocation entry point for column storage: identical to Allocate, but
+  /// the alignment contract is CHECKed in release builds too. Columnar
+  /// callers compute large alignments (cache lines, vector widths) from
+  /// configuration rather than from a type, so a bad value must fail loudly
+  /// instead of silently mis-aligning every kernel load.
+  void* AllocateAligned(size_t bytes, size_t alignment);
+
+  /// Typed column allocation: a `count`-element array of trivially
+  /// destructible T aligned to `alignment` (default: one cache line, so
+  /// adjacent columns never share a line and vector loads are aligned).
+  /// Storage is raw — no constructors run.
+  template <typename T>
+  T* AllocateSpan(size_t count, size_t alignment = kColumnAlignment) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena storage is reclaimed without running destructors");
+    return static_cast<T*>(
+        AllocateAligned(count * sizeof(T), std::max(alignment, alignof(T))));
+  }
+
   /// Drops every chunk and returns the arena to its freshly constructed
   /// state. Invalidates all outstanding allocations.
   void Reset();

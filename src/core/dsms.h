@@ -58,6 +58,11 @@ struct SimulationOptions {
   /// seconds; 0 disables. Any positive value engages the batched
   /// dispatcher even at batch_size 1.
   SimTime batch_quantum = 0.0;
+  /// Columnar (SoA) kernel execution of batched chain trains
+  /// (exec::EngineConfig::use_columnar_kernels, docs/performance.md).
+  /// Results are bit-identical either way; on by default, off measures the
+  /// scalar train floor. Only engages when the batched dispatcher does.
+  bool use_columnar_kernels = true;
 
   /// Shard-parallel runtime (core/sharded_dsms.h, docs/scaling.md): number
   /// of shards K the query population is partitioned into. 1 = the classic

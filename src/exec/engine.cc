@@ -1,6 +1,7 @@
 #include "exec/engine.h"
 
 #include <algorithm>
+#include <limits>
 #include <sstream>
 #include <utility>
 
@@ -188,6 +189,58 @@ Engine::Engine(const query::GlobalPlan* plan,
     stats_monitor_ = std::make_unique<StatsMonitor>(
         config.adaptation, &built_.units, scheduler_);
   }
+
+  // Columnar kernel plans: per-operator constants and fusion runs, pinned
+  // once here because the compiled plan is immutable for the whole run (the
+  // stats monitor adapts UnitStats, never OperatorSpec). Traced runs keep
+  // the scalar pass — it emits one kOperatorInvocation event per charge in
+  // clock order, which the batched replay cannot reproduce lazily.
+  columnar_ = config.use_columnar_kernels && batching_ && tracer_ == nullptr;
+  if (columnar_) {
+    unit_kernels_.resize(built_.units.size());
+    for (const sched::Unit& unit : built_.units) {
+      if (unit.kind != sched::UnitKind::kQueryChain &&
+          unit.kind != sched::UnitKind::kRemainder) {
+        continue;
+      }
+      const ChainFusion& fusion =
+          built_.chain_fusion[static_cast<size_t>(unit.id)];
+      // A stateful operator inside the segment leaves a gap no kernel
+      // covers; such units (none in validated plans) stay scalar.
+      if (!fusion.contiguous) continue;
+      const query::CompiledQuery& q = plan_->query(unit.query);
+      UnitKernelPlan& kplan = unit_kernels_[static_cast<size_t>(unit.id)];
+      kplan.enabled = true;
+      kplan.correlated = q.selectivity_mode() ==
+                         query::SelectivityMode::kCorrelatedAttribute;
+      kplan.from =
+          unit.kind == sched::UnitKind::kRemainder ? unit.op_index : 0;
+      kplan.n_ops = static_cast<int>(q.spec().left_ops.size());
+      for (int x = kplan.from; x < kplan.n_ops; ++x) {
+        const query::OperatorSpec& op =
+            q.spec().left_ops[static_cast<size_t>(x)];
+        KernelOp kop;
+        kop.cost = op.cost();
+        kop.selectivity = op.EffectiveActualSelectivity();
+        kop.threshold = kop.selectivity >= 1.0
+                            ? std::numeric_limits<double>::infinity()
+                            : kop.selectivity * 100.0;
+        kop.ordinal = x;
+        kplan.ops.push_back(kop);
+      }
+      kplan.runs = fusion.runs;
+      // Prefix-min thresholds per fused run (see KernelOp::run_prefix_min).
+      for (const FusedKernel& run : kplan.runs) {
+        double prefix_min = std::numeric_limits<double>::infinity();
+        for (int i = 0; i < run.num_ops; ++i) {
+          KernelOp& kop = kplan.ops[static_cast<size_t>(
+              run.first_op - kplan.from + i)];
+          prefix_min = std::min(prefix_min, kop.threshold);
+          kop.run_prefix_min = prefix_min;
+        }
+      }
+    }
+  }
 }
 
 void Engine::Charge(SimTime cost) {
@@ -199,6 +252,24 @@ void Engine::Charge(SimTime cost) {
   counters_.busy_time += cost;
   ++counters_.operator_invocations;
   if (stats_monitor_ != nullptr) stats_monitor_->AddBusyTime(cost);
+}
+
+void Engine::ChargeBulk(SimTime cost, int64_t invocations) {
+  if (invocations <= 0) return;
+  if (tracer_ != nullptr) {
+    // Traced batched runs keep one event per invocation (the count contract
+    // with RunCounters), timestamped at the pre-charge clock — train charges
+    // are per-operator, so per-tuple intermediate clocks no longer exist.
+    for (int64_t i = 0; i < invocations; ++i) {
+      tracer_->Record({obs::EventKind::kOperatorInvocation, now_, cost,
+                       cur_unit_, cur_query_});
+    }
+  }
+  const SimTime total = cost * static_cast<double>(invocations);
+  now_ += total;
+  counters_.busy_time += total;
+  counters_.operator_invocations += invocations;
+  if (stats_monitor_ != nullptr) stats_monitor_->AddBusyTime(total);
 }
 
 void Engine::DropTuple(query::QueryId q, int64_t arrival) {
@@ -681,22 +752,47 @@ void Engine::ExecuteChainTrain(const sched::Unit& unit, size_t count) {
   for (uint32_t i = 0; i < static_cast<uint32_t>(count); ++i) {
     train_sel_.push_back(i);
   }
+  // The selectivity mode is a plan invariant: hoist it (and below, each
+  // operator's effective selectivity and derived threshold) out of the
+  // tuple loop. The predicate is a manually inlined Passes() and must stay
+  // in lockstep with it — same comparisons, same MixKeys key.
+  const bool correlated =
+      q.selectivity_mode() == query::SelectivityMode::kCorrelatedAttribute;
+  const uint64_t query_key = static_cast<uint64_t>(q.id());
   // Operator-at-a-time over the surviving run: evaluate each chain operator
   // against every survivor before moving to the next operator, compacting
-  // the selection vector in place. The last operator emits survivors inline
-  // so each tuple departs with its own virtual timestamp (monotone within
-  // the train). At count == 1 the charge/emit sequence is exactly the
-  // per-tuple RunChainOps + EmitSingle sequence.
+  // the selection vector in place. Non-root operators charge the clock in
+  // bulk (ChargeBulk — one per-operator advance for the whole train); the
+  // last operator charges and emits per survivor so each tuple departs with
+  // its own virtual timestamp (monotone within the train). At count == 1
+  // the charge/emit sequence is exactly the per-tuple RunChainOps +
+  // EmitSingle sequence (ChargeBulk of one is Charge).
   for (int x = from; x < n_ops && !train_sel_.empty(); ++x) {
     const query::OperatorSpec& op = ops[static_cast<size_t>(x)];
+    const SimTime cost = op.cost();
+    const double selectivity = op.EffectiveActualSelectivity();
+    const bool pass_all = selectivity >= 1.0;
+    const double threshold = selectivity * 100.0;
+    const uint64_t ordinal = static_cast<uint64_t>(x);
     const bool last = x + 1 == n_ops;
+    if (!last) {
+      ChargeBulk(cost, static_cast<int64_t>(train_sel_.size()));
+    }
     size_t kept = 0;
     for (const uint32_t idx : train_sel_) {
       const sched::QueueEntry& entry = train_[idx];
       const stream::Arrival& arrival =
           arrivals_->arrivals[static_cast<size_t>(entry.arrival)];
-      Charge(op.cost());
-      if (!Passes(op, arrival, q, x)) {
+      if (last) Charge(cost);
+      const bool passes =
+          pass_all ||
+          (correlated
+               ? arrival.attribute <= threshold
+               : FrozenBernoulli(
+                     MixKeys(kFilterSalt, static_cast<uint64_t>(arrival.id),
+                             query_key, ordinal),
+                     selectivity));
+      if (!passes) {
         DropTuple(q.id(), arrival.id);
         continue;
       }
@@ -710,15 +806,248 @@ void Engine::ExecuteChainTrain(const sched::Unit& unit, size_t count) {
   }
 }
 
+void Engine::EnsureColumnCapacity(size_t n) {
+  if (n <= col_capacity_) return;
+  size_t capacity = col_capacity_ == 0 ? 256 : col_capacity_;
+  while (capacity < n) capacity *= 2;
+  // Growth re-carves the arena wholesale: the columns are per-train scratch
+  // (nothing survives a dispatch), so dropping every chunk and allocating
+  // the larger columns fresh keeps each one contiguous and aligned.
+  column_arena_.Reset();
+  col_attr_ = column_arena_.AllocateSpan<double>(capacity);
+  col_id_ = column_arena_.AllocateSpan<stream::ArrivalId>(capacity);
+  col_arrival_time_ = column_arena_.AllocateSpan<SimTime>(capacity);
+  col_depth_ = column_arena_.AllocateSpan<uint32_t>(capacity);
+  col_sel_ = column_arena_.AllocateSpan<uint32_t>(capacity);
+  col_sel_next_ = column_arena_.AllocateSpan<uint32_t>(capacity);
+  col_capacity_ = capacity;
+}
+
+void Engine::CountReachAttribute(const uint32_t* sel, size_t n,
+                                 const KernelOp* ops, int k) {
+  kernel_reach_.assign(static_cast<size_t>(k) + 1, 0);
+  kernel_reach_[0] = static_cast<int64_t>(n);
+  for (int x = 1; x <= k; ++x) {
+    const double bound = ops[x - 1].run_prefix_min;
+    // An unchanged prefix min means an identical comparison over identical
+    // lanes: reuse the count. Random threshold sequences change their
+    // running min only O(log k) times, so most entries take this path.
+    if (x > 1 && bound == ops[x - 2].run_prefix_min) {
+      kernel_reach_[static_cast<size_t>(x)] =
+          kernel_reach_[static_cast<size_t>(x) - 1];
+      continue;
+    }
+    int64_t count = 0;
+    if (sel == nullptr) {
+      for (size_t j = 0; j < n; ++j) {
+        count += col_attr_[j] <= bound ? 1 : 0;
+      }
+    } else {
+      for (size_t j = 0; j < n; ++j) {
+        count += col_attr_[sel[j]] <= bound ? 1 : 0;
+      }
+    }
+    kernel_reach_[static_cast<size_t>(x)] = count;
+    // The prefix min only tightens, so once no lane survives a prefix the
+    // remaining entries stay at the zero assign() left there.
+    if (count == 0) break;
+  }
+}
+
+void Engine::DepthKernelBernoulli(const uint32_t* sel, size_t n,
+                                  const KernelOp* ops, int k,
+                                  uint64_t query_key) {
+  // FrozenUniform draws lie in [0, 1), so a selectivity >= 1 operator needs
+  // no special case: the draw is spent but the scalar outcome (pass) is
+  // reproduced, and the lane loop stays branch-free.
+  if (k == 1) {
+    // Specialized single-predicate filter kernel.
+    const double selectivity = ops[0].selectivity;
+    const uint64_t ordinal = static_cast<uint64_t>(ops[0].ordinal);
+    for (size_t j = 0; j < n; ++j) {
+      const uint64_t id = static_cast<uint64_t>(
+          col_id_[sel == nullptr ? j : static_cast<size_t>(sel[j])]);
+      const uint64_t key = MixKeys(kFilterSalt, id, query_key, ordinal);
+      col_depth_[j] = FrozenUniform(key) < selectivity ? 1u : 0u;
+    }
+    return;
+  }
+  for (size_t j = 0; j < n; ++j) {
+    const uint64_t id = static_cast<uint64_t>(
+        col_id_[sel == nullptr ? j : static_cast<size_t>(sel[j])]);
+    // MixKeys(a, b, c, d) == MixKeys(MixKeys(a, b, c), d): the
+    // (salt, id, query) prefix is loop-invariant across the run's ops.
+    const uint64_t prefix = MixKeys(kFilterSalt, id, query_key);
+    uint32_t depth = 0;
+    uint32_t alive = 1;
+    for (int x = 0; x < k; ++x) {
+      const uint64_t key =
+          MixKeys(prefix, static_cast<uint64_t>(ops[x].ordinal));
+      alive &= FrozenUniform(key) < ops[x].selectivity ? 1u : 0u;
+      depth += alive;
+    }
+    col_depth_[j] = depth;
+  }
+}
+
+void Engine::ExecuteChainTrainColumnar(const sched::Unit& unit,
+                                       size_t count) {
+  const query::CompiledQuery& q = plan_->query(unit.query);
+  const UnitKernelPlan& kplan = unit_kernels_[static_cast<size_t>(unit.id)];
+  if (kplan.from >= kplan.n_ops) {
+    for (size_t i = 0; i < count; ++i) {
+      EmitSingle(q, col_id_[i], col_arrival_time_[i]);
+    }
+    return;
+  }
+  const uint64_t query_key = static_cast<uint64_t>(q.id());
+  const bool track_stats = stats_monitor_ != nullptr;
+  uint32_t* sel = col_sel_;
+  uint32_t* sel_next = col_sel_next_;
+  size_t n = count;
+  // Lanes scan the columns in gathered order until the first compaction
+  // writes a real selection vector.
+  bool dense = true;
+  for (const FusedKernel& run : kplan.runs) {
+    if (n == 0) break;
+    const KernelOp* run_ops =
+        kplan.ops.data() + (run.first_op - kplan.from);
+    const int k = run.num_ops;
+    // The run holding the chain's root operator (in a tiled segment: the
+    // last run) keeps the root out of the depth kernel — its charges
+    // interleave with emissions, handled below.
+    const bool rooted = run.first_op + k == kplan.n_ops;
+    const int k_pred = rooted ? k - 1 : k;
+
+    if (k_pred > 0) {
+      const uint32_t* lanes = dense ? nullptr : sel;
+      if (kplan.correlated) {
+        // Per-operator survivor counts straight off the attribute column.
+        CountReachAttribute(lanes, n, run_ops, k_pred);
+      } else {
+        DepthKernelBernoulli(lanes, n, run_ops, k_pred, query_key);
+        // reach[x] = lanes whose depth reaches local op x (suffix counts of
+        // the depth histogram); reach[0] == n, reach[k_pred] == survivors.
+        kernel_reach_.assign(static_cast<size_t>(k_pred) + 1, 0);
+        for (size_t j = 0; j < n; ++j) {
+          ++kernel_reach_[col_depth_[j]];
+        }
+        for (int x = k_pred - 1; x >= 0; --x) {
+          kernel_reach_[static_cast<size_t>(x)] +=
+              kernel_reach_[static_cast<size_t>(x) + 1];
+        }
+      }
+
+      // Clock replay: the scalar pass bulk-charges operator x once for all
+      // tuples reaching it (ChargeBulk) — reach[x] is that same count, so
+      // one identical multiply-and-add per operator replays the train's
+      // entire clock advance.
+      for (int x = 0; x < k_pred; ++x) {
+        const int64_t reach = kernel_reach_[static_cast<size_t>(x)];
+        if (reach <= 0) continue;
+        const SimTime total =
+            run_ops[x].cost * static_cast<double>(reach);
+        now_ += total;
+        counters_.busy_time += total;
+        counters_.operator_invocations += reach;
+        if (track_stats) stats_monitor_->AddBusyTime(total);
+      }
+      counters_.tuples_filtered +=
+          static_cast<int64_t>(n) - kernel_reach_[static_cast<size_t>(k_pred)];
+
+      // Branch-free survivor compaction into the next selection vector.
+      // Correlated runs survive iff the attribute clears the whole run's
+      // prefix-min bound (one comparison); Bernoulli runs survive iff the
+      // lane's depth covers the run.
+      size_t kept = 0;
+      if (kplan.correlated) {
+        const double bound = run_ops[k_pred - 1].run_prefix_min;
+        if (dense) {
+          for (size_t j = 0; j < n; ++j) {
+            sel_next[kept] = static_cast<uint32_t>(j);
+            kept += col_attr_[j] <= bound ? 1 : 0;
+          }
+        } else {
+          for (size_t j = 0; j < n; ++j) {
+            sel_next[kept] = sel[j];
+            kept += col_attr_[sel[j]] <= bound ? 1 : 0;
+          }
+        }
+      } else {
+        const uint32_t full = static_cast<uint32_t>(k_pred);
+        if (dense) {
+          for (size_t j = 0; j < n; ++j) {
+            sel_next[kept] = static_cast<uint32_t>(j);
+            kept += col_depth_[j] == full ? 1 : 0;
+          }
+        } else {
+          for (size_t j = 0; j < n; ++j) {
+            sel_next[kept] = sel[j];
+            kept += col_depth_[j] == full ? 1 : 0;
+          }
+        }
+      }
+      std::swap(sel, sel_next);
+      n = kept;
+      dense = false;
+    }
+
+    if (!rooted) continue;
+
+    // Root operator: one charge then emit-or-drop per surviving lane, in
+    // selection order — the scalar tail sweep replayed exactly, so every
+    // emission sees the same virtual timestamp.
+    const KernelOp& root = run_ops[k - 1];
+    for (size_t j = 0; j < n; ++j) {
+      const uint32_t row = dense ? static_cast<uint32_t>(j) : sel[j];
+      now_ += root.cost;
+      counters_.busy_time += root.cost;
+      ++counters_.operator_invocations;
+      if (track_stats) stats_monitor_->AddBusyTime(root.cost);
+      const bool passes =
+          kplan.correlated
+              ? col_attr_[row] <= root.threshold
+              : FrozenUniform(MixKeys(
+                    kFilterSalt, static_cast<uint64_t>(col_id_[row]),
+                    query_key, static_cast<uint64_t>(root.ordinal))) <
+                    root.selectivity;
+      if (passes) {
+        EmitSingle(q, col_id_[row], col_arrival_time_[row]);
+      } else {
+        ++counters_.tuples_filtered;
+      }
+    }
+    return;
+  }
+}
+
 void Engine::ExecuteUnitTrain(int unit_id) {
   sched::Unit& unit = built_.units[static_cast<size_t>(unit_id)];
   AQSIOS_CHECK(unit.has_pending())
       << "scheduler picked empty unit " << unit_id;
   const size_t count = TrainLength(unit);
-  train_.clear();
-  for (size_t i = 0; i < count; ++i) {
-    train_.push_back(unit.queue.front());
-    unit.queue.pop_front();
+  const bool columnar =
+      columnar_ && unit_kernels_[static_cast<size_t>(unit_id)].enabled;
+  if (columnar) {
+    // Gather: one pass converting the drained AoS queue entries into the
+    // SoA columns the kernels scan. The train_ scratch stays untouched —
+    // everything the chain pass needs lives in the columns.
+    EnsureColumnCapacity(count);
+    for (size_t i = 0; i < count; ++i) {
+      const sched::QueueEntry& entry = unit.queue.front();
+      const stream::Arrival& arrival =
+          arrivals_->arrivals[static_cast<size_t>(entry.arrival)];
+      col_attr_[i] = arrival.attribute;
+      col_id_[i] = arrival.id;
+      col_arrival_time_[i] = entry.arrival_time;
+      unit.queue.pop_front();
+    }
+  } else {
+    train_.clear();
+    for (size_t i = 0; i < count; ++i) {
+      train_.push_back(unit.queue.front());
+      unit.queue.pop_front();
+    }
   }
   AccrueQueueOccupancy();
   queued_tuples_ -= static_cast<int64_t>(count);
@@ -744,7 +1073,11 @@ void Engine::ExecuteUnitTrain(int unit_id) {
   switch (unit.kind) {
     case sched::UnitKind::kQueryChain:
     case sched::UnitKind::kRemainder:
-      ExecuteChainTrain(unit, count);
+      if (columnar) {
+        ExecuteChainTrainColumnar(unit, count);
+      } else {
+        ExecuteChainTrain(unit, count);
+      }
       break;
     case sched::UnitKind::kOperator:
       for (size_t i = 0; i < count; ++i) ExecuteOperator(unit, train_[i]);

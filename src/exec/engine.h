@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/sim_time.h"
 #include "exec/stats_monitor.h"
 #include "exec/unit_builder.h"
@@ -100,6 +101,19 @@ struct EngineConfig {
   /// batch_size = 1, which is how the equivalence tests drive the train
   /// path with per-tuple semantics.
   SimTime batch_quantum = 0.0;
+
+  /// Columnar (SoA) kernel execution of batched chain trains: the train's
+  /// arrival attributes / ids / timestamps are gathered once into
+  /// arena-backed column vectors, and each fused run of stateless chain
+  /// operators (unit_builder's FuseChainOps) is evaluated as one
+  /// branch-free pass over the columns with selection-vector survivor
+  /// compaction (docs/performance.md). Observable results are bit-identical
+  /// to the scalar selection-vector pass — clock, counters, QoS, frozen
+  /// filter draws (pinned by tests/exec_kernel_test.cc) — so the flag only
+  /// selects an execution strategy; off measures the scalar engine floor.
+  /// Engages only with the batched dispatcher; traced runs always take the
+  /// scalar pass (they need per-invocation events).
+  bool use_columnar_kernels = true;
 
   /// Source-side load shedding (see ShedConfig above). Off by default.
   ShedConfig shed;
@@ -222,8 +236,33 @@ class Engine {
   /// per (arrival, query, ordinal) — evaluation order cannot change them.
   void ExecuteChainTrain(const sched::Unit& unit, size_t count);
 
+  /// Columnar counterpart of ExecuteChainTrain: runs the gathered column
+  /// train through the unit's fused kernels (UnitKernelPlan below). The
+  /// branch-free predicate kernels compute each lane's survived depth; the
+  /// depths then drive an exact replay of the scalar pass's
+  /// operator-at-a-time clock/counter sequence (floating-point accumulation
+  /// is order-sensitive, so the replay repeats the very same additions —
+  /// never a multiply) before survivors are compacted and the root operator
+  /// emits in selection order.
+  void ExecuteChainTrainColumnar(const sched::Unit& unit, size_t count);
+  /// Grows the column scratch to hold `n` tuples (power-of-two growth;
+  /// cache-line-aligned columns carved from column_arena_).
+  void EnsureColumnCapacity(size_t n);
+
   /// Charges processing time to the clock.
   void Charge(SimTime cost);
+
+  /// Charges `invocations` executions of one operator at `cost` each in a
+  /// single bulk step (`now_ += cost * invocations`). Train semantics for
+  /// non-root operators: nothing observes the clock between same-operator
+  /// charges within a train, so the batched paths advance it once per
+  /// operator instead of per tuple — this is what lets the columnar kernels
+  /// replay a fused run in O(ops) instead of O(invocations). At
+  /// invocations == 1 the arithmetic is bit-identical to Charge(cost)
+  /// (cost * 1.0 is exact), which keeps forced trains-of-one byte-equal to
+  /// the per-tuple engine. Both batched paths (scalar train and columnar)
+  /// use this identically, so the flag stays bit-inert.
+  void ChargeBulk(SimTime cost, int64_t invocations);
 
   /// Whether `op` (the op_ordinal-th operator of query q) passes `arrival`.
   /// Deterministic in (arrival, query, ordinal) so all policies see the same
@@ -334,6 +373,82 @@ class Engine {
   /// survive the chain pass.
   std::vector<sched::QueueEntry> train_;
   std::vector<uint32_t> train_sel_;
+
+  /// --- Columnar train path (EngineConfig::use_columnar_kernels) ---
+  /// Build-time constants of one chain operator, denormalized so the kernel
+  /// lane loops read plain scalars instead of chasing the plan.
+  struct KernelOp {
+    SimTime cost = 0.0;
+    /// EffectiveActualSelectivity() of the operator.
+    double selectivity = 1.0;
+    /// Correlated-attribute predicate bound: the exact IEEE product
+    /// selectivity * 100 the scalar Passes computes, or +infinity for a
+    /// pass-everything operator (selectivity >= 1) so the kernel comparison
+    /// stays branch-free in that case too.
+    double threshold = 0.0;
+    /// Correlated plans: min(threshold) over the ops of this op's fused run
+    /// up to and including this one. A lane survives a correlated run's
+    /// prefix [0..x] iff attr <= run_prefix_min of op x (the same IEEE
+    /// comparisons the scalar chain performs, just collapsed), which is what
+    /// lets the reach kernel count survivors per operator without tracking
+    /// per-lane depth.
+    double run_prefix_min = 0.0;
+    /// Absolute chain position (the frozen-draw ordinal).
+    int ordinal = 0;
+  };
+  /// Columnar execution plan of one unit; `enabled` only for chain units
+  /// whose fusion tiles the whole segment (FuseChainOps contiguous).
+  struct UnitKernelPlan {
+    bool enabled = false;
+    /// Selectivity realized as an attribute threshold (vs a frozen draw).
+    bool correlated = false;
+    int from = 0;   // first chain position of the segment
+    int n_ops = 0;  // chain length
+    /// Segment operators, indexed by (chain position - from).
+    std::vector<KernelOp> ops;
+    std::vector<FusedKernel> runs;
+  };
+
+  /// Correlated-attribute reach kernel: fills kernel_reach_[0..k] with the
+  /// number of lanes charged for each operator of the run (reach[x] = lanes
+  /// surviving ops [0..x-1]; reach[0] = n). Survival of a run prefix is a
+  /// single comparison against that prefix's min threshold
+  /// (KernelOp::run_prefix_min), so each entry is a branch-free vectorizable
+  /// count over the attribute column — no per-lane depth — and consecutive
+  /// ops whose prefix min did not change reuse the previous count outright.
+  /// `sel` maps lanes to column rows; nullptr = identity (the dense
+  /// first-run fast path, gather-free for the auto-vectorizer).
+  void CountReachAttribute(const uint32_t* sel, size_t n,
+                           const KernelOp* ops, int k);
+  /// Branch-free frozen-Bernoulli depth kernel: fills col_depth_[0..n) with
+  /// each lane's survived depth over a run of `k` operators (consecutive
+  /// passes from the run's start; alive &= pass, depth += alive — no
+  /// per-lane branch). Draw outcomes are per (op, tuple), so unlike the
+  /// correlated kernel a per-lane pass is irreducible.
+  void DepthKernelBernoulli(const uint32_t* sel, size_t n,
+                            const KernelOp* ops, int k, uint64_t query_key);
+
+  /// Indexed by unit id; sized (and consulted) only when columnar_.
+  std::vector<UnitKernelPlan> unit_kernels_;
+  /// Columnar path engaged: use_columnar_kernels && batched dispatcher &&
+  /// no tracer (the tracer wants per-invocation events in clock order).
+  bool columnar_ = false;
+  /// Arena backing the column scratch; reset and re-carved on growth.
+  Arena column_arena_;
+  /// SoA columns of the current train, gathered from the drained queue
+  /// entries: synthetic attribute, global arrival id (frozen-draw key and
+  /// trace/QoS identity), arrival time. col_depth_ is the kernels' survived
+  /// depth output; col_sel_/col_sel_next_ the selection vectors survivor
+  /// compaction ping-pongs between. All col_capacity_ elements long.
+  double* col_attr_ = nullptr;
+  stream::ArrivalId* col_id_ = nullptr;
+  SimTime* col_arrival_time_ = nullptr;
+  uint32_t* col_depth_ = nullptr;
+  uint32_t* col_sel_ = nullptr;
+  uint32_t* col_sel_next_ = nullptr;
+  size_t col_capacity_ = 0;
+  /// Clock-replay scratch: reach[x] = lanes whose depth reaches local op x.
+  std::vector<int64_t> kernel_reach_;
   /// Join-probe candidate buffers, one per recursion depth of
   /// ProbeAndPropagate (a probe at stage s iterates its buffer while deeper
   /// stages fill theirs). Sized once in the constructor from the deepest

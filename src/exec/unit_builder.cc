@@ -143,6 +143,31 @@ void BuildQueryLevelUnits(const query::GlobalPlan& plan,
 
 }  // namespace
 
+ChainFusion FuseChainOps(const std::vector<query::OperatorSpec>& ops,
+                         int from) {
+  AQSIOS_CHECK_GE(from, 0);
+  ChainFusion fusion;
+  const int end = static_cast<int>(ops.size());
+  int x = from;
+  while (x < end) {
+    if (ops[static_cast<size_t>(x)].kind ==
+        query::OperatorKind::kWindowJoin) {
+      fusion.contiguous = false;
+      ++x;
+      continue;
+    }
+    FusedKernel run;
+    run.first_op = x;
+    while (x < end && ops[static_cast<size_t>(x)].kind !=
+                          query::OperatorKind::kWindowJoin) {
+      ++x;
+    }
+    run.num_ops = x - run.first_op;
+    fusion.runs.push_back(run);
+  }
+  return fusion;
+}
+
 BuiltUnits BuildUnits(const query::GlobalPlan& plan,
                       const UnitBuilderOptions& options) {
   BuiltUnits built;
@@ -152,6 +177,18 @@ BuiltUnits BuildUnits(const query::GlobalPlan& plan,
     BuildQueryLevelUnits(plan, options, &built);
   }
   AQSIOS_CHECK(!built.units.empty()) << "plan produced no schedulable units";
+  built.chain_fusion.resize(built.units.size());
+  for (const sched::Unit& unit : built.units) {
+    if (unit.kind != sched::UnitKind::kQueryChain &&
+        unit.kind != sched::UnitKind::kRemainder) {
+      continue;
+    }
+    const query::CompiledQuery& q = plan.query(unit.query);
+    const int from =
+        unit.kind == sched::UnitKind::kRemainder ? unit.op_index : 0;
+    built.chain_fusion[static_cast<size_t>(unit.id)] =
+        FuseChainOps(q.spec().left_ops, from);
+  }
   return built;
 }
 

@@ -35,12 +35,45 @@ struct GroupRuntime {
   std::vector<int> remainder_units;
 };
 
+/// One fused run of adjacent stateless chain operators, produced at plan
+/// build time by FuseChainOps. The engine's columnar train path evaluates
+/// the whole run's predicates in a single pass over the gathered columns
+/// (docs/performance.md) instead of one operator-at-a-time sweep per
+/// operator.
+struct FusedKernel {
+  /// Absolute chain position of the run's first operator.
+  int first_op = 0;
+  /// Operators collapsed into the run (>= 1).
+  int num_ops = 0;
+};
+
+/// Fusion plan of one chain segment [from, chain end).
+struct ChainFusion {
+  std::vector<FusedKernel> runs;
+  /// True when the runs tile the whole segment — every operator was
+  /// stateless and fusible. Chains validated by CompiledQuery always
+  /// qualify (window joins may only appear as QuerySpec::join_op, never
+  /// inside left_ops); the flag exists so the engine can refuse the
+  /// columnar path for anything else.
+  bool contiguous = true;
+};
+
+/// Collapses maximal runs of adjacent stateless operators of
+/// ops[from, ops.size()) into FusedKernel descriptors. Stateful operators
+/// (window joins, whose evaluation mutates join tables instead of being a
+/// pure per-tuple predicate) split the run and belong to no kernel.
+ChainFusion FuseChainOps(const std::vector<query::OperatorSpec>& ops,
+                         int from);
+
 struct BuiltUnits {
   sched::UnitTable units;
   /// Indexed by sharing-group id; empty when the plan has no groups.
   std::vector<GroupRuntime> groups;
   /// Operator-level only: op_units[query][chain position] = unit id.
   std::vector<std::vector<int>> op_units;
+  /// Fusion plan of each unit's chain segment, parallel to `units`
+  /// (kQueryChain / kRemainder units only; default-empty for other kinds).
+  std::vector<ChainFusion> chain_fusion;
 };
 
 struct UnitBuilderOptions {
