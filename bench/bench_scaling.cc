@@ -21,6 +21,18 @@
 // report header are preserved byte-for-byte, so refreshing the scaling curve
 // never perturbs the committed micro-benchmark baselines.
 //
+// The suite also owns the skewed-workload cells for the elastic rebalancer
+// (docs/scaling.md): a hand-built plan whose sharing groups each read their
+// own stream, with the dominant group carrying ~50% of the arrival mass and
+// the groups that hash placement co-locates on one shard carrying ~65% of
+// the busy mass. The same workload runs three ways at shards=4 —
+//   {"name": "scaling/skew/static/..."}     hash placement, no controller
+//   {"name": "scaling/skew/rebalance/..."}  elastic rebalance controller on
+//   {"name": "scaling/skew/steal/..."}      work stealing only, no migration
+// — each reporting load_imbalance, tuples_per_wall_sec, and (for the elastic
+// cells) migrations/steals plus speedup_vs_static. scripts/perf_compare.py
+// gates scaling/skew/rebalance at load_imbalance <= 0.5x the static cell.
+//
 // The suite also measures live-telemetry overhead (docs/telemetry.md): the
 // shards=4 cell re-runs with an aggressive 20 ms obs::TelemetrySampler
 // attached, and the pair is spliced as
@@ -47,11 +59,14 @@
 
 #include "common/check.h"
 #include "common/flags.h"
+#include "common/rng.h"
 #include "core/dsms.h"
 #include "core/sharded_dsms.h"
 #include "obs/telemetry.h"
 #include "query/workload.h"
 #include "sched/policy.h"
+#include "sched/shard_router.h"
+#include "stream/arrival_process.h"
 
 namespace aqsios {
 namespace {
@@ -177,6 +192,239 @@ std::string OverheadLine(const ScalingCell& off, const ScalingCell& on,
     os << ", \"telemetry_overhead_pct\": " << pct;
   }
   os << ", \"tuples_emitted\": " << cell.tuples_emitted << "}";
+  return os.str();
+}
+
+// --- Skewed-workload cells (elastic rebalancing, docs/scaling.md) ----------
+
+/// Builds the skew plan: `num_groups` sharing groups of `group_size` queries,
+/// group g reading its own stream g through a shared select leaf, a stored
+/// join, and a project, all costed at `cost_ms_of_group[g]`.
+query::GlobalPlan BuildSkewPlan(int num_groups, int group_size,
+                                const std::vector<double>& cost_ms_of_group) {
+  std::vector<query::QuerySpec> specs;
+  std::vector<query::SharingGroup> groups;
+  for (int g = 0; g < num_groups; ++g) {
+    query::SharingGroup group;
+    group.id = g;
+    const double cost_ms = cost_ms_of_group[static_cast<size_t>(g)];
+    for (int j = 0; j < group_size; ++j) {
+      const query::QueryId id = g * group_size + j;
+      query::QuerySpec spec;
+      spec.id = id;
+      spec.left_stream = g;
+      spec.left_ops = {query::MakeSelect(cost_ms, 0.5),
+                       query::MakeStoredJoin(cost_ms, 0.3 + 0.1 * (j % 5)),
+                       query::MakeProject(cost_ms)};
+      group.members.push_back(id);
+      specs.push_back(std::move(spec));
+    }
+    groups.push_back(std::move(group));
+  }
+  std::vector<query::CompiledQuery> compiled;
+  compiled.reserve(specs.size());
+  for (query::QuerySpec& spec : specs) {
+    compiled.emplace_back(std::move(spec), query::SelectivityMode::kIndependent);
+  }
+  return query::GlobalPlan(std::move(compiled), std::move(groups), num_groups);
+}
+
+/// Per-stream Poisson arrivals over a common `horizon`, `counts[s]` arrivals
+/// on stream s, merged into one time-ordered table.
+stream::ArrivalTable SkewArrivals(const std::vector<int64_t>& counts,
+                                  double horizon, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<stream::Arrival>> per_stream;
+  per_stream.reserve(counts.size());
+  for (size_t s = 0; s < counts.size(); ++s) {
+    const double rate =
+        static_cast<double>(std::max<int64_t>(counts[s], 1)) / horizon;
+    stream::PoissonArrivalProcess process(rate, rng.Fork());
+    per_stream.push_back(stream::GenerateArrivals(
+        process, static_cast<stream::StreamId>(s), counts[s], rng.Fork()));
+  }
+  return stream::MergeArrivalTables(std::move(per_stream));
+}
+
+/// The skewed cell workload. Skew is built on two axes the hash placement is
+/// blind to: the dominant sharing group carries ~50% of the arrival mass,
+/// and the sharing groups that AssignShards happens to co-locate on one
+/// shard ("hot" groups) together carry `hot_busy_mass` of the busy time —
+/// so the static placement bottlenecks on that shard while the per-group
+/// masses stay small enough for the rebalance controller to spread.
+query::Workload MakeSkewWorkload(int queries, int64_t arrivals, uint64_t seed,
+                                 int shards, double utilization,
+                                 int* hot_groups_out) {
+  constexpr int kGroupSize = 10;
+  constexpr double kHotBusyMass = 0.65;
+  const int num_groups = std::max(queries / kGroupSize, 2 * shards);
+  const size_t n = static_cast<size_t>(num_groups);
+
+  // Shape pass: placement depends only on ids and grouping, not costs.
+  std::vector<double> costs(n, 1.0);
+  query::GlobalPlan shape = BuildSkewPlan(num_groups, kGroupSize, costs);
+  const sched::ShardAssignment assignment = sched::AssignShards(
+      shape, shards, core::SimulationOptions{}.shard_seed);
+  std::vector<int> groups_of_shard(static_cast<size_t>(shards), 0);
+  for (int g = 0; g < num_groups; ++g) {
+    ++groups_of_shard[static_cast<size_t>(
+        assignment.shard_of_query[static_cast<size_t>(g * kGroupSize)])];
+  }
+  int hot_shard = 0;
+  for (int s = 1; s < shards; ++s) {
+    if (groups_of_shard[static_cast<size_t>(s)] >
+        groups_of_shard[static_cast<size_t>(hot_shard)]) {
+      hot_shard = s;
+    }
+  }
+  const int hot_groups = groups_of_shard[static_cast<size_t>(hot_shard)];
+  if (hot_groups_out != nullptr) *hot_groups_out = hot_groups;
+  AQSIOS_CHECK_GT(hot_groups, 0);
+  AQSIOS_CHECK_LT(hot_groups, num_groups);
+
+  // Arrival mass: the first hot group dominates with ~50% of all arrivals;
+  // every other group splits the rest evenly.
+  int dominant = -1;
+  std::vector<bool> hot(n, false);
+  for (int g = 0; g < num_groups; ++g) {
+    if (assignment.shard_of_query[static_cast<size_t>(g * kGroupSize)] ==
+        hot_shard) {
+      hot[static_cast<size_t>(g)] = true;
+      if (dominant < 0) dominant = g;
+    }
+  }
+  std::vector<int64_t> counts(n, 0);
+  counts[static_cast<size_t>(dominant)] = arrivals / 2;
+  const int64_t rest = arrivals - counts[static_cast<size_t>(dominant)];
+  for (int g = 0; g < num_groups; ++g) {
+    if (g == dominant) continue;
+    counts[static_cast<size_t>(g)] = std::max<int64_t>(
+        rest / static_cast<int64_t>(num_groups - 1), 1);
+  }
+
+  // Busy mass: hot groups share kHotBusyMass evenly, the rest share the
+  // remainder; per-group cost scales are mass / arrival-fraction, then one
+  // global multiplier calibrates total work to `utilization` of the horizon.
+  const double total_arrivals = static_cast<double>(arrivals);
+  for (int g = 0; g < num_groups; ++g) {
+    const double mass =
+        hot[static_cast<size_t>(g)]
+            ? kHotBusyMass / static_cast<double>(hot_groups)
+            : (1.0 - kHotBusyMass) /
+                  static_cast<double>(num_groups - hot_groups);
+    costs[static_cast<size_t>(g)] =
+        mass / (static_cast<double>(counts[static_cast<size_t>(g)]) /
+                total_arrivals);
+  }
+  const double horizon =
+      static_cast<double>(arrivals) / 1000.0;  // ~1000 arrivals/second
+  query::Workload workload;
+  workload.arrivals = SkewArrivals(counts, horizon, seed);
+  const double span = workload.arrivals.Horizon();
+  AQSIOS_CHECK_GT(span, 0.0);
+  query::GlobalPlan probe = BuildSkewPlan(num_groups, kGroupSize, costs);
+  double work = 0.0;
+  for (int g = 0; g < num_groups; ++g) {
+    work += static_cast<double>(counts[static_cast<size_t>(g)]) *
+            probe.ExpectedWorkPerArrival(static_cast<stream::StreamId>(g));
+  }
+  AQSIOS_CHECK_GT(work, 0.0);
+  const double scale = utilization * span / work;
+  for (double& cost : costs) cost *= scale;
+  workload.plan = BuildSkewPlan(num_groups, kGroupSize, costs);
+  workload.expected_utilization = utilization;
+  return workload;
+}
+
+struct SkewCell {
+  std::string mode;  // "static", "rebalance", "steal"
+  double wall_ms = 0.0;
+  double tuples_per_wall_sec = 0.0;
+  double load_imbalance = 1.0;
+  double avg_slowdown = 0.0;
+  int64_t tuples_emitted = 0;
+  int64_t migrations = 0;
+  int64_t steals = 0;
+  double speedup_vs_static = 0.0;  // 0 on the static cell itself
+};
+
+/// One skew measurement at shards=K: `reps` timed runs, fastest kept, with
+/// the same exact-replay determinism CHECK as the main scaling cells
+/// (extended to migration/steal counts).
+SkewCell RunSkewCell(const query::Workload& workload,
+                     const sched::PolicyConfig& policy, int shards, int reps,
+                     const std::string& mode) {
+  core::SimulationOptions options;
+  options.qos.track_per_class = false;
+  options.shards = shards;
+  if (mode != "static") {
+    options.rebalance.enabled = true;
+    // The steal cell is a pure work-stealing ablation: migrations off, so
+    // the hot shard keeps its backlog and the idle cool shards must pull
+    // trains through the bounded handoff. With migrations on, the epoch-1
+    // group moves spread the backlog across every shard and no shard is
+    // ever idle at a barrier, so stealing would never fire.
+    if (mode == "steal") {
+      options.rebalance.max_migrations_per_epoch = 0;
+      options.rebalance.steal = true;
+    } else {
+      options.rebalance.max_migrations_per_epoch = 8;
+    }
+  }
+
+  SkewCell cell;
+  cell.mode = mode;
+  for (int rep = 0; rep < reps; ++rep) {
+    const Clock::time_point start = Clock::now();
+    const core::ShardedRunResult sharded =
+        core::SimulateSharded(workload, policy, options);
+    const double ms = ElapsedMs(start);
+    int64_t migrations = 0;
+    int64_t steals = 0;
+    for (const core::ShardRunStats& shard : sharded.shard_stats) {
+      migrations += shard.migrations;
+      steals += shard.steals;
+    }
+    if (rep == 0) {
+      cell.wall_ms = ms;
+      cell.tuples_emitted = sharded.result.qos.tuples_emitted;
+      cell.avg_slowdown = sharded.result.qos.avg_slowdown;
+      cell.load_imbalance = sharded.LoadImbalance();
+      cell.migrations = migrations;
+      cell.steals = steals;
+    } else {
+      AQSIOS_CHECK(sharded.result.qos.tuples_emitted == cell.tuples_emitted &&
+                   sharded.result.qos.avg_slowdown == cell.avg_slowdown &&
+                   migrations == cell.migrations && steals == cell.steals)
+          << "repeated skew runs diverged in mode " << mode;
+      cell.wall_ms = std::min(cell.wall_ms, ms);
+    }
+  }
+  cell.tuples_per_wall_sec =
+      cell.wall_ms > 0.0
+          ? static_cast<double>(cell.tuples_emitted) / (cell.wall_ms / 1e3)
+          : 0.0;
+  return cell;
+}
+
+std::string SkewCellLine(const SkewCell& cell, int queries, int64_t arrivals,
+                         int shards) {
+  std::ostringstream os;
+  os.precision(17);
+  const double wall_ns = cell.wall_ms * 1e6;
+  os << "    {\"name\": \"scaling/skew/" << cell.mode << "/q=" << queries
+     << "/shards=" << shards << "\", \"ns_per_op\": "
+     << wall_ns / static_cast<double>(std::max<int64_t>(arrivals, 1))
+     << ", \"ops\": " << arrivals << ", \"wall_ms\": " << cell.wall_ms
+     << ", \"tuples_per_wall_sec\": " << cell.tuples_per_wall_sec
+     << ", \"load_imbalance\": " << cell.load_imbalance
+     << ", \"avg_slowdown\": " << cell.avg_slowdown;
+  if (cell.mode != "static") {
+    os << ", \"migrations\": " << cell.migrations
+       << ", \"steals\": " << cell.steals
+       << ", \"speedup_vs_static\": " << cell.speedup_vs_static;
+  }
+  os << "}";
   return os.str();
 }
 
@@ -344,6 +592,55 @@ int Main(int argc, char** argv) {
         << four.tuples_per_wall_sec << " tuples/wall-sec)";
   }
 
+  // Skewed cells: static hash placement vs the elastic rebalance controller
+  // vs a stealing-only ablation on a workload whose hot sharing groups land
+  // on one shard (docs/scaling.md). The cell gets its own query and arrival
+  // budgets (the per-stream plan touches ~1 group per arrival, not all
+  // queries, so it needs more arrivals to amortize setup; doubling the
+  // query count doubles the units the saturated hot shard's linear scans
+  // pay for — the scheduling wall the controller removes) and is calibrated
+  // to 2.4x one engine's capacity: balanced that is a comfortable 0.6 per
+  // shard, but the statically placed hot shard saturates — the regime the
+  // controller and the stealing path exist for.
+  const int skew_shards = 4;
+  const int skew_queries = quick ? queries : queries * 2;
+  const int64_t skew_arrivals = quick ? arrivals : arrivals * 40;
+  int hot_groups = 0;
+  const query::Workload skew_workload =
+      MakeSkewWorkload(skew_queries, skew_arrivals, static_cast<uint64_t>(seed),
+                       skew_shards, 2.4, &hot_groups);
+  std::vector<SkewCell> skew_cells;
+  for (const char* mode : {"static", "rebalance", "steal"}) {
+    SkewCell cell =
+        RunSkewCell(skew_workload, policy, skew_shards, reps, mode);
+    cell.speedup_vs_static = skew_cells.empty()
+                                 ? 0.0
+                                 : skew_cells.front().wall_ms / cell.wall_ms;
+    std::cout << "scaling/skew/" << mode << "/q=" << skew_queries
+              << "/shards=" << skew_shards << ": " << cell.wall_ms << " ms, "
+              << cell.tuples_per_wall_sec << " tuples/s, load imbalance "
+              << cell.load_imbalance << ", migrations " << cell.migrations
+              << ", steals " << cell.steals
+              << (cell.mode == "static"
+                      ? std::string()
+                      : ", speedup vs static " +
+                            std::to_string(cell.speedup_vs_static) + "x")
+              << " (hot groups: " << hot_groups << ")\n";
+    skew_cells.push_back(cell);
+  }
+  if (!quick) {
+    const SkewCell& skew_static = skew_cells[0];
+    const SkewCell& skew_rebalance = skew_cells[1];
+    AQSIOS_CHECK(skew_rebalance.speedup_vs_static >= 1.8)
+        << "elastic rebalancing must clear 1.8x on the skewed cell: got "
+        << skew_rebalance.speedup_vs_static << "x";
+    AQSIOS_CHECK(skew_rebalance.load_imbalance * 2.0 <=
+                 skew_static.load_imbalance)
+        << "elastic rebalancing must halve the skewed load imbalance: "
+        << skew_static.load_imbalance << " -> "
+        << skew_rebalance.load_imbalance;
+  }
+
   // Sampler-overhead pair: re-run the shards=4 cell bare and with an
   // aggressive 20 ms sampler (5x the operational default) on every
   // repetition (no file/HTTP outputs — the cost measured is snapshot reads +
@@ -368,6 +665,10 @@ int Main(int argc, char** argv) {
   std::vector<std::string> lines;
   for (const ScalingCell& cell : cells) {
     lines.push_back(CellLine(cell, queries, arrivals));
+  }
+  for (const SkewCell& cell : skew_cells) {
+    lines.push_back(
+        SkewCellLine(cell, skew_queries, skew_arrivals, skew_shards));
   }
   lines.push_back(
       OverheadLine(overhead_off, overhead_on, false, queries, arrivals));

@@ -14,13 +14,20 @@ catch every way the repo's renderer (src/obs/openmetrics.cc) could drift:
   * counter samples carry the _total suffix, and no gauge sample does;
   * the last line is the mandatory # EOF terminator and nothing follows it.
 
+--require FAMILY (repeatable) additionally asserts that the named metric
+family is declared and sampled in every checked file — the CI smokes use it
+to pin the families a new subsystem must export (e.g. the elastic
+rebalancer's aqsios_shard_migrations / aqsios_shard_steals).
+
 Exit status 0 = clean; 1 = violations (each printed with its line number);
 2 = usage/IO error. Standard library only.
 
 Usage:
     scripts/check_openmetrics.py metrics.prom [more.prom ...]
+    scripts/check_openmetrics.py --require aqsios_shard_migrations m.prom
 """
 
+import argparse
 import re
 import sys
 
@@ -45,7 +52,7 @@ def parse_value(text):
     return True
 
 
-def check_file(path):
+def check_file(path, require=()):
     """Returns a list of "line N: message" violation strings."""
     try:
         with open(path, encoding="utf-8") as handle:
@@ -146,16 +153,26 @@ def check_file(path):
 
     if not saw_eof:
         errors.append("missing # EOF terminator")
+    for family in require:
+        if family not in sampled:
+            errors.append(
+                f"required family {family!r} is not sampled in this "
+                "exposition")
     return errors
 
 
 def main():
-    if len(sys.argv) < 2:
-        print(__doc__, file=sys.stderr)
-        return 2
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("paths", nargs="+", metavar="metrics.prom",
+                        help="OpenMetrics exposition files to lint")
+    parser.add_argument("--require", action="append", default=[],
+                        metavar="FAMILY",
+                        help="metric family that must be declared and "
+                             "sampled in every checked file (repeatable)")
+    args = parser.parse_args()
     failed = False
-    for path in sys.argv[1:]:
-        errors = check_file(path)
+    for path in args.paths:
+        errors = check_file(path, require=args.require)
         if errors:
             failed = True
             for error in errors:

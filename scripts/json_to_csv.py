@@ -22,7 +22,9 @@ tuples_per_wall_sec and speedup_vs_scalar
 (kernel/{scalar,columnar}/<policy>/... cells, see docs/performance.md),
 the shard-scaling curve's
 tuples_per_wall_sec, speedup_vs_shards1 and load_imbalance
-(scaling/<policy>/q=N/shards=K cells, see docs/scaling.md), and the
+(scaling/<policy>/q=N/shards=K cells, see docs/scaling.md), the skewed
+elastic cells' migrations, steals and speedup_vs_static
+(scaling/skew/<mode>/... cells), and the
 overload-stress frontier's shed_ratio, p99_slowdown, avg_slowdown,
 peak_queued_tuples, tuples_emitted and admission_dropped
 (stress/<policy>/... cells, see docs/overload.md). Columns are empty for
@@ -102,8 +104,8 @@ def extract_cells(text, figure=None):
 TELEMETRY_SHARD_FIELDS = [
     "virtual_sec", "busy_sec", "queued_tuples", "tuples_executed",
     "tuples_emitted", "tuples_filtered", "tuples_shed", "tuples_offered",
-    "scheduling_points", "routed", "admission_rejected", "slowdown_mean",
-    "slowdown_max", "done"]
+    "scheduling_points", "routed", "admission_rejected", "migrations",
+    "steals", "slowdown_mean", "slowdown_max", "done"]
 
 
 def telemetry_to_csv(lines):
@@ -118,7 +120,9 @@ def telemetry_to_csv(lines):
             row = [str(record["sample"]), repr(record["wall_ms"]),
                    str(record["final"]), str(shard["shard"])]
             for field in TELEMETRY_SHARD_FIELDS:
-                row.append(str(shard[field]))
+                # Logs written before a field existed leave the column empty.
+                value = shard.get(field)
+                row.append("" if value is None else str(value))
             row.append(events)
             print(",".join(row))
     return 0
@@ -186,6 +190,7 @@ def main():
                     "speedup_vs_shards1", "load_imbalance", "shed_ratio",
                     "p99_slowdown", "avg_slowdown", "peak_queued_tuples",
                     "tuples_emitted", "admission_dropped",
+                    "migrations", "steals", "speedup_vs_static",
                     "telemetry_overhead_pct", "healthy", "health"]
         print(",".join(["name", "ns_per_op", "ops", "wall_ms"] + optional))
         for bench in cells:

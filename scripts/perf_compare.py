@@ -46,7 +46,8 @@ import json
 import sys
 
 
-def load_entries(path, overheads=None, kernel_speedups=None):
+def load_entries(path, overheads=None, kernel_speedups=None,
+                 skew_imbalances=None):
     """Returns (schema, {key: value}) for one report file.
 
     Keys are benchmark names (perf schema) or "figure/util/policy" strings
@@ -54,7 +55,9 @@ def load_entries(path, overheads=None, kernel_speedups=None):
     When `overheads` is a dict, cells carrying telemetry_overhead_pct (the
     bench_scaling sampler-overhead pair) record it there by name. When
     `kernel_speedups` is a dict, cells carrying speedup_vs_scalar (the
-    columnar-kernel cells) record it there by name.
+    columnar-kernel cells) record it there by name. When `skew_imbalances`
+    is a dict, the skewed scaling cells (scaling/skew/...) record their
+    load_imbalance there by name.
     """
     with open(path, encoding="utf-8") as handle:
         report = json.load(handle)
@@ -86,6 +89,13 @@ def load_entries(path, overheads=None, kernel_speedups=None):
             pct = bench.get("telemetry_overhead_pct")
             if pct is not None and overheads is not None:
                 overheads[bench["name"]] = float(pct)
+            # Skewed scaling cells also gate on the within-report ratio of
+            # the elastic controller's load imbalance to the static
+            # placement's (see main), a deterministic virtual quantity.
+            if bench["name"].startswith("scaling/skew/"):
+                imbalance = bench.get("load_imbalance")
+                if imbalance is not None and skew_imbalances is not None:
+                    skew_imbalances[bench["name"]] = float(imbalance)
     elif schema.startswith("aqsios-bench-sweep/"):
         for figure in report["figures"]:
             for cell in figure["cells"]:
@@ -116,13 +126,19 @@ def main():
                         help="absolute floor for speedup_vs_scalar on the "
                              "candidate's kernel/columnar/ cells "
                              "(default: 1.5)")
+    parser.add_argument("--max-skew-imbalance-ratio", type=float, default=0.5,
+                        help="ceiling for the candidate's scaling/skew/"
+                             "rebalance load_imbalance as a fraction of its "
+                             "scaling/skew/static cell's (default: 0.5)")
     args = parser.parse_args()
 
     old_schema, old_entries = load_entries(args.old)
     new_overheads = {}
     new_kernel_speedups = {}
+    new_skew_imbalances = {}
     new_schema, new_entries = load_entries(args.new, overheads=new_overheads,
-                                           kernel_speedups=new_kernel_speedups)
+                                           kernel_speedups=new_kernel_speedups,
+                                           skew_imbalances=new_skew_imbalances)
     if old_schema != new_schema:
         print(f"error: schema mismatch: {old_schema} vs {new_schema}",
               file=sys.stderr)
@@ -186,6 +202,27 @@ def main():
             verdict = "ok"
         print(f"{key}: columnar speedup {speedup:.2f}x "
               f"(min {args.min_kernel_speedup:.2f}x)  {verdict}")
+
+    # The elastic rebalancer is gated within-report: its skewed cell's load
+    # imbalance must stay at or below the configured fraction of the static
+    # placement's. Both numbers are deterministic virtual quantities from
+    # the same candidate run, so the gate is machine-independent.
+    for key, imbalance in sorted(new_skew_imbalances.items()):
+        if "/rebalance/" not in key:
+            continue
+        static_key = key.replace("/rebalance/", "/static/")
+        static_imbalance = new_skew_imbalances.get(static_key)
+        if static_imbalance is None:
+            continue
+        bound = args.max_skew_imbalance_ratio * static_imbalance
+        if imbalance > bound:
+            verdict = "REGRESSION"
+            regressions.append(key + "/imbalance")
+        else:
+            verdict = "ok"
+        print(f"{key}: load imbalance {imbalance:.3f} vs static "
+              f"{static_imbalance:.3f} (max ratio "
+              f"{args.max_skew_imbalance_ratio:.2f})  {verdict}")
 
     print(f"\n{len(shared)} compared, {len(improvements)} improved, "
           f"{len(regressions)} regressed, {len(only_old)} missing, "

@@ -41,7 +41,7 @@ RunResult SimulatePlan(const query::GlobalPlan& plan,
                        const stream::ArrivalTable& arrivals,
                        const sched::PolicyConfig& policy,
                        const SimulationOptions& options) {
-  if (options.shards > 1) {
+  if (options.shards > 1 || options.rebalance.enabled) {
     AQSIOS_CHECK(options.tracer == nullptr)
         << "a single tracer cannot serve concurrent shards; use "
            "SimulateShardedPlan with per-shard tracers (obs/shard_trace.h)";

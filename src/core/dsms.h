@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "core/rebalance.h"
 #include "exec/engine.h"
 #include "metrics/qos.h"
 #include "query/workload.h"
@@ -78,6 +79,16 @@ struct SimulationOptions {
   /// Seed of the shard-assignment hash (sched/shard_router.h):
   /// shard(q) = MixKeys(shard_seed, anchor(q)) mod K.
   uint64_t shard_seed = 0x5eedc0de;
+
+  /// Elastic shard rebalancing and work stealing (core/rebalance.h,
+  /// docs/scaling.md). Off by default — every existing configuration is
+  /// byte-identical to pre-elastic builds. When enabled, the run takes the
+  /// epoch-driven elastic path (for any `shards`, including 1, where it
+  /// still reproduces the classic engine byte for byte) and whole placement
+  /// groups migrate between shards when the busy-time imbalance exceeds the
+  /// hysteresis band. Incompatible with tracer/adaptation/shed/admission
+  /// (checked).
+  RebalanceConfig rebalance;
 
   /// QoS-aware load shedding at the sources (exec::ShedConfig,
   /// docs/overload.md). Off by default: the engine and its reports stay

@@ -101,7 +101,7 @@ std::vector<SweepCell> RunSweep(const SweepConfig& config) {
     SweepCell& cell = cells[u * num_policies + p];
     cell.utilization = config.utilizations[u];
     const auto start = std::chrono::steady_clock::now();
-    if (cell_options.shards > 1) {
+    if (cell_options.shards > 1 || cell_options.rebalance.enabled) {
       ShardedRunResult sharded =
           SimulateSharded(workloads[u], config.policies[p], cell_options);
       cell.result = std::move(sharded.result);

@@ -1,0 +1,98 @@
+#include "core/rebalance.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace aqsios::core {
+
+RebalanceController::RebalanceController(const RebalanceConfig& config,
+                                         int num_shards, int num_groups)
+    : config_(config),
+      shard_ewma_(static_cast<size_t>(num_shards), 0.0),
+      group_ewma_(static_cast<size_t>(num_groups), 0.0) {
+  AQSIOS_CHECK_GE(num_shards, 1);
+  AQSIOS_CHECK_GT(config.ewma_alpha, 0.0);
+  AQSIOS_CHECK_LE(config.ewma_alpha, 1.0);
+  AQSIOS_CHECK_GE(config.imbalance_high, config.imbalance_low);
+  AQSIOS_CHECK_GE(config.imbalance_low, 1.0);
+}
+
+double RebalanceController::Imbalance() const {
+  double total = 0.0;
+  double max_load = 0.0;
+  for (double load : shard_ewma_) {
+    total += load;
+    max_load = std::max(max_load, load);
+  }
+  if (total <= 0.0) return 1.0;
+  return max_load / (total / static_cast<double>(shard_ewma_.size()));
+}
+
+std::vector<RebalanceController::Migration> RebalanceController::OnEpoch(
+    const std::vector<double>& shard_busy_delta,
+    const std::vector<double>& group_busy_delta,
+    const std::vector<int>& owner_of_group) {
+  AQSIOS_CHECK_EQ(shard_busy_delta.size(), shard_ewma_.size());
+  AQSIOS_CHECK_EQ(group_busy_delta.size(), group_ewma_.size());
+  AQSIOS_CHECK_EQ(owner_of_group.size(), group_ewma_.size());
+  const double alpha = config_.ewma_alpha;
+  for (size_t s = 0; s < shard_ewma_.size(); ++s) {
+    shard_ewma_[s] = alpha * shard_busy_delta[s] + (1.0 - alpha) * shard_ewma_[s];
+  }
+  for (size_t g = 0; g < group_ewma_.size(); ++g) {
+    group_ewma_[g] = alpha * group_busy_delta[g] + (1.0 - alpha) * group_ewma_[g];
+  }
+
+  const double imbalance = Imbalance();
+  if (!active_ && imbalance > config_.imbalance_high) active_ = true;
+  if (active_ && imbalance < config_.imbalance_low) active_ = false;
+
+  std::vector<Migration> migrations;
+  const int num_shards = static_cast<int>(shard_ewma_.size());
+  if (!active_ || num_shards < 2) return migrations;
+
+  // Projected loads: shard EWMAs adjusted by the group EWMAs of the moves
+  // chosen this epoch, so back-to-back picks don't overload the target.
+  std::vector<double> load = shard_ewma_;
+  std::vector<int> owner = owner_of_group;
+  for (int round = 0; round < config_.max_migrations_per_epoch; ++round) {
+    int hottest = 0;
+    int coolest = 0;
+    for (int s = 1; s < num_shards; ++s) {
+      if (load[static_cast<size_t>(s)] > load[static_cast<size_t>(hottest)]) {
+        hottest = s;
+      }
+      if (load[static_cast<size_t>(s)] < load[static_cast<size_t>(coolest)]) {
+        coolest = s;
+      }
+    }
+    if (hottest == coolest) break;
+    // Largest-EWMA group on the hottest shard whose move strictly lowers the
+    // projected hottest load: cool + g < hot (the anti-ping-pong guard —
+    // a group bigger than the gap would just swap the roles). Ties go to
+    // the lowest group id.
+    int best_group = -1;
+    double best_ewma = 0.0;
+    const double hot = load[static_cast<size_t>(hottest)];
+    const double cool = load[static_cast<size_t>(coolest)];
+    for (size_t g = 0; g < group_ewma_.size(); ++g) {
+      if (owner[g] != hottest) continue;
+      const double ewma = group_ewma_[g];
+      if (ewma <= 0.0) continue;
+      if (cool + ewma >= hot) continue;
+      if (ewma > best_ewma) {
+        best_ewma = ewma;
+        best_group = static_cast<int>(g);
+      }
+    }
+    if (best_group < 0) break;
+    migrations.push_back(Migration{best_group, hottest, coolest});
+    load[static_cast<size_t>(hottest)] -= best_ewma;
+    load[static_cast<size_t>(coolest)] += best_ewma;
+    owner[static_cast<size_t>(best_group)] = coolest;
+  }
+  return migrations;
+}
+
+}  // namespace aqsios::core

@@ -1,0 +1,85 @@
+// Elastic shard rebalancing: the epoch-driven controller that closes the
+// load_imbalance loop (docs/scaling.md).
+//
+// The static hash placement of AssignShards pins a hot sharing group to one
+// shard for the whole run. The elastic runner (core/sharded_dsms.cc) instead
+// advances all shards through shared virtual-time epochs; at each epoch
+// barrier this controller folds the per-shard and per-group busy-time deltas
+// into EWMAs and, when the shard imbalance (max/mean of the shard EWMAs)
+// exceeds a hysteresis band, migrates whole placement groups from the
+// hottest shard to the coolest. Everything here is a pure function of the
+// counter sequence fed in — no wall clock, no thread timing — so elastic
+// runs are deterministic and repeatable.
+
+#ifndef AQSIOS_CORE_REBALANCE_H_
+#define AQSIOS_CORE_REBALANCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/sim_time.h"
+
+namespace aqsios::core {
+
+/// Knobs of the elastic runner. `enabled` routes SimulatePlan through the
+/// epoch-driven elastic path (any shard count, including 1 — where it is
+/// byte-identical to the classic engine); everything else tunes the
+/// controller.
+struct RebalanceConfig {
+  bool enabled = false;
+  /// Virtual seconds between epoch barriers; 0 derives ~1/32 of the arrival
+  /// span.
+  double epoch_seconds = 0.0;
+  /// EWMA smoothing of the per-epoch busy deltas (1 = last epoch only).
+  double ewma_alpha = 0.5;
+  /// Hysteresis band on the shard-imbalance ratio max/mean: migrations
+  /// activate above `imbalance_high` and stay active until the ratio falls
+  /// below `imbalance_low`.
+  double imbalance_high = 1.2;
+  double imbalance_low = 1.05;
+  /// Migration budget per epoch (whole placement groups).
+  int max_migrations_per_epoch = 1;
+  /// Idle-shard work stealing of queued trains from stateless groups.
+  bool steal = false;
+  /// Largest train one steal hands off.
+  int64_t steal_max_tuples = 1024;
+  /// Donor shards must hold at least this backlog to be stolen from.
+  int64_t steal_min_backlog = 256;
+};
+
+/// Per-epoch migration decisions. Greedy hottest-to-coolest: the largest
+/// movable group whose move strictly lowers the projected maximum shard
+/// load (the anti-ping-pong guard), repeated up to the per-epoch budget.
+class RebalanceController {
+ public:
+  RebalanceController(const RebalanceConfig& config, int num_shards,
+                      int num_groups);
+
+  struct Migration {
+    int group = 0;
+    int from = 0;
+    int to = 0;
+  };
+
+  /// Folds this epoch's busy-time deltas into the EWMAs and returns the
+  /// migrations to perform (possibly none). `owner_of_group` is the current
+  /// placement; the caller applies the returned moves and keeps it current.
+  std::vector<Migration> OnEpoch(
+      const std::vector<double>& shard_busy_delta,
+      const std::vector<double>& group_busy_delta,
+      const std::vector<int>& owner_of_group);
+
+  /// Current max/mean shard-load ratio (1 when idle) — exposed for tests.
+  double Imbalance() const;
+  bool active() const { return active_; }
+
+ private:
+  RebalanceConfig config_;
+  std::vector<double> shard_ewma_;
+  std::vector<double> group_ewma_;
+  bool active_ = false;
+};
+
+}  // namespace aqsios::core
+
+#endif  // AQSIOS_CORE_REBALANCE_H_

@@ -279,6 +279,16 @@ void WriteSweepCells(JsonWriter& json, const std::vector<SweepCell>& cells) {
           json.Key("admission_dropped");
           json.Number(shard.admission_dropped);
         }
+        if (shard.migrations > 0) {
+          // Elastic rebalancing engaged; static runs keep serializing
+          // byte-identically to pre-elastic sweep reports.
+          json.Key("migrations");
+          json.Number(shard.migrations);
+        }
+        if (shard.steals > 0) {
+          json.Key("steals");
+          json.Number(shard.steals);
+        }
         json.EndObject();
       }
       json.EndArray();

@@ -60,6 +60,11 @@ struct ShardRunStats {
   /// Arrivals the admission controller refused to route to this shard
   /// (0 unless SimulationOptions::admission is enabled).
   int64_t admission_dropped = 0;
+  /// Placement groups migrated *out of* this shard by the elastic rebalance
+  /// controller (0 unless SimulationOptions::rebalance is enabled).
+  int64_t migrations = 0;
+  /// Trains this shard stole as an idle thief (0 unless rebalance.steal).
+  int64_t steals = 0;
 };
 
 /// A sharded run: the merged RunResult plus the sharding it came from.

@@ -639,8 +639,17 @@ void Engine::DeliverArrivalsUpTo(SimTime time) {
                        static_cast<int32_t>(arrival.stream), -1,
                        static_cast<int64_t>(arrival.id)});
     }
+    bool delivered = false;
     for (int unit :
          leaf_units_of_stream_[static_cast<size_t>(arrival.stream)]) {
+      // Elastic mode: each engine sees the shared global arrival table but
+      // only feeds the leaf queues of the placement groups it currently
+      // owns. Cheap single branch when elastic_ is off.
+      if (elastic_ &&
+          owned_groups_[static_cast<size_t>(group_of_unit_[static_cast<size_t>(
+              unit)])] == 0) {
+        continue;
+      }
       if (shedding_) {
         ++counters_.tuples_offered;
         if (queued_tuples_ >= config_.shed.queue_cap &&
@@ -660,7 +669,9 @@ void Engine::DeliverArrivalsUpTo(SimTime time) {
       // Queue entries carry the table *index*; Arrival::id stays global so
       // frozen draws and trace ids are identical inside shard sub-tables.
       Enqueue(unit, next_arrival_, arrival.time);
+      delivered = true;
     }
+    if (elastic_ && delivered) ++elastic_arrivals_routed_;
     ++next_arrival_;
   }
 }
@@ -1136,19 +1147,38 @@ void Engine::PublishTelemetry(bool done) {
 }
 
 RunCounters Engine::Run() {
+  Begin();
+  RunUntil(std::numeric_limits<SimTime>::infinity());
+  return Finish();
+}
+
+void Engine::Begin() {
   AQSIOS_CHECK(!ran_) << "Engine::Run may be called once";
   ran_ = true;
-
   DeliverArrivalsUpTo(now_);
+}
+
+bool Engine::RunUntil(SimTime barrier) {
+  // Catch up deliveries a previous (finite) barrier deferred: if the last
+  // epoch's execution overshot its barrier, arrivals in (old barrier, now_]
+  // were withheld so a migration at the barrier saw a frozen arrival cursor;
+  // they must land before the next pick, exactly as the unbarriered loop
+  // delivers up to now_ after every execution.
+  DeliverArrivalsUpTo(std::min(now_, barrier));
   sched::SchedulingCost cost;
-  while (true) {
+  while (now_ < barrier) {
     picked_.clear();
     cost.Clear();
     if (!scheduler_->PickNext(now_, &cost, &picked_)) {
-      if (next_arrival_ >= arrivals_->size()) break;  // drained
-      now_ = std::max(
-          now_,
-          arrivals_->arrivals[static_cast<size_t>(next_arrival_)].time);
+      if (next_arrival_ >= arrivals_->size()) return true;  // drained
+      const SimTime next_time =
+          arrivals_->arrivals[static_cast<size_t>(next_arrival_)].time;
+      // The next arrival is beyond the barrier: pause idle. The idle jump —
+      // and its delivery and telemetry publish — happens unchanged in the
+      // epoch whose barrier covers it, so the eventual state transitions are
+      // those of the unbarriered loop.
+      if (next_time > barrier) return false;
+      now_ = std::max(now_, next_time);
       DeliverArrivalsUpTo(now_);
       // Idle jumps still publish: a sampler watching the cell must see the
       // clock advance even through arrival gaps, or the watchdog would
@@ -1179,10 +1209,15 @@ RunCounters Engine::Run() {
       counters_.overhead_time += overhead;
       exec_point_overhead_ = overhead;
     }
+    const SimTime busy_before = counters_.busy_time;
     if (batching_) {
       for (int unit : picked_) ExecuteUnitTrain(unit);
     } else {
       for (int unit : picked_) ExecuteUnit(unit);
+    }
+    if (elastic_) {
+      group_busy_[static_cast<size_t>(group_of_unit_[static_cast<size_t>(
+          picked_.front())])] += counters_.busy_time - busy_before;
     }
     if (stats_monitor_ != nullptr && stats_monitor_->MaybeAdapt(now_)) {
       ++counters_.adaptation_ticks;
@@ -1191,8 +1226,15 @@ RunCounters Engine::Run() {
                          stats_monitor_->last_refreshed_units()});
       }
     }
-    DeliverArrivalsUpTo(now_);
+    // Execution may push the clock past the barrier; deliveries are clamped
+    // so the arrival cursor is frozen at the barrier for migrations, and the
+    // withheld tail lands at the next RunUntil's entry catch-up.
+    DeliverArrivalsUpTo(std::min(now_, barrier));
   }
+  return false;  // barrier reached
+}
+
+RunCounters Engine::Finish() {
   AccrueQueueOccupancy();
   if (telemetry_ != nullptr) PublishTelemetry(/*done=*/true);
   counters_.end_time = now_;
@@ -1206,6 +1248,151 @@ RunCounters Engine::Run() {
   counters_.exec_busy_hist = std::move(exec_busy_hist_);
   counters_.attribution = attribution_;
   return counters_;
+}
+
+// --- Elastic shard mode (core/rebalance.h, core/sharded_dsms.cc) ------------
+
+void Engine::ConfigureElastic(const std::vector<int>& group_of_query,
+                              int num_groups,
+                              std::vector<uint8_t> owned_groups) {
+  AQSIOS_CHECK(!ran_) << "ConfigureElastic must precede Begin";
+  // Elastic runs disallow the features whose state can't migrate with a
+  // group (adaptation rewrites shared stats; shedding/tracing key off
+  // whole-engine populations the ownership filter would distort).
+  AQSIOS_CHECK(config_.tracer == nullptr) << "elastic mode cannot be traced";
+  AQSIOS_CHECK(!config_.adaptation.enabled)
+      << "elastic mode is incompatible with adaptation";
+  AQSIOS_CHECK(!config_.shed.enabled)
+      << "elastic mode is incompatible with load shedding";
+  AQSIOS_CHECK_EQ(static_cast<int64_t>(group_of_query.size()),
+                  static_cast<int64_t>(plan_->num_queries()));
+  AQSIOS_CHECK_EQ(static_cast<int64_t>(owned_groups.size()),
+                  static_cast<int64_t>(num_groups));
+  elastic_ = true;
+  group_of_query_ = group_of_query;
+  owned_groups_ = std::move(owned_groups);
+  group_busy_.assign(static_cast<size_t>(num_groups), 0.0);
+  group_of_unit_.resize(built_.units.size());
+  for (const sched::Unit& unit : built_.units) {
+    const int group = group_of_query_[static_cast<size_t>(unit.query)];
+    AQSIOS_CHECK_GE(group, 0);
+    AQSIOS_CHECK_LT(group, num_groups);
+    group_of_unit_[static_cast<size_t>(unit.id)] = group;
+  }
+}
+
+Engine::GroupState Engine::ExtractGroup(int group) {
+  AQSIOS_CHECK(elastic_);
+  AQSIOS_CHECK(owned_groups_[static_cast<size_t>(group)] != 0)
+      << "extracting group " << group << " from a non-owner";
+  GroupState state;
+  // Entries leave this engine's population now: settle the occupancy
+  // integral before the count changes.
+  AccrueQueueOccupancy();
+  for (sched::Unit& unit : built_.units) {
+    if (group_of_unit_[static_cast<size_t>(unit.id)] != group) continue;
+    if (unit.queue.empty()) continue;
+    state.queued += static_cast<int64_t>(unit.queue.size());
+    state.unit_queues.emplace_back(unit.id, std::move(unit.queue));
+  }
+  queued_tuples_ -= state.queued;
+  for (size_t q = 0; q < join_state_.size(); ++q) {
+    if (group_of_query_[q] != group || join_state_[q].empty()) continue;
+    state.join_states.emplace_back(static_cast<int>(q),
+                                   std::move(join_state_[q]));
+    join_state_[q].clear();
+  }
+  owned_groups_[static_cast<size_t>(group)] = 0;
+  scheduler_->ResyncQueues(now_);
+  return state;
+}
+
+void Engine::InjectGroup(int group, GroupState state, SimTime barrier) {
+  AQSIOS_CHECK(elastic_);
+  AQSIOS_CHECK(owned_groups_[static_cast<size_t>(group)] == 0)
+      << "injecting group " << group << " into an owner";
+  AccrueQueueOccupancy();
+  // A target below the barrier is paused idle (empty queues), so jumping it
+  // to the barrier accrues zero occupancy; the jump guarantees injected
+  // entries (arrival_time <= barrier by the delivery clamp) never see a
+  // negative head wait.
+  now_ = std::max(now_, barrier);
+  last_occupancy_time_ = now_;
+  for (auto& [unit_id, queue] : state.unit_queues) {
+    sched::Unit& unit = built_.units[static_cast<size_t>(unit_id)];
+    if (unit.queue.empty()) {
+      unit.queue = std::move(queue);
+    } else {
+      // The target holds residual *stolen* entries of this group — a prefix
+      // of the same FIFO, strictly older than everything migrating in:
+      // append the remainder behind them.
+      for (size_t i = 0; i < queue.size(); ++i) {
+        unit.queue.push_back(queue.at(i));
+      }
+    }
+  }
+  queued_tuples_ += state.queued;
+  counters_.peak_queued_tuples =
+      std::max(counters_.peak_queued_tuples, queued_tuples_);
+  for (auto& [q, states] : state.join_states) {
+    join_state_[static_cast<size_t>(q)] = std::move(states);
+  }
+  owned_groups_[static_cast<size_t>(group)] = 1;
+  scheduler_->ResyncQueues(now_);
+}
+
+bool Engine::ExtractStolenTrain(int64_t max_tuples, int* unit_out,
+                                std::vector<sched::QueueEntry>* entries) {
+  AQSIOS_CHECK(elastic_);
+  AQSIOS_CHECK_GT(max_tuples, 0);
+  // Stealable work is a prefix of a stateless chain's queue: kQueryChain and
+  // kRemainder segments are pure (charge, filter, emit) so a thief can run
+  // them against its own clock with no state handoff. Largest backlog wins,
+  // ties to the lowest unit id.
+  int best = -1;
+  size_t best_size = 0;
+  for (const sched::Unit& unit : built_.units) {
+    if (unit.kind != sched::UnitKind::kQueryChain &&
+        unit.kind != sched::UnitKind::kRemainder) {
+      continue;
+    }
+    if (unit.queue.size() > best_size) {
+      best_size = unit.queue.size();
+      best = unit.id;
+    }
+  }
+  if (best < 0) return false;
+  sched::Unit& unit = built_.units[static_cast<size_t>(best)];
+  const size_t take =
+      std::min(unit.queue.size(), static_cast<size_t>(max_tuples));
+  AccrueQueueOccupancy();
+  entries->clear();
+  entries->reserve(take);
+  for (size_t i = 0; i < take; ++i) {
+    entries->push_back(unit.queue.front());
+    unit.queue.pop_front();
+  }
+  queued_tuples_ -= static_cast<int64_t>(take);
+  scheduler_->ResyncQueues(now_);
+  *unit_out = best;
+  return true;
+}
+
+void Engine::InjectStolenTrain(int unit_id,
+                               const std::vector<sched::QueueEntry>& entries,
+                               SimTime barrier) {
+  AQSIOS_CHECK(elastic_);
+  AQSIOS_CHECK(!entries.empty());
+  sched::Unit& unit = built_.units[static_cast<size_t>(unit_id)];
+  AQSIOS_CHECK(unit.queue.empty()) << "thief must be idle";
+  AccrueQueueOccupancy();
+  now_ = std::max(now_, barrier);
+  last_occupancy_time_ = now_;
+  for (const sched::QueueEntry& entry : entries) unit.queue.push_back(entry);
+  queued_tuples_ += static_cast<int64_t>(entries.size());
+  counters_.peak_queued_tuples =
+      std::max(counters_.peak_queued_tuples, queued_tuples_);
+  scheduler_->ResyncQueues(now_);
 }
 
 }  // namespace aqsios::exec

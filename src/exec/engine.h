@@ -17,6 +17,7 @@
 
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/arena.h"
@@ -211,8 +212,78 @@ class Engine {
   Engine& operator=(const Engine&) = delete;
 
   /// Runs the simulation until all arrivals are processed and every queue is
-  /// drained. Call at most once.
+  /// drained. Call at most once. Exactly equivalent to Begin();
+  /// RunUntil(+inf); Finish() — which is how the elastic sharded runner
+  /// drives the engine in virtual-time epochs instead.
   RunCounters Run();
+
+  /// Epoch-driven protocol (core/sharded_dsms.cc elastic runner). Begin
+  /// once, RunUntil per epoch barrier, Finish once after every engine
+  /// drained. With barrier = +inf the three calls replay Run() byte for
+  /// byte.
+  void Begin();
+  /// Advances the simulation until the clock reaches `barrier` or the engine
+  /// pauses idle (no ready work, next arrival beyond the barrier). Arrival
+  /// delivery is clamped to min(now, barrier) so at every return the arrival
+  /// cursor sits exactly at the first arrival after the barrier — the
+  /// invariant group migration relies on. Returns true when fully drained
+  /// (cursor exhausted, no pending work); a drained engine is merely paused
+  /// and is revived by InjectGroup / InjectStolenTrain.
+  bool RunUntil(SimTime barrier);
+  /// Settles final accounting and returns the counters. Call once.
+  RunCounters Finish();
+
+  // --- Elastic shard mode (core/rebalance.h) ---
+  /// Enters elastic mode before Begin: the engine holds the *full* plan and
+  /// the global arrival table, but only delivers arrivals to the placement
+  /// groups it owns (`owned_groups` bitmap over `num_groups` groups;
+  /// `group_of_query` maps every query to its group). Incompatible with
+  /// tracing, adaptation, and load shedding (checked).
+  void ConfigureElastic(const std::vector<int>& group_of_query,
+                        int num_groups, std::vector<uint8_t> owned_groups);
+
+  /// Scheduler + queue state of one placement group in flight between
+  /// engines.
+  struct GroupState {
+    /// (unit id, moved queue) for every non-empty member queue.
+    std::vector<std::pair<int, sched::TupleQueue>> unit_queues;
+    /// (query id, moved per-stage window-join state) for member queries.
+    std::vector<std::pair<
+        int, std::vector<std::unique_ptr<SymmetricHashJoinState>>>>
+        join_states;
+    int64_t queued = 0;
+  };
+  /// Quiesced handoff, called only at an epoch barrier: moves the group's
+  /// queues and window-join state out, drops ownership, and resyncs the
+  /// scheduler. The group's frozen randomness is keyed on global ids, so the
+  /// target replays identical outcomes.
+  GroupState ExtractGroup(int group);
+  /// Target side of a migration: bumps the clock to the barrier (paused-idle
+  /// targets sit below it), installs the state, takes ownership, resyncs.
+  void InjectGroup(int group, GroupState state, SimTime barrier);
+
+  /// Work stealing: pops up to `max_tuples` head entries of the fullest
+  /// stateless (kQueryChain/kRemainder) queue for an idle thief. Ownership
+  /// is unchanged — the thief only drains the handed-off train. Returns
+  /// false when no stealable backlog exists.
+  bool ExtractStolenTrain(int64_t max_tuples, int* unit_out,
+                          std::vector<sched::QueueEntry>* entries);
+  /// Thief side of a steal; the thief must be fully idle so the handed-off
+  /// prefix stays FIFO-ordered in its (empty) queue.
+  void InjectStolenTrain(int unit_id,
+                         const std::vector<sched::QueueEntry>& entries,
+                         SimTime barrier);
+
+  /// Elastic-mode observers for the rebalance controller.
+  SimTime virtual_now() const { return now_; }
+  SimTime busy_time() const { return counters_.busy_time; }
+  int64_t queued_tuples() const { return queued_tuples_; }
+  /// Cumulative busy seconds attributed to each placement group (the
+  /// executed unit's group, including stolen work executed here).
+  const std::vector<double>& group_busy() const { return group_busy_; }
+  /// Arrivals delivered to at least one owned leaf queue (the elastic
+  /// counterpart of the router's per-shard routed count).
+  int64_t elastic_arrivals_routed() const { return elastic_arrivals_routed_; }
 
   const sched::UnitTable& units() const { return built_.units; }
 
@@ -348,6 +419,17 @@ class Engine {
 
   /// Accrues the queued-tuples time integral up to the current clock.
   void AccrueQueueOccupancy();
+
+  /// --- Elastic shard mode state (all inert when elastic_ is false) ---
+  bool elastic_ = false;
+  /// Placement group of each query / unit (ConfigureElastic).
+  std::vector<int> group_of_query_;
+  std::vector<int> group_of_unit_;
+  /// Ownership bitmap over placement groups; gates arrival delivery.
+  std::vector<uint8_t> owned_groups_;
+  /// Cumulative busy seconds per placement group (EWMA input).
+  std::vector<double> group_busy_;
+  int64_t elastic_arrivals_routed_ = 0;
 
   SimTime now_ = 0.0;
   int64_t next_arrival_ = 0;

@@ -183,6 +183,19 @@ std::string RenderOpenMetrics(const TelemetryMeta& meta,
     out.Shard(o.shard, static_cast<double>(o.admission_rejected));
   }
 
+  out.Family("aqsios_shard_migrations", "counter",
+             "Placement groups migrated out of the shard by the elastic "
+             "rebalance controller.");
+  for (const ShardObservation& o : observations) {
+    out.Shard(o.shard, static_cast<double>(o.migrations));
+  }
+
+  out.Family("aqsios_shard_steals", "counter",
+             "Queued trains the shard stole as an idle thief.");
+  for (const ShardObservation& o : observations) {
+    out.Shard(o.shard, static_cast<double>(o.steals));
+  }
+
   out.Family("aqsios_shard_slowdown_mean", "gauge",
              "Mean emitted-tuple slowdown so far, per shard.");
   for (const ShardObservation& o : observations) {

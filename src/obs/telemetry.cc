@@ -15,7 +15,9 @@ namespace aqsios::obs {
 TelemetryHub::TelemetryHub(int num_shards)
     : shard_queries_(static_cast<size_t>(num_shards)),
       routed_(static_cast<size_t>(num_shards)),
-      admission_rejected_(static_cast<size_t>(num_shards)) {
+      admission_rejected_(static_cast<size_t>(num_shards)),
+      migrations_(static_cast<size_t>(num_shards)),
+      steals_(static_cast<size_t>(num_shards)) {
   AQSIOS_CHECK_GE(num_shards, 1);
   cells_.reserve(static_cast<size_t>(num_shards));
   for (int i = 0; i < num_shards; ++i) {
@@ -26,6 +28,8 @@ TelemetryHub::TelemetryHub(int num_shards)
     routed_[static_cast<size_t>(i)].store(0, std::memory_order_relaxed);
     admission_rejected_[static_cast<size_t>(i)].store(
         0, std::memory_order_relaxed);
+    migrations_[static_cast<size_t>(i)].store(0, std::memory_order_relaxed);
+    steals_[static_cast<size_t>(i)].store(0, std::memory_order_relaxed);
   }
 }
 
@@ -55,6 +59,25 @@ int64_t TelemetryHub::routed(int shard) const {
 int64_t TelemetryHub::admission_rejected(int shard) const {
   return admission_rejected_[static_cast<size_t>(shard)].load(
       std::memory_order_relaxed);
+}
+
+void TelemetryHub::SetMigrations(int shard, int64_t migrations) {
+  migrations_[static_cast<size_t>(shard)].store(migrations,
+                                                std::memory_order_relaxed);
+}
+
+void TelemetryHub::SetSteals(int shard, int64_t steals) {
+  steals_[static_cast<size_t>(shard)].store(steals,
+                                            std::memory_order_relaxed);
+}
+
+int64_t TelemetryHub::migrations(int shard) const {
+  return migrations_[static_cast<size_t>(shard)].load(
+      std::memory_order_relaxed);
+}
+
+int64_t TelemetryHub::steals(int shard) const {
+  return steals_[static_cast<size_t>(shard)].load(std::memory_order_relaxed);
 }
 
 // ---------------------------------------------------------------------------
@@ -382,6 +405,8 @@ void TelemetrySampler::SampleOnce(bool final_tick) {
     }
     o.routed = hub_->routed(shard);
     o.admission_rejected = hub_->admission_rejected(shard);
+    o.migrations = hub_->migrations(shard);
+    o.steals = hub_->steals(shard);
   }
 
   watchdog_.Observe(sample_index, wall_ms, scratch_);
@@ -430,6 +455,10 @@ void TelemetrySampler::SampleOnce(bool final_tick) {
       json.Number(o.routed);
       json.Key("admission_rejected");
       json.Number(o.admission_rejected);
+      json.Key("migrations");
+      json.Number(o.migrations);
+      json.Key("steals");
+      json.Number(o.steals);
       json.Key("slowdown_mean");
       json.Number(o.sample.slowdown_count > 0
                       ? o.sample.slowdown_sum /

@@ -182,11 +182,20 @@ class TelemetryHub {
   int64_t routed(int shard) const;
   int64_t admission_rejected(int shard) const;
 
+  /// Elastic-runner accounting (core/rebalance.h), published at epoch
+  /// barriers: groups migrated out of / trains stolen into each shard.
+  void SetMigrations(int shard, int64_t migrations);
+  void SetSteals(int shard, int64_t steals);
+  int64_t migrations(int shard) const;
+  int64_t steals(int shard) const;
+
  private:
   std::vector<std::unique_ptr<SnapshotCell>> cells_;
   std::vector<std::atomic<int32_t>> shard_queries_;
   std::vector<std::atomic<int64_t>> routed_;
   std::vector<std::atomic<int64_t>> admission_rejected_;
+  std::vector<std::atomic<int64_t>> migrations_;
+  std::vector<std::atomic<int64_t>> steals_;
 };
 
 // ---------------------------------------------------------------------------
@@ -250,6 +259,8 @@ struct ShardObservation {
   TelemetrySample sample;
   int64_t routed = 0;
   int64_t admission_rejected = 0;
+  int64_t migrations = 0;
+  int64_t steals = 0;
 };
 
 /// Run-end health verdict: a pure function of the merged run counters and

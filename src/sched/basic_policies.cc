@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <numeric>
+#include <utility>
 
 #include "common/check.h"
 
@@ -45,6 +46,34 @@ bool FcfsScheduler::PickNext(SimTime /*now*/, SchedulingCost* cost,
   return true;
 }
 
+void FcfsScheduler::ResyncQueues(SimTime /*now*/) {
+  // One fifo slot per queued entry, ordered by (arrival index, unit id):
+  // the canonical interleaving. Leaf queues are arrival-ordered, so at
+  // query-level scheduling this reproduces the true enqueue order.
+  std::vector<std::pair<stream::ArrivalId, int>> slots;
+  for (const Unit& u : *units_) {
+    for (size_t i = 0; i < u.queue.size(); ++i) {
+      slots.emplace_back(u.queue.at(i).arrival, u.id);
+    }
+  }
+  std::sort(slots.begin(), slots.end());
+  fifo_.clear();
+  for (const auto& [arrival, unit] : slots) {
+    (void)arrival;
+    fifo_.push_back(unit);
+  }
+}
+
+SchedulerState FcfsScheduler::ExportState() const {
+  SchedulerState state;
+  state.ints.assign(fifo_.begin(), fifo_.end());
+  return state;
+}
+
+void FcfsScheduler::ImportState(const SchedulerState& state, SimTime /*now*/) {
+  fifo_.assign(state.ints.begin(), state.ints.end());
+}
+
 // --- Round Robin -------------------------------------------------------------
 
 void RoundRobinScheduler::Attach(const UnitTable* units) {
@@ -82,6 +111,25 @@ bool RoundRobinScheduler::PickNext(SimTime /*now*/, SchedulingCost* cost,
   cost->candidates = step + 1;
   out->push_back(candidate);
   return true;
+}
+
+void RoundRobinScheduler::ResyncQueues(SimTime /*now*/) {
+  ready_.Reset(static_cast<int>(units_->size()));
+  for (const Unit& u : *units_) {
+    if (u.has_pending()) ready_.Insert(u.id);
+  }
+}
+
+SchedulerState RoundRobinScheduler::ExportState() const {
+  SchedulerState state;
+  state.ints.push_back(cursor_);
+  return state;
+}
+
+void RoundRobinScheduler::ImportState(const SchedulerState& state,
+                                      SimTime now) {
+  cursor_ = state.ints.empty() ? 0 : static_cast<int>(state.ints.front());
+  ResyncQueues(now);
 }
 
 // --- Static priority family (SRPT / HR / HNR) --------------------------------
@@ -137,6 +185,17 @@ void StaticPriorityScheduler::Attach(const UnitTable* units) {
 void StaticPriorityScheduler::OnStatsUpdated() {
   RebuildRanks();
   // Ranks changed; rebuild the ready bitmap keyed by the new ranks.
+  ready_.Reset(static_cast<int>(units_->size()));
+  for (const Unit& unit : *units_) {
+    if (unit.has_pending()) {
+      ready_.Insert(rank_[static_cast<size_t>(unit.id)]);
+    }
+  }
+}
+
+void StaticPriorityScheduler::ResyncQueues(SimTime /*now*/) {
+  // Ranks are stats-derived and untouched; only the readiness bitmap is
+  // queue-derived.
   ready_.Reset(static_cast<int>(units_->size()));
   for (const Unit& unit : *units_) {
     if (unit.has_pending()) {
@@ -218,6 +277,22 @@ void LsfScheduler::OnStatsUpdated() {
   }
 }
 
+void LsfScheduler::ResyncQueues(SimTime /*now*/) {
+  if (use_kinetic_) {
+    index_.Clear();
+    for (const Unit& u : *units_) {
+      if (u.has_pending()) {
+        index_.Insert(u.id, u.head().arrival_time, u.stats.ideal_time);
+      }
+    }
+    return;
+  }
+  ready_.clear();
+  for (const Unit& u : *units_) {
+    if (u.has_pending()) ready_.insert(u.id);
+  }
+}
+
 bool LsfScheduler::PickNext(SimTime now, SchedulingCost* cost,
                             std::vector<int>* out) {
   // Either path: the W/T priority is time-varying, so conceptually every
@@ -294,6 +369,22 @@ void BsdScheduler::OnStatsUpdated() {
     if (u.has_pending()) {
       index_.Insert(u.id, u.head().arrival_time, u.stats.phi);
     }
+  }
+}
+
+void BsdScheduler::ResyncQueues(SimTime /*now*/) {
+  if (use_kinetic_) {
+    index_.Clear();
+    for (const Unit& u : *units_) {
+      if (u.has_pending()) {
+        index_.Insert(u.id, u.head().arrival_time, u.stats.phi);
+      }
+    }
+    return;
+  }
+  ready_.clear();
+  for (const Unit& u : *units_) {
+    if (u.has_pending()) ready_.insert(u.id);
   }
 }
 

@@ -40,6 +40,14 @@ class FcfsScheduler : public Scheduler {
   bool PickNext(SimTime now, SchedulingCost* cost,
                 std::vector<int>* out) override;
   const char* name() const override { return "FCFS"; }
+  /// Rebuilds the fifo canonically: all queued entries ordered by (arrival
+  /// index, unit id). Coincides with true enqueue order for leaf queues.
+  void ResyncQueues(SimTime now) override;
+  /// The fifo order itself is state a resync can't always reproduce
+  /// (operator-level internal queues enqueue in execution order, not arrival
+  /// order), so export carries it verbatim.
+  SchedulerState ExportState() const override;
+  void ImportState(const SchedulerState& state, SimTime now) override;
 
  private:
   const UnitTable* units_ = nullptr;
@@ -64,6 +72,10 @@ class RoundRobinScheduler : public Scheduler {
   bool PickNext(SimTime now, SchedulingCost* cost,
                 std::vector<int>* out) override;
   const char* name() const override { return "RR"; }
+  void ResyncQueues(SimTime now) override;
+  /// The round-robin cursor survives export/import; readiness is resynced.
+  SchedulerState ExportState() const override;
+  void ImportState(const SchedulerState& state, SimTime now) override;
 
  private:
   const UnitTable* units_ = nullptr;
@@ -93,6 +105,7 @@ class StaticPriorityScheduler : public Scheduler {
                 std::vector<int>* out) override;
   /// Re-ranks all units by their refreshed stats, preserving queue state.
   void OnStatsUpdated() override;
+  void ResyncQueues(SimTime now) override;
   const char* name() const override;
   /// Static priorities are their own shed ranking: shedding drops the units
   /// this policy would serve last.
@@ -132,6 +145,7 @@ class LsfScheduler : public Scheduler {
   /// intermediate kinetic re-keys — the once-per-batch priority update.
   void OnBatchDequeue(int unit, int /*count*/) override { OnDequeue(unit); }
   void OnStatsUpdated() override;
+  void ResyncQueues(SimTime now) override;
   bool PickNext(SimTime now, SchedulingCost* cost,
                 std::vector<int>* out) override;
   const char* name() const override { return "LSF"; }
@@ -168,6 +182,7 @@ class BsdScheduler : public Scheduler {
   /// intermediate kinetic re-keys — the once-per-batch priority update.
   void OnBatchDequeue(int unit, int /*count*/) override { OnDequeue(unit); }
   void OnStatsUpdated() override;
+  void ResyncQueues(SimTime now) override;
   bool PickNext(SimTime now, SchedulingCost* cost,
                 std::vector<int>* out) override;
   const char* name() const override { return "BSD"; }

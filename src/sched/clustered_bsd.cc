@@ -101,6 +101,39 @@ void ClusteredBsdScheduler::OnBatchDequeue(int unit, int count) {
   }
 }
 
+void ClusteredBsdScheduler::ResyncQueues(SimTime /*now*/) {
+  // Shadow FIFOs: one entry per queued tuple, merged per cluster in
+  // (arrival index, unit id) order — the canonical interleaving, identical
+  // to true enqueue order for the leaf queues this scheduler serves.
+  for (auto& queue : cluster_queues_) queue.clear();
+  for (const Unit& u : *units_) {
+    auto& queue =
+        cluster_queues_[static_cast<size_t>(
+            clustering_.cluster_of_unit[static_cast<size_t>(u.id)])];
+    for (size_t i = 0; i < u.queue.size(); ++i) {
+      const QueueEntry& e = u.queue.at(i);
+      queue.push_back(Entry{u.id, e.arrival, e.arrival_time});
+    }
+  }
+  by_head_time_.clear();
+  if (kinetic_active()) index_.Clear();
+  for (int cluster = 0; cluster < clustering_.num_clusters; ++cluster) {
+    auto& queue = cluster_queues_[static_cast<size_t>(cluster)];
+    std::sort(queue.begin(), queue.end(), [](const Entry& a, const Entry& b) {
+      return a.arrival != b.arrival ? a.arrival < b.arrival
+                                    : a.unit < b.unit;
+    });
+    if (queue.empty()) continue;
+    if (kinetic_active()) {
+      index_.Insert(cluster, queue.front().arrival_time,
+                    clustering_.pseudo_priority[static_cast<size_t>(cluster)],
+                    /*tie_key=*/queue.front().arrival_time);
+    } else {
+      by_head_time_.insert({queue.front().arrival_time, cluster});
+    }
+  }
+}
+
 int ClusteredBsdScheduler::SelectByScan(SimTime now,
                                         SchedulingCost* cost) const {
   int best = -1;

@@ -55,6 +55,9 @@ class ClusteredBsdScheduler : public Scheduler {
   void OnBatchDequeue(int unit, int count) override;
   bool PickNext(SimTime now, SchedulingCost* cost,
                 std::vector<int>* out) override;
+  /// Rebuilds the per-cluster shadow FIFOs canonically — member units'
+  /// queued entries merged by (arrival index, unit id) — plus the head keys.
+  void ResyncQueues(SimTime now) override;
   const char* name() const override { return name_.c_str(); }
   /// Same Φ line as exact BSD: clustering changes how the line is *served*
   /// (per-cluster pseudo priorities), not which sources matter least.

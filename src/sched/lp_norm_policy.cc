@@ -55,6 +55,13 @@ void LpNormScheduler::OnDequeue(int unit) {
   }
 }
 
+void LpNormScheduler::ResyncQueues(SimTime /*now*/) {
+  ready_.clear();
+  for (const Unit& unit : *units_) {
+    if (unit.has_pending()) ready_.insert(unit.id);
+  }
+}
+
 bool LpNormScheduler::PickNext(SimTime now, SchedulingCost* cost,
                                std::vector<int>* out) {
   if (ready_.empty()) return false;

@@ -39,6 +39,7 @@ class LpNormScheduler : public Scheduler {
                 std::vector<int>* out) override;
   /// Recomputes the precomputed static factors from refreshed stats.
   void OnStatsUpdated() override;
+  void ResyncQueues(SimTime now) override;
   const char* name() const override { return name_.c_str(); }
   /// V = (S/(C̄·T^p))·W^(p-1): the static factor is the line's growth
   /// coefficient, so shed the lowest static factors first.

@@ -77,6 +77,13 @@ void QosGraphScheduler::OnDequeue(int unit) {
   }
 }
 
+void QosGraphScheduler::ResyncQueues(SimTime /*now*/) {
+  ready_.clear();
+  for (const Unit& unit : *units_) {
+    if (unit.has_pending()) ready_.insert(unit.id);
+  }
+}
+
 double QosGraphScheduler::PriorityOf(const Unit& unit, SimTime now) const {
   // Utility preserved per second of processing: the head tuple's current
   // decay rate times the unit's output rate.

@@ -72,6 +72,7 @@ class QosGraphScheduler : public Scheduler {
   void OnBatchDequeue(int unit, int /*count*/) override { OnDequeue(unit); }
   bool PickNext(SimTime now, SchedulingCost* cost,
                 std::vector<int>* out) override;
+  void ResyncQueues(SimTime now) override;
   const char* name() const override { return "QoS-Graph"; }
 
   /// The priority assigned to `unit` at `now` (exposed for tests).

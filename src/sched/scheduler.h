@@ -7,12 +7,23 @@
 #ifndef AQSIOS_SCHED_SCHEDULER_H_
 #define AQSIOS_SCHED_SCHEDULER_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "common/sim_time.h"
 #include "sched/unit.h"
 
 namespace aqsios::sched {
+
+/// Opaque serialized scheduler bookkeeping (Scheduler::ExportState /
+/// ImportState). Carries only the state a canonical queue resync cannot
+/// re-derive from the unit table — FCFS's actual enqueue interleaving,
+/// round-robin cursors. Policies define their own layout; an empty state is
+/// valid for policies whose bookkeeping is fully queue-derived.
+struct SchedulerState {
+  std::vector<int64_t> ints;
+  std::vector<double> doubles;
+};
 
 class Scheduler {
  public:
@@ -84,6 +95,29 @@ class Scheduler {
   /// own (FCFS, RR, two-level RR, QoS-graph).
   virtual double ShedPriority(const Unit& unit) const {
     return unit.stats.normalized_rate;
+  }
+
+  /// Re-derives every queue-dependent internal structure (ready sets, FIFO
+  /// shadows, kinetic-index keys, pending counts) from the attached unit
+  /// table's *current* queue contents, canonically and deterministically.
+  /// Required after the engine bulk-mutates queues outside the
+  /// OnEnqueue/OnDequeue notification protocol — elastic group migration and
+  /// cross-shard work stealing (core/rebalance.h) move whole queues at once.
+  /// Stats-derived state (ranks, static priorities) is untouched; `now` is
+  /// the engine clock at the resync point for policies that need it.
+  virtual void ResyncQueues(SimTime now) = 0;
+
+  /// Serializes the bookkeeping a canonical ResyncQueues cannot re-derive
+  /// (see SchedulerState). Default: nothing beyond the queues themselves.
+  virtual SchedulerState ExportState() const { return {}; }
+
+  /// Restores a state captured by ExportState on a scheduler attached to a
+  /// unit table with identical queue contents, such that the subsequent pick
+  /// sequence matches the exporter's. Default: ignore the payload and resync
+  /// canonically.
+  virtual void ImportState(const SchedulerState& state, SimTime now) {
+    (void)state;
+    ResyncQueues(now);
   }
 };
 

@@ -51,6 +51,26 @@ void TwoLevelRrScheduler::OnBatchDequeue(int unit, int count) {
   AQSIOS_DCHECK_GE(pending, 0);
 }
 
+void TwoLevelRrScheduler::ResyncQueues(SimTime /*now*/) {
+  std::fill(pending_of_query_.begin(), pending_of_query_.end(), 0);
+  for (const Unit& unit : *units_) {
+    pending_of_query_[static_cast<size_t>(unit.query)] +=
+        static_cast<int64_t>(unit.queue.size());
+  }
+}
+
+SchedulerState TwoLevelRrScheduler::ExportState() const {
+  SchedulerState state;
+  state.ints.push_back(cursor_);
+  return state;
+}
+
+void TwoLevelRrScheduler::ImportState(const SchedulerState& state,
+                                      SimTime now) {
+  cursor_ = state.ints.empty() ? 0 : static_cast<int>(state.ints.front());
+  ResyncQueues(now);
+}
+
 bool TwoLevelRrScheduler::PickNext(SimTime /*now*/, SchedulingCost* cost,
                                    std::vector<int>* out) {
   const int num_queries = static_cast<int>(units_of_query_.size());

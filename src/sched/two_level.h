@@ -27,6 +27,11 @@ class TwoLevelRrScheduler : public Scheduler {
                 std::vector<int>* out) override;
   /// Re-sorts the inner rate-based orders from refreshed stats.
   void OnStatsUpdated() override;
+  /// Recounts per-query pending tuples from the member queues.
+  void ResyncQueues(SimTime now) override;
+  /// The outer round-robin cursor survives export/import.
+  SchedulerState ExportState() const override;
+  void ImportState(const SchedulerState& state, SimTime now) override;
   const char* name() const override { return "RR+RB"; }
 
  private:

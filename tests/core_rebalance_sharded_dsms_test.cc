@@ -1,0 +1,322 @@
+// Contract of the elastic rebalancing runtime (core/rebalance.h +
+// the elastic path of core/sharded_dsms.cc):
+//  * rebalance enabled at one shard replays the classic engine byte for byte
+//    (the epoch protocol defers idle clock jumps but changes no transition);
+//  * elastic runs are deterministic: repeated runs and different worker
+//    thread counts produce identical merged results and identical
+//    migration/steal counts;
+//  * emissions stay schedule-invariant under migration and stealing;
+//  * the controller's hysteresis, greedy selection, and anti-ping-pong guard
+//    behave as documented;
+//  * LoadImbalance averages over populated shards only.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/dsms.h"
+#include "core/rebalance.h"
+#include "core/report.h"
+#include "core/sharded_dsms.h"
+#include "query/workload.h"
+#include "sched/policy.h"
+
+namespace aqsios::core {
+namespace {
+
+query::Workload Testbed(int queries, int64_t arrivals,
+                        bool multi_stream = false,
+                        int sharing_group_size = 0) {
+  query::WorkloadConfig config;
+  config.num_queries = queries;
+  config.num_arrivals = arrivals;
+  config.seed = 42;
+  config.utilization = 0.9;
+  config.multi_stream = multi_stream;
+  config.sharing_group_size = sharing_group_size;
+  return query::GenerateWorkload(config);
+}
+
+sched::PolicyConfig Policy(sched::PolicyKind kind) {
+  return sched::PolicyConfig::Of(kind);
+}
+
+SimulationOptions ElasticOptions(int shards) {
+  SimulationOptions options;
+  options.shards = shards;
+  options.qos.track_per_query = true;
+  options.rebalance.enabled = true;
+  return options;
+}
+
+// --- LoadImbalance (fix: empty shards must not dilute the mean) -----------
+
+ShardRunStats MakeShardStats(int shard, int num_queries, double busy) {
+  ShardRunStats stats;
+  stats.shard = shard;
+  stats.num_queries = num_queries;
+  stats.busy_seconds = busy;
+  return stats;
+}
+
+TEST(LoadImbalanceTest, AveragesOverPopulatedShardsOnly) {
+  ShardedRunResult run;
+  run.shard_stats.push_back(MakeShardStats(0, 3, 1.0));
+  run.shard_stats.push_back(MakeShardStats(1, 0, 0.0));  // hash left it empty
+  run.shard_stats.push_back(MakeShardStats(2, 3, 1.0));
+  run.shard_stats.push_back(MakeShardStats(3, 0, 0.0));
+  // Two equally loaded shards are perfectly balanced; counting the two empty
+  // shards in the mean used to report 2.0 here.
+  EXPECT_DOUBLE_EQ(run.LoadImbalance(), 1.0);
+}
+
+TEST(LoadImbalanceTest, RatioOverPopulatedShards) {
+  ShardedRunResult run;
+  run.shard_stats.push_back(MakeShardStats(0, 2, 2.0));
+  run.shard_stats.push_back(MakeShardStats(1, 2, 1.0));
+  run.shard_stats.push_back(MakeShardStats(2, 2, 1.0));
+  run.shard_stats.push_back(MakeShardStats(3, 0, 0.0));
+  EXPECT_DOUBLE_EQ(run.LoadImbalance(), 1.5);  // 2 / (4/3) over 3 shards
+}
+
+TEST(LoadImbalanceTest, NoWorkIsBalanced) {
+  ShardedRunResult run;
+  EXPECT_DOUBLE_EQ(run.LoadImbalance(), 1.0);
+  run.shard_stats.push_back(MakeShardStats(0, 0, 0.0));
+  run.shard_stats.push_back(MakeShardStats(1, 0, 0.0));
+  EXPECT_DOUBLE_EQ(run.LoadImbalance(), 1.0);
+}
+
+// --- RebalanceController ---------------------------------------------------
+
+TEST(RebalanceControllerTest, IdleControllerIsBalancedAndInactive) {
+  RebalanceController controller(RebalanceConfig{}, 4, 8);
+  EXPECT_DOUBLE_EQ(controller.Imbalance(), 1.0);
+  EXPECT_FALSE(controller.active());
+}
+
+TEST(RebalanceControllerTest, HysteresisBandGatesActivation) {
+  RebalanceConfig config;
+  config.ewma_alpha = 1.0;  // EWMA = last epoch, for easy arithmetic
+  config.imbalance_high = 1.5;
+  config.imbalance_low = 1.1;
+  RebalanceController controller(config, 2, 2);
+  std::vector<int> owner = {0, 1};
+  // Imbalance 1.2: inside the band, stays inactive, no migrations.
+  auto moves = controller.OnEpoch({1.2, 0.8}, {1.2, 0.8}, owner);
+  EXPECT_FALSE(controller.active());
+  EXPECT_TRUE(moves.empty());
+  // Imbalance 1.8: crosses imbalance_high, activates.
+  moves = controller.OnEpoch({1.8, 0.2}, {1.8, 0.2}, owner);
+  EXPECT_TRUE(controller.active());
+  // Imbalance 1.2 again: still above imbalance_low, stays active.
+  moves = controller.OnEpoch({1.2, 0.8}, {1.2, 0.8}, owner);
+  EXPECT_TRUE(controller.active());
+  // Balanced epoch: drops below imbalance_low, deactivates.
+  moves = controller.OnEpoch({1.0, 1.0}, {1.0, 1.0}, owner);
+  EXPECT_FALSE(controller.active());
+}
+
+TEST(RebalanceControllerTest, MigratesLargestGroupHottestToCoolest) {
+  RebalanceConfig config;
+  config.ewma_alpha = 1.0;
+  RebalanceController controller(config, 2, 3);
+  // Groups 0 (1.1) and 1 (0.4) on shard 0, group 2 (0.5) on shard 1.
+  const std::vector<int> owner = {0, 0, 1};
+  const auto moves =
+      controller.OnEpoch({1.5, 0.5}, {1.1, 0.4, 0.5}, owner);
+  // Imbalance 1.5 > 1.2 activates. Group 0 (1.1) fails the anti-ping-pong
+  // guard (0.5 + 1.1 >= 1.5); group 1 (0.4) passes (0.5 + 0.4 < 1.5) and is
+  // the largest movable group.
+  ASSERT_EQ(moves.size(), 1u);
+  EXPECT_EQ(moves[0].group, 1);
+  EXPECT_EQ(moves[0].from, 0);
+  EXPECT_EQ(moves[0].to, 1);
+}
+
+TEST(RebalanceControllerTest, AntiPingPongRefusesOversizedGroup) {
+  RebalanceConfig config;
+  config.ewma_alpha = 1.0;
+  config.max_migrations_per_epoch = 4;
+  RebalanceController controller(config, 2, 1);
+  // One mega-group holds all the load: moving it would only swap roles.
+  const auto moves = controller.OnEpoch({2.0, 0.0}, {2.0}, {0});
+  EXPECT_TRUE(controller.active());
+  EXPECT_TRUE(moves.empty());
+}
+
+TEST(RebalanceControllerTest, MigrationBudgetCapsMovesPerEpoch) {
+  RebalanceConfig config;
+  config.ewma_alpha = 1.0;
+  config.max_migrations_per_epoch = 2;
+  RebalanceController controller(config, 2, 6);
+  const std::vector<int> owner = {0, 0, 0, 0, 0, 0};
+  const auto moves = controller.OnEpoch(
+      {3.0, 0.0}, {0.5, 0.5, 0.5, 0.5, 0.5, 0.5}, owner);
+  EXPECT_EQ(moves.size(), 2u);
+  for (const auto& m : moves) {
+    EXPECT_EQ(m.from, 0);
+    EXPECT_EQ(m.to, 1);
+  }
+}
+
+// --- Elastic runtime -------------------------------------------------------
+
+TEST(ElasticDsmsTest, OneShardIsByteIdenticalToClassicEngine) {
+  const query::Workload workload = Testbed(20, 3000);
+  for (const sched::PolicyKind kind :
+       {sched::PolicyKind::kHnr, sched::PolicyKind::kBsd,
+        sched::PolicyKind::kRoundRobin, sched::PolicyKind::kFcfs,
+        sched::PolicyKind::kLsf}) {
+    SimulationOptions classic_options;
+    classic_options.qos.track_per_query = true;
+    const RunResult classic = Simulate(workload, Policy(kind), classic_options);
+    const ShardedRunResult elastic =
+        SimulateSharded(workload, Policy(kind), ElasticOptions(1));
+    // At one shard the elastic engine owns every group, the delivery filter
+    // passes everything, and RunUntil merely splits Run() at epoch barriers
+    // where the engine is either mid-work or paused idle — every state
+    // transition replays identically.
+    EXPECT_EQ(RunResultToJson(elastic.result), RunResultToJson(classic))
+        << "policy " << classic.policy_name;
+  }
+}
+
+TEST(ElasticDsmsTest, OneShardJoinWorkloadStaysByteIdentical) {
+  const query::Workload workload = Testbed(16, 3000, /*multi_stream=*/true);
+  SimulationOptions classic_options;
+  classic_options.qos.track_per_query = true;
+  const RunResult classic =
+      Simulate(workload, Policy(sched::PolicyKind::kHnr), classic_options);
+  const ShardedRunResult elastic = SimulateSharded(
+      workload, Policy(sched::PolicyKind::kHnr), ElasticOptions(1));
+  EXPECT_EQ(RunResultToJson(elastic.result), RunResultToJson(classic));
+}
+
+TEST(ElasticDsmsTest, RepeatedRunsAndThreadCountsAreIdentical) {
+  const query::Workload workload = Testbed(40, 4000);
+  SimulationOptions options = ElasticOptions(4);
+  options.rebalance.imbalance_high = 1.05;
+  options.rebalance.imbalance_low = 1.01;
+  options.rebalance.steal = true;
+  options.rebalance.steal_min_backlog = 1;
+  std::string reference;
+  std::vector<int64_t> reference_migrations;
+  std::vector<int64_t> reference_steals;
+  for (int rep = 0; rep < 3; ++rep) {
+    options.shard_threads = rep == 2 ? 4 : 1;  // serial and pooled epochs
+    const ShardedRunResult run =
+        SimulateSharded(workload, Policy(sched::PolicyKind::kHnr), options);
+    std::vector<int64_t> migrations;
+    std::vector<int64_t> steals;
+    for (const ShardRunStats& stats : run.shard_stats) {
+      migrations.push_back(stats.migrations);
+      steals.push_back(stats.steals);
+    }
+    const std::string json = RunResultToJson(run.result);
+    if (rep == 0) {
+      reference = json;
+      reference_migrations = migrations;
+      reference_steals = steals;
+    } else {
+      EXPECT_EQ(json, reference) << "nondeterministic elastic run, rep " << rep;
+      EXPECT_EQ(migrations, reference_migrations);
+      EXPECT_EQ(steals, reference_steals);
+    }
+  }
+}
+
+TEST(ElasticDsmsTest, EmissionsAreScheduleInvariantUnderRebalance) {
+  const query::Workload workload = Testbed(40, 4000);
+  SimulationOptions classic_options;
+  const RunResult classic =
+      Simulate(workload, Policy(sched::PolicyKind::kHnr), classic_options);
+  SimulationOptions options = ElasticOptions(4);
+  options.rebalance.imbalance_high = 1.05;
+  options.rebalance.imbalance_low = 1.01;
+  options.rebalance.max_migrations_per_epoch = 4;
+  options.rebalance.steal = true;
+  options.rebalance.steal_min_backlog = 1;
+  const ShardedRunResult run =
+      SimulateSharded(workload, Policy(sched::PolicyKind::kHnr), options);
+  // Migration and stealing are schedule changes; frozen draws key on global
+  // ids, so what gets emitted/filtered cannot change, only when.
+  EXPECT_EQ(run.result.qos.tuples_emitted, classic.qos.tuples_emitted);
+  EXPECT_EQ(run.result.counters.tuples_filtered,
+            classic.counters.tuples_filtered);
+}
+
+TEST(ElasticDsmsTest, TightBandTriggersMigrationsOnUnevenPlacement) {
+  const query::Workload workload = Testbed(40, 6000);
+  SimulationOptions options = ElasticOptions(4);
+  // A band this tight flags the residual imbalance any hashed placement of
+  // heterogeneous cost classes shows.
+  options.rebalance.imbalance_high = 1.02;
+  options.rebalance.imbalance_low = 1.01;
+  options.rebalance.max_migrations_per_epoch = 4;
+  const ShardedRunResult run =
+      SimulateSharded(workload, Policy(sched::PolicyKind::kHnr), options);
+  int64_t migrations = 0;
+  for (const ShardRunStats& stats : run.shard_stats) {
+    migrations += stats.migrations;
+  }
+  EXPECT_GT(migrations, 0);
+  // Final owned-query counts still partition the population.
+  int queries = 0;
+  for (const ShardRunStats& stats : run.shard_stats) {
+    queries += stats.num_queries;
+  }
+  EXPECT_EQ(queries, 40);
+}
+
+TEST(ElasticDsmsTest, IdleShardsStealWhenEnabled) {
+  // 6 queries over 4 shards leaves shards idle while others hold backlog.
+  const query::Workload workload = Testbed(6, 4000);
+  SimulationOptions options = ElasticOptions(4);
+  options.rebalance.steal = true;
+  options.rebalance.steal_min_backlog = 1;
+  options.rebalance.steal_max_tuples = 8;
+  // Keep the controller itself quiet so steals are the only interaction.
+  options.rebalance.imbalance_high = 1e9;
+  const ShardedRunResult run =
+      SimulateSharded(workload, Policy(sched::PolicyKind::kHnr), options);
+  int64_t steals = 0;
+  for (const ShardRunStats& stats : run.shard_stats) steals += stats.steals;
+  EXPECT_GT(steals, 0);
+  SimulationOptions classic_options;
+  const RunResult classic =
+      Simulate(workload, Policy(sched::PolicyKind::kHnr), classic_options);
+  EXPECT_EQ(run.result.qos.tuples_emitted, classic.qos.tuples_emitted);
+}
+
+TEST(ElasticDsmsTest, SimulatePlanRoutesRebalanceOptions) {
+  const query::Workload workload = Testbed(20, 2000);
+  SimulationOptions options = ElasticOptions(4);
+  const RunResult via_simulate =
+      Simulate(workload, Policy(sched::PolicyKind::kHnr), options);
+  const ShardedRunResult direct =
+      SimulateSharded(workload, Policy(sched::PolicyKind::kHnr), options);
+  EXPECT_EQ(RunResultToJson(via_simulate), RunResultToJson(direct.result));
+}
+
+TEST(ElasticDsmsTest, SharingGroupsMigrateWhole) {
+  const query::Workload workload =
+      Testbed(40, 4000, /*multi_stream=*/false, /*sharing_group_size=*/10);
+  ASSERT_FALSE(workload.plan.sharing_groups().empty());
+  SimulationOptions classic_options;
+  const RunResult classic =
+      Simulate(workload, Policy(sched::PolicyKind::kHnr), classic_options);
+  SimulationOptions options = ElasticOptions(4);
+  options.rebalance.imbalance_high = 1.02;
+  options.rebalance.imbalance_low = 1.01;
+  options.rebalance.max_migrations_per_epoch = 4;
+  const ShardedRunResult run =
+      SimulateSharded(workload, Policy(sched::PolicyKind::kHnr), options);
+  // Shared-leaf frozen draws key on the global group id, which migration
+  // preserves: emissions still match the classic schedule.
+  EXPECT_EQ(run.result.qos.tuples_emitted, classic.qos.tuples_emitted);
+}
+
+}  // namespace
+}  // namespace aqsios::core

@@ -77,6 +77,7 @@ class FakeScheduler : public sched::Scheduler {
     return false;
   }
   void OnStatsUpdated() override { ++updates; }
+  void ResyncQueues(SimTime /*now*/) override {}
   const char* name() const override { return "fake"; }
 
   int updates = 0;
