@@ -27,8 +27,12 @@ elastic cells' migrations, steals and speedup_vs_static
 (scaling/skew/<mode>/... cells), and the
 overload-stress frontier's shed_ratio, p99_slowdown, avg_slowdown,
 peak_queued_tuples, tuples_emitted and admission_dropped
-(stress/<policy>/... cells, see docs/overload.md). Columns are empty for
-cells without the field.
+(stress/<policy>/... cells, see docs/overload.md), and the
+statistics-drift cells' calibration_epochs, calibration_updates,
+calibration_rekeys, est_cost_drift, est_sel_drift,
+p99_slowdown_vs_static and calibration_overhead_pct
+(drift/{static,calibrated,steady}/... cells, see docs/calibration.md).
+Columns are empty for cells without the field.
 
 Telemetry JSONL logs (schema aqsios-telemetry/1, written by the bench
 binaries' --telemetry-jsonl flag, see docs/telemetry.md) are also detected
@@ -105,7 +109,8 @@ TELEMETRY_SHARD_FIELDS = [
     "virtual_sec", "busy_sec", "queued_tuples", "tuples_executed",
     "tuples_emitted", "tuples_filtered", "tuples_shed", "tuples_offered",
     "scheduling_points", "routed", "admission_rejected", "migrations",
-    "steals", "slowdown_mean", "slowdown_max", "done"]
+    "steals", "slowdown_mean", "slowdown_max", "calibration_updates",
+    "calibration_rekeys", "calibration_cost_drift", "done"]
 
 
 def telemetry_to_csv(lines):
@@ -191,7 +196,11 @@ def main():
                     "p99_slowdown", "avg_slowdown", "peak_queued_tuples",
                     "tuples_emitted", "admission_dropped",
                     "migrations", "steals", "speedup_vs_static",
-                    "telemetry_overhead_pct", "healthy", "health"]
+                    "telemetry_overhead_pct", "calibration_epochs",
+                    "calibration_updates", "calibration_rekeys",
+                    "est_cost_drift", "est_sel_drift",
+                    "p99_slowdown_vs_static", "calibration_overhead_pct",
+                    "healthy", "health"]
         print(",".join(["name", "ns_per_op", "ops", "wall_ms"] + optional))
         for bench in cells:
             row = [bench["name"], repr(bench["ns_per_op"]),

@@ -14,6 +14,16 @@ Accepts either report the repo's bench binaries write:
     compared on p99_slowdown under "<name>/p99" — the frontier's QoS axis is
     a deterministic virtual quantity, so a worsening p99 at the same shed
     fraction is a real scheduling regression, not machine noise. The
+    statistics-drift cells (drift/{static,calibrated}/<policy>/q=N from
+    bench_drift) are compared on p99_slowdown the same way under
+    "<name>/p99", and the candidate's drift/calibrated/ cells are
+    additionally gated *within the report* against their drift/static/
+    partner: calibrated p99 must stay at or below --max-drift-p99-ratio of
+    the static cell's (both are deterministic virtual quantities from the
+    same run, so the gate is machine-independent). The steady-state
+    calibration pair (drift/steady/.../calibration=on) carries
+    calibration_overhead_pct, gated absolutely against
+    --max-calibration-overhead like the telemetry sampler overhead. The
     columnar-kernel cells (kernel/columnar/...) are additionally compared on
     the inverse of speedup_vs_scalar under "<name>/speedup", and the
     candidate's speedups are gated absolutely against --min-kernel-speedup:
@@ -47,7 +57,8 @@ import sys
 
 
 def load_entries(path, overheads=None, kernel_speedups=None,
-                 skew_imbalances=None):
+                 skew_imbalances=None, drift_p99s=None,
+                 calibration_overheads=None):
     """Returns (schema, {key: value}) for one report file.
 
     Keys are benchmark names (perf schema) or "figure/util/policy" strings
@@ -57,7 +68,11 @@ def load_entries(path, overheads=None, kernel_speedups=None,
     `kernel_speedups` is a dict, cells carrying speedup_vs_scalar (the
     columnar-kernel cells) record it there by name. When `skew_imbalances`
     is a dict, the skewed scaling cells (scaling/skew/...) record their
-    load_imbalance there by name.
+    load_imbalance there by name. When `drift_p99s` is a dict, the
+    statistics-drift cells (drift/...) record their p99_slowdown there by
+    name; when `calibration_overheads` is a dict, cells carrying
+    calibration_overhead_pct (the bench_drift steady-state pair) record it
+    there by name.
     """
     with open(path, encoding="utf-8") as handle:
         report = json.load(handle)
@@ -77,6 +92,18 @@ def load_entries(path, overheads=None, kernel_speedups=None,
                 p99 = bench.get("p99_slowdown")
                 if p99 is not None:
                     entries[bench["name"] + "/p99"] = float(p99)
+            # Statistics-drift cells gate on p99 the same way, and their
+            # calibrated/static pairs are additionally gated within-report
+            # (see main).
+            if bench["name"].startswith("drift/"):
+                p99 = bench.get("p99_slowdown")
+                if p99 is not None:
+                    entries[bench["name"] + "/p99"] = float(p99)
+                    if drift_p99s is not None:
+                        drift_p99s[bench["name"]] = float(p99)
+            cal_pct = bench.get("calibration_overhead_pct")
+            if cal_pct is not None and calibration_overheads is not None:
+                calibration_overheads[bench["name"]] = float(cal_pct)
             # Columnar-kernel cells also gate on their within-report
             # wall-clock speedup over the paired scalar cell, inverted so
             # lower stays better; the candidate's speedups are additionally
@@ -130,15 +157,29 @@ def main():
                         help="ceiling for the candidate's scaling/skew/"
                              "rebalance load_imbalance as a fraction of its "
                              "scaling/skew/static cell's (default: 0.5)")
+    parser.add_argument("--max-drift-p99-ratio", type=float, default=0.67,
+                        help="ceiling for the candidate's drift/calibrated/ "
+                             "p99_slowdown as a fraction of its "
+                             "drift/static/ cell's (default: 0.67, i.e. "
+                             "calibration must beat static by >=1.5x)")
+    parser.add_argument("--max-calibration-overhead", type=float, default=2.0,
+                        help="absolute ceiling (in percent) for "
+                             "calibration_overhead_pct on the candidate's "
+                             "steady-state pair (default: 2.0)")
     args = parser.parse_args()
 
     old_schema, old_entries = load_entries(args.old)
     new_overheads = {}
     new_kernel_speedups = {}
     new_skew_imbalances = {}
-    new_schema, new_entries = load_entries(args.new, overheads=new_overheads,
-                                           kernel_speedups=new_kernel_speedups,
-                                           skew_imbalances=new_skew_imbalances)
+    new_drift_p99s = {}
+    new_calibration_overheads = {}
+    new_schema, new_entries = load_entries(
+        args.new, overheads=new_overheads,
+        kernel_speedups=new_kernel_speedups,
+        skew_imbalances=new_skew_imbalances,
+        drift_p99s=new_drift_p99s,
+        calibration_overheads=new_calibration_overheads)
     if old_schema != new_schema:
         print(f"error: schema mismatch: {old_schema} vs {new_schema}",
               file=sys.stderr)
@@ -223,6 +264,38 @@ def main():
         print(f"{key}: load imbalance {imbalance:.3f} vs static "
               f"{static_imbalance:.3f} (max ratio "
               f"{args.max_skew_imbalance_ratio:.2f})  {verdict}")
+
+    # Online calibration is gated within-report the same way: the calibrated
+    # drift cell's p99 slowdown must stay at or below the configured
+    # fraction of its static partner's — both deterministic virtual
+    # quantities from the same candidate run.
+    for key, p99 in sorted(new_drift_p99s.items()):
+        if "/calibrated/" not in key:
+            continue
+        static_key = key.replace("/calibrated/", "/static/")
+        static_p99 = new_drift_p99s.get(static_key)
+        if static_p99 is None:
+            continue
+        bound = args.max_drift_p99_ratio * static_p99
+        if p99 > bound:
+            verdict = "REGRESSION"
+            regressions.append(key + "/drift-p99")
+        else:
+            verdict = "ok"
+        print(f"{key}: p99 slowdown {p99:.1f} vs static {static_p99:.1f} "
+              f"(max ratio {args.max_drift_p99_ratio:.2f})  {verdict}")
+
+    # Steady-state calibration overhead is gated absolutely, like the
+    # telemetry sampler: leaving the calibrator on when nothing drifts must
+    # cost <= the bar, whatever the machine.
+    for key, pct in sorted(new_calibration_overheads.items()):
+        if pct > args.max_calibration_overhead:
+            verdict = "REGRESSION"
+            regressions.append(key + "/calibration-overhead")
+        else:
+            verdict = "ok"
+        print(f"{key}: calibration overhead {pct:.2f}% "
+              f"(max {args.max_calibration_overhead:.2f}%)  {verdict}")
 
     print(f"\n{len(shared)} compared, {len(improvements)} improved, "
           f"{len(regressions)} regressed, {len(only_old)} missing, "

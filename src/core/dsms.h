@@ -33,6 +33,16 @@ struct SimulationOptions {
   /// Run-time statistics monitoring and priority adaptation (§10's dynamic
   /// environment support). Query-level scheduling only.
   exec::AdaptationConfig adaptation;
+  /// Online cost/selectivity calibration (sched/calibration.h,
+  /// docs/calibration.md): decayed per-unit estimators feed epoch-batched
+  /// targeted priority re-keys through the kinetic index. Query-level only;
+  /// mutually exclusive with `adaptation` and with `rebalance`. Off by
+  /// default — off is byte-identical to pre-calibration builds.
+  sched::CalibrationConfig calibration;
+  /// Mid-run statistics drift of a query subset (stream/drift.h): the
+  /// workload scenario calibration exists for. Per-tuple dispatcher only
+  /// (checked); off by default and byte-inert when off.
+  stream::DriftConfig drift;
   metrics::QosCollector::Options qos;
   /// Optional event tracer forwarded to the engine (observation-only; the
   /// caller owns the tracer and exports it after the run).

@@ -126,6 +126,23 @@ void WriteCounters(JsonWriter& json, const exec::RunCounters& counters) {
     json.Number(counters.ShedRatio());
     json.EndObject();
   }
+  if (counters.calibration_epochs > 0) {
+    // Online calibration enabled; disabled runs keep serializing
+    // byte-identically to pre-calibration reports.
+    json.Key("calibration");
+    json.BeginObject();
+    json.Key("epochs");
+    json.Number(counters.calibration_epochs);
+    json.Key("updates");
+    json.Number(counters.calibration_updates);
+    json.Key("rekeys");
+    json.Number(counters.calibration_rekeys);
+    json.Key("cost_drift");
+    json.Number(counters.calibration_cost_drift);
+    json.Key("selectivity_drift");
+    json.Number(counters.calibration_selectivity_drift);
+    json.EndObject();
+  }
   json.EndObject();
 }
 

@@ -102,6 +102,9 @@ ShardedRunResult SimulateElasticPlan(
          "events would interleave across shard trace files)";
   AQSIOS_CHECK(!options.adaptation.enabled)
       << "elastic rebalancing is incompatible with priority adaptation";
+  AQSIOS_CHECK(!options.calibration.enabled)
+      << "elastic rebalancing is incompatible with calibration (estimator "
+         "state cannot migrate with a group)";
   AQSIOS_CHECK(!options.admission.enabled)
       << "elastic rebalancing bypasses the shard router; admission control "
          "is unavailable on this path";
@@ -482,6 +485,17 @@ ShardedRunResult SimulateShardedPlan(
     config.tracer =
         shard_tracers != nullptr ? (*shard_tracers)[i] : nullptr;
     config.telemetry = hub != nullptr ? hub->cell(s) : nullptr;
+    if (config.drift.enabled) {
+      // The engine sees local dense query ids; translate drift membership
+      // from the global ids so the drifting subset is the same queries —
+      // and every tuple the same factors — as in the single-shard run.
+      const std::vector<int32_t>& to_global = sharded.query_id_maps[i];
+      config.drift.applies.assign(to_global.size(), 0);
+      for (size_t local = 0; local < to_global.size(); ++local) {
+        config.drift.applies[local] =
+            options.drift.AppliesTo(to_global[local]) ? 1 : 0;
+      }
+    }
     std::unique_ptr<sched::Scheduler> scheduler =
         sched::CreateScheduler(policy);
     exec::Engine engine(&sub_plans[i], &sub_arrivals[i], config,

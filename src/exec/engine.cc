@@ -45,6 +45,16 @@ void RunCounters::Merge(const RunCounters& other) {
   max_train_tuples = std::max(max_train_tuples, other.max_train_tuples);
   tuples_offered += other.tuples_offered;
   tuples_shed += other.tuples_shed;
+  calibration_epochs += other.calibration_epochs;
+  calibration_updates += other.calibration_updates;
+  calibration_rekeys += other.calibration_rekeys;
+  // Drift gauges are per-engine means; the merged report keeps the worst
+  // shard (a max, like end_time) rather than inventing a cross-shard mean
+  // with no common denominator.
+  calibration_cost_drift =
+      std::max(calibration_cost_drift, other.calibration_cost_drift);
+  calibration_selectivity_drift = std::max(calibration_selectivity_drift,
+                                           other.calibration_selectivity_drift);
   busy_time += other.busy_time;
   overhead_time += other.overhead_time;
   end_time = std::max(end_time, other.end_time);
@@ -190,6 +200,32 @@ Engine::Engine(const query::GlobalPlan* plan,
         config.adaptation, &built_.units, scheduler_);
   }
 
+  if (config.calibration.enabled) {
+    AQSIOS_CHECK(config.level == SchedulingLevel::kQueryLevel)
+        << "online calibration requires query-level scheduling (root "
+           "emissions per dispatch estimate the segment selectivity)";
+    AQSIOS_CHECK(!config.adaptation.enabled)
+        << "calibration and windowed adaptation both rewrite UnitStats; "
+           "enable one";
+    calibrator_ = std::make_unique<sched::CostCalibrator>(
+        config.calibration, &built_.units, scheduler_);
+  }
+
+  drifting_ = config.drift.enabled;
+  if (drifting_) {
+    AQSIOS_CHECK(!batching_)
+        << "statistics drift requires the per-tuple dispatcher (a train "
+           "charges one bulk cost for entries with different arrival times)";
+    AQSIOS_CHECK(plan->sharing_groups().empty())
+        << "statistics drift is per query; a shared operator execution "
+           "spans queries with different drift factors";
+    for (const query::CompiledQuery& q : plan->queries()) {
+      AQSIOS_CHECK(!q.is_multi_stream())
+          << "statistics drift supports single-stream queries only (a "
+             "composite has no single arrival time to key the factor on)";
+    }
+  }
+
   // Columnar kernel plans: per-operator constants and fusion runs, pinned
   // once here because the compiled plan is immutable for the whole run (the
   // stats monitor adapts UnitStats, never OperatorSpec). Traced runs keep
@@ -244,28 +280,32 @@ Engine::Engine(const query::GlobalPlan* plan,
 }
 
 void Engine::Charge(SimTime cost) {
+  // charge_scale_ is exactly 1.0 outside a drift run, and x * 1.0 is
+  // bit-exact (IEEE 754), so undrifted runs are unperturbed.
+  const SimTime scaled = cost * charge_scale_;
   if (tracer_ != nullptr) {
-    tracer_->Record({obs::EventKind::kOperatorInvocation, now_, cost,
+    tracer_->Record({obs::EventKind::kOperatorInvocation, now_, scaled,
                      cur_unit_, cur_query_});
   }
-  now_ += cost;
-  counters_.busy_time += cost;
+  now_ += scaled;
+  counters_.busy_time += scaled;
   ++counters_.operator_invocations;
-  if (stats_monitor_ != nullptr) stats_monitor_->AddBusyTime(cost);
+  if (stats_monitor_ != nullptr) stats_monitor_->AddBusyTime(scaled);
 }
 
 void Engine::ChargeBulk(SimTime cost, int64_t invocations) {
   if (invocations <= 0) return;
+  const SimTime scaled = cost * charge_scale_;
   if (tracer_ != nullptr) {
     // Traced batched runs keep one event per invocation (the count contract
     // with RunCounters), timestamped at the pre-charge clock — train charges
     // are per-operator, so per-tuple intermediate clocks no longer exist.
     for (int64_t i = 0; i < invocations; ++i) {
-      tracer_->Record({obs::EventKind::kOperatorInvocation, now_, cost,
+      tracer_->Record({obs::EventKind::kOperatorInvocation, now_, scaled,
                        cur_unit_, cur_query_});
     }
   }
-  const SimTime total = cost * static_cast<double>(invocations);
+  const SimTime total = scaled * static_cast<double>(invocations);
   now_ += total;
   counters_.busy_time += total;
   counters_.operator_invocations += invocations;
@@ -304,7 +344,11 @@ bool Engine::Passes(const query::OperatorSpec& op,
                     const query::CompiledQuery& q, int op_ordinal) const {
   // Execution uses the operator's *actual* selectivity; the priorities were
   // computed from the assumed one (they differ under statistics drift).
-  const double selectivity = op.EffectiveActualSelectivity();
+  // sel_scale_ is exactly 1.0 outside a drift run (bit-inert multiply); in
+  // one it scales both realizations deterministically — the correlated
+  // threshold moves, and the frozen-Bernoulli draw compares the same frozen
+  // uniform against the scaled probability.
+  const double selectivity = op.EffectiveActualSelectivity() * sel_scale_;
   if (selectivity >= 1.0) return true;
   if (q.selectivity_mode() == query::SelectivityMode::kCorrelatedAttribute) {
     // The paper's testbed realizes selectivity s as a predicate
@@ -353,7 +397,12 @@ bool Engine::RunChainOps(const query::CompiledQuery& q,
 void Engine::EmitSingle(const query::CompiledQuery& q,
                         stream::ArrivalId arrival, SimTime arrival_time) {
   const SimTime response = now_ - arrival_time;
-  const double slowdown = response / q.ideal_time();
+  // Under cost drift the tuple's true ideal time scales with its charges
+  // (charge_scale_ is this dispatch's factor, a pure function of the tuple's
+  // query and arrival time), so the reported slowdown stays honest stretch —
+  // measuring against the stale static ideal would reward policies for
+  // ignoring the drift. Exactly 1.0 (bit-inert) outside a drift run.
+  const double slowdown = response / (q.ideal_time() * charge_scale_);
   ++counters_.tuples_emitted;
   if (stats_monitor_ != nullptr) stats_monitor_->AddEmission();
   if (telemetry_ != nullptr) {
@@ -692,6 +741,16 @@ void Engine::ExecuteUnit(int unit_id) {
   cur_unit_ = unit_id;
   cur_query_ = static_cast<int32_t>(unit.query);
 
+  if (drifting_) {
+    // The factors are pure functions of (query, arrival time): every policy
+    // charges the same scaled costs for this tuple no matter when it runs.
+    charge_scale_ = config_.drift.CostFactorAt(unit.query, entry.arrival_time);
+    sel_scale_ =
+        config_.drift.SelectivityFactorAt(unit.query, entry.arrival_time);
+  }
+  const SimTime dispatch_busy0 = counters_.busy_time;
+  const int64_t dispatch_emit0 = counters_.tuples_emitted;
+
   switch (unit.kind) {
     case sched::UnitKind::kQueryChain:
       ExecuteQueryChain(unit, entry);
@@ -716,6 +775,11 @@ void Engine::ExecuteUnit(int unit_id) {
       break;
   }
 
+  if (calibrator_ != nullptr) {
+    calibrator_->OnDispatch(unit_id, /*tuples=*/1,
+                            counters_.busy_time - dispatch_busy0,
+                            counters_.tuples_emitted - dispatch_emit0);
+  }
   exec_busy_hist_.Add(now_ - exec_start_);
   if (tracer_ != nullptr) {
     tracer_->Record(
@@ -1081,6 +1145,9 @@ void Engine::ExecuteUnitTrain(int unit_id) {
   cur_unit_ = unit_id;
   cur_query_ = static_cast<int32_t>(unit.query);
 
+  const SimTime dispatch_busy0 = counters_.busy_time;
+  const int64_t dispatch_emit0 = counters_.tuples_emitted;
+
   switch (unit.kind) {
     case sched::UnitKind::kQueryChain:
     case sched::UnitKind::kRemainder:
@@ -1113,6 +1180,14 @@ void Engine::ExecuteUnitTrain(int unit_id) {
       break;
   }
 
+  if (calibrator_ != nullptr) {
+    // The whole train is one estimator observation: `count` tuples, their
+    // combined busy time, their root emissions — the same ratios the
+    // per-tuple path accumulates one dispatch at a time.
+    calibrator_->OnDispatch(unit_id, static_cast<int64_t>(count),
+                            counters_.busy_time - dispatch_busy0,
+                            counters_.tuples_emitted - dispatch_emit0);
+  }
   // One busy sample / segment-run event per dispatch: the train is the unit
   // of dispatch, and its span is what queue-wait attribution sees.
   exec_busy_hist_.Add(now_ - exec_start_);
@@ -1142,6 +1217,11 @@ void Engine::PublishTelemetry(bool done) {
   s.slowdown_sum = telemetry_slowdown_sum_;
   s.slowdown_count = telemetry_slowdown_count_;
   s.max_slowdown = telemetry_max_slowdown_;
+  if (calibrator_ != nullptr) {
+    s.calibration_updates = calibrator_->updates();
+    s.calibration_rekeys = calibrator_->rekeys();
+    s.calibration_cost_drift = calibrator_->MeanAbsCostDrift();
+  }
   s.done = done;
   telemetry_->Publish(s);
 }
@@ -1226,6 +1306,10 @@ bool Engine::RunUntil(SimTime barrier) {
                          stats_monitor_->last_refreshed_units()});
       }
     }
+    // Calibration epochs fire at deterministic virtual times, after the
+    // dispatch like the adaptive monitor (the epoch sees completed work
+    // only). Counters are copied out once in Finish.
+    if (calibrator_ != nullptr) calibrator_->MaybeCalibrate(now_);
     // Execution may push the clock past the barrier; deliveries are clamped
     // so the arrival cursor is frozen at the barrier for migrations, and the
     // withheld tail lands at the next RunUntil's entry catch-up.
@@ -1236,6 +1320,14 @@ bool Engine::RunUntil(SimTime barrier) {
 
 RunCounters Engine::Finish() {
   AccrueQueueOccupancy();
+  if (calibrator_ != nullptr) {
+    counters_.calibration_epochs = calibrator_->epochs();
+    counters_.calibration_updates = calibrator_->updates();
+    counters_.calibration_rekeys = calibrator_->rekeys();
+    counters_.calibration_cost_drift = calibrator_->MeanAbsCostDrift();
+    counters_.calibration_selectivity_drift =
+        calibrator_->MeanAbsSelectivityDrift();
+  }
   if (telemetry_ != nullptr) PublishTelemetry(/*done=*/true);
   counters_.end_time = now_;
   counters_.avg_queued_tuples =
@@ -1262,6 +1354,9 @@ void Engine::ConfigureElastic(const std::vector<int>& group_of_query,
   AQSIOS_CHECK(config_.tracer == nullptr) << "elastic mode cannot be traced";
   AQSIOS_CHECK(!config_.adaptation.enabled)
       << "elastic mode is incompatible with adaptation";
+  AQSIOS_CHECK(!config_.calibration.enabled)
+      << "elastic mode is incompatible with calibration (estimator state "
+         "cannot migrate with a group)";
   AQSIOS_CHECK(!config_.shed.enabled)
       << "elastic mode is incompatible with load shedding";
   AQSIOS_CHECK_EQ(static_cast<int64_t>(group_of_query.size()),

@@ -31,7 +31,9 @@
 #include "obs/telemetry.h"
 #include "obs/tracer.h"
 #include "query/plan.h"
+#include "sched/calibration.h"
 #include "sched/scheduler.h"
+#include "stream/drift.h"
 #include "stream/tuple.h"
 
 namespace aqsios::exec {
@@ -118,6 +120,20 @@ struct EngineConfig {
 
   /// Source-side load shedding (see ShedConfig above). Off by default.
   ShedConfig shed;
+
+  /// Online cost/selectivity calibration (sched/calibration.h,
+  /// docs/calibration.md). Query-level scheduling only; mutually exclusive
+  /// with `adaptation` (both rewrite UnitStats). Off by default — and off is
+  /// byte-identical: the engine then never constructs the calibrator and
+  /// every hot-path site is one branch on a null pointer.
+  sched::CalibrationConfig calibration;
+
+  /// Mid-run statistics drift of a query subset (stream/drift.h) — the
+  /// scenario calibration exists for. Requires the per-tuple dispatcher
+  /// (trains mix arrival times inside one clock charge), no sharing groups,
+  /// and single-stream queries only (checked). Off by default; off is
+  /// byte-identical (the scale factors are exactly 1.0 and never computed).
+  stream::DriftConfig drift;
 };
 
 /// Execution counters of one run.
@@ -152,6 +168,17 @@ struct RunCounters {
   /// the loss is first-class instead of silently vanishing.
   int64_t tuples_offered = 0;
   int64_t tuples_shed = 0;
+
+  /// Online calibration only (all zero — and the report writer omits the
+  /// calibration block — unless CalibrationConfig::enabled): epochs fired,
+  /// units whose stats were rewritten (summed over epochs), and how many of
+  /// those rewrites re-keyed a unit with pending work. The drift gauges are
+  /// the final-epoch mean |estimate/static - 1| over all units.
+  int64_t calibration_epochs = 0;
+  int64_t calibration_updates = 0;
+  int64_t calibration_rekeys = 0;
+  double calibration_cost_drift = 0.0;
+  double calibration_selectivity_drift = 0.0;
 
   SimTime busy_time = 0.0;      // operator processing time
   SimTime overhead_time = 0.0;  // charged scheduling overhead
@@ -410,6 +437,8 @@ class Engine {
   BuiltUnits built_;
   /// Present when config_.adaptation.enabled.
   std::unique_ptr<StatsMonitor> stats_monitor_;
+  /// Present when config_.calibration.enabled.
+  std::unique_ptr<sched::CostCalibrator> calibrator_;
   /// Leaf unit ids per stream id.
   std::vector<std::vector<int>> leaf_units_of_stream_;
   /// Window-join state per query and stage (empty for single-stream
@@ -447,6 +476,14 @@ class Engine {
   /// Load shedding engaged (config_.shed.enabled); false keeps
   /// DeliverArrivalsUpTo bit-identical to the pre-shedding engine.
   bool shedding_ = false;
+  /// Statistics drift engaged (config_.drift.enabled). When false the scale
+  /// factors below stay exactly 1.0 and every multiply is bit-inert.
+  bool drifting_ = false;
+  /// Drift factors of the tuple being executed, set per dispatch from the
+  /// (query, arrival time) of the head entry — never from now_, so charges
+  /// stay schedule- and policy-independent.
+  double charge_scale_ = 1.0;
+  double sel_scale_ = 1.0;
   /// Leaf units in the sheddable set (bottom shed_fraction of the leaves by
   /// Scheduler::ShedPriority); indexed by unit id, empty when !shedding_.
   std::vector<uint8_t> sheddable_;

@@ -196,6 +196,26 @@ std::string RenderOpenMetrics(const TelemetryMeta& meta,
     out.Shard(o.shard, static_cast<double>(o.steals));
   }
 
+  out.Family("aqsios_calibration_updates", "counter",
+             "Unit stats rewritten by the online calibrator, per shard.");
+  for (const ShardObservation& o : observations) {
+    out.Shard(o.shard, static_cast<double>(o.sample.calibration_updates));
+  }
+
+  out.Family("aqsios_calibration_rekeys", "counter",
+             "Calibrated rewrites that re-keyed a unit with pending work, "
+             "per shard.");
+  for (const ShardObservation& o : observations) {
+    out.Shard(o.shard, static_cast<double>(o.sample.calibration_rekeys));
+  }
+
+  out.Family("aqsios_calibration_cost_drift", "gauge",
+             "Mean |estimated/static - 1| per-tuple cost drift as of the "
+             "shard's last calibration epoch.");
+  for (const ShardObservation& o : observations) {
+    out.Shard(o.shard, o.sample.calibration_cost_drift);
+  }
+
   out.Family("aqsios_shard_slowdown_mean", "gauge",
              "Mean emitted-tuple slowdown so far, per shard.");
   for (const ShardObservation& o : observations) {

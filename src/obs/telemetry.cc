@@ -466,6 +466,12 @@ void TelemetrySampler::SampleOnce(bool final_tick) {
                       : 0.0);
       json.Key("slowdown_max");
       json.Number(o.sample.max_slowdown);
+      json.Key("calibration_updates");
+      json.Number(o.sample.calibration_updates);
+      json.Key("calibration_rekeys");
+      json.Number(o.sample.calibration_rekeys);
+      json.Key("calibration_cost_drift");
+      json.Number(o.sample.calibration_cost_drift);
       json.Key("done");
       json.Bool(o.sample.done);
       json.EndObject();

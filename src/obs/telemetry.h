@@ -60,6 +60,9 @@ struct TelemetrySample {
   double slowdown_sum = 0.0;      ///< Sum of emitted-tuple slowdowns.
   int64_t slowdown_count = 0;     ///< Emissions behind slowdown_sum.
   double max_slowdown = 0.0;      ///< Max emitted-tuple slowdown so far.
+  int64_t calibration_updates = 0;  ///< Calibrated stat rewrites so far.
+  int64_t calibration_rekeys = 0;   ///< Rewrites that re-keyed pending work.
+  double calibration_cost_drift = 0.0;  ///< Mean |c_est/c_static - 1|.
   bool done = false;              ///< The shard's run has drained.
 };
 
@@ -115,6 +118,11 @@ class alignas(64) SnapshotCell {
     slowdown_sum_.store(s.slowdown_sum, std::memory_order_relaxed);
     slowdown_count_.store(s.slowdown_count, std::memory_order_relaxed);
     max_slowdown_.store(s.max_slowdown, std::memory_order_relaxed);
+    calibration_updates_.store(s.calibration_updates,
+                               std::memory_order_relaxed);
+    calibration_rekeys_.store(s.calibration_rekeys, std::memory_order_relaxed);
+    calibration_cost_drift_.store(s.calibration_cost_drift,
+                                  std::memory_order_relaxed);
     done_.store(s.done ? 1 : 0, std::memory_order_relaxed);
   }
 
@@ -132,6 +140,12 @@ class alignas(64) SnapshotCell {
     out->slowdown_sum = slowdown_sum_.load(std::memory_order_relaxed);
     out->slowdown_count = slowdown_count_.load(std::memory_order_relaxed);
     out->max_slowdown = max_slowdown_.load(std::memory_order_relaxed);
+    out->calibration_updates =
+        calibration_updates_.load(std::memory_order_relaxed);
+    out->calibration_rekeys =
+        calibration_rekeys_.load(std::memory_order_relaxed);
+    out->calibration_cost_drift =
+        calibration_cost_drift_.load(std::memory_order_relaxed);
     out->done = done_.load(std::memory_order_relaxed) != 0;
   }
 
@@ -148,6 +162,9 @@ class alignas(64) SnapshotCell {
   std::atomic<double> slowdown_sum_{0.0};
   std::atomic<int64_t> slowdown_count_{0};
   std::atomic<double> max_slowdown_{0.0};
+  std::atomic<int64_t> calibration_updates_{0};
+  std::atomic<int64_t> calibration_rekeys_{0};
+  std::atomic<double> calibration_cost_drift_{0.0};
   std::atomic<int32_t> done_{0};
 };
 

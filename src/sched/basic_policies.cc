@@ -277,6 +277,22 @@ void LsfScheduler::OnStatsUpdated() {
   }
 }
 
+void LsfScheduler::OnCalibratedStats(const std::vector<int>& changed,
+                                     SimTime /*now*/) {
+  // The scan path reads stats at decision time — nothing cached. The kinetic
+  // path re-keys exactly the changed units that are in the index (pending):
+  // same anchor (the head wait is untouched by a stats refresh), new 1/T
+  // slope. Insert on an existing id rewrites the line and dirty-marks the
+  // leaf-to-root path — O(log n) amortized, no Clear.
+  if (!use_kinetic_) return;
+  for (int unit : changed) {
+    const Unit& u = (*units_)[static_cast<size_t>(unit)];
+    if (u.has_pending()) {
+      index_.Insert(unit, u.head().arrival_time, u.stats.ideal_time);
+    }
+  }
+}
+
 void LsfScheduler::ResyncQueues(SimTime /*now*/) {
   if (use_kinetic_) {
     index_.Clear();
@@ -368,6 +384,18 @@ void BsdScheduler::OnStatsUpdated() {
   for (const Unit& u : *units_) {
     if (u.has_pending()) {
       index_.Insert(u.id, u.head().arrival_time, u.stats.phi);
+    }
+  }
+}
+
+void BsdScheduler::OnCalibratedStats(const std::vector<int>& changed,
+                                     SimTime /*now*/) {
+  // Same targeted re-key as LSF, over the Φ lines.
+  if (!use_kinetic_) return;
+  for (int unit : changed) {
+    const Unit& u = (*units_)[static_cast<size_t>(unit)];
+    if (u.has_pending()) {
+      index_.Insert(unit, u.head().arrival_time, u.stats.phi);
     }
   }
 }

@@ -145,6 +145,12 @@ class LsfScheduler : public Scheduler {
   /// intermediate kinetic re-keys — the once-per-batch priority update.
   void OnBatchDequeue(int unit, int /*count*/) override { OnDequeue(unit); }
   void OnStatsUpdated() override;
+  /// Targeted calibration path: re-keys only the changed units' priority
+  /// lines (new 1/T slopes, unchanged anchors) through the kinetic index's
+  /// Insert-on-existing-id + dirty-marking — O(log n) amortized per changed
+  /// unit, never a Clear. The scan path reads stats live and needs nothing.
+  void OnCalibratedStats(const std::vector<int>& changed,
+                         SimTime now) override;
   void ResyncQueues(SimTime now) override;
   bool PickNext(SimTime now, SchedulingCost* cost,
                 std::vector<int>* out) override;
@@ -154,6 +160,9 @@ class LsfScheduler : public Scheduler {
   double ShedPriority(const Unit& unit) const override {
     return unit.stats.ideal_time > 0.0 ? 1.0 / unit.stats.ideal_time : 0.0;
   }
+
+  /// Test introspection: the kinetic index (clears/recompute counters).
+  const KineticIndex& index() const { return index_; }
 
  private:
   bool use_kinetic_;
@@ -182,6 +191,10 @@ class BsdScheduler : public Scheduler {
   /// intermediate kinetic re-keys — the once-per-batch priority update.
   void OnBatchDequeue(int unit, int /*count*/) override { OnDequeue(unit); }
   void OnStatsUpdated() override;
+  /// Targeted calibration path: re-keys only the changed units' Φ lines —
+  /// see LsfScheduler::OnCalibratedStats.
+  void OnCalibratedStats(const std::vector<int>& changed,
+                         SimTime now) override;
   void ResyncQueues(SimTime now) override;
   bool PickNext(SimTime now, SchedulingCost* cost,
                 std::vector<int>* out) override;
@@ -190,6 +203,9 @@ class BsdScheduler : public Scheduler {
   double ShedPriority(const Unit& unit) const override {
     return unit.stats.phi;
   }
+
+  /// Test introspection: the kinetic index (clears/recompute counters).
+  const KineticIndex& index() const { return index_; }
 
  private:
   bool count_all_units_;

@@ -30,6 +30,9 @@ void ClusteredBsdScheduler::Attach(const UnitTable* units) {
   index_.Reserve(clustering_.num_clusters);
   seen_epoch_.assign(static_cast<size_t>(clustering_.num_clusters), 0);
   fagin_epoch_ = 0;
+  cluster_affected_.assign(static_cast<size_t>(clustering_.num_clusters), 0);
+  affected_clusters_.clear();
+  affected_clusters_.reserve(static_cast<size_t>(clustering_.num_clusters));
 
   by_pseudo_priority_.resize(
       static_cast<size_t>(clustering_.num_clusters));
@@ -124,6 +127,71 @@ void ClusteredBsdScheduler::ResyncQueues(SimTime /*now*/) {
                                     : a.unit < b.unit;
     });
     if (queue.empty()) continue;
+    if (kinetic_active()) {
+      index_.Insert(cluster, queue.front().arrival_time,
+                    clustering_.pseudo_priority[static_cast<size_t>(cluster)],
+                    /*tie_key=*/queue.front().arrival_time);
+    } else {
+      by_head_time_.insert({queue.front().arrival_time, cluster});
+    }
+  }
+}
+
+void ClusteredBsdScheduler::OnCalibratedStats(const std::vector<int>& changed,
+                                              SimTime /*now*/) {
+  // Re-bucket the units whose drifted Φ crossed a frozen range edge; note
+  // which clusters lost or gained a member. Units still inside their range
+  // cost one ClusterIndexFor each — the cluster's priority line depends only
+  // on its (frozen) pseudo priority and head time, so nothing else moves.
+  affected_clusters_.clear();
+  for (int unit : changed) {
+    const int old_cluster =
+        clustering_.cluster_of_unit[static_cast<size_t>(unit)];
+    const int new_cluster = ClusterIndexFor(
+        clustering_, (*units_)[static_cast<size_t>(unit)].stats.phi);
+    if (new_cluster == old_cluster) continue;
+    clustering_.cluster_of_unit[static_cast<size_t>(unit)] = new_cluster;
+    for (int cluster : {old_cluster, new_cluster}) {
+      uint8_t& mark = cluster_affected_[static_cast<size_t>(cluster)];
+      if (mark == 0) {
+        mark = 1;
+        affected_clusters_.push_back(cluster);
+      }
+    }
+  }
+  if (affected_clusters_.empty()) return;
+
+  // Rebuild only the affected clusters' shadow FIFOs canonically (the
+  // restricted ResyncQueues) and re-key each one's head line individually —
+  // O(log m) per affected cluster through dirty-marking, never a Clear.
+  for (const int cluster : affected_clusters_) {
+    auto& queue = cluster_queues_[static_cast<size_t>(cluster)];
+    if (!kinetic_active() && !queue.empty()) {
+      by_head_time_.erase({queue.front().arrival_time, cluster});
+    }
+    queue.clear();
+  }
+  for (const Unit& u : *units_) {
+    const int cluster =
+        clustering_.cluster_of_unit[static_cast<size_t>(u.id)];
+    if (cluster_affected_[static_cast<size_t>(cluster)] == 0) continue;
+    auto& queue = cluster_queues_[static_cast<size_t>(cluster)];
+    for (size_t i = 0; i < u.queue.size(); ++i) {
+      const QueueEntry& e = u.queue.at(i);
+      queue.push_back(Entry{u.id, e.arrival, e.arrival_time});
+    }
+  }
+  for (const int cluster : affected_clusters_) {
+    cluster_affected_[static_cast<size_t>(cluster)] = 0;
+    auto& queue = cluster_queues_[static_cast<size_t>(cluster)];
+    std::sort(queue.begin(), queue.end(), [](const Entry& a, const Entry& b) {
+      return a.arrival != b.arrival ? a.arrival < b.arrival
+                                    : a.unit < b.unit;
+    });
+    if (queue.empty()) {
+      if (kinetic_active()) index_.Erase(cluster);
+      continue;
+    }
     if (kinetic_active()) {
       index_.Insert(cluster, queue.front().arrival_time,
                     clustering_.pseudo_priority[static_cast<size_t>(cluster)],

@@ -16,6 +16,7 @@
 #ifndef AQSIOS_SCHED_CLUSTERED_BSD_H_
 #define AQSIOS_SCHED_CLUSTERED_BSD_H_
 
+#include <cstdint>
 #include <deque>
 #include <set>
 #include <string>
@@ -58,6 +59,13 @@ class ClusteredBsdScheduler : public Scheduler {
   /// Rebuilds the per-cluster shadow FIFOs canonically — member units'
   /// queued entries merged by (arrival index, unit id) — plus the head keys.
   void ResyncQueues(SimTime now) override;
+  /// Calibration path: units whose drifted Φ crossed a frozen range edge are
+  /// re-bucketed. Only the clusters that lost or gained members have their
+  /// shadow FIFOs rebuilt and their head lines re-keyed (Insert/Erase per
+  /// affected cluster — never a full index Clear); the Φ-domain partition
+  /// and pseudo priorities stay frozen from Attach.
+  void OnCalibratedStats(const std::vector<int>& changed,
+                         SimTime now) override;
   const char* name() const override { return name_.c_str(); }
   /// Same Φ line as exact BSD: clustering changes how the line is *served*
   /// (per-cluster pseudo priorities), not which sources matter least.
@@ -67,6 +75,8 @@ class ClusteredBsdScheduler : public Scheduler {
 
   const Clustering& clustering() const { return clustering_; }
   const ClusteredBsdOptions& options() const { return options_; }
+  /// Test introspection: the kinetic index (clears/recompute counters).
+  const KineticIndex& index() const { return index_; }
 
  private:
   struct Entry {
@@ -109,6 +119,10 @@ class ClusteredBsdScheduler : public Scheduler {
   /// duplicate evaluations when a cluster surfaces in both sorted lists).
   mutable std::vector<int> seen_epoch_;
   mutable int fagin_epoch_ = 0;
+  /// OnCalibratedStats scratch (preallocated at Attach): which clusters a
+  /// re-bucketing pass touched, and the list of their ids.
+  std::vector<uint8_t> cluster_affected_;
+  std::vector<int> affected_clusters_;
 };
 
 }  // namespace aqsios::sched

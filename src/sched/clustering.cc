@@ -45,6 +45,7 @@ Clustering BuildClustering(const UnitTable& units, ClusteringKind kind,
   clustering.kind = kind;
   clustering.num_clusters = num_clusters;
   clustering.delta = phi_max / phi_min;
+  clustering.phi_min = phi_min;
   clustering.cluster_of_unit.resize(units.size());
   clustering.pseudo_priority.assign(static_cast<size_t>(num_clusters), 0.0);
 
@@ -62,34 +63,38 @@ Clustering BuildClustering(const UnitTable& units, ClusteringKind kind,
     // Cluster i covers Φ in [Φ_min·ε^i, Φ_min·ε^(i+1)), ε = Δ^(1/m).
     clustering.epsilon =
         std::pow(clustering.delta, 1.0 / static_cast<double>(num_clusters));
-    const double log_eps = std::log(clustering.epsilon);
+    clustering.log_epsilon = std::log(clustering.epsilon);
     for (int i = 0; i < num_clusters; ++i) {
       clustering.pseudo_priority[static_cast<size_t>(i)] =
-          phi_min * std::exp(log_eps * i);
-    }
-    for (size_t u = 0; u < units.size(); ++u) {
-      const double phi = units[u].stats.phi;
-      int index = static_cast<int>(
-          std::floor(std::log(phi / phi_min) / log_eps));
-      index = std::clamp(index, 0, num_clusters - 1);
-      clustering.cluster_of_unit[u] = index;
+          phi_min * std::exp(clustering.log_epsilon * i);
     }
   } else {
     // Cluster i covers Φ in [Φ_min + i·w, Φ_min + (i+1)·w).
-    const double width =
+    clustering.width =
         (phi_max - phi_min) / static_cast<double>(num_clusters);
     for (int i = 0; i < num_clusters; ++i) {
       clustering.pseudo_priority[static_cast<size_t>(i)] =
-          phi_min + width * i;
-    }
-    for (size_t u = 0; u < units.size(); ++u) {
-      const double phi = units[u].stats.phi;
-      int index = static_cast<int>(std::floor((phi - phi_min) / width));
-      index = std::clamp(index, 0, num_clusters - 1);
-      clustering.cluster_of_unit[u] = index;
+          phi_min + clustering.width * i;
     }
   }
+  for (size_t u = 0; u < units.size(); ++u) {
+    clustering.cluster_of_unit[u] =
+        ClusterIndexFor(clustering, units[u].stats.phi);
+  }
   return clustering;
+}
+
+int ClusterIndexFor(const Clustering& clustering, double phi) {
+  if (clustering.num_clusters <= 1) return 0;
+  int index;
+  if (clustering.kind == ClusteringKind::kLogarithmic) {
+    index = static_cast<int>(std::floor(std::log(phi / clustering.phi_min) /
+                                        clustering.log_epsilon));
+  } else {
+    index = static_cast<int>(
+        std::floor((phi - clustering.phi_min) / clustering.width));
+  }
+  return std::clamp(index, 0, clustering.num_clusters - 1);
 }
 
 }  // namespace aqsios::sched

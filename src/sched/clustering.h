@@ -40,6 +40,12 @@ struct Clustering {
   double delta = 1.0;
   /// For logarithmic clustering, the per-cluster ratio ε = Δ^(1/m).
   double epsilon = 1.0;
+  /// Range-edge state retained so a drifted Φ can be re-bucketed later with
+  /// the exact arithmetic BuildClustering used (ClusterIndexFor): the domain
+  /// floor, the uniform range width, and log ε.
+  double phi_min = 0.0;
+  double width = 0.0;
+  double log_epsilon = 0.0;
 
   std::string ToString() const;
 };
@@ -48,6 +54,13 @@ struct Clustering {
 /// Requires at least one unit with Φ > 0.
 Clustering BuildClustering(const UnitTable& units, ClusteringKind kind,
                            int num_clusters);
+
+/// The cluster a unit with priority `phi` belongs to under `clustering` —
+/// the same floor-and-clamp BuildClustering applied, so a unit whose Φ has
+/// not left its range maps to its original cluster bit-for-bit. Φ values
+/// outside the original [Φ_min, Φ_max] domain clamp to the edge clusters
+/// (the partition is frozen at Attach; calibration drifts Φ, not the edges).
+int ClusterIndexFor(const Clustering& clustering, double phi);
 
 }  // namespace aqsios::sched
 

@@ -34,6 +34,7 @@ void KineticIndex::Reserve(int max_ids) {
 }
 
 void KineticIndex::Clear() {
+  ++clears_;
   std::fill(occupied_.begin(), occupied_.end(), 0);
   std::fill(nodes_.begin(), nodes_.end(), Node{-1, kInf, kInf});
   dense_ids_.clear();

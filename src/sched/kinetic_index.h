@@ -112,6 +112,12 @@ class KineticIndex {
   /// fast path instead of the tournament tree (introspection).
   bool dense() const { return dense_; }
 
+  /// Full wipes (Clear calls) since construction. The calibration re-key
+  /// path must never trigger one — tests pin this counter to prove re-keys
+  /// stay incremental (Insert-on-existing-id + dirty-marking) instead of
+  /// degenerating into rebuild-the-world.
+  int64_t clears() const { return clears_; }
+
   /// Largest capacity served by the dense fast path. Below this size the
   /// tournament's ~log n match replays per re-key cost more than simply
   /// evaluating every line over a flat array (a pick re-keys the picked
@@ -161,6 +167,7 @@ class KineticIndex {
   /// therefore tightest — evaluation point available).
   double last_time_ = 0.0;
   int64_t node_recomputes_ = 0;
+  int64_t clears_ = 0;
 
   /// Per-leaf-slot line state (indexed by id): 32 bytes, two lines per cache
   /// line, so one Eval plus the tie-break touch at most one line of memory.

@@ -58,6 +58,21 @@ class Scheduler {
   /// time need not override.
   virtual void OnStatsUpdated() {}
 
+  /// Called after the online cost calibrator (sched/calibration.h) refreshed
+  /// UnitStats for exactly the units in `changed` (sorted ascending; queues
+  /// are untouched). Unlike OnStatsUpdated, the affected set is known, so
+  /// policies with incremental structures re-key only those units — the
+  /// kinetic policies re-insert each changed unit's priority line
+  /// (O(log n) amortized via dirty-marking) instead of clearing the index.
+  /// The default falls back to the full OnStatsUpdated rebuild, which is
+  /// correct for every policy.
+  virtual void OnCalibratedStats(const std::vector<int>& changed,
+                                 SimTime now) {
+    (void)changed;
+    (void)now;
+    OnStatsUpdated();
+  }
+
   /// Chooses the next unit(s) to execute. Returns false when no unit has
   /// pending tuples. On success appends one or more unit ids to `out`; the
   /// engine pops exactly one head entry from each returned unit, in order,

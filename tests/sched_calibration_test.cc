@@ -1,0 +1,297 @@
+// Online cost/selectivity calibration (sched/calibration.h,
+// docs/calibration.md): estimator convergence and decay, the min-weight and
+// hysteresis guards, byte-identity of every report when calibration is off,
+// determinism of calibrated drift runs, equivalence of the kinetic targeted
+// re-keys with the naive live-scan re-derivation, and the no-full-rebuild
+// pin (KineticIndex::clears() stays 0 on the calibration path).
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/dsms.h"
+#include "core/report.h"
+#include "exec/engine.h"
+#include "metrics/qos.h"
+#include "query/workload.h"
+#include "sched/basic_policies.h"
+#include "sched/calibration.h"
+#include "sched/policy.h"
+#include "sched/scheduler.h"
+#include "sched/unit.h"
+#include "stream/drift.h"
+
+namespace aqsios::sched {
+namespace {
+
+constexpr PolicyKind kAllPolicies[] = {
+    PolicyKind::kFcfs,        PolicyKind::kRoundRobin,
+    PolicyKind::kSrpt,        PolicyKind::kHr,
+    PolicyKind::kHnr,         PolicyKind::kLsf,
+    PolicyKind::kBsd,         PolicyKind::kBsdClustered,
+    PolicyKind::kChain,       PolicyKind::kTwoLevelRr,
+    PolicyKind::kLpNorm,      PolicyKind::kQosGraph,
+};
+
+/// Minimal scheduler stub recording what the calibrator hands it.
+class RecordingScheduler : public Scheduler {
+ public:
+  void Attach(const UnitTable* units) override { units_ = units; }
+  void OnEnqueue(int) override {}
+  void OnDequeue(int) override {}
+  bool PickNext(SimTime, SchedulingCost*, std::vector<int>*) override {
+    return false;
+  }
+  const char* name() const override { return "recording"; }
+  void ResyncQueues(SimTime) override {}
+  void OnCalibratedStats(const std::vector<int>& changed, SimTime) override {
+    ++calls;
+    last_changed = changed;
+  }
+
+  int calls = 0;
+  std::vector<int> last_changed;
+
+ private:
+  const UnitTable* units_ = nullptr;
+};
+
+Unit MakeUnit(int id, SimTime cost, double selectivity, SimTime ideal_time) {
+  Unit unit;
+  unit.id = id;
+  unit.stats.expected_cost = cost;
+  unit.stats.selectivity = selectivity;
+  unit.stats.ideal_time = ideal_time;
+  RederiveUnitStats(&unit.stats);
+  return unit;
+}
+
+TEST(CostCalibratorTest, ConvergesToObservedRatiosAndRescalesIdealTime) {
+  UnitTable units;
+  units.push_back(MakeUnit(0, /*cost=*/0.001, /*selectivity=*/0.5,
+                           /*ideal_time=*/0.002));
+  // Give the unit pending work so its rewrite counts as a re-key.
+  units[0].queue.push_back(QueueEntry{0, 0.0});
+  RecordingScheduler scheduler;
+  scheduler.Attach(&units);
+  CalibrationConfig config;
+  config.enabled = true;
+  config.period = 1.0;
+  CostCalibrator calibrator(config, &units, &scheduler);
+
+  // The unit actually runs at twice the assumed cost and 0.8 selectivity.
+  calibrator.OnDispatch(0, /*tuples=*/100, /*busy=*/100 * 0.002,
+                        /*emitted=*/80);
+  EXPECT_FALSE(calibrator.MaybeCalibrate(0.5));  // before the epoch
+  EXPECT_TRUE(calibrator.MaybeCalibrate(1.0));
+
+  EXPECT_DOUBLE_EQ(calibrator.EstimatedCost(0), 0.002);
+  EXPECT_DOUBLE_EQ(calibrator.EstimatedSelectivity(0), 0.8);
+  EXPECT_DOUBLE_EQ(units[0].stats.expected_cost, 0.002);
+  EXPECT_DOUBLE_EQ(units[0].stats.selectivity, 0.8);
+  // The whole segment drifted by one factor: T scales with the cost.
+  EXPECT_DOUBLE_EQ(units[0].stats.ideal_time, 0.004);
+  // Derived priorities re-derived from the calibrated inputs.
+  EXPECT_DOUBLE_EQ(units[0].stats.output_rate, 0.8 / 0.002);
+  EXPECT_EQ(scheduler.calls, 1);
+  EXPECT_EQ(scheduler.last_changed, std::vector<int>{0});
+  EXPECT_EQ(calibrator.updates(), 1);
+  EXPECT_EQ(calibrator.rekeys(), 1);
+  EXPECT_GT(calibrator.MeanAbsCostDrift(), 0.9);
+
+  // Steady state: the same regime observed again moves nothing (hysteresis).
+  calibrator.OnDispatch(0, 100, 100 * 0.002, 80);
+  EXPECT_TRUE(calibrator.MaybeCalibrate(2.0));
+  EXPECT_EQ(calibrator.updates(), 1);
+  EXPECT_EQ(scheduler.calls, 1);
+}
+
+TEST(CostCalibratorTest, DecayForgetsTheOldRegime) {
+  UnitTable units;
+  units.push_back(MakeUnit(0, 0.001, 0.5, 0.002));
+  RecordingScheduler scheduler;
+  scheduler.Attach(&units);
+  CalibrationConfig config;
+  config.enabled = true;
+  config.period = 1.0;
+  config.decay = 0.5;
+  CostCalibrator calibrator(config, &units, &scheduler);
+
+  // One epoch of the old regime (cost 0.001), then several of the new
+  // (cost 0.005): the exponentially-decayed estimate must approach the new
+  // regime geometrically.
+  calibrator.OnDispatch(0, 100, 100 * 0.001, 50);
+  ASSERT_TRUE(calibrator.MaybeCalibrate(1.0));
+  double previous_gap = 0.005 - calibrator.EstimatedCost(0);
+  for (int epoch = 2; epoch <= 6; ++epoch) {
+    calibrator.OnDispatch(0, 100, 100 * 0.005, 50);
+    ASSERT_TRUE(calibrator.MaybeCalibrate(static_cast<SimTime>(epoch)));
+    const double gap = 0.005 - calibrator.EstimatedCost(0);
+    EXPECT_LT(gap, previous_gap) << "epoch " << epoch;
+    previous_gap = gap;
+  }
+  EXPECT_NEAR(calibrator.EstimatedCost(0), 0.005, 2e-4);
+}
+
+TEST(CostCalibratorTest, MinWeightGuardTrustsNothingThin) {
+  UnitTable units;
+  units.push_back(MakeUnit(0, 0.001, 0.5, 0.002));
+  RecordingScheduler scheduler;
+  scheduler.Attach(&units);
+  CalibrationConfig config;
+  config.enabled = true;
+  config.period = 1.0;
+  config.min_weight = 8.0;
+  CostCalibrator calibrator(config, &units, &scheduler);
+
+  // 7 tuples of wildly different cost: below min_weight, ignored.
+  calibrator.OnDispatch(0, 7, 7 * 0.010, 7);
+  EXPECT_TRUE(calibrator.MaybeCalibrate(1.0));
+  EXPECT_EQ(calibrator.updates(), 0);
+  EXPECT_EQ(scheduler.calls, 0);
+  EXPECT_DOUBLE_EQ(calibrator.EstimatedCost(0), 0.001);
+  EXPECT_DOUBLE_EQ(units[0].stats.expected_cost, 0.001);
+}
+
+// ---------------------------------------------------------------------------
+// Engine integration.
+
+query::Workload TestbedWorkload(int queries = 24, int64_t arrivals = 3000,
+                                double utilization = 0.4) {
+  query::WorkloadConfig config;
+  config.num_queries = queries;
+  config.num_arrivals = arrivals;
+  config.utilization = utilization;
+  config.seed = 42;
+  return query::GenerateWorkload(config);
+}
+
+core::SimulationOptions DriftOptions(const query::Workload& workload) {
+  const SimTime span = workload.arrivals.arrivals.back().time;
+  core::SimulationOptions options;
+  options.drift.enabled = true;
+  options.drift.modulo = 2;
+  options.drift.cost_factor = 4.0;
+  options.drift.selectivity_factor = 0.7;
+  options.drift.step_time = 0.3 * span;
+  options.drift.ramp_seconds = 0.1 * span;
+  options.calibration.enabled = true;
+  options.calibration.period = span / 50.0;
+  return options;
+}
+
+TEST(CalibrationOffTest, DisabledCalibrationIsByteIdenticalAcrossAllPolicies) {
+  // The calibration and drift wiring must be invisible until enabled: for
+  // every policy, a run with explicit (disabled) configs carrying exotic
+  // knob values serializes byte-for-byte like a plain default run, and no
+  // calibration keys appear anywhere in the JSON.
+  const query::Workload workload = TestbedWorkload(20, 1500, 0.9);
+  for (const PolicyKind kind : kAllPolicies) {
+    const PolicyConfig policy = PolicyConfig::Of(kind);
+    const core::RunResult plain =
+        core::Simulate(workload, policy, core::SimulationOptions{});
+    core::SimulationOptions options;
+    options.calibration.enabled = false;
+    options.calibration.period = 0.001;     // must be ignored while disabled
+    options.calibration.rel_epsilon = 0.0;  // must be ignored while disabled
+    options.drift.enabled = false;
+    options.drift.cost_factor = 9.0;        // must be ignored while disabled
+    options.drift.step_time = 0.0;          // must be ignored while disabled
+    const core::RunResult configured =
+        core::Simulate(workload, policy, options);
+    const std::string plain_json = core::RunResultToJson(plain);
+    EXPECT_EQ(plain_json, core::RunResultToJson(configured))
+        << "policy " << PolicyKindName(kind);
+    EXPECT_EQ(plain_json.find("calibration"), std::string::npos)
+        << "policy " << PolicyKindName(kind);
+    EXPECT_EQ(plain.counters.calibration_epochs, 0);
+    EXPECT_EQ(plain.counters.calibration_rekeys, 0);
+  }
+}
+
+TEST(CalibrationDriftTest, CalibratedDriftRunsAreDeterministic) {
+  const query::Workload workload = TestbedWorkload();
+  const core::SimulationOptions options = DriftOptions(workload);
+  for (const PolicyKind kind : {PolicyKind::kLsf, PolicyKind::kBsd}) {
+    const PolicyConfig policy = PolicyConfig::Of(kind);
+    const core::RunResult first = core::Simulate(workload, policy, options);
+    const core::RunResult second = core::Simulate(workload, policy, options);
+    EXPECT_EQ(core::RunResultToJson(first), core::RunResultToJson(second))
+        << "policy " << PolicyKindName(kind);
+    EXPECT_GT(first.counters.calibration_epochs, 0)
+        << "policy " << PolicyKindName(kind);
+    EXPECT_GT(first.counters.calibration_rekeys, 0)
+        << "policy " << PolicyKindName(kind);
+  }
+}
+
+TEST(CalibrationDriftTest, ShardedCalibratedDriftRunsAreDeterministic) {
+  // The sharded runner translates the drift membership from global query
+  // ids to each shard's local dense ids; the merged result must still be
+  // bit-reproducible run over run.
+  const query::Workload workload = TestbedWorkload();
+  core::SimulationOptions options = DriftOptions(workload);
+  options.shards = 2;
+  const PolicyConfig policy = PolicyConfig::Of(PolicyKind::kLsf);
+  const core::RunResult first = core::Simulate(workload, policy, options);
+  const core::RunResult second = core::Simulate(workload, policy, options);
+  EXPECT_EQ(core::RunResultToJson(first), core::RunResultToJson(second));
+  EXPECT_GT(first.counters.calibration_rekeys, 0);
+}
+
+TEST(CalibrationDriftTest, TargetedRekeysMatchFullRederivationOracle) {
+  // The kinetic policies re-key only the changed units through the index's
+  // dirty-marking; the non-kinetic scan recomputes every priority from the
+  // (calibrated) stats live at each pick. Byte-identical reports prove the
+  // targeted O(log n) path equals the full re-derivation oracle.
+  const query::Workload workload = TestbedWorkload();
+  const core::SimulationOptions options = DriftOptions(workload);
+  for (const PolicyKind kind : {PolicyKind::kLsf, PolicyKind::kBsd}) {
+    PolicyConfig kinetic = PolicyConfig::Of(kind);
+    kinetic.use_kinetic_index = true;
+    PolicyConfig scan = PolicyConfig::Of(kind);
+    scan.use_kinetic_index = false;
+    const core::RunResult a = core::Simulate(workload, kinetic, options);
+    const core::RunResult b = core::Simulate(workload, scan, options);
+    EXPECT_EQ(core::RunResultToJson(a), core::RunResultToJson(b))
+        << "policy " << PolicyKindName(kind);
+    EXPECT_GT(a.counters.calibration_rekeys, 0)
+        << "policy " << PolicyKindName(kind);
+  }
+}
+
+TEST(CalibrationDriftTest, CalibrationNeverClearsTheKineticIndex) {
+  // The no-full-rebuild pin: a calibrated drift run re-keys thousands of
+  // priority lines, yet the kinetic index is never cleared — every rewrite
+  // goes through per-unit dirty-marking.
+  const query::Workload workload = TestbedWorkload();
+  const core::SimulationOptions sim_options = DriftOptions(workload);
+  {
+    exec::EngineConfig config;
+    config.drift = sim_options.drift;
+    config.calibration = sim_options.calibration;
+    LsfScheduler lsf(/*use_kinetic_index=*/true);
+    metrics::QosCollector collector((metrics::QosCollector::Options()));
+    exec::Engine engine(&workload.plan, &workload.arrivals, config, &lsf,
+                        &collector);
+    const exec::RunCounters counters = engine.Run();
+    EXPECT_GT(counters.calibration_rekeys, 0);
+    EXPECT_EQ(lsf.index().clears(), 0);
+  }
+  {
+    exec::EngineConfig config;
+    config.drift = sim_options.drift;
+    config.calibration = sim_options.calibration;
+    BsdScheduler bsd(/*count_all_units=*/true, /*use_kinetic_index=*/true);
+    metrics::QosCollector collector((metrics::QosCollector::Options()));
+    exec::Engine engine(&workload.plan, &workload.arrivals, config, &bsd,
+                        &collector);
+    const exec::RunCounters counters = engine.Run();
+    EXPECT_GT(counters.calibration_rekeys, 0);
+    EXPECT_EQ(bsd.index().clears(), 0);
+  }
+}
+
+}  // namespace
+}  // namespace aqsios::sched
